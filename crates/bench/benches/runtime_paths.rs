@@ -1,0 +1,94 @@
+//! Criterion benches of the *real* threaded runtime's hot paths: grant +
+//! step turnaround, checkpointing, channel pipelines, and the recovery
+//! path, compared with the CPR baseline executor on identical programs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gprs_runtime::cpr::CprBuilder;
+use gprs_runtime::ctx::StepCtx;
+use gprs_runtime::prelude::*;
+
+struct Chain {
+    atomic: AtomicHandle,
+    rounds: u32,
+    done: u32,
+}
+impl Checkpoint for Chain {
+    type Snapshot = u32;
+    fn checkpoint(&self) -> u32 {
+        self.done
+    }
+    fn restore(&mut self, s: &u32) {
+        self.done = *s;
+    }
+}
+impl ThreadProgram for Chain {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Step {
+        if self.done == self.rounds {
+            return Step::exit_unit();
+        }
+        self.done += 1;
+        self.atomic.fetch_add(1)
+    }
+}
+
+fn gprs_chain(workers: usize, threads: u32, rounds: u32) -> RunStats {
+    let mut b = GprsBuilder::new().workers(workers);
+    let a = b.atomic(0);
+    for _ in 0..threads {
+        b.thread(Chain { atomic: a, rounds, done: 0 }, GroupId::new(0), 1);
+    }
+    b.build().run().unwrap().stats
+}
+
+fn cpr_chain(workers: usize, threads: u32, rounds: u32) -> u64 {
+    let mut b = CprBuilder::new().workers(workers).checkpoint_every(32);
+    let a = b.atomic(0);
+    for _ in 0..threads {
+        b.thread(Chain { atomic: a, rounds, done: 0 }, GroupId::new(0), 1);
+    }
+    b.build().run().unwrap().stats.grants
+}
+
+fn bench_grant_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_grants");
+    g.bench_function("gprs_2w_4t_64r", |b| {
+        b.iter(|| gprs_chain(2, 4, 64).subthreads)
+    });
+    g.bench_function("cpr_2w_4t_64r", |b| b.iter(|| cpr_chain(2, 4, 64)));
+    g.finish();
+}
+
+fn bench_recovery_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_recovery");
+    g.bench_function("inject_and_recover", |b| {
+        b.iter(|| {
+            let mut builder = GprsBuilder::new().workers(2);
+            let a = builder.atomic(0);
+            for _ in 0..2 {
+                builder.thread(Chain { atomic: a, rounds: 64, done: 0 }, GroupId::new(0), 1);
+            }
+            let rt = builder.build();
+            let ctl = rt.controller();
+            let h = std::thread::spawn(move || {
+                for _ in 0..8 {
+                    if ctl.is_finished() {
+                        break;
+                    }
+                    ctl.inject_on_busy(ExceptionKind::SoftFault);
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+            });
+            let report = rt.run().unwrap();
+            h.join().unwrap();
+            report.stats.recoveries
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_grant_throughput, bench_recovery_path
+);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Regenerates Figure 11: exception tolerance of P-CPR vs GPRS on Pbzip2
+//! from 1 to 24 contexts.
+//!
+//! * `fig11 a` — P-CPR execution time vs exception rate per context count.
+//! * `fig11 b` — same for GPRS.
+//! * `fig11 c` — the tipping-rate table: P-CPR flat (~1.5/s), GPRS scaling
+//!   with the context count (paper: 1.92 → 31.25 exceptions/s).
+
+use gprs_bench::{injector, parse_scale, print_table};
+use gprs_sim::costs::secs_to_cycles;
+use gprs_sim::free::{run_free, FreeRunConfig};
+use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+use gprs_sim::tipping::{find_tipping_rate, TippingScheme};
+use gprs_sim::workload::Workload;
+use gprs_workloads::traces::{pbzip2_with, TraceParams};
+
+const CONTEXT_COUNTS: [u32; 8] = [1, 2, 4, 8, 12, 16, 20, 24];
+
+fn pbzip2(scale: f64, contexts: u32) -> Workload {
+    let p = TraceParams::paper().scaled(scale).with_contexts(contexts);
+    pbzip2_with(&p, contexts.saturating_sub(2).max(1) as usize)
+}
+
+fn run_one(w: &Workload, contexts: u32, rate: f64, cap: u64, gprs: bool) -> Option<f64> {
+    let inj = injector(rate, contexts, 0xF11 + contexts as u64);
+    let r = if gprs {
+        run_gprs(
+            w,
+            &GprsSimConfig::balance_aware(contexts)
+                .with_exceptions(inj)
+                .with_time_cap(cap),
+        )
+    } else {
+        run_free(
+            w,
+            &FreeRunConfig::cpr(contexts, secs_to_cycles(1.0))
+                .with_exceptions(inj)
+                .with_time_cap(cap),
+        )
+    };
+    r.completed.then(|| r.finish_secs())
+}
+
+fn sweep(scale: f64, gprs: bool, rates: &[f64]) {
+    let which = if gprs { "GPRS" } else { "P-CPR" };
+    let mut rows = Vec::new();
+    for &n in &CONTEXT_COUNTS {
+        let w = pbzip2(scale, n);
+        let free = if gprs {
+            run_gprs(&w, &GprsSimConfig::balance_aware(n))
+        } else {
+            run_free(&w, &FreeRunConfig::cpr(n, secs_to_cycles(1.0)))
+        };
+        let cap = free.finish_cycles.saturating_mul(20);
+        let mut row = vec![format!("{n}")];
+        for &rate in rates {
+            row.push(match run_one(&w, n, rate, cap, gprs) {
+                Some(secs) => format!("{secs:.1}"),
+                None => "DNC".into(),
+            });
+        }
+        rows.push(row);
+        eprintln!("  contexts {n} done");
+    }
+    let mut header = vec!["ctx".to_string()];
+    header.extend(rates.iter().map(|r| format!("{r}/s")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table(
+        &format!("Figure 11({}) — {which} on Pbzip2: exec time (s) vs exception rate",
+                 if gprs { "b" } else { "a" }),
+        &header_refs,
+        &rows,
+    );
+}
+
+fn tipping(scale: f64) {
+    let mut rows = Vec::new();
+    for &n in &CONTEXT_COUNTS {
+        let w = pbzip2(scale, n);
+        // "Did not complete in reasonable time" is judged against each
+        // scheme's own fault-free time (the Pthreads oversubscription model
+        // overestimates unbalanced small-n runs).
+        let cpr_free = run_free(&w, &FreeRunConfig::cpr(n, secs_to_cycles(1.0)));
+        let gprs_free = run_gprs(&w, &GprsSimConfig::balance_aware(n));
+        let cpr_cap = cpr_free.finish_cycles.saturating_mul(20);
+        let gprs_cap = gprs_free.finish_cycles.saturating_mul(20);
+        let cpr = find_tipping_rate(
+            &w,
+            &TippingScheme::Cpr(
+                FreeRunConfig::cpr(n, secs_to_cycles(1.0)).with_time_cap(cpr_cap),
+            ),
+            0.5,
+            0.1,
+            0xF11C,
+        );
+        let gprs = find_tipping_rate(
+            &w,
+            &TippingScheme::Gprs(GprsSimConfig::balance_aware(n).with_time_cap(gprs_cap)),
+            0.5,
+            0.1,
+            0xF11C,
+        );
+        rows.push(vec![
+            format!("{n}"),
+            format!("{:.2}", cpr.estimate()),
+            format!("{:.2}", gprs.estimate()),
+        ]);
+        eprintln!("  contexts {n}: CPR {:.2}/s GPRS {:.2}/s", cpr.estimate(), gprs.estimate());
+    }
+    print_table(
+        "Figure 11(c) — tipping rates (exceptions/s) on Pbzip2",
+        &["ctx", "P-CPR", "GPRS"],
+        &rows,
+    );
+    println!("\nPaper: P-CPR 1.17–1.76 (flat); GPRS 1.92 → 31.25 (scales with contexts)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    let which = args
+        .iter()
+        .find(|a| ["a", "b", "c"].contains(&a.as_str()))
+        .map(|s| s.as_str())
+        .unwrap_or("c");
+    println!("Figure 11{which} (scale {scale})");
+    match which {
+        "a" => sweep(scale, false, &[0.5, 1.0, 1.2, 1.4, 1.6, 2.0, 3.0]),
+        "b" => sweep(scale, true, &[1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0]),
+        _ => tipping(scale),
+    }
+}

@@ -1,0 +1,77 @@
+//! Regenerates Figure 8: GPRS mechanism overheads relative to the Pthreads
+//! baseline, decomposed into ordering (round-robin vs balance-aware), ROL
+//! management and checkpointing, next to coordinated CPR's checkpointing
+//! penalty.
+//!
+//! `fig8 a` uses the default (coarse) computation sizes; `fig8 b` the
+//! fine-grained configuration of `§4`. Legend matches the paper:
+//! `G-R-OR` = GPRS, round-robin, ordering only; `G-B-OR` = balance-aware
+//! ordering; `G-B-ROL` = + ROL management; `P-/-CH` = Pthreads + CPR
+//! checkpointing; `G-B-CH` = full GPRS.
+
+use gprs_bench::{
+    cpr_run, gprs_run, harmonic_mean, paper_workload, parse_scale, print_table,
+    pthreads_baseline, CostLayer,
+};
+use gprs_core::order::ScheduleKind;
+use gprs_workloads::traces::PROGRAMS;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    let fine = args.iter().any(|a| a == "b");
+    let label = if fine { "8(b) fine-grained" } else { "8(a) default sizes" };
+    println!("Figure {label} (scale {scale})");
+
+    let mut rows = Vec::new();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for prog in &PROGRAMS {
+        // Fine-grain only changes the four data-parallel programs (§4).
+        let use_fine = fine && prog.fine_in_fig10;
+        let w = paper_workload(prog.name, scale, use_fine);
+        let base = pthreads_baseline(&paper_workload(prog.name, scale, false));
+        let cap = base.finish_cycles.saturating_mul(40);
+
+        let g_r_or = gprs_run(&w, ScheduleKind::RoundRobin, CostLayer::OrderingOnly, cap);
+        let g_b_or = gprs_run(&w, ScheduleKind::BalanceBasic, CostLayer::OrderingOnly, cap);
+        let g_b_rol = gprs_run(&w, ScheduleKind::BalanceBasic, CostLayer::OrderingRol, cap);
+        let p_ch = cpr_run(
+            &w,
+            prog.cpr_interval_secs * scale.max(0.02),
+            prog.cpr_record_ms,
+            prog.cpr_restore_ms,
+            cap,
+        );
+        let g_b_ch = gprs_run(&w, ScheduleKind::BalanceBasic, CostLayer::Full, cap);
+
+        let cells: Vec<String> = [&g_r_or, &g_b_or, &g_b_rol, &p_ch, &g_b_ch]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                if let Some(rel) = r.relative_to(&base) {
+                    cols[i].push(rel);
+                    format!("{rel:.2}")
+                } else {
+                    "DNC".to_string()
+                }
+            })
+            .collect();
+        let mut row = vec![prog.name.to_string()];
+        row.extend(cells);
+        rows.push(row);
+    }
+    let mut hm_row = vec!["HM".to_string()];
+    for col in &cols {
+        hm_row.push(match harmonic_mean(col) {
+            Some(h) => format!("{h:.2}"),
+            None => "-".into(),
+        });
+    }
+    rows.push(hm_row);
+    print_table(
+        &format!("Figure {label}: execution time relative to Pthreads"),
+        &["program", "G-R-OR", "G-B-OR", "G-B-ROL", "P-/-CH", "G-B-CH"],
+        &rows,
+    );
+    println!("\nPaper HM targets (8a): G-R-OR 1.14, G-B-OR 1.06, G-B-ROL 1.15, P-/-CH 1.21, G-B-CH 1.16");
+}

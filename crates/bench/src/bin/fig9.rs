@@ -1,0 +1,60 @@
+//! Regenerates Figure 9: fine-grained Pthreads degrades (Barnes-Hut ≈ +20 %,
+//! Blackscholes DNC from massive oversubscription) while fine-grained GPRS
+//! improves on the baseline thanks to its load-balancing sub-thread
+//! scheduler (paper: HM ≈ 0.73).
+
+use gprs_bench::{
+    gprs_run, harmonic_mean, paper_workload, parse_scale, print_table, pthreads_baseline,
+    rel_cell, CostLayer, CONTEXTS,
+};
+use gprs_core::order::ScheduleKind;
+use gprs_sim::free::{run_free, FreeRunConfig};
+
+const PROGRAMS: [&str; 4] = ["barnes-hut", "blackscholes", "canneal", "swaptions"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    println!("Figure 9 (scale {scale}, {CONTEXTS} contexts)");
+
+    let mut rows = Vec::new();
+    let mut pt_col = Vec::new();
+    let mut g_col = Vec::new();
+    for name in PROGRAMS {
+        let coarse = paper_workload(name, scale, false);
+        let fine = paper_workload(name, scale, true);
+        let base = pthreads_baseline(&coarse);
+        let cap = base.finish_cycles.saturating_mul(10);
+        let pt_fine = run_free(
+            &fine,
+            &FreeRunConfig::pthreads(CONTEXTS).with_time_cap(cap),
+        );
+        let g_fine = gprs_run(&fine, ScheduleKind::BalanceBasic, CostLayer::Full, cap);
+        if let Some(r) = pt_fine.relative_to(&base) {
+            pt_col.push(r);
+        }
+        if let Some(r) = g_fine.relative_to(&base) {
+            g_col.push(r);
+        }
+        rows.push(vec![
+            name.to_string(),
+            rel_cell(&pt_fine, &base),
+            rel_cell(&g_fine, &base),
+        ]);
+    }
+    rows.push(vec![
+        "HM".to_string(),
+        harmonic_mean(&pt_col)
+            .map(|h| format!("{h:.2} (completers)"))
+            .unwrap_or_else(|| "-".into()),
+        harmonic_mean(&g_col)
+            .map(|h| format!("{h:.2}"))
+            .unwrap_or_else(|| "-".into()),
+    ]);
+    print_table(
+        "Figure 9: fine-grained execution relative to coarse Pthreads",
+        &["program", "Pthreads-fine", "GPRS-fine"],
+        &rows,
+    );
+    println!("\nPaper: Barnes-Hut Pthreads-fine ≈ 1.20, Blackscholes DNC; GPRS-fine HM ≈ 0.73");
+}

@@ -1,0 +1,60 @@
+//! Prints the closed-form analysis of §2.3–§2.4: checkpoint and restart
+//! penalties and the exception-tolerance bounds of the three schemes, across
+//! context counts — the analytic counterpart of Figure 11(c).
+
+use gprs_bench::print_table;
+use gprs_core::model::{CostParams, Scheme};
+
+fn main() {
+    let base = CostParams::paper_default();
+    println!("Analytic model (§2.3–§2.4)");
+    println!(
+        "params: t = {:.3}s, t_c = {:.4}s, t_s = {:.4}s, t_g = {:.5}s, t_w = {:.3}s, n_c = {}",
+        base.interval, base.coord_time, base.record_time, base.order_delay, base.restore_wait,
+        base.communicating
+    );
+
+    let mut rows = Vec::new();
+    for n in [1u32, 2, 4, 8, 12, 16, 20, 24] {
+        let p = base.with_contexts(n);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{:.2}", p.checkpoint_penalty(Scheme::CprSoftware)),
+            format!("{:.2}", p.checkpoint_penalty(Scheme::CprHardware)),
+            format!(
+                "{:.2}",
+                p.checkpoint_penalty(Scheme::Gprs) + p.ordering_penalty()
+            ),
+            format!("{:.2}", p.max_exception_rate(Scheme::CprSoftware)),
+            format!("{:.2}", p.max_exception_rate(Scheme::CprHardware)),
+            format!("{:.2}", p.max_exception_rate(Scheme::Gprs)),
+        ]);
+    }
+    print_table(
+        "penalties (context-seconds lost per second) and tolerance bounds (exceptions/s)",
+        &[
+            "n",
+            "Pc CPR",
+            "Pc HW",
+            "Pc+Pg GPRS",
+            "e* CPR",
+            "e* HW",
+            "e* GPRS",
+        ],
+        &rows,
+    );
+
+    println!("\nPredicted slowdowns at e = 1/s (n = 24):");
+    let p = base.with_contexts(24);
+    for scheme in [Scheme::CprSoftware, Scheme::CprHardware, Scheme::Gprs] {
+        println!(
+            "  {scheme}: {:.3}x (tips at {:.2}/s)",
+            p.predicted_slowdown(scheme, 1.0),
+            p.max_exception_rate(scheme)
+        );
+    }
+    println!(
+        "\nGPRS tolerance advantage over software CPR: {:.0}x (= n, §2.4)",
+        p.gprs_tolerance_factor()
+    );
+}

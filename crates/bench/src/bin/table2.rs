@@ -1,0 +1,43 @@
+//! Regenerates Table 2: program characteristics on the simulated
+//! 24-context machine.
+
+use gprs_bench::{parse_scale, paper_workload, print_table, pthreads_baseline, CONTEXTS};
+use gprs_sim::cycles_to_secs;
+use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+use gprs_workloads::traces::PROGRAMS;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    println!("Table 2 reproduction (scale {scale}, {CONTEXTS} contexts)");
+    println!("Columns: simulated Pthreads baseline vs paper column 5;");
+    println!("fine-grained sub-thread count vs paper column 7.\n");
+
+    let mut rows = Vec::new();
+    for prog in &PROGRAMS {
+        let coarse = paper_workload(prog.name, scale, false);
+        let base = pthreads_baseline(&coarse);
+        let fine = paper_workload(prog.name, scale, true);
+        let g = run_gprs(&fine, &GprsSimConfig::balance_aware(CONTEXTS));
+        rows.push(vec![
+            prog.name.to_string(),
+            format!("{:.2}", base.finish_secs()),
+            format!("{:.2}", prog.paper_baseline_secs * scale),
+            format!("{}", g.subthreads),
+            format!("{}", prog.paper_subthreads),
+            format!("{:.3}", cycles_to_secs(g.finish_cycles)),
+        ]);
+    }
+    print_table(
+        "Table 2: program characteristics",
+        &[
+            "program",
+            "sim base (s)",
+            "paper base (s)",
+            "sim subthreads",
+            "paper subthreads",
+            "GPRS fine (s)",
+        ],
+        &rows,
+    );
+}

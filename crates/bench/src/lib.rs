@@ -1,0 +1,191 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each `src/bin/` binary reproduces one artifact of `§4`:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table2` | Table 2 — program characteristics |
+//! | `fig8 a` / `fig8 b` | Figure 8 — GPRS overheads, coarse / fine grain |
+//! | `fig9` | Figure 9 — fine-grained Pthreads vs GPRS |
+//! | `fig10` | Figure 10 — recovery at low/high exception rates |
+//! | `fig11 a` / `b` / `c` | Figure 11 — exception tolerance & tipping rates |
+//! | `model` | §2.3–§2.4 closed-form penalties and bounds |
+//!
+//! Binaries accept `--scale <f>` to shrink inputs (default 1.0 = the
+//! paper's "large inputs") and print aligned text tables; `EXPERIMENTS.md`
+//! records a full-scale run next to the paper's numbers.
+
+use gprs_core::exception::InjectorConfig;
+use gprs_sim::costs::{secs_to_cycles, MechCosts, CYCLES_PER_SEC};
+use gprs_sim::free::{run_free, FreeRunConfig};
+use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+use gprs_sim::result::SimResult;
+use gprs_sim::workload::Workload;
+use gprs_workloads::traces::{build, TraceParams};
+
+/// The paper's context count.
+pub const CONTEXTS: u32 = 24;
+
+/// Parses a `--scale <f>` argument (default 1.0).
+pub fn parse_scale(args: &[String]) -> f64 {
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Builds the named program at the paper's configuration.
+pub fn paper_workload(name: &str, scale: f64, fine: bool) -> Workload {
+    let mut p = TraceParams::paper().scaled(scale);
+    if fine {
+        p = p.fine();
+    }
+    build(name, &p)
+}
+
+/// The Pthreads baseline time for a workload (coarse grain).
+pub fn pthreads_baseline(w: &Workload) -> SimResult {
+    run_free(w, &FreeRunConfig::pthreads(CONTEXTS))
+}
+
+/// Mechanism-cost variants used to decompose overheads (the cumulative bars
+/// of Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostLayer {
+    /// Ordering only: no ROL management, no checkpoint recording.
+    OrderingOnly,
+    /// Ordering + ROL management.
+    OrderingRol,
+    /// Everything (ordering + ROL + checkpoint recording).
+    Full,
+}
+
+/// Mechanism costs with the chosen layers enabled.
+pub fn layered_costs(layer: CostLayer) -> MechCosts {
+    let mut c = MechCosts::paper_default();
+    match layer {
+        CostLayer::OrderingOnly => {
+            c.rol_manage = 0;
+            c.ckpt_base = 0;
+            c.ckpt_per_byte = 0.0;
+        }
+        CostLayer::OrderingRol => {
+            c.ckpt_base = 0;
+            c.ckpt_per_byte = 0.0;
+        }
+        CostLayer::Full => {}
+    }
+    c
+}
+
+/// Runs GPRS on a workload with the given schedule and cost layer.
+pub fn gprs_run(
+    w: &Workload,
+    schedule: gprs_core::order::ScheduleKind,
+    layer: CostLayer,
+    cap_cycles: u64,
+) -> SimResult {
+    let mut cfg = GprsSimConfig {
+        schedule,
+        ..GprsSimConfig::balance_aware(CONTEXTS)
+    };
+    cfg.costs = layered_costs(layer);
+    cfg = cfg.with_time_cap(cap_cycles);
+    run_gprs(w, &cfg)
+}
+
+/// Runs the coordinated-CPR baseline with the program's checkpoint
+/// interval, per-checkpoint record cost and rollback restore cost.
+pub fn cpr_run(
+    w: &Workload,
+    interval_secs: f64,
+    record_ms: f64,
+    restore_ms: f64,
+    cap_cycles: u64,
+) -> SimResult {
+    let mut cfg =
+        FreeRunConfig::cpr(CONTEXTS, secs_to_cycles(interval_secs)).with_time_cap(cap_cycles);
+    cfg.costs.cpr_record = secs_to_cycles(record_ms / 1e3);
+    cfg.costs.cpr_restore = secs_to_cycles(restore_ms / 1e3);
+    run_free(w, &cfg)
+}
+
+/// Seeded exception-injection configuration at `rate` exceptions/s.
+pub fn injector(rate: f64, contexts: u32, seed: u64) -> InjectorConfig {
+    InjectorConfig::paper(rate, contexts, CYCLES_PER_SEC).with_seed(seed)
+}
+
+/// Formats a relative-time cell: `x.xx` or `DNC`.
+pub fn rel_cell(run: &SimResult, baseline: &SimResult) -> String {
+    match run.relative_to(baseline) {
+        Some(r) => format!("{r:.2}"),
+        None => "DNC".to_string(),
+    }
+}
+
+/// Prints an aligned table: header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: Vec<String>| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    for row in rows {
+        println!("{}", fmt_row(row.clone()));
+    }
+}
+
+/// Harmonic mean helper re-export.
+pub use gprs_sim::result::harmonic_mean;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        let args: Vec<String> = ["x", "--scale", "0.25"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_scale(&args), 0.25);
+        assert_eq!(parse_scale(&[]), 1.0);
+    }
+
+    #[test]
+    fn layered_costs_are_cumulative() {
+        let or = layered_costs(CostLayer::OrderingOnly);
+        let rol = layered_costs(CostLayer::OrderingRol);
+        let full = layered_costs(CostLayer::Full);
+        assert_eq!(or.rol_manage, 0);
+        assert!(rol.rol_manage > 0);
+        assert_eq!(rol.ckpt_base, 0);
+        assert!(full.ckpt_base > 0);
+    }
+
+    #[test]
+    fn rel_cell_formats() {
+        let mut a = SimResult::new("x", "s");
+        let mut b = SimResult::new("x", "s");
+        b.completed = true;
+        b.finish_cycles = 100;
+        assert_eq!(rel_cell(&a, &b), "DNC");
+        a.completed = true;
+        a.finish_cycles = 150;
+        assert_eq!(rel_cell(&a, &b), "1.50");
+    }
+}

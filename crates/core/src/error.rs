@@ -1,0 +1,122 @@
+//! Error types for the GPRS core model.
+
+use crate::ids::{Lsn, ResourceId, SubThreadId, ThreadId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the core bookkeeping structures.
+///
+/// These indicate *protocol violations* by a runtime embedding the model
+/// (inserting out of order, retiring an in-flight sub-thread, …) or detected
+/// corruption of recovery state. They are distinct from the program-level
+/// [`crate::exception::Exception`]s the model exists to recover from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GprsError {
+    /// A sub-thread was inserted into the reorder list out of order.
+    OutOfOrderInsert {
+        /// Id of the offending insert.
+        inserted: SubThreadId,
+        /// Newest id already present.
+        newest: SubThreadId,
+    },
+    /// An operation referenced a sub-thread the reorder list does not hold.
+    UnknownSubThread(SubThreadId),
+    /// An operation referenced an unregistered thread.
+    UnknownThread(ThreadId),
+    /// A thread was registered twice with the order enforcer.
+    DuplicateThread(ThreadId),
+    /// Attempted to retire the reorder-list head before it completed.
+    RetireIncomplete(SubThreadId),
+    /// A write-ahead-log record failed its integrity check.
+    WalCorruption {
+        /// Sequence number of the corrupt record.
+        lsn: Lsn,
+    },
+    /// A WAL undo walk referenced a pruned (already-retired) record.
+    WalPruned {
+        /// First sequence number still retained.
+        oldest_retained: Lsn,
+        /// The requested, already-pruned sequence number.
+        requested: Lsn,
+    },
+    /// A lock/unlock pairing was violated (e.g. unlock of a lock not held).
+    LockStateViolation {
+        /// The resource whose state was violated.
+        resource: ResourceId,
+        /// Human-readable description of the violation.
+        detail: &'static str,
+    },
+    /// The ordering policy has no registered threads but a turn was requested.
+    NoRunnableThreads,
+    /// A recovery plan was requested for a sub-thread that is not excepted.
+    NotExcepted(SubThreadId),
+}
+
+impl fmt::Display for GprsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GprsError::OutOfOrderInsert { inserted, newest } => write!(
+                f,
+                "sub-thread {inserted} inserted out of order (newest is {newest})"
+            ),
+            GprsError::UnknownSubThread(id) => write!(f, "unknown sub-thread {id}"),
+            GprsError::UnknownThread(id) => write!(f, "unknown thread {id}"),
+            GprsError::DuplicateThread(id) => write!(f, "thread {id} registered twice"),
+            GprsError::RetireIncomplete(id) => {
+                write!(f, "cannot retire incomplete sub-thread {id}")
+            }
+            GprsError::WalCorruption { lsn } => {
+                write!(f, "write-ahead log record {lsn} failed integrity check")
+            }
+            GprsError::WalPruned {
+                oldest_retained,
+                requested,
+            } => write!(
+                f,
+                "write-ahead log record {requested} was pruned (oldest retained is {oldest_retained})"
+            ),
+            GprsError::LockStateViolation { resource, detail } => {
+                write!(f, "lock state violation on {resource}: {detail}")
+            }
+            GprsError::NoRunnableThreads => write!(f, "no runnable threads registered"),
+            GprsError::NotExcepted(id) => {
+                write!(f, "sub-thread {id} is not excepted; no recovery needed")
+            }
+        }
+    }
+}
+
+impl Error for GprsError {}
+
+/// Convenience result alias for core operations.
+pub type Result<T> = std::result::Result<T, GprsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LockId;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = GprsError::OutOfOrderInsert {
+            inserted: SubThreadId::new(3),
+            newest: SubThreadId::new(7),
+        };
+        assert_eq!(
+            e.to_string(),
+            "sub-thread ST3 inserted out of order (newest is ST7)"
+        );
+        let e = GprsError::LockStateViolation {
+            resource: ResourceId::Lock(LockId::new(1)),
+            detail: "unlock without lock",
+        };
+        assert!(e.to_string().contains("L1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<GprsError>();
+    }
+}

@@ -1,0 +1,371 @@
+//! The exception model of `§2.2` and the injector used in `§4`.
+//!
+//! The paper divides exceptions into *local* (handled by one context using
+//! ordinary precise interrupts) and *global* (whose effects may have
+//! propagated to other threads before detection). GPRS exists to recover from
+//! global exceptions; this module defines their descriptions, their sources
+//! ("discretionary exceptions"), the detection-latency model of Figure 2(a),
+//! and a seeded Poisson injector reproducing the paper's signal-thread
+//! emulation ("the thread uses Pthreads signals to periodically signal GPRS
+//! and randomly designate one hardware context as excepted").
+
+use crate::ids::ContextId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Detection latency assumed throughout the paper's evaluation, in cycles.
+///
+/// "We conservatively assumed an exception detection latency of 400,000
+/// cycles (as have others) to amplify the GPRS overheads." (`§4`)
+pub const DEFAULT_DETECTION_LATENCY_CYCLES: u64 = 400_000;
+
+/// The source category of a discretionary exception (`§2.1`–`§2.2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ExceptionKind {
+    /// Transient (soft) hardware fault.
+    SoftFault,
+    /// Voltage emergency from aggressive margin management.
+    VoltageEmergency,
+    /// Thermal emergency.
+    ThermalEmergency,
+    /// An egregious error detected by an approximate-computing QoS framework.
+    ApproximationError,
+    /// A shared/mobile platform revoked resources (EC2 spot, Android kill).
+    ResourceRevocation,
+    /// A dynamic data race detected by a race-detector integration (`§3.5`).
+    DataRace,
+    /// A fault inside the GPRS runtime's own mechanisms (`§3.2`).
+    RuntimeFault,
+    /// Application-defined discretionary exception.
+    Custom(u32),
+}
+
+impl ExceptionKind {
+    /// Whether this kind may corrupt GPRS-internal structures and therefore
+    /// requires write-ahead-log recovery in addition to program-state
+    /// rollback.
+    pub fn affects_runtime(self) -> bool {
+        matches!(self, ExceptionKind::RuntimeFault)
+    }
+}
+
+impl fmt::Display for ExceptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ExceptionKind::SoftFault => "soft fault",
+            ExceptionKind::VoltageEmergency => "voltage emergency",
+            ExceptionKind::ThermalEmergency => "thermal emergency",
+            ExceptionKind::ApproximationError => "approximation error",
+            ExceptionKind::ResourceRevocation => "resource revocation",
+            ExceptionKind::DataRace => "data race",
+            ExceptionKind::RuntimeFault => "runtime fault",
+            ExceptionKind::Custom(tag) => return write!(f, "custom exception #{tag}"),
+        };
+        f.write_str(name)
+    }
+}
+
+/// Scope of an exception's impact (Figure 2(b)–(c)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExceptionScope {
+    /// Impacts only the raising thread (e.g. a page fault); handled with
+    /// ordinary precise interrupts, no global recovery needed.
+    Local,
+    /// May impact multiple threads through inter-thread communication before
+    /// it is reported; requires globally precise recovery.
+    Global,
+}
+
+/// A dynamic exception event attributed to a hardware context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exception {
+    /// Source category.
+    pub kind: ExceptionKind,
+    /// Scope of impact.
+    pub scope: ExceptionScope,
+    /// Context on which the exception occurred.
+    pub victim: ContextId,
+    /// Virtual cycle at which the exception physically occurred.
+    pub raised_at: u64,
+    /// Cycles between occurrence and report (Figure 2(a)).
+    pub detection_latency: u64,
+}
+
+impl Exception {
+    /// Creates a global exception with the paper's default detection latency.
+    ///
+    /// # Examples
+    /// ```
+    /// use gprs_core::exception::{Exception, ExceptionKind};
+    /// use gprs_core::ids::ContextId;
+    /// let e = Exception::global(ExceptionKind::SoftFault, ContextId::new(3), 1_000);
+    /// assert_eq!(e.reported_at(), 1_000 + 400_000);
+    /// ```
+    pub fn global(kind: ExceptionKind, victim: ContextId, raised_at: u64) -> Self {
+        Exception {
+            kind,
+            scope: ExceptionScope::Global,
+            victim,
+            raised_at,
+            detection_latency: DEFAULT_DETECTION_LATENCY_CYCLES,
+        }
+    }
+
+    /// Creates a local exception (no global recovery required).
+    pub fn local(kind: ExceptionKind, victim: ContextId, raised_at: u64) -> Self {
+        Exception {
+            kind,
+            scope: ExceptionScope::Local,
+            victim,
+            raised_at,
+            detection_latency: 0,
+        }
+    }
+
+    /// Sets a non-default detection latency.
+    pub fn with_detection_latency(mut self, cycles: u64) -> Self {
+        self.detection_latency = cycles;
+        self
+    }
+
+    /// The virtual cycle at which the exception becomes visible to REX.
+    pub fn reported_at(&self) -> u64 {
+        self.raised_at.saturating_add(self.detection_latency)
+    }
+
+    /// Whether the report arrives late enough that instruction-precise
+    /// attribution inside the victim sub-thread is impossible and only
+    /// sub-thread-precise restart can be performed (`§3.4`).
+    pub fn is_imprecise(&self) -> bool {
+        self.detection_latency > 0
+    }
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} at cycle {} (reported at {})",
+            self.kind,
+            self.victim,
+            self.raised_at,
+            self.reported_at()
+        )
+    }
+}
+
+/// Configuration for the Poisson exception injector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectorConfig {
+    /// Mean exception rate, events per second (the paper's `e`).
+    pub rate_per_sec: f64,
+    /// Virtual cycles per second; converts the rate into cycle space.
+    pub cycles_per_sec: u64,
+    /// Number of hardware contexts among which victims are drawn.
+    pub contexts: u32,
+    /// Detection latency applied to every injected exception.
+    pub detection_latency: u64,
+    /// Kind stamped on injected exceptions.
+    pub kind: ExceptionKind,
+    /// RNG seed, for reproducible experiments.
+    pub seed: u64,
+}
+
+impl InjectorConfig {
+    /// A configuration matching the paper's setup: the given rate on an
+    /// `n`-context machine, 400 k-cycle detection latency, soft faults.
+    pub fn paper(rate_per_sec: f64, contexts: u32, cycles_per_sec: u64) -> Self {
+        InjectorConfig {
+            rate_per_sec,
+            cycles_per_sec,
+            contexts,
+            detection_latency: DEFAULT_DETECTION_LATENCY_CYCLES,
+            kind: ExceptionKind::SoftFault,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the detection latency.
+    pub fn with_detection_latency(mut self, cycles: u64) -> Self {
+        self.detection_latency = cycles;
+        self
+    }
+}
+
+/// Seeded Poisson process generating [`Exception`]s in virtual time.
+///
+/// Inter-arrival times are exponential with mean `1/rate`; victims are drawn
+/// uniformly from the configured contexts — exactly the paper's emulation,
+/// which "stress-tested GPRS under various exception rates, without
+/// emphasizing the probability distribution of the exceptions".
+#[derive(Debug, Clone)]
+pub struct ExceptionInjector {
+    config: InjectorConfig,
+    rng: SmallRng,
+    next_at: u64,
+}
+
+impl ExceptionInjector {
+    /// Creates an injector and schedules the first arrival after cycle 0.
+    ///
+    /// A rate of `0.0` produces no exceptions ([`Self::next_before`] always
+    /// returns `None`).
+    pub fn new(config: InjectorConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let first = if config.rate_per_sec > 0.0 {
+            exp_sample(&mut rng, config.rate_per_sec, config.cycles_per_sec)
+        } else {
+            u64::MAX
+        };
+        ExceptionInjector {
+            config,
+            rng,
+            next_at: first,
+        }
+    }
+
+    /// The cycle of the next scheduled arrival, if any.
+    pub fn peek_next(&self) -> Option<u64> {
+        (self.next_at != u64::MAX).then_some(self.next_at)
+    }
+
+    /// Returns the next exception raised strictly before `cycle`, advancing
+    /// the process, or `None` if the next arrival is at or after `cycle`.
+    pub fn next_before(&mut self, cycle: u64) -> Option<Exception> {
+        if self.next_at == u64::MAX || self.next_at >= cycle {
+            return None;
+        }
+        let raised_at = self.next_at;
+        let victim = ContextId::new(self.rng.gen_range(0..self.config.contexts.max(1)));
+        let step = exp_sample(
+            &mut self.rng,
+            self.config.rate_per_sec,
+            self.config.cycles_per_sec,
+        );
+        self.next_at = self.next_at.saturating_add(step.max(1));
+        Some(
+            Exception::global(self.config.kind, victim, raised_at)
+                .with_detection_latency(self.config.detection_latency),
+        )
+    }
+
+    /// Drains every exception raised before `cycle`.
+    pub fn drain_before(&mut self, cycle: u64) -> Vec<Exception> {
+        let mut out = Vec::new();
+        while let Some(e) = self.next_before(cycle) {
+            out.push(e);
+        }
+        out
+    }
+
+    /// The injector's configuration.
+    pub fn config(&self) -> &InjectorConfig {
+        &self.config
+    }
+}
+
+/// Draws an exponential inter-arrival time in cycles for the given rate.
+fn exp_sample(rng: &mut SmallRng, rate_per_sec: f64, cycles_per_sec: u64) -> u64 {
+    // Inverse-CDF sampling; clamp the uniform away from 0 to keep ln finite.
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let secs = -u.ln() / rate_per_sec;
+    let cycles = secs * cycles_per_sec as f64;
+    if cycles >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        cycles as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config(rate: f64) -> InjectorConfig {
+        InjectorConfig::paper(rate, 24, 1_000_000_000).with_seed(42)
+    }
+
+    #[test]
+    fn reported_at_adds_latency() {
+        let e = Exception::global(ExceptionKind::SoftFault, ContextId::new(0), 100)
+            .with_detection_latency(50);
+        assert_eq!(e.reported_at(), 150);
+        assert!(e.is_imprecise());
+        let p = e.with_detection_latency(0);
+        assert!(!p.is_imprecise());
+    }
+
+    #[test]
+    fn local_exceptions_have_zero_latency() {
+        let e = Exception::local(ExceptionKind::SoftFault, ContextId::new(1), 7);
+        assert_eq!(e.scope, ExceptionScope::Local);
+        assert_eq!(e.reported_at(), 7);
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let mut inj = ExceptionInjector::new(test_config(0.0));
+        assert_eq!(inj.peek_next(), None);
+        assert!(inj.next_before(u64::MAX - 1).is_none());
+    }
+
+    #[test]
+    fn injector_is_deterministic_for_seed() {
+        let mut a = ExceptionInjector::new(test_config(10.0));
+        let mut b = ExceptionInjector::new(test_config(10.0));
+        let ea = a.drain_before(3_000_000_000);
+        let eb = b.drain_before(3_000_000_000);
+        assert_eq!(ea, eb);
+        assert!(!ea.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ExceptionInjector::new(test_config(10.0));
+        let mut b = ExceptionInjector::new(test_config(10.0).with_seed(43));
+        assert_ne!(a.drain_before(5_000_000_000), b.drain_before(5_000_000_000));
+    }
+
+    #[test]
+    fn mean_rate_is_roughly_honored() {
+        // 100 exceptions/s over 10 virtual seconds => expect ~1000 events.
+        let mut inj = ExceptionInjector::new(test_config(100.0));
+        let horizon = 10 * 1_000_000_000u64;
+        let n = inj.drain_before(horizon).len() as f64;
+        assert!((800.0..1200.0).contains(&n), "got {n} events");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut inj = ExceptionInjector::new(test_config(1000.0));
+        let events = inj.drain_before(1_000_000_000);
+        for w in events.windows(2) {
+            assert!(w[0].raised_at < w[1].raised_at);
+        }
+    }
+
+    #[test]
+    fn victims_cover_multiple_contexts() {
+        let mut inj = ExceptionInjector::new(test_config(1000.0));
+        let victims: std::collections::HashSet<_> = inj
+            .drain_before(1_000_000_000)
+            .into_iter()
+            .map(|e| e.victim)
+            .collect();
+        assert!(victims.len() > 4, "only {} distinct victims", victims.len());
+    }
+
+    #[test]
+    fn runtime_fault_affects_runtime() {
+        assert!(ExceptionKind::RuntimeFault.affects_runtime());
+        assert!(!ExceptionKind::SoftFault.affects_runtime());
+    }
+}

@@ -1,0 +1,183 @@
+//! Identifier newtypes used throughout the GPRS model.
+//!
+//! Every dynamic entity the runtime reasons about — sub-threads, logical
+//! threads, thread groups, hardware contexts, synchronization resources and
+//! write-ahead-log records — is named by a dedicated newtype so that the
+//! different id spaces cannot be confused (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub(crate) $repr);
+
+        impl $name {
+            /// Creates an id from its raw representation.
+            ///
+            /// # Examples
+            /// ```
+            /// # use gprs_core::ids::*;
+            #[doc = concat!("let id = ", stringify!($name), "::new(7);")]
+            /// assert_eq!(id.raw(), 7);
+            /// ```
+            pub const fn new(raw: $repr) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw representation of this id.
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+
+            /// Returns the id following this one in its id space.
+            pub const fn next(self) -> Self {
+                Self(self.0 + 1)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(raw: $repr) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Position of a sub-thread in the deterministic total order.
+    ///
+    /// Sequence numbers are assigned by the order enforcer and are strictly
+    /// increasing; "older" means a numerically smaller id. The reorder list
+    /// ([`crate::rol::ReorderList`]) is indexed by these ids.
+    SubThreadId, u64, "ST"
+);
+id_newtype!(
+    /// A logical program thread (what the paper's programs create with
+    /// `pthread_create`). A thread is divided into many sub-threads.
+    ThreadId, u32, "TH"
+);
+id_newtype!(
+    /// A balance-aware scheduling group (`§3.2`): threads performing the same
+    /// kind of computation — e.g. Pbzip2's read / compress / write stages —
+    /// share a group.
+    GroupId, u32, "G"
+);
+id_newtype!(
+    /// A hardware execution context (core or SMT sibling). Exceptions are
+    /// attributed to the context on which they were detected.
+    ContextId, u32, "CTX"
+);
+id_newtype!(
+    /// A dynamic mutex instance, used as an alias for the shared data it
+    /// protects when computing selective-restart dependence sets.
+    LockId, u64, "L"
+);
+id_newtype!(
+    /// A dynamic atomic variable, used as a dependence alias like [`LockId`].
+    AtomicId, u64, "A"
+);
+id_newtype!(
+    /// A barrier instance.
+    BarrierId, u64, "B"
+);
+id_newtype!(
+    /// A runtime-managed FIFO channel (the lock-protected queues of the
+    /// paper's pipeline programs are expressed as channels here).
+    ChannelId, u64, "CH"
+);
+id_newtype!(
+    /// Write-ahead-log sequence number (ARIES LSN).
+    Lsn, u64, "LSN"
+);
+
+/// A synchronization resource used as a dependence alias (`§3.4`).
+///
+/// The paper tracks "the dynamic identity of any lock(s) the sub-thread may
+/// have acquired or the atomic variable it may have accessed, as an alias for
+/// the shared data the sub-thread accesses". Channels and barriers are
+/// runtime-managed shared structures and participate the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResourceId {
+    /// A mutex alias.
+    Lock(LockId),
+    /// An atomic-variable alias.
+    Atomic(AtomicId),
+    /// A FIFO channel alias.
+    Channel(ChannelId),
+    /// A barrier alias.
+    Barrier(BarrierId),
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceId::Lock(l) => write!(f, "{l}"),
+            ResourceId::Atomic(a) => write!(f, "{a}"),
+            ResourceId::Channel(c) => write!(f, "{c}"),
+            ResourceId::Barrier(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<LockId> for ResourceId {
+    fn from(l: LockId) -> Self {
+        ResourceId::Lock(l)
+    }
+}
+impl From<AtomicId> for ResourceId {
+    fn from(a: AtomicId) -> Self {
+        ResourceId::Atomic(a)
+    }
+}
+impl From<ChannelId> for ResourceId {
+    fn from(c: ChannelId) -> Self {
+        ResourceId::Channel(c)
+    }
+}
+impl From<BarrierId> for ResourceId {
+    fn from(b: BarrierId) -> Self {
+        ResourceId::Barrier(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(SubThreadId::new(1) < SubThreadId::new(2));
+        assert_eq!(SubThreadId::new(1).next(), SubThreadId::new(2));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(SubThreadId::new(3).to_string(), "ST3");
+        assert_eq!(ThreadId::new(0).to_string(), "TH0");
+        assert_eq!(Lsn::new(12).to_string(), "LSN12");
+        assert_eq!(ResourceId::Lock(LockId::new(4)).to_string(), "L4");
+    }
+
+    #[test]
+    fn resource_conversions() {
+        let r: ResourceId = LockId::new(9).into();
+        assert_eq!(r, ResourceId::Lock(LockId::new(9)));
+        let r: ResourceId = ChannelId::new(2).into();
+        assert_eq!(r, ResourceId::Channel(ChannelId::new(2)));
+    }
+
+    #[test]
+    fn raw_round_trips() {
+        for raw in [0u64, 1, u64::MAX / 2] {
+            assert_eq!(SubThreadId::new(raw).raw(), raw);
+        }
+    }
+}

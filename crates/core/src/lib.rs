@@ -1,0 +1,95 @@
+//! Core model for **globally precise-restartable execution** of parallel
+//! programs — a reproduction of Gupta, Sridharan & Sohi, PLDI 2014.
+//!
+//! Modern processors execute a sequential program's instructions in parallel
+//! yet recover from exceptions precisely, because the program order gives
+//! them a consistent state to restore. This crate ports that idea to whole
+//! multiprocessors: a parallel program's computations are divided into
+//! fine-grained, deterministically **ordered sub-threads**; checkpoints are
+//! taken at sub-thread boundaries (where no one can be communicating with the
+//! sub-thread); the runtime's own bookkeeping is protected by a write-ahead
+//! log; and on an exception only the excepting sub-thread and its dependents
+//! are squashed and re-executed (**selective restart**), so exception
+//! tolerance scales with the machine instead of collapsing under frequent
+//! faults like conventional checkpoint-and-recovery.
+//!
+//! This crate holds the execution-model pieces shared by the threaded
+//! runtime (`gprs-runtime`) and the virtual-time simulator (`gprs-sim`):
+//!
+//! * [`subthread`] — sub-thread descriptors and the boundary rules
+//!   (splitting at sync points, subsuming unlocks, flattening nesting).
+//! * [`order`] — deterministic token schedules: round-robin and the paper's
+//!   balance-aware (basic/weighted) schemes, plus the order enforcer.
+//! * [`rol`] — the reorder list: the in-flight window, retirement, status.
+//! * [`history`] — the [`history::Checkpoint`] trait and the history buffer
+//!   of per-sub-thread saved state.
+//! * [`wal`] — the ARIES-inspired write-ahead log for runtime self-recovery.
+//! * [`deps`] — lock/atomic-alias dependence tracking for selective restart.
+//! * [`recovery`] — recovery planning: basic, selective, discard-all,
+//!   instruction- vs sub-thread-precision.
+//! * [`exception`] — the discretionary-exception model and Poisson injector.
+//! * [`model`] — the closed-form penalty/tipping-rate analysis of §2.3–§2.4.
+//!
+//! # Quick example
+//!
+//! Plan a selective restart after an exception strikes one of three
+//! in-flight sub-threads:
+//!
+//! ```
+//! use gprs_core::prelude::*;
+//!
+//! let mut rol = ReorderList::new();
+//! for (seq, thread, lock) in [(0, 0, 1), (1, 1, 1), (2, 2, 9)] {
+//!     rol.insert(SubThread::new(
+//!         SubThreadId::new(seq), ThreadId::new(thread), GroupId::new(0),
+//!         SubThreadKind::CriticalSection,
+//!         Some(SyncOp::LockAcquire(LockId::new(lock))),
+//!     ))?;
+//! }
+//! // A soft fault hits the context running ST0.
+//! rol.mark_excepted(SubThreadId::new(0),
+//!     Exception::global(ExceptionKind::SoftFault, ContextId::new(0), 0))?;
+//! let plan = plan_recovery(&rol, SubThreadId::new(0),
+//!     RecoveryMode::Selective(DependencePolicy::Transitive),
+//!     Precision::SubThread)?;
+//! // ST1 shares lock L1 with the culprit and is squashed with it;
+//! // ST2 (lock L9) keeps running.
+//! assert_eq!(plan.discarded(), 2);
+//! assert_eq!(plan.unaffected, 1);
+//! # Ok::<(), gprs_core::error::GprsError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod deps;
+pub mod error;
+pub mod exception;
+pub mod history;
+pub mod ids;
+pub mod model;
+pub mod order;
+pub mod recovery;
+pub mod rol;
+pub mod subthread;
+pub mod wal;
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::deps::{affected_set, DependencePolicy};
+    pub use crate::error::{GprsError, Result};
+    pub use crate::exception::{
+        Exception, ExceptionInjector, ExceptionKind, ExceptionScope, InjectorConfig,
+    };
+    pub use crate::history::{Checkpoint, HistoryBuffer};
+    pub use crate::ids::{
+        AtomicId, BarrierId, ChannelId, ContextId, GroupId, LockId, Lsn, ResourceId, SubThreadId,
+        ThreadId,
+    };
+    pub use crate::model::{CostParams, Scheme};
+    pub use crate::order::{BalanceAware, OrderEnforcer, OrderingPolicy, RoundRobin, ScheduleKind};
+    pub use crate::recovery::{plan_recovery, Precision, RecoveryMode, RecoveryPlan};
+    pub use crate::rol::{ReorderList, RolEntry, SubThreadStatus};
+    pub use crate::subthread::{Boundary, SubThread, SubThreadGenerator, SubThreadKind, SyncOp};
+    pub use crate::wal::{WalRecord, WriteAheadLog};
+}

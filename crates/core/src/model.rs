@@ -1,0 +1,292 @@
+//! The analytic cost model of `§2.3`–`§2.4`.
+//!
+//! The paper derives closed-form penalties for checkpointing and restart and
+//! uses them to predict when a program stops making progress ("tipping").
+//! All quantities are rates of *lost parallelism*: a penalty of `P` means `P`
+//! context-seconds of work are lost per second of execution; the system has
+//! `n` context-seconds available per second, so a scheme can only sustain an
+//! exception rate whose restart penalty stays below `n`.
+//!
+//! | scheme | checkpoint penalty `P_c` | restart penalty `P_r` | tolerance |
+//! |---|---|---|---|
+//! | software CPR | `n(t_c + t_s)/t` | `n·e·t_r` | `e ≤ 1/t_r` |
+//! | hardware CPR | `n_c(t_c + (n/n_c)t_s)/t` | `n_c·e·t_r` | `e ≤ (n/n_c)/t_r` |
+//! | GPRS | `n·t_s/t` (+ ordering `n·t_g/t`) | `e·t_r` | `e ≤ n/t_r` |
+//!
+//! with `t` the checkpoint interval (average sub-thread size for GPRS),
+//! `t_c` the barrier coordination time, `t_s` the state-recording time,
+//! `t_g` the ordering/ROL-management delay, `t_w` the state-restore wait and
+//! `t_r = t + t_w` the restart delay.
+
+use std::fmt;
+
+/// The recovery scheme being modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Conventional software coordinated checkpoint-and-recovery (two global
+    /// barriers per checkpoint).
+    CprSoftware,
+    /// Hardware CPR involving only the `n_c` communicating threads
+    /// (Rebound/ReVive-style).
+    CprHardware,
+    /// GPRS with selective restart.
+    Gprs,
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::CprSoftware => f.write_str("P-CPR"),
+            Scheme::CprHardware => f.write_str("HW-CPR"),
+            Scheme::Gprs => f.write_str("GPRS"),
+        }
+    }
+}
+
+/// System and mechanism parameters (all times in seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Number of hardware contexts, `n`.
+    pub contexts: u32,
+    /// Checkpoint interval `t`; for GPRS, the average sub-thread size.
+    pub interval: f64,
+    /// Barrier coordination time per checkpoint, `t_c`.
+    pub coord_time: f64,
+    /// State-recording time per checkpoint, `t_s`.
+    pub record_time: f64,
+    /// GPRS ordering + ROL management delay per sub-thread, `t_g`.
+    pub order_delay: f64,
+    /// State-restore wait on restart, `t_w`.
+    pub restore_wait: f64,
+    /// Number of communicating threads per interval, `n_c` (hardware CPR).
+    pub communicating: u32,
+}
+
+impl CostParams {
+    /// Parameters in the regime the paper's evaluation explores: 24 contexts,
+    /// ~50 ms computations, coordination an order of magnitude above
+    /// recording, ordering delay an order below recording.
+    pub fn paper_default() -> Self {
+        CostParams {
+            contexts: 24,
+            interval: 0.05,
+            coord_time: 2e-3,
+            record_time: 4e-4,
+            order_delay: 1e-4,
+            restore_wait: 1e-3,
+            communicating: 8,
+        }
+    }
+
+    /// Returns a copy with a different context count.
+    pub fn with_contexts(mut self, n: u32) -> Self {
+        self.contexts = n;
+        self
+    }
+
+    /// Returns a copy with a different checkpoint interval / sub-thread size.
+    pub fn with_interval(mut self, t: f64) -> Self {
+        self.interval = t;
+        self
+    }
+
+    /// Restart delay `t_r = t + t_w`: the work lost since the last
+    /// checkpoint plus the wait to reinstate state.
+    pub fn restart_delay(&self) -> f64 {
+        self.interval + self.restore_wait
+    }
+
+    /// Checkpoint penalty `P_c` of the given scheme, in lost
+    /// context-seconds per second.
+    pub fn checkpoint_penalty(&self, scheme: Scheme) -> f64 {
+        let n = f64::from(self.contexts);
+        let nc = f64::from(self.communicating.min(self.contexts).max(1));
+        match scheme {
+            Scheme::CprSoftware => n * (self.coord_time + self.record_time) / self.interval,
+            Scheme::CprHardware => {
+                nc * (self.coord_time + (n / nc) * self.record_time) / self.interval
+            }
+            Scheme::Gprs => n * self.record_time / self.interval,
+        }
+    }
+
+    /// GPRS's additional ordering penalty `P_g = n·t_g/t`.
+    pub fn ordering_penalty(&self) -> f64 {
+        f64::from(self.contexts) * self.order_delay / self.interval
+    }
+
+    /// Restart penalty `P_r` at exception rate `e` (exceptions/sec), in lost
+    /// context-seconds per second.
+    pub fn restart_penalty(&self, scheme: Scheme, rate: f64) -> f64 {
+        let tr = self.restart_delay();
+        let n = f64::from(self.contexts);
+        let nc = f64::from(self.communicating.min(self.contexts).max(1));
+        match scheme {
+            Scheme::CprSoftware => n * rate * tr,
+            Scheme::CprHardware => nc * rate * tr,
+            Scheme::Gprs => rate * tr,
+        }
+    }
+
+    /// Maximum sustainable exception rate (the *tipping rate* bound):
+    /// the rate at which the restart penalty consumes all `n` contexts.
+    pub fn max_exception_rate(&self, scheme: Scheme) -> f64 {
+        let tr = self.restart_delay();
+        let n = f64::from(self.contexts);
+        let nc = f64::from(self.communicating.min(self.contexts).max(1));
+        match scheme {
+            Scheme::CprSoftware => 1.0 / tr,
+            Scheme::CprHardware => (n / nc) / tr,
+            Scheme::Gprs => n / tr,
+        }
+    }
+
+    /// Whether a program can complete under exception rate `e`.
+    pub fn completes(&self, scheme: Scheme, rate: f64) -> bool {
+        rate <= self.max_exception_rate(scheme)
+    }
+
+    /// Predicted slowdown factor relative to exception-free, penalty-free
+    /// execution: `1 / (1 - (P_c + P_g + P_r)/n)`, or `+∞` past tipping.
+    ///
+    /// This is the first-order utilization argument of `§2.3`: penalties
+    /// consume a fraction of the machine's `n` context-seconds per second,
+    /// and the remaining fraction does useful work.
+    pub fn predicted_slowdown(&self, scheme: Scheme, rate: f64) -> f64 {
+        let n = f64::from(self.contexts);
+        let order = if scheme == Scheme::Gprs {
+            self.ordering_penalty()
+        } else {
+            0.0
+        };
+        let total = self.checkpoint_penalty(scheme) + order + self.restart_penalty(scheme, rate);
+        let available = 1.0 - total / n;
+        if available <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / available
+        }
+    }
+
+    /// GPRS's tolerance advantage over software CPR: `n×` (`§2.4`).
+    pub fn gprs_tolerance_factor(&self) -> f64 {
+        self.max_exception_rate(Scheme::Gprs) / self.max_exception_rate(Scheme::CprSoftware)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CostParams {
+        CostParams::paper_default()
+    }
+
+    #[test]
+    fn restart_delay_sums_interval_and_wait() {
+        let params = p();
+        assert!((params.restart_delay() - 0.051).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoint_penalty_formulas_match_paper() {
+        let params = p();
+        let n = 24.0;
+        // P_c(CPR) = n(tc+ts)/t
+        let expected = n * (2e-3 + 4e-4) / 0.05;
+        assert!((params.checkpoint_penalty(Scheme::CprSoftware) - expected).abs() < 1e-9);
+        // P_c(GPRS) = n·ts/t — no coordination term.
+        let expected = n * 4e-4 / 0.05;
+        assert!((params.checkpoint_penalty(Scheme::Gprs) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gprs_checkpointing_is_cheaper_than_cpr() {
+        let params = p();
+        assert!(
+            params.checkpoint_penalty(Scheme::Gprs) + params.ordering_penalty()
+                < params.checkpoint_penalty(Scheme::CprSoftware)
+        );
+    }
+
+    #[test]
+    fn hardware_cpr_sits_between() {
+        let params = p();
+        let sw = params.checkpoint_penalty(Scheme::CprSoftware);
+        let hw = params.checkpoint_penalty(Scheme::CprHardware);
+        let gprs = params.checkpoint_penalty(Scheme::Gprs);
+        assert!(hw < sw);
+        assert!(gprs < hw);
+    }
+
+    #[test]
+    fn tipping_rates_scale_as_claimed() {
+        let params = p();
+        let tr = params.restart_delay();
+        assert!((params.max_exception_rate(Scheme::CprSoftware) - 1.0 / tr).abs() < 1e-9);
+        assert!((params.max_exception_rate(Scheme::Gprs) - 24.0 / tr).abs() < 1e-9);
+        assert!((params.gprs_tolerance_factor() - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpr_tipping_is_flat_in_contexts_gprs_scales() {
+        let base = p();
+        let cpr1 = base.with_contexts(1).max_exception_rate(Scheme::CprSoftware);
+        let cpr24 = base.with_contexts(24).max_exception_rate(Scheme::CprSoftware);
+        assert!((cpr1 - cpr24).abs() < 1e-12, "CPR tipping must not scale");
+        let g1 = base.with_contexts(1).max_exception_rate(Scheme::Gprs);
+        let g24 = base.with_contexts(24).max_exception_rate(Scheme::Gprs);
+        assert!((g24 / g1 - 24.0).abs() < 1e-9, "GPRS tipping scales with n");
+        // At n = 1 the two schemes coincide (Figure 11(c), first row).
+        assert!((g1 - cpr1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_grows_with_rate_and_diverges_at_tipping() {
+        let params = p();
+        let s0 = params.predicted_slowdown(Scheme::Gprs, 0.0);
+        let s5 = params.predicted_slowdown(Scheme::Gprs, 5.0);
+        assert!(s0 >= 1.0);
+        assert!(s5 > s0);
+        let past = params.max_exception_rate(Scheme::CprSoftware) * 30.0;
+        assert!(params
+            .predicted_slowdown(Scheme::CprSoftware, past)
+            .is_infinite());
+    }
+
+    #[test]
+    fn completes_matches_bound() {
+        let params = p();
+        let limit = params.max_exception_rate(Scheme::CprSoftware);
+        assert!(params.completes(Scheme::CprSoftware, limit * 0.99));
+        assert!(!params.completes(Scheme::CprSoftware, limit * 1.01));
+        assert!(params.completes(Scheme::Gprs, limit * 1.01));
+    }
+
+    #[test]
+    fn smaller_subthreads_cut_restart_but_raise_checkpoint_cost() {
+        let coarse = p().with_interval(0.1);
+        let fine = p().with_interval(0.01);
+        assert!(
+            fine.restart_penalty(Scheme::Gprs, 1.0) < coarse.restart_penalty(Scheme::Gprs, 1.0)
+        );
+        assert!(
+            fine.checkpoint_penalty(Scheme::Gprs) > coarse.checkpoint_penalty(Scheme::Gprs)
+        );
+    }
+
+    #[test]
+    fn communicating_is_clamped() {
+        let mut params = p();
+        params.communicating = 100; // > contexts
+        let hw = params.max_exception_rate(Scheme::CprHardware);
+        let sw = params.max_exception_rate(Scheme::CprSoftware);
+        assert!((hw - sw).abs() < 1e-12); // nc clamps to n
+    }
+
+    #[test]
+    fn scheme_displays() {
+        assert_eq!(Scheme::CprSoftware.to_string(), "P-CPR");
+        assert_eq!(Scheme::Gprs.to_string(), "GPRS");
+    }
+}

@@ -1,0 +1,600 @@
+//! Deterministic ordering schedules (`§3.2`, "Ordering Sub-threads").
+//!
+//! GPRS imparts a total order to sub-threads by passing a conceptual token
+//! between threads at synchronization points. A thread may only perform the
+//! synchronization operation that opens its next sub-thread when it holds the
+//! token. Three schedules are implemented:
+//!
+//! * [`RoundRobin`] — the naive global token of DTHREADS/Kendo-style systems.
+//!   Deterministic but oblivious to the program's parallelism pattern; it
+//!   serializes producer/consumer pipelines such as Pbzip2 (Figure 7(a)).
+//! * [`BalanceAware`] with unit weights — the paper's *basic* balance-aware
+//!   scheme: round-robin across thread groups, round-robin within a group
+//!   (Figure 7(b)).
+//! * [`BalanceAware`] with per-group weights — the *weighted* scheme: a group
+//!   with weight `w` receives `w` consecutive turns (Pbzip2's read stage is
+//!   weighted 4:4:1 against compress and write in `§4`).
+
+use crate::error::{GprsError, Result};
+use crate::ids::{GroupId, SubThreadId, ThreadId};
+use std::fmt;
+
+/// A deterministic token-passing schedule over live threads.
+///
+/// Implementations must be fully deterministic: the holder sequence may
+/// depend only on the sequence of `register_thread` / `deregister_thread` /
+/// `advance` calls, never on timing.
+pub trait OrderingPolicy: Send + fmt::Debug {
+    /// Adds a thread at its deterministic position. Registration order is the
+    /// program's fork order, which is itself deterministic under GPRS.
+    ///
+    /// # Errors
+    /// Returns [`GprsError::DuplicateThread`] if the thread is already
+    /// registered.
+    fn register_thread(&mut self, thread: ThreadId, group: GroupId, weight: u32) -> Result<()>;
+
+    /// Removes an exited thread from the rotation.
+    ///
+    /// # Errors
+    /// Returns [`GprsError::UnknownThread`] if the thread is not registered.
+    fn deregister_thread(&mut self, thread: ThreadId) -> Result<()>;
+
+    /// The thread currently holding the token, or `None` when no threads are
+    /// registered.
+    fn holder(&self) -> Option<ThreadId>;
+
+    /// Passes the token to the next thread in the schedule.
+    fn advance(&mut self);
+
+    /// Number of registered threads.
+    fn len(&self) -> usize;
+
+    /// Whether no threads are registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short name used in experiment output ("R" / "B" / "W" in Figure 8's
+    /// legend).
+    fn name(&self) -> &'static str;
+}
+
+/// The naive global round-robin token (Figure 5(c) / Figure 7(a)).
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    threads: Vec<ThreadId>,
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl OrderingPolicy for RoundRobin {
+    fn register_thread(&mut self, thread: ThreadId, _group: GroupId, _weight: u32) -> Result<()> {
+        if self.threads.contains(&thread) {
+            return Err(GprsError::DuplicateThread(thread));
+        }
+        self.threads.push(thread);
+        Ok(())
+    }
+
+    fn deregister_thread(&mut self, thread: ThreadId) -> Result<()> {
+        let ix = self
+            .threads
+            .iter()
+            .position(|&t| t == thread)
+            .ok_or(GprsError::UnknownThread(thread))?;
+        self.threads.remove(ix);
+        if self.threads.is_empty() {
+            self.cursor = 0;
+            return Ok(());
+        }
+        // Keep pointing at the same logical successor: a removal before the
+        // cursor shifts it left; a removal at the cursor leaves it on the
+        // next element; wrap at the end.
+        if ix < self.cursor {
+            self.cursor -= 1;
+        }
+        self.cursor %= self.threads.len();
+        Ok(())
+    }
+
+    fn holder(&self) -> Option<ThreadId> {
+        self.threads.get(self.cursor).copied()
+    }
+
+    fn advance(&mut self) {
+        if !self.threads.is_empty() {
+            self.cursor = (self.cursor + 1) % self.threads.len();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Group {
+    id: GroupId,
+    weight: u32,
+    members: Vec<ThreadId>,
+    member_cursor: usize,
+}
+
+/// The balance-aware schedule: hierarchical token passing that respects the
+/// program's parallelism pattern (`§3.2`).
+///
+/// Threads within a group rotate round-robin; across groups the token rotates
+/// round-robin, and a group with weight `w` receives `w` consecutive turns
+/// before the token moves on. With all weights 1 this is the paper's *basic*
+/// scheme; otherwise it is the *weighted* scheme.
+///
+/// # Examples
+///
+/// The Pbzip2 pattern from Figure 7(b) — one reader in group 0, two
+/// compressors in group 1; the reader gets every other turn instead of one
+/// turn in three:
+/// ```
+/// use gprs_core::order::{BalanceAware, OrderingPolicy};
+/// use gprs_core::ids::{GroupId, ThreadId};
+/// let mut s = BalanceAware::new();
+/// s.register_thread(ThreadId::new(0), GroupId::new(0), 1).unwrap();
+/// s.register_thread(ThreadId::new(1), GroupId::new(1), 1).unwrap();
+/// s.register_thread(ThreadId::new(2), GroupId::new(1), 1).unwrap();
+/// let mut seq = Vec::new();
+/// for _ in 0..6 {
+///     seq.push(s.holder().unwrap().raw());
+///     s.advance();
+/// }
+/// assert_eq!(seq, [0, 1, 0, 2, 0, 1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BalanceAware {
+    groups: Vec<Group>,
+    group_cursor: usize,
+    /// Turns already consumed by the current group in this visit.
+    turns_in_group: u32,
+}
+
+impl BalanceAware {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn current_group(&self) -> Option<&Group> {
+        self.groups.get(self.group_cursor)
+    }
+}
+
+impl OrderingPolicy for BalanceAware {
+    fn register_thread(&mut self, thread: ThreadId, group: GroupId, weight: u32) -> Result<()> {
+        if self
+            .groups
+            .iter()
+            .any(|g| g.members.contains(&thread))
+        {
+            return Err(GprsError::DuplicateThread(thread));
+        }
+        match self.groups.iter_mut().find(|g| g.id == group) {
+            Some(g) => {
+                g.members.push(thread);
+                // The group's weight is a property of the group; the last
+                // registration wins, matching the extended-API semantics.
+                g.weight = weight.max(1);
+            }
+            None => self.groups.push(Group {
+                id: group,
+                weight: weight.max(1),
+                members: vec![thread],
+                member_cursor: 0,
+            }),
+        }
+        Ok(())
+    }
+
+    fn deregister_thread(&mut self, thread: ThreadId) -> Result<()> {
+        let gix = self
+            .groups
+            .iter()
+            .position(|g| g.members.contains(&thread))
+            .ok_or(GprsError::UnknownThread(thread))?;
+        let remove_group = {
+            let g = &mut self.groups[gix];
+            let mix = g.members.iter().position(|&t| t == thread).expect("present");
+            g.members.remove(mix);
+            if !g.members.is_empty() {
+                if mix < g.member_cursor || g.member_cursor >= g.members.len() {
+                    g.member_cursor %= g.members.len();
+                }
+                false
+            } else {
+                true
+            }
+        };
+        if remove_group {
+            self.groups.remove(gix);
+            if self.groups.is_empty() {
+                self.group_cursor = 0;
+            } else {
+                if gix < self.group_cursor {
+                    self.group_cursor -= 1;
+                }
+                self.group_cursor %= self.groups.len();
+            }
+            if gix == self.group_cursor {
+                self.turns_in_group = 0;
+            }
+        }
+        Ok(())
+    }
+
+    fn holder(&self) -> Option<ThreadId> {
+        let g = self.current_group()?;
+        g.members.get(g.member_cursor).copied()
+    }
+
+    fn advance(&mut self) {
+        if self.groups.is_empty() {
+            return;
+        }
+        let (weight, members) = {
+            let g = &self.groups[self.group_cursor];
+            (g.weight, g.members.len())
+        };
+        {
+            let g = &mut self.groups[self.group_cursor];
+            g.member_cursor = (g.member_cursor + 1) % members.max(1);
+        }
+        self.turns_in_group += 1;
+        if self.turns_in_group >= weight {
+            self.turns_in_group = 0;
+            self.group_cursor = (self.group_cursor + 1) % self.groups.len();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.groups.iter().map(|g| g.members.len()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "balance-aware"
+    }
+}
+
+/// Which schedule an experiment uses (the Figure 8 legend's `R`/`B` axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// Naive global round-robin.
+    RoundRobin,
+    /// Balance-aware with unit weights.
+    BalanceBasic,
+    /// Balance-aware honoring per-group weights.
+    BalanceWeighted,
+}
+
+impl ScheduleKind {
+    /// Instantiates the corresponding policy.
+    ///
+    /// For [`ScheduleKind::BalanceBasic`], group weights passed at
+    /// registration are clamped to 1 so that the basic scheme ignores them.
+    pub fn build(self) -> Box<dyn OrderingPolicy> {
+        match self {
+            ScheduleKind::RoundRobin => Box::new(RoundRobin::new()),
+            ScheduleKind::BalanceBasic => Box::new(UnitWeights(BalanceAware::new())),
+            ScheduleKind::BalanceWeighted => Box::new(BalanceAware::new()),
+        }
+    }
+
+    /// One-letter tag used in experiment output (Figure 8 legend).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ScheduleKind::RoundRobin => "R",
+            ScheduleKind::BalanceBasic => "B",
+            ScheduleKind::BalanceWeighted => "W",
+        }
+    }
+}
+
+impl fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleKind::RoundRobin => f.write_str("round-robin"),
+            ScheduleKind::BalanceBasic => f.write_str("balance-aware (basic)"),
+            ScheduleKind::BalanceWeighted => f.write_str("balance-aware (weighted)"),
+        }
+    }
+}
+
+/// Wrapper that forces unit weights (the basic balance-aware scheme).
+#[derive(Debug, Default)]
+struct UnitWeights(BalanceAware);
+
+impl OrderingPolicy for UnitWeights {
+    fn register_thread(&mut self, thread: ThreadId, group: GroupId, _weight: u32) -> Result<()> {
+        self.0.register_thread(thread, group, 1)
+    }
+    fn deregister_thread(&mut self, thread: ThreadId) -> Result<()> {
+        self.0.deregister_thread(thread)
+    }
+    fn holder(&self) -> Option<ThreadId> {
+        self.0.holder()
+    }
+    fn advance(&mut self) {
+        self.0.advance()
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn name(&self) -> &'static str {
+        "balance-aware-basic"
+    }
+}
+
+/// Combines a schedule with total-order sequence assignment.
+///
+/// The enforcer is the core of the DEX's order enforcer block (Figure 4): a
+/// thread that has reached its next synchronization point asks for a grant;
+/// the grant succeeds only while the thread holds the token, and consuming it
+/// assigns the next [`SubThreadId`] in the global total order and passes the
+/// token on.
+#[derive(Debug)]
+pub struct OrderEnforcer {
+    policy: Box<dyn OrderingPolicy>,
+    next_seq: SubThreadId,
+    grants: u64,
+}
+
+impl OrderEnforcer {
+    /// Creates an enforcer over the given schedule; sequence numbers start
+    /// at 0.
+    pub fn new(policy: Box<dyn OrderingPolicy>) -> Self {
+        OrderEnforcer {
+            policy,
+            next_seq: SubThreadId::new(0),
+            grants: 0,
+        }
+    }
+
+    /// Convenience constructor from a [`ScheduleKind`].
+    pub fn with_schedule(kind: ScheduleKind) -> Self {
+        Self::new(kind.build())
+    }
+
+    /// Registers a thread (fork order = deterministic order).
+    ///
+    /// # Errors
+    /// Propagates [`GprsError::DuplicateThread`].
+    pub fn register_thread(
+        &mut self,
+        thread: ThreadId,
+        group: GroupId,
+        weight: u32,
+    ) -> Result<()> {
+        self.policy.register_thread(thread, group, weight)
+    }
+
+    /// Deregisters an exited thread.
+    ///
+    /// # Errors
+    /// Propagates [`GprsError::UnknownThread`].
+    pub fn deregister_thread(&mut self, thread: ThreadId) -> Result<()> {
+        self.policy.deregister_thread(thread)
+    }
+
+    /// The thread whose turn it currently is.
+    pub fn holder(&self) -> Option<ThreadId> {
+        self.policy.holder()
+    }
+
+    /// Attempts to consume the current turn on behalf of `thread`.
+    ///
+    /// Returns the assigned position in the total order if `thread` holds
+    /// the token, `None` otherwise (the caller must wait — this wait is the
+    /// ordering delay `t_g` of `§2.4`).
+    pub fn try_grant(&mut self, thread: ThreadId) -> Option<SubThreadId> {
+        if self.policy.holder() == Some(thread) {
+            let id = self.next_seq;
+            self.next_seq = self.next_seq.next();
+            self.grants += 1;
+            self.policy.advance();
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Consumes the current turn without assigning a sub-thread — used when
+    /// the holder polls a condition (empty FIFO) and must "pass the token"
+    /// (Figure 7's empty-FIFO turns).
+    pub fn pass_turn(&mut self, thread: ThreadId) -> bool {
+        if self.policy.holder() == Some(thread) {
+            self.policy.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sequence number that will be assigned to the next grant.
+    pub fn next_sequence(&self) -> SubThreadId {
+        self.next_seq
+    }
+
+    /// Total grants issued.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Number of live threads.
+    pub fn live_threads(&self) -> usize {
+        self.policy.len()
+    }
+
+    /// The underlying schedule's name.
+    pub fn schedule_name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn th(n: u32) -> ThreadId {
+        ThreadId::new(n)
+    }
+    fn grp(n: u32) -> GroupId {
+        GroupId::new(n)
+    }
+
+    fn holder_sequence<P: OrderingPolicy>(p: &mut P, n: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(p.holder().unwrap().raw());
+            p.advance();
+        }
+        out
+    }
+
+    #[test]
+    fn round_robin_rotates_in_registration_order() {
+        let mut rr = RoundRobin::new();
+        for i in 0..3 {
+            rr.register_thread(th(i), grp(0), 1).unwrap();
+        }
+        assert_eq!(holder_sequence(&mut rr, 7), [0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn round_robin_rejects_duplicates_and_unknowns() {
+        let mut rr = RoundRobin::new();
+        rr.register_thread(th(0), grp(0), 1).unwrap();
+        assert_eq!(
+            rr.register_thread(th(0), grp(0), 1),
+            Err(GprsError::DuplicateThread(th(0)))
+        );
+        assert_eq!(
+            rr.deregister_thread(th(9)),
+            Err(GprsError::UnknownThread(th(9)))
+        );
+    }
+
+    #[test]
+    fn round_robin_deregister_keeps_rotation_consistent() {
+        let mut rr = RoundRobin::new();
+        for i in 0..4 {
+            rr.register_thread(th(i), grp(0), 1).unwrap();
+        }
+        rr.advance(); // holder now TH1
+        rr.deregister_thread(th(1)).unwrap();
+        // TH1 gone: rotation continues over remaining threads without skew.
+        let seq = holder_sequence(&mut rr, 6);
+        assert_eq!(seq, [2, 3, 0, 2, 3, 0]);
+    }
+
+    #[test]
+    fn round_robin_empty_has_no_holder() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.holder(), None);
+        rr.advance(); // must not panic
+        assert!(rr.is_empty());
+    }
+
+    #[test]
+    fn balance_aware_basic_matches_figure7b() {
+        // Pbzip2: TH0 = read (group 0), TH1/TH2 = compress (group 1).
+        let mut s = BalanceAware::new();
+        s.register_thread(th(0), grp(0), 1).unwrap();
+        s.register_thread(th(1), grp(1), 1).unwrap();
+        s.register_thread(th(2), grp(1), 1).unwrap();
+        // Reader gets every other turn; compressors alternate.
+        assert_eq!(holder_sequence(&mut s, 8), [0, 1, 0, 2, 0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn balance_aware_weighted_gives_extra_turns() {
+        // Reader weighted 2: two reader turns per compressor turn.
+        let mut s = BalanceAware::new();
+        s.register_thread(th(0), grp(0), 2).unwrap();
+        s.register_thread(th(1), grp(1), 1).unwrap();
+        s.register_thread(th(2), grp(1), 1).unwrap();
+        assert_eq!(holder_sequence(&mut s, 9), [0, 0, 1, 0, 0, 2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn balance_aware_single_group_degenerates_to_round_robin() {
+        let mut s = BalanceAware::new();
+        for i in 0..3 {
+            s.register_thread(th(i), grp(0), 1).unwrap();
+        }
+        assert_eq!(holder_sequence(&mut s, 6), [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn balance_aware_deregister_last_member_removes_group() {
+        let mut s = BalanceAware::new();
+        s.register_thread(th(0), grp(0), 1).unwrap();
+        s.register_thread(th(1), grp(1), 1).unwrap();
+        s.deregister_thread(th(0)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(holder_sequence(&mut s, 3), [1, 1, 1]);
+    }
+
+    #[test]
+    fn basic_scheme_ignores_weights() {
+        let mut s = ScheduleKind::BalanceBasic.build();
+        s.register_thread(th(0), grp(0), 4).unwrap();
+        s.register_thread(th(1), grp(1), 1).unwrap();
+        let mut seq = Vec::new();
+        for _ in 0..4 {
+            seq.push(s.holder().unwrap().raw());
+            s.advance();
+        }
+        assert_eq!(seq, [0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn enforcer_assigns_contiguous_total_order() {
+        let mut e = OrderEnforcer::with_schedule(ScheduleKind::RoundRobin);
+        e.register_thread(th(0), grp(0), 1).unwrap();
+        e.register_thread(th(1), grp(0), 1).unwrap();
+        assert_eq!(e.try_grant(th(1)), None); // not TH1's turn
+        assert_eq!(e.try_grant(th(0)), Some(SubThreadId::new(0)));
+        assert_eq!(e.try_grant(th(0)), None);
+        assert_eq!(e.try_grant(th(1)), Some(SubThreadId::new(1)));
+        assert_eq!(e.next_sequence(), SubThreadId::new(2));
+        assert_eq!(e.grants(), 2);
+    }
+
+    #[test]
+    fn enforcer_pass_turn_skips_without_sequence() {
+        let mut e = OrderEnforcer::with_schedule(ScheduleKind::RoundRobin);
+        e.register_thread(th(0), grp(0), 1).unwrap();
+        e.register_thread(th(1), grp(0), 1).unwrap();
+        assert!(!e.pass_turn(th(1)));
+        assert!(e.pass_turn(th(0))); // empty-FIFO poll: no sub-thread created
+        assert_eq!(e.next_sequence(), SubThreadId::new(0));
+        assert_eq!(e.try_grant(th(1)), Some(SubThreadId::new(0)));
+    }
+
+    #[test]
+    fn schedule_kind_builds_named_policies() {
+        assert_eq!(ScheduleKind::RoundRobin.build().name(), "round-robin");
+        assert_eq!(
+            ScheduleKind::BalanceBasic.build().name(),
+            "balance-aware-basic"
+        );
+        assert_eq!(ScheduleKind::BalanceWeighted.build().name(), "balance-aware");
+        assert_eq!(ScheduleKind::RoundRobin.tag(), "R");
+    }
+}

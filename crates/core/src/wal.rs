@@ -1,0 +1,288 @@
+//! The write-ahead log protecting GPRS's *own* state (`§3.2`, "Managing the
+//! Runtime State"; inspired by ARIES).
+//!
+//! The runtime's work queues, lock queues, allocator lists and the ROL itself
+//! are mutated at very fine granularity; checkpointing them would re-create
+//! the very problem GPRS solves. Instead, each runtime operation — performed
+//! on behalf of some sub-thread and therefore carrying that sub-thread's
+//! order — is logged with enough information to undo it. Recovery walks the
+//! log in reverse and undoes the operations performed for squashed
+//! sub-threads; retirement prunes the log to keep it bounded.
+//!
+//! The log is generic over the operation payload: the threaded runtime and
+//! the simulator define their own operation vocabularies.
+
+use crate::error::{GprsError, Result};
+use crate::ids::{Lsn, SubThreadId};
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+
+/// One log record: an operation performed on behalf of a sub-thread.
+#[derive(Debug, Clone)]
+pub struct WalRecord<Op> {
+    /// Log sequence number (append order).
+    pub lsn: Lsn,
+    /// The sub-thread whose execution caused the operation; squashing it
+    /// requires undoing this record.
+    pub subthread: SubThreadId,
+    /// The logged operation (must describe its own undo).
+    pub op: Op,
+    checksum: u64,
+}
+
+impl<Op: Debug> WalRecord<Op> {
+    fn checksum_of(lsn: Lsn, subthread: SubThreadId, op: &Op) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        lsn.raw().hash(&mut h);
+        subthread.raw().hash(&mut h);
+        format!("{op:?}").hash(&mut h);
+        h.finish()
+    }
+
+    /// Whether the record's integrity check passes.
+    pub fn is_intact(&self) -> bool {
+        Self::checksum_of(self.lsn, self.subthread, &self.op) == self.checksum
+    }
+}
+
+/// An append-only, prunable write-ahead log on emulated stable storage.
+///
+/// # Examples
+/// ```
+/// use gprs_core::wal::WriteAheadLog;
+/// use gprs_core::ids::SubThreadId;
+///
+/// #[derive(Debug, Clone, PartialEq)]
+/// enum Op { Enqueue(u32), Dequeue(u32) }
+///
+/// let mut wal = WriteAheadLog::new();
+/// wal.append(SubThreadId::new(0), Op::Enqueue(7));
+/// wal.append(SubThreadId::new(1), Op::Dequeue(7));
+/// // Squash ST1: its operations come back newest-first for undoing.
+/// let mut squashed = std::collections::BTreeSet::new();
+/// squashed.insert(SubThreadId::new(1));
+/// let undo: Vec<_> = wal.undo_records(&squashed).map(|r| r.op.clone()).collect();
+/// assert_eq!(undo, [Op::Dequeue(7)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteAheadLog<Op> {
+    records: VecDeque<WalRecord<Op>>,
+    next_lsn: Lsn,
+    appended: u64,
+    pruned: u64,
+}
+
+impl<Op: Clone + Debug + Send> WriteAheadLog<Op> {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        WriteAheadLog {
+            records: VecDeque::new(),
+            next_lsn: Lsn::new(0),
+            appended: 0,
+            pruned: 0,
+        }
+    }
+
+    /// Appends an operation performed on behalf of `subthread`, returning
+    /// the record's sequence number.
+    ///
+    /// Write-ahead discipline: callers must append *before* mutating the
+    /// structure the operation describes.
+    pub fn append(&mut self, subthread: SubThreadId, op: Op) -> Lsn {
+        let lsn = self.next_lsn;
+        let checksum = WalRecord::checksum_of(lsn, subthread, &op);
+        self.records.push_back(WalRecord {
+            lsn,
+            subthread,
+            op,
+            checksum,
+        });
+        self.next_lsn = self.next_lsn.next();
+        self.appended += 1;
+        lsn
+    }
+
+    /// Iterates, newest-first, over the records of the squashed sub-threads —
+    /// the reverse undo walk of `§3.4`.
+    pub fn undo_records<'a>(
+        &'a self,
+        squashed: &'a BTreeSet<SubThreadId>,
+    ) -> impl Iterator<Item = &'a WalRecord<Op>> + 'a {
+        self.records
+            .iter()
+            .rev()
+            .filter(move |r| squashed.contains(&r.subthread))
+    }
+
+    /// Removes the records of the squashed sub-threads (after their undo has
+    /// been applied), returning them newest-first.
+    pub fn take_undo_records(&mut self, squashed: &BTreeSet<SubThreadId>) -> Vec<WalRecord<Op>> {
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.records.len());
+        for r in self.records.drain(..) {
+            if squashed.contains(&r.subthread) {
+                taken.push(r);
+            } else {
+                kept.push_back(r);
+            }
+        }
+        self.records = kept;
+        taken.reverse();
+        taken
+    }
+
+    /// Prunes the records of a retired sub-thread ("the logs are pruned as
+    /// the sub-threads retire to keep their sizes bounded").
+    pub fn prune_retired(&mut self, subthread: SubThreadId) {
+        let before = self.records.len();
+        self.records.retain(|r| r.subthread != subthread);
+        self.pruned += (before - self.records.len()) as u64;
+    }
+
+    /// Verifies the integrity of every retained record.
+    ///
+    /// # Errors
+    /// Returns [`GprsError::WalCorruption`] naming the first corrupt record.
+    pub fn verify(&self) -> Result<()> {
+        for r in &self.records {
+            if !r.is_intact() {
+                return Err(GprsError::WalCorruption { lsn: r.lsn });
+            }
+        }
+        Ok(())
+    }
+
+    /// Deliberately corrupts a record's payload hash — fault injection for
+    /// testing the runtime's self-recovery path (`§3.2`: GPRS "can handle
+    /// exceptions … as well as itself").
+    ///
+    /// Returns `true` if the record existed.
+    pub fn corrupt_for_testing(&mut self, lsn: Lsn) -> bool {
+        for r in self.records.iter_mut() {
+            if r.lsn == lsn {
+                r.checksum ^= 0xdead_beef;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &WalRecord<Op>> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total records ever appended.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Total records pruned by retirement.
+    pub fn pruned(&self) -> u64 {
+        self.pruned
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_lsn(&self) -> Lsn {
+        self.next_lsn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum TestOp {
+        Push(u32),
+        Pop(u32),
+        Alloc(u32),
+    }
+
+    fn set(ids: &[u64]) -> BTreeSet<SubThreadId> {
+        ids.iter().copied().map(SubThreadId::new).collect()
+    }
+
+    #[test]
+    fn lsns_are_contiguous_and_monotone() {
+        let mut wal = WriteAheadLog::new();
+        let a = wal.append(SubThreadId::new(0), TestOp::Push(1));
+        let b = wal.append(SubThreadId::new(0), TestOp::Pop(1));
+        assert_eq!(a, Lsn::new(0));
+        assert_eq!(b, Lsn::new(1));
+        assert_eq!(wal.next_lsn(), Lsn::new(2));
+    }
+
+    #[test]
+    fn undo_walk_is_newest_first_and_filtered() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(SubThreadId::new(0), TestOp::Push(1));
+        wal.append(SubThreadId::new(1), TestOp::Push(2));
+        wal.append(SubThreadId::new(1), TestOp::Alloc(3));
+        wal.append(SubThreadId::new(2), TestOp::Push(4));
+        let ops: Vec<_> = wal.undo_records(&set(&[1])).map(|r| r.op.clone()).collect();
+        assert_eq!(ops, [TestOp::Alloc(3), TestOp::Push(2)]);
+    }
+
+    #[test]
+    fn take_undo_records_removes_them() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(SubThreadId::new(0), TestOp::Push(1));
+        wal.append(SubThreadId::new(1), TestOp::Push(2));
+        let taken = wal.take_undo_records(&set(&[0]));
+        assert_eq!(taken.len(), 1);
+        assert_eq!(wal.len(), 1);
+        assert!(wal.iter().all(|r| r.subthread == SubThreadId::new(1)));
+    }
+
+    #[test]
+    fn prune_keeps_log_bounded() {
+        let mut wal = WriteAheadLog::new();
+        for i in 0..100u64 {
+            wal.append(SubThreadId::new(i % 4), TestOp::Push(i as u32));
+        }
+        for i in 0..4u64 {
+            wal.prune_retired(SubThreadId::new(i));
+        }
+        assert!(wal.is_empty());
+        assert_eq!(wal.appended(), 100);
+        assert_eq!(wal.pruned(), 100);
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let mut wal = WriteAheadLog::new();
+        let lsn = wal.append(SubThreadId::new(0), TestOp::Push(1));
+        wal.verify().unwrap();
+        assert!(wal.corrupt_for_testing(lsn));
+        assert_eq!(wal.verify(), Err(GprsError::WalCorruption { lsn }));
+        assert!(!wal.corrupt_for_testing(Lsn::new(99)));
+    }
+
+    #[test]
+    fn records_know_their_integrity() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(SubThreadId::new(0), TestOp::Pop(9));
+        assert!(wal.iter().next().unwrap().is_intact());
+    }
+
+    #[test]
+    fn undo_with_no_matching_subthreads_is_empty() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(SubThreadId::new(0), TestOp::Push(1));
+        assert_eq!(wal.undo_records(&set(&[5])).count(), 0);
+        assert!(wal.take_undo_records(&set(&[5])).is_empty());
+        assert_eq!(wal.len(), 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Property-based tests of the core model's invariants.
+
+use gprs_core::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------------
+// Ordering schedules
+// ---------------------------------------------------------------------------
+
+/// Arbitrary (group, weight) assignments for up to 12 threads.
+fn thread_specs() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    vec((0u32..4, 1u32..4), 1..12)
+}
+
+proptest! {
+    /// Every schedule is deterministic: two identically-driven instances
+    /// produce identical holder sequences.
+    #[test]
+    fn schedules_are_deterministic(specs in thread_specs(), steps in 1usize..200) {
+        for kind in [ScheduleKind::RoundRobin, ScheduleKind::BalanceBasic,
+                     ScheduleKind::BalanceWeighted] {
+            let mut a = kind.build();
+            let mut b = kind.build();
+            for (i, &(g, w)) in specs.iter().enumerate() {
+                a.register_thread(ThreadId::new(i as u32), GroupId::new(g), w).unwrap();
+                b.register_thread(ThreadId::new(i as u32), GroupId::new(g), w).unwrap();
+            }
+            for _ in 0..steps {
+                prop_assert_eq!(a.holder(), b.holder());
+                a.advance();
+                b.advance();
+            }
+        }
+    }
+
+    /// Schedules are starvation-free: over enough turns, every registered
+    /// thread holds the token at least once.
+    #[test]
+    fn schedules_are_starvation_free(specs in thread_specs()) {
+        for kind in [ScheduleKind::RoundRobin, ScheduleKind::BalanceBasic,
+                     ScheduleKind::BalanceWeighted] {
+            let mut s = kind.build();
+            for (i, &(g, w)) in specs.iter().enumerate() {
+                s.register_thread(ThreadId::new(i as u32), GroupId::new(g), w).unwrap();
+            }
+            let mut seen = BTreeSet::new();
+            // Max weight 4, max 4 groups => a generous bound on a full cycle.
+            for _ in 0..specs.len() * 32 {
+                seen.insert(s.holder().unwrap());
+                s.advance();
+            }
+            prop_assert_eq!(seen.len(), specs.len());
+        }
+    }
+
+    /// The basic balance-aware schedule distributes turns equally across
+    /// groups regardless of group sizes.
+    #[test]
+    fn balance_basic_equalizes_groups(sizes in vec(1usize..5, 2..4)) {
+        let mut s = BalanceAware::new();
+        let mut next = 0u32;
+        for (g, &size) in sizes.iter().enumerate() {
+            for _ in 0..size {
+                s.register_thread(ThreadId::new(next), GroupId::new(g as u32), 1).unwrap();
+                next += 1;
+            }
+        }
+        // Count turns per group over whole cycles.
+        let cycles = 60;
+        let mut group_turns = std::collections::HashMap::new();
+        let mut thread_group = std::collections::HashMap::new();
+        let mut id = 0u32;
+        for (g, &size) in sizes.iter().enumerate() {
+            for _ in 0..size {
+                thread_group.insert(ThreadId::new(id), g);
+                id += 1;
+            }
+        }
+        let total = cycles * sizes.len();
+        for _ in 0..total {
+            let h = s.holder().unwrap();
+            *group_turns.entry(thread_group[&h]).or_insert(0usize) += 1;
+            s.advance();
+        }
+        for (_, &turns) in &group_turns {
+            prop_assert_eq!(turns, cycles);
+        }
+    }
+
+    /// The order enforcer assigns a gap-free total order no matter how the
+    /// grant requests interleave.
+    #[test]
+    fn enforcer_total_order_has_no_gaps(specs in thread_specs(), requests in vec(0u32..12, 1..300)) {
+        let mut e = OrderEnforcer::with_schedule(ScheduleKind::BalanceWeighted);
+        for (i, &(g, w)) in specs.iter().enumerate() {
+            e.register_thread(ThreadId::new(i as u32), GroupId::new(g), w).unwrap();
+        }
+        let n = specs.len() as u32;
+        let mut granted = Vec::new();
+        for r in requests {
+            let t = ThreadId::new(r % n);
+            if let Some(id) = e.try_grant(t) {
+                granted.push(id.raw());
+            }
+        }
+        for (i, &g) in granted.iter().enumerate() {
+            prop_assert_eq!(g, i as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reorder list
+// ---------------------------------------------------------------------------
+
+fn make_subthread(id: u64, thread: u32, lock: u64) -> SubThread {
+    SubThread::new(
+        SubThreadId::new(id),
+        ThreadId::new(thread),
+        GroupId::new(0),
+        SubThreadKind::CriticalSection,
+        Some(SyncOp::LockAcquire(LockId::new(lock))),
+    )
+}
+
+proptest! {
+    /// Retirement is exactly FIFO: whatever the completion order, retired
+    /// ids come out oldest-first with no gaps.
+    #[test]
+    fn rol_retires_in_order(completion_order in Just(()).prop_flat_map(|_| {
+        (1usize..20).prop_flat_map(|n| {
+            (Just(n), proptest::sample::subsequence((0..n).collect::<Vec<_>>(), 0..=n))
+        })
+    })) {
+        let (n, completed) = completion_order;
+        let mut rol = ReorderList::new();
+        for i in 0..n as u64 {
+            rol.insert(make_subthread(i, (i % 4) as u32, i % 3)).unwrap();
+        }
+        for &c in &completed {
+            rol.mark_completed(SubThreadId::new(c as u64)).unwrap();
+        }
+        let retired = rol.retire_ready();
+        // Retired ids are the maximal completed prefix of 0..n.
+        let completed_set: BTreeSet<usize> = completed.iter().copied().collect();
+        let mut expect = Vec::new();
+        for i in 0..n {
+            if completed_set.contains(&i) {
+                expect.push(i as u64);
+            } else {
+                break;
+            }
+        }
+        let got: Vec<u64> = retired.iter().map(|e| e.id().raw()).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The affected set is sandwiched between the culprit alone and the
+    /// basic-recovery suffix, and Direct ⊆ Transitive.
+    #[test]
+    fn affected_set_bounds(n in 2u64..24, culprit_ix in 0u64..24,
+                           locks in vec(0u64..4, 24), threads in vec(0u32..6, 24)) {
+        let culprit = culprit_ix % n;
+        let mut rol = ReorderList::new();
+        for i in 0..n {
+            rol.insert(make_subthread(i, threads[i as usize], locks[i as usize])).unwrap();
+        }
+        rol.mark_excepted(
+            SubThreadId::new(culprit),
+            Exception::global(ExceptionKind::SoftFault, ContextId::new(0), 0),
+        ).unwrap();
+
+        let direct = affected_set(&rol, SubThreadId::new(culprit), DependencePolicy::Direct).unwrap();
+        let trans = affected_set(&rol, SubThreadId::new(culprit), DependencePolicy::Transitive).unwrap();
+        prop_assert!(direct.is_subset(&trans));
+        prop_assert!(direct.contains(&SubThreadId::new(culprit)));
+        // Nothing older than the culprit is ever affected.
+        for id in &trans {
+            prop_assert!(id.raw() >= culprit);
+        }
+        // Transitive is bounded by the basic-recovery suffix.
+        prop_assert!(trans.len() as u64 <= n - culprit);
+
+        // Recovery plans agree with the sets.
+        let plan = plan_recovery(&rol, SubThreadId::new(culprit),
+            RecoveryMode::Selective(DependencePolicy::Transitive), Precision::SubThread).unwrap();
+        prop_assert_eq!(plan.squash_set(), trans);
+        let basic = plan_recovery(&rol, SubThreadId::new(culprit),
+            RecoveryMode::Basic, Precision::SubThread).unwrap();
+        prop_assert_eq!(basic.squash.len() as u64, n - culprit);
+        // squash (youngest-first) and restart (oldest-first) mirror each other.
+        let mut restart = basic.restart.clone();
+        restart.reverse();
+        prop_assert_eq!(restart, basic.squash);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Undoing a squash set then pruning retirees never loses unrelated
+    /// records, and verification holds throughout.
+    #[test]
+    fn wal_partition_is_exact(ops in vec((0u64..8, 0u32..1000), 0..200),
+                              squash in vec(0u64..8, 0..4)) {
+        let mut wal = WriteAheadLog::new();
+        for &(st, v) in &ops {
+            wal.append(SubThreadId::new(st), v);
+        }
+        wal.verify().unwrap();
+        let squash_set: BTreeSet<SubThreadId> =
+            squash.iter().map(|&s| SubThreadId::new(s)).collect();
+        let taken = wal.take_undo_records(&squash_set);
+        // Taken records are exactly those of squashed sub-threads…
+        prop_assert!(taken.iter().all(|r| squash_set.contains(&r.subthread)));
+        // …newest-first…
+        for w in taken.windows(2) {
+            prop_assert!(w[0].lsn > w[1].lsn);
+        }
+        // …and the partition is exact.
+        let expected_taken = ops.iter()
+            .filter(|(st, _)| squash_set.contains(&SubThreadId::new(*st)))
+            .count();
+        prop_assert_eq!(taken.len(), expected_taken);
+        prop_assert_eq!(wal.len(), ops.len() - expected_taken);
+        wal.verify().unwrap();
+    }
+
+    /// The sub-thread generator's lock depth never underflows and ends
+    /// balanced for balanced input.
+    #[test]
+    fn generator_tracks_depth(depth in 1usize..6) {
+        let mut g = SubThreadGenerator::new();
+        // A nest of `depth` critical sections: only the outermost splits.
+        let mut splits = 0;
+        for i in 0..depth {
+            if g.on_sync(SyncOp::LockAcquire(LockId::new(i as u64))).unwrap()
+                == Boundary::Split(SubThreadKind::CriticalSection) {
+                splits += 1;
+            }
+        }
+        prop_assert_eq!(splits, 1);
+        for i in (0..depth).rev() {
+            prop_assert_eq!(g.on_sync(SyncOp::Unlock(LockId::new(i as u64))).unwrap(),
+                            Boundary::Subsume);
+        }
+        prop_assert!(!g.in_critical_section());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analytic model
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// GPRS's tipping bound dominates software CPR's by exactly n, for any
+    /// parameters.
+    #[test]
+    fn gprs_bound_dominates(n in 1u32..64, t in 1e-3f64..1.0, tw in 1e-4f64..0.1) {
+        let p = CostParams { contexts: n, interval: t, coord_time: 1e-3,
+                             record_time: 1e-4, order_delay: 1e-5,
+                             restore_wait: tw, communicating: n.max(2) / 2 };
+        let cpr = p.max_exception_rate(Scheme::CprSoftware);
+        let hw = p.max_exception_rate(Scheme::CprHardware);
+        let gprs = p.max_exception_rate(Scheme::Gprs);
+        prop_assert!((gprs / cpr - f64::from(n)).abs() < 1e-6);
+        prop_assert!(cpr <= hw + 1e-12);
+        prop_assert!(hw <= gprs + 1e-12);
+        // Slowdown is monotone in the exception rate.
+        let lo = p.predicted_slowdown(Scheme::Gprs, 0.1 * gprs);
+        let hi = p.predicted_slowdown(Scheme::Gprs, 0.5 * gprs);
+        prop_assert!(lo <= hi);
+    }
+}

@@ -1,0 +1,1124 @@
+//! The execution engine: shared runtime state, the worker loop, and the
+//! deterministic grant logic — the DEX of Figure 4, with the load-balancing
+//! scheduler of `§3.3` provided by the worker pool itself.
+//!
+//! All bookkeeping lives in [`Inner`] behind one mutex; workers take the
+//! lock only to *grant* synchronization operations and to *deposit* step
+//! results — the sub-thread bodies (user `step` code) run without it, in
+//! parallel. Grants follow the configured deterministic schedule: the order
+//! enforcer's token stops at a thread whose operation cannot proceed (a held
+//! lock, a running step) and passes over empty-FIFO polls and unfinished
+//! joins, so the grant sequence depends only on program structure, never on
+//! timing — the determinism tests verify this by comparing grant traces
+//! across worker counts.
+
+use crate::ctx::StepCtx;
+use crate::handles::Recoverable;
+use crate::ops::RtOp;
+use crate::program::{DynThread, Payload, SpawnSpec, Step};
+use crate::report::RunStats;
+use gprs_core::exception::Exception;
+use gprs_core::ids::{
+    AtomicId, BarrierId, ChannelId, GroupId, LockId, ResourceId, SubThreadId, ThreadId,
+};
+use gprs_core::order::{OrderEnforcer, ScheduleKind};
+use gprs_core::rol::ReorderList;
+use gprs_core::subthread::{SubThread, SubThreadKind, SyncOp};
+use gprs_core::wal::WriteAheadLog;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Which sub-threads recovery squashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Squash the culprit and everything younger (`§3.4` basic recovery).
+    Basic,
+    /// Squash only the culprit and its dependents: same-thread successors,
+    /// consumers of its channel items, lock/atomic-alias sharers, barrier
+    /// co-participants and spawn/join descendants (`§3.4` selective
+    /// restart).
+    Selective,
+}
+
+/// Runtime configuration (see [`crate::GprsBuilder`]).
+#[derive(Debug, Clone)]
+pub(crate) struct RunConfig {
+    pub schedule: ScheduleKind,
+    pub workers: usize,
+    pub recovery: RecoveryPolicy,
+    pub trace_cap: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ThState {
+    Active,
+    Parked(BarrierId),
+    Done,
+}
+
+/// What a thread is waiting to have granted.
+pub(crate) enum PendingWant {
+    /// Initial sub-thread of a (just-spawned) thread.
+    Start,
+    /// A synchronization operation returned by its last step.
+    Op(Step),
+    /// Barrier continuation of generation `gen`.
+    Resume(BarrierId, u64),
+    /// The exclusive step following a granted [`Step::Serialized`].
+    SerializedRun,
+    /// Re-creation of an un-spawned child after recovery, preserving its
+    /// original thread id.
+    Respawn {
+        child: ThreadId,
+        group: GroupId,
+        weight: u32,
+        program: Box<dyn DynThread>,
+    },
+}
+
+impl std::fmt::Debug for PendingWant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PendingWant::Start => write!(f, "Start"),
+            PendingWant::Op(s) => write!(f, "Op({s:?})"),
+            PendingWant::Resume(b, g) => write!(f, "Resume({b}, gen {g})"),
+            PendingWant::SerializedRun => write!(f, "SerializedRun"),
+            PendingWant::Respawn { child, .. } => write!(f, "Respawn({child})"),
+        }
+    }
+}
+
+/// Reinstatable description of what opened a sub-thread (for squash/redo).
+pub(crate) enum OpeningWant {
+    Start,
+    Lock(LockId),
+    Push(ChannelId, Payload),
+    Pop(ChannelId),
+    FetchAdd(AtomicId, u64),
+    SpawnParent {
+        child: ThreadId,
+        group: GroupId,
+        weight: u32,
+    },
+    JoinParent(ThreadId),
+    Resume(BarrierId, u64),
+    SerializedRun,
+}
+
+impl std::fmt::Debug for OpeningWant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpeningWant::Start => write!(f, "Start"),
+            OpeningWant::Lock(l) => write!(f, "Lock({l})"),
+            OpeningWant::Push(c, _) => write!(f, "Push({c})"),
+            OpeningWant::Pop(c) => write!(f, "Pop({c})"),
+            OpeningWant::FetchAdd(a, d) => write!(f, "FetchAdd({a}, {d})"),
+            OpeningWant::SpawnParent { child, .. } => write!(f, "SpawnParent({child})"),
+            OpeningWant::JoinParent(t) => write!(f, "JoinParent({t})"),
+            OpeningWant::Resume(b, g) => write!(f, "Resume({b}, gen {g})"),
+            OpeningWant::SerializedRun => write!(f, "SerializedRun"),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct OpeningRec {
+    pub want: OpeningWant,
+    /// The sub-thread that preceded this one in its thread (for provenance
+    /// attribution after reinstatement).
+    pub prev: Option<SubThreadId>,
+}
+
+pub(crate) struct ThreadRec {
+    pub program: Option<Box<dyn DynThread>>,
+    pub group: GroupId,
+    pub weight: u32,
+    pub pending: Option<PendingWant>,
+    pub current_st: Option<SubThreadId>,
+    pub state: ThState,
+    pub registered: bool,
+    /// Final sub-thread (ending at `Exit`), for join dependence edges.
+    pub final_st: Option<SubThreadId>,
+    /// The parent continuation sub-thread that spawned this thread.
+    pub spawned_by: Option<SubThreadId>,
+}
+
+impl std::fmt::Debug for ThreadRec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadRec")
+            .field("group", &self.group)
+            .field("state", &self.state)
+            .field("pending", &self.pending)
+            .field("current_st", &self.current_st)
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct ChanRec {
+    /// Queue of (item, producing sub-thread).
+    pub items: VecDeque<(Payload, Option<SubThreadId>)>,
+}
+
+pub(crate) struct LockRec {
+    pub holder: Option<SubThreadId>,
+    /// Protected data; `None` while checked out to a running step.
+    pub data: Option<Box<dyn Recoverable>>,
+}
+
+impl std::fmt::Debug for LockRec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockRec")
+            .field("holder", &self.holder)
+            .field("checked_out", &self.data.is_none())
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct BarrierRec {
+    pub participants: u32,
+    pub waiting: Vec<ThreadId>,
+    /// Arrival-ending sub-threads of the forming generation.
+    pub arrival_sts: Vec<SubThreadId>,
+    pub gen: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct GenRec {
+    pub arrivals: Vec<SubThreadId>,
+    pub resumes: Vec<SubThreadId>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct FileRec {
+    pub name: String,
+    pub committed: Vec<u8>,
+    /// Writes staged by still-unretired sub-threads (output-commit delay).
+    pub staged: Vec<(SubThreadId, Vec<u8>)>,
+}
+
+/// Snapshot store — the runtime's history buffer. Data-bearing rather than
+/// closure-bearing (unlike [`gprs_core::history::HistoryBuffer`]) so that
+/// recovery can apply snapshots against [`Inner`] while holding its lock.
+#[derive(Default)]
+pub(crate) struct HistoryStore {
+    pub seq: u64,
+    pub thread_snaps: Vec<(u64, SubThreadId, ThreadId, Box<dyn std::any::Any + Send>)>,
+    pub lock_snaps: Vec<(u64, SubThreadId, LockId, Box<dyn Recoverable>)>,
+    pub block_snaps: Vec<(u64, SubThreadId, u64, Vec<u8>)>,
+}
+
+impl std::fmt::Debug for HistoryStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistoryStore")
+            .field("thread_snaps", &self.thread_snaps.len())
+            .field("lock_snaps", &self.lock_snaps.len())
+            .field("block_snaps", &self.block_snaps.len())
+            .finish()
+    }
+}
+
+impl HistoryStore {
+    pub fn prune_retired(&mut self, id: SubThreadId) {
+        self.thread_snaps.retain(|(_, s, _, _)| *s != id);
+        self.lock_snaps.retain(|(_, s, _, _)| *s != id);
+        self.block_snaps.retain(|(_, s, _, _)| *s != id);
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct PendingException {
+    pub exception: Exception,
+    pub culprit: Option<SubThreadId>,
+}
+
+/// A step ready to run on a worker, carrying everything the step needs so
+/// the inner lock is not held during user code.
+pub(crate) struct StepTask {
+    pub thread: ThreadId,
+    pub stid: SubThreadId,
+    pub program: Box<dyn DynThread>,
+    pub popped: Option<Payload>,
+    pub atomic_prev: Option<u64>,
+    pub joined: Option<Payload>,
+    /// Child thread created by the spawn that opened this sub-thread.
+    pub spawned: Option<ThreadId>,
+    /// Lock data checked out for the critical section.
+    pub lock_out: Option<(LockId, Box<dyn Recoverable>)>,
+}
+
+/// Everything behind the runtime mutex.
+pub(crate) struct Inner {
+    pub cfg: RunConfig,
+    pub enforcer: OrderEnforcer,
+    pub threads: BTreeMap<ThreadId, ThreadRec>,
+    pub next_thread: u32,
+    pub rol: ReorderList,
+    pub wal: WriteAheadLog<RtOp>,
+    pub hist: HistoryStore,
+    pub chans: BTreeMap<ChannelId, ChanRec>,
+    pub locks: BTreeMap<LockId, LockRec>,
+    pub atomics: BTreeMap<AtomicId, u64>,
+    pub barriers: BTreeMap<BarrierId, BarrierRec>,
+    pub gens: BTreeMap<(BarrierId, u64), GenRec>,
+    /// arrival-ending sub-thread -> its barrier generation.
+    pub arrival_gen: BTreeMap<SubThreadId, (BarrierId, u64)>,
+    pub files: BTreeMap<u64, FileRec>,
+    pub blocks: BTreeMap<u64, Vec<u8>>,
+    pub next_block: u64,
+    /// producer/parent sub-thread -> dependent sub-threads.
+    pub edges: BTreeMap<SubThreadId, Vec<SubThreadId>>,
+    pub opening: BTreeMap<SubThreadId, OpeningRec>,
+    pub running: BTreeMap<SubThreadId, usize>,
+    pub live: usize,
+    pub outputs: BTreeMap<ThreadId, Payload>,
+    pub pending_exceptions: VecDeque<PendingException>,
+    /// Replay gate: threads whose squashed lock/atomic operations must
+    /// re-grant in their original total order. While non-empty, only the
+    /// front thread may be granted a lock or atomic operation; other
+    /// threads' lock/atomic requests pass their turns.
+    pub redo_locks: VecDeque<ThreadId>,
+    pub recovering: bool,
+    pub exclusive: Option<SubThreadId>,
+    pub epoch: u64,
+    pub pass_streak: usize,
+    pub stats: RunStats,
+    pub grant_trace: Vec<(SubThreadId, ThreadId)>,
+    pub poisoned: Option<String>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("live", &self.live)
+            .field("rol", &self.rol.len())
+            .field("running", &self.running.len())
+            .field("recovering", &self.recovering)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The lock + condvar pair shared by workers, contexts and controllers.
+pub(crate) struct Shared {
+    pub inner: Mutex<Inner>,
+    pub cv: Condvar,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Shared { .. }")
+    }
+}
+
+pub(crate) type SharedRef = Arc<Shared>;
+
+/// What a worker decided to do after inspecting the state.
+enum Decision {
+    Run(StepTask),
+    Finished,
+}
+
+impl Inner {
+    pub fn new(cfg: RunConfig) -> Self {
+        let enforcer = OrderEnforcer::with_schedule(cfg.schedule);
+        Inner {
+            cfg,
+            enforcer,
+            threads: BTreeMap::new(),
+            next_thread: 0,
+            rol: ReorderList::new(),
+            wal: WriteAheadLog::new(),
+            hist: HistoryStore::default(),
+            chans: BTreeMap::new(),
+            locks: BTreeMap::new(),
+            atomics: BTreeMap::new(),
+            barriers: BTreeMap::new(),
+            gens: BTreeMap::new(),
+            arrival_gen: BTreeMap::new(),
+            files: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+            next_block: 0,
+            edges: BTreeMap::new(),
+            opening: BTreeMap::new(),
+            running: BTreeMap::new(),
+            live: 0,
+            outputs: BTreeMap::new(),
+            pending_exceptions: VecDeque::new(),
+            redo_locks: VecDeque::new(),
+            recovering: false,
+            exclusive: None,
+            epoch: 0,
+            pass_streak: 0,
+            stats: RunStats::default(),
+            grant_trace: Vec::new(),
+            poisoned: None,
+        }
+    }
+
+    /// Registers a thread (builder-time or dynamic spawn).
+    pub fn add_thread(
+        &mut self,
+        program: Box<dyn DynThread>,
+        group: GroupId,
+        weight: u32,
+        spawned_by: Option<SubThreadId>,
+    ) -> ThreadId {
+        let tid = ThreadId::new(self.next_thread);
+        self.next_thread += 1;
+        self.enforcer
+            .register_thread(tid, group, weight)
+            .expect("fresh thread id");
+        self.threads.insert(
+            tid,
+            ThreadRec {
+                program: Some(program),
+                group,
+                weight,
+                pending: Some(PendingWant::Start),
+                current_st: None,
+                state: ThState::Active,
+                registered: true,
+                final_st: None,
+                spawned_by,
+            },
+        );
+        self.live += 1;
+        tid
+    }
+
+    pub(crate) fn poison(&mut self, msg: impl Into<String>) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(msg.into());
+        }
+    }
+
+    pub(crate) fn bump(&mut self) {
+        self.epoch += 1;
+        self.pass_streak = 0;
+    }
+
+    /// Retires completed head sub-threads: prunes checkpoints and WAL
+    /// records, commits staged file output (the output-commit point), and
+    /// drops dependence metadata.
+    fn retire_ready(&mut self) {
+        for entry in self.rol.retire_ready() {
+            let id = entry.id();
+            self.stats.retired += 1;
+            self.wal.prune_retired(id);
+            self.hist.prune_retired(id);
+            self.opening.remove(&id);
+            self.edges.remove(&id);
+            if let Some(gen_key) = self.arrival_gen.remove(&id) {
+                if let Some(gen) = self.gens.get_mut(&gen_key) {
+                    gen.arrivals.retain(|&a| a != id);
+                    if gen.arrivals.is_empty() {
+                        self.gens.remove(&gen_key);
+                    }
+                }
+            }
+            for gen in self.gens.values_mut() {
+                gen.resumes.retain(|&r| r != id);
+            }
+            for file in self.files.values_mut() {
+                let mut staged = std::mem::take(&mut file.staged);
+                staged.retain(|(s, bytes)| {
+                    if *s == id {
+                        file.committed.extend_from_slice(bytes);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                file.staged = staged;
+            }
+        }
+        self.stats.rol_peak = self.stats.rol_peak.max(self.rol.peak_occupancy());
+    }
+
+    /// Creates the sub-thread record for a fresh grant.
+    #[allow(clippy::too_many_arguments)]
+    fn open_subthread(
+        &mut self,
+        stid: SubThreadId,
+        thread: ThreadId,
+        kind: SubThreadKind,
+        opening_op: Option<SyncOp>,
+        want: OpeningWant,
+        worker: usize,
+    ) {
+        let rec = self.threads.get_mut(&thread).expect("thread exists");
+        let prev = rec.current_st;
+        let group = rec.group;
+        let program = rec.program.as_ref().expect("program parked while waiting");
+        let snap = program.save();
+        self.hist.seq += 1;
+        let seq = self.hist.seq;
+        self.hist.thread_snaps.push((seq, stid, thread, snap));
+        self.rol
+            .insert(SubThread::new(stid, thread, group, kind, opening_op))
+            .expect("grants are issued in total order");
+        self.opening.insert(stid, OpeningRec { want, prev });
+        let rec = self.threads.get_mut(&thread).expect("thread exists");
+        rec.current_st = Some(stid);
+        self.running.insert(stid, worker);
+        if self.grant_trace.len() < self.cfg.trace_cap {
+            self.grant_trace.push((stid, thread));
+        }
+        self.stats.subthreads += 1;
+    }
+
+    /// Whether `want` can be granted right now; `None` means "token waits
+    /// here", `Some(false)` means "pass the token (poll)".
+    fn poll_or_wait(&self, holder: ThreadId, want: &PendingWant) -> Option<bool> {
+        // Order-faithful redo: while squashed lock/atomic operations await
+        // re-execution, they re-grant in original order and every other
+        // lock/atomic request waits its turn (passes the token).
+        if matches!(
+            want,
+            PendingWant::Op(Step::Lock(_)) | PendingWant::Op(Step::FetchAdd(_, _))
+        ) && self
+            .redo_locks
+            .front()
+            .is_some_and(|&front| front != holder)
+        {
+            return Some(false);
+        }
+        match want {
+            PendingWant::Op(Step::Pop(c)) => {
+                let empty = self
+                    .chans
+                    .get(&c.id())
+                    .map_or(true, |ch| ch.items.is_empty());
+                if empty {
+                    Some(false) // poll: pass the token
+                } else {
+                    Some(true)
+                }
+            }
+            PendingWant::Op(Step::Join(t)) => {
+                let done = self
+                    .threads
+                    .get(t)
+                    .is_some_and(|r| r.state == ThState::Done);
+                if done {
+                    Some(true)
+                } else {
+                    Some(false)
+                }
+            }
+            PendingWant::Op(Step::Lock(m)) => {
+                let free = self
+                    .locks
+                    .get(&m.id())
+                    .is_some_and(|l| l.holder.is_none() && l.data.is_some());
+                if free {
+                    Some(true)
+                } else {
+                    None // token waits for the unlock
+                }
+            }
+            PendingWant::Op(Step::Serialized) => {
+                if self.rol.is_empty() && self.running.is_empty() {
+                    Some(true)
+                } else {
+                    None // token waits for global quiescence
+                }
+            }
+            _ => Some(true),
+        }
+    }
+
+    /// Grants the holder's pending want. Returns a task if a step must run.
+    fn grant(&mut self, holder: ThreadId, worker: usize) -> Option<StepTask> {
+        let rec = self.threads.get_mut(&holder).expect("holder exists");
+        let want = rec.pending.take().expect("holder has a pending want");
+        let prev_st = rec.current_st;
+        match want {
+            PendingWant::Start => {
+                let stid = self.enforcer.try_grant(holder).expect("is holder");
+                self.open_subthread(
+                    stid,
+                    holder,
+                    SubThreadKind::Initial,
+                    None,
+                    OpeningWant::Start,
+                    worker,
+                );
+                // Dependence on the spawning parent continuation.
+                if let Some(parent) = self.threads[&holder].spawned_by {
+                    if self.rol.contains(parent) {
+                        self.edges.entry(parent).or_default().push(stid);
+                    }
+                }
+                Some(self.make_task(holder, stid, None, None, None, None, None))
+            }
+            PendingWant::Resume(b, gen) => {
+                let stid = self.enforcer.try_grant(holder).expect("is holder");
+                self.open_subthread(
+                    stid,
+                    holder,
+                    SubThreadKind::BarrierContinuation,
+                    Some(SyncOp::BarrierWait(b)),
+                    OpeningWant::Resume(b, gen),
+                    worker,
+                );
+                if let Some(g) = self.gens.get_mut(&(b, gen)) {
+                    g.resumes.push(stid);
+                }
+                Some(self.make_task(holder, stid, None, None, None, None, None))
+            }
+            PendingWant::SerializedRun => {
+                let stid = self.enforcer.try_grant(holder).expect("is holder");
+                self.open_subthread(
+                    stid,
+                    holder,
+                    SubThreadKind::Serialized,
+                    None,
+                    OpeningWant::SerializedRun,
+                    worker,
+                );
+                self.exclusive = Some(stid);
+                self.stats.serialized += 1;
+                Some(self.make_task(holder, stid, None, None, None, None, None))
+            }
+            PendingWant::Respawn {
+                child,
+                group,
+                weight,
+                program,
+            } => {
+                let stid = self.enforcer.try_grant(holder).expect("is holder");
+                self.open_subthread(
+                    stid,
+                    holder,
+                    SubThreadKind::ForkContinuation,
+                    None,
+                    OpeningWant::SpawnParent {
+                        child,
+                        group,
+                        weight,
+                    },
+                    worker,
+                );
+                self.threads.insert(
+                    child,
+                    ThreadRec {
+                        program: Some(program),
+                        group,
+                        weight,
+                        pending: Some(PendingWant::Start),
+                        current_st: None,
+                        state: ThState::Active,
+                        registered: true,
+                        final_st: None,
+                        spawned_by: Some(stid),
+                    },
+                );
+                self.enforcer
+                    .register_thread(child, group, weight)
+                    .expect("child id is free again");
+                self.live += 1;
+                self.wal.append(stid, RtOp::SpawnChild { child });
+                self.stats.spawns += 1;
+                Some(self.make_task(holder, stid, None, None, None, Some(child), None))
+            }
+            PendingWant::Op(step) => self.grant_op(holder, prev_st, step, worker),
+        }
+    }
+
+    fn grant_op(
+        &mut self,
+        holder: ThreadId,
+        prev_st: Option<SubThreadId>,
+        step: Step,
+        worker: usize,
+    ) -> Option<StepTask> {
+        match step {
+            Step::Lock(m) => {
+                let stid = self.enforcer.try_grant(holder).expect("is holder");
+                if self.redo_locks.front() == Some(&holder) {
+                    self.redo_locks.pop_front();
+                }
+                let lock = m.id();
+                self.wal.append(stid, RtOp::LockAcquire { lock });
+                let l = self.locks.get_mut(&lock).expect("registered lock");
+                l.holder = Some(stid);
+                let data = l.data.take().expect("lock data present when free");
+                let snap = data.clone_box();
+                self.hist.seq += 1;
+                let seq = self.hist.seq;
+                self.hist.lock_snaps.push((seq, stid, lock, snap));
+                self.stats.locks_acquired += 1;
+                self.open_subthread(
+                    stid,
+                    holder,
+                    SubThreadKind::CriticalSection,
+                    Some(SyncOp::LockAcquire(lock)),
+                    OpeningWant::Lock(lock),
+                    worker,
+                );
+                Some(self.make_task(holder, stid, None, None, None, None, Some((lock, data))))
+            }
+            Step::Push(c, value) => {
+                let stid = self.enforcer.try_grant(holder).expect("is holder");
+                let chan = c.id();
+                self.wal.append(stid, RtOp::Push {
+                    chan,
+                    item: value.clone(),
+                });
+                // Provenance is the *pushing* sub-thread: squashing it
+                // un-pushes the item, so any consumer of the item must be in
+                // its dependence closure. (The thread state that computed
+                // the value is covered transitively via the same-thread
+                // rule.)
+                self.chans
+                    .entry(chan)
+                    .or_default()
+                    .items
+                    .push_back((value.clone(), Some(stid)));
+                self.open_subthread(
+                    stid,
+                    holder,
+                    SubThreadKind::ChannelAccess,
+                    Some(SyncOp::ChanPush(chan)),
+                    OpeningWant::Push(chan, value),
+                    worker,
+                );
+                Some(self.make_task(holder, stid, None, None, None, None, None))
+            }
+            Step::Pop(c) => {
+                let stid = self.enforcer.try_grant(holder).expect("is holder");
+                let chan = c.id();
+                let (item, producer) = self
+                    .chans
+                    .get_mut(&chan)
+                    .and_then(|ch| ch.items.pop_front())
+                    .expect("grantability checked non-empty");
+                self.wal.append(
+                    stid,
+                    RtOp::Pop {
+                        chan,
+                        item: item.clone(),
+                        producer,
+                    },
+                );
+                if let Some(p) = producer {
+                    if self.rol.contains(p) {
+                        self.edges.entry(p).or_default().push(stid);
+                    }
+                }
+                self.open_subthread(
+                    stid,
+                    holder,
+                    SubThreadKind::ChannelAccess,
+                    Some(SyncOp::ChanPop(chan)),
+                    OpeningWant::Pop(chan),
+                    worker,
+                );
+                Some(self.make_task(holder, stid, Some(item), None, None, None, None))
+            }
+            Step::FetchAdd(a, delta) => {
+                let stid = self.enforcer.try_grant(holder).expect("is holder");
+                if self.redo_locks.front() == Some(&holder) {
+                    self.redo_locks.pop_front();
+                }
+                let slot = self.atomics.get_mut(&a).expect("registered atomic");
+                let old = *slot;
+                *slot = old.wrapping_add(delta);
+                self.wal.append(stid, RtOp::FetchAdd { atomic: a, old });
+                self.open_subthread(
+                    stid,
+                    holder,
+                    SubThreadKind::AtomicOp,
+                    Some(SyncOp::Atomic(a)),
+                    OpeningWant::FetchAdd(a, delta),
+                    worker,
+                );
+                Some(self.make_task(holder, stid, None, Some(old), None, None, None))
+            }
+            Step::Spawn(SpawnSpec {
+                program,
+                group,
+                weight,
+            }) => {
+                let stid = self.enforcer.try_grant(holder).expect("is holder");
+                // Open the parent continuation first so the child sees it as
+                // its spawner.
+                self.open_subthread(
+                    stid,
+                    holder,
+                    SubThreadKind::ForkContinuation,
+                    None,
+                    OpeningWant::SpawnParent {
+                        child: ThreadId::new(self.next_thread),
+                        group,
+                        weight,
+                    },
+                    worker,
+                );
+                let child = self.add_thread(program, group, weight, Some(stid));
+                self.wal.append(stid, RtOp::SpawnChild { child });
+                self.stats.spawns += 1;
+                Some(self.make_task(holder, stid, None, None, None, Some(child), None))
+            }
+            Step::Join(t) => {
+                let stid = self.enforcer.try_grant(holder).expect("is holder");
+                let target = self.threads.get(&t).expect("join target exists");
+                debug_assert_eq!(target.state, ThState::Done);
+                if let Some(fst) = target.final_st {
+                    if self.rol.contains(fst) {
+                        self.edges.entry(fst).or_default().push(stid);
+                    }
+                }
+                let joined = self.outputs.get(&t).cloned();
+                self.open_subthread(
+                    stid,
+                    holder,
+                    SubThreadKind::JoinContinuation,
+                    None,
+                    OpeningWant::JoinParent(t),
+                    worker,
+                );
+                Some(self.make_task(holder, stid, None, None, joined, None, None))
+            }
+            Step::Serialized => {
+                // The serialized *marker* is granted like a normal boundary;
+                // the exclusive step itself runs on the next grant.
+                let rec = self.threads.get_mut(&holder).expect("holder");
+                rec.pending = Some(PendingWant::SerializedRun);
+                // Turn not consumed: re-evaluate immediately (the
+                // SerializedRun want is gated on quiescence).
+                None
+            }
+            Step::Barrier(b) => {
+                // Arrival: consumes the turn but opens no sub-thread.
+                self.enforcer.pass_turn(holder);
+                let rec = self.threads.get_mut(&holder).expect("holder");
+                rec.state = ThState::Parked(b);
+                rec.registered = false;
+                self.enforcer
+                    .deregister_thread(holder)
+                    .expect("was registered");
+                if let Some(prev) = prev_st {
+                    self.wal
+                        .append(prev, RtOp::BarrierArrive { barrier: b, thread: holder });
+                }
+                let bar = self.barriers.get_mut(&b).expect("registered barrier");
+                bar.waiting.push(holder);
+                if let Some(prev) = prev_st {
+                    bar.arrival_sts.push(prev);
+                }
+                if bar.waiting.len() as u32 == bar.participants {
+                    self.release_barrier(b);
+                }
+                self.bump();
+                None
+            }
+            Step::Exit(value) => {
+                // Exit: consumes the turn but opens no sub-thread.
+                self.enforcer.pass_turn(holder);
+                let rec = self.threads.get_mut(&holder).expect("holder");
+                rec.state = ThState::Done;
+                rec.registered = false;
+                rec.final_st = prev_st;
+                self.enforcer
+                    .deregister_thread(holder)
+                    .expect("was registered");
+                if let Some(prev) = prev_st {
+                    self.wal.append(prev, RtOp::ThreadExit { thread: holder });
+                }
+                self.outputs.insert(holder, value);
+                self.live -= 1;
+                self.bump();
+                None
+            }
+        }
+    }
+
+    /// Releases a barrier: all parked participants become resumable and a
+    /// new generation records the arrival/continuation dependence group.
+    pub(crate) fn release_barrier(&mut self, b: BarrierId) {
+        let bar = self.barriers.get_mut(&b).expect("registered barrier");
+        bar.gen += 1;
+        let gen = bar.gen;
+        let mut waiters = std::mem::take(&mut bar.waiting);
+        let arrivals = std::mem::take(&mut bar.arrival_sts);
+        waiters.sort_unstable();
+        for &a in &arrivals {
+            self.arrival_gen.insert(a, (b, gen));
+        }
+        self.gens.insert(
+            (b, gen),
+            GenRec {
+                arrivals,
+                resumes: Vec::new(),
+            },
+        );
+        for w in waiters {
+            let rec = self.threads.get_mut(&w).expect("waiter exists");
+            rec.state = ThState::Active;
+            rec.pending = Some(PendingWant::Resume(b, gen));
+            rec.registered = true;
+            self.enforcer
+                .register_thread(w, rec.group, rec.weight)
+                .expect("was deregistered");
+        }
+        self.stats.barrier_releases += 1;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn make_task(
+        &mut self,
+        thread: ThreadId,
+        stid: SubThreadId,
+        popped: Option<Payload>,
+        atomic_prev: Option<u64>,
+        joined: Option<Payload>,
+        spawned: Option<ThreadId>,
+        lock_out: Option<(LockId, Box<dyn Recoverable>)>,
+    ) -> StepTask {
+        let rec = self.threads.get_mut(&thread).expect("thread exists");
+        let program = rec.program.take().expect("program present at grant");
+        StepTask {
+            thread,
+            stid,
+            program,
+            popped,
+            atomic_prev,
+            joined,
+            spawned,
+            lock_out,
+        }
+    }
+
+    /// Deposits a finished step: returns the program, releases a still-held
+    /// lock, stages file writes, marks the sub-thread complete and retires.
+    pub(crate) fn deposit(
+        &mut self,
+        task_thread: ThreadId,
+        stid: SubThreadId,
+        program: Box<dyn DynThread>,
+        result: Step,
+        leftover_lock: Option<(LockId, Box<dyn Recoverable>)>,
+        staged_files: Vec<(u64, Vec<u8>)>,
+    ) {
+        self.running.remove(&stid);
+        if self.exclusive == Some(stid) {
+            self.exclusive = None;
+        }
+        if let Some((lock, data)) = leftover_lock {
+            self.return_lock(stid, lock, data);
+        }
+        for (file, bytes) in staged_files {
+            if let Some(f) = self.files.get_mut(&file) {
+                f.staged.push((stid, bytes));
+            }
+        }
+        let rec = self.threads.get_mut(&task_thread).expect("thread exists");
+        rec.program = Some(program);
+        rec.pending = Some(PendingWant::Op(result));
+        self.rol
+            .mark_completed(stid)
+            .expect("deposited sub-thread is tracked");
+        self.retire_ready();
+        self.bump();
+    }
+
+    /// Returns checked-out lock data (explicit unlock or end-of-step).
+    pub(crate) fn return_lock(
+        &mut self,
+        stid: SubThreadId,
+        lock: LockId,
+        data: Box<dyn Recoverable>,
+    ) {
+        self.wal
+            .append(stid, RtOp::LockRelease { lock, holder: stid });
+        let l = self.locks.get_mut(&lock).expect("registered lock");
+        debug_assert_eq!(l.holder, Some(stid));
+        l.holder = None;
+        l.data = Some(data);
+    }
+
+    /// Nested (subsumed) lock acquisition from inside a running step.
+    /// Returns the data if the lock is free.
+    pub(crate) fn try_nested_acquire(
+        &mut self,
+        stid: SubThreadId,
+        lock: LockId,
+    ) -> Option<Box<dyn Recoverable>> {
+        let l = self.locks.get_mut(&lock)?;
+        if l.holder.is_some() || l.data.is_none() {
+            return None;
+        }
+        l.holder = Some(stid);
+        let data = l.data.take().expect("checked above");
+        self.wal.append(stid, RtOp::LockAcquire { lock });
+        let snap = data.clone_box();
+        self.hist.seq += 1;
+        let seq = self.hist.seq;
+        self.hist.lock_snaps.push((seq, stid, lock, snap));
+        let _ = self.rol.add_resource(stid, ResourceId::Lock(lock));
+        self.stats.locks_acquired += 1;
+        Some(data)
+    }
+}
+
+/// The worker loop body: repeatedly grant + run until the program finishes.
+pub(crate) fn worker_loop(shared: &SharedRef, worker_ix: usize) {
+    loop {
+        let decision = {
+            let mut g = shared.inner.lock();
+            loop {
+                let inner = &mut *g;
+                if inner.poisoned.is_some() {
+                    shared.cv.notify_all();
+                    break Decision::Finished;
+                }
+                if inner.live == 0 && inner.running.is_empty() {
+                    shared.cv.notify_all();
+                    break Decision::Finished;
+                }
+                if inner.recovering {
+                    if inner.running.is_empty() {
+                        crate::rex::perform_recovery(inner);
+                        inner.recovering = false;
+                        inner.bump();
+                        shared.cv.notify_all();
+                        continue;
+                    }
+                    shared.cv.wait(&mut g);
+                    continue;
+                }
+                if !inner.pending_exceptions.is_empty() {
+                    inner.recovering = true;
+                    shared.cv.notify_all();
+                    continue;
+                }
+                if inner.exclusive.is_some() {
+                    shared.cv.wait(&mut g);
+                    continue;
+                }
+                let Some(holder) = inner.enforcer.holder() else {
+                    if inner.running.is_empty() && inner.live > 0 {
+                        inner.poison(
+                            "deadlock: live threads remain but none is runnable \
+                             (barrier participants mismatch?)",
+                        );
+                        shared.cv.notify_all();
+                        break Decision::Finished;
+                    }
+                    shared.cv.wait(&mut g);
+                    continue;
+                };
+                let rec = inner.threads.get(&holder).expect("registered thread");
+                if rec.state == ThState::Done {
+                    // Stale registration (should not happen; exits deregister).
+                    inner
+                        .enforcer
+                        .deregister_thread(holder)
+                        .expect("was registered");
+                    continue;
+                }
+                let Some(want) = rec.pending.as_ref() else {
+                    // The holder's step is still running: the token waits.
+                    shared.cv.wait(&mut g);
+                    continue;
+                };
+                match inner.poll_or_wait(holder, want) {
+                    Some(false) => {
+                        // Wasted turn (empty FIFO / unfinished join).
+                        inner.enforcer.pass_turn(holder);
+                        inner.stats.polls += 1;
+                        inner.pass_streak += 1;
+                        if inner.pass_streak > inner.enforcer.live_threads() * 2 + 4 {
+                            if inner.running.is_empty() {
+                                inner.poison(
+                                    "deadlock: every runnable thread is polling \
+                                     (channel starvation or join cycle)",
+                                );
+                                shared.cv.notify_all();
+                                break Decision::Finished;
+                            }
+                            shared.cv.wait(&mut g);
+                        }
+                        continue;
+                    }
+                    None => {
+                        // Token waits here (lock busy / quiescence gate).
+                        shared.cv.wait(&mut g);
+                        continue;
+                    }
+                    Some(true) => {}
+                }
+                inner.pass_streak = 0;
+                match inner.grant(holder, worker_ix) {
+                    Some(task) => {
+                        inner.stats.grants += 1;
+                        shared.cv.notify_all();
+                        break Decision::Run(task);
+                    }
+                    None => {
+                        // Structural grant (barrier arrival, exit, marker):
+                        // state changed, loop again.
+                        shared.cv.notify_all();
+                        continue;
+                    }
+                }
+            }
+        };
+
+        match decision {
+            Decision::Finished => return,
+            Decision::Run(task) => run_task(shared, worker_ix, task),
+        }
+    }
+}
+
+fn run_task(shared: &SharedRef, worker_ix: usize, task: StepTask) {
+    let StepTask {
+        thread,
+        stid,
+        mut program,
+        popped,
+        atomic_prev,
+        joined,
+        spawned,
+        lock_out,
+    } = task;
+    let mut ctx = StepCtx::new(
+        crate::ctx::CtxBackend::Gprs(shared.clone()),
+        thread,
+        stid,
+        worker_ix,
+        popped,
+        atomic_prev,
+        joined,
+        spawned,
+        lock_out,
+    );
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        program.step(&mut ctx)
+    }));
+    let (leftover_lock, staged) = ctx.into_parts();
+    let mut g = shared.inner.lock();
+    match outcome {
+        Ok(result) => {
+            g.deposit(thread, stid, program, result, leftover_lock, staged);
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic".to_string());
+            g.running.remove(&stid);
+            if let Some((lock, data)) = leftover_lock {
+                g.return_lock(stid, lock, data);
+            }
+            g.poison(format!("step of {thread} panicked: {msg}"));
+        }
+    }
+    shared.cv.notify_all();
+}

@@ -1,0 +1,389 @@
+//! **gprs-runtime** — a globally precise-restartable execution runtime for
+//! parallel programs, reproducing Gupta, Sridharan & Sohi (PLDI 2014).
+//!
+//! The runtime executes suitably-written parallel programs (see
+//! [`program::ThreadProgram`]) deterministically and recovers from
+//! *discretionary exceptions* — soft faults, voltage emergencies,
+//! approximation errors, resource revocations — with **selective restart**:
+//! only the excepting sub-thread and the sub-threads that could have
+//! consumed its data are squashed and re-executed; everything else keeps
+//! running. The architecture follows the paper's Figure 4:
+//!
+//! * **DEX** (deterministic execution engine): intercepts every
+//!   synchronization operation, divides threads into ordered sub-threads,
+//!   checkpoints their state into a history store, and logs its own
+//!   structure mutations to a write-ahead log.
+//! * **REX** (restart engine): retires sub-threads from the
+//!   reorder-list head and executes recovery plans.
+//! * A **load-balancing scheduler**: a pool of OS
+//!   workers that actively seek granted sub-threads.
+//! * **Services**: a logged pool allocator and recoverable, output-commit-
+//!   delayed file I/O ([`ctx::StepCtx`]).
+//! * A **coordinated-CPR baseline executor** ([`cpr`]) running the same
+//!   programs with conventional checkpoint-and-recovery, for comparison.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gprs_runtime::prelude::*;
+//!
+//! // Two threads increment a shared counter under a mutex, twice each.
+//! struct Worker { mutex: MutexHandle<u64>, rounds: u32, done: u32 }
+//! impl Checkpoint for Worker {
+//!     type Snapshot = u32;
+//!     fn checkpoint(&self) -> u32 { self.done }
+//!     fn restore(&mut self, s: &u32) { self.done = *s; }
+//! }
+//! impl ThreadProgram for Worker {
+//!     fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+//!         if self.done > 0 {
+//!             // We hold the mutex: this step is the critical section.
+//!             ctx.with_lock(&self.mutex, |n| *n += 1);
+//!         }
+//!         if self.done == self.rounds {
+//!             return Step::exit_unit();
+//!         }
+//!         self.done += 1;
+//!         self.mutex.lock()
+//!     }
+//! }
+//!
+//! let mut b = GprsBuilder::new().workers(2);
+//! let counter = b.mutex(0u64);
+//! for _ in 0..2 {
+//!     b.thread(Worker { mutex: counter, rounds: 2, done: 0 },
+//!              GroupId::new(0), 1);
+//! }
+//! let gprs = b.build();
+//! let report = gprs.run().unwrap();
+//! assert_eq!(report.stats.locks_acquired, 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cpr;
+pub mod ctx;
+pub(crate) mod engine;
+pub mod handles;
+pub(crate) mod ops;
+pub mod program;
+pub mod report;
+pub(crate) mod rex;
+
+use crate::engine::{Inner, PendingException, RunConfig, Shared, SharedRef};
+use crate::handles::{
+    AtomicHandle, BarrierHandle, ChannelHandle, FileHandle, MutexHandle, RawChannel, RawMutex,
+};
+use crate::program::ThreadProgram;
+use crate::report::{RunError, RunReport};
+use gprs_core::exception::{Exception, ExceptionKind};
+use gprs_core::ids::{AtomicId, BarrierId, ChannelId, ContextId, GroupId, LockId, ThreadId};
+use gprs_core::order::ScheduleKind;
+use parking_lot::{Condvar, Mutex};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+pub use crate::engine::RecoveryPolicy;
+
+/// Configures and assembles a GPRS runtime.
+#[derive(Debug)]
+pub struct GprsBuilder {
+    schedule: ScheduleKind,
+    workers: usize,
+    recovery: RecoveryPolicy,
+    trace_cap: usize,
+    inner: Inner,
+    next_lock: u64,
+    next_chan: u64,
+    next_atomic: u64,
+    next_barrier: u64,
+    next_file: u64,
+}
+
+impl Default for GprsBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GprsBuilder {
+    /// A builder with the paper's defaults: balance-aware (basic) ordering,
+    /// selective restart, 4 workers.
+    pub fn new() -> Self {
+        let cfg = RunConfig {
+            schedule: ScheduleKind::BalanceBasic,
+            workers: 4,
+            recovery: RecoveryPolicy::Selective,
+            trace_cap: 1 << 16,
+        };
+        GprsBuilder {
+            schedule: cfg.schedule,
+            workers: cfg.workers,
+            recovery: cfg.recovery,
+            trace_cap: cfg.trace_cap,
+            inner: Inner::new(cfg),
+            next_lock: 0,
+            next_chan: 0,
+            next_atomic: 0,
+            next_barrier: 0,
+            next_file: 0,
+        }
+    }
+
+    /// Number of OS workers (hardware contexts).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// The deterministic ordering schedule.
+    pub fn schedule(mut self, kind: ScheduleKind) -> Self {
+        self.schedule = kind;
+        self
+    }
+
+    /// The recovery policy.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Caps the recorded grant trace (determinism diagnostics).
+    pub fn trace_cap(mut self, cap: usize) -> Self {
+        self.trace_cap = cap;
+        self
+    }
+
+    /// Registers a mutex owning `init`.
+    pub fn mutex<T: Clone + Send + 'static>(&mut self, init: T) -> MutexHandle<T> {
+        let id = LockId::new(self.next_lock);
+        self.next_lock += 1;
+        self.inner.locks.insert(
+            id,
+            engine::LockRec {
+                holder: None,
+                data: Some(Box::new(init)),
+            },
+        );
+        MutexHandle {
+            raw: RawMutex(id),
+            _t: PhantomData,
+        }
+    }
+
+    /// Registers a FIFO channel.
+    pub fn channel<T: Send + Sync + 'static>(&mut self) -> ChannelHandle<T> {
+        let id = ChannelId::new(self.next_chan);
+        self.next_chan += 1;
+        self.inner.chans.insert(id, engine::ChanRec::default());
+        ChannelHandle {
+            raw: RawChannel(id),
+            _t: PhantomData,
+        }
+    }
+
+    /// Registers an atomic `u64`.
+    pub fn atomic(&mut self, init: u64) -> AtomicHandle {
+        let id = AtomicId::new(self.next_atomic);
+        self.next_atomic += 1;
+        self.inner.atomics.insert(id, init);
+        AtomicHandle(id)
+    }
+
+    /// Registers a barrier for `participants` threads.
+    pub fn barrier(&mut self, participants: u32) -> BarrierHandle {
+        let id = BarrierId::new(self.next_barrier);
+        self.next_barrier += 1;
+        self.inner.barriers.insert(
+            id,
+            engine::BarrierRec {
+                participants,
+                waiting: Vec::new(),
+                arrival_sts: Vec::new(),
+                gen: 0,
+            },
+        );
+        BarrierHandle(id, participants)
+    }
+
+    /// Registers a recoverable output file.
+    pub fn file(&mut self, name: impl Into<String>) -> FileHandle {
+        let id = self.next_file;
+        self.next_file += 1;
+        self.inner.files.insert(
+            id,
+            engine::FileRec {
+                name: name.into(),
+                committed: Vec::new(),
+                staged: Vec::new(),
+            },
+        );
+        FileHandle(id)
+    }
+
+    /// Registers an initial thread; fork order defines the deterministic
+    /// registration order.
+    pub fn thread<P>(&mut self, program: P, group: GroupId, weight: u32) -> ThreadId
+    where
+        P: ThreadProgram,
+        P::Snapshot: Sized,
+    {
+        self.inner.add_thread(Box::new(program), group, weight, None)
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(mut self) -> Gprs {
+        self.inner.cfg = RunConfig {
+            schedule: self.schedule,
+            workers: self.workers,
+            recovery: self.recovery,
+            trace_cap: self.trace_cap,
+        };
+        // The schedule may have changed after threads registered: re-seed
+        // the enforcer with the final schedule.
+        let mut enforcer = gprs_core::order::OrderEnforcer::with_schedule(self.schedule);
+        for (tid, rec) in &self.inner.threads {
+            enforcer
+                .register_thread(*tid, rec.group, rec.weight)
+                .expect("unique ids");
+        }
+        self.inner.enforcer = enforcer;
+        Gprs {
+            shared: Arc::new(Shared {
+                inner: Mutex::new(self.inner),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+}
+
+/// A fully configured runtime, ready to run.
+#[derive(Debug)]
+pub struct Gprs {
+    shared: SharedRef,
+}
+
+impl Gprs {
+    /// A controller for injecting exceptions while the program runs.
+    pub fn controller(&self) -> Controller {
+        Controller {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Runs the program to completion on the configured worker pool,
+    /// shepherding it through any injected exceptions.
+    ///
+    /// # Errors
+    /// Returns [`RunError::Poisoned`] if a step panicked or the program
+    /// deadlocked (ill-formed barrier participation or channel starvation).
+    pub fn run(self) -> Result<RunReport, RunError> {
+        let workers = self.shared.inner.lock().cfg.workers;
+        let mut joins = Vec::with_capacity(workers);
+        for ix in 0..workers {
+            let shared = self.shared.clone();
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("gprs-worker-{ix}"))
+                    .spawn(move || crate::engine::worker_loop(&shared, ix))
+                    .expect("spawn worker"),
+            );
+        }
+        for j in joins {
+            j.join().expect("workers do not panic");
+        }
+        let mut inner = self.shared.inner.lock();
+        if let Some(msg) = inner.poisoned.take() {
+            return Err(RunError::Poisoned(msg));
+        }
+        let files = inner
+            .files
+            .iter()
+            .map(|(&id, f)| (id, (f.name.clone(), f.committed.clone())))
+            .collect();
+        Ok(RunReport {
+            stats: inner.stats,
+            outputs: std::mem::take(&mut inner.outputs),
+            files,
+            grant_trace: std::mem::take(&mut inner.grant_trace),
+        })
+    }
+}
+
+/// Injects discretionary exceptions into a running program — the paper's
+/// signal thread (`§4`, "System Assumptions").
+#[derive(Debug, Clone)]
+pub struct Controller {
+    shared: SharedRef,
+}
+
+impl Controller {
+    /// Raises a global exception on the given hardware context (worker).
+    /// The sub-thread running there becomes the culprit; if the context is
+    /// idle the exception is ignored, as the paper's emulation does.
+    pub fn inject_on(&self, kind: ExceptionKind, context: u32) {
+        let mut g = self.shared.inner.lock();
+        let culprit = g
+            .running
+            .iter()
+            .find(|(_, &w)| w == context as usize)
+            .map(|(&s, _)| s);
+        let exception = Exception::global(kind, ContextId::new(context), 0);
+        if let Some(c) = culprit {
+            // Attribute immediately: an excepted entry cannot retire, so
+            // the culprit is still rollback-able when recovery quiesces.
+            g.rol
+                .mark_excepted(c, exception.clone())
+                .expect("running sub-thread is in the ROL");
+        }
+        g.pending_exceptions
+            .push_back(PendingException { exception, culprit });
+        g.bump();
+        drop(g);
+        self.shared.cv.notify_all();
+    }
+
+    /// Raises a global exception on whichever context currently runs the
+    /// oldest in-flight sub-thread (guaranteeing a culprit if anything is
+    /// running). Returns whether a culprit was found.
+    pub fn inject_on_busy(&self, kind: ExceptionKind) -> bool {
+        let mut g = self.shared.inner.lock();
+        let culprit = g.running.iter().map(|(&s, &w)| (s, w)).min();
+        let Some((stid, worker)) = culprit else {
+            return false;
+        };
+        let exception = Exception::global(kind, ContextId::new(worker as u32), 0);
+        g.rol
+            .mark_excepted(stid, exception.clone())
+            .expect("running sub-thread is in the ROL");
+        g.pending_exceptions.push_back(PendingException {
+            exception,
+            culprit: Some(stid),
+        });
+        g.bump();
+        drop(g);
+        self.shared.cv.notify_all();
+        true
+    }
+
+    /// Whether the program has finished (all threads exited).
+    pub fn is_finished(&self) -> bool {
+        let g = self.shared.inner.lock();
+        g.live == 0 && g.running.is_empty()
+    }
+}
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::ctx::{BlockHandle, StepCtx};
+    pub use crate::handles::{
+        AtomicHandle, BarrierHandle, ChannelHandle, FileHandle, MutexHandle,
+    };
+    pub use crate::program::{payload_to, OneShot, Step, ThreadProgram};
+    pub use crate::report::{RunError, RunReport, RunStats};
+    pub use crate::{Controller, Gprs, GprsBuilder, RecoveryPolicy};
+    pub use gprs_core::exception::ExceptionKind;
+    pub use gprs_core::history::Checkpoint;
+    pub use gprs_core::ids::{GroupId, ThreadId};
+    pub use gprs_core::order::ScheduleKind;
+}

@@ -1,0 +1,66 @@
+//! Write-ahead-log operations protecting the runtime's own structures
+//! (`§3.2`, "Managing the Runtime State").
+//!
+//! Every mutation of a runtime structure — channel queues, lock table,
+//! atomics, thread table, allocator — is logged *before* being applied, on
+//! behalf of the sub-thread whose grant caused it. Recovery walks the
+//! squashed sub-threads' records newest-first and applies the inverse of
+//! each; retirement prunes them.
+
+use crate::program::Payload;
+use gprs_core::ids::{AtomicId, BarrierId, ChannelId, LockId, SubThreadId, ThreadId};
+use std::fmt;
+
+/// One undoable runtime operation.
+#[derive(Clone)]
+pub(crate) enum RtOp {
+    /// An item was enqueued (undo: remove that very item, identified by
+    /// pointer equality, searching from the back).
+    Push { chan: ChannelId, item: Payload },
+    /// An item was dequeued (undo: return `item` to the queue front with
+    /// its original provenance).
+    Pop {
+        chan: ChannelId,
+        item: Payload,
+        producer: Option<SubThreadId>,
+    },
+    /// Atomic fetch-add (undo: store `old`).
+    FetchAdd { atomic: AtomicId, old: u64 },
+    /// Lock acquired (undo: mark free).
+    LockAcquire { lock: LockId },
+    /// Lock released (undo: mark held by `holder` again).
+    LockRelease { lock: LockId, holder: SubThreadId },
+    /// Thread arrived at a barrier (undo: remove it from the waiting list
+    /// if the barrier has not released).
+    BarrierArrive { barrier: BarrierId, thread: ThreadId },
+    /// A child thread was created (undo: deregister the child and hand its
+    /// program back to the reinstated spawn request).
+    SpawnChild { child: ThreadId },
+    /// A thread exited (undo: resurrect it and discard its output).
+    ThreadExit { thread: ThreadId },
+    /// Pool allocation (undo: free the block).
+    Alloc { block: u64 },
+    /// Pool free (undo: restore the block with its former contents).
+    Free { block: u64, data: Vec<u8> },
+}
+
+impl fmt::Debug for RtOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtOp::Push { chan, .. } => write!(f, "Push({chan})"),
+            RtOp::Pop { chan, producer, .. } => {
+                write!(f, "Pop({chan}, producer {producer:?})")
+            }
+            RtOp::FetchAdd { atomic, old } => write!(f, "FetchAdd({atomic}, old {old})"),
+            RtOp::LockAcquire { lock } => write!(f, "LockAcquire({lock})"),
+            RtOp::LockRelease { lock, holder } => write!(f, "LockRelease({lock}, by {holder})"),
+            RtOp::BarrierArrive { barrier, thread } => {
+                write!(f, "BarrierArrive({barrier}, {thread})")
+            }
+            RtOp::SpawnChild { child } => write!(f, "SpawnChild({child})"),
+            RtOp::ThreadExit { thread } => write!(f, "ThreadExit({thread})"),
+            RtOp::Alloc { block } => write!(f, "Alloc(#{block})"),
+            RtOp::Free { block, data } => write!(f, "Free(#{block}, {} bytes)", data.len()),
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Run statistics and the final report.
+
+use crate::program::{payload_to, Payload};
+use gprs_core::ids::{SubThreadId, ThreadId};
+use std::collections::BTreeMap;
+
+/// Counters accumulated over one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Sub-threads created (including re-executions after squash).
+    pub subthreads: u64,
+    /// Sub-threads retired.
+    pub retired: u64,
+    /// Ordered grants issued.
+    pub grants: u64,
+    /// Wasted turns: empty-FIFO polls and unfinished-join retries.
+    pub polls: u64,
+    /// Exceptions delivered to the REX.
+    pub exceptions: u64,
+    /// Exceptions whose culprit had already retired or was idle.
+    pub exceptions_ignored: u64,
+    /// Sub-threads squashed by recovery.
+    pub squashed: u64,
+    /// Recovery episodes executed.
+    pub recoveries: u64,
+    /// Lock acquisitions (opening + nested).
+    pub locks_acquired: u64,
+    /// Dynamic thread spawns (including respawns during recovery).
+    pub spawns: u64,
+    /// Barrier releases.
+    pub barrier_releases: u64,
+    /// Serialized (exclusive) sections executed.
+    pub serialized: u64,
+    /// Pool allocations.
+    pub allocs: u64,
+    /// Peak reorder-list occupancy.
+    pub rol_peak: usize,
+}
+
+/// Result of a completed run.
+pub struct RunReport {
+    /// Final statistics.
+    pub stats: RunStats,
+    /// Thread outputs (from their `Step::Exit` values).
+    pub outputs: BTreeMap<ThreadId, Payload>,
+    /// Committed contents of every registered file, by registration index.
+    pub files: BTreeMap<u64, (String, Vec<u8>)>,
+    /// The deterministic grant trace `(sub-thread, thread)`, capped at the
+    /// configured length; identical across runs with the same exception
+    /// schedule regardless of worker count.
+    pub grant_trace: Vec<(SubThreadId, ThreadId)>,
+}
+
+impl RunReport {
+    /// Typed access to a thread's exit value.
+    ///
+    /// # Panics
+    /// Panics if the thread produced no output or on a type mismatch.
+    pub fn output<T: Clone + Send + Sync + 'static>(&self, thread: ThreadId) -> T {
+        let p = self
+            .outputs
+            .get(&thread)
+            .unwrap_or_else(|| panic!("{thread} produced no output"));
+        payload_to(p)
+    }
+
+    /// Committed bytes of a file by handle index.
+    pub fn file_contents(&self, index: u64) -> &[u8] {
+        self.files
+            .get(&index)
+            .map(|(_, bytes)| bytes.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+impl std::fmt::Debug for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunReport")
+            .field("stats", &self.stats)
+            .field("outputs", &self.outputs.len())
+            .field("files", &self.files.len())
+            .finish()
+    }
+}
+
+/// Errors terminating a run abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// A step panicked; the runtime was poisoned.
+    Poisoned(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Poisoned(msg) => write!(f, "runtime poisoned: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn typed_output_access() {
+        let mut outputs: BTreeMap<ThreadId, Payload> = BTreeMap::new();
+        outputs.insert(ThreadId::new(0), Arc::new(41u64));
+        let report = RunReport {
+            stats: RunStats::default(),
+            outputs,
+            files: BTreeMap::new(),
+            grant_trace: Vec::new(),
+        };
+        assert_eq!(report.output::<u64>(ThreadId::new(0)), 41);
+        assert!(report.file_contents(0).is_empty());
+    }
+
+    #[test]
+    fn run_error_displays() {
+        let e = RunError::Poisoned("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,467 @@
+//! The Restart Engine (REX): executes recovery plans against the live
+//! runtime state (`§3.4`).
+//!
+//! Recovery runs with the runtime quiesced (no step executing) and the
+//! state lock held. For each pending exception it:
+//!
+//! 1. attributes the exception to its culprit sub-thread (dropping it if
+//!    the culprit already retired — retirement is the commit point);
+//! 2. computes the affected set — everything younger that could have
+//!    consumed the culprit's data: same-thread successors, channel-item
+//!    consumers, lock/atomic-alias sharers, barrier co-participants and
+//!    spawned/joined descendants (or simply the whole younger suffix under
+//!    [`crate::engine::RecoveryPolicy::Basic`]);
+//! 3. undoes the squashed sub-threads' **runtime operations** by walking
+//!    their write-ahead-log records newest-first;
+//! 4. undoes their **program state** from the history store (thread
+//!    snapshots, lock mod-sets, allocator blocks), newest-first;
+//! 5. drops their staged (uncommitted) file output;
+//! 6. removes their reorder-list entries and re-arms each squashed thread
+//!    with the synchronization request that opened its oldest squashed
+//!    sub-thread, so normal granting re-executes exactly the discarded
+//!    work while every unaffected sub-thread continues untouched.
+
+use crate::engine::{Inner, OpeningWant, PendingWant, RecoveryPolicy, ThState};
+use crate::handles::{RawChannel, RawMutex};
+use crate::ops::RtOp;
+use crate::program::{DynThread, Step};
+use gprs_core::ids::{BarrierId, ResourceId, SubThreadId, ThreadId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Drains and handles every pending exception. Requires quiescence
+/// (`inner.running` empty) — the worker loop guarantees it.
+pub(crate) fn perform_recovery(inner: &mut Inner) {
+    debug_assert!(inner.running.is_empty(), "recovery requires quiescence");
+    while let Some(pe) = inner.pending_exceptions.pop_front() {
+        inner.stats.exceptions += 1;
+        let culprit = match pe.culprit {
+            Some(c) if inner.rol.contains(c) => c,
+            _ => {
+                inner.stats.exceptions_ignored += 1;
+                continue;
+            }
+        };
+        inner
+            .rol
+            .mark_excepted(culprit, pe.exception)
+            .expect("culprit checked in ROL"); // idempotent re-mark
+        recover_one(inner, culprit);
+    }
+}
+
+fn recover_one(inner: &mut Inner, culprit: SubThreadId) {
+    let affected = affected_set(inner, culprit);
+    inner.stats.squashed += affected.len() as u64;
+
+    // Oldest affected sub-thread per thread: the point each thread rolls
+    // back to (recorded before entries leave the ROL).
+    let mut oldest_per_thread: BTreeMap<ThreadId, SubThreadId> = BTreeMap::new();
+    for &id in &affected {
+        let t = inner.rol.get(id).expect("affected in ROL").thread();
+        oldest_per_thread.entry(t).or_insert(id);
+    }
+
+    // Barrier generations whose release is undone (an arrival squashed):
+    // their parked continuations must re-wait instead of re-running.
+    let undone_gens: BTreeSet<(BarrierId, u64)> = affected
+        .iter()
+        .filter_map(|id| inner.arrival_gen.get(id).copied())
+        .collect();
+
+    for &id in &affected {
+        inner.rol.mark_squashed(id).expect("affected in ROL");
+    }
+
+    // Order-faithful redo: record, in original total order, every squashed
+    // sub-thread that was opened by a lock or atomic operation. Their
+    // re-executions must re-acquire in exactly this order, or replayed
+    // critical sections could interleave differently than the fault-free
+    // execution. Entries of threads being re-squashed are superseded.
+    let affected_threads: BTreeSet<ThreadId> = affected
+        .iter()
+        .map(|&id| inner.rol.get(id).expect("affected in ROL").thread())
+        .collect();
+    inner.redo_locks.retain(|t| !affected_threads.contains(t));
+    for &id in &affected {
+        if let Some(rec) = inner.opening.get(&id) {
+            if matches!(
+                rec.want,
+                OpeningWant::Lock(_) | OpeningWant::FetchAdd(_, _)
+            ) {
+                let t = inner.rol.get(id).expect("affected in ROL").thread();
+                inner.redo_locks.push_back(t);
+            }
+        }
+    }
+
+    // --- 3. WAL undo, newest first. -----------------------------------
+    let squash_set: BTreeSet<SubThreadId> = affected.iter().copied().collect();
+    let records = inner.wal.take_undo_records(&squash_set);
+    let mut reclaimed: BTreeMap<ThreadId, Box<dyn DynThread>> = BTreeMap::new();
+    for rec in records {
+        undo_op(inner, rec.subthread, rec.op, &mut reclaimed);
+    }
+
+    // --- 4. History undo, newest first (existence-guarded). -----------
+    apply_history_undo(inner, &squash_set, &mut reclaimed);
+
+    // --- 5. Drop staged output of squashed sub-threads. ---------------
+    for file in inner.files.values_mut() {
+        file.staged.retain(|(s, _)| !squash_set.contains(s));
+    }
+
+    // --- 6. Remove ROL entries (youngest first) and metadata. ----------
+    for &id in affected.iter().rev() {
+        inner
+            .rol
+            .remove_squashed(id)
+            .expect("marked squashed above");
+        inner.arrival_gen.remove(&id);
+        inner.edges.remove(&id);
+    }
+    for gen_key in &undone_gens {
+        inner.gens.remove(gen_key);
+    }
+    for gen in inner.gens.values_mut() {
+        gen.resumes.retain(|r| !squash_set.contains(r));
+        gen.arrivals.retain(|a| !squash_set.contains(a));
+    }
+
+    // --- Re-arm squashed threads. --------------------------------------
+    let mut openings: BTreeMap<ThreadId, crate::engine::OpeningRec> = BTreeMap::new();
+    for (&t, &oldest) in &oldest_per_thread {
+        if let Some(rec) = inner.opening.remove(&oldest) {
+            openings.insert(t, rec);
+        }
+    }
+    for &id in &affected {
+        inner.opening.remove(&id);
+    }
+    for (t, opening) in openings {
+        reinstate(inner, t, opening, &undone_gens, &mut reclaimed);
+    }
+    debug_assert!(
+        reclaimed.is_empty(),
+        "every reclaimed child is re-owned by a respawn request"
+    );
+    inner.stats.recoveries += 1;
+}
+
+/// Computes the ascending affected set of `culprit` under the configured
+/// policy.
+fn affected_set(inner: &Inner, culprit: SubThreadId) -> Vec<SubThreadId> {
+    if inner.cfg.recovery == RecoveryPolicy::Basic {
+        let mut suffix = inner.rol.squash_suffix(culprit);
+        suffix.reverse(); // ascending
+        return suffix;
+    }
+    let culprit_entry = inner.rol.get(culprit).expect("culprit in ROL");
+    let mut affected: BTreeSet<SubThreadId> = BTreeSet::new();
+    affected.insert(culprit);
+    let mut tainted_threads: BTreeSet<ThreadId> = BTreeSet::new();
+    tainted_threads.insert(culprit_entry.thread());
+    let mut tainted_aliases: BTreeSet<ResourceId> = BTreeSet::new();
+    for r in &culprit_entry.resources {
+        if !matches!(r, ResourceId::Channel(_)) {
+            tainted_aliases.insert(*r);
+        }
+    }
+    let mut dependents: BTreeSet<SubThreadId> = BTreeSet::new();
+    if let Some(es) = inner.edges.get(&culprit) {
+        dependents.extend(es.iter().copied());
+    }
+    let mut tainted_gens: BTreeSet<(BarrierId, u64)> = BTreeSet::new();
+    if let Some(g) = inner.arrival_gen.get(&culprit) {
+        tainted_gens.insert(*g);
+    }
+
+    // Taint flows old → young only, so one ascending pass suffices.
+    for e in inner.rol.iter_younger(culprit) {
+        let id = e.id();
+        let same_thread = tainted_threads.contains(&e.thread());
+        let shares_alias = e.resources.iter().any(|r| {
+            !matches!(r, ResourceId::Channel(_)) && tainted_aliases.contains(r)
+        });
+        let is_dependent = dependents.contains(&id);
+        let tainted_resume = match inner.opening.get(&id).map(|o| &o.want) {
+            Some(OpeningWant::Resume(b, gen)) => tainted_gens.contains(&(*b, *gen)),
+            _ => false,
+        };
+        if same_thread || shares_alias || is_dependent || tainted_resume {
+            affected.insert(id);
+            tainted_threads.insert(e.thread());
+            for r in &e.resources {
+                if !matches!(r, ResourceId::Channel(_)) {
+                    tainted_aliases.insert(*r);
+                }
+            }
+            if let Some(es) = inner.edges.get(&id) {
+                dependents.extend(es.iter().copied());
+            }
+            if let Some(g) = inner.arrival_gen.get(&id) {
+                tainted_gens.insert(*g);
+            }
+        }
+    }
+    affected.into_iter().collect()
+}
+
+/// Applies the inverse of one logged runtime operation.
+fn undo_op(
+    inner: &mut Inner,
+    op_subthread: SubThreadId,
+    op: RtOp,
+    reclaimed: &mut BTreeMap<ThreadId, Box<dyn DynThread>>,
+) {
+    match op {
+        RtOp::Push { chan, item } => {
+            // Remove that very item (pointer identity), searching from the
+            // back: unaffected producers' items interleaved after it stay.
+            // If a consumer popped it, the consumer is squashed and its pop
+            // was undone first (newer LSN), so the item is present.
+            let _ = op_subthread;
+            if let Some(c) = inner.chans.get_mut(&chan) {
+                if let Some(ix) = c
+                    .items
+                    .iter()
+                    .rposition(|(i, _)| Arc::ptr_eq(i, &item))
+                {
+                    c.items.remove(ix);
+                }
+            }
+        }
+        RtOp::Pop {
+            chan,
+            item,
+            producer,
+        } => {
+            inner
+                .chans
+                .entry(chan)
+                .or_default()
+                .items
+                .push_front((item, producer));
+        }
+        RtOp::FetchAdd { atomic, old } => {
+            inner.atomics.insert(atomic, old);
+        }
+        RtOp::LockAcquire { lock } => {
+            if let Some(l) = inner.locks.get_mut(&lock) {
+                l.holder = None;
+            }
+        }
+        RtOp::LockRelease { lock, holder } => {
+            if let Some(l) = inner.locks.get_mut(&lock) {
+                l.holder = Some(holder);
+            }
+        }
+        RtOp::BarrierArrive { barrier, thread } => {
+            if let Some(bar) = inner.barriers.get_mut(&barrier) {
+                bar.waiting.retain(|&t| t != thread);
+                bar.arrival_sts.retain(|&s| s != op_subthread);
+            }
+        }
+        RtOp::SpawnChild { child } => {
+            let mut crec = inner
+                .threads
+                .remove(&child)
+                .expect("spawned child still registered");
+            if crec.registered {
+                inner
+                    .enforcer
+                    .deregister_thread(child)
+                    .expect("was registered");
+            }
+            if crec.state != ThState::Done {
+                inner.live -= 1;
+            }
+            let program = crec
+                .program
+                .take()
+                .expect("child quiesced, program parked");
+            reclaimed.insert(child, program);
+        }
+        RtOp::ThreadExit { thread } => {
+            let rec = inner.threads.get_mut(&thread).expect("thread exists");
+            rec.state = ThState::Active;
+            rec.final_st = None;
+            if !rec.registered {
+                rec.registered = true;
+                inner
+                    .enforcer
+                    .register_thread(thread, rec.group, rec.weight)
+                    .expect("was deregistered");
+            }
+            inner.outputs.remove(&thread);
+            inner.live += 1;
+        }
+        RtOp::Alloc { block } => {
+            inner.blocks.remove(&block);
+        }
+        RtOp::Free { block, data } => {
+            inner.blocks.insert(block, data);
+        }
+    }
+}
+
+/// Applies program-state snapshots of the squashed set, newest first.
+fn apply_history_undo(
+    inner: &mut Inner,
+    squash: &BTreeSet<SubThreadId>,
+    reclaimed: &mut BTreeMap<ThreadId, Box<dyn DynThread>>,
+) {
+    enum Undo {
+        Thread(ThreadId, Box<dyn std::any::Any + Send>),
+        Lock(gprs_core::ids::LockId, Box<dyn crate::handles::Recoverable>),
+        Block(u64, Vec<u8>),
+    }
+    let mut undos: Vec<(u64, Undo)> = Vec::new();
+    let hist = &mut inner.hist;
+    let mut keep = Vec::new();
+    for (seq, st, t, snap) in hist.thread_snaps.drain(..) {
+        if squash.contains(&st) {
+            undos.push((seq, Undo::Thread(t, snap)));
+        } else {
+            keep.push((seq, st, t, snap));
+        }
+    }
+    hist.thread_snaps = keep;
+    let mut keep = Vec::new();
+    for (seq, st, l, snap) in hist.lock_snaps.drain(..) {
+        if squash.contains(&st) {
+            undos.push((seq, Undo::Lock(l, snap)));
+        } else {
+            keep.push((seq, st, l, snap));
+        }
+    }
+    hist.lock_snaps = keep;
+    let mut keep = Vec::new();
+    for (seq, st, b, snap) in hist.block_snaps.drain(..) {
+        if squash.contains(&st) {
+            undos.push((seq, Undo::Block(b, snap)));
+        } else {
+            keep.push((seq, st, b, snap));
+        }
+    }
+    hist.block_snaps = keep;
+
+    undos.sort_by(|a, b| b.0.cmp(&a.0)); // newest first
+    for (_, u) in undos {
+        match u {
+            Undo::Thread(t, snap) => {
+                if let Some(rec) = inner.threads.get_mut(&t) {
+                    rec.program
+                        .as_mut()
+                        .expect("quiesced")
+                        .restore_from(snap.as_ref());
+                } else if let Some(program) = reclaimed.get_mut(&t) {
+                    program.restore_from(snap.as_ref());
+                }
+            }
+            Undo::Lock(l, snap) => {
+                if let Some(lock) = inner.locks.get_mut(&l) {
+                    lock.data = Some(snap);
+                }
+            }
+            Undo::Block(b, snap) => {
+                if let std::collections::btree_map::Entry::Occupied(mut e) =
+                    inner.blocks.entry(b)
+                {
+                    e.insert(snap);
+                }
+            }
+        }
+    }
+}
+
+/// Re-arms a squashed thread with the request that opened its oldest
+/// squashed sub-thread.
+fn reinstate(
+    inner: &mut Inner,
+    thread: ThreadId,
+    opening: crate::engine::OpeningRec,
+    undone_gens: &BTreeSet<(BarrierId, u64)>,
+    reclaimed: &mut BTreeMap<ThreadId, Box<dyn DynThread>>,
+) {
+    let Some(rec) = inner.threads.get_mut(&thread) else {
+        // The thread itself was un-spawned; its parent's reinstated spawn
+        // request owns its program now.
+        return;
+    };
+    rec.current_st = opening.prev;
+    // Normalize registration: squashing may have left the thread parked or
+    // deregistered.
+    if let ThState::Parked(b) = rec.state {
+        // It re-executes from before (or at) the arrival; un-park.
+        if let Some(bar) = inner.barriers.get_mut(&b) {
+            bar.waiting.retain(|&t| t != thread);
+        }
+        rec.state = ThState::Active;
+    }
+    let rec = inner.threads.get_mut(&thread).expect("present");
+    if rec.state == ThState::Done {
+        rec.state = ThState::Active;
+        inner.live += 1;
+        inner.outputs.remove(&thread);
+    }
+    let rec = inner.threads.get_mut(&thread).expect("present");
+    if !rec.registered {
+        rec.registered = true;
+        let (g, w) = (rec.group, rec.weight);
+        inner
+            .enforcer
+            .register_thread(thread, g, w)
+            .expect("was deregistered");
+    }
+
+    let pending = match opening.want {
+        OpeningWant::Start => Some(PendingWant::Start),
+        OpeningWant::Lock(l) => Some(PendingWant::Op(Step::Lock(RawMutex(l)))),
+        OpeningWant::Push(c, v) => Some(PendingWant::Op(Step::Push(RawChannel(c), v))),
+        OpeningWant::Pop(c) => Some(PendingWant::Op(Step::Pop(RawChannel(c)))),
+        OpeningWant::FetchAdd(a, d) => Some(PendingWant::Op(Step::FetchAdd(a, d))),
+        OpeningWant::JoinParent(t) => Some(PendingWant::Op(Step::Join(t))),
+        OpeningWant::SerializedRun => Some(PendingWant::SerializedRun),
+        OpeningWant::SpawnParent {
+            child,
+            group,
+            weight,
+        } => {
+            let program = reclaimed
+                .remove(&child)
+                .expect("un-spawned child program reclaimed");
+            Some(PendingWant::Respawn {
+                child,
+                group,
+                weight,
+                program,
+            })
+        }
+        OpeningWant::Resume(b, gen) => {
+            if undone_gens.contains(&(b, gen)) {
+                // The release itself was undone: re-park and wait for the
+                // squashed arrivals to re-arrive.
+                let rec = inner.threads.get_mut(&thread).expect("present");
+                rec.state = ThState::Parked(b);
+                rec.registered = false;
+                inner
+                    .enforcer
+                    .deregister_thread(thread)
+                    .expect("registered above");
+                let arrival = inner.threads[&thread].current_st;
+                let bar = inner.barriers.get_mut(&b).expect("registered barrier");
+                bar.waiting.push(thread);
+                if let Some(a) = arrival {
+                    bar.arrival_sts.push(a);
+                }
+                bar.waiting.sort_unstable();
+                None
+            } else {
+                // Only the continuation was squashed; the release stands.
+                Some(PendingWant::Resume(b, gen))
+            }
+        }
+    };
+    inner.threads.get_mut(&thread).expect("present").pending = pending;
+}

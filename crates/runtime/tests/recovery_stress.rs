@@ -1,0 +1,321 @@
+//! Stress tests of the REX recovery paths: atomics, spawn trees,
+//! serialized sections, the order-faithful redo gate, and deterministic
+//! injection points.
+
+use gprs_runtime::ctx::StepCtx;
+use gprs_runtime::prelude::*;
+use std::time::Duration;
+
+fn storm(ctl: Controller, period_us: u64) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let mut n = 0;
+        while !ctl.is_finished() {
+            if ctl.inject_on_busy(ExceptionKind::SoftFault) {
+                n += 1;
+            }
+            std::thread::sleep(Duration::from_micros(period_us));
+        }
+        n
+    })
+}
+
+/// Adds a deterministic function of its round into an atomic; the final
+/// atomic value is exact iff every squashed fetch-add was undone and redone
+/// exactly once.
+struct AtomicAdder {
+    atomic: AtomicHandle,
+    rounds: u64,
+    done: u64,
+    burn: u64,
+}
+
+impl Checkpoint for AtomicAdder {
+    type Snapshot = u64;
+    fn checkpoint(&self) -> u64 {
+        self.done
+    }
+    fn restore(&mut self, s: &u64) {
+        self.done = *s;
+    }
+}
+
+impl ThreadProgram for AtomicAdder {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Step {
+        // Burn cycles so injections land mid-step.
+        let mut x = self.done + 1;
+        for i in 0..self.burn {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        if self.done == self.rounds {
+            return Step::exit_unit();
+        }
+        self.done += 1;
+        self.atomic.fetch_add(self.done * self.done)
+    }
+}
+
+#[test]
+fn atomic_sums_are_exact_under_storm() {
+    let rounds = 40u64;
+    let threads = 3u64;
+    let expected: u64 = (1..=rounds).map(|r| r * r).sum::<u64>() * threads;
+    for burn in [2_000u64, 20_000] {
+        let mut b = GprsBuilder::new().workers(3);
+        let total = b.atomic(0);
+        let probe = b.atomic(0);
+        for _ in 0..threads {
+            b.thread(
+                AtomicAdder { atomic: total, rounds, done: 0, burn },
+                GroupId::new(0),
+                1,
+            );
+        }
+        // Auditor polls `total` via fetch_add(0) until it reaches the
+        // expected value (it can only reach it exactly once all adds are
+        // in, since every addend is positive).
+        struct Auditor {
+            total: AtomicHandle,
+            probe: AtomicHandle,
+            expected: u64,
+            ready: bool,
+        }
+        impl Checkpoint for Auditor {
+            type Snapshot = bool;
+            fn checkpoint(&self) -> bool {
+                self.ready
+            }
+            fn restore(&mut self, s: &bool) {
+                self.ready = *s;
+            }
+        }
+        impl ThreadProgram for Auditor {
+            fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+                if self.ready {
+                    let seen = ctx.atomic_prev();
+                    if seen >= self.expected {
+                        return Step::exit(seen);
+                    }
+                    let _ = self.probe;
+                }
+                self.ready = true;
+                self.total.fetch_add(0)
+            }
+        }
+        let auditor = b.thread(
+            Auditor { total, probe, expected, ready: false },
+            GroupId::new(1),
+            1,
+        );
+        let gprs = b.build();
+        let injector = storm(gprs.controller(), 200);
+        let report = gprs.run().unwrap();
+        injector.join().unwrap();
+        assert_eq!(
+            report.output::<u64>(auditor),
+            expected,
+            "burn {burn}, stats {:?}",
+            report.stats
+        );
+    }
+}
+
+/// A recursive spawn tree: each node spawns two children down to a depth,
+/// then sums their results via joins. Exceptions land on spawn/join
+/// continuations, exercising the SpawnChild/ThreadExit undo paths.
+struct TreeNode {
+    depth: u32,
+    stage: u8,
+    left: Option<ThreadId>,
+    right: Option<ThreadId>,
+    left_sum: u64,
+}
+
+impl TreeNode {
+    fn new(depth: u32) -> Self {
+        TreeNode {
+            depth,
+            stage: 0,
+            left: None,
+            right: None,
+            left_sum: 0,
+        }
+    }
+}
+
+impl Checkpoint for TreeNode {
+    type Snapshot = (u8, Option<ThreadId>, Option<ThreadId>, u64);
+    fn checkpoint(&self) -> Self::Snapshot {
+        (self.stage, self.left, self.right, self.left_sum)
+    }
+    fn restore(&mut self, s: &Self::Snapshot) {
+        self.stage = s.0;
+        self.left = s.1;
+        self.right = s.2;
+        self.left_sum = s.3;
+    }
+}
+
+impl ThreadProgram for TreeNode {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        if self.depth == 0 {
+            return Step::exit(1u64);
+        }
+        match self.stage {
+            0 => {
+                self.stage = 1;
+                Step::spawn(TreeNode::new(self.depth - 1), GroupId::new(self.depth), 1)
+            }
+            1 => {
+                self.left = Some(ctx.spawned());
+                self.stage = 2;
+                Step::spawn(TreeNode::new(self.depth - 1), GroupId::new(self.depth), 1)
+            }
+            2 => {
+                self.right = Some(ctx.spawned());
+                self.stage = 3;
+                Step::join(self.left.expect("left spawned"))
+            }
+            3 => {
+                self.left_sum = ctx.joined();
+                self.stage = 4;
+                Step::join(self.right.expect("right spawned"))
+            }
+            _ => {
+                let right_sum: u64 = ctx.joined();
+                Step::exit(self.left_sum + right_sum + 1)
+            }
+        }
+    }
+}
+
+#[test]
+fn spawn_tree_is_exact_under_storm() {
+    for inject in [false, true] {
+        let mut b = GprsBuilder::new().workers(3);
+        let root = b.thread(TreeNode::new(4), GroupId::new(9), 1);
+        let gprs = b.build();
+        let injector = inject.then(|| storm(gprs.controller(), 300));
+        let report = gprs.run().unwrap();
+        if let Some(j) = injector {
+            j.join().unwrap();
+        }
+        // A full binary tree of depth 4: 2^5 - 1 nodes.
+        assert_eq!(report.output::<u64>(root), 31, "inject={inject}");
+        assert!(report.stats.spawns >= 30, "30 spawns minimum (plus respawns)");
+    }
+}
+
+/// Serialized sections under a storm: the exclusive step must still run
+/// alone and recovery must handle an exception attributed to it.
+#[test]
+fn serialized_sections_survive_storm() {
+    struct SerialHop {
+        atomic: AtomicHandle,
+        hops: u8,
+        done: u8,
+        serialized_next: bool,
+    }
+    impl Checkpoint for SerialHop {
+        type Snapshot = (u8, bool);
+        fn checkpoint(&self) -> Self::Snapshot {
+            (self.done, self.serialized_next)
+        }
+        fn restore(&mut self, s: &Self::Snapshot) {
+            self.done = s.0;
+            self.serialized_next = s.1;
+        }
+    }
+    impl ThreadProgram for SerialHop {
+        fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Step {
+            if self.serialized_next {
+                // This is the exclusive step.
+                self.serialized_next = false;
+                let mut x = 0u64;
+                for i in 0..10_000u64 {
+                    x = x.wrapping_add(i * i);
+                }
+                std::hint::black_box(x);
+                return self.atomic.fetch_add(1_000);
+            }
+            if self.done == self.hops {
+                return Step::exit_unit();
+            }
+            self.done += 1;
+            if self.done % 2 == 0 {
+                self.serialized_next = true;
+                Step::Serialized
+            } else {
+                self.atomic.fetch_add(1)
+            }
+        }
+    }
+    let mut b = GprsBuilder::new().workers(3);
+    let a = b.atomic(0);
+    for _ in 0..2 {
+        b.thread(
+            SerialHop { atomic: a, hops: 8, done: 0, serialized_next: false },
+            GroupId::new(0),
+            1,
+        );
+    }
+    let gprs = b.build();
+    let injector = storm(gprs.controller(), 250);
+    let report = gprs.run().unwrap();
+    injector.join().unwrap();
+    // 2 threads × (4 odd hops × 1 + 4 even hops × 1000) = 8 + 8000.
+    assert_eq!(report.stats.serialized, 8);
+    assert!(report.stats.exceptions >= report.stats.recoveries);
+}
+
+/// Deterministic single-point injection: inject on every distinct context
+/// id, including idle ones, and verify the run completes exactly.
+#[test]
+fn targeted_context_injection() {
+    let mut b = GprsBuilder::new().workers(4);
+    let total = b.atomic(0);
+    for _ in 0..4 {
+        b.thread(
+            AtomicAdder { atomic: total, rounds: 20, done: 0, burn: 30_000 },
+            GroupId::new(0),
+            1,
+        );
+    }
+    let gprs = b.build();
+    let ctl = gprs.controller();
+    let h = std::thread::spawn(move || {
+        for ctx in 0..8u32 {
+            // Contexts 4..8 do not exist: those injections are ignored.
+            ctl.inject_on(ExceptionKind::ResourceRevocation, ctx % 8);
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    });
+    let report = gprs.run().unwrap();
+    h.join().unwrap();
+    // Injections racing program completion may arrive after the last worker
+    // exits and never be processed; those are simply lost.
+    assert!(report.stats.exceptions <= 8);
+    assert!(report.stats.exceptions_ignored <= report.stats.exceptions);
+    assert_eq!(report.stats.subthreads, report.stats.retired + report.stats.squashed);
+}
+
+/// The WAL and history prune to empty once everything retires.
+#[test]
+fn recovery_state_is_pruned_at_exit() {
+    let mut b = GprsBuilder::new().workers(2);
+    let total = b.atomic(0);
+    for _ in 0..3 {
+        b.thread(
+            AtomicAdder { atomic: total, rounds: 30, done: 0, burn: 5_000 },
+            GroupId::new(0),
+            1,
+        );
+    }
+    let gprs = b.build();
+    let injector = storm(gprs.controller(), 400);
+    let report = gprs.run().unwrap();
+    injector.join().unwrap();
+    let s = report.stats;
+    assert_eq!(s.subthreads, s.retired + s.squashed, "{s:?}");
+    assert_eq!(s.rol_peak > 0, true);
+}

@@ -1,0 +1,900 @@
+//! The GPRS engine: deterministic token-ordered execution with sub-thread
+//! checkpointing, a reorder list, and selective restart (`§3`).
+//!
+//! Threads run their segment bodies concurrently on a simulated context
+//! pool, but every synchronization operation — the boundary that opens a new
+//! sub-thread — must be performed in the deterministic total order imposed
+//! by the configured schedule. A holder that polls an empty FIFO passes the
+//! token (Figure 7); a holder whose turn has not come waits, accruing the
+//! ordering delay `t_g`'s wait component.
+//!
+//! ## Exception handling
+//!
+//! Exceptions are attributed to the sub-thread whose body occupied the
+//! victim context when the exception was raised. Recovery squashes the
+//! affected set — under *selective* scope: the culprit, its same-thread
+//! successors, consumers of the data items it pushed (tracked by
+//! channel-item provenance, which is finer than the lock alias because the
+//! runtime manages its FIFOs and can undo a pop by returning the item to the
+//! front), and younger sub-threads sharing a lock or atomic alias. Squashed
+//! work is charged as re-execution time on the victimized threads only;
+//! unaffected sub-threads keep running, which is what makes the tipping rate
+//! scale with the context count.
+
+use crate::costs::MechCosts;
+use crate::result::SimResult;
+use crate::workload::{SimOp, Workload};
+use gprs_core::exception::{ExceptionInjector, InjectorConfig};
+use gprs_core::ids::{BarrierId, ChannelId, LockId, SubThreadId, ThreadId};
+use gprs_core::order::{OrderEnforcer, ScheduleKind};
+use gprs_core::rol::ReorderList;
+use gprs_core::subthread::{SubThread, SubThreadKind, SyncOp};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Which sub-threads recovery squashes (the simulator-level counterpart of
+/// [`gprs_core::recovery::RecoveryMode`], with channel provenance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryScope {
+    /// Squash the culprit and everything younger.
+    Basic,
+    /// Squash only the culprit and its dependents.
+    Selective,
+}
+
+/// Configuration of a GPRS simulation.
+#[derive(Debug, Clone)]
+pub struct GprsSimConfig {
+    /// Hardware contexts `n`.
+    pub contexts: u32,
+    /// Mechanism costs.
+    pub costs: MechCosts,
+    /// The deterministic ordering schedule.
+    pub schedule: ScheduleKind,
+    /// Recovery scope.
+    pub recovery: RecoveryScope,
+    /// Exception injection.
+    pub exceptions: Option<InjectorConfig>,
+    /// Wall-clock cap in cycles; exceeding it reports DNC.
+    pub time_cap_cycles: u64,
+}
+
+impl GprsSimConfig {
+    /// Balance-aware (basic) GPRS on `n` contexts, selective restart, no
+    /// exceptions.
+    pub fn balance_aware(contexts: u32) -> Self {
+        GprsSimConfig {
+            contexts,
+            costs: MechCosts::paper_default(),
+            schedule: ScheduleKind::BalanceBasic,
+            recovery: RecoveryScope::Selective,
+            exceptions: None,
+            time_cap_cycles: u64::MAX / 4,
+        }
+    }
+
+    /// Round-robin-ordered GPRS (the naive schedule of Figure 7(a)).
+    pub fn round_robin(contexts: u32) -> Self {
+        GprsSimConfig {
+            schedule: ScheduleKind::RoundRobin,
+            ..Self::balance_aware(contexts)
+        }
+    }
+
+    /// Weighted balance-aware GPRS (uses the workload's group weights).
+    pub fn weighted(contexts: u32) -> Self {
+        GprsSimConfig {
+            schedule: ScheduleKind::BalanceWeighted,
+            ..Self::balance_aware(contexts)
+        }
+    }
+
+    /// Enables exception injection.
+    pub fn with_exceptions(mut self, injector: InjectorConfig) -> Self {
+        self.exceptions = Some(injector);
+        self
+    }
+
+    /// Sets the recovery scope.
+    pub fn with_recovery(mut self, scope: RecoveryScope) -> Self {
+        self.recovery = scope;
+        self
+    }
+
+    /// Sets the DNC cap.
+    pub fn with_time_cap(mut self, cycles: u64) -> Self {
+        self.time_cap_cycles = cycles;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Body {
+    thread: usize,
+    ctx: usize,
+    start: u64,
+    end: u64,
+    /// Computation span (excluding restore prefixes added by recovery).
+    span: u64,
+}
+
+#[derive(Debug)]
+struct GThread {
+    started: bool,
+    /// Index of the segment whose closing op is the next pending request.
+    op_ix: usize,
+    /// Time the thread arrives at that sync point (current body end).
+    request_at: u64,
+    /// Set while waiting inside a barrier (thread deregistered from the
+    /// token rotation).
+    in_barrier: bool,
+    /// Pending barrier continuation: the next grant opens the continuation
+    /// sub-thread instead of consuming an op.
+    resume_barrier: Option<BarrierId>,
+    done: bool,
+    current_st: Option<SubThreadId>,
+}
+
+/// Runs a workload on the GPRS engine.
+///
+/// # Examples
+/// ```
+/// use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+/// use gprs_sim::workload::{Segment, SimOp, ThreadSpec, Workload};
+/// use gprs_core::ids::{GroupId, ThreadId};
+/// let w = Workload::new("tiny", vec![
+///     ThreadSpec::new(ThreadId::new(0), GroupId::new(0), 1,
+///                     vec![Segment::new(1_000, SimOp::End)]),
+/// ]);
+/// let r = run_gprs(&w, &GprsSimConfig::balance_aware(4));
+/// assert!(r.completed);
+/// assert_eq!(r.subthreads, 1);
+/// ```
+pub fn run_gprs(workload: &Workload, config: &GprsSimConfig) -> SimResult {
+    Gprs::new(workload, config).run()
+}
+
+struct Gprs<'a> {
+    w: &'a Workload,
+    cfg: &'a GprsSimConfig,
+    enforcer: OrderEnforcer,
+    threads: Vec<GThread>,
+    ctxs: Vec<u64>,
+    bodies: HashMap<SubThreadId, Body>,
+    rol: ReorderList,
+    locks: HashMap<LockId, u64>,
+    chans: HashMap<ChannelId, VecDeque<SubThreadId>>,
+    /// producer sub-thread -> consumer sub-threads of its pushed items.
+    consumers: HashMap<SubThreadId, Vec<SubThreadId>>,
+    barrier_waiting: HashMap<BarrierId, Vec<usize>>,
+    barrier_participants: HashMap<BarrierId, u32>,
+    injector: Option<ExceptionInjector>,
+    latency: u64,
+    token_time: u64,
+    live: usize,
+    finish: u64,
+    res: SimResult,
+}
+
+impl<'a> Gprs<'a> {
+    fn new(w: &'a Workload, cfg: &'a GprsSimConfig) -> Self {
+        let scheme = format!("GPRS-{}", cfg.schedule.tag());
+        let mut enforcer = OrderEnforcer::with_schedule(cfg.schedule);
+        let mut threads = Vec::with_capacity(w.threads.len());
+        for t in &w.threads {
+            enforcer
+                .register_thread(t.thread, t.group, t.weight)
+                .expect("dense unique thread ids");
+            threads.push(GThread {
+                started: false,
+                op_ix: 0,
+                request_at: 0,
+                in_barrier: false,
+                resume_barrier: None,
+                done: false,
+                current_st: None,
+            });
+        }
+        let injector = cfg.exceptions.clone().map(ExceptionInjector::new);
+        let latency = cfg
+            .exceptions
+            .as_ref()
+            .map(|e| e.detection_latency)
+            .unwrap_or(0);
+        Gprs {
+            w,
+            cfg,
+            enforcer,
+            threads,
+            ctxs: vec![0; cfg.contexts.max(1) as usize],
+            bodies: HashMap::new(),
+            rol: ReorderList::new(),
+            locks: HashMap::new(),
+            chans: HashMap::new(),
+            consumers: HashMap::new(),
+            barrier_waiting: HashMap::new(),
+            barrier_participants: w.barrier_participants().into_iter().collect(),
+            injector,
+            latency,
+            token_time: 0,
+            live: w.threads.len(),
+            finish: 0,
+            res: SimResult::new(w.name.clone(), scheme),
+        }
+    }
+
+    /// Least-loaded context (the load-balancing sub-thread scheduler).
+    fn pick_ctx(&self) -> usize {
+        let mut best = 0;
+        for (i, &avail) in self.ctxs.iter().enumerate() {
+            if avail < self.ctxs[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Opens a new sub-thread for `th` at grant time `now`: pays the
+    /// checkpoint + ordering costs, schedules the body on a context.
+    ///
+    /// `extra_cs` is the critical-section portion executed under `lock`.
+    fn spawn_subthread(
+        &mut self,
+        th: usize,
+        stid: SubThreadId,
+        kind: SubThreadKind,
+        opening_op: Option<SyncOp>,
+        now: u64,
+        body_seg_ix: usize,
+        lock: Option<(LockId, u64)>,
+    ) {
+        let spec = &self.w.threads[th];
+        let seg = &spec.segments[body_seg_ix];
+        let ts = self.cfg.costs.ckpt_cost(seg.ckpt_bytes);
+        let tg = self.cfg.costs.order_cost();
+        self.res.ckpt_cycles += ts;
+        self.res.checkpoints += 1;
+        self.res.subthreads += 1;
+
+        let ctx = self.pick_ctx();
+        let mut start = (now + ts + tg).max(self.ctxs[ctx]);
+        let mut cs_work = 0;
+        if let Some((l, cs)) = lock {
+            let free = self.locks.get(&l).copied().unwrap_or(0);
+            start = start.max(free);
+            cs_work = cs;
+            self.locks.insert(l, start + cs);
+        }
+        let end = start + cs_work + seg.work;
+        let span = cs_work + seg.work;
+        self.ctxs[ctx] = end;
+
+        let descriptor = SubThread::new(stid, spec.thread, spec.group, kind, opening_op);
+        self.rol.insert(descriptor).expect("grants are in order");
+        self.bodies.insert(
+            stid,
+            Body {
+                thread: th,
+                ctx,
+                start,
+                end,
+                span,
+            },
+        );
+        let t = &mut self.threads[th];
+        t.current_st = Some(stid);
+        t.request_at = end;
+    }
+
+    /// Marks `th`'s current sub-thread completed and retires what it can.
+    fn complete_current(&mut self, th: usize) {
+        if let Some(prev) = self.threads[th].current_st.take() {
+            self.rol
+                .mark_completed(prev)
+                .expect("current sub-thread is in the ROL");
+        }
+        for retired in self.rol.retire_ready() {
+            self.bodies.remove(&retired.id());
+            self.consumers.remove(&retired.id());
+        }
+        self.res.rol_peak = self.res.rol_peak.max(self.rol.peak_occupancy());
+    }
+
+    /// The affected set of `culprit`: same-thread successors, consumers of
+    /// its pushed items, and younger lock/atomic-alias sharers — closed
+    /// transitively.
+    fn affected_set(&self, culprit: SubThreadId) -> Vec<SubThreadId> {
+        if self.cfg.recovery == RecoveryScope::Basic {
+            return self.rol.squash_suffix(culprit);
+        }
+        let mut affected: std::collections::BTreeSet<SubThreadId> =
+            std::collections::BTreeSet::new();
+        affected.insert(culprit);
+        let mut tainted_threads: std::collections::BTreeSet<ThreadId> =
+            std::collections::BTreeSet::new();
+        let mut tainted_resources: std::collections::BTreeSet<gprs_core::ids::ResourceId> =
+            std::collections::BTreeSet::new();
+        let mut tainted_items: std::collections::BTreeSet<SubThreadId> =
+            std::collections::BTreeSet::new();
+        if let Some(e) = self.rol.get(culprit) {
+            tainted_threads.insert(e.thread());
+            for r in &e.resources {
+                // Channels are runtime-managed: a pop is undone by returning
+                // the item to the front, so the channel id itself is not a
+                // taint alias — item provenance (below) is.
+                if !matches!(r, gprs_core::ids::ResourceId::Channel(_)) {
+                    tainted_resources.insert(*r);
+                }
+            }
+        }
+        tainted_items.insert(culprit);
+        // Single ascending pass: taint flows old -> young only.
+        for e in self.rol.iter_younger(culprit) {
+            let id = e.id();
+            let same_thread = tainted_threads.contains(&e.thread());
+            let shares_alias = e.resources.iter().any(|r| {
+                !matches!(r, gprs_core::ids::ResourceId::Channel(_))
+                    && tainted_resources.contains(r)
+            });
+            let consumed_tainted = tainted_items
+                .iter()
+                .any(|p| self.consumers.get(p).is_some_and(|c| c.contains(&id)));
+            if same_thread || shares_alias || consumed_tainted {
+                affected.insert(id);
+                tainted_threads.insert(e.thread());
+                tainted_items.insert(id);
+                for r in &e.resources {
+                    if !matches!(r, gprs_core::ids::ResourceId::Channel(_)) {
+                        tainted_resources.insert(*r);
+                    }
+                }
+            }
+        }
+        affected.into_iter().collect()
+    }
+
+    /// Drains exceptions reported up to `now`, charging selective-restart
+    /// re-execution penalties. Returns `false` on exceeding the time cap.
+    fn drain_exceptions(&mut self, now: u64) -> bool {
+        let latency = self.latency;
+        let pending = {
+            let Some(inj) = self.injector.as_mut() else {
+                return true;
+            };
+            let mut v = Vec::new();
+            loop {
+                let Some(raise) = inj.peek_next() else {
+                    break;
+                };
+                if raise.saturating_add(latency) > now {
+                    break;
+                }
+                v.push(inj.next_before(raise + 1).expect("peeked arrival"));
+                if v.len() > 2_000_000 {
+                    // Divergence guard (see the free engine).
+                    return false;
+                }
+            }
+            v
+        };
+        for e in pending {
+            let raise = e.raised_at;
+            let report = e.reported_at();
+            self.res.exceptions += 1;
+            let victim = (e.victim.raw() as usize) % self.ctxs.len();
+            // The sub-thread whose body occupied the victim context when the
+            // exception was raised.
+            let culprit = self
+                .bodies
+                .iter()
+                .find(|(_, b)| b.ctx == victim && b.start <= raise && raise < b.end)
+                .map(|(&id, _)| id);
+            let Some(culprit) = culprit else {
+                self.res.exceptions_ignored += 1;
+                continue;
+            };
+            self.rol
+                .mark_excepted(culprit, e)
+                .expect("culprit body implies ROL entry");
+            let affected = self.affected_set(culprit);
+            let mut thread_delta: BTreeMap<usize, u64> = BTreeMap::new();
+            // The REX pause + state reinstatement happens once per
+            // exception; per-sub-thread restores are comparatively cheap.
+            let mut session_restore = self.cfg.costs.gprs_restore;
+            for sid in &affected {
+                self.rol.mark_squashed(*sid).expect("affected in ROL");
+                let body = self.bodies.get_mut(sid).expect("affected body");
+                // Work actually redone: what executed since the (re)start
+                // point, plus the restore wait. The body is re-issued at
+                // the report time with the restore prefix *inside* its
+                // window, so an exception striking during the recovery
+                // itself re-triggers recovery (it is not silently ignored).
+                let executed = report.min(body.end).saturating_sub(body.start);
+                let restore = self.cfg.costs.restore_wait + session_restore;
+                session_restore = 0;
+                let delta = executed.min(body.span + restore) + restore;
+                body.start = report;
+                body.end = report + restore + body.span;
+                let ctx = body.ctx;
+                let end = body.end;
+                let thread = body.thread;
+                self.ctxs[ctx] = self.ctxs[ctx].max(end);
+                *thread_delta.entry(thread).or_insert(0) += delta;
+                self.res.squashed += 1;
+                self.res.redo_cycles += delta;
+            }
+            for (th, delta) in thread_delta {
+                let t = &mut self.threads[th];
+                if !t.done && !t.in_barrier {
+                    t.request_at = t.request_at.saturating_add(delta);
+                }
+            }
+            if now > self.cfg.time_cap_cycles {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn run(mut self) -> SimResult {
+        let poll_cost = self.cfg.costs.poll.max(1);
+        while self.live > 0 {
+            let Some(holder) = self.enforcer.holder() else {
+                // Everyone deregistered (barrier deadlock in an ill-formed
+                // trace): DNC.
+                self.res.finish_cycles = self.cfg.time_cap_cycles;
+                return self.res;
+            };
+            let th = holder.raw() as usize;
+            if self.threads[th].done {
+                self.enforcer.deregister_thread(holder).expect("registered");
+                continue;
+            }
+            let req = self.threads[th].request_at;
+            let now = self.token_time.max(req);
+            if now > self.cfg.time_cap_cycles {
+                self.res.finish_cycles = self.cfg.time_cap_cycles;
+                return self.res;
+            }
+            if !self.drain_exceptions(now) {
+                self.res.finish_cycles = self.cfg.time_cap_cycles;
+                return self.res;
+            }
+            if self.threads[th].request_at > req {
+                // Recovery pushed the holder's arrival; re-evaluate.
+                continue;
+            }
+
+            // Decide the pending operation.
+            let t = &self.threads[th];
+            if !t.started {
+                let stid = self.enforcer.try_grant(holder).expect("holder");
+                self.res.ordering_wait_cycles += now - req;
+                self.token_time = now;
+                self.threads[th].started = true;
+                self.spawn_subthread(th, stid, SubThreadKind::Initial, None, now, 0, None);
+                continue;
+            }
+            if let Some(b) = t.resume_barrier {
+                let stid = self.enforcer.try_grant(holder).expect("holder");
+                self.res.ordering_wait_cycles += now - req;
+                self.token_time = now;
+                self.threads[th].resume_barrier = None;
+                let body_ix = self.threads[th].op_ix;
+                self.spawn_subthread(
+                    th,
+                    stid,
+                    SubThreadKind::BarrierContinuation,
+                    Some(SyncOp::BarrierWait(b)),
+                    now,
+                    body_ix,
+                    None,
+                );
+                continue;
+            }
+
+            let op_ix = t.op_ix;
+            let op = self.w.threads[th].segments[op_ix].op;
+            match op {
+                SimOp::Pop { chan } if self.chans.entry(chan).or_default().is_empty() => {
+                    // Empty FIFO: the holder wastes its turn and re-polls on
+                    // its next turn (Figure 7).
+                    self.enforcer.pass_turn(holder);
+                    self.res.polls += 1;
+                    self.token_time = now + poll_cost;
+                    continue;
+                }
+                _ => {}
+            }
+
+            let stid = self.enforcer.try_grant(holder).expect("holder");
+            self.res.ordering_wait_cycles += now - req;
+            self.token_time = now;
+            
+            self.complete_current(th);
+
+            match op {
+                SimOp::Lock { lock, cs_work } => {
+                    self.threads[th].op_ix = op_ix + 1;
+                    self.spawn_subthread(
+                        th,
+                        stid,
+                        SubThreadKind::CriticalSection,
+                        Some(SyncOp::LockAcquire(lock)),
+                        now,
+                        op_ix + 1,
+                        Some((lock, cs_work)),
+                    );
+                }
+                SimOp::Atomic { atomic } => {
+                    self.threads[th].op_ix = op_ix + 1;
+                    self.spawn_subthread(
+                        th,
+                        stid,
+                        SubThreadKind::AtomicOp,
+                        Some(SyncOp::Atomic(atomic)),
+                        now,
+                        op_ix + 1,
+                        None,
+                    );
+                }
+                SimOp::Push { chan } => {
+                    // Provenance is the pushing sub-thread: squashing it
+                    // un-pushes the item, so the consumer belongs to its
+                    // closure (the value's computing sub-thread is covered
+                    // transitively via the same-thread rule).
+                    let producer = stid;
+                    self.chans.entry(chan).or_default().push_back(producer);
+                    self.threads[th].op_ix = op_ix + 1;
+                    self.spawn_subthread(
+                        th,
+                        stid,
+                        SubThreadKind::ChannelAccess,
+                        Some(SyncOp::ChanPush(chan)),
+                        now,
+                        op_ix + 1,
+                        None,
+                    );
+                }
+                SimOp::Pop { chan } => {
+                    let producer = self
+                        .chans
+                        .get_mut(&chan)
+                        .and_then(|q| q.pop_front())
+                        .expect("guarded by the empty-poll arm");
+                    if self.rol.contains(producer) {
+                        self.consumers.entry(producer).or_default().push(stid);
+                    }
+                    self.threads[th].op_ix = op_ix + 1;
+                    self.spawn_subthread(
+                        th,
+                        stid,
+                        SubThreadKind::ChannelAccess,
+                        Some(SyncOp::ChanPop(chan)),
+                        now,
+                        op_ix + 1,
+                        None,
+                    );
+                }
+                SimOp::Barrier { barrier } => {
+                    self.threads[th].op_ix = op_ix + 1;
+                    self.threads[th].in_barrier = true;
+                    self.enforcer.deregister_thread(holder).expect("registered");
+                    let waiting = self.barrier_waiting.entry(barrier).or_default();
+                    waiting.push(th);
+                    let needed = self.barrier_participants[&barrier] as usize;
+                    if waiting.len() == needed {
+                        let mut batch =
+                            std::mem::take(self.barrier_waiting.get_mut(&barrier).unwrap());
+                        batch.sort_unstable();
+                        for wth in batch {
+                            let spec = &self.w.threads[wth];
+                            self.enforcer
+                                .register_thread(spec.thread, spec.group, spec.weight)
+                                .expect("was deregistered");
+                            let t = &mut self.threads[wth];
+                            t.in_barrier = false;
+                            t.resume_barrier = Some(barrier);
+                            t.request_at = now;
+                        }
+                    }
+                }
+                SimOp::End => {
+                    self.threads[th].done = true;
+                    self.live -= 1;
+                    self.finish = self.finish.max(now);
+                    self.enforcer.deregister_thread(holder).expect("registered");
+                }
+            }
+        }
+
+        // Final drain: exceptions reported before the finish time still
+        // trigger recovery, and each recovery can extend the finish time
+        // (context busy times grow), admitting further exceptions — iterate
+        // to the fixed point.
+        let mut finish = self
+            .finish
+            .max(self.ctxs.iter().copied().max().unwrap_or(0));
+        loop {
+            if finish > self.cfg.time_cap_cycles || !self.drain_exceptions(finish) {
+                self.res.finish_cycles = self.cfg.time_cap_cycles;
+                return self.res;
+            }
+            let new_finish = self
+                .finish
+                .max(self.ctxs.iter().copied().max().unwrap_or(0));
+            if new_finish == finish {
+                break;
+            }
+            finish = new_finish;
+        }
+        self.res.completed = true;
+        self.res.finish_cycles = finish;
+        self.res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::{secs_to_cycles, CYCLES_PER_SEC};
+    use crate::free::{run_free, FreeRunConfig};
+    use crate::workload::{Segment, ThreadSpec};
+    use gprs_core::ids::GroupId;
+
+    fn spec(th: u32, group: u32, weight: u32, segs: Vec<Segment>) -> ThreadSpec {
+        ThreadSpec::new(ThreadId::new(th), GroupId::new(group), weight, segs)
+    }
+
+    fn data_parallel(threads: u32, work: u64) -> Workload {
+        Workload::new(
+            "dp",
+            (0..threads)
+                .map(|i| spec(i, 0, 1, vec![Segment::new(work, SimOp::End)]))
+                .collect(),
+        )
+    }
+
+    /// A Pbzip2-shaped pipeline: one reader (group 0) pushing `blocks`
+    /// items, `compressors` compress threads (group 1) popping them.
+    fn pipeline(blocks: usize, compressors: u32, read_work: u64, compress_work: u64) -> Workload {
+        let chan = ChannelId::new(0);
+        let mut threads = vec![spec(
+            0,
+            0,
+            4,
+            (0..blocks)
+                .map(|_| Segment::new(read_work, SimOp::Push { chan }))
+                .collect(),
+        )];
+        let per = blocks / compressors as usize;
+        for c in 0..compressors {
+            threads.push(spec(
+                1 + c,
+                1,
+                4,
+                (0..per)
+                    .flat_map(|_| {
+                        [
+                            Segment::new(0, SimOp::Pop { chan }),
+                            Segment::new(compress_work, SimOp::Atomic {
+                                atomic: gprs_core::ids::AtomicId::new(1),
+                            }),
+                        ]
+                    })
+                    .collect(),
+            ));
+        }
+        Workload::new("pipeline", threads)
+    }
+
+    #[test]
+    fn data_parallel_runs_and_counts_subthreads() {
+        let w = data_parallel(4, 1_000_000);
+        let r = run_gprs(&w, &GprsSimConfig::balance_aware(4));
+        assert!(r.completed);
+        assert_eq!(r.subthreads, 4); // one initial sub-thread per thread
+        assert_eq!(r.checkpoints, 4);
+        assert!(r.finish_cycles >= 1_000_000);
+    }
+
+    #[test]
+    fn gprs_is_deterministic() {
+        let w = pipeline(40, 3, 10_000, 200_000);
+        let a = run_gprs(&w, &GprsSimConfig::balance_aware(4));
+        let b = run_gprs(&w, &GprsSimConfig::balance_aware(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_robin_serializes_pipeline_balance_aware_restores_it() {
+        // Figure 7: with a compute-heavy compress stage, round-robin starves
+        // the compressors (each gets work only when the token happens to
+        // align), while balance-aware keeps them all busy.
+        let w = pipeline(120, 6, 10_000, 2_000_000);
+        let rr = run_gprs(&w, &GprsSimConfig::round_robin(8));
+        let ba = run_gprs(&w, &GprsSimConfig::balance_aware(8));
+        assert!(rr.completed && ba.completed);
+        assert!(
+            rr.finish_cycles > ba.finish_cycles * 2,
+            "round-robin {} vs balance-aware {}",
+            rr.finish_cycles,
+            ba.finish_cycles
+        );
+    }
+
+    #[test]
+    fn pipeline_empty_polls_are_counted() {
+        let w = pipeline(20, 2, 500_000, 100_000);
+        let r = run_gprs(&w, &GprsSimConfig::round_robin(4));
+        assert!(r.completed);
+        assert!(r.polls > 0, "slow producer must cause empty polls");
+    }
+
+    #[test]
+    fn gprs_matches_pthreads_within_overheads() {
+        // For embarrassingly parallel work the GPRS time must equal the
+        // Pthreads time plus bounded mechanism overheads.
+        let w = data_parallel(4, 50_000_000);
+        let pt = run_free(&w, &FreeRunConfig::pthreads(4));
+        let g = run_gprs(&w, &GprsSimConfig::balance_aware(4));
+        assert!(g.finish_cycles >= pt.finish_cycles);
+        let overhead = g.finish_cycles as f64 / pt.finish_cycles as f64;
+        assert!(overhead < 1.05, "overhead {overhead}");
+    }
+
+    #[test]
+    fn load_balancing_packs_uneven_subthreads() {
+        // 8 uneven tasks on 2 contexts: task-pool packing beats
+        // thread-pinned execution when granularity is finer.
+        let coarse = Workload::new(
+            "coarse",
+            vec![
+                spec(0, 0, 1, vec![Segment::new(8_000_000, SimOp::End)]),
+                spec(1, 0, 1, vec![Segment::new(1_000_000, SimOp::End)]),
+            ],
+        );
+        let fine = Workload::new(
+            "fine",
+            (0..6)
+                .map(|i| {
+                    spec(i, 0, 1, vec![Segment::new(1_500_000, SimOp::End)])
+                })
+                .collect(),
+        );
+        let c = run_gprs(&coarse, &GprsSimConfig::balance_aware(2));
+        let f = run_gprs(&fine, &GprsSimConfig::balance_aware(2));
+        assert!(f.finish_cycles < c.finish_cycles);
+    }
+
+    #[test]
+    fn barriers_synchronize_iterations() {
+        let b = BarrierId::new(0);
+        let w = Workload::new(
+            "bar",
+            (0..3)
+                .map(|i| {
+                    spec(
+                        i,
+                        0,
+                        1,
+                        vec![
+                            Segment::new((i as u64 + 1) * 1_000_000, SimOp::Barrier { barrier: b }),
+                            Segment::new(1_000_000, SimOp::End),
+                        ],
+                    )
+                })
+                .collect(),
+        );
+        let r = run_gprs(&w, &GprsSimConfig::balance_aware(4));
+        assert!(r.completed);
+        // Barrier release waits for the slowest (3 Mcyc) + second phase.
+        assert!(r.finish_cycles >= 4_000_000);
+        assert_eq!(r.subthreads, 6); // 3 initial + 3 continuations
+    }
+
+    #[test]
+    fn exceptions_on_idle_contexts_are_ignored() {
+        let w = data_parallel(2, secs_to_cycles(2.0));
+        // 16 contexts, 2 busy: most exceptions strike idle contexts.
+        let r = run_gprs(
+            &w,
+            &GprsSimConfig::balance_aware(16)
+                .with_exceptions(InjectorConfig::paper(10.0, 16, CYCLES_PER_SEC).with_seed(3))
+                .with_time_cap(secs_to_cycles(200.0)),
+        );
+        assert!(r.completed, "{r}");
+        assert!(r.exceptions_ignored > 0);
+    }
+
+    #[test]
+    fn selective_restart_spares_unaffected_threads() {
+        // Two independent long-running threads; exceptions delay only the
+        // victims, so completion is far earlier than basic recovery which
+        // squashes every younger sub-thread.
+        let w = pipeline(60, 3, 2_000_000, 200_000_000);
+        let inj = InjectorConfig::paper(4.0, 4, CYCLES_PER_SEC).with_seed(11);
+        let cap = secs_to_cycles(500.0);
+        let sel = run_gprs(
+            &w,
+            &GprsSimConfig::balance_aware(4)
+                .with_exceptions(inj.clone())
+                .with_time_cap(cap),
+        );
+        let basic = run_gprs(
+            &w,
+            &GprsSimConfig::balance_aware(4)
+                .with_recovery(RecoveryScope::Basic)
+                .with_exceptions(inj)
+                .with_time_cap(cap),
+        );
+        assert!(sel.completed, "{sel}");
+        assert!(sel.exceptions > 0);
+        assert!(basic.squashed >= sel.squashed);
+    }
+
+    #[test]
+    fn gprs_survives_rates_where_cpr_fails() {
+        // The headline behaviour (Figure 10): at a rate past CPR's tipping
+        // point, GPRS still completes.
+        let w = data_parallel(8, secs_to_cycles(2.0));
+        let rate = 8.0;
+        let inj = InjectorConfig::paper(rate, 8, CYCLES_PER_SEC).with_seed(5);
+        let cap = secs_to_cycles(600.0);
+        let cpr = run_free(
+            &w,
+            &FreeRunConfig::cpr(8, secs_to_cycles(1.0))
+                .with_exceptions(inj.clone())
+                .with_time_cap(cap),
+        );
+        let gprs = run_gprs(
+            &w,
+            &GprsSimConfig::balance_aware(8)
+                .with_exceptions(inj)
+                .with_time_cap(cap),
+        );
+        assert!(!cpr.completed, "CPR should tip at 8 exc/s: {cpr}");
+        assert!(gprs.completed, "GPRS should survive: {gprs}");
+    }
+
+    #[test]
+    fn time_cap_gives_dnc() {
+        let w = data_parallel(1, 1_000_000);
+        let r = run_gprs(&w, &GprsSimConfig::balance_aware(1).with_time_cap(10));
+        assert!(!r.completed);
+    }
+
+    #[test]
+    fn lock_aliases_propagate_dependence() {
+        // TH0 and TH1 alternate under the same lock; an exception in TH0's
+        // critical-section sub-thread squashes TH1's younger CS sub-threads.
+        let l = LockId::new(0);
+        let w = Workload::new(
+            "locked",
+            (0..2)
+                .map(|i| {
+                    spec(
+                        i,
+                        0,
+                        1,
+                        (0..10)
+                            .map(|_| Segment::new(500_000, SimOp::Lock {
+                                lock: l,
+                                cs_work: 100_000,
+                            }))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        let r = run_gprs(
+            &w,
+            &GprsSimConfig::balance_aware(2).with_exceptions(
+                InjectorConfig::paper(20.0, 2, CYCLES_PER_SEC).with_seed(9),
+            ),
+        );
+        assert!(r.completed);
+        if r.exceptions > r.exceptions_ignored {
+            assert!(r.squashed > 0);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Tipping-rate search (Figure 11(c)).
+//!
+//! The *tipping rate* is the exception rate beyond which a program cannot
+//! complete: the same computations keep getting discarded faster than they
+//! retire. The paper measures it by stressing each scheme at increasing
+//! rates; this module bisects on the simulator.
+
+use crate::costs::CYCLES_PER_SEC;
+use crate::free::{run_free, FreeRunConfig};
+use crate::gprs::{run_gprs, GprsSimConfig};
+use crate::workload::Workload;
+use gprs_core::exception::InjectorConfig;
+
+/// A scheme under tipping-rate test.
+#[derive(Debug, Clone)]
+pub enum TippingScheme {
+    /// Coordinated CPR with the embedded configuration (exceptions ignored;
+    /// the search installs its own injector).
+    Cpr(FreeRunConfig),
+    /// GPRS with the embedded configuration (likewise).
+    Gprs(GprsSimConfig),
+}
+
+impl TippingScheme {
+    fn completes(&self, workload: &Workload, rate: f64, seed: u64) -> bool {
+        let contexts = match self {
+            TippingScheme::Cpr(c) => c.contexts,
+            TippingScheme::Gprs(c) => c.contexts,
+        };
+        let inj = InjectorConfig::paper(rate, contexts, CYCLES_PER_SEC).with_seed(seed);
+        match self {
+            TippingScheme::Cpr(c) => {
+                let cfg = c.clone().with_exceptions(inj);
+                run_free(workload, &cfg).completed
+            }
+            TippingScheme::Gprs(c) => {
+                let cfg = c.clone().with_exceptions(inj);
+                run_gprs(workload, &cfg).completed
+            }
+        }
+    }
+}
+
+/// Result of a tipping search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TippingPoint {
+    /// Highest tested rate (exceptions/sec) at which the run completed.
+    pub completes_at: f64,
+    /// Lowest tested rate at which it did not.
+    pub fails_at: f64,
+}
+
+impl TippingPoint {
+    /// Midpoint estimate of the tipping rate.
+    pub fn estimate(&self) -> f64 {
+        0.5 * (self.completes_at + self.fails_at)
+    }
+}
+
+/// Finds the tipping rate by exponential bracketing followed by bisection.
+///
+/// `lo_hint` must be a rate at which the run completes (it is re-verified;
+/// if even `lo_hint` fails, the bracket `[0, lo_hint]` is bisected).
+/// `tolerance` is the relative bracket width at which the search stops.
+pub fn find_tipping_rate(
+    workload: &Workload,
+    scheme: &TippingScheme,
+    lo_hint: f64,
+    tolerance: f64,
+    seed: u64,
+) -> TippingPoint {
+    let mut lo = lo_hint.max(1e-4);
+    let mut hi;
+    if scheme.completes(workload, lo, seed) {
+        // Bracket upward.
+        hi = lo * 2.0;
+        let mut guard = 0;
+        while scheme.completes(workload, hi, seed) {
+            lo = hi;
+            hi *= 2.0;
+            guard += 1;
+            if guard > 40 {
+                // Effectively untippable at any sane rate.
+                return TippingPoint {
+                    completes_at: lo,
+                    fails_at: f64::INFINITY,
+                };
+            }
+        }
+    } else {
+        hi = lo;
+        lo = 0.0;
+    }
+    // Bisect.
+    while hi - lo > tolerance * hi.max(1e-9) {
+        let mid = 0.5 * (lo + hi);
+        if scheme.completes(workload, mid, seed) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    TippingPoint {
+        completes_at: lo,
+        fails_at: hi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::secs_to_cycles;
+    use crate::workload::{Segment, SimOp, ThreadSpec};
+    use gprs_core::ids::{GroupId, ThreadId};
+
+    fn workload(threads: u32, segs: usize, work: u64) -> Workload {
+        Workload::new(
+            "tip",
+            (0..threads)
+                .map(|i| {
+                    ThreadSpec::new(
+                        ThreadId::new(i),
+                        GroupId::new(0),
+                        1,
+                        (0..segs)
+                            .map(|_| Segment::new(work, SimOp::Atomic {
+                                atomic: gprs_core::ids::AtomicId::new(0),
+                            }))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn cpr_tipping_is_flat_gprs_scales() {
+        let cap = secs_to_cycles(300.0);
+        let w4 = workload(4, 40, secs_to_cycles(0.05));
+        let w8 = workload(8, 40, secs_to_cycles(0.05));
+        let interval = secs_to_cycles(0.5);
+
+        let cpr4 = find_tipping_rate(
+            &w4,
+            &TippingScheme::Cpr(FreeRunConfig::cpr(4, interval).with_time_cap(cap)),
+            0.5,
+            0.2,
+            42,
+        );
+        let cpr8 = find_tipping_rate(
+            &w8,
+            &TippingScheme::Cpr(FreeRunConfig::cpr(8, interval).with_time_cap(cap)),
+            0.5,
+            0.2,
+            42,
+        );
+        let g4 = find_tipping_rate(
+            &w4,
+            &TippingScheme::Gprs(GprsSimConfig::balance_aware(4).with_time_cap(cap)),
+            0.5,
+            0.2,
+            42,
+        );
+        let g8 = find_tipping_rate(
+            &w8,
+            &TippingScheme::Gprs(GprsSimConfig::balance_aware(8).with_time_cap(cap)),
+            0.5,
+            0.2,
+            42,
+        );
+        // CPR: flat in contexts (within bisection noise).
+        let cpr_ratio = cpr8.estimate() / cpr4.estimate();
+        assert!(cpr_ratio < 2.0, "CPR tipping should not scale: {cpr_ratio}");
+        // GPRS: substantially above CPR and growing with contexts.
+        assert!(g4.estimate() > cpr4.estimate());
+        assert!(
+            g8.estimate() > g4.estimate() * 1.4,
+            "GPRS tipping should scale: {} -> {}",
+            g4.estimate(),
+            g8.estimate()
+        );
+    }
+
+    #[test]
+    fn bracket_handles_failing_hint() {
+        let cap = secs_to_cycles(60.0);
+        let w = workload(2, 20, secs_to_cycles(0.05));
+        let tp = find_tipping_rate(
+            &w,
+            &TippingScheme::Cpr(
+                FreeRunConfig::cpr(2, secs_to_cycles(0.5)).with_time_cap(cap),
+            ),
+            1000.0, // far past tipping
+            0.25,
+            7,
+        );
+        assert!(tp.fails_at <= 1000.0);
+        assert!(tp.completes_at < tp.fails_at);
+    }
+}

@@ -1,0 +1,306 @@
+//! Trace-level workload model consumed by the simulator engines.
+//!
+//! A workload is a set of logical threads, each a finite sequence of
+//! [`Segment`]s: an amount of computation followed by the synchronization
+//! operation that ends the sub-thread (in GPRS terms) or simply synchronizes
+//! (in Pthreads/CPR terms). The ten benchmark programs of the paper's Table 2
+//! are generated in this vocabulary by `gprs-workloads`.
+
+use gprs_core::ids::{AtomicId, BarrierId, ChannelId, GroupId, LockId, ThreadId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The synchronization operation closing a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOp {
+    /// Acquire `lock`, execute `cs_work` cycles inside the critical section,
+    /// release. Under GPRS the critical section and the *next* segment share
+    /// one sub-thread (the unlock-subsumption optimization).
+    Lock {
+        /// The mutex.
+        lock: LockId,
+        /// Cycles spent inside the critical section.
+        cs_work: u64,
+    },
+    /// A read-modify-write on an atomic variable.
+    Atomic {
+        /// The atomic variable.
+        atomic: AtomicId,
+    },
+    /// Enqueue one item into a lock-protected FIFO.
+    Push {
+        /// The channel.
+        chan: ChannelId,
+    },
+    /// Dequeue one item; blocks (or, under GPRS ordering, re-polls on later
+    /// turns) while the FIFO is empty.
+    Pop {
+        /// The channel.
+        chan: ChannelId,
+    },
+    /// Wait on a barrier with all other threads that use it.
+    Barrier {
+        /// The barrier.
+        barrier: BarrierId,
+    },
+    /// Thread termination (must be the last segment's op).
+    End,
+}
+
+impl fmt::Display for SimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimOp::Lock { lock, cs_work } => write!(f, "lock {lock} ({cs_work} cyc)"),
+            SimOp::Atomic { atomic } => write!(f, "atomic {atomic}"),
+            SimOp::Push { chan } => write!(f, "push {chan}"),
+            SimOp::Pop { chan } => write!(f, "pop {chan}"),
+            SimOp::Barrier { barrier } => write!(f, "barrier {barrier}"),
+            SimOp::End => f.write_str("end"),
+        }
+    }
+}
+
+/// One segment of a thread: computation, then a synchronization operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Cycles of computation before the closing operation.
+    pub work: u64,
+    /// The closing operation.
+    pub op: SimOp,
+    /// Application-level checkpoint (mod-set) size in bytes for the
+    /// sub-thread this segment opens — drives the recording cost `t_s`.
+    pub ckpt_bytes: u64,
+}
+
+impl Segment {
+    /// A segment of pure computation ending in `op` with a small default
+    /// mod set.
+    pub fn new(work: u64, op: SimOp) -> Self {
+        Segment {
+            work,
+            op,
+            ckpt_bytes: 256,
+        }
+    }
+
+    /// Sets the checkpointed mod-set size.
+    pub fn with_ckpt_bytes(mut self, bytes: u64) -> Self {
+        self.ckpt_bytes = bytes;
+        self
+    }
+
+    /// Total cycles of computation including any critical-section body.
+    pub fn total_work(&self) -> u64 {
+        match self.op {
+            SimOp::Lock { cs_work, .. } => self.work + cs_work,
+            _ => self.work,
+        }
+    }
+}
+
+/// One logical thread of a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadSpec {
+    /// The thread's id (also its registration order with the order
+    /// enforcer).
+    pub thread: ThreadId,
+    /// Its balance-aware scheduling group.
+    pub group: GroupId,
+    /// Its group's weight under the weighted scheme (ignored by basic).
+    pub weight: u32,
+    /// The segments it executes, in order. The final segment must end in
+    /// [`SimOp::End`].
+    pub segments: Vec<Segment>,
+}
+
+impl ThreadSpec {
+    /// Creates a thread spec, appending the terminating `End` segment if the
+    /// caller did not.
+    pub fn new(thread: ThreadId, group: GroupId, weight: u32, mut segments: Vec<Segment>) -> Self {
+        if !matches!(segments.last().map(|s| s.op), Some(SimOp::End)) {
+            segments.push(Segment::new(0, SimOp::End));
+        }
+        ThreadSpec {
+            thread,
+            group,
+            weight,
+            segments,
+        }
+    }
+
+    /// Total computation cycles in this thread.
+    pub fn total_work(&self) -> u64 {
+        self.segments.iter().map(Segment::total_work).sum()
+    }
+}
+
+/// A complete workload: the trace equivalent of one benchmark run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Human-readable program name (Table 2, column 1).
+    pub name: String,
+    /// All threads, indexed by their position (thread ids must be dense,
+    /// starting at 0).
+    pub threads: Vec<ThreadSpec>,
+}
+
+impl Workload {
+    /// Creates a workload from thread specs.
+    ///
+    /// # Panics
+    /// Panics if thread ids are not dense `0..threads.len()` — workload
+    /// generators control the ids, so this indicates a generator bug.
+    pub fn new(name: impl Into<String>, threads: Vec<ThreadSpec>) -> Self {
+        for (i, t) in threads.iter().enumerate() {
+            assert_eq!(
+                t.thread.raw() as usize,
+                i,
+                "thread ids must be dense and in order"
+            );
+        }
+        Workload {
+            name: name.into(),
+            threads,
+        }
+    }
+
+    /// Total computation cycles across all threads — the ideal serial work.
+    pub fn total_work(&self) -> u64 {
+        self.threads.iter().map(ThreadSpec::total_work).sum()
+    }
+
+    /// Total number of segments (= sub-threads GPRS will create).
+    pub fn total_segments(&self) -> u64 {
+        self.threads.iter().map(|t| t.segments.len() as u64).sum()
+    }
+
+    /// Number of participant threads per barrier (threads that wait on it at
+    /// least once).
+    pub fn barrier_participants(&self) -> BTreeMap<BarrierId, u32> {
+        let mut out: BTreeMap<BarrierId, u32> = BTreeMap::new();
+        for t in &self.threads {
+            let mut seen = std::collections::BTreeSet::new();
+            for s in &t.segments {
+                if let SimOp::Barrier { barrier } = s.op {
+                    seen.insert(barrier);
+                }
+            }
+            for b in seen {
+                *out.entry(b).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Checks conservation: every channel's pushes equal its pops, so the
+    /// trace can complete. Returns the offending channel on imbalance.
+    pub fn check_channel_balance(&self) -> Result<(), ChannelId> {
+        let mut balance: BTreeMap<ChannelId, i64> = BTreeMap::new();
+        for t in &self.threads {
+            for s in &t.segments {
+                match s.op {
+                    SimOp::Push { chan } => *balance.entry(chan).or_insert(0) += 1,
+                    SimOp::Pop { chan } => *balance.entry(chan).or_insert(0) -= 1,
+                    _ => {}
+                }
+            }
+        }
+        for (c, b) in balance {
+            if b != 0 {
+                return Err(c);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(n: u32) -> ThreadId {
+        ThreadId::new(n)
+    }
+    fn gid(n: u32) -> GroupId {
+        GroupId::new(n)
+    }
+
+    #[test]
+    fn thread_spec_appends_end() {
+        let t = ThreadSpec::new(tid(0), gid(0), 1, vec![Segment::new(100, SimOp::Atomic {
+            atomic: AtomicId::new(0),
+        })]);
+        assert_eq!(t.segments.last().unwrap().op, SimOp::End);
+        assert_eq!(t.segments.len(), 2);
+    }
+
+    #[test]
+    fn total_work_counts_critical_sections() {
+        let s = Segment::new(100, SimOp::Lock {
+            lock: LockId::new(0),
+            cs_work: 50,
+        });
+        assert_eq!(s.total_work(), 150);
+        let t = ThreadSpec::new(tid(0), gid(0), 1, vec![s]);
+        assert_eq!(t.total_work(), 150); // End segment adds 0
+    }
+
+    #[test]
+    fn barrier_participants_counted_once_per_thread() {
+        let b = BarrierId::new(0);
+        let seg = Segment::new(10, SimOp::Barrier { barrier: b });
+        let w = Workload::new(
+            "t",
+            vec![
+                ThreadSpec::new(tid(0), gid(0), 1, vec![seg, seg]),
+                ThreadSpec::new(tid(1), gid(0), 1, vec![seg]),
+            ],
+        );
+        assert_eq!(w.barrier_participants()[&b], 2);
+    }
+
+    #[test]
+    fn channel_balance_detects_mismatch() {
+        let c = ChannelId::new(0);
+        let w = Workload::new(
+            "t",
+            vec![
+                ThreadSpec::new(tid(0), gid(0), 1, vec![Segment::new(1, SimOp::Push { chan: c })]),
+                ThreadSpec::new(tid(1), gid(1), 1, vec![Segment::new(1, SimOp::Pop { chan: c })]),
+            ],
+        );
+        assert_eq!(w.check_channel_balance(), Ok(()));
+        let bad = Workload::new(
+            "t",
+            vec![ThreadSpec::new(
+                tid(0),
+                gid(0),
+                1,
+                vec![Segment::new(1, SimOp::Push { chan: c })],
+            )],
+        );
+        assert_eq!(bad.check_channel_balance(), Err(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_thread_ids_panic() {
+        let _ = Workload::new(
+            "t",
+            vec![ThreadSpec::new(tid(3), gid(0), 1, vec![])],
+        );
+    }
+
+    #[test]
+    fn workload_totals() {
+        let w = Workload::new(
+            "t",
+            vec![
+                ThreadSpec::new(tid(0), gid(0), 1, vec![Segment::new(10, SimOp::End)]),
+                ThreadSpec::new(tid(1), gid(0), 1, vec![Segment::new(20, SimOp::End)]),
+            ],
+        );
+        assert_eq!(w.total_work(), 30);
+        assert_eq!(w.total_segments(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the simulator engines.
+
+use gprs_core::exception::InjectorConfig;
+use gprs_core::ids::{AtomicId, ChannelId, GroupId, ThreadId};
+use gprs_core::order::ScheduleKind;
+use gprs_sim::costs::CYCLES_PER_SEC;
+use gprs_sim::free::{run_free, FreeRunConfig};
+use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+use gprs_sim::workload::{Segment, SimOp, ThreadSpec, Workload};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A random but well-formed workload: data-parallel threads with atomic
+/// sync points, plus an optional producer/consumer pair.
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (
+        2u32..8,                      // threads
+        1usize..6,                    // segments each
+        1_000u64..2_000_000,          // work per segment
+        any::<bool>(),                // include a pipeline pair
+    )
+        .prop_map(|(threads, segs, work, pipeline)| {
+            let mut specs: Vec<ThreadSpec> = (0..threads)
+                .map(|i| {
+                    ThreadSpec::new(
+                        ThreadId::new(i),
+                        GroupId::new(0),
+                        1,
+                        (0..segs)
+                            .map(|k| {
+                                Segment::new(work + k as u64 * 999, SimOp::Atomic {
+                                    atomic: AtomicId::new(k as u64 % 3),
+                                })
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            if pipeline {
+                let chan = ChannelId::new(0);
+                let items = 5usize;
+                specs.push(ThreadSpec::new(
+                    ThreadId::new(threads),
+                    GroupId::new(1),
+                    1,
+                    (0..items)
+                        .map(|_| Segment::new(work / 2, SimOp::Push { chan }))
+                        .collect(),
+                ));
+                specs.push(ThreadSpec::new(
+                    ThreadId::new(threads + 1),
+                    GroupId::new(2),
+                    1,
+                    (0..items)
+                        .map(|_| Segment::new(work / 3, SimOp::Pop { chan }))
+                        .collect(),
+                ));
+            }
+            Workload::new("prop", specs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every engine completes every well-formed workload and is
+    /// reproducible.
+    #[test]
+    fn engines_complete_and_reproduce(w in arb_workload(), ctx in 1u32..8) {
+        let a = run_free(&w, &FreeRunConfig::pthreads(ctx));
+        let b = run_free(&w, &FreeRunConfig::pthreads(ctx));
+        prop_assert!(a.completed);
+        prop_assert_eq!(&a, &b);
+        for kind in [ScheduleKind::RoundRobin, ScheduleKind::BalanceBasic] {
+            let mut cfg = GprsSimConfig::balance_aware(ctx);
+            cfg.schedule = kind;
+            let g1 = run_gprs(&w, &cfg);
+            let g2 = run_gprs(&w, &cfg);
+            prop_assert!(g1.completed, "{:?}", kind);
+            prop_assert_eq!(g1, g2);
+        }
+    }
+
+    /// GPRS creates exactly one sub-thread per segment plus barrier
+    /// continuations (none here), and retires what it creates.
+    #[test]
+    fn gprs_subthread_accounting(w in arb_workload()) {
+        let r = run_gprs(&w, &GprsSimConfig::balance_aware(4));
+        prop_assert!(r.completed);
+        prop_assert_eq!(r.subthreads, w.total_segments());
+        prop_assert_eq!(r.checkpoints, r.subthreads);
+    }
+
+    /// More contexts never make GPRS slower (work-conserving scheduler).
+    #[test]
+    fn gprs_scales_monotonically(w in arb_workload()) {
+        let t2 = run_gprs(&w, &GprsSimConfig::balance_aware(2)).finish_cycles;
+        let t8 = run_gprs(&w, &GprsSimConfig::balance_aware(8)).finish_cycles;
+        prop_assert!(t8 <= t2 + t2 / 10, "2ctx {t2} vs 8ctx {t8}");
+    }
+
+    /// Exception injection never loses work for free: the finish time with
+    /// exceptions is at least the fault-free finish time (same seed class).
+    #[test]
+    fn exceptions_never_speed_things_up(w in arb_workload(), rate in 1.0f64..50.0, seed in 0u64..50) {
+        let free = run_gprs(&w, &GprsSimConfig::balance_aware(4));
+        let inj = InjectorConfig::paper(rate, 4, CYCLES_PER_SEC).with_seed(seed);
+        let cfg = GprsSimConfig::balance_aware(4)
+            .with_exceptions(inj)
+            .with_time_cap(free.finish_cycles.saturating_mul(50).max(1_000_000));
+        let faulty = run_gprs(&w, &cfg);
+        if faulty.completed {
+            prop_assert!(faulty.finish_cycles >= free.finish_cycles);
+        }
+    }
+
+    /// CPR checkpointing overhead grows as the interval shrinks.
+    #[test]
+    fn cpr_overhead_monotone_in_frequency(w in arb_workload()) {
+        let base = run_free(&w, &FreeRunConfig::pthreads(4));
+        let coarse = run_free(&w, &FreeRunConfig::cpr(4, base.finish_cycles / 2 + 1));
+        let fine = run_free(&w, &FreeRunConfig::cpr(4, (base.finish_cycles / 16).max(1)));
+        prop_assert!(coarse.finish_cycles >= base.finish_cycles);
+        prop_assert!(fine.checkpoints >= coarse.checkpoints);
+    }
+}

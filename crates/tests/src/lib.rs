@@ -1,0 +1,4 @@
+//! Host crate for the repository-level integration tests in `/tests`.
+//!
+//! The test sources live at the workspace root (`tests/*.rs`) per the
+//! project layout; this crate wires them into `cargo test --workspace`.

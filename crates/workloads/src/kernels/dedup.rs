@@ -1,0 +1,221 @@
+//! Deduplicating compression kernel (the Dedup benchmark): content-defined
+//! chunking with a rolling hash, FNV-1a fingerprinting, and duplicate
+//! elimination — the five-stage pipeline's per-stage computations.
+
+use std::collections::BTreeSet;
+
+/// Rolling-hash chunker: emits chunk boundaries where the rolling hash of a
+/// 16-byte window hits a mask — content-defined, so duplicate regions align.
+#[derive(Debug, Clone, Copy)]
+pub struct Chunker {
+    /// Average target chunk size (power of two).
+    pub avg_size: usize,
+    /// Hard bounds.
+    pub min_size: usize,
+    /// Hard bounds.
+    pub max_size: usize,
+}
+
+impl Default for Chunker {
+    fn default() -> Self {
+        Chunker {
+            avg_size: 512,
+            min_size: 64,
+            max_size: 4096,
+        }
+    }
+}
+
+impl Chunker {
+    /// Splits `data` into content-defined chunks (returned as ranges).
+    ///
+    /// # Examples
+    /// ```
+    /// use gprs_workloads::kernels::dedup::Chunker;
+    /// let data = vec![7u8; 10_000];
+    /// let chunks = Chunker::default().chunk(&data);
+    /// let total: usize = chunks.iter().map(|r| r.len()).sum();
+    /// assert_eq!(total, data.len());
+    /// ```
+    pub fn chunk(&self, data: &[u8]) -> Vec<std::ops::Range<usize>> {
+        const W: usize = 16; // sliding-window width
+        const B: u64 = 1_000_003;
+        // B^W for removing the byte leaving the window, so the hash depends
+        // only on the last W bytes — that is what makes the boundaries
+        // *content-defined* (shift-invariant).
+        let mut bw: u64 = 1;
+        for _ in 0..W {
+            bw = bw.wrapping_mul(B);
+        }
+        let mask = (self.avg_size as u64).next_power_of_two() - 1;
+        let mut out = Vec::new();
+        let mut start = 0;
+        let mut hash: u64 = 0;
+        for (i, &b) in data.iter().enumerate() {
+            hash = hash.wrapping_mul(B).wrapping_add(b as u64 + 1);
+            if i >= W {
+                hash = hash.wrapping_sub((data[i - W] as u64 + 1).wrapping_mul(bw));
+            }
+            let len = i + 1 - start;
+            let boundary = (hash & mask) == mask && len >= self.min_size;
+            if boundary || len >= self.max_size {
+                out.push(start..i + 1);
+                start = i + 1;
+            }
+        }
+        if start < data.len() {
+            out.push(start..data.len());
+        }
+        out
+    }
+}
+
+/// 64-bit FNV-1a fingerprint — the dedup stage's chunk identity.
+pub fn fingerprint(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Outcome of pushing a chunk through the dedup stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupOutcome {
+    /// First sighting: the chunk must be compressed and stored.
+    Unique(u64),
+    /// Already stored: only a reference is emitted.
+    Duplicate(u64),
+}
+
+/// The shared fingerprint store (the structure Dedup's critical sections
+/// protect).
+#[derive(Debug, Default, Clone)]
+pub struct FingerprintStore {
+    seen: BTreeSet<u64>,
+}
+
+impl FingerprintStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies a chunk, recording its fingerprint.
+    pub fn classify(&mut self, chunk: &[u8]) -> DedupOutcome {
+        let fp = fingerprint(chunk);
+        if self.seen.insert(fp) {
+            DedupOutcome::Unique(fp)
+        } else {
+            DedupOutcome::Duplicate(fp)
+        }
+    }
+
+    /// Distinct chunks seen.
+    pub fn unique_count(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+/// End-to-end dedup of a buffer: returns (unique chunks, total chunks,
+/// deduplicated bytes).
+pub fn dedup_stats(data: &[u8], chunker: &Chunker) -> (usize, usize, usize) {
+    let mut store = FingerprintStore::new();
+    let mut unique_bytes = 0;
+    let chunks = chunker.chunk(data);
+    let total = chunks.len();
+    for r in &chunks {
+        if matches!(store.classify(&data[r.clone()]), DedupOutcome::Unique(_)) {
+            unique_bytes += r.len();
+        }
+    }
+    (store.unique_count(), total, unique_bytes)
+}
+
+/// Generates data with a controlled duplicate fraction: `dup_percent` of
+/// the output repeats one shared template region.
+pub fn generate_dedup_corpus(bytes: usize, dup_percent: u32, seed: u64) -> Vec<u8> {
+    let template: Vec<u8> = (0..4096u64)
+        .map(|i| (i.wrapping_mul(seed | 1) >> 13) as u8)
+        .collect();
+    let mut out = Vec::with_capacity(bytes);
+    let mut state = seed | 1;
+    while out.len() < bytes {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        if (state >> 33) % 100 < dup_percent as u64 {
+            out.extend_from_slice(&template);
+        } else {
+            for k in 0..512u64 {
+                out.push((state.wrapping_mul(k | 1) >> 21) as u8);
+            }
+        }
+    }
+    out.truncate(bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_input_exactly() {
+        let data = generate_dedup_corpus(50_000, 30, 3);
+        let chunker = Chunker::default();
+        let chunks = chunker.chunk(&data);
+        let mut pos = 0;
+        for r in &chunks {
+            assert_eq!(r.start, pos, "chunks must be contiguous");
+            assert!(r.len() <= chunker.max_size);
+            pos = r.end;
+        }
+        assert_eq!(pos, data.len());
+    }
+
+    #[test]
+    fn chunking_is_content_defined() {
+        // Shifting the data by a prefix re-aligns chunk boundaries.
+        let body = generate_dedup_corpus(30_000, 0, 9);
+        let mut shifted = vec![0xAB; 777];
+        shifted.extend_from_slice(&body);
+        let c = Chunker::default();
+        let a: BTreeSet<u64> = c.chunk(&body).iter().map(|r| fingerprint(&body[r.clone()])).collect();
+        let b: BTreeSet<u64> = c
+            .chunk(&shifted)
+            .iter()
+            .map(|r| fingerprint(&shifted[r.clone()]))
+            .collect();
+        let common = a.intersection(&b).count();
+        assert!(
+            common * 10 > a.len() * 8,
+            "most chunks must survive a shift: {common}/{}",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn duplicates_are_detected() {
+        let data = generate_dedup_corpus(100_000, 60, 4);
+        let (unique, total, unique_bytes) = dedup_stats(&data, &Chunker::default());
+        assert!(unique < total, "duplicate template chunks must dedup");
+        assert!(unique_bytes < data.len());
+        let none = generate_dedup_corpus(100_000, 0, 4);
+        let (u2, t2, _) = dedup_stats(&none, &Chunker::default());
+        assert!(u2 as f64 > t2 as f64 * 0.95, "random data has few duplicates");
+    }
+
+    #[test]
+    fn fingerprints_differ_on_content() {
+        assert_ne!(fingerprint(b"abc"), fingerprint(b"abd"));
+        assert_eq!(fingerprint(b"abc"), fingerprint(b"abc"));
+    }
+
+    #[test]
+    fn store_classifies_in_order() {
+        let mut s = FingerprintStore::new();
+        assert!(matches!(s.classify(b"x"), DedupOutcome::Unique(_)));
+        assert!(matches!(s.classify(b"x"), DedupOutcome::Duplicate(_)));
+        assert_eq!(s.unique_count(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Financial kernels: Black-Scholes option pricing (the Blackscholes
+//! benchmark) and a lattice swaption pricer standing in for PARSEC's
+//! HJM-based Swaptions — both deterministic, CPU-bound and embarrassingly
+//! parallel, exactly the role they play in the paper's evaluation.
+
+/// One European option.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Option_ {
+    /// Spot price.
+    pub spot: f64,
+    /// Strike price.
+    pub strike: f64,
+    /// Risk-free rate.
+    pub rate: f64,
+    /// Volatility.
+    pub vol: f64,
+    /// Time to expiry in years.
+    pub expiry: f64,
+    /// Call (true) or put (false).
+    pub call: bool,
+}
+
+/// Abramowitz–Stegun cumulative normal distribution (the same approximation
+/// PARSEC's blackscholes uses).
+pub fn cnd(x: f64) -> f64 {
+    let l = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * l);
+    let poly = k
+        * (0.319381530
+            + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+    let w = 1.0 - (-l * l / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt() * poly;
+    if x < 0.0 {
+        1.0 - w
+    } else {
+        w
+    }
+}
+
+/// Black-Scholes closed-form price.
+///
+/// # Examples
+/// ```
+/// use gprs_workloads::kernels::finance::{black_scholes, Option_};
+/// let opt = Option_ { spot: 100.0, strike: 100.0, rate: 0.05,
+///                     vol: 0.2, expiry: 1.0, call: true };
+/// let price = black_scholes(&opt);
+/// assert!((price - 10.45).abs() < 0.01); // the textbook ATM value
+/// ```
+pub fn black_scholes(o: &Option_) -> f64 {
+    let d1 = ((o.spot / o.strike).ln() + (o.rate + o.vol * o.vol / 2.0) * o.expiry)
+        / (o.vol * o.expiry.sqrt());
+    let d2 = d1 - o.vol * o.expiry.sqrt();
+    if o.call {
+        o.spot * cnd(d1) - o.strike * (-o.rate * o.expiry).exp() * cnd(d2)
+    } else {
+        o.strike * (-o.rate * o.expiry).exp() * cnd(-d2) - o.spot * cnd(-d1)
+    }
+}
+
+/// Generates a deterministic option portfolio.
+pub fn generate_options(n: usize, seed: u64) -> Vec<Option_> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| Option_ {
+            spot: 50.0 + 100.0 * next(),
+            strike: 50.0 + 100.0 * next(),
+            rate: 0.01 + 0.09 * next(),
+            vol: 0.1 + 0.5 * next(),
+            expiry: 0.25 + 2.0 * next(),
+            call: next() > 0.5,
+        })
+        .collect()
+}
+
+/// Prices a slice of options, returning the sum (the checkable result).
+pub fn price_portfolio(options: &[Option_]) -> f64 {
+    options.iter().map(black_scholes).sum()
+}
+
+/// A payer swaption priced on a binomial short-rate lattice — a
+/// deterministic, CPU-heavy stand-in for PARSEC's HJM Monte-Carlo pricer
+/// (the evaluation only needs "few, very large computations").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Swaption {
+    /// Initial short rate.
+    pub r0: f64,
+    /// Rate volatility per step.
+    pub vol: f64,
+    /// Fixed strike rate of the underlying swap.
+    pub strike: f64,
+    /// Lattice steps to option expiry.
+    pub expiry_steps: usize,
+    /// Payment periods of the underlying swap.
+    pub swap_periods: usize,
+}
+
+/// Prices a swaption by backward induction on a recombining lattice.
+/// `steps` controls the work (quadratic).
+pub fn price_swaption(s: &Swaption) -> f64 {
+    let n = s.expiry_steps;
+    let dt: f64 = 1.0 / 12.0;
+    let up = (s.vol * dt.sqrt()).exp();
+    // Short rate at node (level i, ups j): r0 * up^(2j - i).
+    let rate_at = |i: usize, j: usize| s.r0 * up.powi(2 * j as i32 - i as i32);
+
+    // Value of the underlying swap at expiry node j: sum of discounted
+    // (rate - strike) legs under a flat continuation of the node rate.
+    let swap_value = |r: f64| -> f64 {
+        let mut v = 0.0;
+        let mut df = 1.0;
+        for _ in 0..s.swap_periods {
+            df /= 1.0 + r * dt;
+            v += (r - s.strike) * dt * df;
+        }
+        v
+    };
+
+    // Terminal payoff, then discounted expectation backwards (p = 1/2).
+    let mut values: Vec<f64> = (0..=n)
+        .map(|j| swap_value(rate_at(n, j)).max(0.0))
+        .collect();
+    for i in (0..n).rev() {
+        for j in 0..=i {
+            let disc = 1.0 / (1.0 + rate_at(i, j) * dt);
+            values[j] = disc * 0.5 * (values[j] + values[j + 1]);
+        }
+        values.truncate(i + 1);
+    }
+    values[0]
+}
+
+/// Generates deterministic swaptions.
+pub fn generate_swaptions(n: usize, steps: usize, seed: u64) -> Vec<Swaption> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| Swaption {
+            r0: 0.02 + 0.04 * next(),
+            vol: 0.1 + 0.2 * next(),
+            strike: 0.02 + 0.04 * next(),
+            expiry_steps: steps,
+            swap_periods: 40,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnd_is_a_cdf() {
+        assert!((cnd(0.0) - 0.5).abs() < 1e-9);
+        assert!(cnd(5.0) > 0.9999);
+        assert!(cnd(-5.0) < 0.0001);
+        assert!(cnd(1.0) > cnd(0.5));
+    }
+
+    #[test]
+    fn put_call_parity_holds() {
+        let call = Option_ { spot: 90.0, strike: 100.0, rate: 0.03, vol: 0.25, expiry: 0.5, call: true };
+        let put = Option_ { call: false, ..call };
+        let lhs = black_scholes(&call) - black_scholes(&put);
+        let rhs = call.spot - call.strike * (-call.rate * call.expiry).exp();
+        assert!((lhs - rhs).abs() < 1e-9, "parity violated: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn portfolio_is_deterministic_and_positive() {
+        let a = price_portfolio(&generate_options(500, 3));
+        let b = price_portfolio(&generate_options(500, 3));
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn swaption_value_increases_with_vol() {
+        let lo = Swaption { r0: 0.03, vol: 0.1, strike: 0.03, expiry_steps: 60, swap_periods: 40 };
+        let hi = Swaption { vol: 0.3, ..lo };
+        assert!(price_swaption(&hi) > price_swaption(&lo));
+        assert!(price_swaption(&lo) >= 0.0);
+    }
+
+    #[test]
+    fn deep_out_of_the_money_swaption_is_near_zero() {
+        let s = Swaption { r0: 0.01, vol: 0.05, strike: 0.20, expiry_steps: 40, swap_periods: 40 };
+        assert!(price_swaption(&s) < 1e-4);
+    }
+}

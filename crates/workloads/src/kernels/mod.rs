@@ -1,0 +1,21 @@
+//! Real computational kernels behind the ten benchmark programs — the
+//! from-scratch algorithm implementations used by the runtime examples and
+//! the `programs` module.
+//!
+//! | module | benchmark(s) |
+//! |---|---|
+//! | [`compress`] | Pbzip2 (LZSS block compressor) |
+//! | [`finance`] | Blackscholes, Swaptions |
+//! | [`text`] | Histogram, WordCount, ReverseIndex |
+//! | [`nbody`] | Barnes-Hut (quadtree N-body) |
+//! | [`dedup`] | Dedup (content-defined chunking + fingerprints) |
+//! | [`netre`] | RE (packet redundancy elimination) |
+//! | [`canneal`] | Canneal (netlist annealing) |
+
+pub mod canneal;
+pub mod compress;
+pub mod dedup;
+pub mod finance;
+pub mod nbody;
+pub mod netre;
+pub mod text;

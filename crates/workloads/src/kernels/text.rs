@@ -1,0 +1,188 @@
+//! Text/map-reduce kernels: Histogram, WordCount and ReverseIndex — the
+//! Phoenix-suite programs of Table 2 (small computations, low-to-medium
+//! sync frequency).
+
+use std::collections::BTreeMap;
+
+/// 256-bin byte histogram of a slice — the Histogram benchmark's map side.
+pub fn byte_histogram(data: &[u8]) -> [u64; 256] {
+    let mut bins = [0u64; 256];
+    for &b in data {
+        bins[b as usize] += 1;
+    }
+    bins
+}
+
+/// Merges a partial histogram into an accumulator — the reduce side.
+pub fn merge_histogram(acc: &mut [u64; 256], part: &[u64; 256]) {
+    for (a, p) in acc.iter_mut().zip(part.iter()) {
+        *a += p;
+    }
+}
+
+/// Counts words in a text chunk — WordCount's map side.
+///
+/// # Examples
+/// ```
+/// use gprs_workloads::kernels::text::count_words;
+/// let c = count_words("the cat and the hat");
+/// assert_eq!(c["the"], 2);
+/// assert_eq!(c["cat"], 1);
+/// ```
+pub fn count_words(text: &str) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for w in text.split(|c: char| !c.is_ascii_alphanumeric()) {
+        if !w.is_empty() {
+            *counts.entry(w.to_ascii_lowercase()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Merges word counts — WordCount's reduce side.
+pub fn merge_counts(acc: &mut BTreeMap<String, u64>, part: BTreeMap<String, u64>) {
+    for (w, n) in part {
+        *acc.entry(w).or_insert(0) += n;
+    }
+}
+
+/// A synthetic "web page": id plus outgoing links — ReverseIndex's input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Document id.
+    pub id: u32,
+    /// Raw pseudo-HTML body.
+    pub body: String,
+}
+
+/// Extracts `href="doc:N"` link targets from a document body —
+/// ReverseIndex's parse step.
+pub fn extract_links(body: &str) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(ix) = rest.find("href=\"doc:") {
+        rest = &rest[ix + 10..];
+        let end = rest.find('"').unwrap_or(rest.len());
+        if let Ok(n) = rest[..end].parse() {
+            out.push(n);
+        }
+        rest = &rest[end.min(rest.len())..];
+    }
+    out
+}
+
+/// The reverse index: target document -> documents linking to it.
+pub type ReverseIndex = BTreeMap<u32, Vec<u32>>;
+
+/// Inserts one document's links into the index (the critical-section
+/// operation the benchmark serializes on).
+pub fn index_links(index: &mut ReverseIndex, doc: u32, links: &[u32]) {
+    for &target in links {
+        index.entry(target).or_default().push(doc);
+    }
+}
+
+/// Generates a deterministic corpus of cross-linked documents.
+pub fn generate_documents(n: u32, links_per_doc: usize, seed: u64) -> Vec<Document> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        (state >> 33) as u32
+    };
+    (0..n)
+        .map(|id| {
+            let mut body = format!("<html><!-- doc {id} -->");
+            for _ in 0..links_per_doc {
+                body.push_str(&format!("<a href=\"doc:{}\">x</a>", next() % n));
+            }
+            body.push_str("</html>");
+            Document { id, body }
+        })
+        .collect()
+}
+
+/// Generates deterministic prose for WordCount/Histogram.
+pub fn generate_text(words: usize, seed: u64) -> String {
+    const VOCAB: [&str; 12] = [
+        "precise", "restart", "global", "exception", "order", "thread", "commit", "log",
+        "replay", "fault", "token", "retire",
+    ];
+    let mut state = seed | 1;
+    let mut out = String::with_capacity(words * 8);
+    for i in 0..words {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        out.push_str(VOCAB[(state >> 33) as usize % VOCAB.len()]);
+        out.push(if i % 11 == 10 { '\n' } else { ' ' });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_every_byte() {
+        let data = b"aabbbc";
+        let h = byte_histogram(data);
+        assert_eq!(h[b'a' as usize], 2);
+        assert_eq!(h[b'b' as usize], 3);
+        assert_eq!(h[b'c' as usize], 1);
+        assert_eq!(h.iter().sum::<u64>(), data.len() as u64);
+    }
+
+    #[test]
+    fn histogram_merge_is_additive() {
+        let a = byte_histogram(b"abc");
+        let b = byte_histogram(b"bcd");
+        let mut merged = a;
+        merge_histogram(&mut merged, &b);
+        assert_eq!(merged, byte_histogram(b"abcbcd"));
+    }
+
+    #[test]
+    fn wordcount_splits_and_normalizes() {
+        let c = count_words("The the THE, cat!");
+        assert_eq!(c["the"], 3);
+        assert_eq!(c["cat"], 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn wordcount_merge_matches_whole() {
+        let text = generate_text(500, 5);
+        // Split on a word boundary to keep the comparison exact.
+        let split = text[..text.len() / 2].rfind(' ').unwrap();
+        let (a, b) = (&text[..split], &text[split..]);
+        let mut merged = count_words(a);
+        merge_counts(&mut merged, count_words(b));
+        assert_eq!(merged, count_words(&text));
+    }
+
+    #[test]
+    fn links_round_trip_through_extraction() {
+        let docs = generate_documents(20, 5, 7);
+        let mut index = ReverseIndex::new();
+        for d in &docs {
+            let links = extract_links(&d.body);
+            assert_eq!(links.len(), 5, "every generated link parses");
+            assert!(links.iter().all(|&t| t < 20));
+            index_links(&mut index, d.id, &links);
+        }
+        let total: usize = index.values().map(Vec::len).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn extract_links_handles_malformed_input() {
+        assert!(extract_links("no links here").is_empty());
+        assert!(extract_links("href=\"doc:notanumber\"").is_empty());
+        assert_eq!(extract_links("href=\"doc:7"), vec![7]); // unterminated
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(generate_text(100, 1), generate_text(100, 1));
+        assert_eq!(generate_documents(5, 3, 2), generate_documents(5, 3, 2));
+    }
+}

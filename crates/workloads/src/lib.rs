@@ -1,0 +1,17 @@
+//! The ten benchmark programs of the GPRS evaluation (`§4`, Table 2),
+//! provided in two forms:
+//!
+//! * [`traces`] — trace-level generators for the `gprs-sim` virtual-time
+//!   simulator, calibrated to Table 2's characteristics; these regenerate
+//!   the paper's figures.
+//! * [`kernels`] — real, tested algorithm implementations (compressor,
+//!   option pricer, N-body, chunking dedup, packet cache, annealer, …).
+//! * [`programs`] — [`gprs_runtime::program::ThreadProgram`] wrappers that
+//!   run the kernels on the real GPRS runtime (and the CPR baseline),
+//!   used by the repository examples.
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod programs;
+pub mod traces;

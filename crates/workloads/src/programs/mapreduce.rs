@@ -1,0 +1,113 @@
+//! Map-reduce style programs: Histogram and WordCount workers that merge
+//! into a shared mutex-protected accumulator.
+
+use crate::kernels::text::{byte_histogram, count_words, merge_counts};
+use gprs_core::history::Checkpoint;
+use gprs_runtime::ctx::StepCtx;
+use gprs_runtime::handles::MutexHandle;
+use gprs_runtime::program::{Step, ThreadProgram};
+use std::collections::BTreeMap;
+
+/// Histogram worker: histograms an owned chunk, merges into the shared
+/// accumulator under a mutex, exits with its chunk length.
+pub struct HistogramWorker {
+    chunk: Vec<u8>,
+    acc: MutexHandle<Vec<u64>>,
+    stage: u8,
+    local: Option<Vec<u64>>,
+}
+
+impl HistogramWorker {
+    /// Creates the worker over its private chunk.
+    pub fn new(chunk: Vec<u8>, acc: MutexHandle<Vec<u64>>) -> Self {
+        HistogramWorker {
+            chunk,
+            acc,
+            stage: 0,
+            local: None,
+        }
+    }
+}
+
+impl Checkpoint for HistogramWorker {
+    type Snapshot = (u8, Option<Vec<u64>>);
+    fn checkpoint(&self) -> Self::Snapshot {
+        (self.stage, self.local.clone())
+    }
+    fn restore(&mut self, s: &Self::Snapshot) {
+        self.stage = s.0;
+        self.local = s.1.clone();
+    }
+}
+
+impl ThreadProgram for HistogramWorker {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        match self.stage {
+            0 => {
+                self.local = Some(byte_histogram(&self.chunk).to_vec());
+                self.stage = 1;
+                self.acc.lock()
+            }
+            _ => {
+                let local = self.local.take().expect("map phase ran");
+                ctx.with_lock(&self.acc, |bins| {
+                    for (b, l) in bins.iter_mut().zip(local.iter()) {
+                        *b += l;
+                    }
+                });
+                Step::exit(self.chunk.len() as u64)
+            }
+        }
+    }
+}
+
+/// WordCount worker: counts an owned text shard, merges under a mutex,
+/// exits with its word total.
+pub struct WordCountWorker {
+    shard: String,
+    acc: MutexHandle<BTreeMap<String, u64>>,
+    stage: u8,
+    local: Option<BTreeMap<String, u64>>,
+}
+
+impl WordCountWorker {
+    /// Creates the worker over its text shard.
+    pub fn new(shard: String, acc: MutexHandle<BTreeMap<String, u64>>) -> Self {
+        WordCountWorker {
+            shard,
+            acc,
+            stage: 0,
+            local: None,
+        }
+    }
+}
+
+impl Checkpoint for WordCountWorker {
+    type Snapshot = (u8, Option<BTreeMap<String, u64>>);
+    fn checkpoint(&self) -> Self::Snapshot {
+        (self.stage, self.local.clone())
+    }
+    fn restore(&mut self, s: &Self::Snapshot) {
+        self.stage = s.0;
+        self.local = s.1.clone();
+    }
+}
+
+impl ThreadProgram for WordCountWorker {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        match self.stage {
+            0 => {
+                self.local = Some(count_words(&self.shard));
+                self.stage = 1;
+                self.acc.lock()
+            }
+            _ => {
+                let local = self.local.take().expect("map phase ran");
+                let n = local.values().sum::<u64>();
+                ctx.with_lock(&self.acc, |acc| merge_counts(acc, local));
+                Step::exit(n)
+            }
+        }
+    }
+}
+

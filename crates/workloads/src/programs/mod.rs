@@ -1,0 +1,15 @@
+//! [`gprs_runtime::program::ThreadProgram`] wrappers that run the
+//! [`crate::kernels`] on the real GPRS runtime (and unmodified on the CPR
+//! baseline executor) — the runtime-level counterparts of the paper's
+//! Pthreads benchmarks, used by the repository examples and integration
+//! tests.
+
+mod dedup_pipe;
+mod mapreduce;
+mod pbzip;
+mod science;
+
+pub use dedup_pipe::*;
+pub use mapreduce::*;
+pub use pbzip::*;
+pub use science::*;

@@ -1,0 +1,567 @@
+//! Scientific / systems programs on the real runtime: barrier-synchronized
+//! Barnes-Hut N-body, Canneal annealing over a shared netlist, RE's shared
+//! packet cache, and ReverseIndex's sharded critical sections.
+
+use crate::kernels::canneal::{anneal_sweep, Netlist};
+use crate::kernels::nbody::{step_range, Body};
+use crate::kernels::netre::{Packet, PacketCache};
+use crate::kernels::text::{extract_links, Document, ReverseIndex};
+use gprs_core::history::Checkpoint;
+use gprs_runtime::ctx::StepCtx;
+use gprs_runtime::handles::{BarrierHandle, MutexHandle};
+use gprs_runtime::program::{Step, ThreadProgram};
+
+/// Barnes-Hut worker: each iteration locks the shared body vector, steps
+/// its own range (tree build + forces + integration), then synchronizes on
+/// a barrier with its peers — the iterative data-parallel pattern of the
+/// benchmark.
+pub struct NBodyWorker {
+    bodies: MutexHandle<Vec<Body>>,
+    barrier: BarrierHandle,
+    done: gprs_runtime::handles::AtomicHandle,
+    range: std::ops::Range<usize>,
+    iters: u32,
+    iter: u32,
+    phase: u8, // 0 = request lock, 1 = in CS, 2 = signal completion
+    dt: f64,
+}
+
+impl NBodyWorker {
+    /// Creates a worker owning `range` of the shared body vector.
+    pub fn new(
+        bodies: MutexHandle<Vec<Body>>,
+        barrier: BarrierHandle,
+        done: gprs_runtime::handles::AtomicHandle,
+        range: std::ops::Range<usize>,
+        iters: u32,
+        dt: f64,
+    ) -> Self {
+        NBodyWorker {
+            bodies,
+            barrier,
+            done,
+            range,
+            iters,
+            iter: 0,
+            phase: 0,
+            dt,
+        }
+    }
+}
+
+impl Checkpoint for NBodyWorker {
+    type Snapshot = (u32, u8);
+    fn checkpoint(&self) -> Self::Snapshot {
+        (self.iter, self.phase)
+    }
+    fn restore(&mut self, s: &Self::Snapshot) {
+        self.iter = s.0;
+        self.phase = s.1;
+    }
+}
+
+impl ThreadProgram for NBodyWorker {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                if self.iter == self.iters {
+                    // Signal completion so auditors can poll for quiescence.
+                    self.phase = 2;
+                    return self.done.fetch_add(1);
+                }
+                self.phase = 1;
+                self.bodies.lock()
+            }
+            1 => {
+                let range = self.range.clone();
+                let dt = self.dt;
+                ctx.with_lock(&self.bodies, |bodies| {
+                    step_range(bodies, range, dt);
+                });
+                self.iter += 1;
+                self.phase = 0;
+                self.barrier.wait()
+            }
+            _ => Step::exit(self.iter),
+        }
+    }
+}
+
+/// Canneal worker: each round locks the shared netlist, runs one annealing
+/// sweep over random pairs, and tallies accepted moves through an atomic —
+/// small computations with frequent small critical sections.
+pub struct CannealWorker {
+    netlist: MutexHandle<Netlist>,
+    accepted: gprs_runtime::handles::AtomicHandle,
+    done: gprs_runtime::handles::AtomicHandle,
+    sweeps: u32,
+    moves_per_sweep: usize,
+    seed: u64,
+    sweep: u32,
+    phase: u8,
+    pending_accepts: u64,
+}
+
+impl CannealWorker {
+    /// Creates a worker with its own deterministic seed.
+    pub fn new(
+        netlist: MutexHandle<Netlist>,
+        accepted: gprs_runtime::handles::AtomicHandle,
+        done: gprs_runtime::handles::AtomicHandle,
+        sweeps: u32,
+        moves_per_sweep: usize,
+        seed: u64,
+    ) -> Self {
+        CannealWorker {
+            netlist,
+            accepted,
+            done,
+            sweeps,
+            moves_per_sweep,
+            seed,
+            sweep: 0,
+            phase: 0,
+            pending_accepts: 0,
+        }
+    }
+}
+
+impl Checkpoint for CannealWorker {
+    type Snapshot = (u32, u8, u64);
+    fn checkpoint(&self) -> Self::Snapshot {
+        (self.sweep, self.phase, self.pending_accepts)
+    }
+    fn restore(&mut self, s: &Self::Snapshot) {
+        self.sweep = s.0;
+        self.phase = s.1;
+        self.pending_accepts = s.2;
+    }
+}
+
+impl ThreadProgram for CannealWorker {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                if self.sweep == self.sweeps {
+                    self.phase = 2;
+                    return self.done.fetch_add(1);
+                }
+                self.phase = 1;
+                self.netlist.lock()
+            }
+            2 => Step::exit(self.sweep),
+            _ => {
+                let temp = 50.0 / (1.0 + self.sweep as f64);
+                let moves = self.moves_per_sweep;
+                let seed = self.seed.wrapping_add(self.sweep as u64);
+                let accepted =
+                    ctx.with_lock(&self.netlist, |net| anneal_sweep(net, moves, temp, seed));
+                ctx.unlock(&self.netlist);
+                self.pending_accepts = accepted as u64;
+                self.sweep += 1;
+                self.phase = 0;
+                self.accepted.fetch_add(self.pending_accepts)
+            }
+        }
+    }
+}
+
+/// RE worker: processes its packet batch in rounds against the shared
+/// cache under a mutex — medium computations, medium critical sections.
+pub struct ReWorker {
+    cache: MutexHandle<PacketCache>,
+    packets: Vec<Packet>,
+    per_round: usize,
+    cursor: usize,
+    phase: u8,
+    saved: u64,
+}
+
+impl ReWorker {
+    /// Creates a worker over its packet batch, locking once per
+    /// `per_round` packets.
+    pub fn new(cache: MutexHandle<PacketCache>, packets: Vec<Packet>, per_round: usize) -> Self {
+        ReWorker {
+            cache,
+            packets,
+            per_round: per_round.max(1),
+            cursor: 0,
+            phase: 0,
+            saved: 0,
+        }
+    }
+}
+
+impl Checkpoint for ReWorker {
+    type Snapshot = (usize, u8, u64);
+    fn checkpoint(&self) -> Self::Snapshot {
+        (self.cursor, self.phase, self.saved)
+    }
+    fn restore(&mut self, s: &Self::Snapshot) {
+        self.cursor = s.0;
+        self.phase = s.1;
+        self.saved = s.2;
+    }
+}
+
+impl ThreadProgram for ReWorker {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                if self.cursor >= self.packets.len() {
+                    return Step::exit(self.saved);
+                }
+                self.phase = 1;
+                self.cache.lock()
+            }
+            _ => {
+                let end = (self.cursor + self.per_round).min(self.packets.len());
+                let batch = &self.packets[self.cursor..end];
+                let saved: u64 = ctx.with_lock(&self.cache, |cache| {
+                    batch.iter().map(|p| cache.process(p).saved as u64).sum()
+                });
+                self.saved += saved;
+                self.cursor = end;
+                self.phase = 0;
+                if self.cursor >= self.packets.len() {
+                    return Step::exit(self.saved);
+                }
+                self.cache.lock()
+            }
+        }
+    }
+}
+
+/// ReverseIndex worker: parses its documents, then inserts each document's
+/// links into one of several index shards under that shard's mutex (the
+/// benchmark's many small critical sections), using nested locking when a
+/// document's links span two shards.
+pub struct ReverseIndexWorker {
+    shards: Vec<MutexHandle<ReverseIndex>>,
+    docs: Vec<Document>,
+    cursor: usize,
+    phase: u8,
+    links: Vec<u32>,
+    inserted: u64,
+}
+
+impl ReverseIndexWorker {
+    /// Creates a worker over its documents and the shared shard set.
+    pub fn new(shards: Vec<MutexHandle<ReverseIndex>>, docs: Vec<Document>) -> Self {
+        ReverseIndexWorker {
+            shards,
+            docs,
+            cursor: 0,
+            phase: 0,
+            links: Vec::new(),
+            inserted: 0,
+        }
+    }
+
+    fn shard_of(&self, target: u32) -> usize {
+        target as usize % self.shards.len()
+    }
+
+    /// Lowest shard index among the current document's links (shard 0 for
+    /// leaf documents) — locking starts there and proceeds upward.
+    fn primary_shard(&self) -> usize {
+        self.links
+            .iter()
+            .map(|&t| self.shard_of(t))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+impl Checkpoint for ReverseIndexWorker {
+    type Snapshot = (usize, u8, Vec<u32>, u64);
+    fn checkpoint(&self) -> Self::Snapshot {
+        (self.cursor, self.phase, self.links.clone(), self.inserted)
+    }
+    fn restore(&mut self, s: &Self::Snapshot) {
+        self.cursor = s.0;
+        self.phase = s.1;
+        self.links = s.2.clone();
+        self.inserted = s.3;
+    }
+}
+
+impl ThreadProgram for ReverseIndexWorker {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        match self.phase {
+            0 => {
+                if self.cursor >= self.docs.len() {
+                    return Step::exit(self.inserted);
+                }
+                self.links = extract_links(&self.docs[self.cursor].body);
+                self.phase = 1;
+                // Shards are always acquired in ascending index order — the
+                // canonical lock-ordering discipline that rules out ABBA
+                // deadlocks between workers (nested critical sections are
+                // *not* ordered by the runtime, exactly as in the paper).
+                let primary = self.primary_shard();
+                self.shards[primary].lock()
+            }
+            _ => {
+                let doc = self.docs[self.cursor].id;
+                let links = std::mem::take(&mut self.links);
+                let primary = links
+                    .iter()
+                    .map(|&t| self.shard_of(t))
+                    .min()
+                    .unwrap_or(0);
+                // Insert into the held shard directly; other shards via
+                // nested (subsumed) critical sections.
+                let per_shard: Vec<Vec<u32>> = {
+                    let mut v = vec![Vec::new(); self.shards.len()];
+                    for &t in &links {
+                        v[self.shard_of(t)].push(t);
+                    }
+                    v
+                };
+                for (s, targets) in per_shard.into_iter().enumerate() {
+                    if targets.is_empty() {
+                        continue;
+                    }
+                    self.inserted += targets.len() as u64;
+                    if s == primary {
+                        ctx.with_lock(&self.shards[s], |ix| {
+                            crate::kernels::text::index_links(ix, doc, &targets)
+                        });
+                    } else {
+                        ctx.lock_nested(&self.shards[s], |ix| {
+                            crate::kernels::text::index_links(ix, doc, &targets)
+                        });
+                    }
+                }
+                self.cursor += 1;
+                self.phase = 0;
+                if self.cursor >= self.docs.len() {
+                    return Step::exit(self.inserted);
+                }
+                self.links = extract_links(&self.docs[self.cursor].body);
+                self.phase = 1;
+                let primary = self.primary_shard();
+                self.shards[primary].lock()
+            }
+        }
+    }
+}
+
+/// Test/demo helper: polls a completion atomic until it reaches `peers`,
+/// then reads a value out of a mutex and exits with it.
+pub struct QuiescentAuditor<T, R, F> {
+    done: gprs_runtime::handles::AtomicHandle,
+    peers: u64,
+    target: MutexHandle<T>,
+    read: F,
+    ready: bool,
+    _r: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<T, R, F> QuiescentAuditor<T, R, F>
+where
+    T: 'static,
+    R: Send + Sync + 'static,
+    F: FnMut(&mut T) -> R + Send + 'static,
+{
+    /// Creates the auditor.
+    pub fn new(
+        done: gprs_runtime::handles::AtomicHandle,
+        peers: u64,
+        target: MutexHandle<T>,
+        read: F,
+    ) -> Self {
+        QuiescentAuditor {
+            done,
+            peers,
+            target,
+            read,
+            ready: false,
+            _r: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, R, F: Send + 'static> Checkpoint for QuiescentAuditor<T, R, F> {
+    type Snapshot = bool;
+    fn checkpoint(&self) -> bool {
+        self.ready
+    }
+    fn restore(&mut self, s: &bool) {
+        self.ready = *s;
+    }
+}
+
+impl<T, R, F> ThreadProgram for QuiescentAuditor<T, R, F>
+where
+    T: 'static,
+    R: Send + Sync + 'static,
+    F: FnMut(&mut T) -> R + Send + 'static,
+{
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        if self.ready && ctx.atomic_prev() >= self.peers {
+            let out = ctx.lock_nested(&self.target, |t| (self.read)(t));
+            return Step::exit(out);
+        }
+        self.ready = true;
+        self.done.fetch_add(0) // poll the completion counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::nbody::generate_bodies;
+    use crate::kernels::netre::generate_trace;
+    use crate::kernels::text::generate_documents;
+    use gprs_core::exception::ExceptionKind;
+    use gprs_core::ids::GroupId;
+    use gprs_runtime::GprsBuilder;
+    use std::time::Duration;
+
+    fn storm(ctl: gprs_runtime::Controller, us: u64) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            while !ctl.is_finished() {
+                ctl.inject_on_busy(ExceptionKind::SoftFault);
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        })
+    }
+
+    #[test]
+    fn nbody_barrier_program_is_exact_under_storm() {
+        let n = 120;
+        let iters = 4;
+        let run = |inject: bool| {
+            let mut b = GprsBuilder::new().workers(3);
+            let bodies = b.mutex(generate_bodies(n, 5));
+            let bar = b.barrier(3);
+            let done = b.atomic(0);
+            for w in 0..3usize {
+                let lo = w * n / 3;
+                let hi = (w + 1) * n / 3;
+                b.thread(
+                    NBodyWorker::new(bodies, bar, done, lo..hi, iters, 1e-3),
+                    GroupId::new(0),
+                    1,
+                );
+            }
+            let auditor = b.thread(
+                QuiescentAuditor::new(done, 3, bodies, |bs: &mut Vec<Body>| {
+                    bs.iter().map(|b| b.x + b.y).sum::<f64>().to_bits()
+                }),
+                GroupId::new(1),
+                1,
+            );
+            let rt = b.build();
+            let h = inject.then(|| storm(rt.controller(), 600));
+            let report = rt.run().unwrap();
+            if let Some(h) = h {
+                h.join().unwrap();
+            }
+            report.output::<u64>(auditor)
+        };
+        // Fault-free determinism is bit-exact; a recovered run is a correct
+        // execution whose within-iteration lock interleaving may differ.
+        let clean = run(false);
+        assert_eq!(clean, run(false), "fault-free N-body is deterministic");
+        let stormy = run(true);
+        assert!(f64::from_bits(stormy).is_finite());
+    }
+
+    #[test]
+    fn canneal_improves_and_fault_free_runs_are_deterministic() {
+        let run = |inject: bool| {
+            let mut b = GprsBuilder::new().workers(2);
+            let net = Netlist::generate(200, 4, 3);
+            let initial = net.total_cost();
+            let netlist = b.mutex(net);
+            let accepted = b.atomic(0);
+            let done = b.atomic(0);
+            for w in 0..2u64 {
+                b.thread(
+                    CannealWorker::new(netlist, accepted, done, 8, 400, 77 + w),
+                    GroupId::new(0),
+                    1,
+                );
+            }
+            let auditor = b.thread(
+                QuiescentAuditor::new(done, 2, netlist, |net: &mut Netlist| net.total_cost()),
+                GroupId::new(1),
+                1,
+            );
+            let rt = b.build();
+            let h = inject.then(|| storm(rt.controller(), 500));
+            let report = rt.run().unwrap();
+            if let Some(h) = h {
+                h.join().unwrap();
+            }
+            (initial, report.output::<u64>(auditor))
+        };
+        let (initial, clean) = run(false);
+        let (_, stormy) = run(true);
+        assert!(clean < initial, "annealing improves: {initial} -> {clean}");
+        // Annealing outcome depends on the sweep interleaving; a recovered
+        // schedule may be a different *correct* serialization, so only
+        // fault-free runs are asserted bit-identical.
+        assert!(stormy < initial, "stormy run still improves: {initial} -> {stormy}");
+        let (_, clean2) = run(false);
+        assert_eq!(clean, clean2, "fault-free runs are deterministic");
+    }
+
+    #[test]
+    fn re_workers_save_bytes_and_survive_storm() {
+        let trace = generate_trace(120, 256, 50, 9);
+        let run = |inject: bool| {
+            let mut b = GprsBuilder::new().workers(2);
+            let cache = b.mutex(PacketCache::new(1 << 16));
+            let mut tids = Vec::new();
+            for half in trace.chunks(60) {
+                tids.push(b.thread(
+                    ReWorker::new(cache, half.to_vec(), 10),
+                    GroupId::new(0),
+                    1,
+                ));
+            }
+            let rt = b.build();
+            let h = inject.then(|| storm(rt.controller(), 400));
+            let report = rt.run().unwrap();
+            if let Some(h) = h {
+                h.join().unwrap();
+            }
+            tids.iter().map(|&t| report.output::<u64>(t)).sum::<u64>()
+        };
+        let clean = run(false);
+        let stormy = run(true);
+        assert!(clean > 0, "a 50%-redundant trace must save bytes");
+        assert_eq!(clean, stormy);
+    }
+
+    #[test]
+    fn reverse_index_counts_all_links_under_storm() {
+        let docs = generate_documents(60, 6, 4);
+        let run = |inject: bool| {
+            let mut b = GprsBuilder::new().workers(3);
+            let shards: Vec<_> = (0..4).map(|_| b.mutex(ReverseIndex::new())).collect();
+            let mut tids = Vec::new();
+            for part in docs.chunks(20) {
+                tids.push(b.thread(
+                    ReverseIndexWorker::new(shards.clone(), part.to_vec()),
+                    GroupId::new(0),
+                    1,
+                ));
+            }
+            let rt = b.build();
+            let h = inject.then(|| storm(rt.controller(), 500));
+            let report = rt.run().unwrap();
+            if let Some(h) = h {
+                h.join().unwrap();
+            }
+            tids.iter().map(|&t| report.output::<u64>(t)).sum::<u64>()
+        };
+        let clean = run(false);
+        assert_eq!(clean, 60 * 6, "every generated link indexed once");
+        assert_eq!(clean, run(true));
+    }
+}

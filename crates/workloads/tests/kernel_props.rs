@@ -1,0 +1,115 @@
+//! Property-based tests of the workload kernels' invariants.
+
+use gprs_workloads::kernels::compress::{compress_block, decompress_block};
+use gprs_workloads::kernels::dedup::{dedup_stats, fingerprint, Chunker};
+use gprs_workloads::kernels::finance::{black_scholes, Option_};
+use gprs_workloads::kernels::nbody::{direct_force, generate_bodies, QuadTree};
+use gprs_workloads::kernels::text::{
+    byte_histogram, count_words, merge_counts, merge_histogram,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    /// Compression round-trips arbitrary bytes exactly.
+    #[test]
+    fn compress_round_trips(data in vec(any::<u8>(), 0..4096)) {
+        let packed = compress_block(&data);
+        prop_assert_eq!(decompress_block(&packed).unwrap(), data);
+    }
+
+    /// Repetition never makes the archive bigger than literals + framing.
+    #[test]
+    fn compress_bounded_expansion(data in vec(any::<u8>(), 0..2048)) {
+        let packed = compress_block(&data);
+        // Worst case: all literals in 255-byte runs, 2 bytes framing each.
+        prop_assert!(packed.len() <= data.len() + 2 * (data.len() / 255 + 1));
+    }
+
+    /// Chunking partitions the input exactly, within size bounds.
+    #[test]
+    fn chunker_partitions(data in vec(any::<u8>(), 0..20_000)) {
+        let c = Chunker::default();
+        let chunks = c.chunk(&data);
+        let mut pos = 0;
+        for r in &chunks {
+            prop_assert_eq!(r.start, pos);
+            prop_assert!(r.len() <= c.max_size);
+            pos = r.end;
+        }
+        prop_assert_eq!(pos, data.len());
+    }
+
+    /// Dedup counts are consistent: unique ≤ total, unique bytes ≤ total.
+    #[test]
+    fn dedup_counts_consistent(data in vec(any::<u8>(), 0..10_000)) {
+        let (unique, total, unique_bytes) = dedup_stats(&data, &Chunker::default());
+        prop_assert!(unique <= total);
+        prop_assert!(unique_bytes <= data.len());
+        if data.is_empty() {
+            prop_assert_eq!(total, 0);
+        }
+    }
+
+    /// Fingerprints are stable and content-sensitive (collision-free on
+    /// small distinct inputs with overwhelming probability).
+    #[test]
+    fn fingerprint_is_pure(a in vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(fingerprint(&a), fingerprint(&a));
+    }
+
+    /// Histogram merging is commutative and totals are conserved.
+    #[test]
+    fn histogram_merge_conserves(a in vec(any::<u8>(), 0..2000),
+                                 b in vec(any::<u8>(), 0..2000)) {
+        let (ha, hb) = (byte_histogram(&a), byte_histogram(&b));
+        let mut ab = ha;
+        merge_histogram(&mut ab, &hb);
+        let mut ba = hb;
+        merge_histogram(&mut ba, &ha);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.iter().sum::<u64>() as usize, a.len() + b.len());
+    }
+
+    /// Word-count merging equals counting the concatenation.
+    #[test]
+    fn wordcount_merge_is_homomorphic(a in "[a-z ]{0,200}", b in "[a-z ]{0,200}") {
+        let mut merged = count_words(&a);
+        merge_counts(&mut merged, count_words(&b));
+        let whole = count_words(&format!("{a} {b}"));
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// Black-Scholes prices respect the no-arbitrage bounds
+    /// `max(S - K·e^{-rT}, 0) ≤ C ≤ S`.
+    #[test]
+    fn black_scholes_within_bounds(spot in 10.0f64..200.0, strike in 10.0f64..200.0,
+                                   rate in 0.0f64..0.1, vol in 0.05f64..0.8,
+                                   expiry in 0.1f64..3.0) {
+        let c = black_scholes(&Option_ { spot, strike, rate, vol, expiry, call: true });
+        let intrinsic = (spot - strike * (-rate * expiry).exp()).max(0.0);
+        prop_assert!(c >= intrinsic - 1e-6, "C {c} < intrinsic {intrinsic}");
+        prop_assert!(c <= spot + 1e-6, "C {c} > spot {spot}");
+    }
+
+    /// The Barnes-Hut approximation stays close to the direct sum on
+    /// random discs — measured as aggregate error normalized by the mean
+    /// force magnitude (per-body relative error is ill-conditioned where
+    /// forces nearly cancel).
+    #[test]
+    fn quadtree_force_error_bounded(seed in 0u64..1000) {
+        let bodies = generate_bodies(150, seed);
+        let tree = QuadTree::build(&bodies);
+        let mut err2 = 0.0f64;
+        let mut mag2 = 0.0f64;
+        for k in 0..10 {
+            let i = ((seed as usize).wrapping_mul(7) + k * 15) % 150;
+            let (ax, ay) = tree.force_on(i);
+            let (ex, ey) = direct_force(&bodies, i);
+            err2 += (ax - ex).powi(2) + (ay - ey).powi(2);
+            mag2 += ex * ex + ey * ey;
+        }
+        let err = (err2 / mag2.max(1e-18)).sqrt();
+        prop_assert!(err < 0.08, "aggregate relative error {err} at seed {seed}");
+    }
+}

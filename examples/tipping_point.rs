@@ -1,0 +1,56 @@
+//! Tipping point: a condensed Figure 11(c) on the virtual-time simulator —
+//! find the exception rate beyond which Pbzip2 stops completing, under
+//! conventional CPR and under GPRS selective restart, across machine sizes.
+//!
+//! ```sh
+//! cargo run --release -p gprs-workloads --example tipping_point
+//! ```
+
+use gprs_sim::costs::secs_to_cycles;
+use gprs_sim::free::{run_free, FreeRunConfig};
+use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+use gprs_sim::tipping::{find_tipping_rate, TippingScheme};
+use gprs_workloads::traces::{pbzip2_with, TraceParams};
+
+fn main() {
+    println!("Tipping rates on Pbzip2 (scaled input), CPR vs GPRS\n");
+    println!("{:>9}  {:>12}  {:>12}  {:>7}", "contexts", "P-CPR (e/s)", "GPRS (e/s)", "ratio");
+    for n in [1u32, 4, 8, 16, 24] {
+        let p = TraceParams::paper().scaled(0.1).with_contexts(n);
+        let w = pbzip2_with(&p, n.saturating_sub(2).max(1) as usize);
+        let cpr_free = run_free(&w, &FreeRunConfig::cpr(n, secs_to_cycles(1.0)));
+        let gprs_free = run_gprs(&w, &GprsSimConfig::balance_aware(n));
+        let cpr = find_tipping_rate(
+            &w,
+            &TippingScheme::Cpr(
+                FreeRunConfig::cpr(n, secs_to_cycles(1.0))
+                    .with_time_cap(cpr_free.finish_cycles.saturating_mul(20)),
+            ),
+            0.5,
+            0.15,
+            7,
+        );
+        let gprs = find_tipping_rate(
+            &w,
+            &TippingScheme::Gprs(
+                GprsSimConfig::balance_aware(n)
+                    .with_time_cap(gprs_free.finish_cycles.saturating_mul(20)),
+            ),
+            0.5,
+            0.15,
+            7,
+        );
+        println!(
+            "{:>9}  {:>12.2}  {:>12.2}  {:>6.1}x",
+            n,
+            cpr.estimate(),
+            gprs.estimate(),
+            gprs.estimate() / cpr.estimate()
+        );
+    }
+    println!(
+        "\nThe paper's claim (§2.4, Figure 11): CPR tolerance is flat in the\n\
+         machine size (e ≤ 1/t_r) while GPRS selective restart scales with it\n\
+         (e ≤ n/t_r) — the shape reproduced above."
+    );
+}

@@ -1,0 +1,182 @@
+//! The paper's headline claims, asserted against the simulator at reduced
+//! scale — every claim here is a statement from §4 of the paper.
+
+use gprs_bench::{
+    cpr_run, gprs_run, harmonic_mean, injector, layered_costs, paper_workload, pthreads_baseline,
+    CostLayer, CONTEXTS,
+};
+use gprs_core::order::ScheduleKind;
+use gprs_sim::costs::secs_to_cycles;
+use gprs_sim::free::{run_free, FreeRunConfig};
+use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+use gprs_workloads::traces::{info, pbzip2_with, TraceParams, PROGRAMS};
+
+const SCALE: f64 = 0.05;
+
+/// "The round-robin order severely degrades Pbzip2's performance …
+/// resulting in an overhead of 1014.4%. When the basic balance-aware
+/// schedule was applied … the overhead dropped to 34.14%."
+#[test]
+fn round_robin_serializes_pbzip2_balance_aware_recovers() {
+    let w = paper_workload("pbzip2", SCALE, false);
+    let base = pthreads_baseline(&w);
+    let cap = base.finish_cycles * 40;
+    let rr = gprs_run(&w, ScheduleKind::RoundRobin, CostLayer::OrderingOnly, cap);
+    let ba = gprs_run(&w, ScheduleKind::BalanceBasic, CostLayer::OrderingOnly, cap);
+    let rr_rel = rr.relative_to(&base).unwrap_or(f64::INFINITY);
+    let ba_rel = ba.relative_to(&base).expect("balance-aware completes");
+    assert!(rr_rel > 5.0, "round-robin must serialize: {rr_rel:.2}");
+    assert!(ba_rel < 2.2, "balance-aware must recover: {ba_rel:.2}");
+}
+
+/// The weighted scheme stays in the balance-aware regime (both are an
+/// order of magnitude below round-robin's serialization). In the paper,
+/// 4:4:1 weights further cut Pbzip2's overhead from 34% to 11%; in this
+/// reproduction's trace dynamics the basic schedule already keeps the
+/// reader fed, so weighted ≈ basic (recorded in EXPERIMENTS.md).
+#[test]
+fn weighted_schedule_stays_in_balance_aware_regime() {
+    let w = paper_workload("pbzip2", SCALE, false);
+    let base = pthreads_baseline(&w);
+    let cap = base.finish_cycles * 40;
+    let basic = gprs_run(&w, ScheduleKind::BalanceBasic, CostLayer::Full, cap);
+    let weighted = gprs_run(&w, ScheduleKind::BalanceWeighted, CostLayer::Full, cap);
+    let rr = gprs_run(&w, ScheduleKind::RoundRobin, CostLayer::Full, cap);
+    let b = basic.relative_to(&base).unwrap();
+    let wgt = weighted.relative_to(&base).unwrap();
+    let r = rr.relative_to(&base).unwrap_or(f64::INFINITY);
+    assert!(wgt <= b * 1.25, "weighted {wgt:.2} vs basic {b:.2}");
+    assert!(wgt * 3.0 < r, "weighted {wgt:.2} far below round-robin {r:.2}");
+}
+
+/// "P-CPR's checkpointing penalty was worse than GPRS despite the ordering
+/// and ROL overheads of GPRS" — on harmonic mean across the programs.
+#[test]
+fn cpr_checkpointing_costs_more_than_gprs_overall() {
+    let mut cpr_rels = Vec::new();
+    let mut gprs_rels = Vec::new();
+    for prog in &PROGRAMS {
+        let w = paper_workload(prog.name, SCALE, false);
+        let base = pthreads_baseline(&w);
+        let cap = base.finish_cycles * 40;
+        let p = cpr_run(
+            &w,
+            prog.cpr_interval_secs * SCALE.max(0.02),
+            prog.cpr_record_ms,
+            prog.cpr_restore_ms,
+            cap,
+        );
+        let g = gprs_run(&w, ScheduleKind::BalanceBasic, CostLayer::Full, cap);
+        if let (Some(pr), Some(gr)) = (p.relative_to(&base), g.relative_to(&base)) {
+            cpr_rels.push(pr);
+            gprs_rels.push(gr);
+        }
+    }
+    let cpr_hm = harmonic_mean(&cpr_rels).unwrap();
+    let gprs_hm = harmonic_mean(&gprs_rels).unwrap();
+    assert!(
+        cpr_hm > gprs_hm,
+        "CPR checkpointing HM {cpr_hm:.3} must exceed GPRS HM {gprs_hm:.3}"
+    );
+}
+
+/// Figure 10's qualitative content: at the paper's high rates GPRS
+/// completes where CPR does not. Like the figure harness (and the paper's
+/// ten averaged runs), each scheme runs under three seeded exception
+/// schedules; CPR "tips" if any schedule fails, GPRS must survive all.
+#[test]
+fn gprs_survives_high_rates_where_cpr_tips() {
+    for name in ["barnes-hut", "dedup", "reverse-index"] {
+        let prog = info(name);
+        let w = paper_workload(name, 0.2, false);
+        let base = pthreads_baseline(&w);
+        let cap = base.finish_cycles * 12;
+        let mut cpr_tipped = false;
+        for seed in [99u64, 7, 1234] {
+            let inj = injector(prog.fig10_high_rate, CONTEXTS, seed);
+            // Exception rates are per wall-clock second, so the checkpoint
+            // interval must stay unscaled too (only the input shrinks).
+            let mut ccfg = FreeRunConfig::cpr(
+                CONTEXTS,
+                secs_to_cycles(prog.cpr_interval_secs),
+            )
+            .with_exceptions(inj.clone())
+            .with_time_cap(cap);
+            ccfg.costs.cpr_record = secs_to_cycles(prog.cpr_record_ms / 1e3);
+            ccfg.costs.cpr_restore = secs_to_cycles(prog.cpr_restore_ms / 1e3);
+            let cpr = run_free(&w, &ccfg);
+            cpr_tipped |= !cpr.completed;
+            let mut gcfg = GprsSimConfig::balance_aware(CONTEXTS)
+                .with_exceptions(inj)
+                .with_time_cap(cap);
+            gcfg.costs = layered_costs(CostLayer::Full);
+            let gprs = run_gprs(&w, &gcfg);
+            assert!(gprs.completed, "{name}: GPRS must survive seed {seed}");
+        }
+        assert!(
+            cpr_tipped,
+            "{name}: CPR should tip at {}/s in at least one schedule",
+            prog.fig10_high_rate
+        );
+    }
+}
+
+/// Figure 11(c): CPR tipping is flat in the context count; GPRS tipping
+/// scales with it.
+#[test]
+fn tipping_scales_with_contexts_for_gprs_only() {
+    use gprs_sim::tipping::{find_tipping_rate, TippingScheme};
+    let tip = |n: u32, gprs: bool| {
+        let p = TraceParams::paper().scaled(0.05).with_contexts(n);
+        let w = pbzip2_with(&p, n.saturating_sub(2).max(1) as usize);
+        if gprs {
+            let free = run_gprs(&w, &GprsSimConfig::balance_aware(n));
+            find_tipping_rate(
+                &w,
+                &TippingScheme::Gprs(
+                    GprsSimConfig::balance_aware(n)
+                        .with_time_cap(free.finish_cycles * 20),
+                ),
+                0.5,
+                0.2,
+                3,
+            )
+            .estimate()
+        } else {
+            let free = run_free(&w, &FreeRunConfig::cpr(n, secs_to_cycles(1.0)));
+            find_tipping_rate(
+                &w,
+                &TippingScheme::Cpr(
+                    FreeRunConfig::cpr(n, secs_to_cycles(1.0))
+                        .with_time_cap(free.finish_cycles * 20),
+                ),
+                0.5,
+                0.2,
+                3,
+            )
+            .estimate()
+        }
+    };
+    let cpr4 = tip(4, false);
+    let cpr16 = tip(16, false);
+    let g4 = tip(4, true);
+    let g16 = tip(16, true);
+    assert!(cpr16 / cpr4 < 2.0, "CPR flat: {cpr4:.2} -> {cpr16:.2}");
+    assert!(g16 / g4 > 1.6, "GPRS scales: {g4:.2} -> {g16:.2}");
+    assert!(g16 > cpr16 * 3.0, "GPRS far above CPR at 16 contexts");
+}
+
+/// Figure 9: fine-grained Pthreads degrades, fine-grained GPRS improves.
+#[test]
+fn fine_grain_helps_gprs_hurts_pthreads() {
+    let coarse = paper_workload("barnes-hut", SCALE, false);
+    let fine = paper_workload("barnes-hut", SCALE, true);
+    let base = pthreads_baseline(&coarse);
+    let cap = base.finish_cycles * 10;
+    let pt_fine = run_free(&fine, &FreeRunConfig::pthreads(CONTEXTS).with_time_cap(cap));
+    let g_fine = gprs_run(&fine, ScheduleKind::BalanceBasic, CostLayer::Full, cap);
+    let pt = pt_fine.relative_to(&base).expect("completes");
+    let g = g_fine.relative_to(&base).expect("completes");
+    assert!(pt > 1.1, "fine Pthreads degrades: {pt:.2}");
+    assert!(g < 1.0, "fine GPRS improves: {g:.2}");
+}
