@@ -5,6 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gprs_core::prelude::*;
+use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+use gprs_telemetry::TelemetryConfig;
+use gprs_workloads::traces::{build, TraceParams};
 use std::collections::BTreeSet;
 
 fn make_rol(n: u64) -> ReorderList {
@@ -143,9 +146,28 @@ fn bench_recovery_planning(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    // End-to-end simulator runs with telemetry on vs off: the disabled
+    // configuration must cost no more than the noise floor (every
+    // instrumentation point reduces to one predictable branch).
+    let mut g = c.benchmark_group("telemetry");
+    let w = build("pbzip2", &TraceParams::paper().scaled(0.01));
+    for (name, tel) in [
+        ("enabled", TelemetryConfig::default()),
+        ("disabled", TelemetryConfig::disabled()),
+    ] {
+        let cfg = GprsSimConfig::balance_aware(8).with_telemetry(tel);
+        g.bench_function(format!("sim_pbzip2_{name}"), |b| {
+            b.iter(|| run_gprs(&w, &cfg).finish_cycles);
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_ordering, bench_rol, bench_wal, bench_checkpoint, bench_recovery_planning
+    targets = bench_ordering, bench_rol, bench_wal, bench_checkpoint, bench_recovery_planning,
+        bench_telemetry
 );
 criterion_main!(benches);

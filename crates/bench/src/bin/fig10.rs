@@ -4,7 +4,7 @@
 
 use gprs_bench::{
     injector, layered_costs, paper_workload, parse_scale, print_table, pthreads_baseline,
-    CostLayer, CONTEXTS,
+    CostLayer, TelemetryArtifact, CONTEXTS,
 };
 use gprs_sim::costs::secs_to_cycles;
 use gprs_sim::free::{run_free, FreeRunConfig};
@@ -18,6 +18,7 @@ fn main() {
     println!("Rates (low/high, exceptions per second) follow §4.\n");
 
     let mut rows = Vec::new();
+    let mut artifact = TelemetryArtifact::new("fig10");
     for prog in &PROGRAMS {
         // GPRS exploits the fine-grained configuration where §4 does; the
         // CPR baseline runs the coarse program (fine-grained Pthreads-style
@@ -40,13 +41,16 @@ fn main() {
             let mut cpr_dnc = false;
             let mut gprs_dnc = false;
             for seed_ix in 0..3u64 {
-                let seed = 0xF16_0 + seed_ix * 7919 + rate.to_bits() % 1000;
+                let seed = 0xF160 + seed_ix * 7919 + rate.to_bits() % 1000;
                 let mut ccfg = FreeRunConfig::cpr(CONTEXTS, secs_to_cycles(interval))
                     .with_exceptions(injector(rate, CONTEXTS, seed))
                     .with_time_cap(cap);
                 ccfg.costs.cpr_record = secs_to_cycles(prog.cpr_record_ms / 1e3);
                 ccfg.costs.cpr_restore = secs_to_cycles(prog.cpr_restore_ms / 1e3);
                 let cpr = run_free(&w_cpr, &ccfg);
+                if seed_ix == 0 {
+                    artifact.push(format!("{}/P-CPR@{rate}", prog.name), &cpr);
+                }
                 match cpr.relative_to(&base) {
                     Some(r) => cpr_rels.push(r),
                     None => cpr_dnc = true,
@@ -56,6 +60,9 @@ fn main() {
                     .with_time_cap(cap);
                 gcfg.costs = layered_costs(CostLayer::Full);
                 let gprs = run_gprs(&w_gprs, &gcfg);
+                if seed_ix == 0 {
+                    artifact.push(format!("{}/GPRS@{rate}", prog.name), &gprs);
+                }
                 match gprs.relative_to(&base) {
                     Some(r) => gprs_rels.push(r),
                     None => gprs_dnc = true,
@@ -79,4 +86,7 @@ fn main() {
     );
     println!("\nPaper: all P-CPR-H cells are DNC; GPRS completes everywhere,");
     println!("≈55% cheaper than P-CPR at the low rates.");
+    // First-seed runs only: the telemetry artifact records one exemplar per
+    // (program, scheme, rate) cell, not the full averaging population.
+    artifact.write();
 }

@@ -6,7 +6,7 @@
 //! * `fig11 c` — the tipping-rate table: P-CPR flat (~1.5/s), GPRS scaling
 //!   with the context count (paper: 1.92 → 31.25 exceptions/s).
 
-use gprs_bench::{injector, parse_scale, print_table};
+use gprs_bench::{injector, parse_scale, print_table, TelemetryArtifact};
 use gprs_sim::costs::secs_to_cycles;
 use gprs_sim::free::{run_free, FreeRunConfig};
 use gprs_sim::gprs::{run_gprs, GprsSimConfig};
@@ -44,6 +44,9 @@ fn run_one(w: &Workload, contexts: u32, rate: f64, cap: u64, gprs: bool) -> Opti
 fn sweep(scale: f64, gprs: bool, rates: &[f64]) {
     let which = if gprs { "GPRS" } else { "P-CPR" };
     let mut rows = Vec::new();
+    // The artifact records the fault-free run per context count — the
+    // reference point every sweep cell is judged against.
+    let mut artifact = TelemetryArtifact::new(if gprs { "fig11b" } else { "fig11a" });
     for &n in &CONTEXT_COUNTS {
         let w = pbzip2(scale, n);
         let free = if gprs {
@@ -51,6 +54,7 @@ fn sweep(scale: f64, gprs: bool, rates: &[f64]) {
         } else {
             run_free(&w, &FreeRunConfig::cpr(n, secs_to_cycles(1.0)))
         };
+        artifact.push(format!("{which}/ctx{n}/fault-free"), &free);
         let cap = free.finish_cycles.saturating_mul(20);
         let mut row = vec![format!("{n}")];
         for &rate in rates {
@@ -71,10 +75,12 @@ fn sweep(scale: f64, gprs: bool, rates: &[f64]) {
         &header_refs,
         &rows,
     );
+    artifact.write();
 }
 
 fn tipping(scale: f64) {
     let mut rows = Vec::new();
+    let mut artifact = TelemetryArtifact::new("fig11c");
     for &n in &CONTEXT_COUNTS {
         let w = pbzip2(scale, n);
         // "Did not complete in reasonable time" is judged against each
@@ -82,6 +88,8 @@ fn tipping(scale: f64) {
         // overestimates unbalanced small-n runs).
         let cpr_free = run_free(&w, &FreeRunConfig::cpr(n, secs_to_cycles(1.0)));
         let gprs_free = run_gprs(&w, &GprsSimConfig::balance_aware(n));
+        artifact.push(format!("P-CPR/ctx{n}/fault-free"), &cpr_free);
+        artifact.push(format!("GPRS/ctx{n}/fault-free"), &gprs_free);
         let cpr_cap = cpr_free.finish_cycles.saturating_mul(20);
         let gprs_cap = gprs_free.finish_cycles.saturating_mul(20);
         let cpr = find_tipping_rate(
@@ -113,6 +121,7 @@ fn tipping(scale: f64) {
         &rows,
     );
     println!("\nPaper: P-CPR 1.17–1.76 (flat); GPRS 1.92 → 31.25 (scales with contexts)");
+    artifact.write();
 }
 
 fn main() {

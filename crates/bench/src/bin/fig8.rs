@@ -11,7 +11,7 @@
 
 use gprs_bench::{
     cpr_run, gprs_run, harmonic_mean, paper_workload, parse_scale, print_table,
-    pthreads_baseline, CostLayer,
+    pthreads_baseline, CostLayer, TelemetryArtifact,
 };
 use gprs_core::order::ScheduleKind;
 use gprs_workloads::traces::PROGRAMS;
@@ -25,6 +25,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    let mut artifact = TelemetryArtifact::new(if fine { "fig8b" } else { "fig8a" });
     for prog in &PROGRAMS {
         // Fine-grain only changes the four data-parallel programs (§4).
         let use_fine = fine && prog.fine_in_fig10;
@@ -43,6 +44,10 @@ fn main() {
             cap,
         );
         let g_b_ch = gprs_run(&w, ScheduleKind::BalanceBasic, CostLayer::Full, cap);
+
+        artifact.push(format!("{}/Pthreads", prog.name), &base);
+        artifact.push(format!("{}/P-CPR-CH", prog.name), &p_ch);
+        artifact.push(format!("{}/G-B-CH", prog.name), &g_b_ch);
 
         let cells: Vec<String> = [&g_r_or, &g_b_or, &g_b_rol, &p_ch, &g_b_ch]
             .iter()
@@ -74,4 +79,5 @@ fn main() {
         &rows,
     );
     println!("\nPaper HM targets (8a): G-R-OR 1.14, G-B-OR 1.06, G-B-ROL 1.15, P-/-CH 1.21, G-B-CH 1.16");
+    artifact.write();
 }

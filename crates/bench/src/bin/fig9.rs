@@ -5,7 +5,7 @@
 
 use gprs_bench::{
     gprs_run, harmonic_mean, paper_workload, parse_scale, print_table, pthreads_baseline,
-    rel_cell, CostLayer, CONTEXTS,
+    rel_cell, CostLayer, TelemetryArtifact, CONTEXTS,
 };
 use gprs_core::order::ScheduleKind;
 use gprs_sim::free::{run_free, FreeRunConfig};
@@ -20,6 +20,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut pt_col = Vec::new();
     let mut g_col = Vec::new();
+    let mut artifact = TelemetryArtifact::new("fig9");
     for name in PROGRAMS {
         let coarse = paper_workload(name, scale, false);
         let fine = paper_workload(name, scale, true);
@@ -30,6 +31,8 @@ fn main() {
             &FreeRunConfig::pthreads(CONTEXTS).with_time_cap(cap),
         );
         let g_fine = gprs_run(&fine, ScheduleKind::BalanceBasic, CostLayer::Full, cap);
+        artifact.push(format!("{name}/Pthreads-fine"), &pt_fine);
+        artifact.push(format!("{name}/GPRS-fine"), &g_fine);
         if let Some(r) = pt_fine.relative_to(&base) {
             pt_col.push(r);
         }
@@ -57,4 +60,5 @@ fn main() {
         &rows,
     );
     println!("\nPaper: Barnes-Hut Pthreads-fine ≈ 1.20, Blackscholes DNC; GPRS-fine HM ≈ 0.73");
+    artifact.write();
 }

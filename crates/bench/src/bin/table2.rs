@@ -1,7 +1,9 @@
 //! Regenerates Table 2: program characteristics on the simulated
 //! 24-context machine.
 
-use gprs_bench::{parse_scale, paper_workload, print_table, pthreads_baseline, CONTEXTS};
+use gprs_bench::{
+    parse_scale, paper_workload, print_table, pthreads_baseline, TelemetryArtifact, CONTEXTS,
+};
 use gprs_sim::cycles_to_secs;
 use gprs_sim::gprs::{run_gprs, GprsSimConfig};
 use gprs_workloads::traces::PROGRAMS;
@@ -14,11 +16,14 @@ fn main() {
     println!("fine-grained sub-thread count vs paper column 7.\n");
 
     let mut rows = Vec::new();
+    let mut artifact = TelemetryArtifact::new("table2");
     for prog in &PROGRAMS {
         let coarse = paper_workload(prog.name, scale, false);
         let base = pthreads_baseline(&coarse);
         let fine = paper_workload(prog.name, scale, true);
         let g = run_gprs(&fine, &GprsSimConfig::balance_aware(CONTEXTS));
+        artifact.push(format!("{}/Pthreads", prog.name), &base);
+        artifact.push(format!("{}/GPRS-fine", prog.name), &g);
         rows.push(vec![
             prog.name.to_string(),
             format!("{:.2}", base.finish_secs()),
@@ -40,4 +45,5 @@ fn main() {
         ],
         &rows,
     );
+    artifact.write();
 }

@@ -152,6 +152,64 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 /// Harmonic mean helper re-export.
 pub use gprs_sim::result::harmonic_mean;
 
+/// Collects labeled per-run telemetry summaries and writes them next to a
+/// figure/table's text output as `artifacts/<name>.telemetry.json`.
+///
+/// Event traces are dropped from the export ([`TelemetrySummary::
+/// without_events`]) — the determinism hashes, counters and histograms are
+/// the artifact; full traces stay available programmatically on each
+/// [`SimResult`].
+#[derive(Debug)]
+pub struct TelemetryArtifact {
+    name: String,
+    runs: Vec<(String, gprs_telemetry::TelemetrySummary)>,
+}
+
+impl TelemetryArtifact {
+    /// A fresh collector for the artifact `name` (e.g. `"fig8a"`).
+    pub fn new(name: impl Into<String>) -> Self {
+        TelemetryArtifact {
+            name: name.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Adds one labeled run.
+    pub fn push(&mut self, label: impl Into<String>, result: &SimResult) {
+        self.runs
+            .push((label.into(), result.telemetry.without_events()));
+    }
+
+    /// Serializes the collected runs as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = gprs_telemetry::JsonWriter::new();
+        w.begin_object()
+            .field_str("artifact", &self.name)
+            .key("runs")
+            .begin_array();
+        for (label, summary) in &self.runs {
+            w.begin_object().field_str("label", label).key("telemetry");
+            summary.write_json(&mut w);
+            w.end_object();
+        }
+        w.end_array().end_object();
+        w.finish()
+    }
+
+    /// Writes `artifacts/<name>.telemetry.json` (creating the directory if
+    /// needed) and prints the path. Errors are reported, not fatal — the
+    /// text table remains the primary output.
+    pub fn write(&self) {
+        let dir = std::path::Path::new("artifacts");
+        let path = dir.join(format!("{}.telemetry.json", self.name));
+        let res = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, self.to_json()));
+        match res {
+            Ok(()) => println!("telemetry: {}", path.display()),
+            Err(e) => eprintln!("telemetry: failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -224,7 +224,7 @@ impl HistoryBuffer {
         }
         self.actions = kept;
         self.bytes = self.actions.iter().map(|a| a.size_hint).sum();
-        taken.sort_by(|a, b| b.seq.cmp(&a.seq));
+        taken.sort_by_key(|a| std::cmp::Reverse(a.seq));
         taken
     }
 

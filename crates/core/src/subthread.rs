@@ -117,6 +117,26 @@ pub enum SubThreadKind {
     Serialized,
 }
 
+impl SubThreadKind {
+    /// A stable small integer identifying this kind, used by telemetry's
+    /// retired-order hash. Values are part of the digest definition: do not
+    /// renumber existing variants.
+    pub fn tag(self) -> u8 {
+        match self {
+            SubThreadKind::Initial => 0,
+            SubThreadKind::ForkChild => 1,
+            SubThreadKind::ForkContinuation => 2,
+            SubThreadKind::JoinContinuation => 3,
+            SubThreadKind::CriticalSection => 4,
+            SubThreadKind::AtomicOp => 5,
+            SubThreadKind::BarrierContinuation => 6,
+            SubThreadKind::ChannelAccess => 7,
+            SubThreadKind::CprRegion => 8,
+            SubThreadKind::Serialized => 9,
+        }
+    }
+}
+
 /// Immutable descriptor of one dynamic sub-thread.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SubThread {

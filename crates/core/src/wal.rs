@@ -133,11 +133,14 @@ impl<Op: Clone + Debug + Send> WriteAheadLog<Op> {
     }
 
     /// Prunes the records of a retired sub-thread ("the logs are pruned as
-    /// the sub-threads retire to keep their sizes bounded").
-    pub fn prune_retired(&mut self, subthread: SubThreadId) {
+    /// the sub-threads retire to keep their sizes bounded"). Returns the
+    /// number of records removed.
+    pub fn prune_retired(&mut self, subthread: SubThreadId) -> u64 {
         let before = self.records.len();
         self.records.retain(|r| r.subthread != subthread);
-        self.pruned += (before - self.records.len()) as u64;
+        let removed = (before - self.records.len()) as u64;
+        self.pruned += removed;
+        removed
     }
 
     /// Verifies the integrity of every retained record.

@@ -84,7 +84,7 @@ proptest! {
             *group_turns.entry(thread_group[&h]).or_insert(0usize) += 1;
             s.advance();
         }
-        for (_, &turns) in &group_turns {
+        for &turns in group_turns.values() {
             prop_assert_eq!(turns, cycles);
         }
     }

@@ -22,10 +22,14 @@
 //! comparison; the benches drive both executors over the same programs.
 
 use crate::ctx::{CtxBackend, StepCtx};
+use crate::engine::EXTERNAL_RING;
 use crate::handles::Recoverable;
 use crate::program::{DynThread, Payload, SpawnSpec, Step, ThreadProgram};
 use crate::report::{RunError, RunStats};
 use gprs_core::ids::{AtomicId, BarrierId, ChannelId, GroupId, LockId, SubThreadId, ThreadId};
+use gprs_telemetry::{
+    RetiredOrderHash, ScheduleHash, Telemetry, TelemetryConfig, TelemetrySummary, TraceEvent,
+};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -88,12 +92,16 @@ struct CprThread {
     running: bool,
 }
 
+/// A thread's pending step inputs: popped payload, fetch-add observation,
+/// join payload, spawned child.
+type StepInputs = (Option<Payload>, Option<u64>, Option<Payload>, Option<ThreadId>);
+
 /// Everything restored by a rollback.
 struct CprSnapshot {
     thread_keys: BTreeSet<ThreadId>,
     programs: BTreeMap<ThreadId, Box<dyn std::any::Any + Send>>,
     wants: BTreeMap<ThreadId, Option<CprWant>>,
-    inputs: BTreeMap<ThreadId, (Option<Payload>, Option<u64>, Option<Payload>, Option<ThreadId>)>,
+    inputs: BTreeMap<ThreadId, StepInputs>,
     states: BTreeMap<ThreadId, CprThState>,
     chans: BTreeMap<ChannelId, VecDeque<Payload>>,
     locks: BTreeMap<LockId, Box<dyn Recoverable>>,
@@ -126,6 +134,7 @@ pub(crate) struct CprInner {
     stats: RunStats,
     checkpoints: u64,
     rollbacks: u64,
+    telemetry: Arc<Telemetry>,
     poisoned: Option<String>,
 }
 
@@ -190,6 +199,7 @@ impl CprShared {
 pub struct CprBuilder {
     workers: usize,
     ckpt_every: u64,
+    telemetry: TelemetryConfig,
     inner: CprInner,
     next_lock: u64,
     next_chan: u64,
@@ -219,6 +229,7 @@ impl CprBuilder {
         CprBuilder {
             workers: 4,
             ckpt_every: 64,
+            telemetry: TelemetryConfig::default(),
             inner: CprInner {
                 threads: BTreeMap::new(),
                 next_thread: 0,
@@ -240,6 +251,7 @@ impl CprBuilder {
                 stats: RunStats::default(),
                 checkpoints: 0,
                 rollbacks: 0,
+                telemetry: Arc::new(Telemetry::disabled()),
                 poisoned: None,
             },
             next_lock: 0,
@@ -259,6 +271,12 @@ impl CprBuilder {
     /// Grants between coordinated checkpoints (checkpoint frequency).
     pub fn checkpoint_every(mut self, grants: u64) -> Self {
         self.ckpt_every = grants.max(1);
+        self
+    }
+
+    /// Telemetry configuration (event rings + metrics).
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = cfg;
         self
     }
 
@@ -343,6 +361,7 @@ impl CprBuilder {
     /// Finalizes the executor.
     pub fn build(mut self) -> CprRuntime {
         self.inner.ckpt_every = self.ckpt_every;
+        self.inner.telemetry = Arc::new(Telemetry::new(&self.telemetry, self.workers));
         let workers = self.workers;
         CprRuntime {
             shared: Arc::new(CprShared {
@@ -382,6 +401,9 @@ pub struct CprReport {
     pub outputs: BTreeMap<ThreadId, Payload>,
     /// Committed file contents.
     pub files: BTreeMap<u64, (String, Vec<u8>)>,
+    /// End-of-run telemetry (CPR counters/events; the determinism hashes
+    /// stay empty — the baseline is timing-dependent by design).
+    pub telemetry: TelemetrySummary,
 }
 
 impl CprReport {
@@ -467,12 +489,18 @@ impl CprRuntime {
                 (id, (name.clone(), committed.clone()))
             })
             .collect();
+        let telemetry = g.telemetry.summarize(
+            &ScheduleHash::new(),
+            &RetiredOrderHash::new(),
+            Vec::new(),
+        );
         Ok(CprReport {
             stats: g.stats,
             checkpoints: g.checkpoints,
             rollbacks: g.rollbacks,
             outputs: std::mem::take(&mut g.outputs),
             files,
+            telemetry,
         })
     }
 }
@@ -550,6 +578,20 @@ impl CprInner {
         self.checkpoints += 1;
         self.grants_since_ckpt = 0;
         self.ckpt_requested = false;
+        if self.telemetry.enabled() {
+            // Pool blocks are the only byte-sized state; the rest (programs,
+            // queues, locks) is opaque boxes.
+            let bytes: u64 = self.blocks.values().map(|b| b.len() as u64).sum();
+            self.telemetry.metrics.cpr_barriers.inc();
+            self.telemetry.metrics.cpr_records.inc();
+            self.telemetry.metrics.checkpoint_size.record(bytes);
+            self.telemetry.metrics.checkpoint_bytes.add(bytes);
+            let epoch = self.checkpoints;
+            self.telemetry
+                .record(EXTERNAL_RING, TraceEvent::CprBarrier { epoch });
+            self.telemetry
+                .record(EXTERNAL_RING, TraceEvent::CprRecord { epoch, bytes });
+        }
     }
 
     fn rollback(&mut self) {
@@ -601,6 +643,11 @@ impl CprInner {
         self.rollbacks += 1;
         self.stats.squashed += 1;
         self.grants_since_ckpt = 0;
+        if self.telemetry.enabled() {
+            self.telemetry.metrics.cpr_restores.inc();
+            self.telemetry
+                .record(EXTERNAL_RING, TraceEvent::CprRestore { epoch: self.checkpoints });
+        }
     }
 }
 

@@ -17,6 +17,14 @@ use crate::ops::RtOp;
 use crate::program::{payload_to, Payload};
 use gprs_core::ids::{LockId, SubThreadId, ThreadId};
 
+/// Output staged during a step: `(file index, bytes)` pairs held until the
+/// sub-thread's output-commit point.
+pub(crate) type StagedFiles = Vec<(u64, Vec<u8>)>;
+
+/// A lock's data checked out for the duration of a step (returned to the
+/// engine at sub-thread completion).
+pub(crate) type LockCheckout = Option<(LockId, Box<dyn Recoverable>)>;
+
 /// A handle to a pool-allocated block (`§3.2`: GPRS implements its own
 /// memory allocator so allocation can be undone on restart).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -39,7 +47,7 @@ pub struct StepCtx<'a> {
     joined: Option<Payload>,
     spawned: Option<ThreadId>,
     lock_out: Option<(LockId, Box<dyn Recoverable>)>,
-    staged_files: Vec<(u64, Vec<u8>)>,
+    staged_files: StagedFiles,
     _lt: std::marker::PhantomData<&'a ()>,
 }
 
@@ -81,9 +89,7 @@ impl StepCtx<'_> {
         }
     }
 
-    pub(crate) fn into_parts(
-        self,
-    ) -> (Option<(LockId, Box<dyn Recoverable>)>, Vec<(u64, Vec<u8>)>) {
+    pub(crate) fn into_parts(self) -> (LockCheckout, StagedFiles) {
         (self.lock_out, self.staged_files)
     }
 

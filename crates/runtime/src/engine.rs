@@ -25,6 +25,7 @@ use gprs_core::order::{OrderEnforcer, ScheduleKind};
 use gprs_core::rol::ReorderList;
 use gprs_core::subthread::{SubThread, SubThreadKind, SyncOp};
 use gprs_core::wal::WriteAheadLog;
+use gprs_telemetry::{RetiredOrderHash, ScheduleHash, Telemetry, TelemetryConfig, TraceEvent};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -47,8 +48,14 @@ pub(crate) struct RunConfig {
     pub schedule: ScheduleKind,
     pub workers: usize,
     pub recovery: RecoveryPolicy,
-    pub trace_cap: usize,
+    pub telemetry: TelemetryConfig,
 }
+
+/// Ring index for events recorded outside a known worker (retirement on the
+/// deposit path, recovery, controller injections). [`Telemetry::record`]
+/// clamps it to the external ring; all such recording happens under the
+/// engine lock, so the ring's single-writer contract holds.
+pub(crate) const EXTERNAL_RING: usize = usize::MAX;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum ThState {
@@ -285,7 +292,16 @@ pub(crate) struct Inner {
     pub epoch: u64,
     pub pass_streak: usize,
     pub stats: RunStats,
-    pub grant_trace: Vec<(SubThreadId, ThreadId)>,
+    /// Shared event-ring + metrics facade (Arc so contexts/controllers can
+    /// record without the engine lock if ever needed).
+    pub telemetry: Arc<Telemetry>,
+    /// Streaming digest of the grant order; owned here because grants are
+    /// serialized by this lock.
+    pub sched_hash: ScheduleHash,
+    /// Streaming digest of per-thread retirement sequences.
+    pub retired_hash: RetiredOrderHash,
+    /// Opt-in bounded raw grant trace (`TelemetryConfig::raw_trace_cap`).
+    pub raw_trace: Vec<(SubThreadId, ThreadId)>,
     pub poisoned: Option<String>,
 }
 
@@ -323,6 +339,7 @@ enum Decision {
 impl Inner {
     pub fn new(cfg: RunConfig) -> Self {
         let enforcer = OrderEnforcer::with_schedule(cfg.schedule);
+        let telemetry = Arc::new(Telemetry::new(&cfg.telemetry, cfg.workers));
         Inner {
             cfg,
             enforcer,
@@ -352,7 +369,10 @@ impl Inner {
             epoch: 0,
             pass_streak: 0,
             stats: RunStats::default(),
-            grant_trace: Vec::new(),
+            telemetry,
+            sched_hash: ScheduleHash::new(),
+            retired_hash: RetiredOrderHash::new(),
+            raw_trace: Vec::new(),
             poisoned: None,
         }
     }
@@ -405,9 +425,32 @@ impl Inner {
     fn retire_ready(&mut self) {
         for entry in self.rol.retire_ready() {
             let id = entry.id();
+            let thread = entry.thread();
             self.stats.retired += 1;
-            self.wal.prune_retired(id);
+            self.retired_hash
+                .record(thread.raw(), entry.descriptor.kind.tag());
+            let pruned = self.wal.prune_retired(id);
             self.hist.prune_retired(id);
+            if self.telemetry.enabled() {
+                self.telemetry.metrics.retired.inc();
+                self.telemetry.metrics.wal_prunes.add(pruned);
+                self.telemetry.record(
+                    EXTERNAL_RING,
+                    TraceEvent::Retire {
+                        subthread: id.raw(),
+                        thread: thread.raw(),
+                    },
+                );
+                if pruned > 0 {
+                    self.telemetry.record(
+                        EXTERNAL_RING,
+                        TraceEvent::WalPrune {
+                            subthread: id.raw(),
+                            records: pruned,
+                        },
+                    );
+                }
+            }
             self.opening.remove(&id);
             self.edges.remove(&id);
             if let Some(gen_key) = self.arrival_gen.remove(&id) {
@@ -435,6 +478,26 @@ impl Inner {
             }
         }
         self.stats.rol_peak = self.stats.rol_peak.max(self.rol.peak_occupancy());
+        if self.telemetry.enabled() {
+            self.telemetry
+                .metrics
+                .rol_occupancy_hw
+                .observe(self.rol.peak_occupancy() as u64);
+        }
+    }
+
+    /// Appends a WAL record and traces it.
+    fn wal_append(&mut self, worker: usize, stid: SubThreadId, op: RtOp) {
+        self.wal.append(stid, op);
+        if self.telemetry.enabled() {
+            self.telemetry.metrics.wal_appends.inc();
+            self.telemetry
+                .metrics
+                .wal_outstanding_hw
+                .observe(self.wal.len() as u64);
+            self.telemetry
+                .record(worker, TraceEvent::WalAppend { subthread: stid.raw() });
+        }
     }
 
     /// Creates the sub-thread record for a fresh grant.
@@ -463,10 +526,40 @@ impl Inner {
         let rec = self.threads.get_mut(&thread).expect("thread exists");
         rec.current_st = Some(stid);
         self.running.insert(stid, worker);
-        if self.grant_trace.len() < self.cfg.trace_cap {
-            self.grant_trace.push((stid, thread));
+        self.sched_hash.record(stid.raw(), thread.raw());
+        if self.raw_trace.len() < self.cfg.telemetry.raw_trace_cap {
+            self.raw_trace.push((stid, thread));
         }
         self.stats.subthreads += 1;
+        if self.telemetry.enabled() {
+            self.telemetry.metrics.subthreads_created.inc();
+            self.telemetry.metrics.grants.inc();
+            // The per-grant thread snapshot above is this sub-thread's
+            // history-buffer checkpoint; snapshot sizes are opaque boxes.
+            self.telemetry.metrics.checkpoints.inc();
+            self.telemetry.record(
+                worker,
+                TraceEvent::SubThreadCreate {
+                    subthread: stid.raw(),
+                    thread: thread.raw(),
+                    kind: kind.tag(),
+                },
+            );
+            self.telemetry.record(
+                worker,
+                TraceEvent::Grant {
+                    subthread: stid.raw(),
+                    thread: thread.raw(),
+                },
+            );
+            self.telemetry.record(
+                worker,
+                TraceEvent::CheckpointTaken {
+                    subthread: stid.raw(),
+                    bytes: 0,
+                },
+            );
+        }
     }
 
     /// Whether `want` can be granted right now; `None` means "token waits
@@ -490,7 +583,7 @@ impl Inner {
                 let empty = self
                     .chans
                     .get(&c.id())
-                    .map_or(true, |ch| ch.items.is_empty());
+                    .is_none_or(|ch| ch.items.is_empty());
                 if empty {
                     Some(false) // poll: pass the token
                 } else {
@@ -620,7 +713,7 @@ impl Inner {
                     .register_thread(child, group, weight)
                     .expect("child id is free again");
                 self.live += 1;
-                self.wal.append(stid, RtOp::SpawnChild { child });
+                self.wal_append(worker, stid, RtOp::SpawnChild { child });
                 self.stats.spawns += 1;
                 Some(self.make_task(holder, stid, None, None, None, Some(child), None))
             }
@@ -642,7 +735,7 @@ impl Inner {
                     self.redo_locks.pop_front();
                 }
                 let lock = m.id();
-                self.wal.append(stid, RtOp::LockAcquire { lock });
+                self.wal_append(worker, stid, RtOp::LockAcquire { lock });
                 let l = self.locks.get_mut(&lock).expect("registered lock");
                 l.holder = Some(stid);
                 let data = l.data.take().expect("lock data present when free");
@@ -664,7 +757,7 @@ impl Inner {
             Step::Push(c, value) => {
                 let stid = self.enforcer.try_grant(holder).expect("is holder");
                 let chan = c.id();
-                self.wal.append(stid, RtOp::Push {
+                self.wal_append(worker, stid, RtOp::Push {
                     chan,
                     item: value.clone(),
                 });
@@ -696,7 +789,8 @@ impl Inner {
                     .get_mut(&chan)
                     .and_then(|ch| ch.items.pop_front())
                     .expect("grantability checked non-empty");
-                self.wal.append(
+                self.wal_append(
+                    worker,
                     stid,
                     RtOp::Pop {
                         chan,
@@ -727,7 +821,7 @@ impl Inner {
                 let slot = self.atomics.get_mut(&a).expect("registered atomic");
                 let old = *slot;
                 *slot = old.wrapping_add(delta);
-                self.wal.append(stid, RtOp::FetchAdd { atomic: a, old });
+                self.wal_append(worker, stid, RtOp::FetchAdd { atomic: a, old });
                 self.open_subthread(
                     stid,
                     holder,
@@ -759,7 +853,7 @@ impl Inner {
                     worker,
                 );
                 let child = self.add_thread(program, group, weight, Some(stid));
-                self.wal.append(stid, RtOp::SpawnChild { child });
+                self.wal_append(worker, stid, RtOp::SpawnChild { child });
                 self.stats.spawns += 1;
                 Some(self.make_task(holder, stid, None, None, None, Some(child), None))
             }
@@ -801,9 +895,15 @@ impl Inner {
                 self.enforcer
                     .deregister_thread(holder)
                     .expect("was registered");
-                if let Some(prev) = prev_st {
-                    self.wal
-                        .append(prev, RtOp::BarrierArrive { barrier: b, thread: holder });
+                // A record for an already-retired `prev` would never be
+                // undone (undo filters on in-flight ids) nor pruned
+                // (pruning happened at retirement): skip it.
+                if let Some(prev) = prev_st.filter(|&p| self.rol.contains(p)) {
+                    self.wal_append(
+                        worker,
+                        prev,
+                        RtOp::BarrierArrive { barrier: b, thread: holder },
+                    );
                 }
                 let bar = self.barriers.get_mut(&b).expect("registered barrier");
                 bar.waiting.push(holder);
@@ -826,8 +926,11 @@ impl Inner {
                 self.enforcer
                     .deregister_thread(holder)
                     .expect("was registered");
-                if let Some(prev) = prev_st {
-                    self.wal.append(prev, RtOp::ThreadExit { thread: holder });
+                // Same retired-`prev` guard as the barrier arrival above: a
+                // retired sub-thread can no longer be squashed, so its
+                // exit record would leak to the end of the run.
+                if let Some(prev) = prev_st.filter(|&p| self.rol.contains(p)) {
+                    self.wal_append(worker, prev, RtOp::ThreadExit { thread: holder });
                 }
                 self.outputs.insert(holder, value);
                 self.live -= 1;
@@ -933,8 +1036,7 @@ impl Inner {
         lock: LockId,
         data: Box<dyn Recoverable>,
     ) {
-        self.wal
-            .append(stid, RtOp::LockRelease { lock, holder: stid });
+        self.wal_append(EXTERNAL_RING, stid, RtOp::LockRelease { lock, holder: stid });
         let l = self.locks.get_mut(&lock).expect("registered lock");
         debug_assert_eq!(l.holder, Some(stid));
         l.holder = None;
@@ -954,7 +1056,7 @@ impl Inner {
         }
         l.holder = Some(stid);
         let data = l.data.take().expect("checked above");
-        self.wal.append(stid, RtOp::LockAcquire { lock });
+        self.wal_append(EXTERNAL_RING, stid, RtOp::LockAcquire { lock });
         let snap = data.clone_box();
         self.hist.seq += 1;
         let seq = self.hist.seq;

@@ -59,10 +59,7 @@ impl<T> MutexHandle<T> {
 
 impl<T> Clone for MutexHandle<T> {
     fn clone(&self) -> Self {
-        MutexHandle {
-            raw: self.raw,
-            _t: PhantomData,
-        }
+        *self
     }
 }
 impl<T> Copy for MutexHandle<T> {}
@@ -103,10 +100,7 @@ impl<T: Send + Sync + 'static> ChannelHandle<T> {
 
 impl<T> Clone for ChannelHandle<T> {
     fn clone(&self) -> Self {
-        ChannelHandle {
-            raw: self.raw,
-            _t: PhantomData,
-        }
+        *self
     }
 }
 impl<T> Copy for ChannelHandle<T> {}

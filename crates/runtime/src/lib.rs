@@ -79,6 +79,7 @@ use crate::report::{RunError, RunReport};
 use gprs_core::exception::{Exception, ExceptionKind};
 use gprs_core::ids::{AtomicId, BarrierId, ChannelId, ContextId, GroupId, LockId, ThreadId};
 use gprs_core::order::ScheduleKind;
+use gprs_telemetry::{Telemetry, TelemetryConfig};
 use parking_lot::{Condvar, Mutex};
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -91,7 +92,7 @@ pub struct GprsBuilder {
     schedule: ScheduleKind,
     workers: usize,
     recovery: RecoveryPolicy,
-    trace_cap: usize,
+    telemetry: TelemetryConfig,
     inner: Inner,
     next_lock: u64,
     next_chan: u64,
@@ -114,13 +115,13 @@ impl GprsBuilder {
             schedule: ScheduleKind::BalanceBasic,
             workers: 4,
             recovery: RecoveryPolicy::Selective,
-            trace_cap: 1 << 16,
+            telemetry: TelemetryConfig::default(),
         };
         GprsBuilder {
             schedule: cfg.schedule,
             workers: cfg.workers,
             recovery: cfg.recovery,
-            trace_cap: cfg.trace_cap,
+            telemetry: cfg.telemetry,
             inner: Inner::new(cfg),
             next_lock: 0,
             next_chan: 0,
@@ -148,9 +149,17 @@ impl GprsBuilder {
         self
     }
 
-    /// Caps the recorded grant trace (determinism diagnostics).
+    /// Keeps the first `cap` raw `(sub-thread, thread)` grants verbatim in
+    /// the report alongside the streaming schedule hash (determinism
+    /// diagnostics; 0 — the default — keeps none).
     pub fn trace_cap(mut self, cap: usize) -> Self {
-        self.trace_cap = cap;
+        self.telemetry.raw_trace_cap = cap;
+        self
+    }
+
+    /// Full telemetry configuration (event rings, metrics, raw trace).
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = cfg;
         self
     }
 
@@ -237,8 +246,11 @@ impl GprsBuilder {
             schedule: self.schedule,
             workers: self.workers,
             recovery: self.recovery,
-            trace_cap: self.trace_cap,
+            telemetry: self.telemetry,
         };
+        // The telemetry facade was sized for the default config; rebuild it
+        // for the final worker count and switches.
+        self.inner.telemetry = Arc::new(Telemetry::new(&self.telemetry, self.workers));
         // The schedule may have changed after threads registered: re-seed
         // the enforcer with the final schedule.
         let mut enforcer = gprs_core::order::OrderEnforcer::with_schedule(self.schedule);
@@ -301,11 +313,17 @@ impl Gprs {
             .iter()
             .map(|(&id, f)| (id, (f.name.clone(), f.committed.clone())))
             .collect();
+        let raw_trace = std::mem::take(&mut inner.raw_trace);
+        let telemetry = inner.telemetry.summarize(
+            &inner.sched_hash,
+            &inner.retired_hash,
+            raw_trace.iter().map(|&(s, t)| (s.raw(), t.raw())).collect(),
+        );
         Ok(RunReport {
             stats: inner.stats,
             outputs: std::mem::take(&mut inner.outputs),
             files,
-            grant_trace: std::mem::take(&mut inner.grant_trace),
+            telemetry,
         })
     }
 }
@@ -386,4 +404,5 @@ pub mod prelude {
     pub use gprs_core::history::Checkpoint;
     pub use gprs_core::ids::{GroupId, ThreadId};
     pub use gprs_core::order::ScheduleKind;
+    pub use gprs_telemetry::{TelemetryConfig, TelemetrySummary};
 }

@@ -2,6 +2,7 @@
 
 use crate::program::{payload_to, Payload};
 use gprs_core::ids::{SubThreadId, ThreadId};
+use gprs_telemetry::TelemetrySummary;
 use std::collections::BTreeMap;
 
 /// Counters accumulated over one run.
@@ -45,13 +46,25 @@ pub struct RunReport {
     pub outputs: BTreeMap<ThreadId, Payload>,
     /// Committed contents of every registered file, by registration index.
     pub files: BTreeMap<u64, (String, Vec<u8>)>,
-    /// The deterministic grant trace `(sub-thread, thread)`, capped at the
-    /// configured length; identical across runs with the same exception
-    /// schedule regardless of worker count.
-    pub grant_trace: Vec<(SubThreadId, ThreadId)>,
+    /// End-of-run telemetry: determinism hashes (the streaming
+    /// `schedule_hash` replaces the old capped `grant_trace` vector and is
+    /// identical across runs with the same exception schedule regardless of
+    /// worker count), metrics, and the drained event trace.
+    pub telemetry: TelemetrySummary,
 }
 
 impl RunReport {
+    /// The opt-in bounded raw grant trace `(sub-thread, thread)`, re-typed.
+    /// Empty unless `GprsBuilder::trace_cap` (or
+    /// `TelemetryConfig::raw_trace_cap`) was set.
+    pub fn grant_trace(&self) -> Vec<(SubThreadId, ThreadId)> {
+        self.telemetry
+            .raw_grant_trace
+            .iter()
+            .map(|&(s, t)| (SubThreadId::new(s), ThreadId::new(t)))
+            .collect()
+    }
+
     /// Typed access to a thread's exit value.
     ///
     /// # Panics
@@ -114,10 +127,11 @@ mod tests {
             stats: RunStats::default(),
             outputs,
             files: BTreeMap::new(),
-            grant_trace: Vec::new(),
+            telemetry: TelemetrySummary::default(),
         };
         assert_eq!(report.output::<u64>(ThreadId::new(0)), 41);
         assert!(report.file_contents(0).is_empty());
+        assert!(report.grant_trace().is_empty());
     }
 
     #[test]

@@ -21,11 +21,12 @@
 //!    sub-thread, so normal granting re-executes exactly the discarded
 //!    work while every unaffected sub-thread continues untouched.
 
-use crate::engine::{Inner, OpeningWant, PendingWant, RecoveryPolicy, ThState};
+use crate::engine::{Inner, OpeningWant, PendingWant, RecoveryPolicy, ThState, EXTERNAL_RING};
 use crate::handles::{RawChannel, RawMutex};
 use crate::ops::RtOp;
 use crate::program::{DynThread, Step};
 use gprs_core::ids::{BarrierId, ResourceId, SubThreadId, ThreadId};
+use gprs_telemetry::TraceEvent;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -46,13 +47,53 @@ pub(crate) fn perform_recovery(inner: &mut Inner) {
             .rol
             .mark_excepted(culprit, pe.exception)
             .expect("culprit checked in ROL"); // idempotent re-mark
-        recover_one(inner, culprit);
+        let started = std::time::Instant::now();
+        if inner.telemetry.enabled() {
+            inner.telemetry.metrics.recovery_sessions.inc();
+            inner
+                .telemetry
+                .record(EXTERNAL_RING, TraceEvent::RecoveryBegin { culprit: culprit.raw() });
+        }
+        let squashed = recover_one(inner, culprit);
+        if inner.telemetry.enabled() {
+            inner
+                .telemetry
+                .metrics
+                .recovery_duration
+                .record(started.elapsed().as_nanos() as u64);
+            inner.telemetry.record(
+                EXTERNAL_RING,
+                TraceEvent::RecoveryEnd {
+                    culprit: culprit.raw(),
+                    squashed,
+                },
+            );
+        }
     }
 }
 
-fn recover_one(inner: &mut Inner, culprit: SubThreadId) {
+/// Executes one recovery plan; returns the number of squashed sub-threads.
+fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
     let affected = affected_set(inner, culprit);
     inner.stats.squashed += affected.len() as u64;
+    if inner.telemetry.enabled() {
+        inner.telemetry.metrics.squashed.add(affected.len() as u64);
+        inner
+            .telemetry
+            .metrics
+            .squashed_per_recovery
+            .record(affected.len() as u64);
+        for &id in &affected {
+            let thread = inner.rol.get(id).expect("affected in ROL").thread();
+            inner.telemetry.record(
+                EXTERNAL_RING,
+                TraceEvent::Squash {
+                    subthread: id.raw(),
+                    thread: thread.raw(),
+                },
+            );
+        }
+    }
 
     // Oldest affected sub-thread per thread: the point each thread rolls
     // back to (recorded before entries leave the ROL).
@@ -100,6 +141,12 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) {
     let records = inner.wal.take_undo_records(&squash_set);
     let mut reclaimed: BTreeMap<ThreadId, Box<dyn DynThread>> = BTreeMap::new();
     for rec in records {
+        if inner.telemetry.enabled() {
+            inner.telemetry.metrics.wal_undos.inc();
+            inner
+                .telemetry
+                .record(EXTERNAL_RING, TraceEvent::WalUndo { subthread: rec.subthread.raw() });
+        }
         undo_op(inner, rec.subthread, rec.op, &mut reclaimed);
     }
 
@@ -139,6 +186,12 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) {
         inner.opening.remove(&id);
     }
     for (t, opening) in openings {
+        if inner.telemetry.enabled() {
+            inner.telemetry.metrics.restarts.inc();
+            inner
+                .telemetry
+                .record(EXTERNAL_RING, TraceEvent::Restart { thread: t.raw() });
+        }
         reinstate(inner, t, opening, &undone_gens, &mut reclaimed);
     }
     debug_assert!(
@@ -146,6 +199,7 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) {
         "every reclaimed child is re-owned by a respawn request"
     );
     inner.stats.recoveries += 1;
+    affected.len() as u64
 }
 
 /// Computes the ascending affected set of `culprit` under the configured
@@ -346,7 +400,7 @@ fn apply_history_undo(
     }
     hist.block_snaps = keep;
 
-    undos.sort_by(|a, b| b.0.cmp(&a.0)); // newest first
+    undos.sort_by_key(|u| std::cmp::Reverse(u.0)); // newest first
     for (_, u) in undos {
         match u {
             Undo::Thread(t, snap) => {

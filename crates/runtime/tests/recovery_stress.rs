@@ -242,7 +242,7 @@ fn serialized_sections_survive_storm() {
                 return Step::exit_unit();
             }
             self.done += 1;
-            if self.done % 2 == 0 {
+            if self.done.is_multiple_of(2) {
                 self.serialized_next = true;
                 Step::Serialized
             } else {
@@ -263,8 +263,14 @@ fn serialized_sections_survive_storm() {
     let injector = storm(gprs.controller(), 250);
     let report = gprs.run().unwrap();
     injector.join().unwrap();
-    // 2 threads × (4 odd hops × 1 + 4 even hops × 1000) = 8 + 8000.
-    assert_eq!(report.stats.serialized, 8);
+    // 2 threads × 4 even hops = 8 serialized sections, each at least once;
+    // a storm exception attributed to a serialized sub-thread squashes and
+    // re-executes it, so the counter may legitimately exceed 8.
+    assert!(
+        report.stats.serialized >= 8,
+        "every serialized hop must run: {}",
+        report.stats.serialized
+    );
     assert!(report.stats.exceptions >= report.stats.recoveries);
 }
 
@@ -317,5 +323,5 @@ fn recovery_state_is_pruned_at_exit() {
     injector.join().unwrap();
     let s = report.stats;
     assert_eq!(s.subthreads, s.retired + s.squashed, "{s:?}");
-    assert_eq!(s.rol_peak > 0, true);
+    assert!(s.rol_peak > 0);
 }

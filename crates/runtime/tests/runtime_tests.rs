@@ -579,16 +579,23 @@ fn panicking_step_poisons_run() {
 fn grant_trace_is_identical_across_worker_counts() {
     let run = |workers| {
         let (b, consumers) = pipeline_builder(workers, 2, 24, 2);
-        let report = b.build().run().unwrap();
+        let report = b.trace_cap(1 << 16).build().run().unwrap();
         let outs: Vec<u64> = consumers
             .iter()
             .map(|&c| report.output::<u64>(c))
             .collect();
-        (report.grant_trace, outs, report.stats.polls)
+        (
+            report.telemetry.schedule_hash,
+            report.grant_trace(),
+            outs,
+            report.stats.polls,
+        )
     };
-    let (trace1, out1, polls1) = run(1);
-    let (trace2, out2, polls2) = run(2);
-    let (trace4, out4, polls4) = run(6);
+    let (hash1, trace1, out1, polls1) = run(1);
+    let (hash2, trace2, out2, polls2) = run(2);
+    let (hash4, trace4, out4, polls4) = run(6);
+    assert_eq!(hash1, hash2);
+    assert_eq!(hash2, hash4);
     assert_eq!(trace1, trace2);
     assert_eq!(trace2, trace4);
     assert_eq!(out1, out2);
@@ -619,7 +626,7 @@ fn round_robin_schedule_is_also_deterministic() {
         }
         let report = b.build().run().unwrap();
         let outs: Vec<u64> = tids.iter().map(|&t| report.output::<u64>(t)).collect();
-        (report.grant_trace, outs)
+        (report.telemetry.schedule_hash, outs)
     };
     assert_eq!(run(1), run(4));
 }

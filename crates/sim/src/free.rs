@@ -22,7 +22,12 @@ use crate::result::SimResult;
 use crate::workload::{SimOp, Workload};
 use gprs_core::exception::{ExceptionInjector, InjectorConfig};
 use gprs_core::ids::{BarrierId, ChannelId, LockId};
+use gprs_telemetry::{RetiredOrderHash, ScheduleHash, Telemetry, TelemetryConfig, TraceEvent};
 use std::cmp::Reverse;
+
+/// Ring index for events not attributable to a simulated context; routed to
+/// the external ring by [`Telemetry::record`].
+const EXTERNAL_RING: usize = usize::MAX;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Coordinated-CPR parameters.
@@ -48,6 +53,9 @@ pub struct FreeRunConfig {
     pub exceptions: Option<InjectorConfig>,
     /// Wall-clock cap in cycles; exceeding it reports DNC.
     pub time_cap_cycles: u64,
+    /// Telemetry recording (events and metrics; the free engines have no
+    /// deterministic grant order, so the determinism hashes stay empty).
+    pub telemetry: TelemetryConfig,
 }
 
 impl FreeRunConfig {
@@ -59,6 +67,7 @@ impl FreeRunConfig {
             cpr: None,
             exceptions: None,
             time_cap_cycles: u64::MAX / 4,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -80,6 +89,12 @@ impl FreeRunConfig {
     /// Sets the DNC cap.
     pub fn with_time_cap(mut self, cycles: u64) -> Self {
         self.time_cap_cycles = cycles;
+        self
+    }
+
+    /// Sets the telemetry configuration.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -153,6 +168,9 @@ struct Free<'a> {
     switch_cost: u64,
     res: SimResult,
     finish: u64,
+    tel: Telemetry,
+    /// Checkpoint epochs released so far (the CPR events' epoch stamp).
+    epochs: u64,
 }
 
 impl<'a> Free<'a> {
@@ -196,7 +214,18 @@ impl<'a> Free<'a> {
             switch_cost,
             res: SimResult::new(w.name.clone(), scheme),
             finish: 0,
+            tel: Telemetry::new(&cfg.telemetry, cfg.contexts.max(1) as usize),
+            epochs: 0,
         }
+    }
+
+    /// Seals the telemetry summary into the result (every exit path). The
+    /// free engines have no grant order, so both hashes stay empty.
+    fn finish_result(mut self) -> SimResult {
+        self.res.telemetry =
+            self.tel
+                .summarize(&ScheduleHash::new(), &RetiredOrderHash::new(), Vec::new());
+        self.res
     }
 
     fn dilate(&self, work: u64) -> u64 {
@@ -271,6 +300,11 @@ impl<'a> Free<'a> {
             self.last_safe_wall = progress_end + restore;
             self.res.redo_cycles += lost;
             self.res.squashed += 1; // one global rollback
+            if self.tel.enabled() {
+                self.tel.metrics.cpr_restores.inc();
+                self.tel
+                    .record(EXTERNAL_RING, TraceEvent::CprRestore { epoch: self.epochs });
+            }
             if program_now.saturating_add(self.penalty) > self.cfg.time_cap_cycles {
                 return false;
             }
@@ -296,13 +330,30 @@ impl<'a> Free<'a> {
             .max()
             .expect("non-empty");
         let mut max_record = 0;
+        let mut epoch_bytes = 0u64;
         for &(th, arrival) in &self.ckpt_arrivals {
             let seg = &self.w.threads[th].segments[self.threads[th].seg_ix];
             let cost = self.cfg.costs.ckpt_cost(seg.ckpt_bytes);
             max_record = max_record.max(cost);
+            epoch_bytes += seg.ckpt_bytes;
             self.res.ckpt_cycles += cost;
             self.res.barrier_wait_cycles += max_arrival - arrival;
             self.res.checkpoints += 1;
+        }
+        self.epochs += 1;
+        if self.tel.enabled() {
+            let m = &self.tel.metrics;
+            m.cpr_barriers.inc();
+            m.cpr_records.inc();
+            m.checkpoints.add(self.ckpt_arrivals.len() as u64);
+            m.checkpoint_bytes.add(epoch_bytes);
+            m.checkpoint_size.record(epoch_bytes);
+            self.tel
+                .record(EXTERNAL_RING, TraceEvent::CprBarrier { epoch: self.epochs });
+            self.tel.record(
+                EXTERNAL_RING,
+                TraceEvent::CprRecord { epoch: self.epochs, bytes: epoch_bytes },
+            );
         }
         let release =
             max_arrival + self.cfg.costs.cpr_barrier + max_record + self.cfg.costs.cpr_record;
@@ -388,15 +439,15 @@ impl<'a> Free<'a> {
                 // No runnable threads but some still live: the trace
                 // deadlocked (ill-formed workload). Report DNC.
                 self.res.finish_cycles = self.cfg.time_cap_cycles;
-                return self.res;
+                return self.finish_result();
             };
             if t > self.cfg.time_cap_cycles {
                 self.res.finish_cycles = self.cfg.time_cap_cycles;
-                return self.res;
+                return self.finish_result();
             }
             if !self.drain_exceptions(t, false) {
                 self.res.finish_cycles = self.cfg.time_cap_cycles;
-                return self.res;
+                return self.finish_result();
             }
             if t >= self.next_ckpt {
                 self.threads[th].phase = Phase::CkptWait;
@@ -417,11 +468,11 @@ impl<'a> Free<'a> {
         // finish time still cost rollbacks.
         if !self.drain_exceptions(self.finish, true) {
             self.res.finish_cycles = self.cfg.time_cap_cycles;
-            return self.res;
+            return self.finish_result();
         }
         self.res.completed = true;
         self.res.finish_cycles = self.finish + self.penalty;
-        self.res
+        self.finish_result()
     }
 }
 

@@ -29,7 +29,12 @@ use gprs_core::ids::{BarrierId, ChannelId, LockId, SubThreadId, ThreadId};
 use gprs_core::order::{OrderEnforcer, ScheduleKind};
 use gprs_core::rol::ReorderList;
 use gprs_core::subthread::{SubThread, SubThreadKind, SyncOp};
+use gprs_telemetry::{RetiredOrderHash, ScheduleHash, Telemetry, TelemetryConfig, TraceEvent};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Ring index for events not attributable to a simulated context; routed to
+/// the external ring by [`Telemetry::record`].
+const EXTERNAL_RING: usize = usize::MAX;
 
 /// Which sub-threads recovery squashes (the simulator-level counterpart of
 /// [`gprs_core::recovery::RecoveryMode`], with channel provenance).
@@ -56,6 +61,8 @@ pub struct GprsSimConfig {
     pub exceptions: Option<InjectorConfig>,
     /// Wall-clock cap in cycles; exceeding it reports DNC.
     pub time_cap_cycles: u64,
+    /// Telemetry recording (events, metrics, determinism hashes).
+    pub telemetry: TelemetryConfig,
 }
 
 impl GprsSimConfig {
@@ -69,6 +76,7 @@ impl GprsSimConfig {
             recovery: RecoveryScope::Selective,
             exceptions: None,
             time_cap_cycles: u64::MAX / 4,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -103,6 +111,12 @@ impl GprsSimConfig {
     /// Sets the DNC cap.
     pub fn with_time_cap(mut self, cycles: u64) -> Self {
         self.time_cap_cycles = cycles;
+        self
+    }
+
+    /// Sets the telemetry configuration.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -173,6 +187,10 @@ struct Gprs<'a> {
     live: usize,
     finish: u64,
     res: SimResult,
+    tel: Telemetry,
+    sched_hash: ScheduleHash,
+    retired_hash: RetiredOrderHash,
+    raw_trace: Vec<(u64, u32)>,
 }
 
 impl<'a> Gprs<'a> {
@@ -219,7 +237,18 @@ impl<'a> Gprs<'a> {
             live: w.threads.len(),
             finish: 0,
             res: SimResult::new(w.name.clone(), scheme),
+            tel: Telemetry::new(&cfg.telemetry, cfg.contexts.max(1) as usize),
+            sched_hash: ScheduleHash::new(),
+            retired_hash: RetiredOrderHash::new(),
+            raw_trace: Vec::new(),
         }
+    }
+
+    /// Seals the telemetry summary into the result (every exit path).
+    fn finish_result(mut self) -> SimResult {
+        let raw = std::mem::take(&mut self.raw_trace);
+        self.res.telemetry = self.tel.summarize(&self.sched_hash, &self.retired_hash, raw);
+        self.res
     }
 
     /// Least-loaded context (the load-balancing sub-thread scheduler).
@@ -237,6 +266,7 @@ impl<'a> Gprs<'a> {
     /// checkpoint + ordering costs, schedules the body on a context.
     ///
     /// `extra_cs` is the critical-section portion executed under `lock`.
+    #[allow(clippy::too_many_arguments)]
     fn spawn_subthread(
         &mut self,
         th: usize,
@@ -268,6 +298,31 @@ impl<'a> Gprs<'a> {
         let span = cs_work + seg.work;
         self.ctxs[ctx] = end;
 
+        let (tid, bytes) = (spec.thread, seg.ckpt_bytes);
+        self.sched_hash.record(stid.raw(), tid.raw());
+        if self.raw_trace.len() < self.cfg.telemetry.raw_trace_cap {
+            self.raw_trace.push((stid.raw(), tid.raw()));
+        }
+        if self.tel.enabled() {
+            let m = &self.tel.metrics;
+            m.subthreads_created.inc();
+            m.grants.inc();
+            m.checkpoints.inc();
+            m.checkpoint_bytes.add(bytes);
+            m.checkpoint_size.record(bytes);
+            self.tel.record(
+                ctx,
+                TraceEvent::SubThreadCreate {
+                    subthread: stid.raw(),
+                    thread: tid.raw(),
+                    kind: kind.tag(),
+                },
+            );
+            self.tel.record(ctx, TraceEvent::Grant { subthread: stid.raw(), thread: tid.raw() });
+            self.tel
+                .record(ctx, TraceEvent::CheckpointTaken { subthread: stid.raw(), bytes });
+        }
+
         let descriptor = SubThread::new(stid, spec.thread, spec.group, kind, opening_op);
         self.rol.insert(descriptor).expect("grants are in order");
         self.bodies.insert(
@@ -293,10 +348,29 @@ impl<'a> Gprs<'a> {
                 .expect("current sub-thread is in the ROL");
         }
         for retired in self.rol.retire_ready() {
+            self.retired_hash
+                .record(retired.thread().raw(), retired.descriptor.kind.tag());
+            if self.tel.enabled() {
+                self.tel.metrics.retired.inc();
+                let ctx = self.bodies.get(&retired.id()).map_or(EXTERNAL_RING, |b| b.ctx);
+                self.tel.record(
+                    ctx,
+                    TraceEvent::Retire {
+                        subthread: retired.id().raw(),
+                        thread: retired.thread().raw(),
+                    },
+                );
+            }
             self.bodies.remove(&retired.id());
             self.consumers.remove(&retired.id());
         }
         self.res.rol_peak = self.res.rol_peak.max(self.rol.peak_occupancy());
+        if self.tel.enabled() {
+            self.tel
+                .metrics
+                .rol_occupancy_hw
+                .observe(self.rol.peak_occupancy() as u64);
+        }
     }
 
     /// The affected set of `culprit`: same-thread successors, consumers of
@@ -361,10 +435,7 @@ impl<'a> Gprs<'a> {
                 return true;
             };
             let mut v = Vec::new();
-            loop {
-                let Some(raise) = inj.peek_next() else {
-                    break;
-                };
+            while let Some(raise) = inj.peek_next() {
                 if raise.saturating_add(latency) > now {
                     break;
                 }
@@ -396,6 +467,11 @@ impl<'a> Gprs<'a> {
                 .mark_excepted(culprit, e)
                 .expect("culprit body implies ROL entry");
             let affected = self.affected_set(culprit);
+            if self.tel.enabled() {
+                self.tel.metrics.recovery_sessions.inc();
+                self.tel
+                    .record(victim, TraceEvent::RecoveryBegin { culprit: culprit.raw() });
+            }
             let mut thread_delta: BTreeMap<usize, u64> = BTreeMap::new();
             // The REX pause + state reinstatement happens once per
             // exception; per-sub-thread restores are comparatively cheap.
@@ -421,8 +497,38 @@ impl<'a> Gprs<'a> {
                 *thread_delta.entry(thread).or_insert(0) += delta;
                 self.res.squashed += 1;
                 self.res.redo_cycles += delta;
+                if self.tel.enabled() {
+                    self.tel.metrics.squashed.inc();
+                    self.tel.record(
+                        ctx,
+                        TraceEvent::Squash {
+                            subthread: sid.raw(),
+                            thread: self.w.threads[thread].thread.raw(),
+                        },
+                    );
+                }
+            }
+            if self.tel.enabled() {
+                self.tel
+                    .metrics
+                    .squashed_per_recovery
+                    .record(affected.len() as u64);
+                self.tel.record(
+                    victim,
+                    TraceEvent::RecoveryEnd {
+                        culprit: culprit.raw(),
+                        squashed: affected.len() as u64,
+                    },
+                );
             }
             for (th, delta) in thread_delta {
+                if self.tel.enabled() {
+                    self.tel.metrics.restarts.inc();
+                    self.tel.record(
+                        EXTERNAL_RING,
+                        TraceEvent::Restart { thread: self.w.threads[th].thread.raw() },
+                    );
+                }
                 let t = &mut self.threads[th];
                 if !t.done && !t.in_barrier {
                     t.request_at = t.request_at.saturating_add(delta);
@@ -442,7 +548,7 @@ impl<'a> Gprs<'a> {
                 // Everyone deregistered (barrier deadlock in an ill-formed
                 // trace): DNC.
                 self.res.finish_cycles = self.cfg.time_cap_cycles;
-                return self.res;
+                return self.finish_result();
             };
             let th = holder.raw() as usize;
             if self.threads[th].done {
@@ -453,11 +559,11 @@ impl<'a> Gprs<'a> {
             let now = self.token_time.max(req);
             if now > self.cfg.time_cap_cycles {
                 self.res.finish_cycles = self.cfg.time_cap_cycles;
-                return self.res;
+                return self.finish_result();
             }
             if !self.drain_exceptions(now) {
                 self.res.finish_cycles = self.cfg.time_cap_cycles;
-                return self.res;
+                return self.finish_result();
             }
             if self.threads[th].request_at > req {
                 // Recovery pushed the holder's arrival; re-evaluate.
@@ -617,7 +723,7 @@ impl<'a> Gprs<'a> {
         loop {
             if finish > self.cfg.time_cap_cycles || !self.drain_exceptions(finish) {
                 self.res.finish_cycles = self.cfg.time_cap_cycles;
-                return self.res;
+                return self.finish_result();
             }
             let new_finish = self
                 .finish
@@ -629,7 +735,7 @@ impl<'a> Gprs<'a> {
         }
         self.res.completed = true;
         self.res.finish_cycles = finish;
-        self.res
+        self.finish_result()
     }
 }
 

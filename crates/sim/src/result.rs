@@ -1,6 +1,7 @@
 //! Simulation outcome and statistics.
 
 use crate::costs::cycles_to_secs;
+use gprs_telemetry::TelemetrySummary;
 use std::fmt;
 
 /// Outcome of one simulated program run.
@@ -40,6 +41,12 @@ pub struct SimResult {
     pub redo_cycles: u64,
     /// Peak reorder-list occupancy (GPRS only).
     pub rol_peak: usize,
+    /// End-of-run telemetry: determinism hashes, metrics, and the drained
+    /// event trace (the same [`TelemetrySummary`] type embedded in
+    /// `gprs_runtime::RunReport`). The simulator is single-threaded, so the
+    /// summary — including event sequence numbers — is fully deterministic
+    /// and participates in `PartialEq` determinism comparisons.
+    pub telemetry: TelemetrySummary,
 }
 
 impl SimResult {
@@ -61,6 +68,7 @@ impl SimResult {
             squashed: 0,
             redo_cycles: 0,
             rol_peak: 0,
+            telemetry: TelemetrySummary::default(),
         }
     }
 

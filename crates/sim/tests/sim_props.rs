@@ -7,7 +7,6 @@ use gprs_sim::costs::CYCLES_PER_SEC;
 use gprs_sim::free::{run_free, FreeRunConfig};
 use gprs_sim::gprs::{run_gprs, GprsSimConfig};
 use gprs_sim::workload::{Segment, SimOp, ThreadSpec, Workload};
-use proptest::collection::vec;
 use proptest::prelude::*;
 
 /// A random but well-formed workload: data-parallel threads with atomic

@@ -1,0 +1,159 @@
+//! The structured trace-event model.
+//!
+//! Every observable transition of the GPRS machinery — sub-thread lifecycle,
+//! checkpointing, WAL traffic, recovery sessions, and the coordinated-CPR
+//! baseline's barrier protocol — is described by one [`TraceEvent`] variant.
+//! Events are deliberately small `Copy` payloads (raw ids, not rich
+//! structs) so they can live in fixed-capacity ring buffers with no
+//! allocation on the hot path.
+
+/// One traced transition of the execution machinery.
+///
+/// Ids are raw (`SubThreadId::raw()`, `ThreadId::raw()`) to keep the event
+/// type dependency-free and `Copy`; consumers that need typed ids can
+/// reconstruct them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A sub-thread was created (split at a synchronization boundary) and
+    /// inserted into the deterministic total order.
+    SubThreadCreate {
+        subthread: u64,
+        thread: u32,
+        /// Stable tag of the sub-thread kind (see `kind_tag` helpers in the
+        /// integrating crates).
+        kind: u8,
+    },
+    /// The order enforcer granted the sub-thread its position (it may now
+    /// execute its opening synchronization operation).
+    Grant { subthread: u64, thread: u32 },
+    /// The sub-thread retired from the reorder-list head; its recovery
+    /// state became prunable.
+    Retire { subthread: u64, thread: u32 },
+    /// A recovery plan squashed this in-flight sub-thread.
+    Squash { subthread: u64, thread: u32 },
+    /// A squashed logical thread was reinstated for re-execution.
+    Restart { thread: u32 },
+    /// A history-buffer checkpoint was recorded for the sub-thread.
+    CheckpointTaken { subthread: u64, bytes: u64 },
+    /// A WAL record was appended on behalf of the sub-thread.
+    WalAppend { subthread: u64 },
+    /// A WAL record was consumed for undo during recovery.
+    WalUndo { subthread: u64 },
+    /// WAL records of a retired sub-thread were pruned.
+    WalPrune { subthread: u64, records: u64 },
+    /// A recovery session began, triggered by an exception attributed to
+    /// `culprit`.
+    RecoveryBegin { culprit: u64 },
+    /// The recovery session for `culprit` finished after squashing
+    /// `squashed` sub-threads.
+    RecoveryEnd { culprit: u64, squashed: u64 },
+    /// Coordinated CPR: the checkpoint barrier quiesced all threads.
+    CprBarrier { epoch: u64 },
+    /// Coordinated CPR: a global checkpoint was recorded.
+    CprRecord { epoch: u64, bytes: u64 },
+    /// Coordinated CPR: execution rolled back to the checkpoint.
+    CprRestore { epoch: u64 },
+}
+
+impl TraceEvent {
+    /// Short stable name for JSON export and debugging.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::SubThreadCreate { .. } => "subthread_create",
+            TraceEvent::Grant { .. } => "grant",
+            TraceEvent::Retire { .. } => "retire",
+            TraceEvent::Squash { .. } => "squash",
+            TraceEvent::Restart { .. } => "restart",
+            TraceEvent::CheckpointTaken { .. } => "checkpoint_taken",
+            TraceEvent::WalAppend { .. } => "wal_append",
+            TraceEvent::WalUndo { .. } => "wal_undo",
+            TraceEvent::WalPrune { .. } => "wal_prune",
+            TraceEvent::RecoveryBegin { .. } => "recovery_begin",
+            TraceEvent::RecoveryEnd { .. } => "recovery_end",
+            TraceEvent::CprBarrier { .. } => "cpr_barrier",
+            TraceEvent::CprRecord { .. } => "cpr_record",
+            TraceEvent::CprRestore { .. } => "cpr_restore",
+        }
+    }
+
+    /// `(key, value)` payload fields for structured export, in a stable
+    /// order.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            TraceEvent::SubThreadCreate { subthread, thread, kind } => vec![
+                ("subthread", subthread),
+                ("thread", thread as u64),
+                ("kind", kind as u64),
+            ],
+            TraceEvent::Grant { subthread, thread }
+            | TraceEvent::Retire { subthread, thread }
+            | TraceEvent::Squash { subthread, thread } => {
+                vec![("subthread", subthread), ("thread", thread as u64)]
+            }
+            TraceEvent::Restart { thread } => vec![("thread", thread as u64)],
+            TraceEvent::CheckpointTaken { subthread, bytes } => {
+                vec![("subthread", subthread), ("bytes", bytes)]
+            }
+            TraceEvent::WalAppend { subthread } | TraceEvent::WalUndo { subthread } => {
+                vec![("subthread", subthread)]
+            }
+            TraceEvent::WalPrune { subthread, records } => {
+                vec![("subthread", subthread), ("records", records)]
+            }
+            TraceEvent::RecoveryBegin { culprit } => vec![("culprit", culprit)],
+            TraceEvent::RecoveryEnd { culprit, squashed } => {
+                vec![("culprit", culprit), ("squashed", squashed)]
+            }
+            TraceEvent::CprBarrier { epoch } | TraceEvent::CprRestore { epoch } => {
+                vec![("epoch", epoch)]
+            }
+            TraceEvent::CprRecord { epoch, bytes } => {
+                vec![("epoch", epoch), ("bytes", bytes)]
+            }
+        }
+    }
+}
+
+/// A trace event stamped with its global sequence number and the worker
+/// (ring) that recorded it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Global record order (monotone across all rings).
+    pub seq: u64,
+    /// Ring index of the recording worker (`workers` = external callers).
+    pub worker: u32,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_fields_are_stable() {
+        let e = TraceEvent::SubThreadCreate {
+            subthread: 7,
+            thread: 2,
+            kind: 3,
+        };
+        assert_eq!(e.name(), "subthread_create");
+        assert_eq!(
+            e.fields(),
+            vec![("subthread", 7), ("thread", 2), ("kind", 3)]
+        );
+        let r = TraceEvent::RecoveryEnd {
+            culprit: 4,
+            squashed: 9,
+        };
+        assert_eq!(r.name(), "recovery_end");
+        assert_eq!(r.fields(), vec![("culprit", 4), ("squashed", 9)]);
+    }
+
+    #[test]
+    fn events_are_small() {
+        // The ring pre-allocates capacity × size_of::<TimedEvent>(); keep
+        // the payload compact.
+        assert!(std::mem::size_of::<TimedEvent>() <= 48);
+    }
+}

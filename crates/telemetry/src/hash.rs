@@ -1,0 +1,240 @@
+//! Streaming determinism hashes.
+//!
+//! Two complementary digests make the paper's central guarantee — a
+//! deterministic total order over sub-threads that survives exceptions —
+//! checkable in O(1) memory, replacing the old capped `grant_trace` vector:
+//!
+//! * [`ScheduleHash`] folds the **grant order** (the exact total order the
+//!   order enforcer produced, including re-grants after squashes). Two
+//!   same-seed, fault-free runs must produce identical schedule hashes.
+//! * [`RetiredOrderHash`] folds each logical thread's **retirement
+//!   sequence** and combines the per-thread digests commutatively. It is
+//!   invariant to cross-thread interleaving and to the fresh sub-thread ids
+//!   that re-execution assigns, so a run that suffered exceptions converges
+//!   to the same digest as a fault-free run for order-faithful workloads —
+//!   this is the "globally precise restart" observable.
+//!
+//! Both use FNV-1a over little-endian `u64` words: stable across platforms
+//! and releases, cheap enough for the grant hot path.
+
+/// FNV-1a offset basis (64-bit).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a hasher over `u64` words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one word (as 8 little-endian bytes).
+    pub fn write_u64(&mut self, word: u64) {
+        let mut h = self.0;
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Streaming digest of the grant order (sub-thread id, thread id) pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleHash {
+    hash: Fnv1a,
+    grants: u64,
+}
+
+impl Default for ScheduleHash {
+    fn default() -> Self {
+        ScheduleHash {
+            hash: Fnv1a::new(),
+            grants: 0,
+        }
+    }
+}
+
+impl ScheduleHash {
+    /// A fresh, empty schedule digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one grant, in total order.
+    pub fn record(&mut self, subthread: u64, thread: u32) {
+        self.hash.write_u64(subthread);
+        self.hash.write_u64(thread as u64);
+        self.grants += 1;
+    }
+
+    /// Number of grants folded so far.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// The digest; stable for a given grant sequence.
+    pub fn digest(&self) -> u64 {
+        if self.grants == 0 {
+            return 0;
+        }
+        let mut h = self.hash;
+        h.write_u64(self.grants);
+        h.finish()
+    }
+}
+
+/// Commutative-across-threads digest of per-thread retirement sequences.
+///
+/// Each thread accumulates an FNV-1a stream of
+/// `(per-thread retirement index, sub-thread kind tag)` — deliberately NOT
+/// the sub-thread id, which changes when a squashed sub-thread re-executes
+/// under a fresh sequence number. Thread digests (salted with the thread
+/// id) are combined with wrapping addition, making the total insensitive to
+/// cross-thread retirement interleaving, which legitimately differs between
+/// a fault-free run and a recovered run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetiredOrderHash {
+    /// thread id → (retire count, running hash); Vec keyed by insertion
+    /// order, linear scan (thread counts are small).
+    threads: Vec<(u32, u64, Fnv1a)>,
+}
+
+impl RetiredOrderHash {
+    /// A fresh, empty retirement digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one retirement for `thread` with the retired sub-thread's
+    /// stable kind tag.
+    pub fn record(&mut self, thread: u32, kind: u8) {
+        let slot = match self.threads.iter_mut().find(|(t, _, _)| *t == thread) {
+            Some(s) => s,
+            None => {
+                self.threads.push((thread, 0, Fnv1a::new()));
+                self.threads.last_mut().expect("just pushed")
+            }
+        };
+        slot.2.write_u64(slot.1);
+        slot.2.write_u64(kind as u64);
+        slot.1 += 1;
+    }
+
+    /// Total retirements folded.
+    pub fn retirements(&self) -> u64 {
+        self.threads.iter().map(|(_, n, _)| n).sum()
+    }
+
+    /// The combined digest: per-thread finalized digests (salted with the
+    /// thread id and its count) summed with wrapping addition.
+    pub fn digest(&self) -> u64 {
+        let mut acc: u64 = 0;
+        for &(thread, count, hash) in &self.threads {
+            let mut h = hash;
+            h.write_u64(thread as u64);
+            h.write_u64(count);
+            acc = acc.wrapping_add(h.finish());
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_hash_is_order_sensitive() {
+        let mut a = ScheduleHash::new();
+        a.record(0, 0);
+        a.record(1, 1);
+        let mut b = ScheduleHash::new();
+        b.record(1, 1);
+        b.record(0, 0);
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.grants(), 2);
+    }
+
+    #[test]
+    fn schedule_hash_is_reproducible() {
+        let run = |seq: &[(u64, u32)]| {
+            let mut h = ScheduleHash::new();
+            for &(s, t) in seq {
+                h.record(s, t);
+            }
+            h.digest()
+        };
+        let seq = [(0, 0), (1, 1), (2, 0), (3, 2)];
+        assert_eq!(run(&seq), run(&seq));
+        assert_ne!(run(&seq), run(&seq[..3]));
+    }
+
+    #[test]
+    fn empty_schedule_digest_is_zero() {
+        assert_eq!(ScheduleHash::new().digest(), 0);
+        let mut h = ScheduleHash::new();
+        h.record(0, 0);
+        assert_ne!(h.digest(), 0);
+    }
+
+    #[test]
+    fn retired_hash_ignores_interleaving() {
+        // Thread 0 retires kinds [1, 2]; thread 1 retires kinds [3].
+        let mut a = RetiredOrderHash::new();
+        a.record(0, 1);
+        a.record(1, 3);
+        a.record(0, 2);
+        let mut b = RetiredOrderHash::new();
+        b.record(1, 3);
+        b.record(0, 1);
+        b.record(0, 2);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.retirements(), 3);
+    }
+
+    #[test]
+    fn retired_hash_is_per_thread_order_sensitive() {
+        let mut a = RetiredOrderHash::new();
+        a.record(0, 1);
+        a.record(0, 2);
+        let mut b = RetiredOrderHash::new();
+        b.record(0, 2);
+        b.record(0, 1);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn retired_hash_distinguishes_threads() {
+        let mut a = RetiredOrderHash::new();
+        a.record(0, 1);
+        let mut b = RetiredOrderHash::new();
+        b.record(1, 1);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn retired_hash_distinguishes_counts() {
+        // A thread that retired nothing differs from one that retired one
+        // sub-thread of the "zero" kind.
+        let mut a = RetiredOrderHash::new();
+        a.record(0, 0);
+        let b = RetiredOrderHash::new();
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,188 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace builds offline (no serde); telemetry export needs only a
+//! small, deterministic subset: objects, arrays, strings, u64/f64 numbers,
+//! and bools, emitted in insertion order.
+
+use std::fmt::Write as _;
+
+/// An append-only JSON builder.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Stack of "does the current scope already have an element" flags.
+    scopes: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(has) = self.scopes.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    /// Opens the root or a nested object value.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.scopes.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.scopes.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array value.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('[');
+        self.scopes.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.scopes.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Emits an object key (must be inside an object, before its value).
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.pre_value();
+        Self::push_string(&mut self.out, k);
+        self.out.push(':');
+        // The upcoming value must not emit its own comma.
+        if let Some(has) = self.scopes.last_mut() {
+            *has = false;
+        }
+        self
+    }
+
+    /// Emits a string value.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.pre_value();
+        Self::push_string(&mut self.out, v);
+        self
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Emits a float value (`null` for non-finite).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Emits a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Convenience: `key` + `u64`.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).u64(v)
+    }
+
+    /// Convenience: `key` + `string`.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).string(v)
+    }
+
+    /// Convenience: a hex-formatted u64 digest as a string field (readable
+    /// and lossless in JSON tooling that truncates big integers).
+    pub fn field_hex(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).string(&format!("{v:#018x}"))
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        debug_assert!(self.scopes.is_empty(), "unbalanced JSON scopes");
+        self.out
+    }
+
+    fn push_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("name", "fig8")
+            .field_u64("runs", 2)
+            .key("hashes")
+            .begin_array()
+            .u64(1)
+            .u64(2)
+            .end_array()
+            .key("nested")
+            .begin_object()
+            .field_hex("digest", 0xdead_beef)
+            .key("ok")
+            .bool(true)
+            .end_object()
+            .end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"fig8","runs":2,"hashes":[1,2],"nested":{"digest":"0x00000000deadbeef","ok":true}}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array().f64(1.5).f64(f64::NAN).end_array();
+        assert_eq!(w.finish(), "[1.5,null]");
+    }
+}

@@ -1,0 +1,248 @@
+//! The metrics registry: monotonic counters, high-water marks, and
+//! power-of-two latency/size histograms.
+//!
+//! All primitives are relaxed atomics — safe to bump from any thread with
+//! no locking — and every recording path starts with an `enabled` check in
+//! the [`crate::Telemetry`] facade so the disabled configuration costs one
+//! predictable branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotone maximum (high-water mark).
+#[derive(Debug, Default)]
+pub struct HighWater(AtomicU64);
+
+impl HighWater {
+    /// Raises the mark to `v` if higher.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current mark.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A log₂-bucketed histogram of latencies or sizes.
+///
+/// Bucket `i` counts values `v` with `⌊log₂(max(v,1))⌋ = i`, clamped to the
+/// last bucket. Tracks count, sum, and max exactly.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: HighWater,
+}
+
+impl Histogram {
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let bucket = (63 - v.max(1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.observe(v);
+    }
+
+    /// Immutable snapshot of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.get(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket counts (`buckets[i]` ⇔ `⌊log₂ v⌋ = i`).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Every metric the GPRS machinery exposes, by name.
+///
+/// The set mirrors the mechanism costs the paper's Figures 8–11 decompose:
+/// ordering (grants), ROL management (occupancy), checkpointing (count and
+/// bytes), WAL traffic, and recovery-session behaviour.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Sub-threads created (inserted into the total order).
+    pub subthreads_created: Counter,
+    /// Order-enforcer grants (≥ creations when squashed work re-executes).
+    pub grants: Counter,
+    /// Sub-threads retired from the ROL head.
+    pub retired: Counter,
+    /// Sub-threads squashed by recovery plans.
+    pub squashed: Counter,
+    /// Logical threads reinstated for re-execution.
+    pub restarts: Counter,
+    /// History-buffer checkpoints recorded.
+    pub checkpoints: Counter,
+    /// Bytes recorded into history-buffer checkpoints (simulator: modeled
+    /// segment bytes; runtime: 0 — snapshot sizes are opaque).
+    pub checkpoint_bytes: Counter,
+    /// WAL records appended.
+    pub wal_appends: Counter,
+    /// WAL records consumed for undo during recovery.
+    pub wal_undos: Counter,
+    /// WAL records pruned at retirement.
+    pub wal_prunes: Counter,
+    /// Most WAL records outstanding at once.
+    pub wal_outstanding_hw: HighWater,
+    /// Most in-flight ROL entries at once.
+    pub rol_occupancy_hw: HighWater,
+    /// Recovery sessions (exceptions acted on).
+    pub recovery_sessions: Counter,
+    /// CPR barrier quiesces.
+    pub cpr_barriers: Counter,
+    /// CPR checkpoints recorded.
+    pub cpr_records: Counter,
+    /// CPR rollbacks.
+    pub cpr_restores: Counter,
+    /// Sub-threads squashed per recovery session.
+    pub squashed_per_recovery: Histogram,
+    /// Recovery-session wall time in nanoseconds (runtime) or cycles
+    /// (simulator).
+    pub recovery_duration: Histogram,
+    /// Checkpoint sizes in bytes (simulator-modeled).
+    pub checkpoint_size: Histogram,
+}
+
+impl Metrics {
+    /// Snapshot of all counters/high-waters as stable `(name, value)`
+    /// pairs, in declaration order.
+    pub fn counter_snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("subthreads_created", self.subthreads_created.get()),
+            ("grants", self.grants.get()),
+            ("retired", self.retired.get()),
+            ("squashed", self.squashed.get()),
+            ("restarts", self.restarts.get()),
+            ("checkpoints", self.checkpoints.get()),
+            ("checkpoint_bytes", self.checkpoint_bytes.get()),
+            ("wal_appends", self.wal_appends.get()),
+            ("wal_undos", self.wal_undos.get()),
+            ("wal_prunes", self.wal_prunes.get()),
+            ("wal_outstanding_hw", self.wal_outstanding_hw.get()),
+            ("rol_occupancy_hw", self.rol_occupancy_hw.get()),
+            ("recovery_sessions", self.recovery_sessions.get()),
+            ("cpr_barriers", self.cpr_barriers.get()),
+            ("cpr_records", self.cpr_records.get()),
+            ("cpr_restores", self.cpr_restores.get()),
+        ]
+    }
+
+    /// Snapshot of all histograms as stable `(name, snapshot)` pairs.
+    pub fn histogram_snapshot(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        vec![
+            ("squashed_per_recovery", self.squashed_per_recovery.snapshot()),
+            ("recovery_duration", self.recovery_duration.snapshot()),
+            ("checkpoint_size", self.checkpoint_size.snapshot()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn high_water_is_monotone() {
+        let h = HighWater::default();
+        h.observe(3);
+        h.observe(9);
+        h.observe(5);
+        assert_eq!(h.get(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1034);
+        assert_eq!(s.max, 1024);
+        assert_eq!(s.buckets[0], 2); // 0 (clamped to 1) and 1
+        assert_eq!(s.buckets[1], 2); // 2, 3
+        assert_eq!(s.buckets[2], 1); // 4
+        assert_eq!(s.buckets[10], 1); // 1024
+        assert!((s.mean() - 1034.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshots_have_stable_names() {
+        let m = Metrics::default();
+        m.grants.add(2);
+        let names: Vec<&str> = m.counter_snapshot().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"grants"));
+        assert!(names.contains(&"rol_occupancy_hw"));
+        let snap = m.counter_snapshot();
+        assert_eq!(snap.iter().find(|(n, _)| *n == "grants").unwrap().1, 2);
+        assert_eq!(m.histogram_snapshot().len(), 3);
+    }
+}

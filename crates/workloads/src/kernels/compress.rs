@@ -171,7 +171,7 @@ pub fn generate_corpus(bytes: usize, seed: u64) -> Vec<u8> {
         let pick = (state >> 33) as usize % words.len();
         out.extend_from_slice(words[pick]);
         // Occasionally inject incompressible noise.
-        if state % 23 == 0 {
+        if state.is_multiple_of(23) {
             out.push((state >> 17) as u8);
         }
     }

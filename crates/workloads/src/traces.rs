@@ -89,6 +89,7 @@ fn jitter(rng: &mut SmallRng, amp: f64) -> f64 {
 /// Iterative data-parallel program with per-iteration barriers:
 /// `threads × iters` compute segments of `per_seg_secs` each, with
 /// per-thread imbalance `amp`.
+#[allow(clippy::too_many_arguments)]
 fn iterative_barrier(
     name: &str,
     threads: usize,
@@ -387,7 +388,7 @@ pub fn dedup(p: &TraceParams) -> Workload {
     // ≈ 230 k chunks → ~1.38 M grants across the pipeline.
     let chunks = ((230_000.0 * p.scale) as usize).max(64);
     let chunks_per_block = 250;
-    let blocks = chunks / chunks_per_block + usize::from(chunks % chunks_per_block != 0);
+    let blocks = chunks / chunks_per_block + usize::from(!chunks.is_multiple_of(chunks_per_block));
     let unique_every = 2; // 50 % duplicate chunks skip compression
     let unique = chunks / unique_every;
     let mid_threads = ((p.contexts.saturating_sub(3)).max(2) / 2) as usize;
@@ -439,7 +440,7 @@ pub fn dedup(p: &TraceParams) -> Workload {
         let mut segs = Vec::new();
         for k in 0..mine {
             segs.push(Segment::new(0, SimOp::Pop { chan: c_chunks }).with_ckpt_bytes(128));
-            let is_unique = (d * per_dedup + k) % unique_every == 0 && uniq_assigned < unique;
+            let is_unique = (d * per_dedup + k).is_multiple_of(unique_every) && uniq_assigned < unique;
             if is_unique {
                 uniq_assigned += 1;
                 segs.push(

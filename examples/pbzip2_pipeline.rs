@@ -25,6 +25,12 @@ fn main() {
     let input = generate_corpus(INPUT_BYTES, 2024);
     println!("Pbzip2 pipeline: {INPUT_BYTES} bytes, {COMPRESSORS} compressors\n");
 
+    // ---- Fault-free GPRS reference: its retired-order hash is the
+    // determinism yardstick the recovered run must reproduce.
+    let mut rb = GprsBuilder::new().workers(4);
+    build_pbzip_pipeline(&mut rb, input.clone(), BLOCK, COMPRESSORS);
+    let reference = rb.build().run().expect("fault-free run completes");
+
     // ---- GPRS with selective restart under continuous fault injection.
     let mut b = GprsBuilder::new().workers(4);
     let (file, _) = build_pbzip_pipeline(&mut b, input.clone(), BLOCK, COMPRESSORS);
@@ -60,7 +66,16 @@ fn main() {
     println!("  recoveries:           {}", report.stats.recoveries);
     println!("  sub-threads squashed: {}", report.stats.squashed);
     println!("  sub-threads total:    {}", report.stats.subthreads);
-    println!("  ✓ decompressed output identical to input\n");
+    println!("  ✓ decompressed output identical to input");
+    println!(
+        "  retired hash:         {:#018x} (fault-free {:#018x})",
+        report.telemetry.retired_hash, reference.telemetry.retired_hash
+    );
+    assert_eq!(
+        report.telemetry.retired_hash, reference.telemetry.retired_hash,
+        "recovered run must retire in the fault-free order"
+    );
+    println!("  ✓ retired order identical to the fault-free run\n");
 
     // ---- The same program on the CPR baseline, same injection pressure.
     let mut cb = CprBuilder::new().workers(4).checkpoint_every(64);

@@ -1,27 +1,32 @@
 //! Quickstart: run a small parallel word count on the GPRS runtime, inject
 //! a discretionary exception mid-run, and watch selective restart deliver
-//! the exact same answer.
+//! the exact same answer — with the telemetry subsystem proving it: two
+//! fault-free runs produce byte-identical schedule hashes, and the faulty
+//! run converges to the fault-free retired-order hash.
 //!
 //! ```sh
 //! cargo run --release -p gprs-workloads --example quickstart
 //! ```
+//!
+//! Writes the faulty run's full JSON telemetry (event trace, counters,
+//! determinism hashes) to `artifacts/quickstart.telemetry.json`.
 
 use gprs_core::exception::ExceptionKind;
 use gprs_core::ids::GroupId;
+use gprs_runtime::report::RunReport;
 use gprs_runtime::GprsBuilder;
 use gprs_workloads::kernels::text::{count_words, generate_text};
 use gprs_workloads::programs::WordCountWorker;
 use std::collections::BTreeMap;
 
-fn main() {
-    // A corpus split across four worker threads.
-    let text = generate_text(400_000, 7);
-    let serial_reference: u64 = count_words(&text).values().sum();
-
+/// Builds and runs the word count, optionally under a fault-injection
+/// storm. Returns the report, exceptions injected, and the summed count.
+fn run_word_count(text: &str, inject: bool) -> (RunReport, u64, u64) {
+    // The corpus split across four worker threads.
     let mut builder = GprsBuilder::new().workers(4);
     let accumulator = builder.mutex(BTreeMap::<String, u64>::new());
     let mut shards = Vec::new();
-    let mut rest = text.as_str();
+    let mut rest = text;
     for _ in 0..3 {
         let cut = rest[..rest.len() / 2].rfind(' ').unwrap();
         let (head, tail) = rest.split_at(cut);
@@ -35,25 +40,52 @@ fn main() {
         .collect();
 
     let gprs = builder.build();
-    let controller = gprs.controller();
 
     // The paper's "signal thread": raise soft faults while the program runs.
-    let injector = std::thread::spawn(move || {
-        let mut injected = 0;
-        while !controller.is_finished() {
-            if controller.inject_on_busy(ExceptionKind::SoftFault) {
-                injected += 1;
+    // The storm is bounded — past its tipping rate (§2.4) a run recovers
+    // slower than it progresses, and an unbounded 100 µs storm tips slow
+    // single-context hosts.
+    let injector = inject.then(|| {
+        let controller = gprs.controller();
+        std::thread::spawn(move || {
+            let mut injected = 0;
+            while !controller.is_finished() && injected < 50 {
+                if controller.inject_on_busy(ExceptionKind::SoftFault) {
+                    injected += 1;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
             }
-            std::thread::sleep(std::time::Duration::from_micros(100));
-        }
-        injected
+            injected
+        })
     });
 
     let report = gprs.run().expect("run completes");
-    let injected = injector.join().unwrap();
+    let injected = injector.map_or(0, |j| j.join().unwrap());
+    let total = tids.iter().map(|&t| report.output::<u64>(t)).sum();
+    (report, injected, total)
+}
 
-    let parallel_total: u64 = tids.iter().map(|&t| report.output::<u64>(t)).sum();
+fn main() {
+    let text = generate_text(400_000, 7);
+    let serial_reference: u64 = count_words(&text).values().sum();
+
     println!("GPRS quickstart — globally precise-restartable word count");
+
+    // Two fault-free runs: the deterministic scheduler grants sub-threads in
+    // the same order every time, so the streaming schedule hashes match.
+    let (clean_a, _, clean_total) = run_word_count(&text, false);
+    let (clean_b, _, _) = run_word_count(&text, false);
+    println!("  fault-free schedule hash, run 1: {:#018x}", clean_a.telemetry.schedule_hash);
+    println!("  fault-free schedule hash, run 2: {:#018x}", clean_b.telemetry.schedule_hash);
+    assert_eq!(
+        clean_a.telemetry.schedule_hash, clean_b.telemetry.schedule_hash,
+        "same-seed runs must grant in the same order"
+    );
+    assert_eq!(clean_total, serial_reference);
+    println!("  ✓ same-seed runs are schedule-identical");
+
+    // Now the same program under a fault storm.
+    let (report, injected, parallel_total) = run_word_count(&text, true);
     println!("  words counted:        {parallel_total}");
     println!("  serial reference:     {serial_reference}");
     println!("  exceptions injected:  {injected}");
@@ -65,4 +97,24 @@ fn main() {
         "selective restart must preserve the exact result"
     );
     println!("  ✓ output identical to the fault-free run");
+
+    // Retirement order is interleaving-invariant: the recovered run retires
+    // each thread's sub-threads in the same sequence as a fault-free run.
+    println!("  fault-free retired hash: {:#018x}", clean_a.telemetry.retired_hash);
+    println!("  recovered  retired hash: {:#018x}", report.telemetry.retired_hash);
+    assert_eq!(
+        report.telemetry.retired_hash, clean_a.telemetry.retired_hash,
+        "recovery must not change the retired order"
+    );
+    println!("  ✓ recovered run retired in the fault-free order");
+
+    let dir = std::path::Path::new("artifacts");
+    let path = dir.join("quickstart.telemetry.json");
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, report.telemetry.to_json()))
+    {
+        eprintln!("  telemetry dump failed: {e}");
+    } else {
+        println!("  telemetry (events, counters, hashes): {}", path.display());
+    }
 }

@@ -1,0 +1,235 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API used by this workspace's
+//! benches (`benchmark_group`, `bench_function`, `iter`, `iter_batched`,
+//! `criterion_group!`/`criterion_main!`, `black_box`) as a plain wall-clock
+//! harness. Each `iter` call auto-calibrates an inner batch size so one
+//! sample spans at least ~1 ms, then reports the median and minimum
+//! nanoseconds per iteration over `sample_size` samples.
+//!
+//! Statistical analysis, plotting, and baseline comparison from real
+//! criterion are intentionally out of scope; benches here are run for
+//! relative, same-process comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub use std::hint::black_box;
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API compatibility).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        run_bench("", &name.into(), sample_size, f);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Times `f` under this group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_bench(&self.name, &name.into(), self.sample_size, f);
+    }
+
+    /// Ends the group (report output is per-bench; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench(group: &str, name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        samples_ns: Vec::with_capacity(sample_size),
+    };
+    f(&mut b);
+    b.samples_ns.sort_by(|a, c| a.partial_cmp(c).expect("finite"));
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if b.samples_ns.is_empty() {
+        println!("bench {label:<48} (no samples)");
+        return;
+    }
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    let min = b.samples_ns[0];
+    println!("bench {label:<48} median {median:>14.1} ns/iter   (min {min:.1})");
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(1);
+
+impl Bencher {
+    /// Times `f`, auto-batching until one sample spans ≥ ~1 ms.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up + calibration: grow the batch until it is long enough to
+        // dominate timer overhead.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            if dt >= TARGET_SAMPLE || iters >= (1 << 20) {
+                break;
+            }
+            iters = iters.saturating_mul(8);
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            self.samples_ns
+                .push(dt.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Calibrate batch size on one throwaway sample.
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = start.elapsed();
+            if dt >= TARGET_SAMPLE || iters >= (1 << 16) {
+                break;
+            }
+            iters = iters.saturating_mul(8);
+        }
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = start.elapsed();
+            self.samples_ns
+                .push(dt.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's two forms:
+/// `criterion_group!(name, target, ...)` and
+/// `criterion_group!(name = n; config = expr; targets = t, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    );
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

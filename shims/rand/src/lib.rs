@@ -1,0 +1,212 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no network route to a crates registry, so this
+//! workspace vendors the exact API subset it uses: [`rngs::SmallRng`]
+//! seeded via [`SeedableRng::seed_from_u64`] and sampled via
+//! [`Rng::gen_range`] over integer and `f64` half-open ranges.
+//!
+//! The generator is xoshiro256++ with SplitMix64 seed expansion — the same
+//! algorithm family the real `rand` crate uses for `SmallRng` on 64-bit
+//! targets. Streams are deterministic per seed but are NOT bit-compatible
+//! with any particular upstream `rand` release; everything in this
+//! repository that consumes randomness asserts seed-stable or qualitative
+//! properties, never upstream-exact sequences.
+
+use std::ops::Range;
+
+/// Seedable random number generator constructors.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling operations over a random number generator.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Samples a uniformly random value of a supported type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+/// Types sampleable without an explicit range (the `Standard` distribution).
+pub trait Standard: Sized {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased integer sampling in `[0, bound)` via Lemire's method with a
+/// widening-multiply rejection loop.
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = bounded_u64(rng, span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = unit_f64(rng.next_u64());
+        let v = self.start + (self.end - self.start) * u;
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// Random number generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, seedable generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+}

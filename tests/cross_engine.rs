@@ -91,3 +91,115 @@ fn runtime_accounting_balances() {
     );
     assert!(s.exceptions >= s.recoveries);
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry determinism (gprs-telemetry schedule / retired-order hashes)
+// ---------------------------------------------------------------------------
+
+/// Repeated same-seed runs produce byte-identical streaming schedule
+/// hashes: three simulator workloads, plus the real runtime across worker
+/// counts (the hash replaces the old capped grant-trace vector).
+#[test]
+fn schedule_hashes_are_reproducible() {
+    for name in ["pbzip2", "dedup", "canneal"] {
+        let w = build(name, &TraceParams::paper().scaled(0.01));
+        let a = run_gprs(&w, &GprsSimConfig::balance_aware(8));
+        let b = run_gprs(&w, &GprsSimConfig::balance_aware(8));
+        assert_ne!(a.telemetry.schedule_hash, 0, "{name}");
+        assert_eq!(a.telemetry.schedule_hash, b.telemetry.schedule_hash, "{name}");
+        assert_eq!(a.telemetry.retired_hash, b.telemetry.retired_hash, "{name}");
+        assert_eq!(a.telemetry.schedule_grants, b.telemetry.schedule_grants, "{name}");
+    }
+    use gprs_workloads::kernels::compress::generate_corpus;
+    use gprs_workloads::programs::build_pbzip_pipeline;
+    let input = generate_corpus(60_000, 21);
+    let run = |workers: usize| {
+        let mut b = GprsBuilder::new().workers(workers);
+        let _ = build_pbzip_pipeline(&mut b, input.clone(), 2048, 2);
+        let r = b.build().run().unwrap();
+        (r.telemetry.schedule_hash, r.telemetry.retired_hash)
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_ne!(one.0, 0);
+    assert_eq!(one, four, "hashes must not depend on the worker count");
+}
+
+/// An exception-injected pipeline converges to the fault-free
+/// retired-order hash: squashed sub-threads never enter the hash, and
+/// their re-executions retire the same logical steps in the same
+/// per-thread order. The schedule hash legitimately differs (re-executed
+/// sub-threads are fresh grants).
+#[test]
+fn retired_hash_converges_after_recovery() {
+    use gprs_core::exception::ExceptionKind;
+    use gprs_workloads::kernels::compress::generate_corpus;
+    use gprs_workloads::programs::build_pbzip_pipeline;
+    let input = generate_corpus(60_000, 17);
+    let clean = {
+        let mut b = GprsBuilder::new().workers(2);
+        let (file, _) = build_pbzip_pipeline(&mut b, input.clone(), 2048, 2);
+        let r = b.build().run().unwrap();
+        (r.telemetry.retired_hash, r.file_contents(file.index()).to_vec())
+    };
+    let mut b = GprsBuilder::new().workers(2);
+    let (file, _) = build_pbzip_pipeline(&mut b, input.clone(), 2048, 2);
+    let gprs = b.build();
+    let ctl = gprs.controller();
+    let h = std::thread::spawn(move || {
+        while !ctl.is_finished() {
+            ctl.inject_on_busy(ExceptionKind::SoftFault);
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+    });
+    let report = gprs.run().unwrap();
+    h.join().unwrap();
+    assert_eq!(
+        report.telemetry.retired_hash, clean.0,
+        "recovered run must retire the same logical order"
+    );
+    assert_eq!(report.file_contents(file.index()), clean.1.as_slice());
+}
+
+/// Telemetry counters are internally consistent at exit: every created
+/// sub-thread either retired or was squashed, and the counters mirror the
+/// engine's own statistics.
+#[test]
+fn telemetry_counters_balance() {
+    use gprs_core::exception::ExceptionKind;
+    use gprs_workloads::kernels::compress::generate_corpus;
+    use gprs_workloads::programs::build_pbzip_pipeline;
+    let input = generate_corpus(40_000, 9);
+    let mut b = GprsBuilder::new().workers(2);
+    let _ = build_pbzip_pipeline(&mut b, input, 2048, 2);
+    let gprs = b.build();
+    let ctl = gprs.controller();
+    let h = std::thread::spawn(move || {
+        while !ctl.is_finished() {
+            ctl.inject_on_busy(ExceptionKind::SoftFault);
+            std::thread::sleep(std::time::Duration::from_micros(900));
+        }
+    });
+    let report = gprs.run().unwrap();
+    h.join().unwrap();
+    let t = &report.telemetry;
+    assert_eq!(
+        t.counter("subthreads_created"),
+        t.counter("retired") + t.counter("squashed"),
+        "creates = retires + squashes at exit: {:?}",
+        t.counters
+    );
+    assert_eq!(t.counter("subthreads_created"), report.stats.subthreads);
+    assert_eq!(t.counter("retired"), report.stats.retired);
+    assert_eq!(t.counter("squashed"), report.stats.squashed);
+    assert_eq!(t.counter("grants"), t.schedule_grants);
+    assert_eq!(t.counter("retired"), t.retired_count);
+    // WAL accounting: every appended record is either undone by recovery
+    // or pruned at retirement (the engine drains the ROL before exit).
+    assert_eq!(
+        t.counter("wal_appends"),
+        t.counter("wal_undos") + t.counter("wal_prunes"),
+        "WAL records are all undone or pruned: {:?}",
+        t.counters
+    );
+}

@@ -154,12 +154,12 @@ fn runtime_is_deterministic_for_kernel_pipelines() {
         let (file, _) = build_pbzip_pipeline(&mut b, input.clone(), 2048, 2);
         let report = b.build().run().unwrap();
         (
-            report.grant_trace.clone(),
+            report.telemetry.schedule_hash,
             report.file_contents(file.index()).to_vec(),
         )
     };
     let (t1, f1) = run(1);
     let (t4, f4) = run(4);
-    assert_eq!(t1, t4, "grant traces must match across worker counts");
+    assert_eq!(t1, t4, "schedule hashes must match across worker counts");
     assert_eq!(f1, f4, "archives must be bit-identical");
 }
