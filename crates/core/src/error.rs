@@ -47,6 +47,19 @@ pub enum GprsError {
         /// Human-readable description of the violation.
         detail: &'static str,
     },
+    /// A thread was registered with the order enforcer with weight 0, which
+    /// would starve its whole group.
+    InvalidWeight(ThreadId),
+    /// A registration tried to change the established weight of a
+    /// balance-aware group.
+    GroupWeightConflict {
+        /// The thread whose registration conflicted.
+        thread: ThreadId,
+        /// The group's established weight.
+        established: u32,
+        /// The weight the conflicting registration requested.
+        requested: u32,
+    },
     /// The ordering policy has no registered threads but a turn was requested.
     NoRunnableThreads,
     /// A recovery plan was requested for a sub-thread that is not excepted.
@@ -79,6 +92,17 @@ impl fmt::Display for GprsError {
             GprsError::LockStateViolation { resource, detail } => {
                 write!(f, "lock state violation on {resource}: {detail}")
             }
+            GprsError::InvalidWeight(id) => {
+                write!(f, "thread {id} registered with weight 0")
+            }
+            GprsError::GroupWeightConflict {
+                thread,
+                established,
+                requested,
+            } => write!(
+                f,
+                "thread {thread} requested group weight {requested}, but the group's weight is {established}"
+            ),
             GprsError::NoRunnableThreads => write!(f, "no runnable threads registered"),
             GprsError::NotExcepted(id) => {
                 write!(f, "sub-thread {id} is not excepted; no recovery needed")

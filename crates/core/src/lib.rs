@@ -28,6 +28,8 @@
 //! * [`recovery`] — recovery planning: basic, selective, discard-all,
 //!   instruction- vs sub-thread-precision.
 //! * [`exception`] — the discretionary-exception model and Poisson injector.
+//! * [`racecheck`] — retirement-driven happens-before race detection that
+//!   guards selective restart's data-race-freedom assumption.
 //! * [`model`] — the closed-form penalty/tipping-rate analysis of §2.3–§2.4.
 //!
 //! # Quick example
@@ -69,6 +71,7 @@ pub mod history;
 pub mod ids;
 pub mod model;
 pub mod order;
+pub mod racecheck;
 pub mod recovery;
 pub mod rol;
 pub mod subthread;
@@ -88,6 +91,7 @@ pub mod prelude {
     };
     pub use crate::model::{CostParams, Scheme};
     pub use crate::order::{BalanceAware, OrderEnforcer, OrderingPolicy, RoundRobin, ScheduleKind};
+    pub use crate::racecheck::{AccessKind, OpenEdge, Race, RaceDetector, RetireInfo, VectorClock};
     pub use crate::recovery::{plan_recovery, Precision, RecoveryMode, RecoveryPlan};
     pub use crate::rol::{ReorderList, RolEntry, SubThreadStatus};
     pub use crate::subthread::{Boundary, SubThread, SubThreadGenerator, SubThreadKind, SyncOp};

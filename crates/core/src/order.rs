@@ -178,6 +178,9 @@ impl BalanceAware {
 
 impl OrderingPolicy for BalanceAware {
     fn register_thread(&mut self, thread: ThreadId, group: GroupId, weight: u32) -> Result<()> {
+        if weight == 0 {
+            return Err(GprsError::InvalidWeight(thread));
+        }
         if self
             .groups
             .iter()
@@ -187,14 +190,21 @@ impl OrderingPolicy for BalanceAware {
         }
         match self.groups.iter_mut().find(|g| g.id == group) {
             Some(g) => {
+                // The group's weight is a property of the group; a later
+                // registration may not silently change it out from under the
+                // members already scheduled by it.
+                if g.weight != weight {
+                    return Err(GprsError::GroupWeightConflict {
+                        thread,
+                        established: g.weight,
+                        requested: weight,
+                    });
+                }
                 g.members.push(thread);
-                // The group's weight is a property of the group; the last
-                // registration wins, matching the extended-API semantics.
-                g.weight = weight.max(1);
             }
             None => self.groups.push(Group {
                 id: group,
-                weight: weight.max(1),
+                weight,
                 members: vec![thread],
                 member_cursor: 0,
             }),
@@ -561,6 +571,35 @@ mod tests {
             s.advance();
         }
         assert_eq!(seq, [0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn balance_aware_rejects_zero_weight() {
+        let mut s = BalanceAware::new();
+        assert_eq!(
+            s.register_thread(th(0), grp(0), 0),
+            Err(GprsError::InvalidWeight(th(0)))
+        );
+        assert_eq!(s.len(), 0, "rejected registration must not be recorded");
+    }
+
+    #[test]
+    fn balance_aware_rejects_conflicting_group_weight() {
+        let mut s = BalanceAware::new();
+        s.register_thread(th(0), grp(0), 2).unwrap();
+        assert_eq!(
+            s.register_thread(th(1), grp(0), 3),
+            Err(GprsError::GroupWeightConflict {
+                thread: th(1),
+                established: 2,
+                requested: 3,
+            })
+        );
+        // The established weight stays in force and the conflicting thread
+        // was not admitted to the group.
+        assert_eq!(s.len(), 1);
+        s.register_thread(th(1), grp(0), 2).unwrap();
+        assert_eq!(holder_sequence(&mut s, 4), [0, 1, 0, 1]);
     }
 
     #[test]

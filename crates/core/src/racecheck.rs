@@ -1,0 +1,660 @@
+//! Happens-before data-race detection over the retired sub-thread order.
+//!
+//! Selective restart (`§3.4`) is only sound for programs whose shared
+//! accesses are mediated by the synchronization operations the runtime
+//! observes — a data race lets squashed state leak through plain loads and
+//! stores that no lock or atomic aliases. This module guards that
+//! assumption with a FastTrack-style vector-clock detector
+//! (Flanagan & Freund, PLDI 2009) adapted to the GPRS execution model:
+//!
+//! * **Epochs are sub-threads, not instructions.** Each sub-thread is one
+//!   epoch of its logical thread; a race report names the two offending
+//!   [`SubThreadId`]s (so the culprit restart sets are known) plus the
+//!   [`ResourceId`] of the cell.
+//! * **Processing is retirement-driven.** All detector work happens when a
+//!   sub-thread retires from the reorder list, in the deterministic total
+//!   order — never on the physically racing access itself. Since the
+//!   retired order, each sub-thread's access sequence, and every
+//!   happens-before edge are deterministic, the *first race report is
+//!   identical across runs and worker counts* even though the racy values
+//!   themselves are not.
+//! * **Conservatively safe under recovery.** Squashes do not rewind the
+//!   detector; clocks only ever grow, and extra happens-before edges can
+//!   only *mask* races, never invent them. A fault-free run therefore
+//!   reports no false positives, and an injected run may at worst
+//!   over-report — which only makes the consumer (hybrid
+//!   selective→basic escalation) more conservative.
+//!
+//! The observed happens-before edges are: lock release→acquire, atomic
+//! RMW (acquire *and* release, like `SeqCst` `fetch_add`), channel
+//! push→pop via item provenance, barrier arrival→resume per generation,
+//! thread spawn→first-sub-thread and last-sub-thread→join, and serialized
+//! (run-alone) sub-threads, which synchronize with everything.
+
+use crate::ids::{AtomicId, BarrierId, ChannelId, LockId, ResourceId, SubThreadId, ThreadId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Cap on retained full [`Race`] reports (counters keep counting past it).
+const MAX_REPORTS: usize = 64;
+
+/// A vector clock mapping each logical thread to the last epoch of it that
+/// happens-before the clock's owner. Sparse: absent threads are at 0.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    inner: BTreeMap<ThreadId, u64>,
+}
+
+impl VectorClock {
+    /// The empty clock (all components zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component for `thread` (0 when never advanced).
+    pub fn get(&self, thread: ThreadId) -> u64 {
+        self.inner.get(&thread).copied().unwrap_or(0)
+    }
+
+    /// Advances `thread`'s component by one and returns the new value.
+    pub fn tick(&mut self, thread: ThreadId) -> u64 {
+        let slot = self.inner.entry(thread).or_insert(0);
+        *slot += 1;
+        *slot
+    }
+
+    /// Pointwise maximum with `other` (the happens-before join).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (&t, &v) in &other.inner {
+            let slot = self.inner.entry(t).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (t, v)) in self.inner.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}:{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Whether a plain access reads or writes the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// A plain load.
+    Read,
+    /// A plain store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// One plain access as remembered by a cell: who touched it, from which
+/// sub-thread, and at which epoch of the owning thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The sub-thread whose body performed the access.
+    pub subthread: SubThreadId,
+    /// The logical thread that sub-thread belongs to.
+    pub thread: ThreadId,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// The thread's epoch (clock component) at the access.
+    pub epoch: u64,
+}
+
+/// A detected race: two accesses to the same cell, at least one a write,
+/// with no happens-before edge between them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// The shared cell both accesses touched.
+    pub resource: ResourceId,
+    /// The earlier access in retired order.
+    pub prior: Access,
+    /// The later access in retired order.
+    pub current: Access,
+}
+
+impl fmt::Display for Race {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "data race on {}: {} ({}) {} vs {} ({}) {}",
+            self.resource,
+            self.prior.subthread,
+            self.prior.thread,
+            self.prior.kind,
+            self.current.subthread,
+            self.current.thread,
+            self.current.kind,
+        )
+    }
+}
+
+/// The synchronization operation that *opened* a retiring sub-thread —
+/// the acquire-side happens-before edge consumed at the start of its epoch.
+///
+/// Lock and atomic acquires are not listed here: they are covered by
+/// [`RetireInfo::sync_resources`], which joins the resource clocks at open
+/// (this also covers nested critical sections, whose acquire point the
+/// retirement record does not pinpoint; joining early only masks races,
+/// which is the safe direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenEdge {
+    /// Opened by a channel pop delivering the item pushed by `producer`
+    /// (`None` when the engine could not attribute provenance; no edge).
+    ChanPop {
+        /// The channel popped from.
+        chan: ChannelId,
+        /// The sub-thread whose push produced the popped item.
+        producer: Option<SubThreadId>,
+    },
+    /// Opened by a channel push: the push point *releases* — the clock at
+    /// open is published for the consumer that later pops this item.
+    ChanPush(ChannelId),
+    /// A barrier continuation: joins the arrival clocks of `gen`.
+    BarrierResume {
+        /// The barrier resumed from.
+        barrier: BarrierId,
+        /// The released generation (1-based).
+        gen: u64,
+    },
+    /// A fork continuation in the parent: publishes the pre-fork clock for
+    /// `child`'s first sub-thread.
+    Fork {
+        /// The spawned thread.
+        child: ThreadId,
+    },
+    /// Opened by a join on `child`: acquires the child's final clock.
+    Join {
+        /// The joined (exited) thread.
+        child: ThreadId,
+    },
+    /// A serialized (run-alone) sub-thread: synchronizes with every thread
+    /// at open and publishes its clock globally at close.
+    Serialized,
+}
+
+/// Everything the detector needs about one retiring sub-thread.
+#[derive(Debug, Clone, Copy)]
+pub struct RetireInfo<'a> {
+    /// The retiring sub-thread.
+    pub id: SubThreadId,
+    /// Its logical thread.
+    pub thread: ThreadId,
+    /// The acquire-side edge of its opening operation, if any.
+    pub open: Option<OpenEdge>,
+    /// Locks and atomics this sub-thread acquired (opening or nested).
+    /// Their clocks are joined at open and re-published (release) at close.
+    pub sync_resources: &'a [ResourceId],
+    /// Plain accesses performed by the body, in program order.
+    pub accesses: &'a [(ResourceId, AccessKind)],
+    /// When this sub-thread ends at a barrier arrival: the `(barrier,
+    /// generation)` its close-clock contributes to.
+    pub arrival: Option<(BarrierId, u64)>,
+}
+
+/// Per-cell FastTrack state: the last write plus the latest read of each
+/// thread since that write.
+#[derive(Debug, Clone, Default)]
+struct CellState {
+    write: Option<Access>,
+    reads: Vec<Access>,
+}
+
+/// The vector-clock happens-before detector. Drive it by calling
+/// [`RaceDetector::retire`] for every sub-thread, in retired order.
+#[derive(Debug, Clone, Default)]
+pub struct RaceDetector {
+    /// Current clock of each logical thread.
+    threads: BTreeMap<ThreadId, VectorClock>,
+    /// Release clock of each lock (last holder's close).
+    locks: BTreeMap<LockId, VectorClock>,
+    /// Release clock of each atomic (last RMW's close).
+    atomics: BTreeMap<AtomicId, VectorClock>,
+    /// Push-point clock keyed by the pushing sub-thread (item provenance).
+    pushes: BTreeMap<SubThreadId, VectorClock>,
+    /// Accumulated arrival clocks per barrier generation.
+    gens: BTreeMap<(BarrierId, u64), VectorClock>,
+    /// Pre-fork clock published by a spawner for its child's first epoch.
+    forks: BTreeMap<ThreadId, VectorClock>,
+    /// Clock of the last serialized sub-thread (joined by every open).
+    serialized: Option<VectorClock>,
+    /// FastTrack state per plain-accessed cell.
+    cells: BTreeMap<ResourceId, CellState>,
+    races: u64,
+    reports: Vec<Race>,
+    racy_threads: BTreeSet<ThreadId>,
+}
+
+impl RaceDetector {
+    /// A fresh detector with empty clocks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total races detected so far (keeps counting past the report cap).
+    pub fn races(&self) -> u64 {
+        self.races
+    }
+
+    /// The first race in retired order, if any.
+    pub fn first_race(&self) -> Option<&Race> {
+        self.reports.first()
+    }
+
+    /// Retained race reports (capped at an internal limit).
+    pub fn reports(&self) -> &[Race] {
+        &self.reports
+    }
+
+    /// Whether `thread` participated in any detected race — the trigger for
+    /// hybrid selective→basic restart escalation.
+    pub fn is_racy_thread(&self, thread: ThreadId) -> bool {
+        self.racy_threads.contains(&thread)
+    }
+
+    /// Threads that participated in at least one race, ascending.
+    pub fn racy_threads(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.racy_threads.iter().copied()
+    }
+
+    /// Contributes `thread`'s *current* clock to a barrier generation's
+    /// arrival set. Engines use this when an arrival's owning sub-thread
+    /// already retired before the generation number was known (joins
+    /// commute, so contributing at grant time is equivalent).
+    pub fn contribute_arrival(&mut self, thread: ThreadId, barrier: BarrierId, gen: u64) {
+        let clock = self.threads.entry(thread).or_default().clone();
+        self.gens.entry((barrier, gen)).or_default().join(&clock);
+    }
+
+    /// Discards per-sub-thread provenance for a squashed sub-thread (its
+    /// re-execution will re-publish under the same id). Thread and resource
+    /// clocks are deliberately *not* rewound — see the module docs.
+    pub fn forget_subthread(&mut self, id: SubThreadId) {
+        self.pushes.remove(&id);
+    }
+
+    /// Processes one retiring sub-thread: consume its acquire edges, tick
+    /// its thread's epoch, check its plain accesses, publish its release
+    /// edges. Returns races newly detected at this retirement, in access
+    /// order.
+    pub fn retire(&mut self, info: RetireInfo<'_>) -> Vec<Race> {
+        let t = info.thread;
+
+        // -- acquire side -------------------------------------------------
+        let mut acquired = VectorClock::new();
+        if let Some(fork) = self.forks.remove(&t) {
+            acquired.join(&fork);
+        }
+        if let Some(ser) = &self.serialized {
+            acquired.join(ser);
+        }
+        match info.open {
+            Some(OpenEdge::ChanPop {
+                producer: Some(p), ..
+            }) => {
+                // Producers retire first (push stid < pop stid and retirement
+                // is stid-ordered), so the clock is present in fault-free
+                // runs; after a squash the pop may re-retire without it —
+                // a missed edge is only over-reporting, never unsoundness.
+                if let Some(push) = self.pushes.get(&p) {
+                    acquired.join(&push.clone());
+                }
+            }
+            Some(OpenEdge::BarrierResume { barrier, gen }) => {
+                if let Some(g) = self.gens.get(&(barrier, gen)) {
+                    acquired.join(&g.clone());
+                }
+            }
+            Some(OpenEdge::Join { child }) => {
+                if let Some(c) = self.threads.get(&child) {
+                    acquired.join(&c.clone());
+                }
+            }
+            Some(OpenEdge::Serialized) => {
+                let others: Vec<VectorClock> = self.threads.values().cloned().collect();
+                for c in &others {
+                    acquired.join(c);
+                }
+            }
+            _ => {}
+        }
+        for r in info.sync_resources {
+            let rel = match r {
+                ResourceId::Lock(l) => self.locks.get(l),
+                ResourceId::Atomic(a) => self.atomics.get(a),
+                _ => None,
+            };
+            if let Some(rel) = rel {
+                acquired.join(&rel.clone());
+            }
+        }
+        let clock = self.threads.entry(t).or_default();
+        clock.join(&acquired);
+
+        // -- release edges anchored at the *open* point -------------------
+        match info.open {
+            Some(OpenEdge::Fork { child }) => {
+                self.forks.insert(child, clock.clone());
+            }
+            Some(OpenEdge::ChanPush(_)) => {
+                self.pushes.insert(info.id, clock.clone());
+            }
+            _ => {}
+        }
+
+        // -- new epoch for the body ---------------------------------------
+        let epoch = clock.tick(t);
+        let clock = clock.clone();
+
+        // -- plain-access checks, in program order ------------------------
+        let mut found = Vec::new();
+        for &(res, kind) in info.accesses {
+            let cur = Access {
+                subthread: info.id,
+                thread: t,
+                kind,
+                epoch,
+            };
+            let cell = self.cells.entry(res).or_default();
+            let mut report = |prior: &Access| {
+                found.push(Race {
+                    resource: res,
+                    prior: *prior,
+                    current: cur,
+                });
+            };
+            if let Some(w) = &cell.write {
+                if w.thread != t && clock.get(w.thread) < w.epoch {
+                    report(w);
+                }
+            }
+            match kind {
+                AccessKind::Write => {
+                    for r in &cell.reads {
+                        if r.thread != t && clock.get(r.thread) < r.epoch {
+                            report(r);
+                        }
+                    }
+                    cell.write = Some(cur);
+                    cell.reads.clear();
+                }
+                AccessKind::Read => {
+                    if let Some(slot) = cell.reads.iter_mut().find(|r| r.thread == t) {
+                        *slot = cur;
+                    } else {
+                        cell.reads.push(cur);
+                    }
+                }
+            }
+        }
+        for race in &found {
+            self.races += 1;
+            self.racy_threads.insert(race.prior.thread);
+            self.racy_threads.insert(race.current.thread);
+            if self.reports.len() < MAX_REPORTS {
+                self.reports.push(race.clone());
+            }
+        }
+
+        // -- release side (close point) -----------------------------------
+        for r in info.sync_resources {
+            match r {
+                ResourceId::Lock(l) => self.locks.entry(*l).or_default().join(&clock),
+                ResourceId::Atomic(a) => self.atomics.entry(*a).or_default().join(&clock),
+                _ => {}
+            }
+        }
+        if let Some((b, gen)) = info.arrival {
+            self.gens.entry((b, gen)).or_default().join(&clock);
+        }
+        if info.open == Some(OpenEdge::Serialized) {
+            self.serialized = Some(clock);
+        }
+        found
+    }
+}
+
+/// Packs a [`ResourceId`] into a single `u64` for fixed-width trace events:
+/// a 2-bit kind tag in the top bits over the raw id.
+pub fn resource_code(r: ResourceId) -> u64 {
+    const TAG_SHIFT: u32 = 62;
+    match r {
+        ResourceId::Lock(l) => l.raw(),
+        ResourceId::Atomic(a) => (1u64 << TAG_SHIFT) | a.raw(),
+        ResourceId::Channel(c) => (2u64 << TAG_SHIFT) | c.raw(),
+        ResourceId::Barrier(b) => (3u64 << TAG_SHIFT) | b.raw(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(n: u64) -> SubThreadId {
+        SubThreadId::new(n)
+    }
+    fn th(n: u32) -> ThreadId {
+        ThreadId::new(n)
+    }
+    const CELL: ResourceId = ResourceId::Atomic(AtomicId::new(0));
+
+    fn retire_plain(
+        d: &mut RaceDetector,
+        id: u64,
+        thread: u32,
+        accesses: &[(ResourceId, AccessKind)],
+    ) -> Vec<Race> {
+        d.retire(RetireInfo {
+            id: st(id),
+            thread: th(thread),
+            open: None,
+            sync_resources: &[],
+            accesses,
+            arrival: None,
+        })
+    }
+
+    #[test]
+    fn concurrent_writes_race() {
+        let mut d = RaceDetector::new();
+        let w = [(CELL, AccessKind::Write)];
+        assert!(retire_plain(&mut d, 0, 0, &w).is_empty());
+        let races = retire_plain(&mut d, 1, 1, &w);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].resource, CELL);
+        assert_eq!(races[0].prior.subthread, st(0));
+        assert_eq!(races[0].current.subthread, st(1));
+        assert!(d.is_racy_thread(th(0)) && d.is_racy_thread(th(1)));
+        assert_eq!(d.races(), 1);
+    }
+
+    #[test]
+    fn read_write_and_write_read_race_but_read_read_does_not() {
+        let mut d = RaceDetector::new();
+        let r = [(CELL, AccessKind::Read)];
+        let w = [(CELL, AccessKind::Write)];
+        assert!(retire_plain(&mut d, 0, 0, &r).is_empty());
+        assert!(retire_plain(&mut d, 1, 1, &r).is_empty(), "read/read is fine");
+        assert_eq!(retire_plain(&mut d, 2, 2, &w).len(), 2, "write races both reads");
+        assert_eq!(retire_plain(&mut d, 3, 0, &r).len(), 1, "read races the write");
+    }
+
+    #[test]
+    fn lock_transfer_orders_accesses() {
+        let mut d = RaceDetector::new();
+        let l = ResourceId::Lock(LockId::new(0));
+        let w = [(CELL, AccessKind::Write)];
+        // TH0's critical section writes, releases; TH1 acquires, writes.
+        let no = d.retire(RetireInfo {
+            id: st(0),
+            thread: th(0),
+            open: None,
+            sync_resources: &[l],
+            accesses: &w,
+            arrival: None,
+        });
+        assert!(no.is_empty());
+        let no = d.retire(RetireInfo {
+            id: st(1),
+            thread: th(1),
+            open: None,
+            sync_resources: &[l],
+            accesses: &w,
+            arrival: None,
+        });
+        assert!(no.is_empty(), "release→acquire orders the writes");
+        // A third thread that skips the lock races with TH1's write.
+        assert_eq!(retire_plain(&mut d, 2, 2, &w).len(), 1);
+        assert_eq!(d.races(), 1);
+    }
+
+    #[test]
+    fn push_pop_provenance_orders_accesses() {
+        let mut d = RaceDetector::new();
+        let c = ChannelId::new(0);
+        let w = [(CELL, AccessKind::Write)];
+        // TH0: write in ST0's body, then ST1 opens with the push (release).
+        assert!(retire_plain(&mut d, 0, 0, &w).is_empty());
+        d.retire(RetireInfo {
+            id: st(1),
+            thread: th(0),
+            open: Some(OpenEdge::ChanPush(c)),
+            sync_resources: &[],
+            accesses: &[],
+            arrival: None,
+        });
+        // TH1 pops that item and writes: ordered. Without provenance: race.
+        let no = d.retire(RetireInfo {
+            id: st(2),
+            thread: th(1),
+            open: Some(OpenEdge::ChanPop {
+                chan: c,
+                producer: Some(st(1)),
+            }),
+            sync_resources: &[],
+            accesses: &w,
+            arrival: None,
+        });
+        assert!(no.is_empty(), "push→pop orders the writes");
+    }
+
+    #[test]
+    fn fork_and_join_edges() {
+        let mut d = RaceDetector::new();
+        let w = [(CELL, AccessKind::Write)];
+        // Parent writes, then forks TH1.
+        assert!(retire_plain(&mut d, 0, 0, &w).is_empty());
+        d.retire(RetireInfo {
+            id: st(1),
+            thread: th(0),
+            open: Some(OpenEdge::Fork { child: th(1) }),
+            sync_resources: &[],
+            accesses: &[],
+            arrival: None,
+        });
+        // Child's first sub-thread sees the pre-fork write.
+        assert!(retire_plain(&mut d, 2, 1, &w).is_empty(), "fork edge");
+        // Parent joining the child sees the child's write.
+        let no = d.retire(RetireInfo {
+            id: st(3),
+            thread: th(0),
+            open: Some(OpenEdge::Join { child: th(1) }),
+            sync_resources: &[],
+            accesses: &w,
+            arrival: None,
+        });
+        assert!(no.is_empty(), "join edge");
+    }
+
+    #[test]
+    fn barrier_generation_orders_sides() {
+        let mut d = RaceDetector::new();
+        let b = BarrierId::new(0);
+        let w = [(CELL, AccessKind::Write)];
+        // Both threads write before arriving at generation 1.
+        for (id, t) in [(0u64, 0u32), (1, 1)] {
+            let races = d.retire(RetireInfo {
+                id: st(id),
+                thread: th(t),
+                open: None,
+                sync_resources: &[],
+                accesses: &w,
+                arrival: Some((b, 1)),
+            });
+            assert_eq!(races.len(), id as usize, "pre-barrier writes do race");
+        }
+        // Continuations join the generation: ordered after both writes.
+        let no = d.retire(RetireInfo {
+            id: st(2),
+            thread: th(0),
+            open: Some(OpenEdge::BarrierResume { barrier: b, gen: 1 }),
+            sync_resources: &[],
+            accesses: &w,
+            arrival: None,
+        });
+        assert!(no.is_empty(), "resume is ordered after all arrivals");
+    }
+
+    #[test]
+    fn first_race_is_stable_and_reports_cap() {
+        let mut d = RaceDetector::new();
+        let w = [(CELL, AccessKind::Write)];
+        for i in 0..200u64 {
+            retire_plain(&mut d, i, (i % 4) as u32, &w);
+        }
+        assert_eq!(d.races(), 199, "every write races the previous one");
+        assert!(d.reports().len() <= 64);
+        let first = d.first_race().expect("some race").clone();
+        assert_eq!(first.prior.subthread, st(0));
+        assert_eq!(first.current.subthread, st(1));
+    }
+
+    #[test]
+    fn serialized_subthread_synchronizes_globally() {
+        let mut d = RaceDetector::new();
+        let w = [(CELL, AccessKind::Write)];
+        assert!(retire_plain(&mut d, 0, 0, &w).is_empty());
+        let no = d.retire(RetireInfo {
+            id: st(1),
+            thread: th(1),
+            open: Some(OpenEdge::Serialized),
+            sync_resources: &[],
+            accesses: &w,
+            arrival: None,
+        });
+        assert!(no.is_empty(), "serialized open joins every thread");
+        // And a later plain access on a third thread is ordered after it.
+        assert!(retire_plain(&mut d, 2, 2, &w).is_empty());
+    }
+
+    #[test]
+    fn resource_codes_are_distinct() {
+        let codes = [
+            resource_code(ResourceId::Lock(LockId::new(5))),
+            resource_code(ResourceId::Atomic(AtomicId::new(5))),
+            resource_code(ResourceId::Channel(ChannelId::new(5))),
+            resource_code(ResourceId::Barrier(BarrierId::new(5))),
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -191,6 +191,24 @@ impl CprShared {
         let g = self.inner.lock();
         f(g.blocks.get(&block).expect("block freed"))
     }
+
+    /// Plain (unsynchronized) load of a shared atomic cell. The CPR
+    /// baseline rolls back *all* state at once, so plain accesses need no
+    /// special recovery handling (and no race detection — global rollback
+    /// does not depend on data-race freedom).
+    pub(crate) fn plain_load(&self, atomic: AtomicId) -> u64 {
+        *self.inner.lock().atomics.get(&atomic).expect("registered atomic")
+    }
+
+    /// Plain (unsynchronized) store; see [`Self::plain_load`]. The cell is
+    /// part of the coordinated snapshot, so rollback restores it.
+    pub(crate) fn plain_store(&self, atomic: AtomicId, value: u64) {
+        self.inner
+            .lock()
+            .atomics
+            .insert(atomic, value)
+            .expect("registered atomic");
+    }
 }
 
 /// Builder for the CPR baseline executor, mirroring

@@ -12,7 +12,7 @@
 //! is what the paper's comparison requires.
 
 use crate::engine::SharedRef;
-use crate::handles::{FileHandle, MutexHandle, Recoverable};
+use crate::handles::{AtomicHandle, FileHandle, MutexHandle, Recoverable};
 use crate::ops::RtOp;
 use crate::program::{payload_to, Payload};
 use gprs_core::ids::{LockId, SubThreadId, ThreadId};
@@ -249,6 +249,42 @@ impl StepCtx<'_> {
                 shared.release_lock(handle.id(), data);
                 out
             }
+        }
+    }
+
+    /// Reads a shared atomic cell **without synchronization** — a *plain*
+    /// load. Unlike [`crate::handles::AtomicHandle::fetch_add`] via
+    /// [`crate::program::Step::FetchAdd`], this creates no sub-thread
+    /// boundary, no happens-before edge and no dependence alias: two
+    /// threads touching the same cell this way (one of them writing) are
+    /// data-racing, which the opt-in detector
+    /// ([`crate::GprsBuilder::racecheck`]) flags at retirement. Exists to
+    /// model the unsynchronized accesses that break selective restart's
+    /// data-race-freedom assumption.
+    pub fn plain_load(&self, handle: &AtomicHandle) -> u64 {
+        match &self.backend {
+            CtxBackend::Gprs(shared) => {
+                shared.inner.lock().plain_load(self.stid, handle.id())
+            }
+            CtxBackend::Cpr(shared) => shared.plain_load(handle.id()),
+        }
+    }
+
+    /// Writes a shared atomic cell **without synchronization** — a *plain*
+    /// store; see [`Self::plain_load`]. Under GPRS the old value is
+    /// WAL-logged so recovery can undo it, but no dependence alias is
+    /// recorded — racy readers are *not* pulled into the culprit's
+    /// selective-restart closure, which is why a detected race escalates
+    /// recovery to a basic restart.
+    pub fn plain_store(&self, handle: &AtomicHandle, value: u64) {
+        match &self.backend {
+            CtxBackend::Gprs(shared) => {
+                shared
+                    .inner
+                    .lock()
+                    .plain_store(self.worker, self.stid, handle.id(), value);
+            }
+            CtxBackend::Cpr(shared) => shared.plain_store(handle.id(), value),
         }
     }
 

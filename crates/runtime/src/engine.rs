@@ -22,7 +22,8 @@ use gprs_core::ids::{
     AtomicId, BarrierId, ChannelId, GroupId, LockId, ResourceId, SubThreadId, ThreadId,
 };
 use gprs_core::order::{OrderEnforcer, ScheduleKind};
-use gprs_core::rol::ReorderList;
+use gprs_core::racecheck::{resource_code, AccessKind, OpenEdge, RaceDetector, RetireInfo};
+use gprs_core::rol::{ReorderList, RolEntry};
 use gprs_core::subthread::{SubThread, SubThreadKind, SyncOp};
 use gprs_core::wal::WriteAheadLog;
 use gprs_telemetry::{RetiredOrderHash, ScheduleHash, Telemetry, TelemetryConfig, TraceEvent};
@@ -49,6 +50,8 @@ pub(crate) struct RunConfig {
     pub workers: usize,
     pub recovery: RecoveryPolicy,
     pub telemetry: TelemetryConfig,
+    /// Run the happens-before race detector over the retired order.
+    pub racecheck: bool,
 }
 
 /// Ring index for events recorded outside a known worker (retirement on the
@@ -302,6 +305,18 @@ pub(crate) struct Inner {
     pub retired_hash: RetiredOrderHash,
     /// Opt-in bounded raw grant trace (`TelemetryConfig::raw_trace_cap`).
     pub raw_trace: Vec<(SubThreadId, ThreadId)>,
+    /// Happens-before race detector, driven at retirement (opt-in).
+    pub racecheck: Option<RaceDetector>,
+    /// Plain accesses recorded by running bodies, per sub-thread in program
+    /// order (consumed by the detector at retirement).
+    pub plain_accesses: BTreeMap<SubThreadId, Vec<(ResourceId, AccessKind)>>,
+    /// Pop sub-thread -> producing (push) sub-thread, for the detector's
+    /// push→pop edge (the opening want does not carry provenance).
+    pub race_pop_src: BTreeMap<SubThreadId, SubThreadId>,
+    /// Arrival-ending sub-thread -> the barrier generation its close clock
+    /// contributes to (recorded at arrival grant; `arrival_gen` is only
+    /// assigned at release, possibly after the ender retired).
+    pub race_arrivals: BTreeMap<SubThreadId, (BarrierId, u64)>,
     pub poisoned: Option<String>,
 }
 
@@ -340,6 +355,7 @@ impl Inner {
     pub fn new(cfg: RunConfig) -> Self {
         let enforcer = OrderEnforcer::with_schedule(cfg.schedule);
         let telemetry = Arc::new(Telemetry::new(&cfg.telemetry, cfg.workers));
+        let racecheck = cfg.racecheck.then(RaceDetector::new);
         Inner {
             cfg,
             enforcer,
@@ -373,6 +389,10 @@ impl Inner {
             sched_hash: ScheduleHash::new(),
             retired_hash: RetiredOrderHash::new(),
             raw_trace: Vec::new(),
+            racecheck,
+            plain_accesses: BTreeMap::new(),
+            race_pop_src: BTreeMap::new(),
+            race_arrivals: BTreeMap::new(),
             poisoned: None,
         }
     }
@@ -451,6 +471,9 @@ impl Inner {
                     );
                 }
             }
+            if self.racecheck.is_some() {
+                self.race_retire(&entry);
+            }
             self.opening.remove(&id);
             self.edges.remove(&id);
             if let Some(gen_key) = self.arrival_gen.remove(&id) {
@@ -483,6 +506,106 @@ impl Inner {
                 .metrics
                 .rol_occupancy_hw
                 .observe(self.rol.peak_occupancy() as u64);
+        }
+    }
+
+    /// Feeds one retiring sub-thread to the race detector: its opening
+    /// happens-before edge (from the opening want), the locks/atomics it
+    /// touched (from the ROL entry's dependence aliases), the plain
+    /// accesses its body recorded, and any barrier-arrival contribution.
+    /// Runs at retirement — in the deterministic total order — so the race
+    /// stream is identical across runs and worker counts.
+    fn race_retire(&mut self, entry: &RolEntry) {
+        let id = entry.id();
+        let open = match self.opening.get(&id).map(|o| &o.want) {
+            Some(OpeningWant::Push(c, _)) => Some(OpenEdge::ChanPush(*c)),
+            Some(OpeningWant::Pop(c)) => Some(OpenEdge::ChanPop {
+                chan: *c,
+                producer: self.race_pop_src.remove(&id),
+            }),
+            Some(OpeningWant::Resume(b, gen)) => Some(OpenEdge::BarrierResume {
+                barrier: *b,
+                gen: *gen,
+            }),
+            Some(OpeningWant::SpawnParent { child, .. }) => {
+                Some(OpenEdge::Fork { child: *child })
+            }
+            Some(OpeningWant::JoinParent(t)) => Some(OpenEdge::Join { child: *t }),
+            Some(OpeningWant::SerializedRun) => Some(OpenEdge::Serialized),
+            // Lock and atomic acquire edges come from `sync_resources`.
+            Some(OpeningWant::Lock(_) | OpeningWant::FetchAdd(_, _) | OpeningWant::Start)
+            | None => None,
+        };
+        let accesses = self.plain_accesses.remove(&id).unwrap_or_default();
+        let sync_resources: Vec<ResourceId> = entry
+            .resources
+            .iter()
+            .filter(|r| matches!(r, ResourceId::Lock(_) | ResourceId::Atomic(_)))
+            .copied()
+            .collect();
+        let arrival = self.race_arrivals.remove(&id);
+        let races = self.racecheck.as_mut().expect("racecheck on").retire(RetireInfo {
+            id,
+            thread: entry.thread(),
+            open,
+            sync_resources: &sync_resources,
+            accesses: &accesses,
+            arrival,
+        });
+        if !races.is_empty() {
+            self.stats.races += races.len() as u64;
+            if self.telemetry.enabled() {
+                self.telemetry.metrics.races_detected.add(races.len() as u64);
+                for race in &races {
+                    self.telemetry.record(
+                        EXTERNAL_RING,
+                        TraceEvent::RaceDetected {
+                            subthread: race.current.subthread.raw(),
+                            prior: race.prior.subthread.raw(),
+                            resource: resource_code(race.resource),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reads a shared cell without synchronization (a *plain* load): the
+    /// value is returned as-is and, when the race detector is on, the
+    /// access is recorded for the happens-before check at retirement.
+    pub(crate) fn plain_load(&mut self, stid: SubThreadId, atomic: AtomicId) -> u64 {
+        let v = *self.atomics.get(&atomic).expect("registered atomic");
+        if self.racecheck.is_some() {
+            self.plain_accesses
+                .entry(stid)
+                .or_default()
+                .push((ResourceId::Atomic(atomic), AccessKind::Read));
+        }
+        v
+    }
+
+    /// Writes a shared cell without synchronization (a *plain* store). The
+    /// old value is WAL-logged so runtime self-recovery can undo it, but —
+    /// unlike [`RtOp::FetchAdd`] — no dependence alias is added to the
+    /// sub-thread, which is exactly the leak the race detector exists to
+    /// flag.
+    pub(crate) fn plain_store(
+        &mut self,
+        worker: usize,
+        stid: SubThreadId,
+        atomic: AtomicId,
+        value: u64,
+    ) {
+        let old = self
+            .atomics
+            .insert(atomic, value)
+            .expect("registered atomic");
+        self.wal_append(worker, stid, RtOp::PlainStore { atomic, old });
+        if self.racecheck.is_some() {
+            self.plain_accesses
+                .entry(stid)
+                .or_default()
+                .push((ResourceId::Atomic(atomic), AccessKind::Write));
         }
     }
 
@@ -802,6 +925,9 @@ impl Inner {
                     if self.rol.contains(p) {
                         self.edges.entry(p).or_default().push(stid);
                     }
+                    if self.racecheck.is_some() {
+                        self.race_pop_src.insert(stid, p);
+                    }
                 }
                 self.open_subthread(
                     stid,
@@ -910,7 +1036,23 @@ impl Inner {
                 if let Some(prev) = prev_st {
                     bar.arrival_sts.push(prev);
                 }
-                if bar.waiting.len() as u32 == bar.participants {
+                let forming_gen = bar.gen + 1;
+                let full = bar.waiting.len() as u32 == bar.participants;
+                if let Some(det) = self.racecheck.as_mut() {
+                    // The arrival-ending sub-thread's close clock belongs to
+                    // the forming generation. If it already retired, its
+                    // thread's clock *is* that close clock — contribute it
+                    // directly (joins commute; continuations of this
+                    // generation retire strictly later, so the contribution
+                    // lands before anyone reads it).
+                    match prev_st.filter(|&p| self.rol.contains(p)) {
+                        Some(prev) => {
+                            self.race_arrivals.insert(prev, (b, forming_gen));
+                        }
+                        None => det.contribute_arrival(holder, b, forming_gen),
+                    }
+                }
+                if full {
                     self.release_barrier(b);
                 }
                 self.bump();

@@ -93,6 +93,7 @@ pub struct GprsBuilder {
     workers: usize,
     recovery: RecoveryPolicy,
     telemetry: TelemetryConfig,
+    racecheck: bool,
     inner: Inner,
     next_lock: u64,
     next_chan: u64,
@@ -116,12 +117,14 @@ impl GprsBuilder {
             workers: 4,
             recovery: RecoveryPolicy::Selective,
             telemetry: TelemetryConfig::default(),
+            racecheck: false,
         };
         GprsBuilder {
             schedule: cfg.schedule,
             workers: cfg.workers,
             recovery: cfg.recovery,
             telemetry: cfg.telemetry,
+            racecheck: cfg.racecheck,
             inner: Inner::new(cfg),
             next_lock: 0,
             next_chan: 0,
@@ -160,6 +163,17 @@ impl GprsBuilder {
     /// Full telemetry configuration (event rings, metrics, raw trace).
     pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
         self.telemetry = cfg;
+        self
+    }
+
+    /// Enables happens-before data-race detection over the retired order
+    /// (see [`gprs_core::racecheck`]). Races are counted in
+    /// [`RunStats::races`](crate::report::RunStats), the first one is
+    /// reported in [`RunReport::first_race`](crate::report::RunReport), and
+    /// a selective restart whose culprit's thread raced escalates to a
+    /// basic restart (the race broke the dependence-closure assumption).
+    pub fn racecheck(mut self, on: bool) -> Self {
+        self.racecheck = on;
         self
     }
 
@@ -247,10 +261,15 @@ impl GprsBuilder {
             workers: self.workers,
             recovery: self.recovery,
             telemetry: self.telemetry,
+            racecheck: self.racecheck,
         };
         // The telemetry facade was sized for the default config; rebuild it
-        // for the final worker count and switches.
+        // for the final worker count and switches. Likewise the detector,
+        // which `Inner::new` created from the default (off) config.
         self.inner.telemetry = Arc::new(Telemetry::new(&self.telemetry, self.workers));
+        self.inner.racecheck = self
+            .racecheck
+            .then(gprs_core::racecheck::RaceDetector::new);
         // The schedule may have changed after threads registered: re-seed
         // the enforcer with the final schedule.
         let mut enforcer = gprs_core::order::OrderEnforcer::with_schedule(self.schedule);
@@ -319,11 +338,16 @@ impl Gprs {
             &inner.retired_hash,
             raw_trace.iter().map(|&(s, t)| (s.raw(), t.raw())).collect(),
         );
+        let first_race = inner
+            .racecheck
+            .as_ref()
+            .and_then(|det| det.first_race().cloned());
         Ok(RunReport {
             stats: inner.stats,
             outputs: std::mem::take(&mut inner.outputs),
             files,
             telemetry,
+            first_race,
         })
     }
 }
@@ -403,6 +427,7 @@ pub mod prelude {
     pub use gprs_core::exception::ExceptionKind;
     pub use gprs_core::history::Checkpoint;
     pub use gprs_core::ids::{GroupId, ThreadId};
+    pub use gprs_core::racecheck::{AccessKind, Race};
     pub use gprs_core::order::ScheduleKind;
     pub use gprs_telemetry::{TelemetryConfig, TelemetrySummary};
 }

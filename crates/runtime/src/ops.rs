@@ -26,6 +26,10 @@ pub(crate) enum RtOp {
     },
     /// Atomic fetch-add (undo: store `old`).
     FetchAdd { atomic: AtomicId, old: u64 },
+    /// Unsynchronized store to a shared cell (undo: store `old`). Unlike
+    /// `FetchAdd` this adds *no* dependence alias to the sub-thread — the
+    /// data-race hazard the racecheck subsystem detects.
+    PlainStore { atomic: AtomicId, old: u64 },
     /// Lock acquired (undo: mark free).
     LockAcquire { lock: LockId },
     /// Lock released (undo: mark held by `holder` again).
@@ -52,6 +56,7 @@ impl fmt::Debug for RtOp {
                 write!(f, "Pop({chan}, producer {producer:?})")
             }
             RtOp::FetchAdd { atomic, old } => write!(f, "FetchAdd({atomic}, old {old})"),
+            RtOp::PlainStore { atomic, old } => write!(f, "PlainStore({atomic}, old {old})"),
             RtOp::LockAcquire { lock } => write!(f, "LockAcquire({lock})"),
             RtOp::LockRelease { lock, holder } => write!(f, "LockRelease({lock}, by {holder})"),
             RtOp::BarrierArrive { barrier, thread } => {

@@ -2,6 +2,7 @@
 
 use crate::program::{payload_to, Payload};
 use gprs_core::ids::{SubThreadId, ThreadId};
+use gprs_core::racecheck::Race;
 use gprs_telemetry::TelemetrySummary;
 use std::collections::BTreeMap;
 
@@ -36,6 +37,12 @@ pub struct RunStats {
     pub allocs: u64,
     /// Peak reorder-list occupancy.
     pub rol_peak: usize,
+    /// Data races flagged by the happens-before detector (0 when the
+    /// detector is off).
+    pub races: u64,
+    /// Selective restarts widened to basic because the culprit's thread
+    /// participated in a detected race.
+    pub hybrid_escalations: u64,
 }
 
 /// Result of a completed run.
@@ -51,6 +58,11 @@ pub struct RunReport {
     /// identical across runs with the same exception schedule regardless of
     /// worker count), metrics, and the drained event trace.
     pub telemetry: TelemetrySummary,
+    /// The first data race in retired order, when
+    /// [`crate::GprsBuilder::racecheck`] was enabled and one was found.
+    /// Deterministic: the same program and seed yield the same report
+    /// regardless of worker count.
+    pub first_race: Option<Race>,
 }
 
 impl RunReport {
@@ -128,6 +140,7 @@ mod tests {
             outputs,
             files: BTreeMap::new(),
             telemetry: TelemetrySummary::default(),
+            first_race: None,
         };
         assert_eq!(report.output::<u64>(ThreadId::new(0)), 41);
         assert!(report.file_contents(0).is_empty());

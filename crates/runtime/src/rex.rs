@@ -166,6 +166,15 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
             .expect("marked squashed above");
         inner.arrival_gen.remove(&id);
         inner.edges.remove(&id);
+        // Race-detector provenance of squashed work: the re-execution will
+        // re-record it. The detector's clocks themselves are never rewound
+        // (extra happens-before edges only mask races — the safe side).
+        inner.plain_accesses.remove(&id);
+        inner.race_pop_src.remove(&id);
+        inner.race_arrivals.remove(&id);
+        if let Some(det) = inner.racecheck.as_mut() {
+            det.forget_subthread(id);
+        }
     }
     for gen_key in &undone_gens {
         inner.gens.remove(gen_key);
@@ -204,8 +213,32 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
 
 /// Computes the ascending affected set of `culprit` under the configured
 /// policy.
-fn affected_set(inner: &Inner, culprit: SubThreadId) -> Vec<SubThreadId> {
-    if inner.cfg.recovery == RecoveryPolicy::Basic {
+///
+/// Hybrid escalation: selective restart is only sound when the culprit's
+/// data flowed exclusively through observed synchronization. If the race
+/// detector saw the culprit's thread participate in a data race, plain
+/// accesses may have leaked its state to sub-threads outside the dependence
+/// closure — so the restart widens to the basic younger-suffix squash.
+fn affected_set(inner: &mut Inner, culprit: SubThreadId) -> Vec<SubThreadId> {
+    let escalate = inner.cfg.recovery == RecoveryPolicy::Selective
+        && inner.racecheck.as_ref().is_some_and(|det| {
+            det.is_racy_thread(inner.rol.get(culprit).expect("culprit in ROL").thread())
+        });
+    if escalate {
+        inner.stats.hybrid_escalations += 1;
+        if inner.telemetry.enabled() {
+            inner.telemetry.metrics.hybrid_escalations.inc();
+            let thread = inner.rol.get(culprit).expect("culprit in ROL").thread();
+            inner.telemetry.record(
+                EXTERNAL_RING,
+                TraceEvent::HybridEscalation {
+                    culprit: culprit.raw(),
+                    thread: thread.raw(),
+                },
+            );
+        }
+    }
+    if inner.cfg.recovery == RecoveryPolicy::Basic || escalate {
         let mut suffix = inner.rol.squash_suffix(culprit);
         suffix.reverse(); // ascending
         return suffix;
@@ -297,7 +330,7 @@ fn undo_op(
                 .items
                 .push_front((item, producer));
         }
-        RtOp::FetchAdd { atomic, old } => {
+        RtOp::FetchAdd { atomic, old } | RtOp::PlainStore { atomic, old } => {
             inner.atomics.insert(atomic, old);
         }
         RtOp::LockAcquire { lock } => {

@@ -16,6 +16,15 @@
 //! redo intervals just as they would in a real run; when the per-exception
 //! loss exceeds the exception inter-arrival time the wall clock diverges and
 //! the run is reported DNC — the paper's tipping behaviour.
+//!
+//! Checkpoint epochs are *preemptive*: they fire at the configured wall-time
+//! cadence, quiescing every live thread wherever it stands (mid-segment
+//! included) for the duration of the slowest record, exactly as the paper's
+//! application-level checkpointing is free to barrier at its own frequency.
+//! An earlier version only quiesced at segment boundaries, which capped the
+//! checkpoint frequency at the workload's sub-thread granularity and made
+//! coarse-segment programs (RE's ~1.8 s segments) lose whole segments per
+//! rollback — a DNC the paper's CPR baseline does not have.
 
 use crate::costs::MechCosts;
 use crate::result::SimResult;
@@ -107,10 +116,11 @@ enum Phase {
     PopWait,
     /// Waiting for barrier peers.
     BarrierWait,
-    /// Arrived at a checkpoint barrier; the segment's op is pending.
-    CkptWait,
     Done,
 }
+
+/// Heap sentinel for checkpoint-epoch events (no thread index).
+const CKPT_EVENT: usize = usize::MAX;
 
 #[derive(Debug)]
 struct ThState {
@@ -153,9 +163,6 @@ struct Free<'a> {
     barrier_arrived: HashMap<BarrierId, Vec<(usize, u64)>>,
     barrier_participants: HashMap<BarrierId, u32>,
     live: usize,
-    // CPR state.
-    next_ckpt: u64,
-    ckpt_arrivals: Vec<(usize, u64)>,
     // Exception state (wall = program + penalty). `last_safe_wall` is the
     // wall time of the most recent checkpoint completion or rollback
     // completion: progress made before it survives the next rollback.
@@ -204,8 +211,6 @@ impl<'a> Free<'a> {
                 .into_iter()
                 .collect(),
             live: w.threads.len(),
-            next_ckpt: cfg.cpr.map(|c| c.interval_cycles).unwrap_or(u64::MAX),
-            ckpt_arrivals: Vec::new(),
             injector,
             latency,
             penalty: 0,
@@ -311,41 +316,40 @@ impl<'a> Free<'a> {
         }
     }
 
-    /// Whether a checkpoint release can proceed: nobody is still computing.
-    fn ckpt_release_ready(&self) -> bool {
-        !self.ckpt_arrivals.is_empty()
-            && self
-                .threads
-                .iter()
-                .all(|t| !matches!(t.phase, Phase::Running))
-    }
-
-    /// Releases the checkpoint barrier: records state, then performs the
-    /// deferred ops in thread order.
-    fn release_ckpt(&mut self) {
-        let max_arrival = self
-            .ckpt_arrivals
-            .iter()
-            .map(|&(_, t)| t)
-            .max()
-            .expect("non-empty");
+    /// Takes a preemptive checkpoint epoch at wall time `t`: every live
+    /// thread quiesces where it stands (mid-segment included), the epoch's
+    /// state is recorded, and in-flight work resumes delayed by the barrier
+    /// plus the slowest record. The cadence is the configured interval, not
+    /// the workload's segment boundaries.
+    ///
+    /// Returns `false` if the program can make no further progress (no
+    /// thread is computing and none can ever be woken): an ill-formed
+    /// deadlocked trace, reported DNC by the caller.
+    fn take_checkpoint(&mut self, t: u64) -> bool {
+        if !self.threads.iter().any(|t| t.phase == Phase::Running) {
+            return false;
+        }
         let mut max_record = 0;
         let mut epoch_bytes = 0u64;
-        for &(th, arrival) in &self.ckpt_arrivals {
-            let seg = &self.w.threads[th].segments[self.threads[th].seg_ix];
+        let mut recorded = 0u64;
+        for (th, state) in self.threads.iter().enumerate() {
+            if state.phase == Phase::Done {
+                continue;
+            }
+            let seg = &self.w.threads[th].segments[state.seg_ix];
             let cost = self.cfg.costs.ckpt_cost(seg.ckpt_bytes);
             max_record = max_record.max(cost);
             epoch_bytes += seg.ckpt_bytes;
             self.res.ckpt_cycles += cost;
-            self.res.barrier_wait_cycles += max_arrival - arrival;
             self.res.checkpoints += 1;
+            recorded += 1;
         }
         self.epochs += 1;
         if self.tel.enabled() {
             let m = &self.tel.metrics;
             m.cpr_barriers.inc();
             m.cpr_records.inc();
-            m.checkpoints.add(self.ckpt_arrivals.len() as u64);
+            m.checkpoints.add(recorded);
             m.checkpoint_bytes.add(epoch_bytes);
             m.checkpoint_size.record(epoch_bytes);
             self.tel
@@ -355,15 +359,19 @@ impl<'a> Free<'a> {
                 TraceEvent::CprRecord { epoch: self.epochs, bytes: epoch_bytes },
             );
         }
-        let release =
-            max_arrival + self.cfg.costs.cpr_barrier + max_record + self.cfg.costs.cpr_record;
+        let delay = self.cfg.costs.cpr_barrier + max_record + self.cfg.costs.cpr_record;
         self.res.ckpt_cycles += self.cfg.costs.cpr_record;
-        self.last_safe_wall = release + self.penalty;
-        self.next_ckpt = release + self.cfg.cpr.expect("cpr mode").interval_cycles;
-        let arrivals = std::mem::take(&mut self.ckpt_arrivals);
-        for (th, _) in arrivals {
-            self.exec_op(th, release);
+        // The quiesce stalls every in-flight completion for `delay`.
+        let pending: Vec<(u64, usize)> =
+            self.heap.drain().map(|Reverse(e)| e).collect();
+        for (when, th) in pending {
+            self.heap.push(Reverse((when + delay, th)));
         }
+        let release = t + delay;
+        self.last_safe_wall = release + self.penalty;
+        let next = release + self.cfg.cpr.expect("cpr mode").interval_cycles;
+        self.heap.push(Reverse((next, CKPT_EVENT)));
+        true
     }
 
     /// Executes the op closing `th`'s current segment at time `now`.
@@ -433,6 +441,9 @@ impl<'a> Free<'a> {
             self.schedule(th, 0);
             self.threads[th].seg_ix = 0;
         }
+        if let Some(cpr) = self.cfg.cpr {
+            self.heap.push(Reverse((cpr.interval_cycles, CKPT_EVENT)));
+        }
 
         while self.live > 0 {
             let Some(Reverse((t, th))) = self.heap.pop() else {
@@ -449,19 +460,15 @@ impl<'a> Free<'a> {
                 self.res.finish_cycles = self.cfg.time_cap_cycles;
                 return self.finish_result();
             }
-            if t >= self.next_ckpt {
-                self.threads[th].phase = Phase::CkptWait;
-                self.ckpt_arrivals.push((th, t));
-                if self.ckpt_release_ready() {
-                    self.release_ckpt();
+            if th == CKPT_EVENT {
+                if !self.take_checkpoint(t) {
+                    // Nothing is computing and nothing can wake: deadlock.
+                    self.res.finish_cycles = self.cfg.time_cap_cycles;
+                    return self.finish_result();
                 }
                 continue;
             }
             self.exec_op(th, t);
-            // A blocking op may have made a pending checkpoint releasable.
-            if !self.ckpt_arrivals.is_empty() && self.ckpt_release_ready() {
-                self.release_ckpt();
-            }
         }
 
         // Final drain: exceptions reported before the (penalty-extended)
@@ -608,34 +615,51 @@ mod tests {
     }
 
     #[test]
-    fn uneven_work_makes_checkpoint_barriers_expensive() {
-        // One long-segment thread forces every checkpoint to wait for it.
-        let mk = |long: u64| {
-            Workload::new(
-                "uneven",
-                vec![
+    fn checkpoint_cadence_is_interval_driven() {
+        // Segments three times longer than the checkpoint interval: the
+        // preemptive quiesce must still checkpoint at the interval cadence,
+        // not once per segment boundary (the old coupling capped coarse
+        // programs like RE at one checkpoint per ~1.8 s segment and made
+        // every rollback lose a whole segment).
+        // ~150 ms segments against a ~30 ms checkpoint interval.
+        let seg_work = secs_to_cycles(0.15);
+        let interval = secs_to_cycles(0.03);
+        let w = Workload::new(
+            "coarse",
+            (0..2)
+                .map(|i| {
                     spec(
-                        0,
-                        (0..40)
-                            .map(|_| Segment::new(long, SimOp::Atomic {
-                                atomic: gprs_core::ids::AtomicId::new(0),
-                            }))
+                        i,
+                        (0..10)
+                            .map(|_| {
+                                Segment::new(seg_work, SimOp::Atomic {
+                                    atomic: gprs_core::ids::AtomicId::new(i as u64),
+                                })
+                            })
                             .collect(),
-                    ),
-                    spec(
-                        1,
-                        (0..40)
-                            .map(|_| Segment::new(100_000, SimOp::Atomic {
-                                atomic: gprs_core::ids::AtomicId::new(1),
-                            }))
-                            .collect(),
-                    ),
-                ],
-            )
-        };
-        let even = run_free(&mk(100_000), &FreeRunConfig::cpr(2, 1_000_000));
-        let uneven = run_free(&mk(3_000_000), &FreeRunConfig::cpr(2, 1_000_000));
-        assert!(uneven.barrier_wait_cycles > even.barrier_wait_cycles);
+                    )
+                })
+                .collect(),
+        );
+        let r = run_free(&w, &FreeRunConfig::cpr(2, interval));
+        assert!(r.completed);
+        // ~1.5 s of work per thread: far more epochs than the 10 segment
+        // boundaries the old scheme was capped at.
+        let epochs = r.checkpoints / 2; // two records per epoch
+        assert!(epochs > 10, "interval-driven cadence, got {epochs} epochs");
+        // A rollback loses roughly interval + record + restore (~90 ms),
+        // never a whole segment: 8 exc/s survives, where the
+        // boundary-coupled scheme (losing an average half-segment plus the
+        // restore, ~130 ms per rollback at best) sat past its tipping rate.
+        let inj = InjectorConfig::paper(8.0, 2, crate::costs::CYCLES_PER_SEC).with_seed(11);
+        let f = run_free(
+            &w,
+            &FreeRunConfig::cpr(2, interval)
+                .with_exceptions(inj)
+                .with_time_cap(secs_to_cycles(600.0)),
+        );
+        assert!(f.completed, "{f}");
+        assert!(f.exceptions > 0);
     }
 
     #[test]

@@ -16,17 +16,27 @@
 //! successors, consumers of the data items it pushed (tracked by
 //! channel-item provenance, which is finer than the lock alias because the
 //! runtime manages its FIFOs and can undo a pop by returning the item to the
-//! front), and younger sub-threads sharing a lock or atomic alias. Squashed
-//! work is charged as re-execution time on the victimized threads only;
-//! unaffected sub-threads keep running, which is what makes the tipping rate
-//! scale with the context count.
+//! front), and younger sub-threads sharing a lock or atomic alias.
+//!
+//! Squashed entries are *removed* from the reorder list and their threads
+//! rewound to the opening point of their oldest squashed sub-thread, so the
+//! token loop re-issues the work as fresh grants that re-enter retirement in
+//! total order — exactly like REX in the real runtime. (An earlier version
+//! re-issued squashed entries in place, which left mid-list `Squashed`
+//! entries that could never re-complete, blocking retirement and diverging
+//! the retired-order determinism hash under fault injection.) Channel pushes
+//! and pops are undone youngest-first, and a rewind that crosses an
+//! already-consumed barrier arrival undoes that barrier release for every
+//! participant. Unaffected sub-threads keep running, which is what makes the
+//! tipping rate scale with the context count.
 
 use crate::costs::MechCosts;
 use crate::result::SimResult;
 use crate::workload::{SimOp, Workload};
 use gprs_core::exception::{ExceptionInjector, InjectorConfig};
-use gprs_core::ids::{BarrierId, ChannelId, LockId, SubThreadId, ThreadId};
+use gprs_core::ids::{BarrierId, ChannelId, LockId, ResourceId, SubThreadId, ThreadId};
 use gprs_core::order::{OrderEnforcer, ScheduleKind};
+use gprs_core::racecheck::{resource_code, OpenEdge, RaceDetector, RetireInfo};
 use gprs_core::rol::ReorderList;
 use gprs_core::subthread::{SubThread, SubThreadKind, SyncOp};
 use gprs_telemetry::{RetiredOrderHash, ScheduleHash, Telemetry, TelemetryConfig, TraceEvent};
@@ -63,6 +73,10 @@ pub struct GprsSimConfig {
     pub time_cap_cycles: u64,
     /// Telemetry recording (events, metrics, determinism hashes).
     pub telemetry: TelemetryConfig,
+    /// Happens-before race detection at retirement. When a race is found,
+    /// selective recovery escalates to basic scope for culprits on racy
+    /// threads (the hybrid policy of `§5b`).
+    pub racecheck: bool,
 }
 
 impl GprsSimConfig {
@@ -77,6 +91,7 @@ impl GprsSimConfig {
             exceptions: None,
             time_cap_cycles: u64::MAX / 4,
             telemetry: TelemetryConfig::default(),
+            racecheck: false,
         }
     }
 
@@ -119,6 +134,13 @@ impl GprsSimConfig {
         self.telemetry = telemetry;
         self
     }
+
+    /// Enables happens-before race detection (and hybrid recovery
+    /// escalation for racy threads).
+    pub fn with_racecheck(mut self, on: bool) -> Self {
+        self.racecheck = on;
+        self
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -127,8 +149,57 @@ struct Body {
     ctx: usize,
     start: u64,
     end: u64,
-    /// Computation span (excluding restore prefixes added by recovery).
-    span: u64,
+    /// Kind of the sub-thread this body belongs to.
+    kind: SubThreadKind,
+    /// Segment whose work forms this body — the rewind point on squash.
+    seg_ix: usize,
+}
+
+/// Where a rewound thread re-enters its trace after a squash. The sim
+/// re-executes squashed sub-threads as fresh grants (new sequence numbers),
+/// so recovery rewinds each affected thread to its oldest squashed
+/// sub-thread's opening point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rewind {
+    /// Re-issue the initial sub-thread.
+    Initial,
+    /// Re-request the closing op of segment `.0` (including re-arriving at
+    /// a barrier whose release was undone).
+    Op(usize),
+    /// Re-open the continuation of barrier `.0` with `op_ix = .1`; the
+    /// arrival stays consumed because the release still stands.
+    Resume(BarrierId, usize),
+}
+
+impl Rewind {
+    /// Index of the first op this rewind leaves pending.
+    fn op_ix(self) -> usize {
+        match self {
+            Rewind::Initial => 0,
+            Rewind::Op(i) => i,
+            Rewind::Resume(_, i) => i,
+        }
+    }
+
+    /// First segment index whose body is re-executed under this rewind.
+    fn reexec_start(self) -> usize {
+        match self {
+            Rewind::Initial => 0,
+            Rewind::Op(i) => i + 1,
+            Rewind::Resume(_, i) => i,
+        }
+    }
+
+    /// Whether this rewind re-enters the trace strictly earlier than
+    /// `other` (a forced re-arrival beats a resume of the same barrier).
+    fn precedes(self, other: Rewind) -> bool {
+        let rank = |r: Rewind| match r {
+            Rewind::Initial => 0u8,
+            Rewind::Op(_) => 1,
+            Rewind::Resume(..) => 2,
+        };
+        (self.reexec_start(), rank(self)) < (other.reexec_start(), rank(other))
+    }
 }
 
 #[derive(Debug)]
@@ -179,9 +250,18 @@ struct Gprs<'a> {
     chans: HashMap<ChannelId, VecDeque<SubThreadId>>,
     /// producer sub-thread -> consumer sub-threads of its pushed items.
     consumers: HashMap<SubThreadId, Vec<SubThreadId>>,
+    /// consumer sub-thread -> (channel, producer) of the item it popped;
+    /// recovery undoes the pop by returning the item to the front.
+    pop_sources: HashMap<SubThreadId, (ChannelId, SubThreadId)>,
     barrier_waiting: HashMap<BarrierId, Vec<usize>>,
     barrier_participants: HashMap<BarrierId, u32>,
+    /// Number of releases each barrier has performed; decremented when a
+    /// rewind undoes a release.
+    barrier_gen: HashMap<BarrierId, u64>,
     injector: Option<ExceptionInjector>,
+    /// Happens-before detector, driven at retirement (total order), so the
+    /// first race reported is deterministic across runs and context counts.
+    race: Option<RaceDetector>,
     latency: u64,
     token_time: u64,
     live: usize,
@@ -229,9 +309,12 @@ impl<'a> Gprs<'a> {
             locks: HashMap::new(),
             chans: HashMap::new(),
             consumers: HashMap::new(),
+            pop_sources: HashMap::new(),
             barrier_waiting: HashMap::new(),
             barrier_participants: w.barrier_participants().into_iter().collect(),
+            barrier_gen: HashMap::new(),
             injector,
+            race: cfg.racecheck.then(RaceDetector::new),
             latency,
             token_time: 0,
             live: w.threads.len(),
@@ -244,8 +327,13 @@ impl<'a> Gprs<'a> {
         }
     }
 
-    /// Seals the telemetry summary into the result (every exit path).
+    /// Seals the telemetry summary and race verdict into the result (every
+    /// exit path).
     fn finish_result(mut self) -> SimResult {
+        if let Some(d) = &self.race {
+            self.res.races = d.races();
+            self.res.first_race = d.first_race().cloned();
+        }
         let raw = std::mem::take(&mut self.raw_trace);
         self.res.telemetry = self.tel.summarize(&self.sched_hash, &self.retired_hash, raw);
         self.res
@@ -295,7 +383,6 @@ impl<'a> Gprs<'a> {
             self.locks.insert(l, start + cs);
         }
         let end = start + cs_work + seg.work;
-        let span = cs_work + seg.work;
         self.ctxs[ctx] = end;
 
         let (tid, bytes) = (spec.thread, seg.ckpt_bytes);
@@ -332,7 +419,8 @@ impl<'a> Gprs<'a> {
                 ctx,
                 start,
                 end,
-                span,
+                kind,
+                seg_ix: body_seg_ix,
             },
         );
         let t = &mut self.threads[th];
@@ -350,6 +438,9 @@ impl<'a> Gprs<'a> {
         for retired in self.rol.retire_ready() {
             self.retired_hash
                 .record(retired.thread().raw(), retired.descriptor.kind.tag());
+            if self.race.is_some() {
+                self.race_retire(&retired);
+            }
             if self.tel.enabled() {
                 self.tel.metrics.retired.inc();
                 let ctx = self.bodies.get(&retired.id()).map_or(EXTERNAL_RING, |b| b.ctx);
@@ -363,6 +454,7 @@ impl<'a> Gprs<'a> {
             }
             self.bodies.remove(&retired.id());
             self.consumers.remove(&retired.id());
+            self.pop_sources.remove(&retired.id());
         }
         self.res.rol_peak = self.res.rol_peak.max(self.rol.peak_occupancy());
         if self.tel.enabled() {
@@ -373,10 +465,102 @@ impl<'a> Gprs<'a> {
         }
     }
 
+    /// Feeds one retiring sub-thread to the happens-before detector,
+    /// translating trace-level structure into acquire/release edges. Runs in
+    /// retired (total) order, so race reports are deterministic across runs
+    /// and context counts.
+    fn race_retire(&mut self, entry: &gprs_core::rol::RolEntry) {
+        let id = entry.id();
+        let Some(body) = self.bodies.get(&id).copied() else {
+            return;
+        };
+        let spec = &self.w.threads[body.thread];
+        let open = match body.kind {
+            SubThreadKind::ChannelAccess => match spec.segments[body.seg_ix - 1].op {
+                SimOp::Push { chan } => Some(OpenEdge::ChanPush(chan)),
+                SimOp::Pop { chan } => Some(OpenEdge::ChanPop {
+                    chan,
+                    producer: self.pop_sources.get(&id).map(|&(_, p)| p),
+                }),
+                _ => None,
+            },
+            SubThreadKind::BarrierContinuation => {
+                let arrival = body.seg_ix - 1;
+                let SimOp::Barrier { barrier } = spec.segments[arrival].op else {
+                    unreachable!("a continuation follows its arrival op")
+                };
+                Some(OpenEdge::BarrierResume {
+                    barrier,
+                    gen: self.arrival_gen(body.thread, arrival, barrier),
+                })
+            }
+            // Lock and atomic acquire edges are covered by `sync_resources`.
+            _ => None,
+        };
+        let sync: Vec<ResourceId> = entry
+            .resources
+            .iter()
+            .copied()
+            .filter(|r| matches!(r, ResourceId::Lock(_) | ResourceId::Atomic(_)))
+            .collect();
+        let seg = &spec.segments[body.seg_ix];
+        let accesses: Vec<(ResourceId, gprs_core::racecheck::AccessKind)> = seg
+            .plain
+            .map(|(a, kind)| {
+                kind.accesses()
+                    .iter()
+                    .map(|&k| (ResourceId::Atomic(a), k))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let arrival = match seg.op {
+            SimOp::Barrier { barrier } => {
+                Some((barrier, self.arrival_gen(body.thread, body.seg_ix, barrier)))
+            }
+            _ => None,
+        };
+        let thread = spec.thread;
+        let detector = self.race.as_mut().expect("guarded by caller");
+        let races = detector.retire(RetireInfo {
+            id,
+            thread,
+            open,
+            sync_resources: &sync,
+            accesses: &accesses,
+            arrival,
+        });
+        if !races.is_empty() && self.tel.enabled() {
+            self.tel.metrics.races_detected.add(races.len() as u64);
+            for r in &races {
+                self.tel.record(
+                    body.ctx,
+                    TraceEvent::RaceDetected {
+                        subthread: r.current.subthread.raw(),
+                        prior: r.prior.subthread.raw(),
+                        resource: resource_code(r.resource),
+                    },
+                );
+            }
+        }
+    }
+
     /// The affected set of `culprit`: same-thread successors, consumers of
     /// its pushed items, and younger lock/atomic-alias sharers — closed
-    /// transitively.
+    /// transitively. When the culprit's thread has participated in a
+    /// detected data race, provenance-based selective scope is unsound
+    /// (racy plain accesses leave no alias trail), so recovery escalates to
+    /// basic scope for this session — the hybrid policy.
     fn affected_set(&self, culprit: SubThreadId) -> Vec<SubThreadId> {
+        let escalate = self.cfg.recovery == RecoveryScope::Selective
+            && self.race.as_ref().is_some_and(|d| {
+                self.bodies
+                    .get(&culprit)
+                    .is_some_and(|b| d.is_racy_thread(self.w.threads[b.thread].thread))
+            });
+        if escalate {
+            self.note_escalation(culprit);
+            return self.rol.squash_suffix(culprit);
+        }
         if self.cfg.recovery == RecoveryScope::Basic {
             return self.rol.squash_suffix(culprit);
         }
@@ -426,8 +610,172 @@ impl<'a> Gprs<'a> {
         affected.into_iter().collect()
     }
 
-    /// Drains exceptions reported up to `now`, charging selective-restart
-    /// re-execution penalties. Returns `false` on exceeding the time cap.
+    /// Records a hybrid Selective-to-Basic escalation in telemetry (the
+    /// counters are atomic, so this works from the `&self` scope pass).
+    fn note_escalation(&self, culprit: SubThreadId) {
+        if !self.tel.enabled() {
+            return;
+        }
+        self.tel.metrics.hybrid_escalations.inc();
+        let thread = self.bodies[&culprit].thread;
+        self.tel.record(
+            EXTERNAL_RING,
+            TraceEvent::HybridEscalation {
+                culprit: culprit.raw(),
+                thread: self.w.threads[thread].thread.raw(),
+            },
+        );
+    }
+
+    /// Which release of barrier `b` the arrival at segment `arrival_ix` of
+    /// thread `th` belongs to (each participant arrives once per release).
+    fn arrival_gen(&self, th: usize, arrival_ix: usize, b: BarrierId) -> u64 {
+        self.w.threads[th].segments[..arrival_ix]
+            .iter()
+            .filter(|s| matches!(s.op, SimOp::Barrier { barrier } if barrier == b))
+            .count() as u64
+    }
+
+    /// Segment index of thread `th`'s arrival for release `gen` of `b`.
+    fn nth_arrival_ix(&self, th: usize, b: BarrierId, gen: u64) -> usize {
+        let mut seen = 0u64;
+        for (i, s) in self.w.threads[th].segments.iter().enumerate() {
+            if matches!(s.op, SimOp::Barrier { barrier } if barrier == b) {
+                if seen == gen {
+                    return i;
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("a recorded release implies the arrival exists in the trace")
+    }
+
+    /// The rewind that re-issues squashed sub-thread `body`.
+    fn rewind_for(&self, body: &Body) -> Rewind {
+        match body.kind {
+            SubThreadKind::Initial => Rewind::Initial,
+            SubThreadKind::BarrierContinuation => {
+                let arrival = body.seg_ix - 1;
+                let SimOp::Barrier { barrier } = self.w.threads[body.thread].segments[arrival].op
+                else {
+                    unreachable!("a continuation follows its arrival op")
+                };
+                Rewind::Resume(barrier, body.seg_ix)
+            }
+            _ => Rewind::Op(body.seg_ix - 1),
+        }
+    }
+
+    /// Closes the squash set and derives per-thread rewind targets.
+    ///
+    /// Three closure rules iterate to a fixed point:
+    /// - each affected thread rewinds to its *oldest* squashed sub-thread,
+    ///   and everything at or past that re-entry point is re-executed, so it
+    ///   is swept into the squash set (nothing may retire twice);
+    /// - consumers of a squashed producer's items are squashed (their pops
+    ///   are undone by returning the item to the channel front);
+    /// - a rewind that crosses an already-consumed barrier arrival undoes
+    ///   that release (and every later one): all participants are forced
+    ///   back to their own arrival so the barrier re-synchronizes.
+    ///
+    /// Returns the squash set, the rewind targets, and the undone releases.
+    #[allow(clippy::type_complexity)]
+    fn plan_recovery(
+        &self,
+        affected: &[SubThreadId],
+    ) -> (
+        std::collections::BTreeSet<SubThreadId>,
+        BTreeMap<usize, Rewind>,
+        std::collections::BTreeSet<(BarrierId, u64)>,
+    ) {
+        let mut squash: std::collections::BTreeSet<SubThreadId> =
+            affected.iter().copied().collect();
+        let mut targets: BTreeMap<usize, Rewind> = BTreeMap::new();
+        let mut undone: std::collections::BTreeSet<(BarrierId, u64)> =
+            std::collections::BTreeSet::new();
+        loop {
+            let mut changed = false;
+            // Oldest squashed sub-thread per thread decides the rewind.
+            for &sid in &squash {
+                let body = &self.bodies[&sid];
+                let r = self.rewind_for(body);
+                let better = match targets.get(&body.thread) {
+                    Some(&cur) => r.precedes(cur),
+                    None => true,
+                };
+                if better {
+                    targets.insert(body.thread, r);
+                    changed = true;
+                }
+            }
+            // Everything the rewind re-executes must be squashed.
+            for (&th, &tgt) in &targets {
+                for (&sid, body) in &self.bodies {
+                    if body.thread == th
+                        && body.seg_ix >= tgt.reexec_start()
+                        && squash.insert(sid)
+                    {
+                        changed = true;
+                    }
+                }
+            }
+            // Consumers of squashed producers are squashed too.
+            for sid in squash.clone() {
+                if let Some(cs) = self.consumers.get(&sid) {
+                    for &c in cs {
+                        if self.rol.contains(c) && squash.insert(c) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            // Crossing a consumed arrival undoes its (and every later)
+            // release of that barrier for all participants.
+            let snapshot: Vec<(usize, Rewind)> =
+                targets.iter().map(|(&t, &r)| (t, r)).collect();
+            for (th, tgt) in snapshot {
+                let to = self.threads[th].op_ix;
+                let segs = &self.w.threads[th].segments;
+                for (a, s) in segs.iter().enumerate().take(to).skip(tgt.op_ix()) {
+                    let SimOp::Barrier { barrier } = s.op else { continue };
+                    let first = self.arrival_gen(th, a, barrier);
+                    let released = self.barrier_gen.get(&barrier).copied().unwrap_or(0);
+                    for g in first..released {
+                        if !undone.insert((barrier, g)) {
+                            continue;
+                        }
+                        changed = true;
+                        for m in 0..self.w.threads.len() {
+                            let participates = self.w.threads[m]
+                                .segments
+                                .iter()
+                                .any(|s| matches!(s.op, SimOp::Barrier { barrier: b } if b == barrier));
+                            if !participates {
+                                continue;
+                            }
+                            let forced = Rewind::Op(self.nth_arrival_ix(m, barrier, g));
+                            let better = match targets.get(&m) {
+                                Some(&cur) => forced.precedes(cur),
+                                None => true,
+                            };
+                            if better {
+                                targets.insert(m, forced);
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        (squash, targets, undone)
+    }
+
+    /// Drains exceptions reported up to `now`, squashing the affected set
+    /// out of the reorder list and rewinding the victimized threads so the
+    /// token loop re-executes the work as fresh grants. Returns `false` on
+    /// exceeding the time cap.
     fn drain_exceptions(&mut self, now: u64) -> bool {
         let latency = self.latency;
         let pending = {
@@ -472,56 +820,107 @@ impl<'a> Gprs<'a> {
                 self.tel
                     .record(victim, TraceEvent::RecoveryBegin { culprit: culprit.raw() });
             }
-            let mut thread_delta: BTreeMap<usize, u64> = BTreeMap::new();
-            // The REX pause + state reinstatement happens once per
-            // exception; per-sub-thread restores are comparatively cheap.
-            let mut session_restore = self.cfg.costs.gprs_restore;
-            for sid in &affected {
-                self.rol.mark_squashed(*sid).expect("affected in ROL");
-                let body = self.bodies.get_mut(sid).expect("affected body");
-                // Work actually redone: what executed since the (re)start
-                // point, plus the restore wait. The body is re-issued at
-                // the report time with the restore prefix *inside* its
-                // window, so an exception striking during the recovery
-                // itself re-triggers recovery (it is not silently ignored).
+            let (squash, targets, undone) = self.plan_recovery(&affected);
+            let culprit_th = self.bodies[&culprit].thread;
+            // Remove squashed entries youngest-first, undoing channel
+            // effects: a squashed pop returns the item to the channel
+            // front, a squashed push withdraws its item. The entries leave
+            // the reorder list entirely — their re-executions are fresh
+            // grants that re-enter retirement in total order.
+            for &sid in squash.iter().rev() {
+                let body = self.bodies.remove(&sid).expect("squashed entries are live");
                 let executed = report.min(body.end).saturating_sub(body.start);
-                let restore = self.cfg.costs.restore_wait + session_restore;
-                session_restore = 0;
-                let delta = executed.min(body.span + restore) + restore;
-                body.start = report;
-                body.end = report + restore + body.span;
-                let ctx = body.ctx;
-                let end = body.end;
-                let thread = body.thread;
-                self.ctxs[ctx] = self.ctxs[ctx].max(end);
-                *thread_delta.entry(thread).or_insert(0) += delta;
                 self.res.squashed += 1;
-                self.res.redo_cycles += delta;
+                self.res.redo_cycles += executed;
+                if let Some((chan, producer)) = self.pop_sources.remove(&sid) {
+                    self.chans.entry(chan).or_default().push_front(producer);
+                }
+                if body.kind == SubThreadKind::ChannelAccess {
+                    if let SimOp::Push { chan } =
+                        self.w.threads[body.thread].segments[body.seg_ix - 1].op
+                    {
+                        if let Some(q) = self.chans.get_mut(&chan) {
+                            if let Some(p) = q.iter().position(|&x| x == sid) {
+                                q.remove(p);
+                            }
+                        }
+                    }
+                }
+                self.rol.mark_squashed(sid).expect("squashed in ROL");
+                self.rol.remove_squashed(sid).expect("just marked squashed");
+                self.consumers.remove(&sid);
+                if let Some(d) = self.race.as_mut() {
+                    d.forget_subthread(sid);
+                }
                 if self.tel.enabled() {
                     self.tel.metrics.squashed.inc();
                     self.tel.record(
-                        ctx,
+                        body.ctx,
                         TraceEvent::Squash {
                             subthread: sid.raw(),
-                            thread: self.w.threads[thread].thread.raw(),
+                            thread: self.w.threads[body.thread].thread.raw(),
                         },
                     );
                 }
             }
-            if self.tel.enabled() {
-                self.tel
-                    .metrics
-                    .squashed_per_recovery
-                    .record(affected.len() as u64);
-                self.tel.record(
-                    victim,
-                    TraceEvent::RecoveryEnd {
-                        culprit: culprit.raw(),
-                        squashed: affected.len() as u64,
-                    },
-                );
+            for list in self.consumers.values_mut() {
+                list.retain(|c| !squash.contains(c));
             }
-            for (th, delta) in thread_delta {
+            // Retract undone barrier releases; every participant was forced
+            // back to its own arrival, so the barrier re-synchronizes.
+            for &(b, g) in &undone {
+                let e = self.barrier_gen.entry(b).or_insert(g);
+                if g < *e {
+                    *e = g;
+                }
+            }
+            // Rewind the victimized threads: they re-request at the report
+            // time plus the restore wait (the culprit's thread additionally
+            // pays the REX pause + state-reinstatement cost, once).
+            for (&th, &tgt) in &targets {
+                let was_waiting = self.threads[th].in_barrier;
+                let was_done = self.threads[th].done;
+                if was_waiting {
+                    for q in self.barrier_waiting.values_mut() {
+                        q.retain(|&x| x != th);
+                    }
+                }
+                let restore = self.cfg.costs.restore_wait
+                    + if th == culprit_th {
+                        self.cfg.costs.gprs_restore
+                    } else {
+                        0
+                    };
+                let t = &mut self.threads[th];
+                t.current_st = None;
+                t.in_barrier = false;
+                t.done = false;
+                match tgt {
+                    Rewind::Initial => {
+                        t.started = false;
+                        t.op_ix = 0;
+                        t.resume_barrier = None;
+                    }
+                    Rewind::Op(i) => {
+                        t.op_ix = i;
+                        t.resume_barrier = None;
+                    }
+                    Rewind::Resume(b, i) => {
+                        t.op_ix = i;
+                        t.resume_barrier = Some(b);
+                    }
+                }
+                t.request_at = report + restore;
+                self.res.redo_cycles += restore;
+                if was_done {
+                    self.live += 1;
+                }
+                if was_waiting || was_done {
+                    let spec = &self.w.threads[th];
+                    self.enforcer
+                        .register_thread(spec.thread, spec.group, spec.weight)
+                        .expect("was deregistered");
+                }
                 if self.tel.enabled() {
                     self.tel.metrics.restarts.inc();
                     self.tel.record(
@@ -529,10 +928,19 @@ impl<'a> Gprs<'a> {
                         TraceEvent::Restart { thread: self.w.threads[th].thread.raw() },
                     );
                 }
-                let t = &mut self.threads[th];
-                if !t.done && !t.in_barrier {
-                    t.request_at = t.request_at.saturating_add(delta);
-                }
+            }
+            if self.tel.enabled() {
+                self.tel
+                    .metrics
+                    .squashed_per_recovery
+                    .record(squash.len() as u64);
+                self.tel.record(
+                    victim,
+                    TraceEvent::RecoveryEnd {
+                        culprit: culprit.raw(),
+                        squashed: squash.len() as u64,
+                    },
+                );
             }
             if now > self.cfg.time_cap_cycles {
                 return false;
@@ -541,14 +949,16 @@ impl<'a> Gprs<'a> {
         true
     }
 
-    fn run(mut self) -> SimResult {
-        let poll_cost = self.cfg.costs.poll.max(1);
+    /// Runs the token loop until every live thread has consumed its `End`
+    /// op. Returns `false` on a DNC (time cap or ill-formed deadlock), with
+    /// `res.finish_cycles` already set.
+    fn token_loop(&mut self, poll_cost: u64) -> bool {
         while self.live > 0 {
             let Some(holder) = self.enforcer.holder() else {
                 // Everyone deregistered (barrier deadlock in an ill-formed
                 // trace): DNC.
                 self.res.finish_cycles = self.cfg.time_cap_cycles;
-                return self.finish_result();
+                return false;
             };
             let th = holder.raw() as usize;
             if self.threads[th].done {
@@ -559,14 +969,14 @@ impl<'a> Gprs<'a> {
             let now = self.token_time.max(req);
             if now > self.cfg.time_cap_cycles {
                 self.res.finish_cycles = self.cfg.time_cap_cycles;
-                return self.finish_result();
+                return false;
             }
             if !self.drain_exceptions(now) {
                 self.res.finish_cycles = self.cfg.time_cap_cycles;
-                return self.finish_result();
+                return false;
             }
-            if self.threads[th].request_at > req {
-                // Recovery pushed the holder's arrival; re-evaluate.
+            if self.threads[th].request_at != req {
+                // Recovery rewound or delayed the holder; re-evaluate.
                 continue;
             }
 
@@ -670,6 +1080,7 @@ impl<'a> Gprs<'a> {
                     if self.rol.contains(producer) {
                         self.consumers.entry(producer).or_default().push(stid);
                     }
+                    self.pop_sources.insert(stid, (chan, producer));
                     self.threads[th].op_ix = op_ix + 1;
                     self.spawn_subthread(
                         th,
@@ -692,6 +1103,7 @@ impl<'a> Gprs<'a> {
                         let mut batch =
                             std::mem::take(self.barrier_waiting.get_mut(&barrier).unwrap());
                         batch.sort_unstable();
+                        *self.barrier_gen.entry(barrier).or_insert(0) += 1;
                         for wth in batch {
                             let spec = &self.w.threads[wth];
                             self.enforcer
@@ -712,30 +1124,46 @@ impl<'a> Gprs<'a> {
                 }
             }
         }
+        true
+    }
 
-        // Final drain: exceptions reported before the finish time still
-        // trigger recovery, and each recovery can extend the finish time
-        // (context busy times grow), admitting further exceptions — iterate
-        // to the fixed point.
-        let mut finish = self
-            .finish
-            .max(self.ctxs.iter().copied().max().unwrap_or(0));
+    fn run(mut self) -> SimResult {
+        let poll_cost = self.cfg.costs.poll.max(1);
         loop {
-            if finish > self.cfg.time_cap_cycles || !self.drain_exceptions(finish) {
-                self.res.finish_cycles = self.cfg.time_cap_cycles;
+            if !self.token_loop(poll_cost) {
                 return self.finish_result();
             }
-            let new_finish = self
+            // Final drain: exceptions reported before the finish time still
+            // trigger recovery, and each recovery can extend the finish time
+            // (context busy times grow) or even revive a finished thread —
+            // iterate to the fixed point, re-entering the token loop when a
+            // recovery rewound a thread past its `End`.
+            let mut finish = self
                 .finish
                 .max(self.ctxs.iter().copied().max().unwrap_or(0));
-            if new_finish == finish {
-                break;
+            loop {
+                if finish > self.cfg.time_cap_cycles || !self.drain_exceptions(finish) {
+                    self.res.finish_cycles = self.cfg.time_cap_cycles;
+                    return self.finish_result();
+                }
+                if self.live > 0 {
+                    break;
+                }
+                let new_finish = self
+                    .finish
+                    .max(self.ctxs.iter().copied().max().unwrap_or(0));
+                if new_finish == finish {
+                    break;
+                }
+                finish = new_finish;
             }
-            finish = new_finish;
+            if self.live > 0 {
+                continue;
+            }
+            self.res.completed = true;
+            self.res.finish_cycles = finish;
+            return self.finish_result();
         }
-        self.res.completed = true;
-        self.res.finish_cycles = finish;
-        self.finish_result()
     }
 }
 
@@ -960,6 +1388,110 @@ mod tests {
         );
         assert!(!cpr.completed, "CPR should tip at 8 exc/s: {cpr}");
         assert!(gprs.completed, "GPRS should survive: {gprs}");
+    }
+
+    #[test]
+    fn retired_hash_converges_under_injection() {
+        // Squashed sub-threads leave the ROL and re-execute as fresh grants,
+        // so a fault-injected run must retire the same per-thread order —
+        // and therefore the same retired-order hash — as the clean run.
+        let w = pipeline(40, 3, 2_000_000, 20_000_000);
+        let clean = run_gprs(&w, &GprsSimConfig::balance_aware(4));
+        assert!(clean.completed);
+        for seed in [5u64, 23, 91] {
+            let inj = InjectorConfig::paper(6.0, 4, CYCLES_PER_SEC).with_seed(seed);
+            let f = run_gprs(
+                &w,
+                &GprsSimConfig::balance_aware(4)
+                    .with_exceptions(inj)
+                    .with_time_cap(secs_to_cycles(600.0)),
+            );
+            assert!(f.completed, "seed {seed}: {f}");
+            assert_eq!(
+                f.telemetry.retired_hash, clean.telemetry.retired_hash,
+                "seed {seed}: injected run must converge to the clean retired order"
+            );
+            assert_eq!(f.telemetry.retired_count, clean.telemetry.retired_count);
+        }
+    }
+
+    #[test]
+    fn barrier_release_undo_converges() {
+        // Threads 0-2 iterate atomic+barrier rounds with schedule weight 3,
+        // so each token cycle completes a whole barrier generation; thread 3
+        // (weight 1) opens one long atomic body that stays in flight across
+        // several *released* generations, blocking retirement the whole
+        // while. An exception in the long body taints the shared atomic
+        // alias, squashing threads 0 and 1 back past a consumed arrival —
+        // recovery must undo the crossed release and force thread 2
+        // (untainted, so not otherwise rewound) back to its own arrival.
+        // Without the release undo, threads 0 and 1 would re-arrive at a
+        // generation thread 2 has already passed and the run would deadlock
+        // into a DNC.
+        let a = gprs_core::ids::AtomicId::new(0);
+        let c = gprs_core::ids::AtomicId::new(1);
+        let b = BarrierId::new(0);
+        let mut threads = Vec::new();
+        for i in 0..3u32 {
+            let atomic = if i < 2 { a } else { c };
+            let mut segs: Vec<Segment> = (0..30)
+                .flat_map(|_| {
+                    [
+                        Segment::new(100_000, SimOp::Atomic { atomic }),
+                        Segment::new(50_000, SimOp::Barrier { barrier: b }),
+                    ]
+                })
+                .collect();
+            segs.push(Segment::new(100_000, SimOp::End));
+            threads.push(spec(i, i, 3, segs));
+        }
+        threads.push(spec(
+            3,
+            3,
+            1,
+            vec![
+                Segment::new(100_000, SimOp::Atomic { atomic: a }),
+                Segment::new(20_000_000, SimOp::Atomic { atomic: a }),
+                Segment::new(100_000, SimOp::End),
+            ],
+        ));
+        let w = Workload::new("straggler-bar", threads);
+        let clean = run_gprs(&w, &GprsSimConfig::weighted(4));
+        assert!(clean.completed);
+        let mut squashed_total = 0;
+        for seed in [1u64, 7, 40] {
+            let inj = InjectorConfig::paper(500.0, 4, CYCLES_PER_SEC).with_seed(seed);
+            let f = run_gprs(
+                &w,
+                &GprsSimConfig::weighted(4)
+                    .with_exceptions(inj)
+                    .with_time_cap(secs_to_cycles(600.0)),
+            );
+            assert!(f.completed, "seed {seed}: {f}");
+            squashed_total += f.squashed;
+            assert_eq!(
+                f.telemetry.retired_hash, clean.telemetry.retired_hash,
+                "seed {seed}: barrier recovery must converge"
+            );
+            assert_eq!(f.telemetry.retired_count, clean.telemetry.retired_count);
+        }
+        assert!(squashed_total > 0, "injection must actually squash work");
+    }
+
+    #[test]
+    fn recovery_is_reproducible() {
+        // Same seed, same workload: the entire injected run — including
+        // which sub-threads squash and the recovered schedule — replays
+        // identically.
+        let w = pipeline(40, 3, 2_000_000, 20_000_000);
+        let inj = InjectorConfig::paper(6.0, 4, CYCLES_PER_SEC).with_seed(23);
+        let cfg = GprsSimConfig::balance_aware(4)
+            .with_exceptions(inj)
+            .with_time_cap(secs_to_cycles(600.0));
+        let a = run_gprs(&w, &cfg);
+        let b = run_gprs(&w, &cfg);
+        assert!(a.completed);
+        assert_eq!(a, b);
     }
 
     #[test]

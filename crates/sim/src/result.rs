@@ -1,6 +1,7 @@
 //! Simulation outcome and statistics.
 
 use crate::costs::cycles_to_secs;
+use gprs_core::racecheck::Race;
 use gprs_telemetry::TelemetrySummary;
 use std::fmt;
 
@@ -47,6 +48,11 @@ pub struct SimResult {
     /// summary — including event sequence numbers — is fully deterministic
     /// and participates in `PartialEq` determinism comparisons.
     pub telemetry: TelemetrySummary,
+    /// Data races flagged by the happens-before detector
+    /// (`GprsSimConfig::with_racecheck`; 0 when the detector is off).
+    pub races: u64,
+    /// The first race in retired order, when the detector found one.
+    pub first_race: Option<Race>,
 }
 
 impl SimResult {
@@ -69,6 +75,8 @@ impl SimResult {
             redo_cycles: 0,
             rol_peak: 0,
             telemetry: TelemetrySummary::default(),
+            races: 0,
+            first_race: None,
         }
     }
 

@@ -42,17 +42,41 @@ impl TippingScheme {
 }
 
 /// Result of a tipping search.
+///
+/// The pair is a verified bracket in the common case: `completes_at` is a
+/// rate at which the run was observed to complete and `fails_at` one at which
+/// it was observed to fail. Two degenerate outcomes are represented
+/// explicitly rather than by an untested pair:
+///
+/// - never tipped up to the search cap → `fails_at` is infinite;
+/// - failed even at vanishing rates → `completes_at` is `0.0`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TippingPoint {
-    /// Highest tested rate (exceptions/sec) at which the run completed.
+    /// Highest tested rate (exceptions/sec) at which the run completed, or
+    /// `0.0` if no tested rate completed.
     pub completes_at: f64,
-    /// Lowest tested rate at which it did not.
+    /// Lowest tested rate at which it did not complete, or infinity if every
+    /// tested rate completed.
     pub fails_at: f64,
 }
 
 impl TippingPoint {
+    /// Whether both bounds were observed (neither degenerate outcome).
+    pub fn is_bracketed(&self) -> bool {
+        self.completes_at > 0.0 && self.fails_at.is_finite()
+    }
+
     /// Midpoint estimate of the tipping rate.
+    ///
+    /// For an untippable scheme (`fails_at` infinite) this returns the
+    /// highest verified completing rate — a lower bound — instead of
+    /// averaging an unbracketed pair into infinity. For a scheme that failed
+    /// at every tested rate it returns the midpoint of `[0, fails_at]`,
+    /// which collapses toward zero with the bracket.
     pub fn estimate(&self) -> f64 {
+        if self.fails_at.is_infinite() {
+            return self.completes_at;
+        }
         0.5 * (self.completes_at + self.fails_at)
     }
 }
@@ -88,8 +112,24 @@ pub fn find_tipping_rate(
             }
         }
     } else {
+        // Bracket downward: find a rate that actually completes, so the
+        // bisection never reports an untested `completes_at`.
         hi = lo;
-        lo = 0.0;
+        lo *= 0.5;
+        let mut guard = 0;
+        while !scheme.completes(workload, lo, seed) {
+            hi = lo;
+            lo *= 0.5;
+            guard += 1;
+            if guard > 40 {
+                // Fails even at vanishing rates: the scheme cannot complete
+                // this workload at all; its tipping rate is effectively zero.
+                return TippingPoint {
+                    completes_at: 0.0,
+                    fails_at: hi,
+                };
+            }
+        }
     }
     // Bisect.
     while hi - lo > tolerance * hi.max(1e-9) {
@@ -178,6 +218,56 @@ mod tests {
             "GPRS tipping should scale: {} -> {}",
             g4.estimate(),
             g8.estimate()
+        );
+    }
+
+    #[test]
+    fn untippable_scheme_reports_finite_lower_bound() {
+        // A run that finishes well inside the 400k-cycle detection latency
+        // never sees a delivered exception, so it completes at every rate
+        // and the upward bracket runs into the search cap.
+        let w = workload(1, 1, 1_000);
+        let tp = find_tipping_rate(
+            &w,
+            &TippingScheme::Gprs(
+                GprsSimConfig::balance_aware(1).with_time_cap(secs_to_cycles(10.0)),
+            ),
+            0.5,
+            0.2,
+            11,
+        );
+        assert!(tp.fails_at.is_infinite(), "never tipped: {tp:?}");
+        assert!(!tp.is_bracketed());
+        assert!(
+            tp.estimate().is_finite() && tp.estimate() >= 0.5,
+            "estimate must be the verified lower bound, got {}",
+            tp.estimate()
+        );
+    }
+
+    #[test]
+    fn always_failing_scheme_reports_zero_tipping() {
+        // Time cap below the exception-free completion time: the scheme
+        // fails at every rate, including vanishing ones, so the downward
+        // bracket must bottom out at a coherent zero instead of bisecting
+        // against an untested completes_at.
+        let w = workload(2, 20, secs_to_cycles(0.05));
+        let tp = find_tipping_rate(
+            &w,
+            &TippingScheme::Cpr(
+                FreeRunConfig::cpr(2, secs_to_cycles(0.5)).with_time_cap(secs_to_cycles(0.01)),
+            ),
+            4.0,
+            0.25,
+            7,
+        );
+        assert_eq!(tp.completes_at, 0.0, "nothing completed: {tp:?}");
+        assert!(tp.fails_at.is_finite() && tp.fails_at > 0.0);
+        assert!(!tp.is_bracketed());
+        assert!(
+            tp.estimate() < 1e-9,
+            "estimate must collapse toward zero, got {}",
+            tp.estimate()
         );
     }
 

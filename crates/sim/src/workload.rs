@@ -7,8 +7,31 @@
 //! are generated in this vocabulary by `gprs-workloads`.
 
 use gprs_core::ids::{AtomicId, BarrierId, ChannelId, GroupId, LockId, ThreadId};
+use gprs_core::racecheck::AccessKind;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// How a segment's body touches a shared cell *without* synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlainKind {
+    /// A plain load.
+    Read,
+    /// A plain store.
+    Write,
+    /// A plain load followed by a plain store (a racy read-modify-write).
+    Update,
+}
+
+impl PlainKind {
+    /// The access sequence this pattern performs, in program order.
+    pub fn accesses(self) -> &'static [AccessKind] {
+        match self {
+            PlainKind::Read => &[AccessKind::Read],
+            PlainKind::Write => &[AccessKind::Write],
+            PlainKind::Update => &[AccessKind::Read, AccessKind::Write],
+        }
+    }
+}
 
 /// The synchronization operation closing a segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +93,10 @@ pub struct Segment {
     /// Application-level checkpoint (mod-set) size in bytes for the
     /// sub-thread this segment opens — drives the recording cost `t_s`.
     pub ckpt_bytes: u64,
+    /// An unsynchronized access to a shared cell performed by this
+    /// segment's body (the data-race hazard the racecheck subsystem
+    /// detects). `None` for well-synchronized segments.
+    pub plain: Option<(AtomicId, PlainKind)>,
 }
 
 impl Segment {
@@ -80,12 +107,20 @@ impl Segment {
             work,
             op,
             ckpt_bytes: 256,
+            plain: None,
         }
     }
 
     /// Sets the checkpointed mod-set size.
     pub fn with_ckpt_bytes(mut self, bytes: u64) -> Self {
         self.ckpt_bytes = bytes;
+        self
+    }
+
+    /// Marks this segment's body as performing an unsynchronized access to
+    /// the shared cell aliased by `atomic`.
+    pub fn with_plain(mut self, atomic: AtomicId, kind: PlainKind) -> Self {
+        self.plain = Some((atomic, kind));
         self
     }
 

@@ -53,6 +53,14 @@ pub enum TraceEvent {
     CprRecord { epoch: u64, bytes: u64 },
     /// Coordinated CPR: execution rolled back to the checkpoint.
     CprRestore { epoch: u64 },
+    /// The happens-before race detector flagged two unordered plain
+    /// accesses at `subthread`'s retirement; `prior` is the earlier access's
+    /// sub-thread and `resource` the tag-packed cell alias (see
+    /// `gprs_core::racecheck::resource_code`).
+    RaceDetected { subthread: u64, prior: u64, resource: u64 },
+    /// Recovery widened a selective restart to a basic (suffix) restart
+    /// because `culprit`'s thread participated in a detected race.
+    HybridEscalation { culprit: u64, thread: u32 },
 }
 
 impl TraceEvent {
@@ -73,6 +81,8 @@ impl TraceEvent {
             TraceEvent::CprBarrier { .. } => "cpr_barrier",
             TraceEvent::CprRecord { .. } => "cpr_record",
             TraceEvent::CprRestore { .. } => "cpr_restore",
+            TraceEvent::RaceDetected { .. } => "race_detected",
+            TraceEvent::HybridEscalation { .. } => "hybrid_escalation",
         }
     }
 
@@ -109,6 +119,14 @@ impl TraceEvent {
             }
             TraceEvent::CprRecord { epoch, bytes } => {
                 vec![("epoch", epoch), ("bytes", bytes)]
+            }
+            TraceEvent::RaceDetected { subthread, prior, resource } => vec![
+                ("subthread", subthread),
+                ("prior", prior),
+                ("resource", resource),
+            ],
+            TraceEvent::HybridEscalation { culprit, thread } => {
+                vec![("culprit", culprit), ("thread", thread as u64)]
             }
         }
     }

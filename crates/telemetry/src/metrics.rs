@@ -153,6 +153,11 @@ pub struct Metrics {
     pub cpr_records: Counter,
     /// CPR rollbacks.
     pub cpr_restores: Counter,
+    /// Data races flagged by the happens-before detector.
+    pub races_detected: Counter,
+    /// Selective restarts widened to basic because the culprit's thread
+    /// participated in a detected race.
+    pub hybrid_escalations: Counter,
     /// Sub-threads squashed per recovery session.
     pub squashed_per_recovery: Histogram,
     /// Recovery-session wall time in nanoseconds (runtime) or cycles
@@ -183,6 +188,8 @@ impl Metrics {
             ("cpr_barriers", self.cpr_barriers.get()),
             ("cpr_records", self.cpr_records.get()),
             ("cpr_restores", self.cpr_restores.get()),
+            ("races_detected", self.races_detected.get()),
+            ("hybrid_escalations", self.hybrid_escalations.get()),
         ]
     }
 

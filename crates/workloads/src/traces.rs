@@ -21,7 +21,7 @@
 
 use gprs_core::ids::{AtomicId, BarrierId, ChannelId, GroupId, LockId, ThreadId};
 use gprs_sim::costs::secs_to_cycles;
-use gprs_sim::workload::{Segment, SimOp, ThreadSpec, Workload};
+use gprs_sim::workload::{PlainKind, Segment, SimOp, ThreadSpec, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -298,6 +298,44 @@ pub fn histogram(p: &TraceParams) -> Workload {
         1_048_576, // checkpoints relatively large data (bin arrays)
         0x4157,
         p,
+    )
+}
+
+/// Histogram with a seeded synchronization bug: every worker counts its
+/// processed pieces in a shared progress cell with a plain read-modify-write
+/// instead of an atomic — the data race `gprs_core::racecheck` detects.
+/// Sub-thread boundaries come from each worker's *private* progress atomic
+/// (`AtomicId(1 + i)`), which creates no cross-thread happens-before edges,
+/// so every cross-thread pair of updates races; the final merge happens
+/// under a shared mutex, safely, after the damage is done. The racy cell
+/// aliases `AtomicId(0)` — the same id the runtime-level
+/// `build_racy_histogram` registers first — so the deterministic first-race
+/// report names the same resource in both engines.
+pub fn histogram_racy(p: &TraceParams) -> Workload {
+    let threads = p.contexts.max(2) as usize;
+    let pieces = 4usize;
+    let total_cpu_secs = 0.22 * 24.0;
+    let piece = p.cycles(total_cpu_secs / threads as f64 / pieces as f64);
+    let racy = AtomicId::new(0);
+    let merge = LockId::new(0);
+    Workload::new(
+        "histogram-racy",
+        (0..threads)
+            .map(|i| {
+                let private = AtomicId::new(1 + i as u64);
+                let mut segs: Vec<Segment> = (0..pieces)
+                    .map(|_| {
+                        Segment::new(piece, SimOp::Atomic { atomic: private })
+                            .with_plain(racy, PlainKind::Update)
+                    })
+                    .collect();
+                segs.push(Segment::new(0, SimOp::Lock {
+                    lock: merge,
+                    cs_work: piece / 8,
+                }));
+                ThreadSpec::new(ThreadId::new(i as u32), GroupId::new(0), 1, segs)
+            })
+            .collect(),
     )
 }
 
@@ -704,6 +742,7 @@ pub fn build(name: &str, p: &TraceParams) -> Workload {
         "canneal" => canneal(p),
         "swaptions" => swaptions(p),
         "histogram" => histogram(p),
+        "histogram-racy" => histogram_racy(p),
         "pbzip2" => pbzip2(p),
         "dedup" => dedup(p),
         "re" => re(p),

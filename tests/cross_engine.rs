@@ -161,6 +161,63 @@ fn retired_hash_converges_after_recovery() {
     assert_eq!(report.file_contents(file.index()), clean.1.as_slice());
 }
 
+/// The simulator engines make the same convergence promise as the runtime
+/// (`retired_hash_converges_after_recovery` above): an exception-injected
+/// sim run re-enters retirement in total order, so it converges to the
+/// clean run's retired-order hash under both recovery scopes. The
+/// checkpointing engine has no reorder list at all — its retired digest is
+/// the empty hash whether or not exceptions strike, injected runs included.
+#[test]
+fn sim_retired_hash_converges_after_recovery() {
+    use gprs_core::exception::InjectorConfig;
+    use gprs_sim::gprs::RecoveryScope;
+    use gprs_sim::{secs_to_cycles, CYCLES_PER_SEC};
+
+    let cap = secs_to_cycles(600.0);
+    let mut squashed = 0;
+    for name in ["pbzip2", "barnes-hut"] {
+        let w = build(name, &TraceParams::paper().scaled(0.01));
+        let clean = run_gprs(&w, &GprsSimConfig::balance_aware(8));
+        assert!(clean.completed, "{name}");
+        for scope in [RecoveryScope::Selective, RecoveryScope::Basic] {
+            for seed in [3u64, 17] {
+                let inj = InjectorConfig::paper(6.0, 8, CYCLES_PER_SEC).with_seed(seed);
+                let f = run_gprs(
+                    &w,
+                    &GprsSimConfig::balance_aware(8)
+                        .with_recovery(scope)
+                        .with_exceptions(inj)
+                        .with_time_cap(cap),
+                );
+                assert!(f.completed, "{name} {scope:?} seed {seed}: {f}");
+                squashed += f.squashed;
+                assert_eq!(
+                    f.telemetry.retired_hash, clean.telemetry.retired_hash,
+                    "{name} {scope:?} seed {seed}: retired order must converge"
+                );
+                assert_eq!(
+                    f.telemetry.retired_count, clean.telemetry.retired_count,
+                    "{name} {scope:?} seed {seed}"
+                );
+            }
+        }
+    }
+    assert!(squashed > 0, "injection must actually squash some work");
+
+    let w = build("pbzip2", &TraceParams::paper().scaled(0.01));
+    let interval = secs_to_cycles(1.0);
+    let clean = run_free(&w, &FreeRunConfig::cpr(8, interval));
+    let inj = InjectorConfig::paper(4.0, 8, CYCLES_PER_SEC).with_seed(3);
+    let f = run_free(
+        &w,
+        &FreeRunConfig::cpr(8, interval)
+            .with_exceptions(inj)
+            .with_time_cap(cap),
+    );
+    assert!(f.completed, "{f}");
+    assert_eq!(f.telemetry.retired_hash, clean.telemetry.retired_hash);
+}
+
 /// Telemetry counters are internally consistent at exit: every created
 /// sub-thread either retired or was squashed, and the counters mirror the
 /// engine's own statistics.

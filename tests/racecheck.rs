@@ -1,0 +1,190 @@
+//! Race-detector integration: zero false positives on the DRF benchmark
+//! suite, deterministic first-race reports on a seeded racy workload —
+//! stable across repeated runs, context/worker counts, and engines — and
+//! correct recovery when selective restart escalates on racy threads.
+
+use gprs_core::ids::{AtomicId, ResourceId};
+use gprs_runtime::GprsBuilder;
+use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+use gprs_workloads::traces::{build, TraceParams};
+
+/// The ten data-race-free benchmark traces of Table 2.
+const DRF_PROGRAMS: [&str; 10] = [
+    "barnes-hut",
+    "blackscholes",
+    "canneal",
+    "swaptions",
+    "histogram",
+    "pbzip2",
+    "dedup",
+    "re",
+    "wordcount",
+    "reverse-index",
+];
+
+/// Every synchronization idiom the benchmarks use — locks, atomics,
+/// channels, barriers — induces the happens-before edges the detector
+/// expects: no false positives on the whole DRF suite.
+#[test]
+fn drf_traces_report_zero_races() {
+    for name in DRF_PROGRAMS {
+        let w = build(name, &TraceParams::paper().scaled(0.01));
+        let r = run_gprs(&w, &GprsSimConfig::balance_aware(8).with_racecheck(true));
+        assert!(r.completed, "{name}");
+        assert_eq!(r.races, 0, "{name}: false positive {:?}", r.first_race);
+        assert!(r.first_race.is_none(), "{name}");
+    }
+}
+
+/// The real runtime's pipeline (push/pop provenance + atomics) is equally
+/// race-free under the retirement-driven detector, and detection does not
+/// perturb the computed output.
+#[test]
+fn drf_runtime_pipeline_reports_zero_races() {
+    use gprs_workloads::kernels::compress::generate_corpus;
+    use gprs_workloads::programs::{build_pbzip_pipeline, decode_pbzip_output};
+    let input = generate_corpus(40_000, 7);
+    let mut b = GprsBuilder::new().workers(2).racecheck(true);
+    let (file, _) = build_pbzip_pipeline(&mut b, input.clone(), 2048, 2);
+    let report = b.build().run().unwrap();
+    assert_eq!(
+        decode_pbzip_output(report.file_contents(file.index())).unwrap(),
+        input
+    );
+    assert_eq!(
+        report.stats.races, 0,
+        "false positive: {:?}",
+        report.first_race
+    );
+    assert!(report.first_race.is_none());
+    assert_eq!(report.telemetry.counter("races_detected"), 0);
+}
+
+/// The seeded racy histogram is flagged in both engines, the first-race
+/// report is bit-identical across repeated runs and context/worker counts
+/// (detection runs at retirement, in the deterministic total order), and
+/// both engines indict the same shared cell — `AtomicId(0)` by
+/// construction.
+#[test]
+fn racy_workload_flagged_deterministically_across_engines() {
+    use gprs_workloads::kernels::text::byte_histogram;
+    use gprs_workloads::programs::build_racy_histogram;
+
+    // Simulator side.
+    let w = build("histogram-racy", &TraceParams::paper().scaled(0.02).with_contexts(4));
+    let cfg = |ctx| GprsSimConfig::balance_aware(ctx).with_racecheck(true);
+    let a = run_gprs(&w, &cfg(4));
+    let b = run_gprs(&w, &cfg(4));
+    let c = run_gprs(&w, &cfg(8));
+    assert!(a.completed);
+    assert!(a.races > 0, "the racy workload must be flagged");
+    assert_eq!(a.races, b.races);
+    assert_eq!(a.first_race, b.first_race, "repeated runs must agree");
+    assert_eq!(a.first_race, c.first_race, "context count must not matter");
+    let sim_race = a.first_race.clone().expect("races > 0 implies a report");
+    assert_eq!(sim_race.resource, ResourceId::Atomic(AtomicId::new(0)));
+    assert_eq!(a.telemetry.counter("races_detected"), a.races);
+
+    // Runtime side: same program shape on the threaded engine.
+    let input: Vec<u8> = (0..40_000u32).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+    let run = |workers: usize| {
+        let mut bld = GprsBuilder::new().workers(workers).racecheck(true);
+        let (_probe, collector) = build_racy_histogram(&mut bld, input.clone(), 4, 6);
+        let report = bld.build().run().unwrap();
+        (
+            report.output::<Vec<u64>>(collector),
+            report.stats.races,
+            report.first_race,
+        )
+    };
+    let (bins1, races1, first1) = run(1);
+    let (bins4, races4, first4) = run(4);
+    let expected = byte_histogram(&input).to_vec();
+    assert_eq!(bins1, expected, "the race corrupts the probe, not the result");
+    assert_eq!(bins4, expected);
+    assert!(races1 > 0, "the racy workload must be flagged at runtime");
+    assert_eq!(races1, races4, "worker count must not change the verdict");
+    assert_eq!(first1, first4, "worker count must not change the first race");
+    let rt_race = first1.expect("races > 0 implies a report");
+
+    // Cross-engine agreement on the indicted cell.
+    assert_eq!(rt_race.resource, sim_race.resource);
+    assert_eq!(rt_race.resource, ResourceId::Atomic(AtomicId::new(0)));
+}
+
+/// Exception injection on the racy workload: recovery escalates from
+/// selective to basic scope for culprits on racy threads (the alias trail
+/// cannot be trusted across a plain-access race), and the run still
+/// converges to the clean retired order with races re-reported.
+#[test]
+fn sim_escalation_recovers_and_converges() {
+    use gprs_core::exception::InjectorConfig;
+    use gprs_sim::{secs_to_cycles, CYCLES_PER_SEC};
+
+    let w = build("histogram-racy", &TraceParams::paper().scaled(0.2).with_contexts(8));
+    let clean = run_gprs(&w, &GprsSimConfig::balance_aware(8).with_racecheck(true));
+    assert!(clean.completed);
+    assert!(clean.races > 0);
+
+    let cap = secs_to_cycles(600.0);
+    let mut escalations = 0;
+    let mut squashed = 0;
+    for seed in [3u64, 17, 29] {
+        let inj = InjectorConfig::paper(100.0, 8, CYCLES_PER_SEC).with_seed(seed);
+        let f = run_gprs(
+            &w,
+            &GprsSimConfig::balance_aware(8)
+                .with_racecheck(true)
+                .with_exceptions(inj)
+                .with_time_cap(cap),
+        );
+        assert!(f.completed, "seed {seed}: {f}");
+        assert!(f.races > 0, "seed {seed}");
+        assert_eq!(
+            f.telemetry.retired_hash, clean.telemetry.retired_hash,
+            "seed {seed}: recovery must converge to the clean retired order"
+        );
+        escalations += f.telemetry.counter("hybrid_escalations");
+        squashed += f.squashed;
+    }
+    assert!(squashed > 0, "injection must actually squash some work");
+    assert!(
+        escalations > 0,
+        "exceptions on racy threads must escalate to basic scope"
+    );
+}
+
+/// The threaded runtime under live injection: the racy workload still
+/// produces the correct histogram (plain stores are WAL-undone, sub-threads
+/// re-execute), races are reported, and any escalations are accounted.
+#[test]
+fn runtime_escalation_recovery_keeps_output_correct() {
+    use gprs_core::exception::ExceptionKind;
+    use gprs_workloads::kernels::text::byte_histogram;
+    use gprs_workloads::programs::build_racy_histogram;
+
+    let input: Vec<u8> = (0..120_000u32).map(|i| (i.wrapping_mul(131) % 256) as u8).collect();
+    let mut b = GprsBuilder::new().workers(2).racecheck(true);
+    let (_probe, collector) = build_racy_histogram(&mut b, input.clone(), 4, 16);
+    let gprs = b.build();
+    let ctl = gprs.controller();
+    let h = std::thread::spawn(move || {
+        while !ctl.is_finished() {
+            ctl.inject_on_busy(ExceptionKind::SoftFault);
+            std::thread::sleep(std::time::Duration::from_micros(400));
+        }
+    });
+    let report = gprs.run().unwrap();
+    h.join().unwrap();
+    assert_eq!(
+        report.output::<Vec<u64>>(collector),
+        byte_histogram(&input).to_vec(),
+        "stats: {:?}",
+        report.stats
+    );
+    assert!(report.stats.races > 0);
+    assert_eq!(
+        report.telemetry.counter("hybrid_escalations"),
+        report.stats.hybrid_escalations
+    );
+}
