@@ -1,0 +1,193 @@
+//! Channel-topology analysis: starvation, imbalance, and the schedule
+//! advisor.
+//!
+//! Channels induce a producer/consumer digraph over threads. Three things
+//! fall out of it statically:
+//!
+//! * a `Pop` on a channel nothing ever pushes (or more pops than pushes)
+//!   can never complete — the run would stall, so that is an error;
+//! * surplus pushes leave items behind — suspicious but non-fatal;
+//! * when the digraph is an acyclic, non-trivial pipeline, its depth
+//!   levels *are* the natural balance-aware stages: group = depth, weight
+//!   proportional to the stage's aggregate token demand (each segment's
+//!   closing op costs one token grant), normalized so the lightest stage
+//!   gets weight 1 and capped at [`MAX_WEIGHT`]. This reproduces the
+//!   paper's §4 observation that Pbzip2 wants its read stage weighted
+//!   against the write stage rather than round-robined.
+
+use crate::report::{AnalysisReport, Severity, Site, StageAdvice, SuggestedSchedule};
+use gprs_core::ids::{ChannelId, GroupId, ThreadId};
+use gprs_core::workload::{SimOp, Workload};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cap on suggested stage weights: beyond this the token parks on one group
+/// long enough to starve the others' reorder-list windows.
+pub const MAX_WEIGHT: u32 = 8;
+
+#[derive(Default)]
+struct ChanStat {
+    pushes: u64,
+    pops: u64,
+    producers: BTreeSet<ThreadId>,
+    consumers: BTreeSet<ThreadId>,
+    pop_sites: Vec<Site>,
+}
+
+pub(crate) fn run(w: &Workload, r: &mut AnalysisReport) {
+    let mut chans: BTreeMap<ChannelId, ChanStat> = BTreeMap::new();
+    for t in &w.threads {
+        for (i, s) in t.segments.iter().enumerate() {
+            match s.op {
+                SimOp::Push { chan } => {
+                    let c = chans.entry(chan).or_default();
+                    c.pushes += 1;
+                    c.producers.insert(t.thread);
+                }
+                SimOp::Pop { chan } => {
+                    let c = chans.entry(chan).or_default();
+                    c.pops += 1;
+                    c.consumers.insert(t.thread);
+                    if c.pop_sites.len() < 4 {
+                        c.pop_sites.push(Site::new(t.thread, i));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for (chan, c) in &chans {
+        if c.pops > c.pushes {
+            r.push(
+                Severity::Error,
+                "starved-pop",
+                if c.pushes == 0 {
+                    format!("{chan}: {} pops but nothing ever pushes", c.pops)
+                } else {
+                    format!(
+                        "{chan}: {} pops vs {} pushes — {} pops can never be matched",
+                        c.pops,
+                        c.pushes,
+                        c.pops - c.pushes
+                    )
+                },
+                c.pop_sites.clone(),
+            );
+        } else if c.pushes > c.pops {
+            r.push(
+                Severity::Warning,
+                "channel-imbalance",
+                format!(
+                    "{chan}: {} pushes vs {} pops — {} items are never consumed",
+                    c.pushes,
+                    c.pops,
+                    c.pushes - c.pops
+                ),
+                Vec::new(),
+            );
+        }
+    }
+
+    r.suggestion = advise(w, &chans, r);
+}
+
+/// Builds the thread-level producer/consumer DAG and synthesizes the
+/// balance-aware stage assignment, or `None` when the topology is trivial
+/// (no channels) or cyclic.
+fn advise(
+    w: &Workload,
+    chans: &BTreeMap<ChannelId, ChanStat>,
+    r: &mut AnalysisReport,
+) -> Option<SuggestedSchedule> {
+    if chans.is_empty() {
+        return None;
+    }
+    let n = w.threads.len();
+    let mut succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut indeg: Vec<usize> = vec![0; n];
+    for c in chans.values() {
+        for &p in &c.producers {
+            for &q in &c.consumers {
+                if p != q && succ[p.raw() as usize].insert(q.raw() as usize) {
+                    indeg[q.raw() as usize] += 1;
+                }
+            }
+        }
+    }
+
+    // Longest-path depth via Kahn's algorithm; a cycle leaves nodes
+    // unprocessed.
+    let mut depth: Vec<usize> = vec![0; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(v) = queue.pop() {
+        seen += 1;
+        for &q in &succ[v] {
+            depth[q] = depth[q].max(depth[v] + 1);
+            indeg[q] -= 1;
+            if indeg[q] == 0 {
+                queue.push(q);
+            }
+        }
+    }
+    if seen < n {
+        r.push(
+            Severity::Info,
+            "cyclic-channels",
+            "channel topology is cyclic; no schedule suggested".to_string(),
+            Vec::new(),
+        );
+        return None;
+    }
+
+    let mut stages: BTreeMap<usize, (Vec<ThreadId>, u64, u64)> = BTreeMap::new();
+    for (i, t) in w.threads.iter().enumerate() {
+        let e = stages.entry(depth[i]).or_insert((Vec::new(), 0, 0));
+        e.0.push(t.thread);
+        e.1 += t.total_work();
+        // Token demand: every segment's closing op consumes one grant.
+        e.2 += t.segments.len() as u64;
+    }
+    if stages.len() < 2 {
+        return None;
+    }
+
+    let min_ops = stages.values().map(|s| s.2.max(1)).min().unwrap_or(1);
+    let stages: Vec<StageAdvice> = stages
+        .into_iter()
+        .map(|(d, (threads, work, sync_ops))| StageAdvice {
+            group: GroupId::new(d as u32),
+            threads,
+            weight: u32::try_from((sync_ops.max(1) + min_ops / 2) / min_ops)
+                .unwrap_or(MAX_WEIGHT)
+                .clamp(1, MAX_WEIGHT),
+            work,
+            sync_ops,
+        })
+        .collect();
+
+    // Imbalance lint: per-thread work differing by >8x across stages means
+    // the stage populations are mis-sized for the pipeline.
+    let per_thread: Vec<u64> = stages
+        .iter()
+        .map(|s| s.work / s.threads.len().max(1) as u64)
+        .collect();
+    let (lo, hi) = (
+        per_thread.iter().copied().min().unwrap_or(0),
+        per_thread.iter().copied().max().unwrap_or(0),
+    );
+    if lo > 0 && hi / lo > 8 {
+        r.push(
+            Severity::Info,
+            "stage-imbalance",
+            format!(
+                "pipeline stages are unbalanced: per-thread work ranges {lo}..{hi} cycles \
+                 ({}x); consider resizing stage populations",
+                hi / lo
+            ),
+            Vec::new(),
+        );
+    }
+
+    Some(SuggestedSchedule { stages })
+}

@@ -1,0 +1,305 @@
+//! Static workload analysis for the GPRS reproduction.
+//!
+//! The paper's hybrid mode falls back to coordinated-CPR scope only for
+//! program regions that are not data-race-free, and its balance-aware
+//! ordering needs well-chosen thread groups and weights. Both decisions are
+//! dynamic in the runtime (the FastTrack-style detector; hand-written
+//! groups in `gprs-workloads`); this crate makes them *ahead of time* by
+//! analyzing the trace-level [`Workload`] vocabulary before execution:
+//!
+//! * **Lockset / static happens-before** ([`CellVerdict`]): every shared
+//!   cell touched via `Segment::plain` is classified `ProvenDrf`,
+//!   `Guarded`, or `PotentialRace` (with the two indicted sites), rolled up
+//!   into a [`RecoveryAdvice`] — proven-DRF workloads skip the vector-clock
+//!   overhead entirely and stay eligible for selective restart; potentially
+//!   racy ones pre-select hybrid CPR.
+//! * **Lock-order graph**: hold-and-wait edges from nested critical
+//!   sections, with cycle detection (potential-deadlock warnings naming the
+//!   lock cycle).
+//! * **Channel topology**: producer/consumer graph, statically starved
+//!   `Pop`s, unbalanced stages, and a synthesized balance-aware group /
+//!   weight assignment ([`SuggestedSchedule`]).
+//! * **Checkpoint-coverage lints**: plain-writing segments that record no
+//!   mod-set bytes.
+//!
+//! The report is deterministic — same workload, bit-identical
+//! [`AnalysisReport`] — and serializes through `gprs-telemetry`'s serde-free
+//! JSON writer.
+//!
+//! # Example
+//!
+//! ```
+//! use gprs_analyze::{analyze, CellVerdict, RecoveryAdvice};
+//! use gprs_core::ids::{AtomicId, GroupId, ThreadId};
+//! use gprs_core::workload::{PlainKind, Segment, SimOp, ThreadSpec, Workload};
+//!
+//! // Two threads update the same cell with no common guard: a race.
+//! let seg = Segment::new(100, SimOp::End).with_plain(AtomicId::new(0), PlainKind::Update);
+//! let w = Workload::new("demo", (0..2).map(|i| ThreadSpec::new(
+//!     ThreadId::new(i), GroupId::new(0), 1, vec![seg],
+//! )).collect());
+//! let report = analyze(&w);
+//! assert_eq!(report.advice, RecoveryAdvice::HybridCpr);
+//! assert_eq!(report.cells[0].verdict, CellVerdict::PotentialRace);
+//! assert!(!report.race_free());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod channels;
+mod lockorder;
+mod lockset;
+pub mod report;
+mod validate;
+
+pub use channels::MAX_WEIGHT;
+pub use report::{
+    AnalysisReport, CellReport, CellVerdict, Diagnostic, RecoveryAdvice, Severity, Site,
+    StageAdvice, SuggestedSchedule,
+};
+
+use gprs_core::workload::Workload;
+
+/// Runs all analysis passes over `w` and returns the severity-ranked
+/// report. Pure and deterministic: repeated calls on the same workload
+/// produce bit-identical reports.
+pub fn analyze(w: &Workload) -> AnalysisReport {
+    let mut r = AnalysisReport::new(&w.name, w.threads.len());
+    validate::run(w, &mut r);
+    validate::ckpt_lints(w, &mut r);
+    lockset::run(w, &mut r);
+    lockorder::run(w, &mut r);
+    channels::run(w, &mut r);
+    // Severity-ranked: errors first; insertion order (stable sort) breaks
+    // ties deterministically.
+    r.diagnostics
+        .sort_by_key(|d| std::cmp::Reverse(d.severity));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprs_core::ids::{AtomicId, BarrierId, ChannelId, GroupId, LockId, ThreadId};
+    use gprs_core::workload::{PlainKind, Segment, SimOp, ThreadSpec, Workload};
+
+    fn tid(n: u32) -> ThreadId {
+        ThreadId::new(n)
+    }
+    fn two_threads(segs: [Vec<Segment>; 2]) -> Workload {
+        let [a, b] = segs;
+        Workload::new(
+            "t",
+            vec![
+                ThreadSpec::new(tid(0), GroupId::new(0), 1, a),
+                ThreadSpec::new(tid(1), GroupId::new(0), 1, b),
+            ],
+        )
+    }
+
+    #[test]
+    fn unguarded_updates_race() {
+        let cell = AtomicId::new(7);
+        let seg = Segment::new(10, SimOp::End).with_plain(cell, PlainKind::Update);
+        let r = analyze(&two_threads([vec![seg], vec![seg]]));
+        assert_eq!(r.cells.len(), 1);
+        assert_eq!(r.cells[0].verdict, CellVerdict::PotentialRace);
+        assert_eq!(
+            r.cells[0].indicted,
+            Some((Site::new(tid(0), 0), Site::new(tid(1), 0)))
+        );
+        assert_eq!(r.advice, RecoveryAdvice::HybridCpr);
+        assert_eq!(r.errors(), 1);
+    }
+
+    #[test]
+    fn common_lock_guards() {
+        let cell = AtomicId::new(7);
+        let l = LockId::new(0);
+        let segs = vec![
+            Segment::new(10, SimOp::Lock { lock: l, cs_work: 5 }),
+            Segment::new(10, SimOp::End).with_plain(cell, PlainKind::Update),
+        ];
+        let r = analyze(&two_threads([segs.clone(), segs]));
+        assert_eq!(r.cells[0].verdict, CellVerdict::Guarded);
+        assert_eq!(r.advice, RecoveryAdvice::Selective);
+        assert!(r.race_free());
+    }
+
+    #[test]
+    fn nested_lock_guards_too() {
+        let cell = AtomicId::new(7);
+        let m = LockId::new(3);
+        let seg = Segment::new(10, SimOp::End)
+            .with_plain(cell, PlainKind::Update)
+            .with_nested(m);
+        let r = analyze(&two_threads([vec![seg], vec![seg]]));
+        assert_eq!(r.cells[0].verdict, CellVerdict::Guarded);
+    }
+
+    #[test]
+    fn reads_and_single_thread_are_proven_drf() {
+        let cell = AtomicId::new(7);
+        let read = Segment::new(10, SimOp::End).with_plain(cell, PlainKind::Read);
+        let r = analyze(&two_threads([vec![read], vec![read]]));
+        assert_eq!(r.cells[0].verdict, CellVerdict::ProvenDrf);
+        let wr = Segment::new(
+            10,
+            SimOp::Atomic {
+                atomic: AtomicId::new(1),
+            },
+        )
+        .with_plain(cell, PlainKind::Write);
+        let one = Workload::new(
+            "t",
+            vec![ThreadSpec::new(tid(0), GroupId::new(0), 1, vec![wr, wr])],
+        );
+        assert_eq!(analyze(&one).cells[0].verdict, CellVerdict::ProvenDrf);
+    }
+
+    #[test]
+    fn barrier_phases_order_accesses() {
+        let cell = AtomicId::new(7);
+        let b = BarrierId::new(0);
+        let bar = Segment::new(1, SimOp::Barrier { barrier: b });
+        // T0 writes before the barrier, T1 after it: separated.
+        let w = two_threads([
+            vec![
+                Segment::new(10, SimOp::Barrier { barrier: b })
+                    .with_plain(cell, PlainKind::Write),
+                bar,
+            ],
+            vec![
+                bar,
+                bar,
+                Segment::new(10, SimOp::End).with_plain(cell, PlainKind::Write),
+            ],
+        ]);
+        let r = analyze(&w);
+        assert_eq!(r.cells[0].verdict, CellVerdict::Guarded, "{r}");
+        // Same phase on both sides: not separated.
+        let racy = two_threads([
+            vec![Segment::new(10, SimOp::Barrier { barrier: b })
+                .with_plain(cell, PlainKind::Write)],
+            vec![Segment::new(10, SimOp::Barrier { barrier: b })
+                .with_plain(cell, PlainKind::Write)],
+        ]);
+        assert_eq!(analyze(&racy).cells[0].verdict, CellVerdict::PotentialRace);
+    }
+
+    #[test]
+    fn lock_cycle_detected() {
+        let (a, b) = (LockId::new(0), LockId::new(1));
+        let w = two_threads([
+            vec![
+                Segment::new(1, SimOp::Lock { lock: a, cs_work: 5 }),
+                Segment::new(1, SimOp::End).with_nested(b),
+            ],
+            vec![
+                Segment::new(1, SimOp::Lock { lock: b, cs_work: 5 }),
+                Segment::new(1, SimOp::End).with_nested(a),
+            ],
+        ]);
+        let r = analyze(&w);
+        assert_eq!(r.lock_order_edges, vec![(a, b), (b, a)]);
+        assert_eq!(r.lock_cycles, vec![vec![a, b]]);
+        assert_eq!(r.warnings(), 1);
+        assert!(r.race_free(), "a deadlock hazard is not a data race");
+    }
+
+    #[test]
+    fn consistent_nesting_has_no_cycle() {
+        let (a, b) = (LockId::new(0), LockId::new(1));
+        let segs = vec![
+            Segment::new(1, SimOp::Lock { lock: a, cs_work: 5 }),
+            Segment::new(1, SimOp::End).with_nested(b),
+        ];
+        let r = analyze(&two_threads([segs.clone(), segs]));
+        assert_eq!(r.lock_order_edges, vec![(a, b)]);
+        assert!(r.lock_cycles.is_empty());
+    }
+
+    #[test]
+    fn starved_pop_is_an_error() {
+        let c = ChannelId::new(0);
+        let w = two_threads([
+            vec![Segment::new(1, SimOp::Pop { chan: c })],
+            vec![Segment::new(1, SimOp::End)],
+        ]);
+        let r = analyze(&w);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.diagnostics[0].code, "starved-pop");
+        assert!(!r.race_free(), "a starved workload cannot complete");
+    }
+
+    #[test]
+    fn pipeline_gets_multi_group_suggestion() {
+        let c = ChannelId::new(0);
+        let w = two_threads([
+            vec![Segment::new(1, SimOp::Push { chan: c }); 4],
+            vec![Segment::new(100, SimOp::Pop { chan: c }); 4],
+        ]);
+        let r = analyze(&w);
+        let s = r.suggestion.expect("producer/consumer implies stages");
+        assert!(s.is_multi_group());
+        assert_eq!(s.stages[0].threads, vec![tid(0)]);
+        assert_eq!(s.stages[1].threads, vec![tid(1)]);
+        let applied = s.apply(&w);
+        assert_ne!(
+            applied.threads[0].group, applied.threads[1].group,
+            "stages become distinct groups"
+        );
+    }
+
+    #[test]
+    fn structural_violations_are_diagnosed() {
+        let w = Workload::new(
+            "bad",
+            vec![ThreadSpec {
+                thread: tid(0),
+                group: GroupId::new(0),
+                weight: 0,
+                segments: vec![
+                    Segment::new(1, SimOp::End),
+                    Segment::new(1, SimOp::Atomic { atomic: AtomicId::new(0) }),
+                ],
+            }],
+        );
+        let r = analyze(&w);
+        let codes: Vec<&str> = r.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"zero-weight"), "{codes:?}");
+        assert!(codes.contains(&"structure"), "{codes:?}");
+        assert!(!r.race_free());
+    }
+
+    #[test]
+    fn uncheckpointed_write_lint() {
+        let seg = Segment::new(1, SimOp::End)
+            .with_plain(AtomicId::new(0), PlainKind::Write)
+            .with_ckpt_bytes(0)
+            .with_nested(LockId::new(0));
+        let r = analyze(&two_threads([vec![seg], vec![seg]]));
+        assert_eq!(r.warnings(), 2);
+        assert!(r.diagnostics.iter().all(|d| d.severity != Severity::Error));
+    }
+
+    #[test]
+    fn report_is_bit_identical_and_serializable() {
+        let cell = AtomicId::new(0);
+        let c = ChannelId::new(0);
+        let w = two_threads([
+            vec![
+                Segment::new(1, SimOp::Push { chan: c }).with_plain(cell, PlainKind::Update),
+            ],
+            vec![
+                Segment::new(1, SimOp::Pop { chan: c }).with_plain(cell, PlainKind::Update),
+            ],
+        ]);
+        let (a, b) = (analyze(&w), analyze(&w));
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().contains("\"advice\":\"hybrid-cpr\""));
+        assert!(!format!("{a}").is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Lock-acquisition-order graph and potential-deadlock detection.
+//!
+//! The workload vocabulary has exactly one hold-and-wait pattern: a segment
+//! with a [`nested`](gprs_core::workload::Segment::nested) critical section
+//! whose own sub-thread already holds an outer lock (its predecessor op was
+//! [`SimOp::Lock`]). Each such pattern contributes an `outer -> nested`
+//! edge; a cycle in the resulting digraph is a potential deadlock — the
+//! interleaving that realizes it may never occur, hence a warning, not an
+//! error. Consecutive top-level acquisitions contribute *no* edge: with the
+//! first lock released before the next is requested there is no
+//! hold-and-wait, and the benchmarks' rotating-lock patterns would
+//! otherwise drown the graph in false cycles.
+
+use crate::report::{AnalysisReport, Severity, Site};
+use gprs_core::ids::LockId;
+use gprs_core::workload::{SimOp, Workload};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub(crate) fn run(w: &Workload, r: &mut AnalysisReport) {
+    // outer -> nested edges with one representative site each.
+    let mut edges: BTreeMap<(LockId, LockId), Site> = BTreeMap::new();
+    for t in &w.threads {
+        for (i, s) in t.segments.iter().enumerate() {
+            let Some(m) = s.nested else { continue };
+            if i == 0 {
+                continue;
+            }
+            if let SimOp::Lock { lock, .. } = t.segments[i - 1].op {
+                if lock != m {
+                    edges.entry((lock, m)).or_insert(Site::new(t.thread, i));
+                }
+            }
+        }
+    }
+    r.lock_order_edges = edges.keys().copied().collect();
+
+    let mut adj: BTreeMap<LockId, Vec<LockId>> = BTreeMap::new();
+    for &(a, b) in edges.keys() {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default();
+    }
+    for cycle in find_cycles(&adj) {
+        let sites: Vec<Site> = cycle
+            .iter()
+            .zip(cycle.iter().cycle().skip(1))
+            .filter_map(|(&a, &b)| edges.get(&(a, b)).copied())
+            .collect();
+        let mut path = String::new();
+        for l in &cycle {
+            path.push_str(&format!("{l} -> "));
+        }
+        path.push_str(&cycle[0].to_string());
+        r.push(
+            Severity::Warning,
+            "lock-cycle",
+            format!("potential deadlock: lock acquisition order cycle {path}"),
+            sites,
+        );
+        r.lock_cycles.push(cycle);
+    }
+}
+
+/// All elementary cycles reachable by DFS back-edges, canonicalized
+/// (rotated so the smallest lock leads) and deduplicated. Not an exhaustive
+/// Johnson enumeration — one witness per back-edge is enough to warn.
+fn find_cycles(adj: &BTreeMap<LockId, Vec<LockId>>) -> Vec<Vec<LockId>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color: BTreeMap<LockId, Color> = adj.keys().map(|&k| (k, Color::White)).collect();
+    let mut found: BTreeSet<Vec<LockId>> = BTreeSet::new();
+    let mut stack: Vec<LockId> = Vec::new();
+
+    fn dfs(
+        v: LockId,
+        adj: &BTreeMap<LockId, Vec<LockId>>,
+        color: &mut BTreeMap<LockId, Color>,
+        stack: &mut Vec<LockId>,
+        found: &mut BTreeSet<Vec<LockId>>,
+    ) {
+        color.insert(v, Color::Grey);
+        stack.push(v);
+        for &n in adj.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+            match color.get(&n).copied().unwrap_or(Color::White) {
+                Color::White => dfs(n, adj, color, stack, found),
+                Color::Grey => {
+                    // Back edge: the cycle is the stack suffix from `n`.
+                    let start = stack.iter().position(|&x| x == n).unwrap();
+                    let mut cyc: Vec<LockId> = stack[start..].to_vec();
+                    let min = cyc
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| **l)
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    cyc.rotate_left(min);
+                    found.insert(cyc);
+                }
+                Color::Black => {}
+            }
+        }
+        stack.pop();
+        color.insert(v, Color::Black);
+    }
+
+    let keys: Vec<LockId> = adj.keys().copied().collect();
+    for k in keys {
+        if color[&k] == Color::White {
+            dfs(k, adj, &mut color, &mut stack, &mut found);
+        }
+    }
+    found.into_iter().collect()
+}

@@ -1,0 +1,180 @@
+//! Lockset / static-happens-before classification of plain accesses.
+//!
+//! Granularity deliberately matches the dynamic detector's: a sub-thread
+//! under unlock subsumption spans a critical section *and* the following
+//! segment, so a plain access in segment `i` inherits the guard implied by
+//! segment `i-1`'s closing op (the sub-thread's opening op) plus any nested
+//! critical section flattened into segment `i` itself. Two accesses are
+//! statically ordered when they share a guard (lock or atomic — atomics
+//! serialize through acquire/release exactly as the vector-clock detector
+//! models them) or when barrier phases separate them. Anything else is a
+//! potential race; over-approximation is the sound direction, since the
+//! verdict decides whether selective restart may run without the dynamic
+//! detector.
+
+use crate::report::{AnalysisReport, CellReport, CellVerdict, RecoveryAdvice, Severity, Site};
+use gprs_core::ids::{AtomicId, BarrierId, ResourceId, ThreadId};
+use gprs_core::workload::{PlainKind, SimOp, Workload};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One static plain access with its derived ordering context.
+struct Access {
+    site: Site,
+    kind: PlainKind,
+    /// Locks/atomics guaranteed held (or serialized through) for the whole
+    /// segment body.
+    guards: BTreeSet<ResourceId>,
+    /// Barrier arrivals completed by this thread strictly before the
+    /// segment body runs.
+    phases: BTreeMap<BarrierId, u32>,
+}
+
+pub(crate) fn run(w: &Workload, r: &mut AnalysisReport) {
+    // Total arrivals per (thread, barrier) — needed for the phase rule.
+    let mut arrivals: BTreeMap<(ThreadId, BarrierId), u32> = BTreeMap::new();
+    for t in &w.threads {
+        for s in &t.segments {
+            if let SimOp::Barrier { barrier } = s.op {
+                *arrivals.entry((t.thread, barrier)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // Collect accesses per cell in deterministic (cell, thread, segment)
+    // order.
+    let mut cells: BTreeMap<AtomicId, Vec<Access>> = BTreeMap::new();
+    for t in &w.threads {
+        let mut phases: BTreeMap<BarrierId, u32> = BTreeMap::new();
+        for (i, s) in t.segments.iter().enumerate() {
+            if let Some((cell, kind)) = s.plain {
+                let mut guards = BTreeSet::new();
+                if i > 0 {
+                    match t.segments[i - 1].op {
+                        SimOp::Lock { lock, .. } => {
+                            guards.insert(ResourceId::Lock(lock));
+                        }
+                        SimOp::Atomic { atomic } => {
+                            guards.insert(ResourceId::Atomic(atomic));
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(m) = s.nested {
+                    guards.insert(ResourceId::Lock(m));
+                }
+                cells.entry(cell).or_default().push(Access {
+                    site: Site::new(t.thread, i),
+                    kind,
+                    guards,
+                    phases: phases.clone(),
+                });
+            }
+            // The segment's own closing arrival orders *later* bodies only.
+            if let SimOp::Barrier { barrier } = s.op {
+                *phases.entry(barrier).or_insert(0) += 1;
+            }
+        }
+    }
+
+    for (cell, accesses) in cells {
+        let report = classify(cell, &accesses, &arrivals);
+        if let (CellVerdict::PotentialRace, Some((a, b))) = (report.verdict, report.indicted) {
+            r.advice = RecoveryAdvice::HybridCpr;
+            r.push(
+                Severity::Error,
+                "potential-race",
+                format!(
+                    "cell {cell}: unsynchronized accesses at {a} and {b} share no lock, \
+                     atomic, or barrier ordering"
+                ),
+                vec![a, b],
+            );
+        }
+        r.cells.push(report);
+    }
+}
+
+fn classify(
+    cell: AtomicId,
+    accesses: &[Access],
+    arrivals: &BTreeMap<(ThreadId, BarrierId), u32>,
+) -> CellReport {
+    let sites: Vec<Site> = accesses.iter().map(|a| a.site).collect();
+    let single_thread = accesses
+        .windows(2)
+        .all(|p| p[0].site.thread == p[1].site.thread);
+    let all_reads = accesses.iter().all(|a| a.kind == PlainKind::Read);
+    if single_thread || all_reads {
+        return CellReport {
+            cell,
+            verdict: CellVerdict::ProvenDrf,
+            sites,
+            indicted: None,
+        };
+    }
+    for (i, a) in accesses.iter().enumerate() {
+        for b in &accesses[i + 1..] {
+            if a.site.thread == b.site.thread {
+                continue; // program order
+            }
+            if a.kind == PlainKind::Read && b.kind == PlainKind::Read {
+                continue; // reads never conflict
+            }
+            if !ordered(a, b, arrivals) {
+                return CellReport {
+                    cell,
+                    verdict: CellVerdict::PotentialRace,
+                    sites,
+                    indicted: Some((a.site, b.site)),
+                };
+            }
+        }
+    }
+    CellReport {
+        cell,
+        verdict: CellVerdict::Guarded,
+        sites,
+        indicted: None,
+    }
+}
+
+/// Is the pair statically ordered — common guard, or separated by barrier
+/// phases (the access in the lower phase happens-before the higher-phase
+/// one, provided the lower-phase thread keeps arriving up to that phase)?
+fn ordered(a: &Access, b: &Access, arrivals: &BTreeMap<(ThreadId, BarrierId), u32>) -> bool {
+    if !a.guards.is_disjoint(&b.guards) {
+        return true;
+    }
+    for (&bar, &pa) in &a.phases {
+        let pb = b.phases.get(&bar).copied().unwrap_or(0);
+        if separated(bar, a, pa, pb, arrivals) || separated(bar, b, pb, pa, arrivals) {
+            return true;
+        }
+    }
+    // Barriers b has seen but a has not (phase 0 for a).
+    for (&bar, &pb) in &b.phases {
+        if !a.phases.contains_key(&bar) && separated(bar, a, 0, pb, arrivals) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `early` at phase `pe` happens-before the other access at phase `pl` on
+/// `bar` when `pe < pl` and `early`'s thread arrives at `bar` at least `pl`
+/// times in total (so episode `pl` — which the later access waits behind —
+/// transitively waits for `early`'s arrival `pe + 1`).
+fn separated(
+    bar: BarrierId,
+    early: &Access,
+    pe: u32,
+    pl: u32,
+    arrivals: &BTreeMap<(ThreadId, BarrierId), u32>,
+) -> bool {
+    pe < pl
+        && arrivals
+            .get(&(early.site.thread, bar))
+            .copied()
+            .unwrap_or(0)
+            >= pl
+}

@@ -1,0 +1,88 @@
+//! Structural-invariant validation of the workload front-end.
+//!
+//! The engines assume well-formed [`ThreadSpec`]s (terminating `End`, no
+//! trailing segments, registrable weights); violating them downstream turns
+//! into panics or enforcer errors deep inside a run. Surfacing them here as
+//! diagnostics lets `gprs-lint` and `analyze(true)` reject a workload before
+//! any cycles are burned.
+
+use crate::report::{AnalysisReport, Severity, Site};
+use gprs_core::workload::{SimOp, ThreadSpec, Workload};
+
+pub(crate) fn run(w: &Workload, r: &mut AnalysisReport) {
+    if w.threads.is_empty() {
+        r.push(
+            Severity::Warning,
+            "empty-workload",
+            "workload has no threads".to_string(),
+            Vec::new(),
+        );
+        return;
+    }
+    for t in &w.threads {
+        check_thread(t, r);
+    }
+}
+
+fn check_thread(t: &ThreadSpec, r: &mut AnalysisReport) {
+    let tid = t.thread;
+    if t.weight == 0 {
+        r.push(
+            Severity::Error,
+            "zero-weight",
+            format!("{tid}: weight 0 is rejected by the balance-aware enforcer"),
+            Vec::new(),
+        );
+    }
+    let Some(last) = t.segments.last() else {
+        r.push(
+            Severity::Error,
+            "structure",
+            format!("{tid}: thread has no segments (missing terminating End)"),
+            Vec::new(),
+        );
+        return;
+    };
+    if last.op != SimOp::End {
+        r.push(
+            Severity::Error,
+            "structure",
+            format!("{tid}: final segment op is `{}`, not End", last.op),
+            vec![Site::new(tid, t.segments.len() - 1)],
+        );
+    }
+    for (i, s) in t.segments.iter().enumerate() {
+        if s.op == SimOp::End && i + 1 < t.segments.len() {
+            r.push(
+                Severity::Error,
+                "structure",
+                format!("{tid}: segment {i} ends the thread but {} segments follow", t.segments.len() - 1 - i),
+                vec![Site::new(tid, i)],
+            );
+            break; // one report per thread is enough
+        }
+    }
+}
+
+/// Checkpoint-coverage lint: a segment whose body performs a plain write
+/// but records no mod-set bytes cannot be undone by selective restart.
+pub(crate) fn ckpt_lints(w: &Workload, r: &mut AnalysisReport) {
+    use gprs_core::workload::PlainKind;
+    for t in &w.threads {
+        for (i, s) in t.segments.iter().enumerate() {
+            if let Some((cell, kind)) = s.plain {
+                if matches!(kind, PlainKind::Write | PlainKind::Update) && s.ckpt_bytes == 0 {
+                    r.push(
+                        Severity::Warning,
+                        "uncheckpointed-write",
+                        format!(
+                            "{}/seg{i} plain-writes {cell} with ckpt_bytes == 0: the store cannot be rolled back",
+                            t.thread
+                        ),
+                        vec![Site::new(t.thread, i)],
+                    );
+                }
+            }
+        }
+    }
+}

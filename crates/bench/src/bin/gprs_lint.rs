@@ -1,0 +1,91 @@
+//! `gprs-lint` — run the [`gprs_analyze`] static workload analyzer over the
+//! paper's programs and print severity-ranked diagnostics.
+//!
+//! ```text
+//! gprs-lint [--all | <program>...] [--scale <f>] [--deny warnings] [--no-artifact]
+//! ```
+//!
+//! * `--all` lints the ten Table 2 programs ([`PROGRAMS`]).
+//! * `<program>` is any name `gprs_workloads::traces::build` accepts,
+//!   including the lint fixtures `histogram-racy` and `deadlock-hazard`
+//!   (underscores are accepted as hyphens).
+//! * `--deny warnings` makes warnings fail the run like errors (CI mode).
+//! * Each linted program also writes `artifacts/analysis.<program>.json`
+//!   via gprs-telemetry's JSON writer unless `--no-artifact` is given.
+//!
+//! Exit status: 0 when every report is clean (no errors; no warnings under
+//! `--deny warnings`), 1 otherwise, 2 on usage errors.
+
+use gprs_bench::{analysis_report, parse_scale, write_analysis_artifact};
+use gprs_workloads::traces::PROGRAMS;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gprs-lint [--all | <program>...] [--scale <f>] [--deny warnings] [--no-artifact]\n\
+         programs: {}, histogram-racy, deadlock-hazard",
+        PROGRAMS
+            .iter()
+            .map(|p| p.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    let mut deny_warnings = false;
+    let mut artifact = true;
+    let mut programs: Vec<String> = Vec::new();
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => programs.extend(PROGRAMS.iter().map(|p| p.name.to_string())),
+            "--scale" => i += 1, // value consumed by parse_scale
+            "--deny" => {
+                i += 1;
+                if args.get(i).map(String::as_str) != Some("warnings") {
+                    usage();
+                }
+                deny_warnings = true;
+            }
+            "--no-artifact" => artifact = false,
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with('-') => usage(),
+            name => programs.push(name.replace('_', "-")),
+        }
+        i += 1;
+    }
+    if programs.is_empty() {
+        usage();
+    }
+
+    let mut failed = false;
+    for name in &programs {
+        let report = analysis_report(name, scale);
+        println!("{report}");
+        if artifact {
+            write_analysis_artifact(name, &report);
+        }
+        println!();
+        if report.errors() > 0 || (deny_warnings && report.warnings() > 0) {
+            failed = true;
+        }
+    }
+
+    let verdict = if failed { "FAILED" } else { "ok" };
+    println!(
+        "gprs-lint: {} program(s) analyzed, result: {verdict}{}",
+        programs.len(),
+        if deny_warnings {
+            " (warnings denied)"
+        } else {
+            ""
+        }
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -2,7 +2,8 @@
 //! 24-context machine.
 
 use gprs_bench::{
-    parse_scale, paper_workload, print_table, pthreads_baseline, TelemetryArtifact, CONTEXTS,
+    analysis_report, parse_scale, paper_workload, print_table, pthreads_baseline,
+    write_analysis_artifact, TelemetryArtifact, CONTEXTS,
 };
 use gprs_sim::cycles_to_secs;
 use gprs_sim::gprs::{run_gprs, GprsSimConfig};
@@ -18,6 +19,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut artifact = TelemetryArtifact::new("table2");
     for prog in &PROGRAMS {
+        write_analysis_artifact(prog.name, &analysis_report(prog.name, scale));
         let coarse = paper_workload(prog.name, scale, false);
         let base = pthreads_baseline(&coarse);
         let fine = paper_workload(prog.name, scale, true);

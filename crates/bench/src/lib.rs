@@ -210,6 +210,24 @@ impl TelemetryArtifact {
     }
 }
 
+/// Runs the static analyzer over the named program at `scale`.
+pub fn analysis_report(name: &str, scale: f64) -> gprs_analyze::AnalysisReport {
+    gprs_analyze::analyze(&build(name, &TraceParams::paper().scaled(scale)))
+}
+
+/// Writes `artifacts/analysis.<program>.json` (creating the directory if
+/// needed) and prints the path — the static-analysis companion to
+/// [`TelemetryArtifact::write`]. Errors are reported, not fatal.
+pub fn write_analysis_artifact(program: &str, report: &gprs_analyze::AnalysisReport) {
+    let dir = std::path::Path::new("artifacts");
+    let path = dir.join(format!("analysis.{program}.json"));
+    let res = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, report.to_json()));
+    match res {
+        Ok(()) => println!("analysis: {}", path.display()),
+        Err(e) => eprintln!("analysis: failed to write {}: {e}", path.display()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

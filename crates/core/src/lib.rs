@@ -31,6 +31,8 @@
 //! * [`racecheck`] — retirement-driven happens-before race detection that
 //!   guards selective restart's data-race-freedom assumption.
 //! * [`model`] — the closed-form penalty/tipping-rate analysis of §2.3–§2.4.
+//! * [`workload`] — the trace-level workload vocabulary shared by the
+//!   simulator engines, the workload generators, and the static analyzer.
 //!
 //! # Quick example
 //!
@@ -76,6 +78,7 @@ pub mod recovery;
 pub mod rol;
 pub mod subthread;
 pub mod wal;
+pub mod workload;
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
@@ -96,4 +99,5 @@ pub mod prelude {
     pub use crate::rol::{ReorderList, RolEntry, SubThreadStatus};
     pub use crate::subthread::{Boundary, SubThread, SubThreadGenerator, SubThreadKind, SyncOp};
     pub use crate::wal::{WalRecord, WriteAheadLog};
+    pub use crate::workload::{PlainKind, Segment, SimOp, ThreadSpec, Workload};
 }

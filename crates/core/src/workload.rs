@@ -1,13 +1,15 @@
-//! Trace-level workload model consumed by the simulator engines.
+//! Trace-level workload model consumed by the simulator engines and the
+//! static analyzer.
 //!
 //! A workload is a set of logical threads, each a finite sequence of
 //! [`Segment`]s: an amount of computation followed by the synchronization
 //! operation that ends the sub-thread (in GPRS terms) or simply synchronizes
 //! (in Pthreads/CPR terms). The ten benchmark programs of the paper's Table 2
-//! are generated in this vocabulary by `gprs-workloads`.
+//! are generated in this vocabulary by `gprs-workloads`, and `gprs-analyze`
+//! classifies workloads in this vocabulary before execution.
 
-use gprs_core::ids::{AtomicId, BarrierId, ChannelId, GroupId, LockId, ThreadId};
-use gprs_core::racecheck::AccessKind;
+use crate::ids::{AtomicId, BarrierId, ChannelId, GroupId, LockId, ThreadId};
+use crate::racecheck::AccessKind;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -97,6 +99,12 @@ pub struct Segment {
     /// segment's body (the data-race hazard the racecheck subsystem
     /// detects). `None` for well-synchronized segments.
     pub plain: Option<(AtomicId, PlainKind)>,
+    /// A lock acquired *inside* this segment's body and released before the
+    /// closing op — a nested critical section. When the segment itself sits
+    /// inside an outer critical section (its predecessor op was
+    /// [`SimOp::Lock`]), the thread holds the outer lock while waiting for
+    /// this one: the hold-and-wait pattern the lock-order analysis inspects.
+    pub nested: Option<LockId>,
 }
 
 impl Segment {
@@ -108,6 +116,7 @@ impl Segment {
             op,
             ckpt_bytes: 256,
             plain: None,
+            nested: None,
         }
     }
 
@@ -121,6 +130,13 @@ impl Segment {
     /// the shared cell aliased by `atomic`.
     pub fn with_plain(mut self, atomic: AtomicId, kind: PlainKind) -> Self {
         self.plain = Some((atomic, kind));
+        self
+    }
+
+    /// Marks this segment's body as acquiring (and releasing) `lock` as a
+    /// nested critical section.
+    pub fn with_nested(mut self, lock: LockId) -> Self {
+        self.nested = Some(lock);
         self
     }
 

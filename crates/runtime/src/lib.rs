@@ -94,6 +94,8 @@ pub struct GprsBuilder {
     recovery: RecoveryPolicy,
     telemetry: TelemetryConfig,
     racecheck: bool,
+    analyze: bool,
+    model: Option<gprs_core::workload::Workload>,
     inner: Inner,
     next_lock: u64,
     next_chan: u64,
@@ -125,6 +127,8 @@ impl GprsBuilder {
             recovery: cfg.recovery,
             telemetry: cfg.telemetry,
             racecheck: cfg.racecheck,
+            analyze: false,
+            model: None,
             inner: Inner::new(cfg),
             next_lock: 0,
             next_chan: 0,
@@ -174,6 +178,27 @@ impl GprsBuilder {
     /// basic restart (the race broke the dependence-closure assumption).
     pub fn racecheck(mut self, on: bool) -> Self {
         self.racecheck = on;
+        self
+    }
+
+    /// Runs the static analyzer (`gprs-analyze`) over the attached
+    /// [`model`](Self::model) when the runtime is built. A proven-DRF
+    /// verdict elides the dynamic race detector; a potential-race verdict
+    /// arms it regardless of [`racecheck`](Self::racecheck). Without an
+    /// attached model this is a no-op — the runtime executes arbitrary
+    /// closures, so the analysis needs the program's trace-level
+    /// description.
+    pub fn analyze(mut self, on: bool) -> Self {
+        self.analyze = on;
+        self
+    }
+
+    /// Attaches the trace-level model of the program for ahead-of-run
+    /// analysis (see [`analyze`](Self::analyze)). The model is the
+    /// `gprs_core::workload::Workload` describing the same synchronization
+    /// structure the registered thread programs perform.
+    pub fn model(mut self, w: gprs_core::workload::Workload) -> Self {
+        self.model = Some(w);
         self
     }
 
@@ -256,6 +281,20 @@ impl GprsBuilder {
 
     /// Finalizes the configuration.
     pub fn build(mut self) -> Gprs {
+        // Ahead-of-run static analysis: run before the detector is (re)built
+        // so the verdict can arm or elide it.
+        let analysis = if self.analyze {
+            self.model.as_ref().map(gprs_analyze::analyze)
+        } else {
+            None
+        };
+        if let Some(rep) = &analysis {
+            if rep.race_free() {
+                self.racecheck = false;
+            } else if rep.advice == gprs_analyze::RecoveryAdvice::HybridCpr {
+                self.racecheck = true;
+            }
+        }
         self.inner.cfg = RunConfig {
             schedule: self.schedule,
             workers: self.workers,
@@ -270,6 +309,33 @@ impl GprsBuilder {
         self.inner.racecheck = self
             .racecheck
             .then(gprs_core::racecheck::RaceDetector::new);
+        if let Some(rep) = &analysis {
+            let elided = rep.race_free() && self.inner.racecheck.is_none();
+            let tel = &self.inner.telemetry;
+            if tel.enabled() {
+                let m = &tel.metrics;
+                m.analysis_runs.inc();
+                m.analysis_cells.add(rep.cells.len() as u64);
+                m.analysis_potential_races.add(rep.potential_races() as u64);
+                m.analysis_diagnostics.add(rep.diagnostics.len() as u64);
+                if elided {
+                    m.analysis_racecheck_elided.inc();
+                }
+                tel.record(
+                    usize::MAX, // external ring: not attributable to a worker
+                    gprs_telemetry::TraceEvent::AnalysisVerdict {
+                        cells: rep.cells.len() as u32,
+                        potential_races: rep.potential_races() as u32,
+                        diagnostics: rep.diagnostics.len() as u32,
+                        advice: matches!(
+                            rep.advice,
+                            gprs_analyze::RecoveryAdvice::HybridCpr
+                        ) as u8,
+                        elided: elided as u8,
+                    },
+                );
+            }
+        }
         // The schedule may have changed after threads registered: re-seed
         // the enforcer with the final schedule.
         let mut enforcer = gprs_core::order::OrderEnforcer::with_schedule(self.schedule);
@@ -284,6 +350,7 @@ impl GprsBuilder {
                 inner: Mutex::new(self.inner),
                 cv: Condvar::new(),
             }),
+            analysis,
         }
     }
 }
@@ -292,6 +359,8 @@ impl GprsBuilder {
 #[derive(Debug)]
 pub struct Gprs {
     shared: SharedRef,
+    /// Ahead-of-run analysis report, carried into the [`RunReport`].
+    analysis: Option<gprs_analyze::AnalysisReport>,
 }
 
 impl Gprs {
@@ -348,6 +417,7 @@ impl Gprs {
             files,
             telemetry,
             first_race,
+            analysis: self.analysis,
         })
     }
 }
@@ -427,6 +497,7 @@ pub mod prelude {
     pub use gprs_core::exception::ExceptionKind;
     pub use gprs_core::history::Checkpoint;
     pub use gprs_core::ids::{GroupId, ThreadId};
+    pub use gprs_analyze::{AnalysisReport, CellVerdict, RecoveryAdvice};
     pub use gprs_core::racecheck::{AccessKind, Race};
     pub use gprs_core::order::ScheduleKind;
     pub use gprs_telemetry::{TelemetryConfig, TelemetrySummary};

@@ -63,6 +63,9 @@ pub struct RunReport {
     /// Deterministic: the same program and seed yield the same report
     /// regardless of worker count.
     pub first_race: Option<Race>,
+    /// The ahead-of-run static analysis report, when
+    /// [`crate::GprsBuilder::analyze`] was enabled and a model attached.
+    pub analysis: Option<gprs_analyze::AnalysisReport>,
 }
 
 impl RunReport {
@@ -104,6 +107,7 @@ impl std::fmt::Debug for RunReport {
             .field("stats", &self.stats)
             .field("outputs", &self.outputs.len())
             .field("files", &self.files.len())
+            .field("analysis", &self.analysis.is_some())
             .finish()
     }
 }
@@ -141,6 +145,7 @@ mod tests {
             files: BTreeMap::new(),
             telemetry: TelemetrySummary::default(),
             first_race: None,
+            analysis: None,
         };
         assert_eq!(report.output::<u64>(ThreadId::new(0)), 41);
         assert!(report.file_contents(0).is_empty());

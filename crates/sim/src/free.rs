@@ -239,9 +239,20 @@ impl<'a> Free<'a> {
 
     /// Schedules the start-of-segment computation of `th` at `now`.
     fn schedule(&mut self, th: usize, now: u64) {
-        let work = self.w.threads[th].segments[self.threads[th].seg_ix].work;
+        let seg = self.w.threads[th].segments[self.threads[th].seg_ix];
+        let mut start = now;
+        if let Some(m) = seg.nested {
+            // The body's nested critical section serializes the whole body
+            // against other holders of `m` (free-running threads block on
+            // the inner mutex mid-body).
+            start = start.max(self.locks.get(&m).copied().unwrap_or(0));
+        }
+        let end = start + self.dilate(seg.work);
+        if let Some(m) = seg.nested {
+            self.locks.insert(m, end);
+        }
         self.threads[th].phase = Phase::Running;
-        self.heap.push(Reverse((now + self.dilate(work), th)));
+        self.heap.push(Reverse((end, th)));
     }
 
     /// Advances `th` past its current segment's op and schedules the next.

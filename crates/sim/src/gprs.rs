@@ -77,6 +77,11 @@ pub struct GprsSimConfig {
     /// selective recovery escalates to basic scope for culprits on racy
     /// threads (the hybrid policy of `§5b`).
     pub racecheck: bool,
+    /// Run the static analyzer (`gprs-analyze`) before execution. A
+    /// proven-DRF verdict elides the dynamic race detector; a
+    /// potential-race verdict arms it (pre-selecting the hybrid policy)
+    /// regardless of `racecheck`. The report is embedded in the result.
+    pub analysis: bool,
 }
 
 impl GprsSimConfig {
@@ -92,6 +97,7 @@ impl GprsSimConfig {
             time_cap_cycles: u64::MAX / 4,
             telemetry: TelemetryConfig::default(),
             racecheck: false,
+            analysis: false,
         }
     }
 
@@ -139,6 +145,13 @@ impl GprsSimConfig {
     /// escalation for racy threads).
     pub fn with_racecheck(mut self, on: bool) -> Self {
         self.racecheck = on;
+        self
+    }
+
+    /// Enables the ahead-of-run static analysis pass (see
+    /// [`GprsSimConfig::analysis`]).
+    pub fn with_analysis(mut self, on: bool) -> Self {
+        self.analysis = on;
         self
     }
 }
@@ -262,6 +275,8 @@ struct Gprs<'a> {
     /// Happens-before detector, driven at retirement (total order), so the
     /// first race reported is deterministic across runs and context counts.
     race: Option<RaceDetector>,
+    /// Ahead-of-run static analysis report, carried into the result.
+    analysis: Option<gprs_analyze::AnalysisReport>,
     latency: u64,
     token_time: u64,
     live: usize,
@@ -298,7 +313,16 @@ impl<'a> Gprs<'a> {
             .as_ref()
             .map(|e| e.detection_latency)
             .unwrap_or(0);
-        Gprs {
+        // Static pre-pass: a proven-DRF verdict makes the vector-clock
+        // detector pure overhead; a potential race makes it mandatory (the
+        // hybrid policy needs to know which threads are racy).
+        let analysis = cfg.analysis.then(|| gprs_analyze::analyze(w));
+        let racecheck = match &analysis {
+            Some(rep) if rep.race_free() => false,
+            Some(rep) if rep.advice == gprs_analyze::RecoveryAdvice::HybridCpr => true,
+            _ => cfg.racecheck,
+        };
+        let g = Gprs {
             w,
             cfg,
             enforcer,
@@ -314,7 +338,8 @@ impl<'a> Gprs<'a> {
             barrier_participants: w.barrier_participants().into_iter().collect(),
             barrier_gen: HashMap::new(),
             injector,
-            race: cfg.racecheck.then(RaceDetector::new),
+            race: racecheck.then(RaceDetector::new),
+            analysis,
             latency,
             token_time: 0,
             live: w.threads.len(),
@@ -324,7 +349,32 @@ impl<'a> Gprs<'a> {
             sched_hash: ScheduleHash::new(),
             retired_hash: RetiredOrderHash::new(),
             raw_trace: Vec::new(),
+        };
+        if let Some(rep) = &g.analysis {
+            let elided = rep.race_free() && g.race.is_none();
+            if g.tel.enabled() {
+                let m = &g.tel.metrics;
+                m.analysis_runs.inc();
+                m.analysis_cells.add(rep.cells.len() as u64);
+                m.analysis_potential_races.add(rep.potential_races() as u64);
+                m.analysis_diagnostics.add(rep.diagnostics.len() as u64);
+                if elided {
+                    m.analysis_racecheck_elided.inc();
+                }
+                g.tel.record(
+                    EXTERNAL_RING,
+                    TraceEvent::AnalysisVerdict {
+                        cells: rep.cells.len() as u32,
+                        potential_races: rep.potential_races() as u32,
+                        diagnostics: rep.diagnostics.len() as u32,
+                        advice: matches!(rep.advice, gprs_analyze::RecoveryAdvice::HybridCpr)
+                            as u8,
+                        elided: elided as u8,
+                    },
+                );
+            }
         }
+        g
     }
 
     /// Seals the telemetry summary and race verdict into the result (every
@@ -336,6 +386,7 @@ impl<'a> Gprs<'a> {
         }
         let raw = std::mem::take(&mut self.raw_trace);
         self.res.telemetry = self.tel.summarize(&self.sched_hash, &self.retired_hash, raw);
+        self.res.analysis = self.analysis.take();
         self.res
     }
 
@@ -375,14 +426,26 @@ impl<'a> Gprs<'a> {
 
         let ctx = self.pick_ctx();
         let mut start = (now + ts + tg).max(self.ctxs[ctx]);
+        let nested = seg.nested.filter(|&m| lock.map(|(l, _)| l) != Some(m));
+        if let Some((l, _)) = lock {
+            start = start.max(self.locks.get(&l).copied().unwrap_or(0));
+        }
+        if let Some(m) = nested {
+            // The body's nested critical section is flattened into this
+            // sub-thread: it waits for the inner lock up front (while still
+            // holding any outer lock — the hold-and-wait the lock-order
+            // analysis reasons about) and holds it to the body's end.
+            start = start.max(self.locks.get(&m).copied().unwrap_or(0));
+        }
         let mut cs_work = 0;
         if let Some((l, cs)) = lock {
-            let free = self.locks.get(&l).copied().unwrap_or(0);
-            start = start.max(free);
             cs_work = cs;
             self.locks.insert(l, start + cs);
         }
         let end = start + cs_work + seg.work;
+        if let Some(m) = nested {
+            self.locks.insert(m, end);
+        }
         self.ctxs[ctx] = end;
 
         let (tid, bytes) = (spec.thread, seg.ckpt_bytes);
@@ -412,6 +475,13 @@ impl<'a> Gprs<'a> {
 
         let descriptor = SubThread::new(stid, spec.thread, spec.group, kind, opening_op);
         self.rol.insert(descriptor).expect("grants are in order");
+        if let Some(m) = nested {
+            // The nested lock is a dependence alias (recovery) and a sync
+            // guard (racecheck) for this sub-thread.
+            self.rol
+                .add_resource(stid, ResourceId::Lock(m))
+                .expect("just inserted");
+        }
         self.bodies.insert(
             stid,
             Body {

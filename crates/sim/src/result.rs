@@ -1,6 +1,7 @@
 //! Simulation outcome and statistics.
 
 use crate::costs::cycles_to_secs;
+use gprs_analyze::AnalysisReport;
 use gprs_core::racecheck::Race;
 use gprs_telemetry::TelemetrySummary;
 use std::fmt;
@@ -53,6 +54,9 @@ pub struct SimResult {
     pub races: u64,
     /// The first race in retired order, when the detector found one.
     pub first_race: Option<Race>,
+    /// The ahead-of-run static analysis report
+    /// (`GprsSimConfig::with_analysis`; `None` when analysis is off).
+    pub analysis: Option<AnalysisReport>,
 }
 
 impl SimResult {
@@ -77,6 +81,7 @@ impl SimResult {
             telemetry: TelemetrySummary::default(),
             races: 0,
             first_race: None,
+            analysis: None,
         }
     }
 

@@ -61,6 +61,10 @@ pub enum TraceEvent {
     /// Recovery widened a selective restart to a basic (suffix) restart
     /// because `culprit`'s thread participated in a detected race.
     HybridEscalation { culprit: u64, thread: u32 },
+    /// The static analyzer classified the workload ahead of the run:
+    /// `advice` is 0 for selective, 1 for hybrid-CPR; `elided` is 1 when
+    /// the proven-DRF verdict switched the dynamic race detector off.
+    AnalysisVerdict { cells: u32, potential_races: u32, diagnostics: u32, advice: u8, elided: u8 },
 }
 
 impl TraceEvent {
@@ -83,6 +87,7 @@ impl TraceEvent {
             TraceEvent::CprRestore { .. } => "cpr_restore",
             TraceEvent::RaceDetected { .. } => "race_detected",
             TraceEvent::HybridEscalation { .. } => "hybrid_escalation",
+            TraceEvent::AnalysisVerdict { .. } => "analysis_verdict",
         }
     }
 
@@ -128,6 +133,13 @@ impl TraceEvent {
             TraceEvent::HybridEscalation { culprit, thread } => {
                 vec![("culprit", culprit), ("thread", thread as u64)]
             }
+            TraceEvent::AnalysisVerdict { cells, potential_races, diagnostics, advice, elided } => vec![
+                ("cells", cells as u64),
+                ("potential_races", potential_races as u64),
+                ("diagnostics", diagnostics as u64),
+                ("advice", advice as u64),
+                ("elided", elided as u64),
+            ],
         }
     }
 }

@@ -158,6 +158,16 @@ pub struct Metrics {
     /// Selective restarts widened to basic because the culprit's thread
     /// participated in a detected race.
     pub hybrid_escalations: Counter,
+    /// Static analysis passes executed ahead of a run.
+    pub analysis_runs: Counter,
+    /// Shared cells classified by the static lockset pass.
+    pub analysis_cells: Counter,
+    /// Cells the static pass classified as potential races.
+    pub analysis_potential_races: Counter,
+    /// Diagnostics (all severities) emitted by the static pass.
+    pub analysis_diagnostics: Counter,
+    /// Runs where the proven-DRF verdict elided the dynamic race detector.
+    pub analysis_racecheck_elided: Counter,
     /// Sub-threads squashed per recovery session.
     pub squashed_per_recovery: Histogram,
     /// Recovery-session wall time in nanoseconds (runtime) or cycles
@@ -190,6 +200,11 @@ impl Metrics {
             ("cpr_restores", self.cpr_restores.get()),
             ("races_detected", self.races_detected.get()),
             ("hybrid_escalations", self.hybrid_escalations.get()),
+            ("analysis_runs", self.analysis_runs.get()),
+            ("analysis_cells", self.analysis_cells.get()),
+            ("analysis_potential_races", self.analysis_potential_races.get()),
+            ("analysis_diagnostics", self.analysis_diagnostics.get()),
+            ("analysis_racecheck_elided", self.analysis_racecheck_elided.get()),
         ]
     }
 

@@ -339,6 +339,41 @@ pub fn histogram_racy(p: &TraceParams) -> Workload {
     )
 }
 
+/// A seeded deadlock hazard: two workers repeatedly take the same pair of
+/// locks in *opposite* nesting order (`a` outer / `b` nested on one thread,
+/// `b` outer / `a` nested on the other) — the textbook hold-and-wait cycle
+/// `gprs-analyze`'s lock-order pass warns about. Like `histogram_racy`,
+/// this is a lint fixture, not one of Table 2's programs: GPRS's
+/// token-ordered engine serializes the critical sections deterministically
+/// and the trace completes, but a free-running execution of the same
+/// structure could interleave into a deadlock.
+pub fn deadlock_hazard(p: &TraceParams) -> Workload {
+    let (a, b) = (LockId::new(0), LockId::new(1));
+    let piece = p.cycles(0.05);
+    let rounds = 8usize;
+    let spec = |i: usize, outer: LockId, nested: LockId| {
+        let private = AtomicId::new(1 + i as u64);
+        ThreadSpec::new(
+            tid(i),
+            GroupId::new(0),
+            1,
+            (0..rounds)
+                .flat_map(|_| {
+                    [
+                        Segment::new(piece, SimOp::Lock {
+                            lock: outer,
+                            cs_work: piece / 4,
+                        }),
+                        Segment::new(piece, SimOp::Atomic { atomic: private })
+                            .with_nested(nested),
+                    ]
+                })
+                .collect(),
+        )
+    };
+    Workload::new("deadlock-hazard", vec![spec(0, a, b), spec(1, b, a)])
+}
+
 /// Pbzip2: the read → compress × N → write pipeline of Figure 6, with
 /// uneven block costs. 17.89 s on 24 contexts; ≈ 42 269 sub-threads.
 /// Thread groups: 0 = read, 1 = compress, 2 = write, weighted 4:4:1.
@@ -743,6 +778,7 @@ pub fn build(name: &str, p: &TraceParams) -> Workload {
         "swaptions" => swaptions(p),
         "histogram" => histogram(p),
         "histogram-racy" => histogram_racy(p),
+        "deadlock-hazard" => deadlock_hazard(p),
         "pbzip2" => pbzip2(p),
         "dedup" => dedup(p),
         "re" => re(p),

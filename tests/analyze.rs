@@ -1,0 +1,404 @@
+//! Soundness cross-checks for the `gprs-analyze` static workload analyzer:
+//! the ten DRF benchmarks are proven race-free (and the dynamic detector
+//! agrees), the seeded racy fixture is indicted on the right cell, reports
+//! are bit-identical across repeated runs, the analysis pass elides or arms
+//! the dynamic detector in both engines without perturbing determinism, and
+//! the pbzip2 schedule suggestion actually beats round-robin. A property
+//! pass generates random nested-lock and racy-pair workloads and checks
+//! the analyzer's verdicts against the simulator.
+
+use gprs_analyze::{analyze, CellVerdict, RecoveryAdvice};
+use gprs_core::ids::{AtomicId, GroupId, LockId, ResourceId, ThreadId};
+use gprs_core::workload::{PlainKind, Segment, SimOp, ThreadSpec, Workload};
+use gprs_runtime::GprsBuilder;
+use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+use gprs_workloads::traces::{build, TraceParams};
+use proptest::prelude::*;
+
+/// The ten data-race-free benchmark traces of Table 2.
+const DRF_PROGRAMS: [&str; 10] = [
+    "barnes-hut",
+    "blackscholes",
+    "canneal",
+    "swaptions",
+    "histogram",
+    "pbzip2",
+    "dedup",
+    "re",
+    "wordcount",
+    "reverse-index",
+];
+
+fn drf_workload(name: &str) -> Workload {
+    build(name, &TraceParams::paper().scaled(0.01))
+}
+
+/// Soundness, benign direction: everything the analyzer proves DRF really
+/// is — the dynamic happens-before detector finds zero races on it. Also
+/// the `--deny warnings` CI precondition: the whole Table 2 suite must
+/// carry no Error or Warning diagnostics.
+#[test]
+fn drf_suite_is_proven_and_dynamically_clean() {
+    for name in DRF_PROGRAMS {
+        let w = drf_workload(name);
+        let rep = analyze(&w);
+        assert_eq!(rep.advice, RecoveryAdvice::Selective, "{name}");
+        assert!(rep.race_free(), "{name}: {rep}");
+        assert_eq!(rep.errors(), 0, "{name}: {rep}");
+        assert_eq!(rep.warnings(), 0, "{name}: {rep}");
+        assert!(
+            rep.cells
+                .iter()
+                .all(|c| c.verdict != CellVerdict::PotentialRace),
+            "{name}"
+        );
+        // Dynamic cross-check: the detector agrees.
+        let r = run_gprs(&w, &GprsSimConfig::balance_aware(8).with_racecheck(true));
+        assert!(r.completed, "{name}");
+        assert_eq!(r.races, 0, "{name}: analyzer said DRF, detector disagrees");
+    }
+}
+
+/// Soundness, indicting direction: the seeded racy histogram is classified
+/// `PotentialRace` on exactly the cell the dynamic detector flags —
+/// `AtomicId(0)` by construction — with two concrete sites and hybrid-CPR
+/// advice.
+#[test]
+fn racy_fixture_is_indicted_on_the_shared_cell() {
+    let w = build(
+        "histogram-racy",
+        &TraceParams::paper().scaled(0.02).with_contexts(4),
+    );
+    let rep = analyze(&w);
+    assert_eq!(rep.advice, RecoveryAdvice::HybridCpr);
+    assert!(!rep.race_free());
+    assert_eq!(rep.potential_races(), 1);
+    let cell = rep
+        .cells
+        .iter()
+        .find(|c| c.verdict == CellVerdict::PotentialRace)
+        .expect("one racy cell");
+    assert_eq!(cell.cell, AtomicId::new(0));
+    let (a, b) = cell.indicted.expect("an indicted pair");
+    assert_ne!(a.thread, b.thread, "the pair spans two threads");
+
+    // The dynamic detector indicts the same resource.
+    let r = run_gprs(&w, &GprsSimConfig::balance_aware(4).with_racecheck(true));
+    assert!(r.races > 0);
+    let race = r.first_race.expect("races > 0 implies a report");
+    assert_eq!(race.resource, ResourceId::Atomic(cell.cell));
+}
+
+/// Reports are pure functions of the workload: bit-identical (structurally
+/// and as serialized JSON) across repeated runs.
+#[test]
+fn reports_are_bit_identical_across_runs() {
+    for name in ["pbzip2", "histogram-racy", "deadlock-hazard"] {
+        let p = TraceParams::paper().scaled(0.02);
+        let (a, b) = (analyze(&build(name, &p)), analyze(&build(name, &p)));
+        assert_eq!(a, b, "{name}");
+        assert_eq!(a.to_json(), b.to_json(), "{name}");
+    }
+}
+
+/// Acceptance: an `analysis(true)` run of a proven-DRF workload skips the
+/// dynamic race detector (elision counter set, zero detector work) yet
+/// retires the identical deterministic order as a racecheck-enabled run.
+#[test]
+fn sim_analysis_elides_racecheck_without_perturbing_order() {
+    let w = drf_workload("pbzip2");
+    let analyzed = run_gprs(
+        &w,
+        &GprsSimConfig::balance_aware(8)
+            .with_racecheck(true)
+            .with_analysis(true),
+    );
+    let checked = run_gprs(&w, &GprsSimConfig::balance_aware(8).with_racecheck(true));
+    assert!(analyzed.completed && checked.completed);
+
+    let rep = analyzed.analysis.as_ref().expect("report embedded");
+    assert!(rep.race_free());
+    assert_eq!(analyzed.telemetry.counter("analysis_runs"), 1);
+    assert_eq!(analyzed.telemetry.counter("analysis_racecheck_elided"), 1);
+    assert_eq!(checked.telemetry.counter("analysis_runs"), 0);
+    assert_eq!(analyzed.races, 0);
+
+    // Same retired order with the detector elided.
+    assert_eq!(analyzed.telemetry.retired_hash, checked.telemetry.retired_hash);
+    assert_eq!(analyzed.telemetry.schedule_hash, checked.telemetry.schedule_hash);
+    assert_eq!(analyzed.finish_cycles, checked.finish_cycles);
+}
+
+/// The converse arming direction: a potential-race verdict forces the
+/// detector on even when the caller left it off, and the races are found.
+#[test]
+fn sim_analysis_arms_racecheck_on_potential_race() {
+    let w = build(
+        "histogram-racy",
+        &TraceParams::paper().scaled(0.02).with_contexts(4),
+    );
+    let r = run_gprs(
+        &w,
+        &GprsSimConfig::balance_aware(4)
+            .with_racecheck(false)
+            .with_analysis(true),
+    );
+    assert!(r.completed);
+    let rep = r.analysis.as_ref().expect("report embedded");
+    assert_eq!(rep.advice, RecoveryAdvice::HybridCpr);
+    assert!(r.races > 0, "advice must arm the detector");
+    assert_eq!(r.telemetry.counter("analysis_potential_races"), 1);
+    assert_eq!(r.telemetry.counter("analysis_racecheck_elided"), 0);
+}
+
+/// Runtime engine: `GprsBuilder::analyze(true)` with an attached model
+/// elides the detector on a DRF model and arms it on a racy one, and the
+/// report rides along in the `RunReport`.
+#[test]
+fn runtime_analysis_elides_and_arms() {
+    use gprs_workloads::kernels::compress::generate_corpus;
+    use gprs_workloads::programs::{build_pbzip_pipeline, build_racy_histogram};
+
+    // DRF model: racecheck requested, analysis elides it.
+    let input = generate_corpus(20_000, 7);
+    let mut b = GprsBuilder::new()
+        .workers(2)
+        .racecheck(true)
+        .analyze(true)
+        .model(drf_workload("pbzip2"));
+    let (_file, _) = build_pbzip_pipeline(&mut b, input, 2048, 2);
+    let report = b.build().run().unwrap();
+    let rep = report.analysis.as_ref().expect("report embedded");
+    assert!(rep.race_free());
+    assert_eq!(report.stats.races, 0);
+    assert_eq!(report.telemetry.counter("analysis_runs"), 1);
+    assert_eq!(report.telemetry.counter("analysis_racecheck_elided"), 1);
+
+    // Racy model: racecheck off, analysis arms it and the detector fires.
+    let input: Vec<u8> = (0..20_000u32)
+        .map(|i| (i.wrapping_mul(31) % 251) as u8)
+        .collect();
+    let mut b = GprsBuilder::new()
+        .workers(2)
+        .racecheck(false)
+        .analyze(true)
+        .model(build(
+            "histogram-racy",
+            &TraceParams::paper().scaled(0.02).with_contexts(4),
+        ));
+    let (_probe, collector) = build_racy_histogram(&mut b, input.clone(), 4, 6);
+    let report = b.build().run().unwrap();
+    let rep = report.analysis.as_ref().expect("report embedded");
+    assert_eq!(rep.advice, RecoveryAdvice::HybridCpr);
+    assert!(report.stats.races > 0, "advice must arm the detector");
+    assert_eq!(report.telemetry.counter("analysis_racecheck_elided"), 0);
+    let _ = report.output::<Vec<u64>>(collector);
+}
+
+/// Acceptance: the channel-topology advisor's pbzip2 suggestion is
+/// multi-group, and running it under the weighted balance-aware schedule
+/// beats round-robin on simulated finish time.
+#[test]
+fn pbzip2_suggestion_beats_round_robin() {
+    let w = build("pbzip2", &TraceParams::paper().scaled(0.05));
+    let rep = analyze(&w);
+    let suggestion = rep.suggestion.as_ref().expect("a pipeline suggestion");
+    assert!(suggestion.is_multi_group(), "{rep}");
+    let advised = suggestion.apply(&w);
+    let weighted = run_gprs(&advised, &GprsSimConfig::weighted(24));
+    let rr = run_gprs(&w, &GprsSimConfig::round_robin(24));
+    assert!(weighted.completed && rr.completed);
+    assert!(
+        weighted.finish_cycles < rr.finish_cycles,
+        "advised {} !< round-robin {}",
+        weighted.finish_cycles,
+        rr.finish_cycles
+    );
+}
+
+/// The deadlock fixture draws a lock-cycle warning naming both locks, yet
+/// the token-ordered engine still completes it deterministically.
+#[test]
+fn deadlock_hazard_warned_but_completes() {
+    let w = build("deadlock-hazard", &TraceParams::paper().scaled(0.05));
+    let rep = analyze(&w);
+    assert_eq!(rep.lock_cycles.len(), 1, "{rep}");
+    let cycle = &rep.lock_cycles[0];
+    assert!(cycle.contains(&LockId::new(0)) && cycle.contains(&LockId::new(1)));
+    assert!(rep
+        .diagnostics
+        .iter()
+        .any(|d| d.code == "lock-cycle" && d.message.contains("L0") && d.message.contains("L1")));
+    // Warning severity: the hazard must not block `gprs-lint` default mode.
+    assert_eq!(rep.errors(), 0);
+    assert_eq!(rep.warnings(), 1);
+    let r = run_gprs(&w, &GprsSimConfig::balance_aware(4));
+    assert!(r.completed, "token order serializes the hazard");
+    let again = run_gprs(&w, &GprsSimConfig::balance_aware(4));
+    assert_eq!(r.telemetry.retired_hash, again.telemetry.retired_hash);
+}
+
+/// Structural-invariant validation: torn thread specs come back as
+/// diagnostics, not panics.
+#[test]
+fn structural_violations_surface_as_diagnostics() {
+    let mut w = Workload::new(
+        "torn",
+        vec![ThreadSpec::new(ThreadId::new(0), GroupId::new(0), 1, vec![
+            Segment::new(10, SimOp::End),
+        ])],
+    );
+    // Break it after construction: zero weight and a segment after End.
+    w.threads[0].weight = 0;
+    w.threads[0].segments.push(Segment::new(5, SimOp::End));
+    let rep = analyze(&w);
+    assert!(rep.errors() >= 2, "{rep}");
+    assert!(rep.diagnostics.iter().any(|d| d.code == "zero-weight"));
+    assert!(rep.diagnostics.iter().any(|d| d.code == "structure"));
+    assert!(!rep.race_free(), "structural errors block elision");
+}
+
+// ---------------------------------------------------------------------------
+// Property passes
+// ---------------------------------------------------------------------------
+
+/// A random lock-only workload: threads run rounds of `Lock` segments with
+/// optional nested locks drawn from a per-thread acquisition order.
+fn arb_lock_workload() -> impl Strategy<Value = Workload> {
+    (
+        2u32..6,          // threads
+        2usize..5,        // rounds
+        2u64..5,          // lock count
+        any::<bool>(),    // consistent (acyclic) global nesting order?
+    )
+        .prop_map(|(threads, rounds, locks, consistent)| {
+            let specs = (0..threads)
+                .map(|i| {
+                    let segs = (0..rounds)
+                        .flat_map(|r| {
+                            let outer = LockId::new((u64::from(i) + r as u64) % locks);
+                            // Consistent order nests strictly upward in lock-id
+                            // order (acyclic by construction); inconsistent
+                            // order rotates per thread with wraparound,
+                            // manufacturing opposite nestings.
+                            let nested = if consistent {
+                                (outer.raw() + 1 < locks).then(|| LockId::new(outer.raw() + 1))
+                            } else {
+                                Some(LockId::new(
+                                    (outer.raw() + 1 + u64::from(i)) % locks,
+                                ))
+                            };
+                            let mut body = Segment::new(500, SimOp::Atomic {
+                                atomic: AtomicId::new(u64::from(i)),
+                            });
+                            if let Some(n) = nested.filter(|&n| n != outer) {
+                                body = body.with_nested(n);
+                            }
+                            [
+                                Segment::new(1_000, SimOp::Lock {
+                                    lock: outer,
+                                    cs_work: 200,
+                                }),
+                                body,
+                            ]
+                        })
+                        .collect();
+                    ThreadSpec::new(ThreadId::new(i), GroupId::new(0), 1, segs)
+                })
+                .collect();
+            Workload::new("prop-locks", specs)
+        })
+}
+
+/// A pair of threads with plain accesses to one shared cell; the guard
+/// arrangement decides whether it is racy.
+fn arb_plain_pair() -> impl Strategy<Value = (Workload, bool)> {
+    (0u8..3, 1u64..4, any::<bool>()).prop_map(|(guard, segs, writes)| {
+        let cell = AtomicId::new(0);
+        let merge = LockId::new(0);
+        let kind = if writes {
+            PlainKind::Update
+        } else {
+            PlainKind::Write
+        };
+        let spec = |i: u32| {
+            let private = AtomicId::new(1 + u64::from(i));
+            let body: Vec<Segment> = (0..segs)
+                .flat_map(|_| match guard {
+                    // Lock, then the access in the subsumed next segment:
+                    // both threads share the guard — DRF.
+                    0 => [
+                        Segment::new(800, SimOp::Lock {
+                            lock: merge,
+                            cs_work: 100,
+                        }),
+                        Segment::new(400, SimOp::Atomic { atomic: private }).with_plain(cell, kind),
+                    ],
+                    // Disjoint private atomics: unordered, racy.
+                    1 => [
+                        Segment::new(800, SimOp::Atomic { atomic: private }),
+                        Segment::new(400, SimOp::Atomic { atomic: private }).with_plain(cell, kind),
+                    ],
+                    // The nested critical section guards the access too.
+                    _ => [
+                        Segment::new(800, SimOp::Lock {
+                            lock: merge,
+                            cs_work: 100,
+                        }),
+                        Segment::new(400, SimOp::Atomic { atomic: private })
+                            .with_nested(LockId::new(1))
+                            .with_plain(cell, kind),
+                    ],
+                })
+                .collect();
+            ThreadSpec::new(ThreadId::new(i), GroupId::new(0), 1, body)
+        };
+        let racy = guard == 1;
+        (Workload::new("prop-pair", vec![spec(0), spec(1)]), racy)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// When the analyzer reports no lock-order cycle, the simulator
+    /// completes the workload (no deadlock), deterministically.
+    #[test]
+    fn acyclic_lock_order_never_deadlocks(w in arb_lock_workload(), ctx in 1u32..6) {
+        let rep = analyze(&w);
+        if rep.lock_cycles.is_empty() {
+            let a = run_gprs(&w, &GprsSimConfig::balance_aware(ctx));
+            prop_assert!(a.completed, "analyzer saw no cycle yet the run stalled");
+            let b = run_gprs(&w, &GprsSimConfig::balance_aware(ctx));
+            prop_assert_eq!(a.telemetry.retired_hash, b.telemetry.retired_hash);
+        } else {
+            // Even with a hazard the token-ordered engine must finish.
+            let a = run_gprs(&w, &GprsSimConfig::balance_aware(ctx));
+            prop_assert!(a.completed);
+        }
+    }
+
+    /// Generated cross-thread plain conflicts are always classified
+    /// `PotentialRace` (and guarded ones never are), matching the
+    /// dynamic detector's verdict.
+    #[test]
+    fn generated_racy_pairs_are_always_flagged(case in arb_plain_pair()) {
+        let (w, racy) = case;
+        let rep = analyze(&w);
+        if racy {
+            prop_assert_eq!(rep.advice, RecoveryAdvice::HybridCpr);
+            prop_assert!(rep.potential_races() > 0, "{}", rep);
+            let cell = rep.cells.iter()
+                .find(|c| c.verdict == CellVerdict::PotentialRace)
+                .expect("a racy cell");
+            prop_assert!(cell.indicted.is_some());
+        } else {
+            prop_assert_eq!(rep.advice, RecoveryAdvice::Selective);
+            prop_assert!(rep.race_free(), "{}", rep);
+        }
+        // Dynamic agreement in both directions.
+        let r = run_gprs(&w, &GprsSimConfig::balance_aware(4).with_racecheck(true));
+        prop_assert!(r.completed);
+        prop_assert_eq!(racy, r.races > 0, "static {} vs dynamic {}", racy, r.races);
+    }
+}
