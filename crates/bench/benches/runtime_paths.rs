@@ -86,9 +86,52 @@ fn bench_recovery_path(c: &mut Criterion) {
     g.finish();
 }
 
+/// The grant fast path in isolation and end to end.
+///
+/// `gate_poll` is the lockless go/no-go check a worker performs before
+/// deciding fast vs slow path — one acquire load of the packed word, one of
+/// the ticket. `gate_publish` is the enforcer's per-mutation republication
+/// (always under the state lock in the runtime). The `fused_*` rows run the
+/// disjoint-chain program whose steady state fuses every deposit with the
+/// following grant in one lock acquisition (fast-path share is 100 %; the
+/// perfsuite asserts that from the counters — these rows track its cost).
+fn bench_fast_path(c: &mut Criterion) {
+    use gprs_core::ids::{SubThreadId, ThreadId};
+    use gprs_core::order::OrderGate;
+
+    let mut g = c.benchmark_group("runtime_fast_path");
+    let gate = OrderGate::new();
+    gate.publish(Some(ThreadId::new(3)), SubThreadId::new(41));
+    g.bench_function("gate_poll", |b| {
+        b.iter(|| {
+            let snap = gate.snapshot();
+            (snap.holder == Some(ThreadId::new(3)), snap.next_ticket)
+        })
+    });
+    g.bench_function("gate_publish", |b| {
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            gate.publish(Some(ThreadId::new((seq % 8) as u32)), SubThreadId::new(seq));
+            gate.epoch()
+        })
+    });
+    // Single worker: every grant is the fused deposit+grant fast path with
+    // no peer to wake; the purest end-to-end cost of one ordered step.
+    g.bench_function("fused_1w_8t_64r", |b| {
+        b.iter(|| gprs_chain(1, 8, 64).subthreads)
+    });
+    // Full worker fan-out on the same program: same fast-path share, plus
+    // whatever the wake policy and hand-off drain add under contention.
+    g.bench_function("fused_8w_8t_64r", |b| {
+        b.iter(|| gprs_chain(8, 8, 64).subthreads)
+    });
+    g.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_grant_throughput, bench_recovery_path
+    targets = bench_grant_throughput, bench_recovery_path, bench_fast_path
 );
 criterion_main!(benches);

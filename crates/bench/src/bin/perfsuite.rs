@@ -1,0 +1,605 @@
+//! The tracked performance suite: wall-time + counter baselines for the
+//! runtime's grant/checkpoint/retire/recovery paths at 1/2/4/8 workers and
+//! the simulator's recovery hot loop, plus golden determinism hashes.
+//!
+//! Two artifacts live under `crates/bench/goldens/` and are committed:
+//!
+//! * `determinism.txt` — `schedule_hash`/`retired_hash` pairs for the ten
+//!   paper workloads on the simulator (fault-free and seeded injection) and
+//!   for real-runtime programs across 1/2/4/8 workers. Any drift is a
+//!   determinism regression and fails the run (exit 1).
+//! * `baseline_perf.txt` — recorded perf numbers; reruns report speedups
+//!   against them (informational locally, tracked by `BENCH_perf.json`).
+//!
+//! `BENCH_perf.json` (workspace root) is the machine-readable trajectory
+//! point: current numbers, the committed baseline, and derived ratios.
+//!
+//! Flags: `--quick` shrinks the perf sections (determinism parameters are
+//! fixed so goldens match in every mode); `--bless` rewrites both golden
+//! files from the current run; `--out <path>` overrides the JSON path.
+
+use gprs_bench::{injector, print_table};
+use gprs_runtime::cpr::CprBuilder;
+use gprs_runtime::prelude::*;
+use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+use gprs_telemetry::JsonWriter;
+use gprs_workloads::kernels::compress::generate_corpus;
+use gprs_workloads::programs::{build_pbzip_pipeline, HistogramWorker};
+use gprs_workloads::traces::{build, TraceParams, PROGRAMS};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Micro-programs
+
+/// One logical thread fetch-adding its own atomic `rounds` times: with one
+/// atomic per thread this is the pure grant→checkpoint→step→deposit→retire
+/// path, no blocking anywhere.
+struct Chain {
+    atomic: AtomicHandle,
+    rounds: u32,
+    done: u32,
+}
+
+impl Checkpoint for Chain {
+    type Snapshot = u32;
+    fn checkpoint(&self) -> u32 {
+        self.done
+    }
+    fn restore(&mut self, s: &u32) {
+        self.done = *s;
+    }
+}
+
+impl ThreadProgram for Chain {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Step {
+        if self.done == self.rounds {
+            return Step::exit_unit();
+        }
+        self.done += 1;
+        self.atomic.fetch_add(1)
+    }
+}
+
+/// Like [`Chain`] but dragging a large mod set so `checkpoint()` cost —
+/// the part this PR moves off the big lock — dominates.
+struct HeavyChain {
+    atomic: AtomicHandle,
+    payload: Vec<u64>,
+    rounds: u32,
+    done: u32,
+}
+
+impl Checkpoint for HeavyChain {
+    type Snapshot = (Vec<u64>, u32);
+    fn checkpoint(&self) -> (Vec<u64>, u32) {
+        (self.payload.clone(), self.done)
+    }
+    fn restore(&mut self, s: &(Vec<u64>, u32)) {
+        self.payload = s.0.clone();
+        self.done = s.1;
+    }
+}
+
+impl ThreadProgram for HeavyChain {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Step {
+        if self.done == self.rounds {
+            return Step::exit_unit();
+        }
+        let ix = self.done as usize % self.payload.len();
+        self.payload[ix] = self.payload[ix]
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
+        self.done += 1;
+        self.atomic.fetch_add(1)
+    }
+}
+
+fn chain_run(workers: usize, threads: u32, rounds: u32) -> RunReport {
+    let mut b = GprsBuilder::new().workers(workers);
+    for _ in 0..threads {
+        let a = b.atomic(0);
+        b.thread(Chain { atomic: a, rounds, done: 0 }, GroupId::new(0), 1);
+    }
+    b.build().run().unwrap()
+}
+
+fn heavy_run(workers: usize, threads: u32, rounds: u32, payload: usize) -> RunReport {
+    let mut b = GprsBuilder::new().workers(workers);
+    for t in 0..threads {
+        let a = b.atomic(0);
+        b.thread(
+            HeavyChain {
+                atomic: a,
+                payload: vec![t as u64; payload],
+                rounds,
+                done: 0,
+            },
+            GroupId::new(0),
+            1,
+        );
+    }
+    b.build().run().unwrap()
+}
+
+fn cpr_chain_run(workers: usize, threads: u32, rounds: u32) -> Duration {
+    let mut b = CprBuilder::new().workers(workers).checkpoint_every(32);
+    for _ in 0..threads {
+        let a = b.atomic(0);
+        b.thread(Chain { atomic: a, rounds, done: 0 }, GroupId::new(0), 1);
+    }
+    let cpr = b.build();
+    let t0 = Instant::now();
+    cpr.run().unwrap();
+    t0.elapsed()
+}
+
+/// Periodic `inject_on_busy` storm, as the end-to-end tests do.
+fn storm(ctl: Controller, period: Duration) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let mut n = 0;
+        while !ctl.is_finished() {
+            if ctl.inject_on_busy(ExceptionKind::SoftFault) {
+                n += 1;
+            }
+            std::thread::sleep(period);
+        }
+        n
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Golden files
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Golden {
+    key: String,
+    schedule: u64,
+    retired: u64,
+}
+
+fn goldens_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens")
+}
+
+fn parse_goldens(text: &str) -> Vec<Golden> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let key = it.next().expect("golden key").to_string();
+            let mut hex = |what: &str| {
+                let s = it.next().unwrap_or_else(|| panic!("missing {what} in {l:?}"));
+                u64::from_str_radix(s.trim_start_matches("0x"), 16)
+                    .unwrap_or_else(|_| panic!("bad {what} in line {l:?}"))
+            };
+            let schedule = hex("schedule hash");
+            let retired = hex("retired hash");
+            Golden { key, schedule, retired }
+        })
+        .collect()
+}
+
+fn render_goldens(goldens: &[Golden]) -> String {
+    let mut s = String::from(
+        "# perfsuite determinism goldens: <key> <schedule_hash> <retired_hash>\n\
+         # Recorded from the seed engine; `perfsuite --bless` rewrites.\n",
+    );
+    for g in goldens {
+        s.push_str(&format!(
+            "{} {:#018x} {:#018x}\n",
+            g.key, g.schedule, g.retired
+        ));
+    }
+    s
+}
+
+/// Baseline perf numbers: `<row_key>.<metric> <value>` lines.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let key = it.next().expect("baseline key").to_string();
+            let v: f64 = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("bad baseline value in {l:?}"));
+            (key, v)
+        })
+        .collect()
+}
+
+fn render_baseline(rows: &[PerfRow]) -> String {
+    let mut s = String::from(
+        "# perfsuite recorded baseline: <row_key>.<metric> <value>\n\
+         # Recorded from the seed engine; `perfsuite --bless` rewrites.\n",
+    );
+    for row in rows {
+        for (name, v) in &row.metrics {
+            s.push_str(&format!("{}.{} {}\n", row.key, name, v));
+        }
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Perf rows
+
+struct PerfRow {
+    key: String,
+    metrics: Vec<(&'static str, f64)>,
+}
+
+fn runtime_metrics(key: String, report: &RunReport, wall: Duration) -> PerfRow {
+    let t = &report.telemetry;
+    let secs = wall.as_secs_f64().max(1e-9);
+    let grants = t.counter("grants") as f64;
+    let fast = t.counter("fast_path_grants") as f64;
+    let batch_mean = t.histogram("retire_batch").map_or(0.0, |h| h.mean());
+    PerfRow {
+        key,
+        metrics: vec![
+            ("wall_ns", wall.as_nanos() as f64),
+            ("grants", grants),
+            ("grants_per_sec", grants / secs),
+            ("fast_path_grants", fast),
+            ("fast_path_share", if grants > 0.0 { fast / grants } else { 0.0 }),
+            ("wakeups_issued", t.counter("wakeups_issued") as f64),
+            ("wakeups_spurious", t.counter("wakeups_spurious") as f64),
+            ("hot_path_allocs", t.counter("hot_path_allocs") as f64),
+            ("retire_batch_mean", batch_mean),
+            ("checkpoints", t.counter("checkpoints") as f64),
+            ("recoveries", t.counter("recovery_sessions") as f64),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Suite sections
+
+/// Fixed-parameter determinism sweep. The parameters here are part of the
+/// golden contract — never scale them with `--quick`.
+fn determinism(goldens: &mut Vec<Golden>) {
+    // Simulator: all ten paper workloads, fault-free and with the seeded
+    // (fully deterministic) injector at each program's Fig. 10 high rate.
+    let params = TraceParams::paper().scaled(0.04);
+    for prog in &PROGRAMS {
+        let w = build(prog.name, &params);
+        let clean = run_gprs(&w, &GprsSimConfig::balance_aware(8));
+        goldens.push(Golden {
+            key: format!("sim/{}/clean", prog.name),
+            schedule: clean.telemetry.schedule_hash,
+            retired: clean.telemetry.retired_hash,
+        });
+        // The goldens run at a tiny scale to stay cheap; the per-second
+        // Fig. 10 rates would land ~zero exceptions in so short a run.
+        // Derive the rate from the (deterministic) fault-free finish time
+        // so every workload takes a handful of hits, and cap the injected
+        // run at a fixed simulated cycle so a recovery storm still
+        // terminates — both inputs are deterministic, so the hash is too.
+        let rate = 8.0 * gprs_sim::costs::CYCLES_PER_SEC as f64 / clean.finish_cycles as f64;
+        let cfg = GprsSimConfig::balance_aware(8)
+            .with_exceptions(injector(rate, 8, 0xD37E))
+            .with_time_cap(clean.finish_cycles.saturating_mul(12));
+        let injected = run_gprs(&w, &cfg);
+        goldens.push(Golden {
+            key: format!("sim/{}/injected", prog.name),
+            schedule: injected.telemetry.schedule_hash,
+            retired: injected.telemetry.retired_hash,
+        });
+        eprintln!("  determinism sim/{} done", prog.name);
+    }
+
+    // Real runtime, fault-free: hashes must agree at every worker count,
+    // so each program contributes ONE golden plus a cross-worker assert.
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut push_rt = |key: &str, runs: Vec<(u64, u64)>| {
+        let first = runs[0];
+        for (w, r) in worker_counts.iter().zip(&runs) {
+            assert_eq!(
+                *r, first,
+                "{key}: determinism hashes differ between 1 and {w} workers"
+            );
+        }
+        goldens.push(Golden {
+            key: key.to_string(),
+            schedule: first.0,
+            retired: first.1,
+        });
+        eprintln!("  determinism {key} done (identical at 1/2/4/8 workers)");
+    };
+
+    push_rt(
+        "rt/fetchadd",
+        worker_counts
+            .iter()
+            .map(|&w| {
+                let t = chain_run(w, 8, 64).telemetry;
+                (t.schedule_hash, t.retired_hash)
+            })
+            .collect(),
+    );
+
+    let input = generate_corpus(30_000, 11);
+    push_rt(
+        "rt/pbzip",
+        worker_counts
+            .iter()
+            .map(|&w| {
+                let mut b = GprsBuilder::new().workers(w);
+                let _ = build_pbzip_pipeline(&mut b, input.clone(), 2048, 2);
+                let t = b.build().run().unwrap().telemetry;
+                (t.schedule_hash, t.retired_hash)
+            })
+            .collect(),
+    );
+
+    let data = generate_corpus(32_000, 5);
+    push_rt(
+        "rt/histogram",
+        worker_counts
+            .iter()
+            .map(|&w| {
+                let mut b = GprsBuilder::new().workers(w);
+                let acc = b.mutex(vec![0u64; 256]);
+                for chunk in data.chunks(4_000) {
+                    b.thread(HistogramWorker::new(chunk.to_vec(), acc), GroupId::new(0), 1);
+                }
+                let t = b.build().run().unwrap().telemetry;
+                (t.schedule_hash, t.retired_hash)
+            })
+            .collect(),
+    );
+}
+
+fn perf(quick: bool) -> Vec<PerfRow> {
+    let mut rows = Vec::new();
+
+    // Grant/retire micro-path: 8 disjoint fetch-add chains, swept across
+    // worker counts. This is the path the OrderGate fast path targets.
+    let rounds = if quick { 128 } else { 1024 };
+    for workers in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let report = chain_run(workers, 8, rounds);
+        let wall = t0.elapsed();
+        rows.push(runtime_metrics(
+            format!("grant_retire/w{workers}"),
+            &report,
+            wall,
+        ));
+        eprintln!("  perf grant_retire/w{workers} done ({wall:?})");
+    }
+
+    // Checkpoint capture path: large mod sets make `checkpoint()` the cost
+    // the off-critical-section hand-off is meant to hide.
+    let heavy_rounds = if quick { 48 } else { 256 };
+    for workers in [1usize, 4] {
+        let t0 = Instant::now();
+        let report = heavy_run(workers, 4, heavy_rounds, 16 * 1024);
+        let wall = t0.elapsed();
+        rows.push(runtime_metrics(
+            format!("checkpoint/w{workers}"),
+            &report,
+            wall,
+        ));
+        eprintln!("  perf checkpoint/w{workers} done ({wall:?})");
+    }
+
+    // Recovery path under an injection storm (wall-clock injection timing
+    // makes this row a throughput probe, not a determinism golden).
+    {
+        let rounds = if quick { 256 } else { 1024 };
+        let mut b = GprsBuilder::new().workers(4);
+        for _ in 0..4 {
+            let a = b.atomic(0);
+            b.thread(Chain { atomic: a, rounds, done: 0 }, GroupId::new(0), 1);
+        }
+        let gprs = b.build();
+        let inj = storm(gprs.controller(), Duration::from_micros(400));
+        let t0 = Instant::now();
+        let report = gprs.run().unwrap();
+        let wall = t0.elapsed();
+        inj.join().unwrap();
+        rows.push(runtime_metrics("recovery/w4".to_string(), &report, wall));
+        eprintln!("  perf recovery/w4 done ({wall:?})");
+    }
+
+    // CPR baseline executor on the identical chain program: keeps the
+    // Fig. 8/10 comparison honest once both executors drop notify_all.
+    {
+        let rounds = if quick { 128 } else { 1024 };
+        let wall = cpr_chain_run(4, 8, rounds);
+        rows.push(PerfRow {
+            key: "cpr_chain/w4".to_string(),
+            metrics: vec![("wall_ns", wall.as_nanos() as f64)],
+        });
+        eprintln!("  perf cpr_chain/w4 done ({wall:?})");
+    }
+
+    // Simulator recovery hot loop (`affected_set`/`plan_recovery`): host
+    // wall time of injected sim runs — the O(window) rescan shows up here.
+    let scale = if quick { 0.05 } else { 0.15 };
+    for name in ["canneal", "dedup"] {
+        let w = build(name, &TraceParams::paper().scaled(scale));
+        let info = gprs_workloads::traces::info(name);
+        let cfg = GprsSimConfig::balance_aware(24)
+            .with_exceptions(injector(info.fig10_high_rate, 24, 0x5EED));
+        let t0 = Instant::now();
+        let r = run_gprs(&w, &cfg);
+        let wall = t0.elapsed();
+        rows.push(PerfRow {
+            key: format!("sim_recovery/{name}"),
+            metrics: vec![
+                ("wall_ns", wall.as_nanos() as f64),
+                ("recoveries", r.telemetry.counter("recovery_sessions") as f64),
+                ("squashed", r.squashed as f64),
+                ("subthreads", r.subthreads as f64),
+                (
+                    "subthreads_per_sec",
+                    r.subthreads as f64 / wall.as_secs_f64().max(1e-9),
+                ),
+            ],
+        });
+        eprintln!("  perf sim_recovery/{name} done ({wall:?})");
+    }
+
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Output
+
+fn write_json(
+    path: &std::path::Path,
+    quick: bool,
+    goldens: &[Golden],
+    drift: &[String],
+    rows: &[PerfRow],
+    baseline: &[(String, f64)],
+) {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("suite", "perfsuite");
+    w.key("quick").bool(quick);
+    w.key("determinism").begin_object();
+    w.field_u64("checked", goldens.len() as u64);
+    w.field_u64("drift", drift.len() as u64);
+    w.key("hashes").begin_object();
+    for g in goldens {
+        w.key(&g.key).begin_object();
+        w.field_hex("schedule_hash", g.schedule);
+        w.field_hex("retired_hash", g.retired);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    w.key("perf").begin_object();
+    for row in rows {
+        w.key(&row.key).begin_object();
+        for (name, v) in &row.metrics {
+            w.key(name).f64(*v);
+        }
+        for (name, v) in &row.metrics {
+            let bkey = format!("{}.{}", row.key, name);
+            if let Some((_, base)) = baseline.iter().find(|(k, _)| *k == bkey) {
+                if *base > 0.0 {
+                    w.key(&format!("{name}_vs_baseline")).f64(v / base);
+                }
+            }
+        }
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    std::fs::write(path, w.finish()).expect("write BENCH_perf.json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let bless = args.iter().any(|a| a == "--bless");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf.json")
+        });
+
+    println!(
+        "perfsuite ({}{})",
+        if quick { "quick" } else { "full" },
+        if bless { ", blessing goldens" } else { "" }
+    );
+
+    println!("\n== determinism goldens (fixed parameters) ==");
+    let mut goldens = Vec::new();
+    determinism(&mut goldens);
+
+    let dir = goldens_dir();
+    let golden_path = dir.join("determinism.txt");
+    let mut drift: Vec<String> = Vec::new();
+    if bless {
+        std::fs::create_dir_all(&dir).expect("create goldens dir");
+        std::fs::write(&golden_path, render_goldens(&goldens)).expect("write goldens");
+        println!("blessed {} hashes -> {}", goldens.len(), golden_path.display());
+    } else {
+        match std::fs::read_to_string(&golden_path) {
+            Ok(text) => {
+                let committed = parse_goldens(&text);
+                for g in &goldens {
+                    match committed.iter().find(|c| c.key == g.key) {
+                        None => drift.push(format!("{}: no committed golden", g.key)),
+                        Some(c) if c != g => drift.push(format!(
+                            "{}: schedule {:#x} vs golden {:#x}, retired {:#x} vs golden {:#x}",
+                            g.key, g.schedule, c.schedule, g.retired, c.retired
+                        )),
+                        Some(_) => {}
+                    }
+                }
+                if drift.is_empty() {
+                    println!("all {} determinism hashes match the goldens", goldens.len());
+                }
+            }
+            Err(_) => {
+                println!(
+                    "no goldens at {} — run with --bless to record them",
+                    golden_path.display()
+                );
+            }
+        }
+    }
+    for d in &drift {
+        eprintln!("DETERMINISM DRIFT: {d}");
+    }
+
+    println!("\n== perf ==");
+    let rows = perf(quick);
+
+    let baseline_path = dir.join("baseline_perf.txt");
+    let baseline = if bless {
+        std::fs::write(&baseline_path, render_baseline(&rows)).expect("write baseline");
+        println!("blessed baseline -> {}", baseline_path.display());
+        Vec::new()
+    } else {
+        std::fs::read_to_string(&baseline_path)
+            .map(|t| parse_baseline(&t))
+            .unwrap_or_default()
+    };
+
+    let mut table = Vec::new();
+    for row in &rows {
+        let get = |n: &str| row.metrics.iter().find(|(m, _)| *m == n).map(|(_, v)| *v);
+        let gps = get("grants_per_sec");
+        let speedup = gps.and_then(|v| {
+            baseline
+                .iter()
+                .find(|(k, _)| *k == format!("{}.grants_per_sec", row.key))
+                .filter(|(_, b)| *b > 0.0)
+                .map(|(_, b)| v / b)
+        });
+        table.push(vec![
+            row.key.clone(),
+            format!("{:.2}", get("wall_ns").unwrap_or(0.0) / 1e6),
+            gps.map_or("-".into(), |v| format!("{v:.0}")),
+            get("fast_path_share").map_or("-".into(), |v| format!("{:.1}%", v * 100.0)),
+            speedup.map_or("-".into(), |s| format!("{s:.2}x")),
+        ]);
+    }
+    print_table(
+        "perfsuite",
+        &["path", "wall (ms)", "grants/s", "fast-path", "vs baseline"],
+        &table,
+    );
+
+    write_json(&out, quick, &goldens, &drift, &rows, &baseline);
+    println!("\nwrote {}", out.display());
+
+    if !drift.is_empty() {
+        eprintln!("{} determinism hash(es) drifted from the goldens", drift.len());
+        std::process::exit(1);
+    }
+}

@@ -18,6 +18,8 @@
 use crate::error::{GprsError, Result};
 use crate::ids::{GroupId, SubThreadId, ThreadId};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A deterministic token-passing schedule over live threads.
 ///
@@ -350,6 +352,94 @@ impl OrderingPolicy for UnitWeights {
     }
 }
 
+/// Lock-free mirror of the enforcer's grant frontier.
+///
+/// The deterministic total order means "may this thread's want proceed?" is
+/// a comparison against a single monotonically advancing frontier: the
+/// current token holder and the next sequence number. The [`OrderEnforcer`]
+/// (which always mutates under the runtime's state lock) publishes that
+/// frontier here after every mutation; workers read it with one atomic load
+/// and *never* touch the lock just to learn whose turn it is.
+///
+/// The holder and a version stamp are packed into one word —
+/// `epoch << 32 | holder_raw + 1` (low half 0 = no holder) — so a reader
+/// always observes a (epoch, holder) pair that actually existed. The next
+/// ticket is published separately *before* the word, so after an acquire
+/// load of the word the ticket read is at least as new; both are advisory
+/// for readers outside the lock (the authoritative grant still happens
+/// under it), which is exactly what a go/no-go fast-path check needs: a
+/// stale "not my turn" only sends the worker to the slow path, and a stale
+/// "my turn" is re-verified by the locked grant.
+#[derive(Debug, Default)]
+pub struct OrderGate {
+    /// `epoch << 32 | holder_raw + 1`; low 32 bits 0 ⇔ no holder.
+    word: AtomicU64,
+    /// Raw [`SubThreadId`] the next grant will be assigned.
+    next_ticket: AtomicU64,
+}
+
+impl OrderGate {
+    /// An empty gate (no holder, ticket 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a new frontier, bumping the epoch. Called by the enforcer
+    /// under the state lock after every mutation.
+    pub fn publish(&self, holder: Option<ThreadId>, next_seq: SubThreadId) {
+        self.next_ticket.store(next_seq.raw(), Ordering::Release);
+        let old = self.word.load(Ordering::Relaxed);
+        let epoch = (old >> 32).wrapping_add(1) & u32::MAX as u64;
+        let low = holder.map_or(0, |t| u64::from(t.raw()) + 1);
+        self.word.store(epoch << 32 | low, Ordering::Release);
+    }
+
+    /// The published token holder (one atomic load).
+    pub fn holder(&self) -> Option<ThreadId> {
+        let low = self.word.load(Ordering::Acquire) & u32::MAX as u64;
+        (low != 0).then(|| ThreadId::new((low - 1) as u32))
+    }
+
+    /// Whether `thread` is the published holder (one atomic load).
+    pub fn is_next(&self, thread: ThreadId) -> bool {
+        self.holder() == Some(thread)
+    }
+
+    /// The published next-grant sequence number.
+    pub fn next_ticket(&self) -> SubThreadId {
+        SubThreadId::new(self.next_ticket.load(Ordering::Acquire))
+    }
+
+    /// The publication count (wraps at 2³²). Two equal epochs with equal
+    /// holders denote the same publication.
+    pub fn epoch(&self) -> u32 {
+        (self.word.load(Ordering::Acquire) >> 32) as u32
+    }
+
+    /// One consistent `(epoch, holder)` observation plus the ticket that is
+    /// at least as new as that observation.
+    pub fn snapshot(&self) -> GateSnapshot {
+        let word = self.word.load(Ordering::Acquire);
+        let low = word & u32::MAX as u64;
+        GateSnapshot {
+            epoch: (word >> 32) as u32,
+            holder: (low != 0).then(|| ThreadId::new((low - 1) as u32)),
+            next_ticket: SubThreadId::new(self.next_ticket.load(Ordering::Acquire)),
+        }
+    }
+}
+
+/// One atomic observation of the [`OrderGate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateSnapshot {
+    /// Publication count at the observation.
+    pub epoch: u32,
+    /// Token holder at the observation.
+    pub holder: Option<ThreadId>,
+    /// Next-grant sequence number (at least as new as `epoch`).
+    pub next_ticket: SubThreadId,
+}
+
 /// Combines a schedule with total-order sequence assignment.
 ///
 /// The enforcer is the core of the DEX's order enforcer block (Figure 4): a
@@ -357,22 +447,39 @@ impl OrderingPolicy for UnitWeights {
 /// the grant succeeds only while the thread holds the token, and consuming it
 /// assigns the next [`SubThreadId`] in the global total order and passes the
 /// token on.
+///
+/// Every mutation republishes the grant frontier to the shared lock-free
+/// [`OrderGate`] (see [`OrderEnforcer::gate`]).
 #[derive(Debug)]
 pub struct OrderEnforcer {
     policy: Box<dyn OrderingPolicy>,
     next_seq: SubThreadId,
     grants: u64,
+    gate: Arc<OrderGate>,
 }
 
 impl OrderEnforcer {
     /// Creates an enforcer over the given schedule; sequence numbers start
     /// at 0.
     pub fn new(policy: Box<dyn OrderingPolicy>) -> Self {
-        OrderEnforcer {
+        let e = OrderEnforcer {
             policy,
             next_seq: SubThreadId::new(0),
             grants: 0,
-        }
+            gate: Arc::new(OrderGate::new()),
+        };
+        e.republish();
+        e
+    }
+
+    /// The lock-free mirror of this enforcer's grant frontier. Cloning the
+    /// `Arc` lets workers check "is it my thread's turn?" without the lock.
+    pub fn gate(&self) -> Arc<OrderGate> {
+        Arc::clone(&self.gate)
+    }
+
+    fn republish(&self) {
+        self.gate.publish(self.policy.holder(), self.next_seq);
     }
 
     /// Convenience constructor from a [`ScheduleKind`].
@@ -390,7 +497,9 @@ impl OrderEnforcer {
         group: GroupId,
         weight: u32,
     ) -> Result<()> {
-        self.policy.register_thread(thread, group, weight)
+        self.policy.register_thread(thread, group, weight)?;
+        self.republish();
+        Ok(())
     }
 
     /// Deregisters an exited thread.
@@ -398,7 +507,9 @@ impl OrderEnforcer {
     /// # Errors
     /// Propagates [`GprsError::UnknownThread`].
     pub fn deregister_thread(&mut self, thread: ThreadId) -> Result<()> {
-        self.policy.deregister_thread(thread)
+        self.policy.deregister_thread(thread)?;
+        self.republish();
+        Ok(())
     }
 
     /// The thread whose turn it currently is.
@@ -417,6 +528,7 @@ impl OrderEnforcer {
             self.next_seq = self.next_seq.next();
             self.grants += 1;
             self.policy.advance();
+            self.republish();
             Some(id)
         } else {
             None
@@ -429,6 +541,7 @@ impl OrderEnforcer {
     pub fn pass_turn(&mut self, thread: ThreadId) -> bool {
         if self.policy.holder() == Some(thread) {
             self.policy.advance();
+            self.republish();
             true
         } else {
             false
@@ -624,6 +737,123 @@ mod tests {
         assert!(e.pass_turn(th(0))); // empty-FIFO poll: no sub-thread created
         assert_eq!(e.next_sequence(), SubThreadId::new(0));
         assert_eq!(e.try_grant(th(1)), Some(SubThreadId::new(0)));
+    }
+
+    #[test]
+    fn gate_mirrors_enforcer_frontier() {
+        let mut e = OrderEnforcer::with_schedule(ScheduleKind::RoundRobin);
+        let gate = e.gate();
+        assert_eq!(gate.holder(), None);
+        e.register_thread(th(0), grp(0), 1).unwrap();
+        e.register_thread(th(1), grp(0), 1).unwrap();
+        assert!(gate.is_next(th(0)));
+        assert!(!gate.is_next(th(1)));
+        assert_eq!(gate.next_ticket(), SubThreadId::new(0));
+
+        let before = gate.epoch();
+        assert_eq!(e.try_grant(th(0)), Some(SubThreadId::new(0)));
+        assert_ne!(gate.epoch(), before, "grant must republish");
+        assert!(gate.is_next(th(1)));
+        assert_eq!(gate.next_ticket(), SubThreadId::new(1));
+
+        assert!(e.pass_turn(th(1)));
+        assert!(gate.is_next(th(0)));
+        assert_eq!(gate.next_ticket(), SubThreadId::new(1), "pass consumes no ticket");
+
+        e.deregister_thread(th(0)).unwrap();
+        assert!(gate.is_next(th(1)));
+        e.deregister_thread(th(1)).unwrap();
+        assert_eq!(gate.holder(), None);
+    }
+
+    #[test]
+    fn gate_snapshot_is_internally_consistent() {
+        let gate = OrderGate::new();
+        gate.publish(Some(th(7)), SubThreadId::new(3));
+        let s = gate.snapshot();
+        assert_eq!(s.holder, Some(th(7)));
+        assert_eq!(s.next_ticket, SubThreadId::new(3));
+        let e0 = s.epoch;
+        gate.publish(None, SubThreadId::new(4));
+        let s2 = gate.snapshot();
+        assert_eq!(s2.holder, None);
+        assert_eq!(s2.epoch, e0.wrapping_add(1));
+    }
+
+    /// Loom-style interleaving stress for the ticket hand-off: one publisher
+    /// drives the gate through a logged sequence of frontiers while reader
+    /// threads race it. Every `(epoch, holder)` pair a reader observes must
+    /// be one the publisher actually published, epochs must never run
+    /// backwards within a reader, and the ticket attached to a snapshot must
+    /// be at least as new as the snapshot's epoch.
+    #[test]
+    fn gate_interleaving_stress() {
+        use std::sync::atomic::AtomicBool;
+
+        const PUBLICATIONS: u32 = 20_000;
+        let gate = Arc::new(OrderGate::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // The full publication log is a pure function of the index, so
+        // readers can validate observations without sharing mutable state:
+        // publication i sets holder = i % 7 (None when 6) and ticket = i.
+        let expected_holder = |i: u64| -> Option<ThreadId> {
+            let h = i % 7;
+            (h != 6).then(|| ThreadId::new(h as u32))
+        };
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last_epoch = 0u32;
+                    let mut observations = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        let s = gate.snapshot();
+                        // Epochs are monotone while the publisher is live
+                        // (no wrap in this test's range).
+                        assert!(
+                            s.epoch >= last_epoch,
+                            "epoch ran backwards: {} then {}",
+                            last_epoch,
+                            s.epoch
+                        );
+                        last_epoch = s.epoch;
+                        if s.epoch > 0 {
+                            // Publication i bumped the epoch to i+1.
+                            let i = u64::from(s.epoch - 1);
+                            assert_eq!(
+                                s.holder,
+                                expected_holder(i),
+                                "snapshot (epoch {}) pairs a holder never \
+                                 published with it",
+                                s.epoch
+                            );
+                            // The ticket was stored before the word: it is
+                            // at least the publication's, never older.
+                            assert!(
+                                s.next_ticket.raw() >= i,
+                                "ticket {} older than its epoch {}",
+                                s.next_ticket.raw(),
+                                s.epoch
+                            );
+                        }
+                        observations += 1;
+                    }
+                    observations
+                })
+            })
+            .collect();
+
+        for i in 0..u64::from(PUBLICATIONS) {
+            gate.publish(expected_holder(i), SubThreadId::new(i));
+        }
+        stop.store(true, Ordering::Release);
+        let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0);
+        assert_eq!(gate.epoch(), PUBLICATIONS);
+        assert_eq!(gate.next_ticket(), SubThreadId::new(u64::from(PUBLICATIONS) - 1));
     }
 
     #[test]

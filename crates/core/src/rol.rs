@@ -243,6 +243,14 @@ impl ReorderList {
     /// REX's continuous ROL-head monitoring loop.
     pub fn retire_ready(&mut self) -> Vec<RolEntry> {
         let mut out = Vec::new();
+        self.retire_ready_into(&mut out);
+        out
+    }
+
+    /// Like [`ReorderList::retire_ready`], but appends into a
+    /// caller-provided buffer so a hot retirement path can reuse one
+    /// allocation across batches.
+    pub fn retire_ready_into(&mut self, out: &mut Vec<RolEntry>) {
         while matches!(
             self.entries.front(),
             Some(e) if e.status == SubThreadStatus::Completed
@@ -250,7 +258,6 @@ impl ReorderList {
             self.retired += 1;
             out.push(self.entries.pop_front().expect("head exists"));
         }
-        out
     }
 
     /// The oldest excepted entry, if any (basic recovery waits for the

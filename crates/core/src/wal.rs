@@ -32,11 +32,25 @@ pub struct WalRecord<Op> {
 }
 
 impl<Op: Debug> WalRecord<Op> {
-    fn checksum_of(lsn: Lsn, subthread: SubThreadId, op: &Op) -> u64 {
+    /// The integrity checksum of a record with the given fields. Public so
+    /// a runtime can compute it *off* its critical section (the `Debug`
+    /// serialization dominates append cost) and attach it later with
+    /// [`WriteAheadLog::seal`].
+    ///
+    /// The `Debug` rendering of `op` streams straight into the hasher —
+    /// no intermediate `String` — so an append costs no heap allocation.
+    pub fn checksum_of(lsn: Lsn, subthread: SubThreadId, op: &Op) -> u64 {
+        struct HashWriter<'a, H: Hasher>(&'a mut H);
+        impl<H: Hasher> std::fmt::Write for HashWriter<'_, H> {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                self.0.write(s.as_bytes());
+                Ok(())
+            }
+        }
         let mut h = std::collections::hash_map::DefaultHasher::new();
         lsn.raw().hash(&mut h);
         subthread.raw().hash(&mut h);
-        format!("{op:?}").hash(&mut h);
+        let _ = std::fmt::Write::write_fmt(&mut HashWriter(&mut h), format_args!("{op:?}"));
         h.finish()
     }
 
@@ -103,6 +117,43 @@ impl<Op: Clone + Debug + Send> WriteAheadLog<Op> {
         lsn
     }
 
+    /// Appends an operation *without* computing its checksum (stored as 0,
+    /// an unsealed sentinel). The caller computes
+    /// [`WalRecord::checksum_of`] off the critical section — the `Debug`
+    /// formatting is the expensive part of an append — and attaches it with
+    /// [`WriteAheadLog::seal`] before the record can be verified.
+    ///
+    /// The write-ahead discipline is unchanged: the record (LSN, sub-thread,
+    /// op) is durable immediately; only the integrity hash arrives late.
+    pub fn append_deferred(&mut self, subthread: SubThreadId, op: Op) -> Lsn {
+        let lsn = self.next_lsn;
+        self.records.push_back(WalRecord {
+            lsn,
+            subthread,
+            op,
+            checksum: 0,
+        });
+        self.next_lsn = self.next_lsn.next();
+        self.appended += 1;
+        lsn
+    }
+
+    /// Attaches the checksum computed off the critical section to a record
+    /// appended with [`WriteAheadLog::append_deferred`]. Returns `false`
+    /// when the record was already pruned or undone — a sealed-too-late
+    /// no-op, not an error (its content was consumed or discarded whole).
+    pub fn seal(&mut self, lsn: Lsn, checksum: u64) -> bool {
+        // Records are kept in LSN order (append order, prunes preserve it),
+        // so a binary search finds the slot without a scan.
+        match self.records.binary_search_by_key(&lsn.raw(), |r| r.lsn.raw()) {
+            Ok(ix) => {
+                self.records[ix].checksum = checksum;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Iterates, newest-first, over the records of the squashed sub-threads —
     /// the reverse undo walk of `§3.4`.
     pub fn undo_records<'a>(
@@ -138,6 +189,20 @@ impl<Op: Clone + Debug + Send> WriteAheadLog<Op> {
     pub fn prune_retired(&mut self, subthread: SubThreadId) -> u64 {
         let before = self.records.len();
         self.records.retain(|r| r.subthread != subthread);
+        let removed = (before - self.records.len()) as u64;
+        self.pruned += removed;
+        removed
+    }
+
+    /// Prunes the records of a whole batch of retired sub-threads in one
+    /// pass — batched retirement's amortization of the per-sub-thread
+    /// `retain` scan. Returns the number of records removed.
+    pub fn prune_retired_batch(&mut self, retired: &BTreeSet<SubThreadId>) -> u64 {
+        if retired.is_empty() {
+            return 0;
+        }
+        let before = self.records.len();
+        self.records.retain(|r| !retired.contains(&r.subthread));
         let removed = (before - self.records.len()) as u64;
         self.pruned += removed;
         removed
@@ -278,6 +343,53 @@ mod tests {
         let mut wal = WriteAheadLog::new();
         wal.append(SubThreadId::new(0), TestOp::Pop(9));
         assert!(wal.iter().next().unwrap().is_intact());
+    }
+
+    #[test]
+    fn deferred_append_seals_later() {
+        let mut wal = WriteAheadLog::new();
+        let lsn = wal.append_deferred(SubThreadId::new(0), TestOp::Push(1));
+        assert!(!wal.iter().next().unwrap().is_intact(), "unsealed");
+        let sum = WalRecord::checksum_of(lsn, SubThreadId::new(0), &TestOp::Push(1));
+        assert!(wal.seal(lsn, sum));
+        assert!(wal.iter().next().unwrap().is_intact());
+        wal.verify().unwrap();
+    }
+
+    #[test]
+    fn seal_after_prune_is_a_noop() {
+        let mut wal = WriteAheadLog::new();
+        let lsn = wal.append_deferred(SubThreadId::new(3), TestOp::Pop(2));
+        wal.prune_retired(SubThreadId::new(3));
+        assert!(!wal.seal(lsn, 42));
+    }
+
+    #[test]
+    fn seal_finds_records_after_interior_prunes() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(SubThreadId::new(0), TestOp::Push(1));
+        let lsn = wal.append_deferred(SubThreadId::new(1), TestOp::Push(2));
+        wal.append(SubThreadId::new(0), TestOp::Push(3));
+        wal.prune_retired(SubThreadId::new(0));
+        let sum = WalRecord::checksum_of(lsn, SubThreadId::new(1), &TestOp::Push(2));
+        assert!(wal.seal(lsn, sum));
+        wal.verify().unwrap();
+    }
+
+    #[test]
+    fn batch_prune_matches_per_id_prunes() {
+        let mut a = WriteAheadLog::new();
+        let mut b = WriteAheadLog::new();
+        for i in 0..40u64 {
+            a.append(SubThreadId::new(i % 5), TestOp::Push(i as u32));
+            b.append(SubThreadId::new(i % 5), TestOp::Push(i as u32));
+        }
+        let removed_a = a.prune_retired(SubThreadId::new(1)) + a.prune_retired(SubThreadId::new(3));
+        let removed_b = b.prune_retired_batch(&set(&[1, 3]));
+        assert_eq!(removed_a, removed_b);
+        assert_eq!(a.pruned(), b.pruned());
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x.lsn == y.lsn));
+        assert_eq!(b.prune_retired_batch(&BTreeSet::new()), 0);
     }
 
     #[test]

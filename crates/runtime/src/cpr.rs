@@ -32,6 +32,7 @@ use gprs_telemetry::{
 };
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A snapshot-able pending synchronization request. `Spawn` and `Exit` are
@@ -138,25 +139,69 @@ pub(crate) struct CprInner {
     poisoned: Option<String>,
 }
 
-/// Shared state of a CPR run (lock + condvar).
+/// Shared state of a CPR run. Two waiter classes, two condvars: workers
+/// seeking a grant park on `cv`; steps blocked on a nested lock park on
+/// `lock_cv`. The split is what makes `notify_one` sound — a single mixed
+/// queue could hand a lock-release wakeup to a seeker (or vice versa) and
+/// strand the waiter that actually needed it.
 pub(crate) struct CprShared {
     inner: Mutex<CprInner>,
+    /// Grant seekers (one-at-a-time wakeup chains; broadcast on finish,
+    /// poison, rollback and checkpoint).
     cv: Condvar,
+    /// Steps blocked in [`CprShared::acquire_lock_blocking`].
+    lock_cv: Condvar,
+    /// Workers parked on `cv` / `lock_cv`. Mutated only while holding
+    /// `inner` (see the engine's `Shared::cv_sleepers` for the exactness
+    /// argument), so notify paths skip the kernel wake when nobody waits.
+    cv_sleepers: AtomicUsize,
+    lock_sleepers: AtomicUsize,
 }
 
 impl CprShared {
+    fn count_wakeup(&self, g: &CprInner) {
+        if g.telemetry.enabled() {
+            g.telemetry.metrics.wakeups_issued.inc();
+        }
+    }
+
+    /// `cv.notify_one()` gated on the exact sleeper count (callers hold
+    /// `inner`).
+    fn wake_one_seeker(&self, g: &CprInner) {
+        if self.cv_sleepers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        self.count_wakeup(g);
+        self.cv.notify_one();
+    }
+
+    /// `lock_cv.notify_all()` gated on the exact sleeper count.
+    fn wake_lock_waiters(&self, g: &CprInner) {
+        if self.lock_sleepers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        self.count_wakeup(g);
+        self.lock_cv.notify_all();
+    }
+
     pub(crate) fn release_lock(&self, lock: LockId, data: Box<dyn Recoverable>) {
         let mut g = self.inner.lock();
         let entry = g.locks.get_mut(&lock).expect("registered lock");
         entry.0 = false;
         entry.1 = Some(data);
-        drop(g);
-        self.cv.notify_all();
+        // Nested waiters plus one seeker (a Lock want may be grantable now).
+        self.wake_lock_waiters(&g);
+        self.wake_one_seeker(&g);
     }
 
     pub(crate) fn acquire_lock_blocking(&self, lock: LockId) -> Box<dyn Recoverable> {
+        let mut g = self.inner.lock();
+        let mut woke = false;
         loop {
-            let mut g = self.inner.lock();
+            assert!(
+                g.poisoned.is_none(),
+                "CPR executor poisoned while waiting for a nested lock"
+            );
             let entry = g.locks.get_mut(&lock).expect("registered lock");
             if !entry.0 {
                 if let Some(d) = entry.1.take() {
@@ -164,7 +209,13 @@ impl CprShared {
                     return d;
                 }
             }
-            self.cv.wait(&mut g);
+            if woke && g.telemetry.enabled() {
+                g.telemetry.metrics.wakeups_spurious.inc();
+            }
+            self.lock_sleepers.fetch_add(1, Ordering::Relaxed);
+            self.lock_cv.wait(&mut g);
+            self.lock_sleepers.fetch_sub(1, Ordering::Relaxed);
+            woke = true;
         }
     }
 
@@ -385,6 +436,9 @@ impl CprBuilder {
             shared: Arc::new(CprShared {
                 inner: Mutex::new(self.inner),
                 cv: Condvar::new(),
+                lock_cv: Condvar::new(),
+                cv_sleepers: AtomicUsize::new(0),
+                lock_sleepers: AtomicUsize::new(0),
             }),
             workers,
         }
@@ -685,16 +739,21 @@ fn cpr_worker(shared: &Arc<CprShared>, worker_ix: usize) {
             let mut g = shared.inner.lock();
             'find: loop {
                 if g.poisoned.is_some() || (g.live == 0 && g.running == 0) {
+                    // Terminal: every waiter class must see it.
                     shared.cv.notify_all();
+                    shared.lock_cv.notify_all();
                     return;
                 }
                 if g.rollback_requested > 0 {
                     if g.running == 0 {
                         g.rollback();
+                        // Rollback rewrites global state: broadcast (rare).
                         shared.cv.notify_all();
                         continue;
                     }
+                    shared.cv_sleepers.fetch_add(1, Ordering::Relaxed);
                     shared.cv.wait(&mut g);
+                    shared.cv_sleepers.fetch_sub(1, Ordering::Relaxed);
                     continue;
                 }
                 if g.grants_since_ckpt >= g.ckpt_every {
@@ -702,6 +761,8 @@ fn cpr_worker(shared: &Arc<CprShared>, worker_ix: usize) {
                 }
                 if g.ckpt_requested && !g.ckpt_blocked() {
                     g.take_checkpoint();
+                    // Checkpoint unblocks every drained seeker: broadcast
+                    // (bounded by ckpt_every, not per-grant).
                     shared.cv.notify_all();
                     continue;
                 }
@@ -727,7 +788,9 @@ fn cpr_worker(shared: &Arc<CprShared>, worker_ix: usize) {
                         Some(task) => {
                             g.stats.grants += 1;
                             g.grants_since_ckpt += 1;
-                            shared.cv.notify_all();
+                            // Keep one peer scanning while we run the step
+                            // (skipped when nobody is parked).
+                            shared.wake_one_seeker(&g);
                             break 'find task;
                         }
                         None => {
@@ -737,10 +800,14 @@ fn cpr_worker(shared: &Arc<CprShared>, worker_ix: usize) {
                     }
                 }
                 if structural_grant {
-                    shared.cv.notify_all();
+                    // State changed; keep scanning under the same
+                    // acquisition — follow-on grants fan out via the
+                    // post-grant wakeup chain.
                     continue;
                 }
+                shared.cv_sleepers.fetch_add(1, Ordering::Relaxed);
                 shared.cv.wait(&mut g);
+                shared.cv_sleepers.fetch_sub(1, Ordering::Relaxed);
             }
         };
         run_cpr_task(shared, worker_ix, task);
@@ -871,6 +938,7 @@ fn run_cpr_task(shared: &Arc<CprShared>, worker_ix: usize, task: CprTask) {
     let (leftover_lock, staged) = ctx.into_parts();
     let mut g = shared.inner.lock();
     g.running -= 1;
+    let released_lock = leftover_lock.is_some();
     if let Some((l, d)) = leftover_lock {
         let entry = g.locks.get_mut(&l).expect("registered");
         entry.0 = false;
@@ -910,10 +978,20 @@ fn run_cpr_task(shared: &Arc<CprShared>, worker_ix: usize, task: CprTask) {
             if g.poisoned.is_none() {
                 g.poisoned = Some(format!("CPR step of {tid} panicked: {msg}"));
             }
+            // Poison is terminal: wake every class so waiters bail out.
+            shared.cv.notify_all();
+            shared.lock_cv.notify_all();
+            return;
         }
     }
-    drop(g);
-    shared.cv.notify_all();
+    // Targeted wakeups: the depositing worker loops back to scan on its
+    // own, so one extra seeker suffices; a returned lock additionally
+    // wakes the nested waiters parked on it. Both are skipped outright
+    // when the corresponding parked count is zero.
+    if released_lock {
+        shared.wake_lock_waiters(&g);
+    }
+    shared.wake_one_seeker(&g);
 }
 
 #[cfg(test)]

@@ -194,8 +194,10 @@ impl StepCtx<'_> {
                 let mut g = shared.inner.lock();
                 g.return_lock(self.stid, lock, data);
                 g.bump();
-                drop(g);
-                shared.cv.notify_all();
+                // Targeted wakeups: nested waiters parked on this lock's
+                // shard, plus one seeker in case the token waits on it.
+                shared.wake_lock_shard(lock, &g.telemetry);
+                shared.wake_one_seeker(&g.telemetry);
             }
             CtxBackend::Cpr(shared) => {
                 shared.release_lock(lock, data);
@@ -220,12 +222,35 @@ impl StepCtx<'_> {
         }
         match &self.backend {
             CtxBackend::Gprs(shared) => {
-                let mut data = loop {
+                let lock = handle.id();
+                let shard_ix = crate::engine::Shared::shard_ix(lock);
+                let shard = &shared.lock_shards[shard_ix];
+                let mut data = {
                     let mut g = shared.inner.lock();
-                    if let Some(d) = g.try_nested_acquire(self.stid, handle.id()) {
-                        break d;
+                    let mut woke = false;
+                    loop {
+                        // Bail out of a poisoned runtime instead of waiting
+                        // for a release that will never come (the panic is
+                        // caught and folded into the poison message).
+                        assert!(
+                            g.poisoned.is_none(),
+                            "runtime poisoned while waiting for a nested lock"
+                        );
+                        if let Some(d) = g.try_nested_acquire(self.stid, lock) {
+                            break d;
+                        }
+                        if woke && g.telemetry.enabled() {
+                            g.telemetry.metrics.wakeups_spurious.inc();
+                        }
+                        // Wait on the lock's shard, not the scheduler
+                        // queue: only releases of (a shard-mate of) this
+                        // lock wake us.
+                        use std::sync::atomic::Ordering;
+                        shared.shard_sleepers[shard_ix].fetch_add(1, Ordering::Relaxed);
+                        shard.wait(&mut g);
+                        shared.shard_sleepers[shard_ix].fetch_sub(1, Ordering::Relaxed);
+                        woke = true;
                     }
-                    shared.cv.wait(&mut g);
                 };
                 let typed = data
                     .as_any_mut()
@@ -233,10 +258,10 @@ impl StepCtx<'_> {
                     .expect("mutex data type mismatch");
                 let out = f(typed);
                 let mut g = shared.inner.lock();
-                g.return_lock(self.stid, handle.id(), data);
+                g.return_lock(self.stid, lock, data);
                 g.bump();
-                drop(g);
-                shared.cv.notify_all();
+                shared.wake_lock_shard(lock, &g.telemetry);
+                shared.wake_one_seeker(&g.telemetry);
                 out
             }
             CtxBackend::Cpr(shared) => {

@@ -19,16 +19,19 @@ use crate::program::{DynThread, Payload, SpawnSpec, Step};
 use crate::report::RunStats;
 use gprs_core::exception::Exception;
 use gprs_core::ids::{
-    AtomicId, BarrierId, ChannelId, GroupId, LockId, ResourceId, SubThreadId, ThreadId,
+    AtomicId, BarrierId, ChannelId, GroupId, LockId, Lsn, ResourceId, SubThreadId, ThreadId,
 };
-use gprs_core::order::{OrderEnforcer, ScheduleKind};
+use gprs_core::order::{OrderEnforcer, OrderGate, ScheduleKind};
 use gprs_core::racecheck::{resource_code, AccessKind, OpenEdge, RaceDetector, RetireInfo};
 use gprs_core::rol::{ReorderList, RolEntry};
 use gprs_core::subthread::{SubThread, SubThreadKind, SyncOp};
-use gprs_core::wal::WriteAheadLog;
-use gprs_telemetry::{RetiredOrderHash, ScheduleHash, Telemetry, TelemetryConfig, TraceEvent};
+use gprs_core::wal::{WalRecord, WriteAheadLog};
+use gprs_telemetry::{
+    spsc, RetiredOrderHash, ScheduleHash, Telemetry, TelemetryConfig, TraceEvent,
+};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Which sub-threads recovery squashes.
@@ -231,10 +234,15 @@ impl std::fmt::Debug for HistoryStore {
 }
 
 impl HistoryStore {
-    pub fn prune_retired(&mut self, id: SubThreadId) {
-        self.thread_snaps.retain(|(_, s, _, _)| *s != id);
-        self.lock_snaps.retain(|(_, s, _, _)| *s != id);
-        self.block_snaps.retain(|(_, s, _, _)| *s != id);
+    /// Drops every snapshot belonging to a batch of retired sub-threads in
+    /// one retain pass per store (vs. one pass per sub-thread).
+    pub fn prune_retired_batch(&mut self, retired: &BTreeSet<SubThreadId>) {
+        if retired.is_empty() {
+            return;
+        }
+        self.thread_snaps.retain(|(_, s, _, _)| !retired.contains(s));
+        self.lock_snaps.retain(|(_, s, _, _)| !retired.contains(s));
+        self.block_snaps.retain(|(_, s, _, _)| !retired.contains(s));
     }
 }
 
@@ -257,6 +265,41 @@ pub(crate) struct StepTask {
     pub spawned: Option<ThreadId>,
     /// Lock data checked out for the critical section.
     pub lock_out: Option<(LockId, Box<dyn Recoverable>)>,
+    /// History sequence number reserved at grant for the thread checkpoint
+    /// the worker captures off-lock.
+    pub snap_seq: u64,
+    /// History sequence number reserved for the lock snapshot (only
+    /// meaningful when `lock_out` is set). Reserved *before* `snap_seq` so
+    /// undo order matches the old under-lock capture order.
+    pub lock_snap_seq: u64,
+    /// A deferred WAL record to checksum off-lock: the reserved LSN plus a
+    /// copy of the logged operation.
+    pub seal: Option<(Lsn, RtOp)>,
+}
+
+/// State captured by a worker outside the engine lock, handed back through
+/// the worker's SPSC buffer and folded into [`Inner`] at the worker's next
+/// lock acquisition (its deposit). Entries only exist between a task's
+/// grant and its deposit, so at any quiescent point — in particular when
+/// recovery runs — every buffer is empty and the history store / WAL are
+/// complete.
+pub(crate) enum HandOff {
+    /// A thread checkpoint for the history buffer.
+    ThreadSnap {
+        seq: u64,
+        stid: SubThreadId,
+        thread: ThreadId,
+        snap: Box<dyn std::any::Any + Send>,
+    },
+    /// A critical section's lock-data snapshot.
+    LockSnap {
+        seq: u64,
+        stid: SubThreadId,
+        lock: LockId,
+        snap: Box<dyn Recoverable>,
+    },
+    /// The checksum for a WAL record appended with a deferred checksum.
+    Seal { lsn: Lsn, checksum: u64 },
 }
 
 /// Everything behind the runtime mutex.
@@ -310,6 +353,11 @@ pub(crate) struct Inner {
     /// Plain accesses recorded by running bodies, per sub-thread in program
     /// order (consumed by the detector at retirement).
     pub plain_accesses: BTreeMap<SubThreadId, Vec<(ResourceId, AccessKind)>>,
+    /// Recycled access vectors for `plain_accesses` (bounded pool; misses
+    /// count as `hot_path_allocs`).
+    pub access_pool: Vec<Vec<(ResourceId, AccessKind)>>,
+    /// Reusable batch buffer for [`Inner::retire_ready`].
+    pub retire_scratch: Vec<RolEntry>,
     /// Pop sub-thread -> producing (push) sub-thread, for the detector's
     /// push→pop edge (the opening want does not carry provenance).
     pub race_pop_src: BTreeMap<SubThreadId, SubThreadId>,
@@ -331,10 +379,122 @@ impl std::fmt::Debug for Inner {
     }
 }
 
-/// The lock + condvar pair shared by workers, contexts and controllers.
+/// Number of condvar shards for nested lock waits (keyed by `LockId`).
+pub(crate) const LOCK_SHARDS: usize = 16;
+
+/// The state shared by workers, contexts and controllers: the big lock plus
+/// the lock-free structures that keep hot paths off it.
 pub(crate) struct Shared {
     pub inner: Mutex<Inner>,
+    /// Scheduler queue: workers seeking a grant wait here. Woken one at a
+    /// time (`notify_one` chains); broadcast only on finish/poison/recovery.
     pub cv: Condvar,
+    /// Lock-free mirror of the enforcer's grant frontier, republished under
+    /// the lock at every token movement. Advisory outside the lock: used to
+    /// decide whether a deposit needs to wake a peer, never to grant.
+    pub gate: Arc<OrderGate>,
+    /// Set (under the lock) when the run finished or poisoned, so
+    /// `Controller::is_finished` polls without taking the lock.
+    pub done: AtomicBool,
+    /// Keyed wait queues for blocking *nested* lock acquisition from inside
+    /// running steps; `release`/`unlock` wakes only the lock's shard.
+    pub lock_shards: [Condvar; LOCK_SHARDS],
+    /// Per-worker SPSC hand-off buffers for off-lock captured state (see
+    /// [`HandOff`]). Strict single-owner: worker `i` alone pushes to and
+    /// drains `handoffs[i]`.
+    pub handoffs: Vec<spsc::Channel<HandOff>>,
+    /// Workers currently parked on `cv`. Mutated only while holding the
+    /// engine lock (incremented before the wait releases it, decremented
+    /// after the wait reacquires it), so a reader that holds the lock sees
+    /// the exact count — `wake_one_seeker` skips the kernel wake syscall
+    /// outright when nobody is parked, which is the common case on the
+    /// grant fast path.
+    pub cv_sleepers: AtomicUsize,
+    /// Nested-acquire waiters parked per lock shard; same discipline as
+    /// [`Shared::cv_sleepers`].
+    pub shard_sleepers: [AtomicUsize; LOCK_SHARDS],
+    /// Configured worker count (for the spare-CPU wake heuristic).
+    pub workers: usize,
+    /// Hardware parallelism at construction. Waking a peer to overlap
+    /// seeking/stepping only helps when a CPU is free to run it; on an
+    /// oversubscribed host the wake merely preempts the worker that would
+    /// have reached the work itself (same adaptive idea as spin-then-park
+    /// mutexes, which also consult the CPU count).
+    pub cpus: usize,
+}
+
+impl Shared {
+    pub fn new(inner: Inner) -> Self {
+        let gate = inner.enforcer.gate();
+        let workers = inner.cfg.workers;
+        Shared {
+            inner: Mutex::new(inner),
+            cv: Condvar::new(),
+            gate,
+            done: AtomicBool::new(false),
+            lock_shards: std::array::from_fn(|_| Condvar::new()),
+            handoffs: (0..workers).map(|_| spsc::Channel::new(8)).collect(),
+            cv_sleepers: AtomicUsize::new(0),
+            shard_sleepers: std::array::from_fn(|_| AtomicUsize::new(0)),
+            workers,
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// Whether a woken peer would have a CPU to run on: overlap wakes are
+    /// issued only while the unparked worker set undersubscribes the
+    /// hardware. Liveness never depends on these wakes — a granting or
+    /// depositing worker always re-scans the frontier itself after its
+    /// step — so suppressing them on an oversubscribed host only removes
+    /// futile preemption.
+    pub fn spare_cpu(&self) -> bool {
+        self.workers
+            .saturating_sub(self.cv_sleepers.load(Ordering::Relaxed))
+            < self.cpus
+    }
+
+    /// Which shard a nested waiter for `lock` parks on.
+    pub fn shard_ix(lock: LockId) -> usize {
+        lock.raw() as usize % LOCK_SHARDS
+    }
+
+    /// Wakes one worker parked on the scheduler queue. Callers hold the
+    /// engine lock, so the sleeper count is exact: when it is zero no
+    /// worker is parked and none can park before we release the lock (a
+    /// late seeker re-scans the post-update state before waiting), so the
+    /// kernel wake can be skipped entirely.
+    pub fn wake_one_seeker(&self, telemetry: &Telemetry) {
+        if self.cv_sleepers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        if telemetry.enabled() {
+            telemetry.metrics.wakeups_issued.inc_serialized();
+        }
+        self.cv.notify_one();
+    }
+
+    /// Wakes the nested waiters parked on `lock`'s shard. Same exactness
+    /// argument as [`Shared::wake_one_seeker`]: callers hold the engine
+    /// lock and shard waiters only mutate their count under it.
+    pub fn wake_lock_shard(&self, lock: LockId, telemetry: &Telemetry) {
+        let ix = Self::shard_ix(lock);
+        if self.shard_sleepers[ix].load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        if telemetry.enabled() {
+            telemetry.metrics.wakeups_issued.inc_serialized();
+        }
+        self.lock_shards[ix].notify_all();
+    }
+
+    /// Broadcast to every waiter class — finish, poison, and
+    /// post-recovery, where any waiter may have become runnable.
+    pub fn wake_all(&self) {
+        self.cv.notify_all();
+        for shard in &self.lock_shards {
+            shard.notify_all();
+        }
+    }
 }
 
 impl std::fmt::Debug for Shared {
@@ -347,7 +507,15 @@ pub(crate) type SharedRef = Arc<Shared>;
 
 /// What a worker decided to do after inspecting the state.
 enum Decision {
-    Run(StepTask),
+    Run {
+        task: StepTask,
+        /// Deferred peer wake, decided under the lock but issued after it
+        /// is released: the new grant frontier already has an armed
+        /// deposit a parked peer could take, and at least one peer is
+        /// parked. Notifying after unlock spares the woken worker an
+        /// immediate stall on the still-held mutex.
+        wake_peer: bool,
+    },
     Finished,
 }
 
@@ -391,6 +559,8 @@ impl Inner {
             raw_trace: Vec::new(),
             racecheck,
             plain_accesses: BTreeMap::new(),
+            access_pool: Vec::new(),
+            retire_scratch: Vec::new(),
             race_pop_src: BTreeMap::new(),
             race_arrivals: BTreeMap::new(),
             poisoned: None,
@@ -439,73 +609,90 @@ impl Inner {
         self.pass_streak = 0;
     }
 
-    /// Retires completed head sub-threads: prunes checkpoints and WAL
-    /// records, commits staged file output (the output-commit point), and
-    /// drops dependence metadata.
+    /// Retires the maximal run of completed head sub-threads as one batch:
+    /// per-entry dependence metadata and staged file output (the
+    /// output-commit point) are handled entry by entry, but checkpoint and
+    /// WAL pruning run once per batch — a single retain pass per store
+    /// instead of one per retired sub-thread.
     fn retire_ready(&mut self) {
-        for entry in self.rol.retire_ready() {
-            let id = entry.id();
-            let thread = entry.thread();
-            self.stats.retired += 1;
-            self.retired_hash
-                .record(thread.raw(), entry.descriptor.kind.tag());
-            let pruned = self.wal.prune_retired(id);
-            self.hist.prune_retired(id);
+        let mut entries = std::mem::take(&mut self.retire_scratch);
+        entries.clear();
+        self.rol.retire_ready_into(&mut entries);
+        if !entries.is_empty() {
+            let mut batch: BTreeSet<SubThreadId> = BTreeSet::new();
+            for entry in &entries {
+                let id = entry.id();
+                let thread = entry.thread();
+                batch.insert(id);
+                self.stats.retired += 1;
+                self.retired_hash
+                    .record(thread.raw(), entry.descriptor.kind.tag());
+                if self.telemetry.enabled() {
+                    self.telemetry.metrics.retired.inc_serialized();
+                    self.telemetry.record(
+                        EXTERNAL_RING,
+                        TraceEvent::Retire {
+                            subthread: id.raw(),
+                            thread: thread.raw(),
+                        },
+                    );
+                }
+                if self.racecheck.is_some() {
+                    self.race_retire(entry);
+                }
+                self.opening.remove(&id);
+                self.edges.remove(&id);
+                if let Some(gen_key) = self.arrival_gen.remove(&id) {
+                    if let Some(gen) = self.gens.get_mut(&gen_key) {
+                        gen.arrivals.retain(|&a| a != id);
+                        if gen.arrivals.is_empty() {
+                            self.gens.remove(&gen_key);
+                        }
+                    }
+                }
+                for gen in self.gens.values_mut() {
+                    gen.resumes.retain(|&r| r != id);
+                }
+                for file in self.files.values_mut() {
+                    let mut staged = std::mem::take(&mut file.staged);
+                    staged.retain(|(s, bytes)| {
+                        if *s == id {
+                            file.committed.extend_from_slice(bytes);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    file.staged = staged;
+                }
+            }
+            let pruned = self.wal.prune_retired_batch(&batch);
+            self.hist.prune_retired_batch(&batch);
             if self.telemetry.enabled() {
-                self.telemetry.metrics.retired.inc();
-                self.telemetry.metrics.wal_prunes.add(pruned);
-                self.telemetry.record(
-                    EXTERNAL_RING,
-                    TraceEvent::Retire {
-                        subthread: id.raw(),
-                        thread: thread.raw(),
-                    },
-                );
+                self.telemetry.metrics.wal_prunes.add_serialized(pruned);
+                self.telemetry
+                    .metrics
+                    .retire_batch
+                    .record_serialized(entries.len() as u64);
                 if pruned > 0 {
                     self.telemetry.record(
                         EXTERNAL_RING,
                         TraceEvent::WalPrune {
-                            subthread: id.raw(),
+                            subthread: entries[0].id().raw(),
                             records: pruned,
                         },
                     );
                 }
             }
-            if self.racecheck.is_some() {
-                self.race_retire(&entry);
-            }
-            self.opening.remove(&id);
-            self.edges.remove(&id);
-            if let Some(gen_key) = self.arrival_gen.remove(&id) {
-                if let Some(gen) = self.gens.get_mut(&gen_key) {
-                    gen.arrivals.retain(|&a| a != id);
-                    if gen.arrivals.is_empty() {
-                        self.gens.remove(&gen_key);
-                    }
-                }
-            }
-            for gen in self.gens.values_mut() {
-                gen.resumes.retain(|&r| r != id);
-            }
-            for file in self.files.values_mut() {
-                let mut staged = std::mem::take(&mut file.staged);
-                staged.retain(|(s, bytes)| {
-                    if *s == id {
-                        file.committed.extend_from_slice(bytes);
-                        false
-                    } else {
-                        true
-                    }
-                });
-                file.staged = staged;
-            }
         }
+        entries.clear();
+        self.retire_scratch = entries;
         self.stats.rol_peak = self.stats.rol_peak.max(self.rol.peak_occupancy());
         if self.telemetry.enabled() {
             self.telemetry
                 .metrics
                 .rol_occupancy_hw
-                .observe(self.rol.peak_occupancy() as u64);
+                .observe_serialized(self.rol.peak_occupancy() as u64);
         }
     }
 
@@ -555,7 +742,7 @@ impl Inner {
         if !races.is_empty() {
             self.stats.races += races.len() as u64;
             if self.telemetry.enabled() {
-                self.telemetry.metrics.races_detected.add(races.len() as u64);
+                self.telemetry.metrics.races_detected.add_serialized(races.len() as u64);
                 for race in &races {
                     self.telemetry.record(
                         EXTERNAL_RING,
@@ -568,6 +755,59 @@ impl Inner {
                 }
             }
         }
+        self.recycle_access_vec(accesses);
+    }
+
+    /// Returns a consumed plain-access vector to the bounded pool.
+    pub(crate) fn recycle_access_vec(&mut self, mut v: Vec<(ResourceId, AccessKind)>) {
+        if self.access_pool.len() < 64 && v.capacity() > 0 {
+            v.clear();
+            self.access_pool.push(v);
+        }
+    }
+
+    /// Records one plain access for the race detector, reusing a pooled
+    /// vector when the sub-thread has none yet.
+    fn record_plain_access(&mut self, stid: SubThreadId, res: ResourceId, kind: AccessKind) {
+        use std::collections::btree_map::Entry;
+        match self.plain_accesses.entry(stid) {
+            Entry::Occupied(e) => e.into_mut().push((res, kind)),
+            Entry::Vacant(e) => {
+                let v = match self.access_pool.pop() {
+                    Some(v) => v,
+                    None => {
+                        if self.telemetry.enabled() {
+                            self.telemetry.metrics.hot_path_allocs.inc_serialized();
+                        }
+                        Vec::new()
+                    }
+                };
+                e.insert(v).push((res, kind));
+            }
+        }
+    }
+
+    /// Folds one off-lock captured hand-off into the bookkeeping (see
+    /// [`HandOff`]). A seal for an already-pruned record is a benign no-op:
+    /// the sub-thread retired before its producer's next lock acquisition.
+    pub(crate) fn apply_handoff(&mut self, h: HandOff) {
+        match h {
+            HandOff::ThreadSnap {
+                seq,
+                stid,
+                thread,
+                snap,
+            } => self.hist.thread_snaps.push((seq, stid, thread, snap)),
+            HandOff::LockSnap {
+                seq,
+                stid,
+                lock,
+                snap,
+            } => self.hist.lock_snaps.push((seq, stid, lock, snap)),
+            HandOff::Seal { lsn, checksum } => {
+                let _ = self.wal.seal(lsn, checksum);
+            }
+        }
     }
 
     /// Reads a shared cell without synchronization (a *plain* load): the
@@ -576,10 +816,7 @@ impl Inner {
     pub(crate) fn plain_load(&mut self, stid: SubThreadId, atomic: AtomicId) -> u64 {
         let v = *self.atomics.get(&atomic).expect("registered atomic");
         if self.racecheck.is_some() {
-            self.plain_accesses
-                .entry(stid)
-                .or_default()
-                .push((ResourceId::Atomic(atomic), AccessKind::Read));
+            self.record_plain_access(stid, ResourceId::Atomic(atomic), AccessKind::Read);
         }
         v
     }
@@ -602,28 +839,43 @@ impl Inner {
             .expect("registered atomic");
         self.wal_append(worker, stid, RtOp::PlainStore { atomic, old });
         if self.racecheck.is_some() {
-            self.plain_accesses
-                .entry(stid)
-                .or_default()
-                .push((ResourceId::Atomic(atomic), AccessKind::Write));
+            self.record_plain_access(stid, ResourceId::Atomic(atomic), AccessKind::Write);
         }
     }
 
     /// Appends a WAL record and traces it.
     fn wal_append(&mut self, worker: usize, stid: SubThreadId, op: RtOp) {
         self.wal.append(stid, op);
+        self.trace_wal_append(worker, stid);
+    }
+
+    /// Appends a WAL record with a deferred checksum (the expensive part of
+    /// record construction), returning the reserved LSN plus a copy of the
+    /// operation so the granted worker can compute and hand back the
+    /// checksum outside the lock. Used only on the hot grant arms.
+    fn wal_append_deferred(&mut self, worker: usize, stid: SubThreadId, op: RtOp) -> (Lsn, RtOp) {
+        let lsn = self.wal.append_deferred(stid, op.clone());
+        self.trace_wal_append(worker, stid);
+        (lsn, op)
+    }
+
+    fn trace_wal_append(&mut self, worker: usize, stid: SubThreadId) {
         if self.telemetry.enabled() {
-            self.telemetry.metrics.wal_appends.inc();
+            self.telemetry.metrics.wal_appends.inc_serialized();
             self.telemetry
                 .metrics
                 .wal_outstanding_hw
-                .observe(self.wal.len() as u64);
+                .observe_serialized(self.wal.len() as u64);
             self.telemetry
                 .record(worker, TraceEvent::WalAppend { subthread: stid.raw() });
         }
     }
 
-    /// Creates the sub-thread record for a fresh grant.
+    /// Creates the sub-thread record for a fresh grant. Returns the history
+    /// sequence number reserved for the thread checkpoint: the snapshot
+    /// itself is captured by the granted worker *outside* the lock (nothing
+    /// touches the program between grant and step start, so the off-lock
+    /// snapshot is bit-identical) and handed back via [`HandOff`].
     #[allow(clippy::too_many_arguments)]
     fn open_subthread(
         &mut self,
@@ -633,15 +885,12 @@ impl Inner {
         opening_op: Option<SyncOp>,
         want: OpeningWant,
         worker: usize,
-    ) {
+    ) -> u64 {
         let rec = self.threads.get_mut(&thread).expect("thread exists");
         let prev = rec.current_st;
         let group = rec.group;
-        let program = rec.program.as_ref().expect("program parked while waiting");
-        let snap = program.save();
         self.hist.seq += 1;
-        let seq = self.hist.seq;
-        self.hist.thread_snaps.push((seq, stid, thread, snap));
+        let snap_seq = self.hist.seq;
         self.rol
             .insert(SubThread::new(stid, thread, group, kind, opening_op))
             .expect("grants are issued in total order");
@@ -655,11 +904,11 @@ impl Inner {
         }
         self.stats.subthreads += 1;
         if self.telemetry.enabled() {
-            self.telemetry.metrics.subthreads_created.inc();
-            self.telemetry.metrics.grants.inc();
+            self.telemetry.metrics.subthreads_created.inc_serialized();
+            self.telemetry.metrics.grants.inc_serialized();
             // The per-grant thread snapshot above is this sub-thread's
             // history-buffer checkpoint; snapshot sizes are opaque boxes.
-            self.telemetry.metrics.checkpoints.inc();
+            self.telemetry.metrics.checkpoints.inc_serialized();
             self.telemetry.record(
                 worker,
                 TraceEvent::SubThreadCreate {
@@ -683,6 +932,7 @@ impl Inner {
                 },
             );
         }
+        snap_seq
     }
 
     /// Whether `want` can be granted right now; `None` means "token waits
@@ -754,7 +1004,7 @@ impl Inner {
         match want {
             PendingWant::Start => {
                 let stid = self.enforcer.try_grant(holder).expect("is holder");
-                self.open_subthread(
+                let snap_seq = self.open_subthread(
                     stid,
                     holder,
                     SubThreadKind::Initial,
@@ -768,11 +1018,11 @@ impl Inner {
                         self.edges.entry(parent).or_default().push(stid);
                     }
                 }
-                Some(self.make_task(holder, stid, None, None, None, None, None))
+                Some(self.make_task(holder, stid, snap_seq, None, None, None, None, None))
             }
             PendingWant::Resume(b, gen) => {
                 let stid = self.enforcer.try_grant(holder).expect("is holder");
-                self.open_subthread(
+                let snap_seq = self.open_subthread(
                     stid,
                     holder,
                     SubThreadKind::BarrierContinuation,
@@ -783,11 +1033,11 @@ impl Inner {
                 if let Some(g) = self.gens.get_mut(&(b, gen)) {
                     g.resumes.push(stid);
                 }
-                Some(self.make_task(holder, stid, None, None, None, None, None))
+                Some(self.make_task(holder, stid, snap_seq, None, None, None, None, None))
             }
             PendingWant::SerializedRun => {
                 let stid = self.enforcer.try_grant(holder).expect("is holder");
-                self.open_subthread(
+                let snap_seq = self.open_subthread(
                     stid,
                     holder,
                     SubThreadKind::Serialized,
@@ -797,7 +1047,7 @@ impl Inner {
                 );
                 self.exclusive = Some(stid);
                 self.stats.serialized += 1;
-                Some(self.make_task(holder, stid, None, None, None, None, None))
+                Some(self.make_task(holder, stid, snap_seq, None, None, None, None, None))
             }
             PendingWant::Respawn {
                 child,
@@ -806,7 +1056,7 @@ impl Inner {
                 program,
             } => {
                 let stid = self.enforcer.try_grant(holder).expect("is holder");
-                self.open_subthread(
+                let snap_seq = self.open_subthread(
                     stid,
                     holder,
                     SubThreadKind::ForkContinuation,
@@ -838,7 +1088,7 @@ impl Inner {
                 self.live += 1;
                 self.wal_append(worker, stid, RtOp::SpawnChild { child });
                 self.stats.spawns += 1;
-                Some(self.make_task(holder, stid, None, None, None, Some(child), None))
+                Some(self.make_task(holder, stid, snap_seq, None, None, None, Some(child), None))
             }
             PendingWant::Op(step) => self.grant_op(holder, prev_st, step, worker),
         }
@@ -858,16 +1108,17 @@ impl Inner {
                     self.redo_locks.pop_front();
                 }
                 let lock = m.id();
-                self.wal_append(worker, stid, RtOp::LockAcquire { lock });
+                let seal = self.wal_append_deferred(worker, stid, RtOp::LockAcquire { lock });
                 let l = self.locks.get_mut(&lock).expect("registered lock");
                 l.holder = Some(stid);
                 let data = l.data.take().expect("lock data present when free");
-                let snap = data.clone_box();
+                // The lock-data snapshot is cloned by the worker off-lock;
+                // reserve its history slot *before* the thread checkpoint's
+                // so undo order matches the old under-lock capture order.
                 self.hist.seq += 1;
-                let seq = self.hist.seq;
-                self.hist.lock_snaps.push((seq, stid, lock, snap));
+                let lock_snap_seq = self.hist.seq;
                 self.stats.locks_acquired += 1;
-                self.open_subthread(
+                let snap_seq = self.open_subthread(
                     stid,
                     holder,
                     SubThreadKind::CriticalSection,
@@ -875,12 +1126,24 @@ impl Inner {
                     OpeningWant::Lock(lock),
                     worker,
                 );
-                Some(self.make_task(holder, stid, None, None, None, None, Some((lock, data))))
+                let mut task = self.make_task(
+                    holder,
+                    stid,
+                    snap_seq,
+                    None,
+                    None,
+                    None,
+                    None,
+                    Some((lock, data)),
+                );
+                task.lock_snap_seq = lock_snap_seq;
+                task.seal = Some(seal);
+                Some(task)
             }
             Step::Push(c, value) => {
                 let stid = self.enforcer.try_grant(holder).expect("is holder");
                 let chan = c.id();
-                self.wal_append(worker, stid, RtOp::Push {
+                let seal = self.wal_append_deferred(worker, stid, RtOp::Push {
                     chan,
                     item: value.clone(),
                 });
@@ -894,7 +1157,7 @@ impl Inner {
                     .or_default()
                     .items
                     .push_back((value.clone(), Some(stid)));
-                self.open_subthread(
+                let snap_seq = self.open_subthread(
                     stid,
                     holder,
                     SubThreadKind::ChannelAccess,
@@ -902,7 +1165,10 @@ impl Inner {
                     OpeningWant::Push(chan, value),
                     worker,
                 );
-                Some(self.make_task(holder, stid, None, None, None, None, None))
+                let mut task =
+                    self.make_task(holder, stid, snap_seq, None, None, None, None, None);
+                task.seal = Some(seal);
+                Some(task)
             }
             Step::Pop(c) => {
                 let stid = self.enforcer.try_grant(holder).expect("is holder");
@@ -912,7 +1178,7 @@ impl Inner {
                     .get_mut(&chan)
                     .and_then(|ch| ch.items.pop_front())
                     .expect("grantability checked non-empty");
-                self.wal_append(
+                let seal = self.wal_append_deferred(
                     worker,
                     stid,
                     RtOp::Pop {
@@ -929,7 +1195,7 @@ impl Inner {
                         self.race_pop_src.insert(stid, p);
                     }
                 }
-                self.open_subthread(
+                let snap_seq = self.open_subthread(
                     stid,
                     holder,
                     SubThreadKind::ChannelAccess,
@@ -937,7 +1203,10 @@ impl Inner {
                     OpeningWant::Pop(chan),
                     worker,
                 );
-                Some(self.make_task(holder, stid, Some(item), None, None, None, None))
+                let mut task =
+                    self.make_task(holder, stid, snap_seq, Some(item), None, None, None, None);
+                task.seal = Some(seal);
+                Some(task)
             }
             Step::FetchAdd(a, delta) => {
                 let stid = self.enforcer.try_grant(holder).expect("is holder");
@@ -947,8 +1216,8 @@ impl Inner {
                 let slot = self.atomics.get_mut(&a).expect("registered atomic");
                 let old = *slot;
                 *slot = old.wrapping_add(delta);
-                self.wal_append(worker, stid, RtOp::FetchAdd { atomic: a, old });
-                self.open_subthread(
+                let seal = self.wal_append_deferred(worker, stid, RtOp::FetchAdd { atomic: a, old });
+                let snap_seq = self.open_subthread(
                     stid,
                     holder,
                     SubThreadKind::AtomicOp,
@@ -956,7 +1225,10 @@ impl Inner {
                     OpeningWant::FetchAdd(a, delta),
                     worker,
                 );
-                Some(self.make_task(holder, stid, None, Some(old), None, None, None))
+                let mut task =
+                    self.make_task(holder, stid, snap_seq, None, Some(old), None, None, None);
+                task.seal = Some(seal);
+                Some(task)
             }
             Step::Spawn(SpawnSpec {
                 program,
@@ -966,7 +1238,7 @@ impl Inner {
                 let stid = self.enforcer.try_grant(holder).expect("is holder");
                 // Open the parent continuation first so the child sees it as
                 // its spawner.
-                self.open_subthread(
+                let snap_seq = self.open_subthread(
                     stid,
                     holder,
                     SubThreadKind::ForkContinuation,
@@ -981,7 +1253,7 @@ impl Inner {
                 let child = self.add_thread(program, group, weight, Some(stid));
                 self.wal_append(worker, stid, RtOp::SpawnChild { child });
                 self.stats.spawns += 1;
-                Some(self.make_task(holder, stid, None, None, None, Some(child), None))
+                Some(self.make_task(holder, stid, snap_seq, None, None, None, Some(child), None))
             }
             Step::Join(t) => {
                 let stid = self.enforcer.try_grant(holder).expect("is holder");
@@ -993,7 +1265,7 @@ impl Inner {
                     }
                 }
                 let joined = self.outputs.get(&t).cloned();
-                self.open_subthread(
+                let snap_seq = self.open_subthread(
                     stid,
                     holder,
                     SubThreadKind::JoinContinuation,
@@ -1001,7 +1273,7 @@ impl Inner {
                     OpeningWant::JoinParent(t),
                     worker,
                 );
-                Some(self.make_task(holder, stid, None, None, joined, None, None))
+                Some(self.make_task(holder, stid, snap_seq, None, None, joined, None, None))
             }
             Step::Serialized => {
                 // The serialized *marker* is granted like a normal boundary;
@@ -1118,6 +1390,7 @@ impl Inner {
         &mut self,
         thread: ThreadId,
         stid: SubThreadId,
+        snap_seq: u64,
         popped: Option<Payload>,
         atomic_prev: Option<u64>,
         joined: Option<Payload>,
@@ -1135,6 +1408,9 @@ impl Inner {
             joined,
             spawned,
             lock_out,
+            snap_seq,
+            lock_snap_seq: 0,
+            seal: None,
         }
     }
 
@@ -1209,118 +1485,266 @@ impl Inner {
     }
 }
 
-/// The worker loop body: repeatedly grant + run until the program finishes.
-pub(crate) fn worker_loop(shared: &SharedRef, worker_ix: usize) {
-    loop {
-        let decision = {
-            let mut g = shared.inner.lock();
-            loop {
-                let inner = &mut *g;
-                if inner.poisoned.is_some() {
-                    shared.cv.notify_all();
-                    break Decision::Finished;
-                }
-                if inner.live == 0 && inner.running.is_empty() {
-                    shared.cv.notify_all();
-                    break Decision::Finished;
-                }
-                if inner.recovering {
-                    if inner.running.is_empty() {
-                        crate::rex::perform_recovery(inner);
-                        inner.recovering = false;
-                        inner.bump();
-                        shared.cv.notify_all();
-                        continue;
-                    }
-                    shared.cv.wait(&mut g);
-                    continue;
-                }
-                if !inner.pending_exceptions.is_empty() {
-                    inner.recovering = true;
-                    shared.cv.notify_all();
-                    continue;
-                }
-                if inner.exclusive.is_some() {
-                    shared.cv.wait(&mut g);
-                    continue;
-                }
-                let Some(holder) = inner.enforcer.holder() else {
-                    if inner.running.is_empty() && inner.live > 0 {
-                        inner.poison(
-                            "deadlock: live threads remain but none is runnable \
-                             (barrier participants mismatch?)",
-                        );
-                        shared.cv.notify_all();
-                        break Decision::Finished;
-                    }
-                    shared.cv.wait(&mut g);
-                    continue;
-                };
-                let rec = inner.threads.get(&holder).expect("registered thread");
-                if rec.state == ThState::Done {
-                    // Stale registration (should not happen; exits deregister).
-                    inner
-                        .enforcer
-                        .deregister_thread(holder)
-                        .expect("was registered");
-                    continue;
-                }
-                let Some(want) = rec.pending.as_ref() else {
-                    // The holder's step is still running: the token waits.
-                    shared.cv.wait(&mut g);
-                    continue;
-                };
-                match inner.poll_or_wait(holder, want) {
-                    Some(false) => {
-                        // Wasted turn (empty FIFO / unfinished join).
-                        inner.enforcer.pass_turn(holder);
-                        inner.stats.polls += 1;
-                        inner.pass_streak += 1;
-                        if inner.pass_streak > inner.enforcer.live_threads() * 2 + 4 {
-                            if inner.running.is_empty() {
-                                inner.poison(
-                                    "deadlock: every runnable thread is polling \
-                                     (channel starvation or join cycle)",
-                                );
-                                shared.cv.notify_all();
-                                break Decision::Finished;
-                            }
-                            shared.cv.wait(&mut g);
-                        }
-                        continue;
-                    }
-                    None => {
-                        // Token waits here (lock busy / quiescence gate).
-                        shared.cv.wait(&mut g);
-                        continue;
-                    }
-                    Some(true) => {}
-                }
-                inner.pass_streak = 0;
-                match inner.grant(holder, worker_ix) {
-                    Some(task) => {
-                        inner.stats.grants += 1;
-                        shared.cv.notify_all();
-                        break Decision::Run(task);
-                    }
-                    None => {
-                        // Structural grant (barrier arrival, exit, marker):
-                        // state changed, loop again.
-                        shared.cv.notify_all();
-                        continue;
-                    }
-                }
-            }
-        };
+/// A finished step, carried from the off-lock execution back to the deposit
+/// performed at the head of the worker's next [`seek`] — so deposit and the
+/// follow-on grant share a single lock acquisition (the grant fast path).
+enum StepOutcome {
+    Done {
+        thread: ThreadId,
+        stid: SubThreadId,
+        program: Box<dyn DynThread>,
+        result: Step,
+        leftover_lock: Option<(LockId, Box<dyn Recoverable>)>,
+        staged: Vec<(u64, Vec<u8>)>,
+    },
+    Panicked {
+        thread: ThreadId,
+        stid: SubThreadId,
+        leftover_lock: Option<(LockId, Box<dyn Recoverable>)>,
+        msg: String,
+    },
+}
 
-        match decision {
+/// The worker loop body: repeatedly grant + run until the program finishes.
+/// Each iteration folds the previous step's deposit into the next grant
+/// search, so the common cadence is one lock acquisition per step.
+pub(crate) fn worker_loop(shared: &SharedRef, worker_ix: usize) {
+    let mut finished: Option<StepOutcome> = None;
+    loop {
+        match seek(shared, worker_ix, finished.take()) {
             Decision::Finished => return,
-            Decision::Run(task) => run_task(shared, worker_ix, task),
+            Decision::Run { task, wake_peer } => {
+                if wake_peer {
+                    // The guard dropped when `seek` returned; the woken
+                    // peer can acquire the lock without colliding with us.
+                    shared.cv.notify_one();
+                }
+                finished = Some(execute_task(shared, worker_ix, task));
+            }
         }
     }
 }
 
-fn run_task(shared: &SharedRef, worker_ix: usize, task: StepTask) {
+/// One lock acquisition: drain this worker's hand-off buffer, deposit the
+/// finished step (if any), then search for the next grant.
+fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> Decision {
+    // Advisory pre-lock read of the published grant frontier: if the token
+    // already rests on the thread whose step we just finished, our deposit
+    // feeds our own grant (fast path) and no peer needs waking; otherwise
+    // the deposit may unblock the token elsewhere (a returned lock, a
+    // quiescence gate), so overlap one peer's seek with ours.
+    let prenotify = match &finished {
+        Some(StepOutcome::Done { thread, .. }) => !shared.gate.is_next(*thread),
+        _ => false,
+    };
+    let mut g = shared.inner.lock();
+    while let Some(h) = shared.handoffs[worker_ix].pop() {
+        g.apply_handoff(h);
+    }
+    // Whether a grant below is reached from this worker's own deposit in
+    // the same lock acquisition, without a condvar sleep in between.
+    let mut fast = false;
+    match finished {
+        Some(StepOutcome::Done {
+            thread,
+            stid,
+            program,
+            result,
+            leftover_lock,
+            staged,
+        }) => {
+            let released = leftover_lock.as_ref().map(|(l, _)| *l);
+            g.deposit(thread, stid, program, result, leftover_lock, staged);
+            if let Some(lock) = released {
+                shared.wake_lock_shard(lock, &g.telemetry);
+            }
+            if prenotify {
+                // Overlap a peer's seek with ours only when the frontier
+                // thread already has a deposit armed; a frontier whose
+                // step is still in flight fuses with its own deposit.
+                let armed = g
+                    .enforcer
+                    .holder()
+                    .and_then(|h| g.threads.get(&h))
+                    .is_some_and(|r| r.pending.is_some());
+                if armed && shared.spare_cpu() {
+                    shared.wake_one_seeker(&g.telemetry);
+                }
+            }
+            fast = true;
+        }
+        Some(StepOutcome::Panicked {
+            thread,
+            stid,
+            leftover_lock,
+            msg,
+        }) => {
+            g.running.remove(&stid);
+            if let Some((lock, data)) = leftover_lock {
+                g.return_lock(stid, lock, data);
+                shared.wake_lock_shard(lock, &g.telemetry);
+            }
+            g.poison(format!("step of {thread} panicked: {msg}"));
+        }
+        None => {}
+    }
+    // Set when this worker returns from a wait; cleared on progress. Still
+    // set at the next wait ⇒ the wakeup found nothing to do.
+    let mut woke_idle = false;
+    macro_rules! wait_here {
+        ($g:ident) => {{
+            if woke_idle && $g.telemetry.enabled() {
+                $g.telemetry.metrics.wakeups_spurious.inc_serialized();
+            }
+            fast = false;
+            woke_idle = true;
+            shared.cv_sleepers.fetch_add(1, Ordering::Relaxed);
+            shared.cv.wait(&mut $g);
+            shared.cv_sleepers.fetch_sub(1, Ordering::Relaxed);
+        }};
+    }
+    loop {
+        let inner = &mut *g;
+        if inner.poisoned.is_some() {
+            shared.done.store(true, Ordering::Release);
+            shared.wake_all();
+            break Decision::Finished;
+        }
+        if inner.live == 0 && inner.running.is_empty() {
+            shared.done.store(true, Ordering::Release);
+            shared.wake_all();
+            break Decision::Finished;
+        }
+        if inner.recovering {
+            if inner.running.is_empty() {
+                crate::rex::perform_recovery(inner);
+                inner.recovering = false;
+                inner.bump();
+                woke_idle = false;
+                // Recovery may return locks and re-arm any thread: every
+                // waiter class may have become runnable (rare; broadcast).
+                shared.wake_all();
+                continue;
+            }
+            wait_here!(g);
+            continue;
+        }
+        if !inner.pending_exceptions.is_empty() {
+            // Depositing workers see this flag themselves; the last one to
+            // drain `running` performs the recovery. No wakeup needed.
+            inner.recovering = true;
+            continue;
+        }
+        if inner.exclusive.is_some() {
+            wait_here!(g);
+            continue;
+        }
+        let Some(holder) = inner.enforcer.holder() else {
+            if inner.running.is_empty() && inner.live > 0 {
+                inner.poison(
+                    "deadlock: live threads remain but none is runnable \
+                     (barrier participants mismatch?)",
+                );
+                shared.done.store(true, Ordering::Release);
+                shared.wake_all();
+                break Decision::Finished;
+            }
+            wait_here!(g);
+            continue;
+        };
+        let rec = inner.threads.get(&holder).expect("registered thread");
+        if rec.state == ThState::Done {
+            // Stale registration (should not happen; exits deregister).
+            inner
+                .enforcer
+                .deregister_thread(holder)
+                .expect("was registered");
+            continue;
+        }
+        let Some(want) = rec.pending.as_ref() else {
+            // The holder's step is still running: the token waits, and the
+            // holder's own deposit will reach this point fast-path.
+            wait_here!(g);
+            continue;
+        };
+        match inner.poll_or_wait(holder, want) {
+            Some(false) => {
+                // Wasted turn (empty FIFO / unfinished join).
+                inner.enforcer.pass_turn(holder);
+                inner.stats.polls += 1;
+                inner.pass_streak += 1;
+                woke_idle = false;
+                if inner.pass_streak > inner.enforcer.live_threads() * 2 + 4 {
+                    if inner.running.is_empty() {
+                        inner.poison(
+                            "deadlock: every runnable thread is polling \
+                             (channel starvation or join cycle)",
+                        );
+                        shared.done.store(true, Ordering::Release);
+                        shared.wake_all();
+                        break Decision::Finished;
+                    }
+                    wait_here!(g);
+                }
+                continue;
+            }
+            None => {
+                // Token waits here (lock busy / quiescence gate). A deposit
+                // that changes either wakes one seeker.
+                wait_here!(g);
+                continue;
+            }
+            Some(true) => {}
+        }
+        inner.pass_streak = 0;
+        match inner.grant(holder, worker_ix) {
+            Some(task) => {
+                inner.stats.grants += 1;
+                debug_assert_eq!(
+                    shared.gate.holder(),
+                    inner.enforcer.holder(),
+                    "gate mirrors the enforcer after every grant"
+                );
+                if fast && inner.telemetry.enabled() {
+                    inner.telemetry.metrics.fast_path_grants.inc_serialized();
+                }
+                // Hand the new frontier to a parked peer only when it is
+                // provably usable: the next holder must already have a
+                // deposit armed (a holder whose step is still running will
+                // reach the frontier itself, fused with its own deposit,
+                // so waking anyone for it is a guaranteed spurious wakeup).
+                let armed = inner
+                    .enforcer
+                    .holder()
+                    .and_then(|h| inner.threads.get(&h))
+                    .is_some_and(|r| r.pending.is_some());
+                let wake_peer = armed
+                    && shared.cv_sleepers.load(Ordering::Relaxed) > 0
+                    && shared.spare_cpu();
+                if wake_peer && inner.telemetry.enabled() {
+                    inner.telemetry.metrics.wakeups_issued.inc_serialized();
+                }
+                break Decision::Run { task, wake_peer };
+            }
+            None => {
+                // Structural grant (barrier arrival, exit, marker): state
+                // changed; keep scanning under the same acquisition. Any
+                // follow-on grants fan out via the post-grant wakeup chain.
+                woke_idle = false;
+                continue;
+            }
+        }
+    }
+}
+
+/// Runs one granted step outside the engine lock. Before the step, the
+/// off-critical-section state capture happens here: the thread checkpoint,
+/// the critical section's lock snapshot, and the deferred WAL checksum are
+/// produced without the lock and handed back through this worker's SPSC
+/// buffer (drained at its next seek). Nothing touches the program or the
+/// checked-out lock data between grant and this point, so the snapshots are
+/// bit-identical to ones taken under the lock.
+fn execute_task(shared: &SharedRef, worker_ix: usize, task: StepTask) -> StepOutcome {
     let StepTask {
         thread,
         stid,
@@ -1330,7 +1754,36 @@ fn run_task(shared: &SharedRef, worker_ix: usize, task: StepTask) {
         joined,
         spawned,
         lock_out,
+        snap_seq,
+        lock_snap_seq,
+        seal,
     } = task;
+    publish_handoff(
+        shared,
+        worker_ix,
+        HandOff::ThreadSnap {
+            seq: snap_seq,
+            stid,
+            thread,
+            snap: program.save(),
+        },
+    );
+    if let Some((lock, data)) = &lock_out {
+        publish_handoff(
+            shared,
+            worker_ix,
+            HandOff::LockSnap {
+                seq: lock_snap_seq,
+                stid,
+                lock: *lock,
+                snap: data.clone_box(),
+            },
+        );
+    }
+    if let Some((lsn, op)) = seal {
+        let checksum = WalRecord::checksum_of(lsn, stid, &op);
+        publish_handoff(shared, worker_ix, HandOff::Seal { lsn, checksum });
+    }
     let mut ctx = StepCtx::new(
         crate::ctx::CtxBackend::Gprs(shared.clone()),
         thread,
@@ -1346,23 +1799,36 @@ fn run_task(shared: &SharedRef, worker_ix: usize, task: StepTask) {
         program.step(&mut ctx)
     }));
     let (leftover_lock, staged) = ctx.into_parts();
-    let mut g = shared.inner.lock();
     match outcome {
-        Ok(result) => {
-            g.deposit(thread, stid, program, result, leftover_lock, staged);
-        }
+        Ok(result) => StepOutcome::Done {
+            thread,
+            stid,
+            program,
+            result,
+            leftover_lock,
+            staged,
+        },
         Err(panic) => {
             let msg = panic
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "opaque panic".to_string());
-            g.running.remove(&stid);
-            if let Some((lock, data)) = leftover_lock {
-                g.return_lock(stid, lock, data);
+            StepOutcome::Panicked {
+                thread,
+                stid,
+                leftover_lock,
+                msg,
             }
-            g.poison(format!("step of {thread} panicked: {msg}"));
         }
     }
-    shared.cv.notify_all();
+}
+
+/// Pushes one hand-off into the worker's SPSC buffer, falling back to a
+/// locked apply if the buffer is full (cannot happen at the sized capacity —
+/// at most three entries exist per in-flight task — but stay correct).
+fn publish_handoff(shared: &SharedRef, worker_ix: usize, h: HandOff) {
+    if let Err(h) = shared.handoffs[worker_ix].push(h) {
+        shared.inner.lock().apply_handoff(h);
+    }
 }

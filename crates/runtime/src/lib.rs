@@ -80,7 +80,6 @@ use gprs_core::exception::{Exception, ExceptionKind};
 use gprs_core::ids::{AtomicId, BarrierId, ChannelId, ContextId, GroupId, LockId, ThreadId};
 use gprs_core::order::ScheduleKind;
 use gprs_telemetry::{Telemetry, TelemetryConfig};
-use parking_lot::{Condvar, Mutex};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -345,11 +344,10 @@ impl GprsBuilder {
                 .expect("unique ids");
         }
         self.inner.enforcer = enforcer;
+        // `Shared::new` mirrors the final enforcer's grant frontier into
+        // the lock-free gate, so it must run after the re-seed above.
         Gprs {
-            shared: Arc::new(Shared {
-                inner: Mutex::new(self.inner),
-                cv: Condvar::new(),
-            }),
+            shared: Arc::new(Shared::new(self.inner)),
             analysis,
         }
     }
@@ -480,6 +478,12 @@ impl Controller {
 
     /// Whether the program has finished (all threads exited).
     pub fn is_finished(&self) -> bool {
+        // Lock-free fast path: workers publish completion (or poisoning)
+        // before exiting, so injector loops polling this don't contend the
+        // engine lock.
+        if self.shared.done.load(std::sync::atomic::Ordering::Acquire) {
+            return true;
+        }
         let g = self.shared.inner.lock();
         g.live == 0 && g.running.is_empty()
     }

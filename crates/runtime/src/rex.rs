@@ -169,7 +169,9 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
         // Race-detector provenance of squashed work: the re-execution will
         // re-record it. The detector's clocks themselves are never rewound
         // (extra happens-before edges only mask races — the safe side).
-        inner.plain_accesses.remove(&id);
+        if let Some(v) = inner.plain_accesses.remove(&id) {
+            inner.recycle_access_vec(v);
+        }
         inner.race_pop_src.remove(&id);
         inner.race_arrivals.remove(&id);
         if let Some(det) = inner.racecheck.as_mut() {

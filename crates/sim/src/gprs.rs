@@ -168,6 +168,73 @@ struct Body {
     seg_ix: usize,
 }
 
+/// Incrementally maintained indexes over the in-window (granted, not yet
+/// retired or squashed) sub-threads.
+///
+/// Recovery used to rediscover dependence sharers by rescanning the whole
+/// reorder-list window per taint step (`affected_set`) and by sweeping every
+/// live body per rewind target (`plan_recovery`). Both queries are now index
+/// lookups; the index is updated at the three window transitions — grant,
+/// retire, squash — and `affected_set` cross-checks its answer against the
+/// original rescan in debug builds.
+#[derive(Debug, Default)]
+struct WindowIndex {
+    /// Non-channel dependence alias -> in-window sub-threads holding it.
+    /// Channels are excluded for the same reason `affected_set` skips them:
+    /// the runtime undoes pops by returning items, so the channel id is not
+    /// a taint alias (item provenance is tracked via `consumers`).
+    by_resource: HashMap<ResourceId, std::collections::BTreeSet<SubThreadId>>,
+    /// Sim thread index -> in-window sub-threads it owns.
+    by_thread: Vec<std::collections::BTreeSet<SubThreadId>>,
+}
+
+impl WindowIndex {
+    fn new(threads: usize) -> Self {
+        WindowIndex {
+            by_resource: HashMap::new(),
+            by_thread: vec![std::collections::BTreeSet::new(); threads],
+        }
+    }
+
+    /// Registers a freshly granted sub-thread under its thread and every
+    /// non-channel alias it holds.
+    fn insert<'r>(
+        &mut self,
+        sid: SubThreadId,
+        th: usize,
+        resources: impl IntoIterator<Item = &'r ResourceId>,
+    ) {
+        self.by_thread[th].insert(sid);
+        for r in resources {
+            if !matches!(r, ResourceId::Channel(_)) {
+                self.by_resource.entry(*r).or_default().insert(sid);
+            }
+        }
+    }
+
+    /// Deregisters a sub-thread leaving the window (retired or squashed).
+    /// `resources` must be the same alias set it was registered under.
+    fn remove<'r>(
+        &mut self,
+        sid: SubThreadId,
+        th: usize,
+        resources: impl IntoIterator<Item = &'r ResourceId>,
+    ) {
+        self.by_thread[th].remove(&sid);
+        for r in resources {
+            if matches!(r, ResourceId::Channel(_)) {
+                continue;
+            }
+            if let Some(set) = self.by_resource.get_mut(r) {
+                set.remove(&sid);
+                if set.is_empty() {
+                    self.by_resource.remove(r);
+                }
+            }
+        }
+    }
+}
+
 /// Where a rewound thread re-enters its trace after a squash. The sim
 /// re-executes squashed sub-threads as fresh grants (new sequence numbers),
 /// so recovery rewinds each affected thread to its oldest squashed
@@ -258,6 +325,8 @@ struct Gprs<'a> {
     threads: Vec<GThread>,
     ctxs: Vec<u64>,
     bodies: HashMap<SubThreadId, Body>,
+    /// Resource/thread lookup over the live window (see [`WindowIndex`]).
+    windex: WindowIndex,
     rol: ReorderList,
     locks: HashMap<LockId, u64>,
     chans: HashMap<ChannelId, VecDeque<SubThreadId>>,
@@ -329,6 +398,7 @@ impl<'a> Gprs<'a> {
             threads,
             ctxs: vec![0; cfg.contexts.max(1) as usize],
             bodies: HashMap::new(),
+            windex: WindowIndex::new(w.threads.len()),
             rol: ReorderList::new(),
             locks: HashMap::new(),
             chans: HashMap::new(),
@@ -493,6 +563,10 @@ impl<'a> Gprs<'a> {
                 seg_ix: body_seg_ix,
             },
         );
+        // The alias set is final here: the sim only attaches resources at
+        // grant time (opening op + the nested lock above).
+        let entry = self.rol.get(stid).expect("just inserted");
+        self.windex.insert(stid, th, &entry.resources);
         let t = &mut self.threads[th];
         t.current_st = Some(stid);
         t.request_at = end;
@@ -522,7 +596,11 @@ impl<'a> Gprs<'a> {
                     },
                 );
             }
-            self.bodies.remove(&retired.id());
+            if let Some(body) = self.bodies.remove(&retired.id()) {
+                // A retiring entry's resources are intact (only squash
+                // clears them), so deregistering by them matches insert.
+                self.windex.remove(retired.id(), body.thread, &retired.resources);
+            }
             self.consumers.remove(&retired.id());
             self.pop_sources.remove(&retired.id());
         }
@@ -634,6 +712,68 @@ impl<'a> Gprs<'a> {
         if self.cfg.recovery == RecoveryScope::Basic {
             return self.rol.squash_suffix(culprit);
         }
+        // Worklist closure over the window index. Taint flows old -> young
+        // only, so a tainted sub-thread `x` contributes exactly the
+        // *younger* in-window entries that share its thread, a non-channel
+        // alias, or consumed one of its items. That is equivalent to the
+        // original single ascending ROL pass (an entry older than its
+        // tainter was visited before the tainter's taint existed), but each
+        // step costs index lookups instead of an O(window) rescan.
+        let mut affected: std::collections::BTreeSet<SubThreadId> =
+            std::collections::BTreeSet::new();
+        let mut pending: std::collections::BTreeSet<SubThreadId> =
+            std::collections::BTreeSet::new();
+        pending.insert(culprit);
+        while let Some(x) = pending.pop_first() {
+            if !affected.insert(x) {
+                continue;
+            }
+            let younger = (std::ops::Bound::Excluded(x), std::ops::Bound::Unbounded);
+            if let Some(body) = self.bodies.get(&x) {
+                pending.extend(
+                    self.windex.by_thread[body.thread]
+                        .range(younger)
+                        .filter(|c| !affected.contains(c)),
+                );
+            }
+            if let Some(e) = self.rol.get(x) {
+                for r in &e.resources {
+                    // Channels are runtime-managed: a pop is undone by
+                    // returning the item to the front, so the channel id
+                    // itself is not a taint alias — item provenance
+                    // (`consumers`, below) is.
+                    if matches!(r, gprs_core::ids::ResourceId::Channel(_)) {
+                        continue;
+                    }
+                    if let Some(sharers) = self.windex.by_resource.get(r) {
+                        pending
+                            .extend(sharers.range(younger).filter(|c| !affected.contains(c)));
+                    }
+                }
+            }
+            if let Some(cs) = self.consumers.get(&x) {
+                // Consumer lists can retain retired ids (only the producer's
+                // own map entry is dropped at its retirement), so gate on
+                // window membership like the ascending pass did.
+                pending.extend(cs.iter().filter(|&&c| {
+                    c > x && !affected.contains(&c) && self.bodies.contains_key(&c)
+                }));
+            }
+        }
+        let affected: Vec<SubThreadId> = affected.into_iter().collect();
+        debug_assert_eq!(
+            affected,
+            self.affected_set_rescan(culprit),
+            "window-index closure diverged from the ROL rescan"
+        );
+        affected
+    }
+
+    /// The original O(window) taint pass over the reorder list, kept as the
+    /// debug-build oracle for the index-driven closure in
+    /// [`Gprs::affected_set`].
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn affected_set_rescan(&self, culprit: SubThreadId) -> Vec<SubThreadId> {
         let mut affected: std::collections::BTreeSet<SubThreadId> =
             std::collections::BTreeSet::new();
         affected.insert(culprit);
@@ -646,9 +786,6 @@ impl<'a> Gprs<'a> {
         if let Some(e) = self.rol.get(culprit) {
             tainted_threads.insert(e.thread());
             for r in &e.resources {
-                // Channels are runtime-managed: a pop is undone by returning
-                // the item to the front, so the channel id itself is not a
-                // taint alias — item provenance (below) is.
                 if !matches!(r, gprs_core::ids::ResourceId::Channel(_)) {
                     tainted_resources.insert(*r);
                 }
@@ -778,13 +915,15 @@ impl<'a> Gprs<'a> {
                     changed = true;
                 }
             }
-            // Everything the rewind re-executes must be squashed.
+            // Everything the rewind re-executes must be squashed. The
+            // window index partitions live bodies by thread, so each target
+            // sweeps only its own thread's in-window sub-threads instead of
+            // every live body.
             for (&th, &tgt) in &targets {
-                for (&sid, body) in &self.bodies {
-                    if body.thread == th
-                        && body.seg_ix >= tgt.reexec_start()
-                        && squash.insert(sid)
-                    {
+                for &sid in &self.windex.by_thread[th] {
+                    let body = &self.bodies[&sid];
+                    debug_assert_eq!(body.thread, th, "window index out of sync");
+                    if body.seg_ix >= tgt.reexec_start() && squash.insert(sid) {
                         changed = true;
                     }
                 }
@@ -916,6 +1055,11 @@ impl<'a> Gprs<'a> {
                         }
                     }
                 }
+                // Deregister before `mark_squashed` clears the entry's
+                // accumulated aliases — the index must be unwound with the
+                // same set it was registered under.
+                let entry = self.rol.get(sid).expect("squashed in ROL");
+                self.windex.remove(sid, body.thread, &entry.resources);
                 self.rol.mark_squashed(sid).expect("squashed in ROL");
                 self.rol.remove_squashed(sid).expect("just marked squashed");
                 self.consumers.remove(&sid);

@@ -27,6 +27,7 @@ pub mod hash;
 pub mod json;
 pub mod metrics;
 pub mod ring;
+pub mod spsc;
 
 pub use event::{TimedEvent, TraceEvent};
 pub use hash::{Fnv1a, RetiredOrderHash, ScheduleHash};
@@ -122,7 +123,12 @@ impl Telemetry {
             return;
         }
         if let Some(rings) = &self.rings {
-            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            // Load+store, not `fetch_add`: recording is serialized by the
+            // integrating runtime (the rings' single-writer contract — see
+            // `ring` module docs), so the locked RMW would buy nothing and
+            // costs measurably on the per-grant hot path.
+            let seq = self.seq.load(Ordering::Relaxed);
+            self.seq.store(seq + 1, Ordering::Relaxed);
             rings.ring(worker).push(TimedEvent {
                 seq,
                 worker: worker as u32,

@@ -25,6 +25,22 @@ impl Counter {
         self.add(1);
     }
 
+    /// Adds `n` from a caller that serializes all bumps of this counter
+    /// (e.g. the engine, which only touches its hot-path counters while
+    /// holding its state lock). Load+store instead of a locked RMW —
+    /// concurrent unserialized use loses increments (never UB).
+    #[inline]
+    pub fn add_serialized(&self, n: u64) {
+        self.0
+            .store(self.0.load(Ordering::Relaxed) + n, Ordering::Relaxed);
+    }
+
+    /// [`Counter::add_serialized`] by one.
+    #[inline]
+    pub fn inc_serialized(&self) {
+        self.add_serialized(1);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -40,6 +56,15 @@ impl HighWater {
     #[inline]
     pub fn observe(&self, v: u64) {
         self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// [`HighWater::observe`] from a caller that serializes all
+    /// observations (see [`Counter::add_serialized`]).
+    #[inline]
+    pub fn observe_serialized(&self, v: u64) {
+        if v > self.0.load(Ordering::Relaxed) {
+            self.0.store(v, Ordering::Relaxed);
+        }
     }
 
     /// Current mark.
@@ -72,6 +97,23 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.observe(v);
+    }
+
+    /// Records one value from a caller that serializes all records into
+    /// this histogram (see [`Counter::add_serialized`]).
+    #[inline]
+    pub fn record_serialized(&self, v: u64) {
+        let bucket = (63 - v.max(1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        let b = &self.buckets[bucket];
+        b.store(b.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.count
+            .store(self.count.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.sum
+            .store(self.sum.load(Ordering::Relaxed) + v, Ordering::Relaxed);
+        let m = self.max.get();
+        if v > m {
+            self.max.observe(v);
+        }
     }
 
     /// Immutable snapshot of the distribution.
@@ -168,6 +210,19 @@ pub struct Metrics {
     pub analysis_diagnostics: Counter,
     /// Runs where the proven-DRF verdict elided the dynamic race detector.
     pub analysis_racecheck_elided: Counter,
+    /// Grants issued on the fast path: the granting worker reached the
+    /// grant from its own deposit in the same lock acquisition, without a
+    /// condvar sleep in between.
+    pub fast_path_grants: Counter,
+    /// Targeted wakeups issued (`notify_one` on the scheduler queue or a
+    /// keyed lock-wait shard).
+    pub wakeups_issued: Counter,
+    /// Wakeups after which the woken thread found nothing to do and went
+    /// back to sleep (thundering-herd / shard-collision waste).
+    pub wakeups_spurious: Counter,
+    /// Fresh heap allocations on pooled hot paths (access vectors, WAL
+    /// buffers) — pool misses; steady state should hold this constant.
+    pub hot_path_allocs: Counter,
     /// Sub-threads squashed per recovery session.
     pub squashed_per_recovery: Histogram,
     /// Recovery-session wall time in nanoseconds (runtime) or cycles
@@ -175,6 +230,9 @@ pub struct Metrics {
     pub recovery_duration: Histogram,
     /// Checkpoint sizes in bytes (simulator-modeled).
     pub checkpoint_size: Histogram,
+    /// Consecutive ROL heads retired per retirement batch (per lock
+    /// acquisition that retired at least one sub-thread).
+    pub retire_batch: Histogram,
 }
 
 impl Metrics {
@@ -205,6 +263,10 @@ impl Metrics {
             ("analysis_potential_races", self.analysis_potential_races.get()),
             ("analysis_diagnostics", self.analysis_diagnostics.get()),
             ("analysis_racecheck_elided", self.analysis_racecheck_elided.get()),
+            ("fast_path_grants", self.fast_path_grants.get()),
+            ("wakeups_issued", self.wakeups_issued.get()),
+            ("wakeups_spurious", self.wakeups_spurious.get()),
+            ("hot_path_allocs", self.hot_path_allocs.get()),
         ]
     }
 
@@ -214,6 +276,7 @@ impl Metrics {
             ("squashed_per_recovery", self.squashed_per_recovery.snapshot()),
             ("recovery_duration", self.recovery_duration.snapshot()),
             ("checkpoint_size", self.checkpoint_size.snapshot()),
+            ("retire_batch", self.retire_batch.snapshot()),
         ]
     }
 }
@@ -265,6 +328,9 @@ mod tests {
         assert!(names.contains(&"rol_occupancy_hw"));
         let snap = m.counter_snapshot();
         assert_eq!(snap.iter().find(|(n, _)| *n == "grants").unwrap().1, 2);
-        assert_eq!(m.histogram_snapshot().len(), 3);
+        assert!(names.contains(&"fast_path_grants"));
+        assert!(names.contains(&"wakeups_spurious"));
+        assert!(names.contains(&"hot_path_allocs"));
+        assert_eq!(m.histogram_snapshot().len(), 4);
     }
 }

@@ -1,10 +1,11 @@
 //! Per-worker fixed-capacity event rings with lock-free appends.
 //!
-//! Each worker owns one [`EventRing`]; appends are wait-free
-//! (`fetch_add` on the write cursor, then a plain slot write) and never
-//! allocate. The ring wraps: once full, new events overwrite the oldest and
-//! a drop counter records how many were lost. [`RingSet::drain`] merges all
-//! rings into one trace ordered by global sequence number.
+//! Each worker owns one [`EventRing`]; appends are wait-free (a plain
+//! load+store on the write cursor under the single-writer contract below,
+//! then a plain slot write) and never allocate. The ring wraps: once full,
+//! new events overwrite the oldest; the monotone cursor itself records how
+//! many were lost. [`RingSet::drain`] merges all rings into one trace
+//! ordered by global sequence number.
 //!
 //! # Safety contract
 //!
@@ -19,17 +20,20 @@
 use crate::event::TimedEvent;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A fixed-capacity single-writer event ring.
 #[derive(Debug)]
 pub struct EventRing {
     slots: Box<[UnsafeCell<MaybeUninit<TimedEvent>>]>,
+    /// `slots.len() - 1`; the capacity is a power of two so the wrap is a
+    /// mask, not a division, on the push path.
+    mask: usize,
     /// Total events ever pushed (monotone; `min(head, capacity)` slots are
-    /// live, the live window being the most recent events).
+    /// live, the live window being the most recent events). Doubles as the
+    /// drop accounting: everything past `capacity` overwrote an older
+    /// event, so `push` needs no second atomic.
     head: AtomicUsize,
-    /// Events overwritten after the ring wrapped.
-    dropped: AtomicU64,
 }
 
 // SAFETY: slot access is single-writer by the contract above; `drain`
@@ -39,27 +43,28 @@ unsafe impl Sync for EventRing {}
 unsafe impl Send for EventRing {}
 
 impl EventRing {
-    /// Creates a ring holding up to `capacity` events (min 1).
+    /// Creates a ring holding up to `capacity` events (min 1; rounded up
+    /// to the next power of two so the push path wraps with a mask).
     pub fn new(capacity: usize) -> Self {
-        let capacity = capacity.max(1);
+        let capacity = capacity.max(1).next_power_of_two();
         let slots = (0..capacity)
             .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         EventRing {
             slots,
+            mask: capacity - 1,
             head: AtomicUsize::new(0),
-            dropped: AtomicU64::new(0),
         }
     }
 
     /// Appends an event (wait-free; overwrites the oldest when full).
     pub fn push(&self, ev: TimedEvent) {
-        let ix = self.head.fetch_add(1, Ordering::Relaxed);
-        if ix >= self.slots.len() {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-        }
-        let slot = &self.slots[ix % self.slots.len()];
+        // Load+store suffices under the single-writer contract (module
+        // docs); the cursor stays atomic only for the cross-thread drain.
+        let ix = self.head.load(Ordering::Relaxed);
+        self.head.store(ix + 1, Ordering::Relaxed);
+        let slot = &self.slots[ix & self.mask];
         // SAFETY: single-writer contract — no concurrent writer to this
         // ring, and readers only run after writer quiescence.
         unsafe {
@@ -67,9 +72,10 @@ impl EventRing {
         }
     }
 
-    /// Events lost to wrapping.
+    /// Events lost to wrapping (everything pushed past the capacity).
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        let head = self.head.load(Ordering::Relaxed);
+        head.saturating_sub(self.slots.len()) as u64
     }
 
     /// Events currently held.

@@ -1,0 +1,187 @@
+//! Bounded single-producer/single-consumer hand-off channels.
+//!
+//! The GPRS engine moves expensive artifact *construction* — history-buffer
+//! snapshots, WAL record checksums — off its serialized critical section and
+//! onto the worker that already owns the data. The finished artifacts travel
+//! back to the engine through one of these channels per worker: the worker
+//! (the single producer) pushes without locks, and whoever holds the engine
+//! lock (the single logical consumer) drains.
+//!
+//! Unlike [`crate::ring::EventRing`] — which may overwrite old events — a
+//! hand-off channel must never lose an entry, so `push` reports a full
+//! buffer and the caller falls back to its locked slow path.
+//!
+//! # Safety contract
+//!
+//! At most one thread pushes and at most one thread pops at any instant.
+//! The integrating runtime guarantees this structurally: each worker pushes
+//! only into its own channel, and popping happens either on the same worker
+//! (at its deposit, under the engine lock) or by the recovery path after
+//! worker quiescence.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A bounded wait-free SPSC queue.
+pub struct Channel<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot to write (producer-owned, read by the consumer).
+    head: AtomicUsize,
+    /// Next slot to read (consumer-owned, read by the producer).
+    tail: AtomicUsize,
+}
+
+// SAFETY: slot access is disjoint between the single producer (slots in
+// [head, ...)) and the single consumer (slots in [tail, head)); the
+// acquire/release pairs on `head`/`tail` publish the slot contents.
+unsafe impl<T: Send> Sync for Channel<T> {}
+unsafe impl<T: Send> Send for Channel<T> {}
+
+impl<T> std::fmt::Debug for Channel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Channel")
+            .field("capacity", &self.slots.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> Channel<T> {
+    /// Creates a channel holding up to `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Channel {
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Appends an item (producer side). Returns `Err(item)` when full —
+    /// the caller applies it through its locked slow path instead.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head - tail == self.slots.len() {
+            return Err(item);
+        }
+        let slot = &self.slots[head % self.slots.len()];
+        // SAFETY: the slot is outside [tail, head) — the consumer does not
+        // touch it — and a previous pop consumed any prior value.
+        unsafe {
+            *slot.get() = MaybeUninit::new(item);
+        }
+        self.head.store(head + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Removes the oldest item (consumer side), or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        let slot = &self.slots[tail % self.slots.len()];
+        // SAFETY: the slot is inside [tail, head) — fully written by the
+        // producer (the acquire load of `head` synchronizes with its
+        // release store) — and is read exactly once before `tail` advances.
+        let item = unsafe { slot.get().read().assume_init() };
+        self.tail.store(tail + 1, Ordering::Release);
+        Some(item)
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.head.load(Ordering::Acquire) - self.tail.load(Ordering::Acquire)
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<T> Drop for Channel<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let ch = Channel::new(4);
+        assert!(ch.is_empty());
+        for i in 0..4 {
+            ch.push(i).unwrap();
+        }
+        assert_eq!(ch.push(99), Err(99));
+        assert_eq!(ch.len(), 4);
+        assert_eq!((0..4).map(|_| ch.pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(ch.pop().is_none());
+    }
+
+    #[test]
+    fn wraps_across_capacity() {
+        let ch = Channel::new(2);
+        for round in 0..10 {
+            ch.push(round).unwrap();
+            ch.push(round + 100).unwrap();
+            assert_eq!(ch.pop(), Some(round));
+            assert_eq!(ch.pop(), Some(round + 100));
+        }
+    }
+
+    #[test]
+    fn drops_queued_items() {
+        let item = Arc::new(());
+        let ch = Channel::new(4);
+        ch.push(Arc::clone(&item)).unwrap();
+        ch.push(Arc::clone(&item)).unwrap();
+        drop(ch);
+        assert_eq!(Arc::strong_count(&item), 1);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer() {
+        let ch = Arc::new(Channel::new(8));
+        let producer = {
+            let ch = Arc::clone(&ch);
+            std::thread::spawn(move || {
+                let mut sent = 0u64;
+                while sent < 10_000 {
+                    if ch.push(sent).is_ok() {
+                        sent += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        let mut got = Vec::with_capacity(10_000);
+        while got.len() < 10_000 {
+            if let Some(v) = ch.pop() {
+                got.push(v);
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(got.iter().copied().eq(0..10_000));
+    }
+}
