@@ -15,8 +15,14 @@
 //! point: current numbers, the committed baseline, and derived ratios.
 //!
 //! Flags: `--quick` shrinks the perf sections (determinism parameters are
-//! fixed so goldens match in every mode); `--bless` rewrites both golden
-//! files from the current run; `--out <path>` overrides the JSON path.
+//! fixed so goldens match in every mode; the perf baseline switches to
+//! `baseline_perf_quick.txt` since the shrunk counts differ); `--bless`
+//! rewrites both golden files from the current run; `--bless-baseline`
+//! rewrites only the perf baseline; `--out <path>` overrides the JSON
+//! path; `--gate <pct>` fails (exit 2) when a deterministic count metric
+//! regresses more than `pct`% over the committed baseline, and
+//! `--gate-wall` opts wall time into the gate (off by default: wall clocks
+//! are not comparable across machines).
 
 use gprs_bench::{injector, print_table};
 use gprs_runtime::cpr::CprBuilder;
@@ -449,6 +455,47 @@ fn perf(quick: bool) -> Vec<PerfRow> {
 }
 
 // ---------------------------------------------------------------------------
+// Perf gate
+
+/// Count metrics that are a deterministic function of the program and
+/// seed, hence comparable across machines and eligible for `--gate`.
+/// Wall-clock and derived-throughput metrics join only with `--gate-wall`.
+const GATED_METRICS: &[&str] = &["grants", "checkpoints", "recoveries", "squashed", "subthreads"];
+
+/// Rows whose counters depend on wall-clock injection timing; never gated.
+const UNGATED_ROWS: &[&str] = &["recovery/w4"];
+
+fn gate_failures(
+    rows: &[PerfRow],
+    baseline: &[(String, f64)],
+    pct: f64,
+    gate_wall: bool,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for row in rows {
+        if UNGATED_ROWS.contains(&row.key.as_str()) {
+            continue;
+        }
+        for (name, v) in &row.metrics {
+            let gated = GATED_METRICS.contains(name) || (gate_wall && *name == "wall_ns");
+            if !gated {
+                continue;
+            }
+            let bkey = format!("{}.{}", row.key, name);
+            let Some((_, base)) = baseline.iter().find(|(k, _)| *k == bkey) else {
+                continue;
+            };
+            if *base > 0.0 && *v > base * (1.0 + pct / 100.0) {
+                failures.push(format!(
+                    "{bkey}: {v} regressed more than {pct}% over baseline {base}"
+                ));
+            }
+        }
+    }
+    failures
+}
+
+// ---------------------------------------------------------------------------
 // Output
 
 fn write_json(
@@ -500,6 +547,13 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let bless = args.iter().any(|a| a == "--bless");
+    let bless_baseline = bless || args.iter().any(|a| a == "--bless-baseline");
+    let gate: Option<f64> = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--gate <pct>"));
+    let gate_wall = args.iter().any(|a| a == "--gate-wall");
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -559,8 +613,15 @@ fn main() {
     println!("\n== perf ==");
     let rows = perf(quick);
 
-    let baseline_path = dir.join("baseline_perf.txt");
-    let baseline = if bless {
+    // Quick mode shrinks the workloads, so its counts live in their own
+    // baseline file — gating quick runs against the full baseline would
+    // always trip.
+    let baseline_path = dir.join(if quick {
+        "baseline_perf_quick.txt"
+    } else {
+        "baseline_perf.txt"
+    });
+    let baseline = if bless_baseline {
         std::fs::write(&baseline_path, render_baseline(&rows)).expect("write baseline");
         println!("blessed baseline -> {}", baseline_path.display());
         Vec::new()
@@ -601,5 +662,24 @@ fn main() {
     if !drift.is_empty() {
         eprintln!("{} determinism hash(es) drifted from the goldens", drift.len());
         std::process::exit(1);
+    }
+
+    if let Some(pct) = gate {
+        if baseline.is_empty() {
+            println!(
+                "--gate {pct}: no baseline at {} — bless one first (--bless-baseline)",
+                baseline_path.display()
+            );
+        } else {
+            let failures = gate_failures(&rows, &baseline, pct, gate_wall);
+            for f in &failures {
+                eprintln!("PERF GATE: {f}");
+            }
+            if !failures.is_empty() {
+                eprintln!("{} metric(s) regressed past the {pct}% gate", failures.len());
+                std::process::exit(2);
+            }
+            println!("perf gate ({pct}%): all gated metrics within bounds");
+        }
     }
 }

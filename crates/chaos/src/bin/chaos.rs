@@ -1,0 +1,132 @@
+//! Campaign CLI.
+//!
+//! ```text
+//! gprs-chaos                      # full campaign: 32 seeds × all programs
+//! gprs-chaos --seeds 64           # more seeds
+//! gprs-chaos --quick              # CI smoke: 6 seeds, sim subset
+//! gprs-chaos --fixtures <dir>     # replay every committed *.plan fixture
+//! ```
+//!
+//! Exit codes: 0 = zero oracle violations, 1 = violations found (each one
+//! printed; for runtime legs the failing plan is minimized and its fixture
+//! text printed, ready to commit under `crates/chaos/fixtures/`).
+
+use gprs_chaos::campaign::{gprs_injected, gprs_clean, run_campaign};
+use gprs_chaos::oracle::check_runtime;
+use gprs_chaos::{minimize, replay_fixture, CampaignConfig, Fixture};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = CampaignConfig::full();
+    let mut fixtures_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = CampaignConfig::smoke(),
+            "--seeds" => {
+                i += 1;
+                cfg.seeds = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seeds <n>");
+            }
+            "--fixtures" => {
+                i += 1;
+                fixtures_dir = Some(args.get(i).expect("--fixtures <dir>").clone());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(dir) = fixtures_dir {
+        std::process::exit(replay_all(&dir));
+    }
+
+    println!(
+        "chaos campaign: {} seeds per leg ({})",
+        cfg.seeds,
+        if cfg.quick { "quick" } else { "full" }
+    );
+    let outcome = run_campaign(&cfg);
+    println!(
+        "{} injected runs over {} legs: {} violation(s)",
+        outcome.runs,
+        outcome.legs,
+        outcome.violations.len()
+    );
+    if outcome.violations.is_empty() {
+        return;
+    }
+    for v in &outcome.violations {
+        eprintln!("VIOLATION: {v}");
+    }
+    // Minimize the first runtime failure into a committable fixture.
+    if let Some(v) = outcome.violations.iter().find(|v| v.leg.starts_with("rt/")) {
+        let program = v.leg.trim_start_matches("rt/").to_string();
+        let clean = gprs_clean(&program);
+        let plan = gprs_chaos::seeded_plan(
+            leg_seed(&program, v.seed),
+            clean.stats.grants,
+        );
+        let min = minimize(&plan, |p| match gprs_injected(&program, p) {
+            Ok(r) => !check_runtime(&v.leg, v.seed, p, &clean, &r).is_empty(),
+            Err(_) => true,
+        });
+        let fx = Fixture {
+            engine: "gprs-rt".into(),
+            program,
+            seed: v.seed,
+            plan: min,
+        };
+        eprintln!("--- minimized fixture (commit under crates/chaos/fixtures/) ---");
+        eprint!("{}", fx.to_text());
+    }
+    std::process::exit(1);
+}
+
+/// Mirrors `campaign::leg_seed` (kept private there to pin the stream).
+fn leg_seed(program: &str, seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in program.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h ^ seed
+}
+
+fn replay_all(dir: &str) -> i32 {
+    let mut failures = 0;
+    let mut count = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("fixtures directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "plan"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        count += 1;
+        let text = std::fs::read_to_string(&path).expect("readable fixture");
+        let fx = Fixture::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        match replay_fixture(&fx) {
+            Ok(violations) if violations.is_empty() => {
+                println!("fixture {}: ok", path.display());
+            }
+            Ok(violations) => {
+                failures += 1;
+                for v in violations {
+                    eprintln!("fixture {}: REGRESSED: {v}", path.display());
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("fixture {}: {e}", path.display());
+            }
+        }
+    }
+    println!("{count} fixture(s), {failures} regressed");
+    i32::from(failures > 0)
+}

@@ -1,0 +1,197 @@
+//! The campaign driver: N seeds × every workload program × every engine.
+//!
+//! For each (program, engine) leg the fault-free twin is computed once and
+//! reused across seeds — it is seed-independent — then every seed derives
+//! its plan (real executors) or script (simulator), runs it, and feeds the
+//! result to the [`crate::oracle`]. A campaign passes only when **zero**
+//! invariants are violated across every leg.
+
+use crate::oracle::{check_cpr, check_runtime, check_sim, Violation};
+use crate::programs::{register_cpr, register_gprs, CPR_PROGRAMS, RUNTIME_PROGRAMS};
+use crate::{seeded_plan, seeded_script};
+use gprs_core::chaos::ChaosPlan;
+use gprs_core::exception::InjectorConfig;
+use gprs_runtime::cpr::{CprBuilder, CprReport};
+use gprs_runtime::report::RunReport;
+use gprs_runtime::GprsBuilder;
+use gprs_sim::costs::{MechCosts, CYCLES_PER_SEC};
+use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+use gprs_sim::result::SimResult;
+use gprs_workloads::traces::{build, TraceParams, PROGRAMS};
+
+/// Simulator contexts for campaign legs (small enough to keep 32 seeds ×
+/// 10 programs fast, large enough for real overlap).
+const SIM_CONTEXTS: u32 = 8;
+
+/// Campaign shape.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seeds per (program, engine) leg.
+    pub seeds: u64,
+    /// Quick mode: a fixed subset of simulator programs (CI smoke).
+    pub quick: bool,
+}
+
+impl CampaignConfig {
+    /// The acceptance-criteria campaign: 32 seeds, every program.
+    pub fn full() -> Self {
+        CampaignConfig {
+            seeds: 32,
+            quick: false,
+        }
+    }
+
+    /// The CI smoke campaign: 6 seeds, three simulator programs.
+    pub fn smoke() -> Self {
+        CampaignConfig {
+            seeds: 6,
+            quick: true,
+        }
+    }
+}
+
+/// What a campaign did and found.
+#[derive(Debug, Default)]
+pub struct CampaignOutcome {
+    /// Injected runs executed.
+    pub runs: u64,
+    /// `(leg, seed)` pairs exercised, for reporting.
+    pub legs: u64,
+    /// Every invariant violation found (empty == pass).
+    pub violations: Vec<Violation>,
+}
+
+/// Mixes a program name into a per-leg seed stream (FNV-1a).
+fn leg_seed(program: &str, seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in program.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h ^ seed
+}
+
+/// Fault-free GPRS-runtime run of a campaign program.
+pub fn gprs_clean(program: &str) -> RunReport {
+    let mut b = GprsBuilder::new().workers(4);
+    register_gprs(program, &mut b);
+    b.build().run().expect("fault-free campaign run completes")
+}
+
+/// Injected GPRS-runtime run of a campaign program under a plan.
+pub fn gprs_injected(program: &str, plan: &ChaosPlan) -> Result<RunReport, String> {
+    let mut b = GprsBuilder::new().workers(4);
+    register_gprs(program, &mut b);
+    b.chaos(plan).build().run().map_err(|e| e.to_string())
+}
+
+/// Fault-free CPR-baseline run of a campaign program.
+pub fn cpr_clean(program: &str) -> CprReport {
+    let mut b = CprBuilder::new().workers(4).checkpoint_every(24);
+    register_cpr(program, &mut b);
+    b.build().run().expect("fault-free CPR run completes")
+}
+
+/// Injected CPR-baseline run of a campaign program under a plan.
+pub fn cpr_injected(program: &str, plan: &ChaosPlan) -> Result<CprReport, String> {
+    let mut b = CprBuilder::new().workers(4).checkpoint_every(24);
+    register_cpr(program, &mut b);
+    b.chaos(plan).build().run().map_err(|e| e.to_string())
+}
+
+/// Fault-free simulator run of a paper workload at campaign scale.
+pub fn sim_clean(program: &str) -> SimResult {
+    let w = build(program, &TraceParams::paper().scaled(0.02));
+    run_gprs(&w, &GprsSimConfig::balance_aware(SIM_CONTEXTS))
+}
+
+/// Injected simulator run: the seeded script plus a background Poisson
+/// stream (kind-cycled, one local in four) at a fixed sub-tipping rate.
+///
+/// The rate is absolute (0.5/s — the paper's low-rate regime, well under
+/// the 1.92/s single-context tipping point), *not* scaled to the program's
+/// clean duration: scaling it would push short programs like histogram
+/// (~14 ms clean) far past their tipping rate and turn every run into a
+/// by-design livelock. Likewise the time cap budgets a full REX restore
+/// (~450 ms, larger than some programs' entire clean run) plus a
+/// re-execution for every scripted arrival on top of the 16× clean slack.
+pub fn sim_injected(program: &str, seed: u64, clean_finish: u64) -> SimResult {
+    let w = build(program, &TraceParams::paper().scaled(0.02));
+    let script = seeded_script(seed, clean_finish, SIM_CONTEXTS);
+    let arrivals: u64 = script.iter().map(|a| a.burst.max(1) as u64).sum();
+    let costs = MechCosts::paper_default();
+    let recovery_budget =
+        (arrivals + 4) * (costs.gprs_restore + costs.restore_wait + clean_finish);
+    let injector = InjectorConfig::paper(0.5, SIM_CONTEXTS, CYCLES_PER_SEC)
+        .with_seed(seed ^ 0xD37E)
+        .with_script(script)
+        .with_kind_mix(InjectorConfig::all_kinds())
+        .with_local_every(4);
+    let cfg = GprsSimConfig::balance_aware(SIM_CONTEXTS)
+        .with_exceptions(injector)
+        .with_time_cap(clean_finish.saturating_mul(16).saturating_add(recovery_budget));
+    run_gprs(&w, &cfg)
+}
+
+/// Runs the full campaign and collects every violation.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
+    let mut out = CampaignOutcome::default();
+
+    for program in RUNTIME_PROGRAMS {
+        let leg = format!("rt/{program}");
+        let clean = gprs_clean(program);
+        out.legs += 1;
+        for seed in 0..cfg.seeds {
+            let plan = seeded_plan(leg_seed(program, seed), clean.stats.grants);
+            out.runs += 1;
+            match gprs_injected(program, &plan) {
+                Ok(report) => out
+                    .violations
+                    .extend(check_runtime(&leg, seed, &plan, &clean, &report)),
+                Err(e) => out.violations.push(Violation {
+                    leg: leg.clone(),
+                    seed,
+                    what: format!("run failed: {e}"),
+                }),
+            }
+        }
+    }
+
+    for program in CPR_PROGRAMS {
+        let leg = format!("cpr/{program}");
+        let clean = cpr_clean(program);
+        out.legs += 1;
+        for seed in 0..cfg.seeds {
+            let plan = seeded_plan(leg_seed(program, seed), clean.stats.grants);
+            out.runs += 1;
+            match cpr_injected(program, &plan) {
+                Ok(report) => out
+                    .violations
+                    .extend(check_cpr(&leg, seed, &plan, &clean, &report)),
+                Err(e) => out.violations.push(Violation {
+                    leg: leg.clone(),
+                    seed,
+                    what: format!("run failed: {e}"),
+                }),
+            }
+        }
+    }
+
+    let sim_programs: Vec<&str> = if cfg.quick {
+        vec!["canneal", "dedup", "histogram"]
+    } else {
+        PROGRAMS.iter().map(|p| p.name).collect()
+    };
+    for program in sim_programs {
+        let leg = format!("sim/{program}");
+        let clean = sim_clean(program);
+        out.legs += 1;
+        for seed in 0..cfg.seeds {
+            out.runs += 1;
+            let injected = sim_injected(program, seed, clean.finish_cycles);
+            out.violations
+                .extend(check_sim(&leg, seed, &clean, &injected));
+        }
+    }
+
+    out
+}

@@ -1,0 +1,144 @@
+//! Regression fixtures: a minimized failing scenario, committed to
+//! `crates/chaos/fixtures/*.plan` and replayed by tests and CI.
+//!
+//! A fixture is the [`ChaosPlan`] text format plus header comments binding
+//! it to an engine and program:
+//!
+//! ```text
+//! # engine: gprs-rt        (gprs-rt | cpr | sim)
+//! # program: nested
+//! # seed: 17               (sim only: the script seed)
+//! grant 24 kind=thermal scope=global victim=holder burst=3
+//! mid-recovery 1 kind=soft-fault scope=global victim=oldest burst=1
+//! ```
+//!
+//! Because the binding lives in comments, every fixture file also parses
+//! as a bare [`ChaosPlan`]. Sim fixtures replay the *seed* (scripts are
+//! cycle-keyed and scale-dependent, so the seed is the reproducer).
+
+use crate::campaign::{
+    cpr_clean, cpr_injected, gprs_clean, gprs_injected, sim_clean, sim_injected,
+};
+use crate::oracle::{check_cpr, check_runtime, check_sim, Violation};
+use gprs_core::chaos::ChaosPlan;
+
+/// A parsed fixture: engine binding + plan (and seed, for sim fixtures).
+#[derive(Debug, Clone)]
+pub struct Fixture {
+    /// `gprs-rt`, `cpr` or `sim`.
+    pub engine: String,
+    /// Campaign program name.
+    pub program: String,
+    /// Script seed (sim fixtures).
+    pub seed: u64,
+    /// The injection plan (real-executor fixtures).
+    pub plan: ChaosPlan,
+}
+
+impl Fixture {
+    /// Parses fixture text (see the module docs).
+    ///
+    /// # Errors
+    /// Returns a description of the malformed line or missing header.
+    pub fn parse(text: &str) -> Result<Fixture, String> {
+        let mut engine = None;
+        let mut program = None;
+        let mut seed = 0u64;
+        for line in text.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix('#') else {
+                continue;
+            };
+            if let Some((key, val)) = rest.split_once(':') {
+                match key.trim() {
+                    "engine" => engine = Some(val.trim().to_string()),
+                    "program" => program = Some(val.trim().to_string()),
+                    "seed" => {
+                        seed = val
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad fixture seed {:?}", val.trim()))?
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(Fixture {
+            engine: engine.ok_or("fixture missing `# engine:` header")?,
+            program: program.ok_or("fixture missing `# program:` header")?,
+            seed,
+            plan: ChaosPlan::parse(text)?,
+        })
+    }
+
+    /// Serializes the fixture (headers + plan text).
+    pub fn to_text(&self) -> String {
+        format!(
+            "# engine: {}\n# program: {}\n# seed: {}\n{}",
+            self.engine,
+            self.program,
+            self.seed,
+            self.plan.to_text()
+        )
+    }
+}
+
+/// Replays a fixture against its bound engine and returns the oracle's
+/// verdict (empty == the regression stays fixed).
+///
+/// # Errors
+/// Returns a description for an unknown engine binding.
+pub fn replay_fixture(fx: &Fixture) -> Result<Vec<Violation>, String> {
+    let leg = format!("fixture/{}/{}", fx.engine, fx.program);
+    match fx.engine.as_str() {
+        "gprs-rt" => {
+            let clean = gprs_clean(&fx.program);
+            Ok(match gprs_injected(&fx.program, &fx.plan) {
+                Ok(report) => check_runtime(&leg, fx.seed, &fx.plan, &clean, &report),
+                Err(e) => vec![Violation {
+                    leg,
+                    seed: fx.seed,
+                    what: format!("run failed: {e}"),
+                }],
+            })
+        }
+        "cpr" => {
+            let clean = cpr_clean(&fx.program);
+            Ok(match cpr_injected(&fx.program, &fx.plan) {
+                Ok(report) => check_cpr(&leg, fx.seed, &fx.plan, &clean, &report),
+                Err(e) => vec![Violation {
+                    leg,
+                    seed: fx.seed,
+                    what: format!("run failed: {e}"),
+                }],
+            })
+        }
+        "sim" => {
+            let clean = sim_clean(&fx.program);
+            let injected = sim_injected(&fx.program, fx.seed, clean.finish_cycles);
+            Ok(check_sim(&leg, fx.seed, &clean, &injected))
+        }
+        other => Err(format!("unknown fixture engine {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprs_core::chaos::ChaosEvent;
+
+    #[test]
+    fn fixture_roundtrips_and_rejects_missing_headers() {
+        let fx = Fixture {
+            engine: "gprs-rt".into(),
+            program: "nested".into(),
+            seed: 0,
+            plan: ChaosPlan::new().with(ChaosEvent::at_grant(24).burst(3)),
+        };
+        let parsed = Fixture::parse(&fx.to_text()).expect("roundtrip");
+        assert_eq!(parsed.engine, "gprs-rt");
+        assert_eq!(parsed.program, "nested");
+        assert_eq!(parsed.plan, fx.plan);
+        assert!(Fixture::parse("grant 3 burst=1\n").is_err());
+    }
+}

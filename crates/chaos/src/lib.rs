@@ -1,0 +1,139 @@
+//! Deterministic chaos campaigns over the GPRS recovery paths.
+//!
+//! The PLDI 2014 design's hardest promises are about what happens *around*
+//! recovery: every sub-thread older than the excepting one retires with its
+//! effects visible, nothing younger is observable, the runtime's own WAL
+//! balances, and the retired order converges to the fault-free order. This
+//! crate stress-tests those promises with **seeded, fully deterministic
+//! fault-injection campaigns** instead of one-shot wall-clock injection:
+//!
+//! * [`seeded_plan`] derives a [`ChaosPlan`] from a seed — exception storms
+//!   (bursts across contexts), exceptions raised **while recovery is
+//!   already in flight** (`MidRecovery` triggers), exceptions inside
+//!   critical sections (`Holder` victims) and mid-WAL-append (`Newest`
+//!   victims at a grant), over every [`ExceptionKind`] and a global/local
+//!   scope mix.
+//! * [`seeded_script`] expresses the same scenarios for the virtual-time
+//!   simulator as [`ScriptedArrival`]s keyed to fractions of the fault-free
+//!   finish time.
+//! * [`oracle`] holds the invariant checks run after every injected
+//!   execution.
+//! * [`campaign`] drives N seeds × every workload program over the GPRS
+//!   runtime, the CPR baseline and the simulator.
+//! * [`minimize`] shrinks a failing plan to a minimal reproducer, and
+//!   [`fixture`] serializes it (plus its engine/program binding) into the
+//!   committed regression-fixture format replayed by CI.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod campaign;
+pub mod fixture;
+pub mod minimize;
+pub mod oracle;
+pub mod programs;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome};
+pub use fixture::{replay_fixture, Fixture};
+pub use minimize::minimize;
+pub use oracle::Violation;
+
+use gprs_core::chaos::{ChaosEvent, ChaosPlan, ChaosTrigger, VictimSelector};
+use gprs_core::exception::{ExceptionScope, InjectorConfig, ScriptedArrival};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives a deterministic injection plan from a seed.
+///
+/// `grants_hint` is the fault-free grant count of the target program; all
+/// grant triggers land in `[1, grants_hint]` so every event is guaranteed
+/// to fire (an injected run only ever issues *more* grants than the clean
+/// run, since squashed work re-executes). Victims for global grant events
+/// are drawn from `Oldest`/`Newest`/`Holder` — all of which resolve to a
+/// live sub-thread at a grant — so the plan's exception totals are
+/// deliverable; `Context` targeting is reserved for handwritten tests.
+pub fn seeded_plan(seed: u64, grants_hint: u64) -> ChaosPlan {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4405C4405);
+    let kinds = InjectorConfig::all_kinds();
+    let hint = grants_hint.max(4);
+    let mut plan = ChaosPlan::new();
+    let grant_events = rng.gen_range(1u32..4);
+    for _ in 0..grant_events {
+        let at = rng.gen_range(1u64..hint + 1);
+        let kind = kinds[rng.gen_range(0usize..kinds.len())];
+        // Mostly global storms; roughly one event in four is a local mix
+        // (handled precisely, no recovery — the §2.2 scope split).
+        let scope = if rng.gen_range(0u32..4) == 0 {
+            ExceptionScope::Local
+        } else {
+            ExceptionScope::Global
+        };
+        let victim = match rng.gen_range(0u32..3) {
+            0 => VictimSelector::Oldest,
+            1 => VictimSelector::Newest,
+            _ => VictimSelector::Holder,
+        };
+        let burst = rng.gen_range(1u32..4);
+        plan.push(
+            ChaosEvent::at_grant(at)
+                .kind(kind)
+                .scope(scope)
+                .victim(victim)
+                .burst(burst),
+        );
+    }
+    // Overlapping DEX→REX: exceptions raised while recovery is in flight,
+    // keyed to the first recovery sessions the grant events above produce.
+    for n in 1..=rng.gen_range(0u64..3) {
+        let kind = kinds[rng.gen_range(0usize..kinds.len())];
+        let victim = if rng.gen::<bool>() {
+            VictimSelector::Oldest
+        } else {
+            VictimSelector::Newest
+        };
+        plan.push(ChaosEvent::mid_recovery(n).kind(kind).victim(victim));
+    }
+    plan
+}
+
+/// Derives a deterministic simulator script from a seed: the same storm /
+/// overlap / kind-mix / scope-mix scenarios as [`seeded_plan`], keyed to
+/// virtual cycles. `finish_hint` is the fault-free finish time; arrivals
+/// land in its first ~70% so their (latency-delayed) reports stay inside
+/// the injected run.
+pub fn seeded_script(seed: u64, finish_hint: u64, contexts: u32) -> Vec<ScriptedArrival> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5C819750);
+    let kinds = InjectorConfig::all_kinds();
+    let span = (finish_hint / 10).max(1);
+    let mut script = Vec::new();
+    for _ in 0..rng.gen_range(1u32..4) {
+        let at = span + rng.gen_range(0u64..span * 6);
+        let victim = rng.gen_range(0u32..contexts.max(1));
+        let mut arr = ScriptedArrival::storm(at, victim, rng.gen_range(1u32..6));
+        if rng.gen::<bool>() {
+            arr = arr.with_kind(kinds[rng.gen_range(0usize..kinds.len())]);
+        }
+        if rng.gen_range(0u32..4) == 0 {
+            arr = arr.with_scope(ExceptionScope::Local);
+        }
+        script.push(arr);
+        // Overlap pair: a trailing arrival one cycle behind the storm, so
+        // its report lands in the same recovery drain (an exception while
+        // recovery handles its predecessors).
+        if rng.gen::<bool>() {
+            script.push(ScriptedArrival::single(at + 1, (victim + 7) % contexts.max(1)));
+        }
+    }
+    script
+}
+
+/// Exceptions a plan is guaranteed to deliver: the grant-event bursts.
+/// (`MidRecovery` events only fire if their session ordinal is reached, so
+/// the oracle treats them as an upper bound, not a promise.)
+pub fn guaranteed_exceptions(plan: &ChaosPlan) -> u64 {
+    plan.events
+        .iter()
+        .filter(|e| matches!(e.trigger, ChaosTrigger::AtGrant(_)))
+        .map(|e| e.burst.max(1) as u64)
+        .sum()
+}

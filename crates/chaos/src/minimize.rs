@@ -1,0 +1,71 @@
+//! Greedy plan minimization: shrink a failing plan to a minimal
+//! reproducer before committing it as a regression fixture.
+
+use gprs_core::chaos::ChaosPlan;
+
+/// Minimizes `plan` against `still_fails` (which must return `true` for
+/// the input plan). Delta-debugs in two passes: drop whole events while
+/// the failure reproduces, then shrink surviving bursts to 1 where the
+/// failure survives that too. The result is deterministic for a
+/// deterministic predicate.
+pub fn minimize(plan: &ChaosPlan, mut still_fails: impl FnMut(&ChaosPlan) -> bool) -> ChaosPlan {
+    debug_assert!(still_fails(plan), "minimize needs a failing plan");
+    let mut best = plan.clone();
+
+    // Pass 1: drop events, largest-first reduction by repeated sweeps.
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for i in 0..best.events.len() {
+            if best.events.len() == 1 {
+                break;
+            }
+            let mut candidate = best.clone();
+            candidate.events.remove(i);
+            if still_fails(&candidate) {
+                best = candidate;
+                progress = true;
+                break;
+            }
+        }
+    }
+
+    // Pass 2: shrink bursts.
+    for i in 0..best.events.len() {
+        while best.events[i].burst > 1 {
+            let mut candidate = best.clone();
+            candidate.events[i].burst -= 1;
+            if still_fails(&candidate) {
+                best = candidate;
+            } else {
+                break;
+            }
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprs_core::chaos::{ChaosEvent, ChaosTrigger};
+
+    #[test]
+    fn shrinks_to_the_single_guilty_event() {
+        let plan = ChaosPlan::new()
+            .with(ChaosEvent::at_grant(3).burst(4))
+            .with(ChaosEvent::at_grant(9).burst(2))
+            .with(ChaosEvent::mid_recovery(1));
+        // "Fails" iff some event triggers at grant 9 with burst >= 2.
+        let fails = |p: &ChaosPlan| {
+            p.events
+                .iter()
+                .any(|e| e.trigger == ChaosTrigger::AtGrant(9) && e.burst >= 2)
+        };
+        let min = minimize(&plan, fails);
+        assert_eq!(min.events.len(), 1);
+        assert_eq!(min.events[0].trigger, ChaosTrigger::AtGrant(9));
+        assert_eq!(min.events[0].burst, 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! The workload programs chaos campaigns run on the real executors.
+//!
+//! Each program registers identically on the GPRS runtime and the CPR
+//! baseline (their registration APIs mirror each other), covering the
+//! recovery surfaces the plans target: pure grant/retire traffic
+//! (`chain`), nested locks under the per-lock condvar shards (`nested`),
+//! mutex-protected critical sections (`histogram`) and a channel pipeline
+//! with output-commit-delayed files (`pbzip`, GPRS only).
+
+use gprs_core::history::Checkpoint;
+use gprs_core::ids::GroupId;
+use gprs_runtime::cpr::CprBuilder;
+use gprs_runtime::ctx::StepCtx;
+use gprs_runtime::handles::{AtomicHandle, MutexHandle};
+use gprs_runtime::program::{Step, ThreadProgram};
+use gprs_runtime::GprsBuilder;
+use gprs_workloads::kernels::compress::generate_corpus;
+use gprs_workloads::programs::{build_pbzip_pipeline, HistogramWorker};
+
+/// Programs the GPRS-runtime campaign legs run.
+pub const RUNTIME_PROGRAMS: &[&str] = &["chain", "nested", "histogram", "pbzip"];
+
+/// Programs the CPR-baseline campaign legs run (`pbzip` wires channels
+/// through a GPRS-only builder helper, so the baseline skips it).
+pub const CPR_PROGRAMS: &[&str] = &["chain", "nested", "histogram"];
+
+/// Disjoint fetch-add chain: pure grant/checkpoint/retire traffic.
+pub struct Chain {
+    atomic: AtomicHandle,
+    rounds: u32,
+    done: u32,
+}
+
+impl std::fmt::Debug for Chain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Chain({}/{})", self.done, self.rounds)
+    }
+}
+
+impl Checkpoint for Chain {
+    type Snapshot = u32;
+    fn checkpoint(&self) -> u32 {
+        self.done
+    }
+    fn restore(&mut self, s: &u32) {
+        self.done = *s;
+    }
+}
+
+impl ThreadProgram for Chain {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Step {
+        if self.done == self.rounds {
+            return Step::exit(u64::from(self.done));
+        }
+        self.done += 1;
+        self.atomic.fetch_add(1)
+    }
+}
+
+/// Nested-lock worker: every round opens a critical section on the outer
+/// mutex and takes the inner mutex *nested inside it* — the sub-thread
+/// holds two locks when a `Holder`-targeted exception strikes, and any
+/// peer blocked on the inner lock parks on its condvar shard.
+pub struct NestedWorker {
+    outer: MutexHandle<u64>,
+    inner: MutexHandle<u64>,
+    rounds: u32,
+    done: u32,
+}
+
+impl std::fmt::Debug for NestedWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NestedWorker({}/{})", self.done, self.rounds)
+    }
+}
+
+impl Checkpoint for NestedWorker {
+    type Snapshot = u32;
+    fn checkpoint(&self) -> u32 {
+        self.done
+    }
+    fn restore(&mut self, s: &u32) {
+        self.done = *s;
+    }
+}
+
+impl ThreadProgram for NestedWorker {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        if self.done > 0 {
+            // Inside the outer critical section: nested acquire first (the
+            // shard-wait path), then the opening lock's data.
+            ctx.lock_nested(&self.inner, |n| *n = n.wrapping_add(1));
+            ctx.with_lock(&self.outer, |n| *n = n.wrapping_add(3));
+            ctx.unlock(&self.outer);
+        }
+        if self.done == self.rounds {
+            return Step::exit(u64::from(self.done));
+        }
+        self.done += 1;
+        self.outer.lock()
+    }
+}
+
+/// Registers `name`'s threads and resources on either builder (their
+/// registration APIs are identical by construction).
+macro_rules! register_common {
+    ($name:expr, $b:expr) => {
+        match $name {
+            "chain" => {
+                for _ in 0..6 {
+                    let a = $b.atomic(0);
+                    $b.thread(Chain { atomic: a, rounds: 24, done: 0 }, GroupId::new(0), 1);
+                }
+                true
+            }
+            "nested" => {
+                let outer = $b.mutex(0u64);
+                let inner = $b.mutex(0u64);
+                for _ in 0..5 {
+                    $b.thread(
+                        NestedWorker { outer, inner, rounds: 12, done: 0 },
+                        GroupId::new(0),
+                        1,
+                    );
+                }
+                true
+            }
+            "histogram" => {
+                let acc = $b.mutex(vec![0u64; 256]);
+                for chunk in generate_corpus(24_000, 5).chunks(4_000) {
+                    $b.thread(HistogramWorker::new(chunk.to_vec(), acc), GroupId::new(0), 1);
+                }
+                true
+            }
+            _ => false,
+        }
+    };
+}
+
+/// Registers a campaign program on a GPRS builder.
+///
+/// # Panics
+/// Panics on an unknown program name.
+pub fn register_gprs(name: &str, b: &mut GprsBuilder) {
+    if register_common!(name, b) {
+        return;
+    }
+    match name {
+        "pbzip" => {
+            let _ = build_pbzip_pipeline(b, generate_corpus(20_000, 11), 2048, 2);
+        }
+        other => panic!("unknown chaos program {other:?}"),
+    }
+}
+
+/// Registers a campaign program on a CPR builder.
+///
+/// # Panics
+/// Panics on an unknown program name (including `pbzip`, see
+/// [`CPR_PROGRAMS`]).
+pub fn register_cpr(name: &str, b: &mut CprBuilder) {
+    if !register_common!(name, b) {
+        panic!("unknown CPR chaos program {name:?}");
+    }
+}

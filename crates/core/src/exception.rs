@@ -156,6 +156,61 @@ impl fmt::Display for Exception {
     }
 }
 
+/// A scripted exception arrival, merged with the Poisson stream by the
+/// [`ExceptionInjector`].
+///
+/// Scripts let a chaos campaign place exceptions *precisely* in virtual
+/// time — storms (bursts across many contexts), back-to-back arrivals whose
+/// reports land inside an earlier exception's recovery window, and
+/// local/global mixes — while keeping the whole stream deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptedArrival {
+    /// Virtual cycle of the (first) arrival.
+    pub at: u64,
+    /// Context of the (first) victim; burst victims cycle from here.
+    pub victim: u32,
+    /// Number of exceptions delivered, at consecutive cycles starting at
+    /// `at`, victims cycling across contexts (a storm). `0` is read as `1`.
+    pub burst: u32,
+    /// Kind override; `None` uses the injector's kind cycle.
+    pub kind: Option<ExceptionKind>,
+    /// Scope of every exception in the burst.
+    pub scope: ExceptionScope,
+    /// Detection-latency override; `None` uses the injector's latency.
+    pub detection_latency: Option<u64>,
+}
+
+impl ScriptedArrival {
+    /// A global burst of `burst` exceptions starting at cycle `at`.
+    pub fn storm(at: u64, victim: u32, burst: u32) -> Self {
+        ScriptedArrival {
+            at,
+            victim,
+            burst,
+            kind: None,
+            scope: ExceptionScope::Global,
+            detection_latency: None,
+        }
+    }
+
+    /// A single global arrival at cycle `at` on context `victim`.
+    pub fn single(at: u64, victim: u32) -> Self {
+        Self::storm(at, victim, 1)
+    }
+
+    /// Sets the scope.
+    pub fn with_scope(mut self, scope: ExceptionScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Sets an explicit kind.
+    pub fn with_kind(mut self, kind: ExceptionKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+}
+
 /// Configuration for the Poisson exception injector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InjectorConfig {
@@ -167,10 +222,21 @@ pub struct InjectorConfig {
     pub contexts: u32,
     /// Detection latency applied to every injected exception.
     pub detection_latency: u64,
-    /// Kind stamped on injected exceptions.
+    /// Kind stamped on injected exceptions (see also [`Self::kind_mix`]).
     pub kind: ExceptionKind,
     /// RNG seed, for reproducible experiments.
     pub seed: u64,
+    /// Scripted arrivals merged (by raised-at cycle) with the Poisson
+    /// stream. Need not be sorted; the injector sorts them.
+    pub script: Vec<ScriptedArrival>,
+    /// When non-empty, emitted exceptions cycle deterministically through
+    /// these kinds (scripted arrivals with an explicit kind are exempt);
+    /// when empty, every exception gets [`Self::kind`].
+    pub kind_mix: Vec<ExceptionKind>,
+    /// When `n > 0`, every `n`-th emitted Poisson exception is *local*
+    /// (handled by ordinary precise interrupts, no global recovery) — the
+    /// paper's local/global mix of `§2.2`. `0` keeps them all global.
+    pub local_every: u32,
 }
 
 impl InjectorConfig {
@@ -184,6 +250,9 @@ impl InjectorConfig {
             detection_latency: DEFAULT_DETECTION_LATENCY_CYCLES,
             kind: ExceptionKind::SoftFault,
             seed: 0x9e37_79b9_7f4a_7c15,
+            script: Vec::new(),
+            kind_mix: Vec::new(),
+            local_every: 0,
         }
     }
 
@@ -198,7 +267,44 @@ impl InjectorConfig {
         self.detection_latency = cycles;
         self
     }
+
+    /// Adds scripted arrivals (merged with the Poisson stream).
+    pub fn with_script(mut self, script: Vec<ScriptedArrival>) -> Self {
+        self.script = script;
+        self
+    }
+
+    /// Cycles emitted kinds through `kinds` (see [`Self::kind_mix`]).
+    pub fn with_kind_mix(mut self, kinds: Vec<ExceptionKind>) -> Self {
+        self.kind_mix = kinds;
+        self
+    }
+
+    /// Makes every `n`-th Poisson exception local (see [`Self::local_every`]).
+    pub fn with_local_every(mut self, n: u32) -> Self {
+        self.local_every = n;
+        self
+    }
+
+    /// Every exception-kind variant, in a fixed order — the chaos campaign's
+    /// default kind cycle.
+    pub fn all_kinds() -> Vec<ExceptionKind> {
+        vec![
+            ExceptionKind::SoftFault,
+            ExceptionKind::VoltageEmergency,
+            ExceptionKind::ThermalEmergency,
+            ExceptionKind::ApproximationError,
+            ExceptionKind::ResourceRevocation,
+            ExceptionKind::DataRace,
+            ExceptionKind::RuntimeFault,
+            ExceptionKind::Custom(7),
+        ]
+    }
 }
+
+/// One expanded scripted arrival: `(raise cycle, victim context, kind
+/// override, scope, latency override)`.
+type ScriptedPoint = (u64, u32, Option<ExceptionKind>, ExceptionScope, Option<u64>);
 
 /// Seeded Poisson process generating [`Exception`]s in virtual time.
 ///
@@ -206,18 +312,29 @@ impl InjectorConfig {
 /// uniformly from the configured contexts — exactly the paper's emulation,
 /// which "stress-tested GPRS under various exception rates, without
 /// emphasizing the probability distribution of the exceptions".
+///
+/// Scripted arrivals ([`InjectorConfig::script`]) are merged into the
+/// stream by raised-at cycle (scripted wins ties), so a chaos campaign can
+/// overlay precisely placed storms and overlapping exceptions on a Poisson
+/// background while the whole stream stays a pure function of the config.
 #[derive(Debug, Clone)]
 pub struct ExceptionInjector {
     config: InjectorConfig,
     rng: SmallRng,
     next_at: u64,
+    /// Expanded scripted stream, sorted by raised-at cycle; `script_ix`
+    /// indexes the next unemitted entry.
+    scripted: Vec<ScriptedPoint>,
+    script_ix: usize,
+    /// Total exceptions emitted — drives the kind cycle and the local mix.
+    emitted: u64,
 }
 
 impl ExceptionInjector {
     /// Creates an injector and schedules the first arrival after cycle 0.
     ///
-    /// A rate of `0.0` produces no exceptions ([`Self::next_before`] always
-    /// returns `None`).
+    /// A rate of `0.0` with an empty script produces no exceptions
+    /// ([`Self::next_before`] always returns `None`).
     pub fn new(config: InjectorConfig) -> Self {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let first = if config.rate_per_sec > 0.0 {
@@ -225,23 +342,79 @@ impl ExceptionInjector {
         } else {
             u64::MAX
         };
+        let contexts = config.contexts.max(1);
+        let mut scripted = Vec::new();
+        for arr in &config.script {
+            for b in 0..arr.burst.max(1) as u64 {
+                scripted.push((
+                    arr.at.saturating_add(b),
+                    (arr.victim + b as u32) % contexts,
+                    arr.kind,
+                    arr.scope,
+                    arr.detection_latency,
+                ));
+            }
+        }
+        scripted.sort_by_key(|s| s.0);
         ExceptionInjector {
             config,
             rng,
             next_at: first,
+            scripted,
+            script_ix: 0,
+            emitted: 0,
         }
     }
 
-    /// The cycle of the next scheduled arrival, if any.
+    /// The cycle of the next scheduled arrival (Poisson or scripted), if any.
     pub fn peek_next(&self) -> Option<u64> {
-        (self.next_at != u64::MAX).then_some(self.next_at)
+        let scripted = self.scripted.get(self.script_ix).map(|s| s.0);
+        let poisson = (self.next_at != u64::MAX).then_some(self.next_at);
+        match (scripted, poisson) {
+            (Some(s), Some(p)) => Some(s.min(p)),
+            (s, p) => s.or(p),
+        }
+    }
+
+    /// The kind for the `emitted`-th exception absent an explicit override.
+    fn cycled_kind(&self) -> ExceptionKind {
+        if self.config.kind_mix.is_empty() {
+            self.config.kind
+        } else {
+            self.config.kind_mix[(self.emitted % self.config.kind_mix.len() as u64) as usize]
+        }
     }
 
     /// Returns the next exception raised strictly before `cycle`, advancing
     /// the process, or `None` if the next arrival is at or after `cycle`.
     pub fn next_before(&mut self, cycle: u64) -> Option<Exception> {
-        if self.next_at == u64::MAX || self.next_at >= cycle {
+        let next = self.peek_next()?;
+        if next >= cycle {
             return None;
+        }
+        // Scripted arrivals win ties so a placed storm is never perturbed
+        // by a coincident Poisson draw.
+        if self
+            .scripted
+            .get(self.script_ix)
+            .is_some_and(|s| s.0 <= self.next_at || self.next_at == u64::MAX)
+        {
+            let (at, victim, kind, scope, latency) = self.scripted[self.script_ix];
+            self.script_ix += 1;
+            let kind = kind.unwrap_or_else(|| self.cycled_kind());
+            self.emitted += 1;
+            let e = match scope {
+                ExceptionScope::Global => Exception::global(kind, ContextId::new(victim), at)
+                    .with_detection_latency(latency.unwrap_or(self.config.detection_latency)),
+                ExceptionScope::Local => {
+                    let e = Exception::local(kind, ContextId::new(victim), at);
+                    match latency {
+                        Some(l) => e.with_detection_latency(l),
+                        None => e,
+                    }
+                }
+            };
+            return Some(e);
         }
         let raised_at = self.next_at;
         let victim = ContextId::new(self.rng.gen_range(0..self.config.contexts.max(1)));
@@ -251,10 +424,17 @@ impl ExceptionInjector {
             self.config.cycles_per_sec,
         );
         self.next_at = self.next_at.saturating_add(step.max(1));
-        Some(
-            Exception::global(self.config.kind, victim, raised_at)
-                .with_detection_latency(self.config.detection_latency),
-        )
+        let kind = self.cycled_kind();
+        self.emitted += 1;
+        let local = self.config.local_every > 0
+            && self.emitted.is_multiple_of(self.config.local_every as u64);
+        Some(if local {
+            // Local exceptions are precise: report == raise (`§2.2`).
+            Exception::local(kind, victim, raised_at)
+        } else {
+            Exception::global(kind, victim, raised_at)
+                .with_detection_latency(self.config.detection_latency)
+        })
     }
 
     /// Drains every exception raised before `cycle`.
@@ -367,5 +547,73 @@ mod tests {
     fn runtime_fault_affects_runtime() {
         assert!(ExceptionKind::RuntimeFault.affects_runtime());
         assert!(!ExceptionKind::SoftFault.affects_runtime());
+    }
+
+    #[test]
+    fn scripted_storm_expands_burst_across_contexts() {
+        let cfg = test_config(0.0).with_script(vec![ScriptedArrival::storm(1_000, 22, 4)]);
+        let mut inj = ExceptionInjector::new(cfg);
+        let events = inj.drain_before(u64::MAX - 1);
+        assert_eq!(events.len(), 4);
+        let at: Vec<u64> = events.iter().map(|e| e.raised_at).collect();
+        assert_eq!(at, vec![1_000, 1_001, 1_002, 1_003]);
+        // Victims cycle across the 24 configured contexts, wrapping.
+        let v: Vec<u32> = events.iter().map(|e| e.victim.raw()).collect();
+        assert_eq!(v, vec![22, 23, 0, 1]);
+        assert!(events.iter().all(|e| e.scope == ExceptionScope::Global));
+    }
+
+    #[test]
+    fn scripted_merges_with_poisson_in_cycle_order() {
+        let cfg = test_config(50.0).with_script(vec![
+            ScriptedArrival::single(5_000_000, 1),
+            ScriptedArrival::single(1_000, 2),
+        ]);
+        let mut inj = ExceptionInjector::new(cfg.clone());
+        let merged = inj.drain_before(1_000_000_000);
+        for w in merged.windows(2) {
+            assert!(w[0].raised_at <= w[1].raised_at, "unsorted merge");
+        }
+        assert!(merged.iter().any(|e| e.raised_at == 1_000));
+        assert!(merged.iter().any(|e| e.raised_at == 5_000_000));
+        // Scripted overlays never perturb the Poisson draws: the same
+        // config replays identically.
+        let mut again = ExceptionInjector::new(cfg);
+        assert_eq!(again.drain_before(1_000_000_000), merged);
+    }
+
+    #[test]
+    fn kind_mix_cycles_and_local_every_mixes_scopes() {
+        let cfg = test_config(1000.0)
+            .with_kind_mix(InjectorConfig::all_kinds())
+            .with_local_every(3);
+        let mut inj = ExceptionInjector::new(cfg);
+        let events = inj.drain_before(1_000_000_000);
+        assert!(events.len() > 16);
+        let kinds: std::collections::HashSet<_> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds.len(), InjectorConfig::all_kinds().len());
+        let locals = events
+            .iter()
+            .filter(|e| e.scope == ExceptionScope::Local)
+            .count();
+        assert!(locals > 0, "local mix missing");
+        assert!(locals < events.len(), "globals missing");
+        // Locals are precise: reported where raised.
+        for e in events.iter().filter(|e| e.scope == ExceptionScope::Local) {
+            assert_eq!(e.reported_at(), e.raised_at);
+        }
+    }
+
+    #[test]
+    fn scripted_local_and_kind_overrides_stick() {
+        let cfg = test_config(0.0).with_script(vec![ScriptedArrival::single(10, 0)
+            .with_scope(ExceptionScope::Local)
+            .with_kind(ExceptionKind::ThermalEmergency)]);
+        let mut inj = ExceptionInjector::new(cfg);
+        let e = inj.next_before(100).expect("scripted arrival");
+        assert_eq!(e.scope, ExceptionScope::Local);
+        assert_eq!(e.kind, ExceptionKind::ThermalEmergency);
+        assert_eq!(e.reported_at(), 10);
+        assert!(inj.next_before(u64::MAX - 1).is_none());
     }
 }

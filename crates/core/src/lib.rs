@@ -27,7 +27,10 @@
 //! * [`deps`] — lock/atomic-alias dependence tracking for selective restart.
 //! * [`recovery`] — recovery planning: basic, selective, discard-all,
 //!   instruction- vs sub-thread-precision.
-//! * [`exception`] — the discretionary-exception model and Poisson injector.
+//! * [`exception`] — the discretionary-exception model and Poisson injector
+//!   (with scripted-arrival overlays for chaos campaigns).
+//! * [`chaos`] — deterministic fault-injection plans consumed by the real
+//!   executors and generated/minimized by `gprs-chaos`.
 //! * [`racecheck`] — retirement-driven happens-before race detection that
 //!   guards selective restart's data-race-freedom assumption.
 //! * [`model`] — the closed-form penalty/tipping-rate analysis of §2.3–§2.4.
@@ -66,6 +69,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod deps;
 pub mod error;
 pub mod exception;
@@ -82,10 +86,12 @@ pub mod workload;
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
+    pub use crate::chaos::{ChaosEvent, ChaosPlan, ChaosTrigger, VictimSelector};
     pub use crate::deps::{affected_set, DependencePolicy};
     pub use crate::error::{GprsError, Result};
     pub use crate::exception::{
         Exception, ExceptionInjector, ExceptionKind, ExceptionScope, InjectorConfig,
+        ScriptedArrival,
     };
     pub use crate::history::{Checkpoint, HistoryBuffer};
     pub use crate::ids::{

@@ -26,6 +26,8 @@ use crate::engine::EXTERNAL_RING;
 use crate::handles::Recoverable;
 use crate::program::{DynThread, Payload, SpawnSpec, Step, ThreadProgram};
 use crate::report::{RunError, RunStats};
+use gprs_core::chaos::{ChaosEvent, ChaosPlan, ChaosTrigger};
+use gprs_core::exception::ExceptionScope;
 use gprs_core::ids::{AtomicId, BarrierId, ChannelId, GroupId, LockId, SubThreadId, ThreadId};
 use gprs_telemetry::{
     RetiredOrderHash, ScheduleHash, Telemetry, TelemetryConfig, TelemetrySummary, TraceEvent,
@@ -137,6 +139,31 @@ pub(crate) struct CprInner {
     rollbacks: u64,
     telemetry: Arc<Telemetry>,
     poisoned: Option<String>,
+    chaos: Option<CprChaosState>,
+}
+
+/// Chaos-plan cursor for the CPR baseline (see [`gprs_core::chaos`]).
+/// Every global exception is a whole-machine rollback under CPR, so the
+/// plan's victim selector is irrelevant here; only trigger, scope and
+/// burst apply. `MidRecovery(n)` events queue their rollback at the end
+/// of the `n`-th rollback, while the machine is still quiesced — the
+/// worker loop performs the overlapping rollback before granting again.
+struct CprChaosState {
+    grant_events: Vec<ChaosEvent>,
+    next_grant: usize,
+    recovery_events: Vec<ChaosEvent>,
+    next_recovery: usize,
+}
+
+impl CprChaosState {
+    fn new(plan: &ChaosPlan) -> Self {
+        CprChaosState {
+            grant_events: plan.grant_events(),
+            next_grant: 0,
+            recovery_events: plan.recovery_events(),
+            next_recovery: 0,
+        }
+    }
 }
 
 /// Shared state of a CPR run. Two waiter classes, two condvars: workers
@@ -322,6 +349,7 @@ impl CprBuilder {
                 rollbacks: 0,
                 telemetry: Arc::new(Telemetry::disabled()),
                 poisoned: None,
+                chaos: None,
             },
             next_lock: 0,
             next_chan: 0,
@@ -346,6 +374,14 @@ impl CprBuilder {
     /// Telemetry configuration (event rings + metrics).
     pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
         self.telemetry = cfg;
+        self
+    }
+
+    /// Attaches a deterministic chaos-injection plan (the CPR counterpart
+    /// of [`crate::GprsBuilder::chaos`]); every global event requests a
+    /// whole-machine rollback. An empty plan is a no-op.
+    pub fn chaos(mut self, plan: &ChaosPlan) -> Self {
+        self.inner.chaos = (!plan.is_empty()).then(|| CprChaosState::new(plan));
         self
     }
 
@@ -666,6 +702,62 @@ impl CprInner {
         }
     }
 
+    /// Fires chaos events due at the current grant count (see
+    /// [`CprChaosState`]). Global events request rollbacks; local ones are
+    /// handled precisely on the faulting context (counted, no rollback).
+    fn chaos_tick_grant(&mut self) {
+        let Some(mut cs) = self.chaos.take() else {
+            return;
+        };
+        while let Some(ev) = cs.grant_events.get(cs.next_grant) {
+            let due = match ev.trigger {
+                ChaosTrigger::AtGrant(n) => n <= self.stats.grants,
+                ChaosTrigger::MidRecovery(_) => unreachable!("grant_events filtered"),
+            };
+            if !due {
+                break;
+            }
+            let ev = ev.clone();
+            cs.next_grant += 1;
+            self.chaos_fire(&ev);
+        }
+        self.chaos = Some(cs);
+    }
+
+    /// Fires chaos events keyed to the rollback that just completed, while
+    /// the machine is still quiesced — the requested rollback overlaps the
+    /// one in flight (recovery-during-recovery on the baseline).
+    fn chaos_tick_rollback(&mut self) {
+        let Some(mut cs) = self.chaos.take() else {
+            return;
+        };
+        while let Some(ev) = cs.recovery_events.get(cs.next_recovery) {
+            let due = match ev.trigger {
+                ChaosTrigger::MidRecovery(n) => n <= self.rollbacks,
+                ChaosTrigger::AtGrant(_) => unreachable!("recovery_events filtered"),
+            };
+            if !due {
+                break;
+            }
+            let ev = ev.clone();
+            cs.next_recovery += 1;
+            self.chaos_fire(&ev);
+        }
+        self.chaos = Some(cs);
+    }
+
+    /// Mirrors [`CprController::inject`] for each burst member.
+    fn chaos_fire(&mut self, ev: &ChaosEvent) {
+        for _ in 0..ev.burst.max(1) {
+            self.stats.exceptions += 1;
+            if ev.scope == ExceptionScope::Local {
+                self.stats.exceptions_ignored += 1;
+            } else {
+                self.rollback_requested += 1;
+            }
+        }
+    }
+
     fn rollback(&mut self) {
         self.rollback_requested = self.rollback_requested.saturating_sub(1);
         let Some(snap) = self.snapshot.as_ref() else {
@@ -720,6 +812,7 @@ impl CprInner {
             self.telemetry
                 .record(EXTERNAL_RING, TraceEvent::CprRestore { epoch: self.checkpoints });
         }
+        self.chaos_tick_rollback();
     }
 }
 
@@ -738,13 +831,11 @@ fn cpr_worker(shared: &Arc<CprShared>, worker_ix: usize) {
         let task = {
             let mut g = shared.inner.lock();
             'find: loop {
-                if g.poisoned.is_some() || (g.live == 0 && g.running == 0) {
-                    // Terminal: every waiter class must see it.
-                    shared.cv.notify_all();
-                    shared.lock_cv.notify_all();
-                    return;
-                }
-                if g.rollback_requested > 0 {
+                // Rollback requests gate the terminal check: an exception
+                // injected at one of the final grants still rolls the
+                // machine back to its last checkpoint (restoring `live`)
+                // instead of being dropped by an early finish.
+                if g.rollback_requested > 0 && g.poisoned.is_none() {
                     if g.running == 0 {
                         g.rollback();
                         // Rollback rewrites global state: broadcast (rare).
@@ -755,6 +846,12 @@ fn cpr_worker(shared: &Arc<CprShared>, worker_ix: usize) {
                     shared.cv.wait(&mut g);
                     shared.cv_sleepers.fetch_sub(1, Ordering::Relaxed);
                     continue;
+                }
+                if g.poisoned.is_some() || (g.live == 0 && g.running == 0) {
+                    // Terminal: every waiter class must see it.
+                    shared.cv.notify_all();
+                    shared.lock_cv.notify_all();
+                    return;
                 }
                 if g.grants_since_ckpt >= g.ckpt_every {
                     g.ckpt_requested = true;
@@ -788,6 +885,7 @@ fn cpr_worker(shared: &Arc<CprShared>, worker_ix: usize) {
                         Some(task) => {
                             g.stats.grants += 1;
                             g.grants_since_ckpt += 1;
+                            g.chaos_tick_grant();
                             // Keep one peer scanning while we run the step
                             // (skipped when nobody is parked).
                             shared.wake_one_seeker(&g);

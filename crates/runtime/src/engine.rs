@@ -17,9 +17,11 @@ use crate::handles::Recoverable;
 use crate::ops::RtOp;
 use crate::program::{DynThread, Payload, SpawnSpec, Step};
 use crate::report::RunStats;
-use gprs_core::exception::Exception;
+use gprs_core::chaos::{ChaosEvent, ChaosPlan, ChaosTrigger, VictimSelector};
+use gprs_core::exception::{Exception, ExceptionScope};
 use gprs_core::ids::{
-    AtomicId, BarrierId, ChannelId, GroupId, LockId, Lsn, ResourceId, SubThreadId, ThreadId,
+    AtomicId, BarrierId, ChannelId, ContextId, GroupId, LockId, Lsn, ResourceId, SubThreadId,
+    ThreadId,
 };
 use gprs_core::order::{OrderEnforcer, OrderGate, ScheduleKind};
 use gprs_core::racecheck::{resource_code, AccessKind, OpenEdge, RaceDetector, RetireInfo};
@@ -366,6 +368,50 @@ pub(crate) struct Inner {
     /// assigned at release, possibly after the ender retired).
     pub race_arrivals: BTreeMap<SubThreadId, (BarrierId, u64)>,
     pub poisoned: Option<String>,
+    /// Deterministic chaos-injection plan state (see
+    /// [`gprs_core::chaos::ChaosPlan`]); `None` outside chaos runs.
+    pub chaos: Option<ChaosState>,
+}
+
+/// Cursor state for a [`ChaosPlan`] being executed against this engine.
+///
+/// Grant-keyed events fire under the engine lock right after the matching
+/// grant — while that grant's deferred-checksum WAL record is still
+/// unsealed, so `Newest` victims are hit mid-WAL-append and `Holder`
+/// victims inside critical sections. Recovery-keyed events fire from REX
+/// after the matching recovery session, before the pending queue drains —
+/// the injected exception is recovered in the same quiesced pass
+/// (overlapping DEX→REX).
+pub(crate) struct ChaosState {
+    grant_events: Vec<ChaosEvent>,
+    next_grant: usize,
+    recovery_events: Vec<ChaosEvent>,
+    next_recovery: usize,
+    /// Recovery sessions completed (culprits processed by REX).
+    sessions: u64,
+}
+
+impl ChaosState {
+    pub fn new(plan: &ChaosPlan) -> Self {
+        ChaosState {
+            grant_events: plan.grant_events(),
+            next_grant: 0,
+            recovery_events: plan.recovery_events(),
+            next_recovery: 0,
+            sessions: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for ChaosState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosState")
+            .field("grant_events", &self.grant_events.len())
+            .field("next_grant", &self.next_grant)
+            .field("recovery_events", &self.recovery_events.len())
+            .field("sessions", &self.sessions)
+            .finish()
+    }
 }
 
 impl std::fmt::Debug for Inner {
@@ -564,6 +610,7 @@ impl Inner {
             race_pop_src: BTreeMap::new(),
             race_arrivals: BTreeMap::new(),
             poisoned: None,
+            chaos: None,
         }
     }
 
@@ -607,6 +654,134 @@ impl Inner {
     pub(crate) fn bump(&mut self) {
         self.epoch += 1;
         self.pass_streak = 0;
+    }
+
+    /// Fires any chaos events due at the current grant count. Runs under
+    /// the engine lock immediately after a grant, so `Newest` resolves to
+    /// the sub-thread granted this very cycle (whose deferred-checksum WAL
+    /// record is still unsealed) and `Holder` to a live critical section.
+    pub(crate) fn chaos_tick_grant(&mut self) {
+        let Some(mut cs) = self.chaos.take() else {
+            return;
+        };
+        while let Some(ev) = cs.grant_events.get(cs.next_grant) {
+            let due = match ev.trigger {
+                ChaosTrigger::AtGrant(n) => n <= self.stats.grants,
+                ChaosTrigger::MidRecovery(_) => unreachable!("grant_events filtered"),
+            };
+            if !due {
+                break;
+            }
+            let ev = ev.clone();
+            cs.next_grant += 1;
+            self.chaos_fire(&ev, false);
+        }
+        self.chaos = Some(cs);
+    }
+
+    /// Fires chaos events keyed to the recovery session that just finished
+    /// its plan. Called from REX **inside** the recovery pass, before the
+    /// pending queue drains, so the injected exception is recovered by the
+    /// same quiesced pass — overlapping DEX→REX.
+    pub(crate) fn chaos_tick_recovery(&mut self) {
+        let Some(mut cs) = self.chaos.take() else {
+            return;
+        };
+        cs.sessions += 1;
+        while let Some(ev) = cs.recovery_events.get(cs.next_recovery) {
+            let due = match ev.trigger {
+                ChaosTrigger::MidRecovery(n) => n <= cs.sessions,
+                ChaosTrigger::AtGrant(_) => unreachable!("recovery_events filtered"),
+            };
+            if !due {
+                break;
+            }
+            let ev = ev.clone();
+            cs.next_recovery += 1;
+            self.chaos_fire(&ev, true);
+        }
+        self.chaos = Some(cs);
+    }
+
+    /// Delivers one chaos event: `burst` exceptions aimed by the victim
+    /// selector, each at a distinct candidate. Mirrors
+    /// `Controller::inject_on`: the culprit is marked excepted right away
+    /// (an excepted entry cannot retire out from under the pending
+    /// exception) and a `PendingException` is queued. Victimless global
+    /// exceptions keep a `None` culprit and are counted ignored by REX,
+    /// like the paper's exceptions arriving on idle contexts.
+    fn chaos_fire(&mut self, ev: &ChaosEvent, in_recovery: bool) {
+        let mut taken: Vec<SubThreadId> = Vec::new();
+        for _ in 0..ev.burst.max(1) {
+            if ev.scope == ExceptionScope::Local {
+                // Handled precisely on the faulting context (§2.2): counted,
+                // never queued, no global recovery.
+                self.stats.exceptions += 1;
+                self.stats.exceptions_ignored += 1;
+                continue;
+            }
+            let victim = self.chaos_pick_victim(ev.victim, in_recovery, &taken);
+            let context = victim
+                .and_then(|v| self.running.get(&v))
+                .map(|&w| w as u32)
+                .unwrap_or(match ev.victim {
+                    VictimSelector::Context(c) => c,
+                    _ => 0,
+                });
+            let exception = Exception::global(ev.kind, ContextId::new(context), 0);
+            if let Some(v) = victim {
+                taken.push(v);
+                self.rol
+                    .mark_excepted(v, exception.clone())
+                    .expect("victim picked from the ROL");
+            }
+            self.pending_exceptions.push_back(PendingException {
+                exception,
+                culprit: victim,
+            });
+        }
+        self.bump();
+    }
+
+    /// Picks the next distinct victim for a burst member. At a grant
+    /// trigger candidates are the running sub-threads; mid-recovery the
+    /// machine is quiesced (`running` empty), so candidates are the
+    /// surviving ROL entries — the sub-threads recovery just chose *not*
+    /// to squash.
+    fn chaos_pick_victim(
+        &self,
+        sel: VictimSelector,
+        in_recovery: bool,
+        taken: &[SubThreadId],
+    ) -> Option<SubThreadId> {
+        let free = |id: &SubThreadId| !taken.contains(id);
+        if in_recovery {
+            let mut live = self.rol.iter().map(|e| e.id()).filter(free);
+            return match sel {
+                VictimSelector::Oldest | VictimSelector::Holder => live.next(),
+                VictimSelector::Newest => live.last(),
+                // No context is running anything mid-recovery.
+                VictimSelector::Context(_) => None,
+            };
+        }
+        match sel {
+            VictimSelector::Oldest => self.running.keys().copied().find(free),
+            VictimSelector::Newest => self.running.keys().rev().copied().find(free),
+            VictimSelector::Holder => self
+                .locks
+                .values()
+                .filter_map(|l| l.holder)
+                .filter(|h| self.rol.contains(*h))
+                .find(free)
+                // No live critical section: fall back to the oldest, so a
+                // holder-targeted storm still lands every member.
+                .or_else(|| self.running.keys().copied().find(free)),
+            VictimSelector::Context(c) => self
+                .running
+                .iter()
+                .find(|&(id, &w)| w == c as usize && free(id))
+                .map(|(&id, _)| id),
+        }
     }
 
     /// Retires the maximal run of completed head sub-threads as one batch:
@@ -1610,13 +1785,21 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
             shared.wake_all();
             break Decision::Finished;
         }
-        if inner.live == 0 && inner.running.is_empty() {
-            shared.done.store(true, Ordering::Release);
-            shared.wake_all();
-            break Decision::Finished;
-        }
         if inner.recovering {
             if inner.running.is_empty() {
+                // Quiescence audit: every per-lock condvar-shard waiter is a
+                // running step blocked inside `StepCtx::lock`, so with
+                // `running` empty no shard may have sleepers — a non-zero
+                // count here would mean a blocked successor recovery's
+                // targeted wakeups could never reach (sleeper counts are
+                // only mutated under this lock, so the reads are exact).
+                debug_assert!(
+                    shared
+                        .shard_sleepers
+                        .iter()
+                        .all(|s| s.load(Ordering::Relaxed) == 0),
+                    "lock-shard sleepers must be quiescent when recovery runs"
+                );
                 crate::rex::perform_recovery(inner);
                 inner.recovering = false;
                 inner.bump();
@@ -1634,6 +1817,15 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
             // drain `running` performs the recovery. No wakeup needed.
             inner.recovering = true;
             continue;
+        }
+        // Checked only after the recovery gates above: an exception raised
+        // at one of the final grants must still be recovered (squashing can
+        // resurrect exited threads), not dropped by an early finish with
+        // its excepted entry's staged output uncommitted.
+        if inner.live == 0 && inner.running.is_empty() {
+            shared.done.store(true, Ordering::Release);
+            shared.wake_all();
+            break Decision::Finished;
         }
         if inner.exclusive.is_some() {
             wait_here!(g);
@@ -1705,6 +1897,7 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
                     inner.enforcer.holder(),
                     "gate mirrors the enforcer after every grant"
                 );
+                inner.chaos_tick_grant();
                 if fast && inner.telemetry.enabled() {
                     inner.telemetry.metrics.fast_path_grants.inc_serialized();
                 }

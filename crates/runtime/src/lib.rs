@@ -201,6 +201,16 @@ impl GprsBuilder {
         self
     }
 
+    /// Attaches a deterministic chaos-injection plan (see
+    /// [`gprs_core::chaos::ChaosPlan`]). Grant-keyed events fire under the
+    /// engine lock right after the matching grant; recovery-keyed events
+    /// fire while the matching recovery pass is still in flight,
+    /// exercising overlapping DEX→REX recovery. An empty plan is a no-op.
+    pub fn chaos(mut self, plan: &gprs_core::chaos::ChaosPlan) -> Self {
+        self.inner.chaos = (!plan.is_empty()).then(|| engine::ChaosState::new(plan));
+        self
+    }
+
     /// Registers a mutex owning `init`.
     pub fn mutex<T: Clone + Send + 'static>(&mut self, init: T) -> MutexHandle<T> {
         let id = LockId::new(self.next_lock);
@@ -498,7 +508,8 @@ pub mod prelude {
     pub use crate::program::{payload_to, OneShot, Step, ThreadProgram};
     pub use crate::report::{RunError, RunReport, RunStats};
     pub use crate::{Controller, Gprs, GprsBuilder, RecoveryPolicy};
-    pub use gprs_core::exception::ExceptionKind;
+    pub use gprs_core::chaos::{ChaosEvent, ChaosPlan, ChaosTrigger, VictimSelector};
+    pub use gprs_core::exception::{ExceptionKind, ExceptionScope};
     pub use gprs_core::history::Checkpoint;
     pub use gprs_core::ids::{GroupId, ThreadId};
     pub use gprs_analyze::{AnalysisReport, CellVerdict, RecoveryAdvice};

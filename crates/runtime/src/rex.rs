@@ -69,6 +69,11 @@ pub(crate) fn perform_recovery(inner: &mut Inner) {
                 },
             );
         }
+        // Chaos overlap point: a `MidRecovery(n)` event keyed to this
+        // session queues its exceptions now, while this pass still holds
+        // the quiesced machine — the loop re-pops and recovers them in the
+        // same pass (an exception during recovery).
+        inner.chaos_tick_recovery();
     }
 }
 

@@ -297,8 +297,14 @@ impl<'a> Free<'a> {
             if !admit {
                 return true;
             }
-            let _e = inj.next_before(next_raise + 1).expect("peeked arrival");
+            let e = inj.next_before(next_raise + 1).expect("peeked arrival");
             self.res.exceptions += 1;
+            if e.scope == gprs_core::exception::ExceptionScope::Local {
+                // Local exceptions need no rollback even under CPR: they
+                // are handled precisely on the victim context (`§2.2`).
+                self.res.exceptions_ignored += 1;
+                continue;
+            }
             // The rollback discards everything executed since the last safe
             // point (checkpoint completion or previous rollback completion),
             // then pays the restore wait. In the finishing phase the program

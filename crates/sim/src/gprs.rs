@@ -1008,6 +1008,13 @@ impl<'a> Gprs<'a> {
             let raise = e.raised_at;
             let report = e.reported_at();
             self.res.exceptions += 1;
+            if e.scope == gprs_core::exception::ExceptionScope::Local {
+                // Local exceptions are handled by ordinary precise
+                // interrupts on the victim context (`§2.2`): counted, but
+                // no global recovery and nothing squashed.
+                self.res.exceptions_ignored += 1;
+                continue;
+            }
             let victim = (e.victim.raw() as usize) % self.ctxs.len();
             // The sub-thread whose body occupied the victim context when the
             // exception was raised.
@@ -1080,6 +1087,16 @@ impl<'a> Gprs<'a> {
             for list in self.consumers.values_mut() {
                 list.retain(|c| !squash.contains(c));
             }
+            // Chaos-oracle quiescence: squashed entries leave the reorder
+            // list *entirely* (they are never re-issued in place — their
+            // re-executions are fresh grants), so no stale ROL entry can
+            // pollute the retired order after recovery.
+            debug_assert!(
+                squash
+                    .iter()
+                    .all(|s| !self.rol.contains(*s) && !self.bodies.contains_key(s)),
+                "squashed sub-threads must leave the ROL and body map entirely"
+            );
             // Retract undone barrier releases; every participant was forced
             // back to its own arrival, so the barrier re-synchronizes.
             for &(b, g) in &undone {

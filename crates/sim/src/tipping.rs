@@ -45,25 +45,39 @@ impl TippingScheme {
 ///
 /// The pair is a verified bracket in the common case: `completes_at` is a
 /// rate at which the run was observed to complete and `fails_at` one at which
-/// it was observed to fail. Two degenerate outcomes are represented
+/// it was observed to fail. Three degenerate outcomes are represented
 /// explicitly rather than by an untested pair:
 ///
 /// - never tipped up to the search cap → `fails_at` is infinite;
-/// - failed even at vanishing rates → `completes_at` is `0.0`.
+/// - failed at every positive tested rate but completed exception-free →
+///   `completes_at` is `0.0` with a finite positive `fails_at`;
+/// - failed even at exception rate **zero** → both bounds are `0.0`
+///   ([`Self::is_structural_dnc`]): the run cannot complete under its time
+///   cap regardless of exceptions, so it has no tipping rate at all and
+///   reporting a positive `fails_at` would misattribute the DNC to
+///   exception pressure.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TippingPoint {
     /// Highest tested rate (exceptions/sec) at which the run completed, or
     /// `0.0` if no tested rate completed.
     pub completes_at: f64,
-    /// Lowest tested rate at which it did not complete, or infinity if every
-    /// tested rate completed.
+    /// Lowest tested rate at which it did not complete, infinity if every
+    /// tested rate completed, or `0.0` if even the exception-free run
+    /// failed.
     pub fails_at: f64,
 }
 
 impl TippingPoint {
     /// Whether both bounds were observed (neither degenerate outcome).
     pub fn is_bracketed(&self) -> bool {
-        self.completes_at > 0.0 && self.fails_at.is_finite()
+        self.completes_at > 0.0 && self.fails_at.is_finite() && self.fails_at > 0.0
+    }
+
+    /// Whether the run failed even at exception rate zero — a structural
+    /// did-not-complete (time cap below the fault-free finish), not a
+    /// tipping phenomenon.
+    pub fn is_structural_dnc(&self) -> bool {
+        self.completes_at == 0.0 && self.fails_at == 0.0
     }
 
     /// Midpoint estimate of the tipping rate.
@@ -71,8 +85,9 @@ impl TippingPoint {
     /// For an untippable scheme (`fails_at` infinite) this returns the
     /// highest verified completing rate — a lower bound — instead of
     /// averaging an unbracketed pair into infinity. For a scheme that failed
-    /// at every tested rate it returns the midpoint of `[0, fails_at]`,
-    /// which collapses toward zero with the bracket.
+    /// at every positive tested rate it returns the midpoint of
+    /// `[0, fails_at]`, which collapses toward zero with the bracket; a
+    /// structural DNC estimates `0.0`.
     pub fn estimate(&self) -> f64 {
         if self.fails_at.is_infinite() {
             return self.completes_at;
@@ -83,9 +98,14 @@ impl TippingPoint {
 
 /// Finds the tipping rate by exponential bracketing followed by bisection.
 ///
-/// `lo_hint` must be a rate at which the run completes (it is re-verified;
-/// if even `lo_hint` fails, the bracket `[0, lo_hint]` is bisected).
-/// `tolerance` is the relative bracket width at which the search stops.
+/// `lo_hint` should be a rate at which the run completes (it is re-verified;
+/// if even `lo_hint` fails, the search brackets downward, ultimately probing
+/// exception rate zero to distinguish "tips at vanishing rates" from a
+/// structural DNC). Non-positive and NaN hints are sanitized to a small
+/// positive rate. `tolerance` is the relative bracket width at which the
+/// bisection stops; any tolerance (including `0.0`) terminates, because the
+/// bisection also stops when the midpoint can no longer be distinguished
+/// from the bracket ends in `f64`.
 pub fn find_tipping_rate(
     workload: &Workload,
     scheme: &TippingScheme,
@@ -93,6 +113,7 @@ pub fn find_tipping_rate(
     tolerance: f64,
     seed: u64,
 ) -> TippingPoint {
+    // `f64::max` ignores NaN, so a NaN hint also lands on the floor value.
     let mut lo = lo_hint.max(1e-4);
     let mut hi;
     if scheme.completes(workload, lo, seed) {
@@ -122,18 +143,33 @@ pub fn find_tipping_rate(
             lo *= 0.5;
             guard += 1;
             if guard > 40 {
-                // Fails even at vanishing rates: the scheme cannot complete
-                // this workload at all; its tipping rate is effectively zero.
-                return TippingPoint {
-                    completes_at: 0.0,
-                    fails_at: hi,
+                // Fails even at vanishing rates. Probe exception rate zero
+                // — the one rate exponential halving can never reach — to
+                // tell a tipping collapse from a structural DNC whose time
+                // cap is below even the fault-free finish.
+                return if scheme.completes(workload, 0.0, seed) {
+                    TippingPoint {
+                        completes_at: 0.0,
+                        fails_at: hi,
+                    }
+                } else {
+                    TippingPoint {
+                        completes_at: 0.0,
+                        fails_at: 0.0,
+                    }
                 };
             }
         }
     }
-    // Bisect.
+    // Bisect. The midpoint guard stops the loop once `mid` collides with a
+    // bracket end (ulp-wide bracket): without it, `tolerance = 0` — or any
+    // tolerance below the bracket's relative ulp — would loop forever
+    // re-testing `lo`, and the final pair could report an untested bound.
     while hi - lo > tolerance * hi.max(1e-9) {
         let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break;
+        }
         if scheme.completes(workload, mid, seed) {
             lo = mid;
         } else {
@@ -246,11 +282,11 @@ mod tests {
     }
 
     #[test]
-    fn always_failing_scheme_reports_zero_tipping() {
+    fn always_failing_scheme_reports_structural_dnc() {
         // Time cap below the exception-free completion time: the scheme
-        // fails at every rate, including vanishing ones, so the downward
-        // bracket must bottom out at a coherent zero instead of bisecting
-        // against an untested completes_at.
+        // fails at every rate *including zero*, so the downward bracket
+        // bottoms out, probes rate 0, and reports a structural DNC instead
+        // of blaming a positive `fails_at` on exception pressure.
         let w = workload(2, 20, secs_to_cycles(0.05));
         let tp = find_tipping_rate(
             &w,
@@ -261,14 +297,52 @@ mod tests {
             0.25,
             7,
         );
-        assert_eq!(tp.completes_at, 0.0, "nothing completed: {tp:?}");
-        assert!(tp.fails_at.is_finite() && tp.fails_at > 0.0);
+        assert!(tp.is_structural_dnc(), "cap below fault-free finish: {tp:?}");
+        assert_eq!(tp.completes_at, 0.0);
+        assert_eq!(tp.fails_at, 0.0);
         assert!(!tp.is_bracketed());
-        assert!(
-            tp.estimate() < 1e-9,
-            "estimate must collapse toward zero, got {}",
-            tp.estimate()
+        assert_eq!(tp.estimate(), 0.0);
+    }
+
+    #[test]
+    fn zero_tolerance_bisection_terminates_with_verified_bracket() {
+        // tolerance = 0 can never be met by the width test alone; the
+        // midpoint guard must end the bisection at an ulp-wide bracket
+        // whose two ends were both actually tested.
+        let cap = secs_to_cycles(60.0);
+        let w = workload(2, 10, secs_to_cycles(0.05));
+        let tp = find_tipping_rate(
+            &w,
+            &TippingScheme::Cpr(
+                FreeRunConfig::cpr(2, secs_to_cycles(0.5)).with_time_cap(cap),
+            ),
+            0.5,
+            0.0,
+            3,
         );
+        assert!(tp.is_bracketed(), "{tp:?}");
+        assert!(tp.completes_at < tp.fails_at);
+        // An ulp-wide bracket: the next representable f64 above
+        // `completes_at` reaches `fails_at`.
+        let ulp_gap = (tp.fails_at - tp.completes_at) / tp.completes_at;
+        assert!(ulp_gap < 1e-12, "bracket not tight: {tp:?}");
+    }
+
+    #[test]
+    fn nonpositive_and_nan_hints_are_sanitized() {
+        let cap = secs_to_cycles(60.0);
+        let w = workload(2, 10, secs_to_cycles(0.05));
+        let scheme = TippingScheme::Cpr(
+            FreeRunConfig::cpr(2, secs_to_cycles(0.5)).with_time_cap(cap),
+        );
+        for hint in [0.0, -3.0, f64::NAN] {
+            let tp = find_tipping_rate(&w, &scheme, hint, 0.3, 3);
+            assert!(
+                tp.completes_at.is_finite() && tp.completes_at >= 0.0,
+                "hint {hint}: {tp:?}"
+            );
+            assert!(tp.fails_at > tp.completes_at, "hint {hint}: {tp:?}");
+        }
     }
 
     #[test]

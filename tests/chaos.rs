@@ -1,0 +1,215 @@
+//! Chaos-campaign integration tests: the recovery-path scenarios the
+//! ISSUE's satellites call out, pinned as deterministic regressions.
+//!
+//! Each test compares an injected run against its fault-free twin through
+//! the `gprs-chaos` oracle *and* asserts the user-visible outputs are
+//! bit-equal — global precision as the paper defines it: every older
+//! effect visible, no younger effect observable, the program none the
+//! wiser.
+
+use gprs_chaos::campaign::{
+    cpr_clean, cpr_injected, gprs_clean, gprs_injected, sim_clean, sim_injected,
+};
+use gprs_chaos::oracle::{check_cpr, check_runtime, check_sim};
+use gprs_chaos::{replay_fixture, CampaignConfig, Fixture};
+use gprs_core::chaos::{ChaosEvent, ChaosPlan, VictimSelector};
+use gprs_core::exception::ExceptionKind;
+
+/// Asserts an injected GPRS-runtime run is oracle-clean against its twin
+/// and that every thread output matches the fault-free value.
+fn assert_precise(program: &str, plan: &ChaosPlan) {
+    let clean = gprs_clean(program);
+    let injected = gprs_injected(program, plan).expect("injected run completes");
+    let violations = check_runtime(&format!("test/{program}"), 0, plan, &clean, &injected);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
+    assert!(injected.stats.exceptions > 0, "plan must actually fire");
+    assert_eq!(injected.outputs.len(), clean.outputs.len());
+    for tid in clean.outputs.keys() {
+        assert_eq!(
+            injected.output::<u64>(*tid),
+            clean.output::<u64>(*tid),
+            "thread {tid} output diverged under {program}"
+        );
+    }
+}
+
+/// Satellite 4: a second exception raised while recovery is already in
+/// flight (overlapping DEX→REX) must still converge to the fault-free
+/// outcome — on the GPRS runtime...
+#[test]
+fn overlapping_exceptions_mid_recovery_stay_precise_on_gprs() {
+    for program in ["chain", "nested"] {
+        let plan = ChaosPlan::new()
+            .with(
+                ChaosEvent::at_grant(9)
+                    .kind(ExceptionKind::SoftFault)
+                    .victim(VictimSelector::Oldest)
+                    .burst(2),
+            )
+            .with(
+                ChaosEvent::mid_recovery(1)
+                    .kind(ExceptionKind::ThermalEmergency)
+                    .victim(VictimSelector::Newest),
+            )
+            .with(ChaosEvent::mid_recovery(2).victim(VictimSelector::Oldest));
+        assert_precise(program, &plan);
+    }
+}
+
+/// ...and on the CPR baseline, where the overlap is a rollback requested
+/// while the previous rollback has just finished restoring.
+#[test]
+fn overlapping_exceptions_mid_recovery_recover_on_cpr() {
+    let plan = ChaosPlan::new()
+        .with(ChaosEvent::at_grant(30).kind(ExceptionKind::SoftFault))
+        .with(ChaosEvent::mid_recovery(1).kind(ExceptionKind::VoltageEmergency))
+        .with(ChaosEvent::mid_recovery(2));
+    for program in ["chain", "nested"] {
+        let clean = cpr_clean(program);
+        let injected = cpr_injected(program, &plan).expect("injected CPR run completes");
+        let violations = check_cpr(&format!("test/{program}"), 0, &plan, &clean, &injected);
+        assert!(violations.is_empty(), "oracle violations: {violations:?}");
+        assert!(injected.rollbacks >= 1, "global exceptions must roll back");
+        for tid in clean.outputs.keys() {
+            assert_eq!(injected.output::<u64>(*tid), clean.output::<u64>(*tid));
+        }
+    }
+}
+
+/// Satellite 2: an exception storm aimed at lock *holders* while peers are
+/// parked on the per-lock-id condvar shards. The nested program holds two
+/// locks per round, so `Holder` victims strike inside critical sections;
+/// WAL undo must release the shard state and the targeted wakeup must
+/// reach the blocked successor — a lost wakeup here hangs the run.
+#[test]
+fn holder_storms_under_nested_locks_release_shard_waiters() {
+    let plan = ChaosPlan::new()
+        .with(
+            ChaosEvent::at_grant(16)
+                .kind(ExceptionKind::ResourceRevocation)
+                .victim(VictimSelector::Holder)
+                .burst(3),
+        )
+        .with(
+            ChaosEvent::at_grant(40)
+                .kind(ExceptionKind::ThermalEmergency)
+                .victim(VictimSelector::Holder)
+                .burst(2),
+        );
+    let clean = gprs_clean("nested");
+    let injected = gprs_injected("nested", &plan).expect("storm run completes");
+    let violations = check_runtime("test/nested-holders", 0, &plan, &clean, &injected);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
+    for tid in clean.outputs.keys() {
+        assert_eq!(injected.output::<u64>(*tid), clean.output::<u64>(*tid));
+    }
+    // Spurious shard wakeups can't be asserted to zero (a peer may re-wake
+    // and find the lock re-taken under contention), but each one must be
+    // bounded by actual recovery traffic — unbounded growth means the
+    // targeted wakeup is broadcasting.
+    let spurious = injected.telemetry.counter("wakeups_spurious");
+    let budget = 8 * (injected.stats.recoveries + 1) * u64::from(5u32);
+    assert!(
+        spurious <= budget,
+        "wakeups_spurious {spurious} exceeds recovery-traffic budget {budget}"
+    );
+}
+
+/// Regression for the finish-ordering bug the campaign flushed out: an
+/// exception queued at the very last grants used to lose the race against
+/// the `live == 0 && running.is_empty()` finish check and be dropped with
+/// its excepted entry's staged output uncommitted. Both worker loops now
+/// test the pending-exception gates first.
+#[test]
+fn trailing_exception_at_the_final_grant_is_still_recovered() {
+    for program in ["chain", "nested", "histogram"] {
+        let clean = gprs_clean(program);
+        let plan = ChaosPlan::new().with(
+            ChaosEvent::at_grant(clean.stats.grants)
+                .kind(ExceptionKind::SoftFault)
+                .victim(VictimSelector::Newest),
+        );
+        assert_precise(program, &plan);
+    }
+    // Same shape on the CPR baseline: a rollback requested at the final
+    // grant must be honored before the terminal check.
+    let clean = cpr_clean("chain");
+    let plan = ChaosPlan::new().with(ChaosEvent::at_grant(clean.stats.grants));
+    let injected = cpr_injected("chain", &plan).expect("trailing CPR run completes");
+    assert_eq!(injected.rollbacks + injected.stats.exceptions_ignored, 1);
+    for tid in clean.outputs.keys() {
+        assert_eq!(injected.output::<u64>(*tid), clean.output::<u64>(*tid));
+    }
+}
+
+/// Pbzip exercises the output-commit-delayed file path: staged writes of
+/// squashed sub-threads must be discarded, retired ones committed in
+/// order, and the committed bytes bit-equal to the fault-free archive.
+#[test]
+fn exception_storms_preserve_committed_file_contents() {
+    let plan = ChaosPlan::new()
+        .with(
+            ChaosEvent::at_grant(12)
+                .kind(ExceptionKind::SoftFault)
+                .victim(VictimSelector::Oldest)
+                .burst(2),
+        )
+        .with(ChaosEvent::mid_recovery(1).victim(VictimSelector::Newest));
+    let clean = gprs_clean("pbzip");
+    let injected = gprs_injected("pbzip", &plan).expect("pbzip storm completes");
+    let violations = check_runtime("test/pbzip", 0, &plan, &clean, &injected);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
+    assert_eq!(injected.files, clean.files, "committed archive bytes diverged");
+}
+
+/// The simulator-side overlap scenario: a scripted storm plus a trailing
+/// arrival one cycle later lands in the same recovery drain. The sim is a
+/// pure function, so convergence is checked bit-exactly via the retired
+/// hash.
+#[test]
+fn sim_scripted_overlap_converges_to_clean_retired_order() {
+    let clean = sim_clean("histogram");
+    for seed in [3, 11] {
+        let injected = sim_injected("histogram", seed, clean.finish_cycles);
+        let violations = check_sim("test/sim-histogram", seed, &clean, &injected);
+        assert!(violations.is_empty(), "oracle violations: {violations:?}");
+    }
+}
+
+/// Every committed regression fixture must replay clean — these are the
+/// minimized reproducers of bugs the campaign once flushed out.
+#[test]
+fn committed_fixtures_replay_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../chaos/fixtures");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("fixtures directory exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "plan") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).expect("readable fixture");
+        let fx = Fixture::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let violations = replay_fixture(&fx).expect("known engine");
+        assert!(
+            violations.is_empty(),
+            "{} regressed: {violations:?}",
+            path.display()
+        );
+    }
+    assert!(seen >= 3, "expected the committed fixture set, found {seen}");
+}
+
+/// A miniature campaign end-to-end (2 seeds, quick legs): the exact code
+/// path CI's chaos-smoke job drives.
+#[test]
+fn mini_campaign_is_violation_free() {
+    let cfg = CampaignConfig { seeds: 2, quick: true };
+    let outcome = gprs_chaos::run_campaign(&cfg);
+    assert!(outcome.runs >= 2 * outcome.legs);
+    assert!(
+        outcome.violations.is_empty(),
+        "campaign violations: {:?}",
+        outcome.violations
+    );
+}
