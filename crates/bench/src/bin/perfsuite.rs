@@ -424,6 +424,65 @@ fn perf(quick: bool) -> Vec<PerfRow> {
         eprintln!("  perf cpr_chain/w4 done ({wall:?})");
     }
 
+    // Multi-tenant serving throughput: a shared pool drains thousands of
+    // queued small jobs (fetchadd/mutex/histogram specs, varied seeds),
+    // swept across pool widths. The 16-grant quantum makes the larger
+    // specs yield and re-enter the FIFO, so the park/requeue/migrate path
+    // is on the measured path. `jobs` and `quanta` are deterministic
+    // counts — the grant sequence per job and the quantum fix how many
+    // scheduling quanta the backlog costs — so both are gated; jobs/sec is
+    // the tracked wall-clock figure.
+    {
+        use gprs_serve::{JobSpec, PoolConfig, ServePool};
+        let jobs = if quick { 200 } else { 2000 };
+        for workers in [1usize, 2, 4, 8] {
+            let pool = ServePool::start(PoolConfig {
+                workers,
+                quantum: 16,
+            });
+            let handle = pool.handle();
+            let t0 = Instant::now();
+            let mut tickets = Vec::with_capacity(jobs);
+            for i in 0..jobs {
+                // Every fourth job is a histogram (hundreds of grants);
+                // the rest are small fetchadd/mutex specs — the mix keeps
+                // execution, not admission, the dominant cost.
+                let workload = match i % 4 {
+                    0 => "fetchadd",
+                    1 => "mutex",
+                    2 => "fetchadd",
+                    _ => "histogram",
+                };
+                let seed = (i as u64) % 17 + 1;
+                tickets.push(handle.submit(JobSpec::new(workload, seed)).unwrap());
+            }
+            let mut completed = 0u64;
+            for ticket in tickets {
+                let outcome = ticket.wait();
+                assert!(
+                    outcome.report.is_some(),
+                    "serve_throughput job failed: {:?}",
+                    outcome.error
+                );
+                completed += 1;
+            }
+            let wall = t0.elapsed();
+            let stats = pool.shutdown();
+            let secs = wall.as_secs_f64().max(1e-9);
+            rows.push(PerfRow {
+                key: format!("serve_throughput/w{workers}"),
+                metrics: vec![
+                    ("wall_ns", wall.as_nanos() as f64),
+                    ("jobs", completed as f64),
+                    ("jobs_per_sec", completed as f64 / secs),
+                    ("quanta", stats.quanta as f64),
+                    ("yields", stats.yields as f64),
+                ],
+            });
+            eprintln!("  perf serve_throughput/w{workers} done ({wall:?}, {jobs} jobs)");
+        }
+    }
+
     // Simulator recovery hot loop (`affected_set`/`plan_recovery`): host
     // wall time of injected sim runs — the O(window) rescan shows up here.
     let scale = if quick { 0.05 } else { 0.15 };
@@ -460,7 +519,15 @@ fn perf(quick: bool) -> Vec<PerfRow> {
 /// Count metrics that are a deterministic function of the program and
 /// seed, hence comparable across machines and eligible for `--gate`.
 /// Wall-clock and derived-throughput metrics join only with `--gate-wall`.
-const GATED_METRICS: &[&str] = &["grants", "checkpoints", "recoveries", "squashed", "subthreads"];
+const GATED_METRICS: &[&str] = &[
+    "grants",
+    "checkpoints",
+    "recoveries",
+    "squashed",
+    "subthreads",
+    "jobs",
+    "quanta",
+];
 
 /// Rows whose counters depend on wall-clock injection timing; never gated.
 const UNGATED_ROWS: &[&str] = &["recovery/w4"];

@@ -132,6 +132,68 @@ pub fn sim_injected(program: &str, seed: u64, clean_finish: u64) -> SimResult {
     run_gprs(&w, &cfg)
 }
 
+/// Spec seed for the serve legs: clean twins stay seed-independent (one
+/// solo golden per workload), only the injected fault plans vary.
+const SERVE_SPEC_SEED: u64 = 11;
+
+/// The multi-tenant legs: every serve-registry workload × every campaign
+/// seed, all submitted to ONE shared 2-worker pool at once — maximal
+/// co-residency, with exception recoveries from many tenants interleaving
+/// on the same OS threads. Each job's report must satisfy the same
+/// invariants as a solo injected run against the workload's solo
+/// fault-free twin: tenancy must be invisible to precision.
+fn serve_legs(cfg: &CampaignConfig, out: &mut CampaignOutcome) {
+    use gprs_serve::{build_solo, fault_plan, JobSpec, JobStatus, PoolConfig, ServePool};
+
+    let pool = ServePool::start(PoolConfig {
+        workers: 2,
+        quantum: 48,
+    });
+    let handle = pool.handle();
+    let mut tickets = Vec::new();
+    for program in gprs_serve::WORKLOADS {
+        for seed in 0..cfg.seeds {
+            let fault = leg_seed(program, seed).max(1);
+            let spec = JobSpec::new(*program, SERVE_SPEC_SEED).faults(fault);
+            let ticket = handle.submit(spec).expect("pool is admitting");
+            tickets.push((*program, seed, fault, ticket));
+        }
+    }
+    // Solo twins run on this thread while the pool churns through the
+    // injected backlog.
+    let mut clean = std::collections::BTreeMap::new();
+    for program in gprs_serve::WORKLOADS {
+        let report = build_solo(&JobSpec::new(*program, SERVE_SPEC_SEED))
+            .expect("registry workload")
+            .run()
+            .expect("fault-free solo twin completes");
+        clean.insert(*program, report);
+        out.legs += 1;
+    }
+    for (program, seed, fault, ticket) in tickets {
+        let leg = format!("serve/{program}");
+        out.runs += 1;
+        let outcome = ticket.wait();
+        if outcome.status != JobStatus::Completed {
+            out.violations.push(Violation {
+                leg,
+                seed,
+                what: format!(
+                    "served job ended {:?}: {}",
+                    outcome.status,
+                    outcome.error.unwrap_or_default()
+                ),
+            });
+            continue;
+        }
+        let report = outcome.report.expect("completed jobs carry a report");
+        let plan = fault_plan(fault);
+        out.violations
+            .extend(check_runtime(&leg, seed, &plan, &clean[program], &report));
+    }
+    pool.shutdown();
+}
+
 /// Runs the full campaign and collects every violation.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
     let mut out = CampaignOutcome::default();
@@ -155,6 +217,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
             }
         }
     }
+
+    serve_legs(cfg, &mut out);
 
     for program in CPR_PROGRAMS {
         let leg = format!("cpr/{program}");

@@ -57,6 +57,10 @@ pub(crate) struct RunConfig {
     pub telemetry: TelemetryConfig,
     /// Run the happens-before race detector over the retired order.
     pub racecheck: bool,
+    /// Stable job identity stamped into the report (serve layer; 0 solo).
+    pub job_id: u64,
+    /// Monotonic submission sequence number (serve layer; 0 solo).
+    pub submit_seq: u64,
 }
 
 /// Ring index for events recorded outside a known worker (retirement on the
@@ -1663,7 +1667,7 @@ impl Inner {
 /// A finished step, carried from the off-lock execution back to the deposit
 /// performed at the head of the worker's next [`seek`] — so deposit and the
 /// follow-on grant share a single lock acquisition (the grant fast path).
-enum StepOutcome {
+pub(crate) enum StepOutcome {
     Done {
         thread: ThreadId,
         stid: SubThreadId,
@@ -1930,6 +1934,168 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
     }
 }
 
+/// What a cooperative driver should do next (see
+/// [`crate::session::GprsSession`]).
+pub(crate) enum CoopDecision {
+    /// Run this step (off-lock) and feed its outcome back.
+    Run(StepTask),
+    /// Grant budget exhausted: the deposit was folded in, recovery (if any
+    /// was pending) has completed, and nothing is in flight — the job's
+    /// precise state is parked in [`Inner`] and can be resumed later.
+    Parked,
+    /// The program finished (or poisoned).
+    Finished,
+}
+
+/// One cooperative scheduling decision for a session driven by a single
+/// external thread: fold `finished` in, then grant the next step if
+/// `allow_grant`. The mirror of [`seek`] for run-to-quantum execution,
+/// with two structural differences:
+///
+/// * **Never blocks.** With exactly one driving context there is no peer
+///   whose progress a condvar wait could observe, so every would-wait state
+///   (busy lock, quiescence gate, token parked on a running step) is a
+///   genuine deadlock and poisons the run — the same conclusion the
+///   multi-worker loop reaches via its pass-streak heuristic.
+/// * **Parks only at quiescent points.** `Parked` is returned after the
+///   deposit is applied and any pending recovery has run, with `running`
+///   empty — so a parked job's ROL/WAL/history state is exactly the
+///   precise-restart state the paper's machinery maintains, and resuming
+///   is just calling this function again.
+pub(crate) fn coop_decide(
+    shared: &SharedRef,
+    finished: Option<StepOutcome>,
+    allow_grant: bool,
+) -> CoopDecision {
+    let mut g = shared.inner.lock();
+    while let Some(h) = shared.handoffs[0].pop() {
+        g.apply_handoff(h);
+    }
+    let mut fast = false;
+    match finished {
+        Some(StepOutcome::Done {
+            thread,
+            stid,
+            program,
+            result,
+            leftover_lock,
+            staged,
+        }) => {
+            g.deposit(thread, stid, program, result, leftover_lock, staged);
+            fast = true;
+        }
+        Some(StepOutcome::Panicked {
+            thread,
+            stid,
+            leftover_lock,
+            msg,
+        }) => {
+            g.running.remove(&stid);
+            if let Some((lock, data)) = leftover_lock {
+                g.return_lock(stid, lock, data);
+            }
+            g.poison(format!("step of {thread} panicked: {msg}"));
+        }
+        None => {}
+    }
+    loop {
+        let inner = &mut *g;
+        if inner.poisoned.is_some() {
+            shared.done.store(true, Ordering::Release);
+            break CoopDecision::Finished;
+        }
+        if inner.recovering {
+            debug_assert!(inner.running.is_empty(), "single driver deposits before deciding");
+            crate::rex::perform_recovery(inner);
+            inner.recovering = false;
+            inner.bump();
+            continue;
+        }
+        if !inner.pending_exceptions.is_empty() {
+            inner.recovering = true;
+            continue;
+        }
+        // Same ordering as the worker loop: the finish check runs after the
+        // recovery gates so a trailing-grant exception is never dropped.
+        if inner.live == 0 && inner.running.is_empty() {
+            shared.done.store(true, Ordering::Release);
+            break CoopDecision::Finished;
+        }
+        if !allow_grant {
+            break CoopDecision::Parked;
+        }
+        debug_assert!(inner.exclusive.is_none(), "exclusive step deposited before deciding");
+        let Some(holder) = inner.enforcer.holder() else {
+            inner.poison(
+                "deadlock: live threads remain but none is runnable \
+                 (barrier participants mismatch?)",
+            );
+            shared.done.store(true, Ordering::Release);
+            break CoopDecision::Finished;
+        };
+        let rec = inner.threads.get(&holder).expect("registered thread");
+        if rec.state == ThState::Done {
+            inner
+                .enforcer
+                .deregister_thread(holder)
+                .expect("was registered");
+            continue;
+        }
+        let Some(want) = rec.pending.as_ref() else {
+            // Single driver: a holder without a pending want would mean a
+            // step is in flight, which cannot happen here.
+            inner.poison("cooperative driver found the token parked on a running step");
+            shared.done.store(true, Ordering::Release);
+            break CoopDecision::Finished;
+        };
+        match inner.poll_or_wait(holder, want) {
+            Some(false) => {
+                inner.enforcer.pass_turn(holder);
+                inner.stats.polls += 1;
+                inner.pass_streak += 1;
+                if inner.pass_streak > inner.enforcer.live_threads() * 2 + 4 {
+                    inner.poison(
+                        "deadlock: every runnable thread is polling \
+                         (channel starvation or join cycle)",
+                    );
+                    shared.done.store(true, Ordering::Release);
+                    break CoopDecision::Finished;
+                }
+                continue;
+            }
+            None => {
+                // With one context the blocking condition (a busy lock, a
+                // non-quiescent serialized gate) can only be our own state,
+                // and we just deposited — so it can never clear.
+                inner.poison(format!(
+                    "deadlock: token of {holder} waits on a condition no \
+                     single-context execution can satisfy"
+                ));
+                shared.done.store(true, Ordering::Release);
+                break CoopDecision::Finished;
+            }
+            Some(true) => {}
+        }
+        inner.pass_streak = 0;
+        match inner.grant(holder, 0) {
+            Some(task) => {
+                inner.stats.grants += 1;
+                debug_assert_eq!(
+                    shared.gate.holder(),
+                    inner.enforcer.holder(),
+                    "gate mirrors the enforcer after every grant"
+                );
+                inner.chaos_tick_grant();
+                if fast && inner.telemetry.enabled() {
+                    inner.telemetry.metrics.fast_path_grants.inc_serialized();
+                }
+                break CoopDecision::Run(task);
+            }
+            None => continue,
+        }
+    }
+}
+
 /// Runs one granted step outside the engine lock. Before the step, the
 /// off-critical-section state capture happens here: the thread checkpoint,
 /// the critical section's lock snapshot, and the deferred WAL checksum are
@@ -1937,7 +2103,7 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
 /// buffer (drained at its next seek). Nothing touches the program or the
 /// checked-out lock data between grant and this point, so the snapshots are
 /// bit-identical to ones taken under the lock.
-fn execute_task(shared: &SharedRef, worker_ix: usize, task: StepTask) -> StepOutcome {
+pub(crate) fn execute_task(shared: &SharedRef, worker_ix: usize, task: StepTask) -> StepOutcome {
     let StepTask {
         thread,
         stid,

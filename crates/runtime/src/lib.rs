@@ -69,6 +69,7 @@ pub(crate) mod ops;
 pub mod program;
 pub mod report;
 pub(crate) mod rex;
+pub mod session;
 
 use crate::engine::{Inner, PendingException, RunConfig, Shared, SharedRef};
 use crate::handles::{
@@ -95,6 +96,8 @@ pub struct GprsBuilder {
     racecheck: bool,
     analyze: bool,
     model: Option<gprs_core::workload::Workload>,
+    job_id: u64,
+    submit_seq: u64,
     inner: Inner,
     next_lock: u64,
     next_chan: u64,
@@ -119,6 +122,8 @@ impl GprsBuilder {
             recovery: RecoveryPolicy::Selective,
             telemetry: TelemetryConfig::default(),
             racecheck: false,
+            job_id: 0,
+            submit_seq: 0,
         };
         GprsBuilder {
             schedule: cfg.schedule,
@@ -128,6 +133,8 @@ impl GprsBuilder {
             racecheck: cfg.racecheck,
             analyze: false,
             model: None,
+            job_id: 0,
+            submit_seq: 0,
             inner: Inner::new(cfg),
             next_lock: 0,
             next_chan: 0,
@@ -152,6 +159,18 @@ impl GprsBuilder {
     /// The recovery policy.
     pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = policy;
+        self
+    }
+
+    /// Stamps the run with a stable job identity and monotonic submission
+    /// sequence number, reported back in
+    /// [`RunReport::job_id`](crate::report::RunReport) /
+    /// [`RunReport::submit_seq`](crate::report::RunReport). Solo runs leave
+    /// both at 0; a serving layer assigns them at admission so streamed
+    /// reports can be matched to their submissions.
+    pub fn job(mut self, id: u64, seq: u64) -> Self {
+        self.job_id = id;
+        self.submit_seq = seq;
         self
     }
 
@@ -310,6 +329,8 @@ impl GprsBuilder {
             recovery: self.recovery,
             telemetry: self.telemetry,
             racecheck: self.racecheck,
+            job_id: self.job_id,
+            submit_seq: self.submit_seq,
         };
         // The telemetry facade was sized for the default config; rebuild it
         // for the final worker count and switches. Likewise the detector,
@@ -400,34 +421,63 @@ impl Gprs {
         for j in joins {
             j.join().expect("workers do not panic");
         }
-        let mut inner = self.shared.inner.lock();
-        if let Some(msg) = inner.poisoned.take() {
-            return Err(RunError::Poisoned(msg));
-        }
-        let files = inner
-            .files
-            .iter()
-            .map(|(&id, f)| (id, (f.name.clone(), f.committed.clone())))
-            .collect();
-        let raw_trace = std::mem::take(&mut inner.raw_trace);
-        let telemetry = inner.telemetry.summarize(
-            &inner.sched_hash,
-            &inner.retired_hash,
-            raw_trace.iter().map(|&(s, t)| (s.raw(), t.raw())).collect(),
-        );
-        let first_race = inner
-            .racecheck
-            .as_ref()
-            .and_then(|det| det.first_race().cloned());
-        Ok(RunReport {
-            stats: inner.stats,
-            outputs: std::mem::take(&mut inner.outputs),
-            files,
-            telemetry,
-            first_race,
-            analysis: self.analysis,
-        })
+        collect_report(&self.shared, self.analysis)
     }
+
+    /// Converts the runtime into a cooperative [`session::GprsSession`]
+    /// driven in bounded quanta on the caller's thread instead of a
+    /// dedicated worker pool — the entry point the `gprs-serve`
+    /// multi-tenant scheduler multiplexes jobs through. The configured
+    /// [`workers`](GprsBuilder::workers) count is ignored; a session always
+    /// has exactly one driving context (determinism hashes are
+    /// worker-count-independent, so reports still match pooled runs).
+    pub fn into_session(self) -> session::GprsSession {
+        session::GprsSession {
+            shared: self.shared,
+            analysis: self.analysis,
+            done: false,
+            cancelled: false,
+        }
+    }
+}
+
+/// Drains the engine's final state into a [`RunReport`]. Shared by
+/// [`Gprs::run`] (after the pool joins) and
+/// [`session::GprsSession::finish`] (after the driver observes
+/// completion), so both execution modes report identically.
+pub(crate) fn collect_report(
+    shared: &SharedRef,
+    analysis: Option<gprs_analyze::AnalysisReport>,
+) -> Result<RunReport, RunError> {
+    let mut inner = shared.inner.lock();
+    if let Some(msg) = inner.poisoned.take() {
+        return Err(RunError::Poisoned(msg));
+    }
+    let files = inner
+        .files
+        .iter()
+        .map(|(&id, f)| (id, (f.name.clone(), f.committed.clone())))
+        .collect();
+    let raw_trace = std::mem::take(&mut inner.raw_trace);
+    let telemetry = inner.telemetry.summarize(
+        &inner.sched_hash,
+        &inner.retired_hash,
+        raw_trace.iter().map(|&(s, t)| (s.raw(), t.raw())).collect(),
+    );
+    let first_race = inner
+        .racecheck
+        .as_ref()
+        .and_then(|det| det.first_race().cloned());
+    Ok(RunReport {
+        job_id: inner.cfg.job_id,
+        submit_seq: inner.cfg.submit_seq,
+        stats: inner.stats,
+        outputs: std::mem::take(&mut inner.outputs),
+        files,
+        telemetry,
+        first_race,
+        analysis,
+    })
 }
 
 /// Injects discretionary exceptions into a running program — the paper's
@@ -507,6 +557,7 @@ pub mod prelude {
     };
     pub use crate::program::{payload_to, OneShot, Step, ThreadProgram};
     pub use crate::report::{RunError, RunReport, RunStats};
+    pub use crate::session::{GprsSession, QuantumOutcome};
     pub use crate::{Controller, Gprs, GprsBuilder, RecoveryPolicy};
     pub use gprs_core::chaos::{ChaosEvent, ChaosPlan, ChaosTrigger, VictimSelector};
     pub use gprs_core::exception::{ExceptionKind, ExceptionScope};

@@ -47,6 +47,16 @@ pub struct RunStats {
 
 /// Result of a completed run.
 pub struct RunReport {
+    /// Stable identity of the job this run executed. Zero for solo runs;
+    /// a serving layer (`gprs-serve`) assigns each submission a unique id
+    /// via [`crate::GprsBuilder::job`] so streamed reports can be matched
+    /// back to their submissions.
+    pub job_id: u64,
+    /// Monotonic submission sequence number (admission order). Zero for
+    /// solo runs. Distinct from [`RunReport::job_id`]: ids are stable
+    /// handles, sequence numbers order submissions across a serving
+    /// session.
+    pub submit_seq: u64,
     /// Final statistics.
     pub stats: RunStats,
     /// Thread outputs (from their `Step::Exit` values).
@@ -104,6 +114,8 @@ impl RunReport {
 impl std::fmt::Debug for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunReport")
+            .field("job_id", &self.job_id)
+            .field("submit_seq", &self.submit_seq)
             .field("stats", &self.stats)
             .field("outputs", &self.outputs.len())
             .field("files", &self.files.len())
@@ -140,6 +152,8 @@ mod tests {
         let mut outputs: BTreeMap<ThreadId, Payload> = BTreeMap::new();
         outputs.insert(ThreadId::new(0), Arc::new(41u64));
         let report = RunReport {
+            job_id: 0,
+            submit_seq: 0,
             stats: RunStats::default(),
             outputs,
             files: BTreeMap::new(),

@@ -77,6 +77,52 @@ pub(crate) fn perform_recovery(inner: &mut Inner) {
     }
 }
 
+/// Cancels every in-flight sub-thread by driving a **basic** recovery from
+/// the oldest reorder-list entry: the whole un-retired suffix is squashed,
+/// its WAL records undone and its staged output dropped, so a cancelled
+/// job's ledger balances (`wal_appends == wal_undos + wal_prunes`) and
+/// everything already retired stays committed — cancellation is precise
+/// restart pointed at "the rest of the program". Requires quiescence, like
+/// any recovery. No-op when nothing is in flight.
+///
+/// The synthetic exception is a [`ResourceRevocation`]
+/// (`§2.2`: a shared platform revoking resources is exactly what a serving
+/// layer's cancel/deadline is), and it is accounted in the job's stats like
+/// any other delivered exception.
+///
+/// [`ResourceRevocation`]: gprs_core::exception::ExceptionKind::ResourceRevocation
+pub(crate) fn cancel_inflight(inner: &mut Inner) {
+    use gprs_core::exception::{Exception, ExceptionKind};
+    use gprs_core::ids::ContextId;
+    let policy = inner.cfg.recovery;
+    inner.cfg.recovery = RecoveryPolicy::Basic;
+    // Drain any genuine pending exceptions first (under Basic — sound, a
+    // superset squash — and the job is being discarded anyway), then squash
+    // the surviving suffix from its oldest entry. A chaos `MidRecovery`
+    // overlay may queue fresh exceptions during either pass; the loop
+    // re-drains until the machine is empty.
+    perform_recovery(inner);
+    loop {
+        let oldest = inner.rol.iter().next().map(|e| e.id());
+        let Some(oldest) = oldest else { break };
+        let exception =
+            Exception::global(ExceptionKind::ResourceRevocation, ContextId::new(0), 0);
+        inner
+            .rol
+            .mark_excepted(oldest, exception.clone())
+            .expect("oldest entry is in the ROL");
+        inner
+            .pending_exceptions
+            .push_back(crate::engine::PendingException {
+                exception,
+                culprit: Some(oldest),
+            });
+        perform_recovery(inner);
+    }
+    inner.cfg.recovery = policy;
+    debug_assert_eq!(inner.wal.len(), 0, "cancellation leaves no in-flight suffix");
+}
+
 /// Executes one recovery plan; returns the number of squashed sub-threads.
 fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
     let affected = affected_set(inner, culprit);

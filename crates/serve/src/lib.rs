@@ -1,0 +1,57 @@
+//! **gprs-serve** — a multi-tenant serving layer over the GPRS runtime:
+//! many independent precise-restartable programs (jobs) share one pool of
+//! OS worker threads.
+//!
+//! The paper's runtime executes one program per process; this crate turns
+//! it into a service. Each admitted [`spec::JobSpec`] is built into a
+//! fully isolated engine (its own OrderGate, reorder list, write-ahead
+//! log, history store, and telemetry — nothing static is shared between
+//! tenants) and driven cooperatively in bounded *quanta* of ordered
+//! grants via [`gprs_runtime::session::GprsSession`]:
+//!
+//! * **FIFO scheduling, atomic job states.** `Idle → Pending → Running`
+//!   transitions are compare-exchanges, so a job can never be
+//!   double-enqueued and only its claiming worker may yield or finish it.
+//! * **Quantum yielding.** A job that exhausts its grant budget parks —
+//!   its precise-restart state quiesced inside the engine — and re-enters
+//!   the FIFO tail, so a long job cannot delay queued jobs by more than
+//!   about one quantum per pass. Restartability is the scheduling
+//!   primitive, not just the fault path.
+//! * **Determinism across tenancy.** Grant order is worker-count and
+//!   interleaving independent, so a served job's retired hash is
+//!   bit-identical to the same spec run solo — multi-tenancy provably
+//!   does not leak into results.
+//! * **Cancellation, deadlines, graceful shutdown.** All three reuse
+//!   recovery: stopping a job squashes its in-flight suffix through the
+//!   ordinary restart path, leaving the WAL ledger balanced and the
+//!   retired prefix committed.
+//!
+//! # Quickstart (in-process)
+//!
+//! ```
+//! use gprs_serve::pool::{PoolConfig, ServePool};
+//! use gprs_serve::spec::JobSpec;
+//!
+//! let pool = ServePool::start(PoolConfig { workers: 2, quantum: 32 });
+//! let handle = pool.handle();
+//! let ticket = handle.submit(JobSpec::new("fetchadd", 7)).unwrap();
+//! let outcome = ticket.wait();
+//! let report = outcome.report.expect("completed");
+//! // Bit-identical to the same spec run solo:
+//! let solo = gprs_serve::spec::build_solo(&JobSpec::new("fetchadd", 7))
+//!     .unwrap().run().unwrap();
+//! assert_eq!(report.telemetry.retired_hash, solo.telemetry.retired_hash);
+//! pool.shutdown();
+//! ```
+//!
+//! The line-delimited socket/CLI driver lives in [`server`] and the
+//! `gprs-serve` binary.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod server;
+pub mod spec;
+
+pub use pool::{JobOutcome, JobStatus, JobTicket, PoolConfig, PoolStats, ServeHandle, ServePool};
+pub use spec::{build_job, build_solo, fault_plan, JobSpec, WORKLOADS};

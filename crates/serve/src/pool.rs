@@ -1,0 +1,603 @@
+//! The shared worker pool: FIFO scheduling, quantum yielding, cancel,
+//! deadlines, and graceful shutdown.
+//!
+//! Each submitted [`JobSpec`] becomes an isolated cooperative
+//! [`GprsSession`] — its own OrderGate/ROL/WAL/history/telemetry, nothing
+//! shared with co-resident jobs — driven by whichever pool worker claims
+//! it next. Job states follow the atomic `Idle → Pending → Running`
+//! discipline: a job is enqueued exactly when it transitions into
+//! `Pending` (a failed compare-exchange means someone else owns the
+//! transition, so a job can never be double-enqueued), and only the
+//! claiming worker may move it out of `Running`. A quantum is a bounded
+//! number of ordered grants; a job that yields re-enters the FIFO tail
+//! with its precise state parked inside the engine, so long jobs cannot
+//! starve the queue and a job may migrate between OS workers across
+//! quanta without perturbing its deterministic schedule.
+
+use crate::spec::{build_job, validate, JobSpec};
+use gprs_runtime::report::RunReport;
+use gprs_runtime::session::{GprsSession, QuantumOutcome};
+use gprs_telemetry::{Counter, Histogram, HistogramSnapshot, JsonWriter};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default grants per scheduling quantum.
+pub const DEFAULT_QUANTUM: u64 = 64;
+
+/// Pool sizing and scheduling knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// OS worker threads sharing the job queue.
+    pub workers: usize,
+    /// Ordered grants per quantum before a job yields back to the FIFO.
+    pub quantum: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 2,
+            quantum: DEFAULT_QUANTUM,
+        }
+    }
+}
+
+/// Job lifecycle states (the atomic scheduling discipline).
+const IDLE: u8 = 0;
+const PENDING: u8 = 1;
+const RUNNING: u8 = 2;
+const FINISHED: u8 = 3;
+
+/// Pool lifecycle.
+const RUN: u8 = 0;
+/// Stop admitting; drain queued and in-flight jobs to completion.
+const DRAIN: u8 = 1;
+/// Stop admitting; cancel queued and in-flight jobs through their
+/// recovery gates (still a clean, ledger-balanced stop).
+const HALT: u8 = 2;
+
+/// How a job left the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran to completion.
+    Completed,
+    /// Cancelled by [`JobTicket::cancel`], [`ServeHandle::cancel`], or a
+    /// halting shutdown; the in-flight suffix was squashed through
+    /// recovery, everything retired stays committed.
+    Cancelled,
+    /// Cancelled because the job exceeded its quanta deadline.
+    DeadlineExceeded,
+    /// Cancelled because the job exceeded its wall-clock timeout.
+    TimedOut,
+    /// The program poisoned (step panic or deadlock).
+    Failed,
+}
+
+impl JobStatus {
+    /// Stable lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Completed => "completed",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::DeadlineExceeded => "deadline",
+            JobStatus::TimedOut => "timeout",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// Everything the pool reports back for one job.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Stable job id (also stamped into the report).
+    pub job_id: u64,
+    /// Monotonic submission sequence number.
+    pub submit_seq: u64,
+    /// The spec as submitted.
+    pub spec: JobSpec,
+    /// How the job left the pool.
+    pub status: JobStatus,
+    /// The run report: full for `Completed`, partial (everything retired
+    /// before the stop) for the cancelled statuses, `None` for `Failed`
+    /// and for jobs cancelled before they ever ran a quantum.
+    pub report: Option<RunReport>,
+    /// Poison message for `Failed`.
+    pub error: Option<String>,
+    /// Scheduling quanta the job consumed.
+    pub quanta: u64,
+}
+
+impl JobOutcome {
+    /// Serializes the outcome as a single JSON object (the socket driver's
+    /// per-job response line).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_u64("job_id", self.job_id)
+            .field_u64("submit_seq", self.submit_seq)
+            .field_str("workload", &self.spec.workload)
+            .field_u64("seed", self.spec.seed)
+            .field_u64("fault_seed", self.spec.fault_seed)
+            .field_str("status", self.status.as_str())
+            .field_u64("quanta", self.quanta);
+        if let Some(report) = &self.report {
+            w.field_hex("schedule_hash", report.telemetry.schedule_hash)
+                .field_hex("retired_hash", report.telemetry.retired_hash)
+                .field_u64("retired", report.telemetry.retired_count)
+                .field_u64("grants", report.stats.grants)
+                .field_u64("exceptions", report.stats.exceptions)
+                .field_u64("squashed", report.stats.squashed)
+                .field_u64("recoveries", report.stats.recoveries);
+        }
+        if let Some(error) = &self.error {
+            w.field_str("error", error);
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// One admitted job.
+struct Job {
+    id: u64,
+    seq: u64,
+    spec: JobSpec,
+    state: AtomicU8,
+    cancel: AtomicBool,
+    admitted: Instant,
+    /// Stamped at every enqueue; read by the claiming worker for the
+    /// queue-wait histogram.
+    enqueued: Mutex<Instant>,
+    /// Built lazily by the first claiming worker (admission only
+    /// validates), so engine construction parallelizes across the pool
+    /// instead of serializing on submitters.
+    session: Mutex<Option<GprsSession>>,
+    quanta: AtomicU64,
+    outcome: Mutex<Option<JobOutcome>>,
+    done_cv: Condvar,
+}
+
+/// Pool-level counters (shared across all tenants; each job additionally
+/// carries its fully isolated per-run telemetry in its report).
+#[derive(Debug, Default)]
+struct PoolMetrics {
+    submitted: Counter,
+    completed: Counter,
+    cancelled: Counter,
+    failed: Counter,
+    quanta: Counter,
+    yields: Counter,
+    /// Microseconds between a job entering the FIFO and a worker claiming
+    /// it (every quantum round-trip records one sample).
+    queue_wait_us: Histogram,
+}
+
+/// A point-in-time copy of the pool counters.
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs cancelled (explicit, deadline, timeout, or halting shutdown).
+    pub cancelled: u64,
+    /// Jobs that poisoned.
+    pub failed: u64,
+    /// Scheduling quanta executed.
+    pub quanta: u64,
+    /// Quanta that ended in a yield (vs. job completion).
+    pub yields: u64,
+    /// FIFO wait distribution, microseconds.
+    pub queue_wait_us: HistogramSnapshot,
+}
+
+impl PoolStats {
+    /// Serializes the stats as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_u64("submitted", self.submitted)
+            .field_u64("completed", self.completed)
+            .field_u64("cancelled", self.cancelled)
+            .field_u64("failed", self.failed)
+            .field_u64("quanta", self.quanta)
+            .field_u64("yields", self.yields)
+            .field_u64("queue_wait_us_count", self.queue_wait_us.count)
+            .field_u64("queue_wait_us_max", self.queue_wait_us.max)
+            .end_object();
+        w.finish()
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    cv: Condvar,
+    phase: AtomicU8,
+    /// Admitted jobs not yet `FINISHED`; drain shutdown completes when
+    /// this reaches zero.
+    unfinished: AtomicU64,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    quantum: u64,
+    metrics: PoolMetrics,
+}
+
+impl Shared {
+    /// Enqueues a job that the caller just transitioned into `PENDING`.
+    fn push(&self, job: Arc<Job>) {
+        *job.enqueued.lock() = Instant::now();
+        self.queue.lock().push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn stats(&self) -> PoolStats {
+        let m = &self.metrics;
+        PoolStats {
+            submitted: m.submitted.get(),
+            completed: m.completed.get(),
+            cancelled: m.cancelled.get(),
+            failed: m.failed.get(),
+            quanta: m.quanta.get(),
+            yields: m.yields.get(),
+            queue_wait_us: m.queue_wait_us.snapshot(),
+        }
+    }
+}
+
+/// Errors a submission can be rejected with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pool is shutting down.
+    ShuttingDown,
+    /// The spec did not build (unknown workload).
+    BadSpec(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::ShuttingDown => write!(f, "pool is shutting down"),
+            SubmitError::BadSpec(msg) => write!(f, "bad job spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A claim check for one submitted job.
+pub struct JobTicket {
+    job: Arc<Job>,
+}
+
+impl JobTicket {
+    /// The job's stable id.
+    pub fn id(&self) -> u64 {
+        self.job.id
+    }
+
+    /// The job's submission sequence number.
+    pub fn seq(&self) -> u64 {
+        self.job.seq
+    }
+
+    /// Requests cancellation. The job is stopped at its next quantum
+    /// boundary (or on claim, if still queued) by squashing the in-flight
+    /// suffix through recovery; [`wait`](Self::wait) then returns a
+    /// `Cancelled` outcome with the partial report (no report if the job
+    /// never ran a quantum). Idempotent; a no-op once the job finished.
+    pub fn cancel(&self) {
+        self.job.cancel.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the job leaves the pool and returns its outcome.
+    pub fn wait(self) -> JobOutcome {
+        let mut slot = self.job.outcome.lock();
+        while slot.is_none() {
+            self.job.done_cv.wait(&mut slot);
+        }
+        slot.take().expect("outcome present")
+    }
+
+    /// Non-blocking probe: the outcome, if the job already finished.
+    pub fn try_wait(&self) -> Option<JobOutcome> {
+        self.job.outcome.lock().take()
+    }
+}
+
+/// A clonable submission handle onto a running [`ServePool`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Admits a job: validates the spec, assigns it the next stable id and
+    /// submission sequence number, and enqueues it. The isolated engine is
+    /// materialized by the first worker that claims the job, so admission
+    /// stays cheap and construction parallelizes across the pool.
+    ///
+    /// # Errors
+    /// [`SubmitError::ShuttingDown`] after a shutdown began;
+    /// [`SubmitError::BadSpec`] for unknown workloads.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, SubmitError> {
+        if self.shared.phase.load(Ordering::Acquire) != RUN {
+            return Err(SubmitError::ShuttingDown);
+        }
+        validate(&spec).map_err(SubmitError::BadSpec)?;
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let job = Arc::new(Job {
+            id,
+            seq,
+            spec,
+            state: AtomicU8::new(IDLE),
+            cancel: AtomicBool::new(false),
+            admitted: Instant::now(),
+            enqueued: Mutex::new(Instant::now()),
+            session: Mutex::new(None),
+            quanta: AtomicU64::new(0),
+            outcome: Mutex::new(None),
+            done_cv: Condvar::new(),
+        });
+        self.shared.unfinished.fetch_add(1, Ordering::AcqRel);
+        self.shared.metrics.submitted.inc();
+        let claimed = job
+            .state
+            .compare_exchange(IDLE, PENDING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        debug_assert!(claimed, "a fresh job has no competing enqueuer");
+        self.shared.push(job.clone());
+        Ok(JobTicket { job })
+    }
+
+    /// A point-in-time copy of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.shared.stats()
+    }
+
+    /// Whether a shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.phase.load(Ordering::Acquire) != RUN
+    }
+}
+
+/// The shared worker pool. Dropping it without calling
+/// [`shutdown`](Self::shutdown) drains gracefully.
+pub struct ServePool {
+    shared: Arc<Shared>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServePool {
+    /// Boots `cfg.workers` OS threads sharing one FIFO job queue.
+    pub fn start(cfg: PoolConfig) -> ServePool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            phase: AtomicU8::new(RUN),
+            unfinished: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            quantum: cfg.quantum.max(1),
+            metrics: PoolMetrics::default(),
+        });
+        let workers = cfg.workers.max(1);
+        let mut joins = Vec::with_capacity(workers);
+        for ix in 0..workers {
+            let shared = shared.clone();
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("gprs-serve-{ix}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker"),
+            );
+        }
+        ServePool { shared, joins }
+    }
+
+    /// A submission handle (clonable, usable from any thread).
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Graceful shutdown: stops admissions, drains every queued and
+    /// in-flight job to completion — each one passes its recovery gates
+    /// before its final report is published — then joins the workers.
+    pub fn shutdown(self) -> PoolStats {
+        self.stop(DRAIN)
+    }
+
+    /// Halting shutdown: stops admissions and cancels every queued and
+    /// in-flight job at its next quantum boundary. Cancellation runs the
+    /// ordinary recovery path, so even a halt leaves every job's ledger
+    /// balanced and its retired prefix committed.
+    pub fn shutdown_now(self) -> PoolStats {
+        self.stop(HALT)
+    }
+
+    fn stop(mut self, phase: u8) -> PoolStats {
+        self.shared.phase.store(phase, Ordering::Release);
+        self.shared.cv.notify_all();
+        for j in self.joins.drain(..) {
+            j.join().expect("pool workers do not panic");
+        }
+        self.shared.stats()
+    }
+}
+
+impl Drop for ServePool {
+    fn drop(&mut self) {
+        if self.joins.is_empty() {
+            return;
+        }
+        self.shared.phase.store(DRAIN, Ordering::Release);
+        self.shared.cv.notify_all();
+        for j in self.joins.drain(..) {
+            j.join().expect("pool workers do not panic");
+        }
+    }
+}
+
+/// One pool worker: claim the FIFO head, drive one quantum, publish or
+/// requeue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                let phase = shared.phase.load(Ordering::Acquire);
+                if phase != RUN && shared.unfinished.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                if phase == HALT {
+                    // In-flight jobs are being cancelled by their owners;
+                    // re-check rather than sleep so stragglers can't park
+                    // this worker forever.
+                    drop(q);
+                    std::thread::yield_now();
+                    q = shared.queue.lock();
+                    continue;
+                }
+                shared.cv.wait(&mut q);
+            }
+        };
+        if job
+            .state
+            .compare_exchange(PENDING, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            // Stale entry: the job is owned elsewhere. The enqueue
+            // discipline makes this unreachable, but skipping is always
+            // safe — the owner will requeue it.
+            continue;
+        }
+        let waited = job.enqueued.lock().elapsed();
+        shared
+            .metrics
+            .queue_wait_us
+            .record(waited.as_micros() as u64);
+        drive(shared, &job);
+    }
+}
+
+/// Runs one quantum of `job` (already claimed `RUNNING`) and either
+/// requeues it or publishes its outcome.
+fn drive(shared: &Shared, job: &Arc<Job>) {
+    let mut guard = job.session.lock();
+    let halting = shared.phase.load(Ordering::Acquire) == HALT;
+    let stopping = job.cancel.load(Ordering::Acquire) || halting;
+    if guard.is_none() && !stopping {
+        // First claim: materialize the isolated engine here, on a pool
+        // worker. A job stopped before this point never builds an engine
+        // at all (a halt over thousands of queued jobs must not pay
+        // thousands of constructions just to cancel them).
+        match build_job(&job.spec, job.id, job.seq) {
+            Ok(gprs) => *guard = Some(gprs.into_session()),
+            Err(e) => {
+                // Unreachable given admission validation; fail defensively.
+                publish(shared, job, guard, Some(JobStatus::Failed), None, Some(e));
+                return;
+            }
+        }
+    }
+    let mut status = None;
+    if let Some(session) = guard.as_mut() {
+        if stopping {
+            session.cancel();
+            status = Some(JobStatus::Cancelled);
+        } else {
+            shared.metrics.quanta.inc();
+            let quanta = job.quanta.fetch_add(1, Ordering::Relaxed) + 1;
+            match session.run_quantum(shared.quantum) {
+                QuantumOutcome::Finished => {}
+                QuantumOutcome::Yielded => {
+                    if job.spec.deadline_quanta.is_some_and(|d| quanta >= d) {
+                        session.cancel();
+                        status = Some(JobStatus::DeadlineExceeded);
+                    } else if job
+                        .spec
+                        .timeout_ms
+                        .is_some_and(|ms| job.admitted.elapsed().as_millis() as u64 >= ms)
+                    {
+                        session.cancel();
+                        status = Some(JobStatus::TimedOut);
+                    } else {
+                        shared.metrics.yields.inc();
+                        drop(guard);
+                        let requeued = job
+                            .state
+                            .compare_exchange(RUNNING, PENDING, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok();
+                        debug_assert!(requeued, "only the owner moves a job out of RUNNING");
+                        shared.push(job.clone());
+                        return;
+                    }
+                }
+            }
+        }
+    } else {
+        // Stopped before its first quantum: no engine, nothing retired.
+        status = Some(JobStatus::Cancelled);
+    }
+    // The job finished (completed, cancelled, or poisoned): publish.
+    let (report, error) = match guard.take() {
+        Some(session) => {
+            if status.is_none() && session.was_cancelled() {
+                status = Some(JobStatus::Cancelled);
+            }
+            match session.finish() {
+                Ok(report) => (Some(report), None),
+                Err(e) => (None, Some(e.to_string())),
+            }
+        }
+        None => (None, None),
+    };
+    publish(shared, job, guard, status, report, error);
+}
+
+/// Publishes a terminal outcome for `job` (owner-only; `guard` must hold
+/// the job's now-empty session slot).
+fn publish(
+    shared: &Shared,
+    job: &Arc<Job>,
+    guard: parking_lot::MutexGuard<'_, Option<GprsSession>>,
+    status: Option<JobStatus>,
+    report: Option<RunReport>,
+    error: Option<String>,
+) {
+    let status = if error.is_some() {
+        JobStatus::Failed
+    } else {
+        status.unwrap_or(JobStatus::Completed)
+    };
+    match status {
+        JobStatus::Completed => shared.metrics.completed.inc(),
+        JobStatus::Failed => shared.metrics.failed.inc(),
+        _ => shared.metrics.cancelled.inc(),
+    }
+    let outcome = JobOutcome {
+        job_id: job.id,
+        submit_seq: job.seq,
+        spec: job.spec.clone(),
+        status,
+        report,
+        error,
+        quanta: job.quanta.load(Ordering::Relaxed),
+    };
+    drop(guard);
+    job.state.store(FINISHED, Ordering::Release);
+    *job.outcome.lock() = Some(outcome);
+    job.done_cv.notify_all();
+    if shared.unfinished.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last job done: wake any workers sleeping through a drain.
+        shared.cv.notify_all();
+    }
+}

@@ -1,0 +1,264 @@
+//! The line-delimited socket/CLI driver.
+//!
+//! One request per line, one JSON object per response line — trivially
+//! scriptable over `nc`, a file, or a pipe. The same [`serve_session`]
+//! loop backs both transports: the `gprs-serve` binary runs it over a TCP
+//! connection (`--listen`) or over stdin/stdout (`--batch`).
+//!
+//! # Protocol
+//!
+//! | request | response |
+//! |---|---|
+//! | `submit <workload> <seed> [fault=N] [deadline=N] [timeout=MS]` | `{"ok":true,"job_id":N,"submit_seq":N}` |
+//! | `wait` | one [`JobOutcome`] JSON line per unreported submission, in submission order, then `{"ok":true,"drained":K}` |
+//! | `cancel <job_id>` | `{"ok":true}` (flag set) or an error |
+//! | `stats` | pool counters as one JSON object |
+//! | `shutdown` | `{"ok":true,"shutdown":true}`; the server drains and exits after this connection closes |
+//! | `quit` (or EOF) | connection ends; unwaited jobs keep running |
+//!
+//! Reports stream in submission order: deterministic for scripted
+//! clients, and head-of-line blocking is bounded because long jobs yield
+//! every quantum.
+
+use crate::pool::{JobTicket, PoolConfig, ServeHandle, ServePool};
+use crate::spec::JobSpec;
+use gprs_telemetry::JsonWriter;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn ok_line(fields: &[(&str, u64)]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object().key("ok").bool(true);
+    for (k, v) in fields {
+        w.field_u64(k, *v);
+    }
+    w.end_object();
+    w.finish()
+}
+
+fn err_line(msg: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .key("ok")
+        .bool(false)
+        .field_str("error", msg)
+        .end_object();
+    w.finish()
+}
+
+/// Parses a `submit` argument list: `<workload> <seed> [key=value...]`.
+fn parse_submit(args: &[&str]) -> Result<JobSpec, String> {
+    let [workload, seed, rest @ ..] = args else {
+        return Err("usage: submit <workload> <seed> [fault=N] [deadline=N] [timeout=MS]".into());
+    };
+    let seed: u64 = seed.parse().map_err(|_| format!("bad seed {seed:?}"))?;
+    let mut spec = JobSpec::new(*workload, seed);
+    for opt in rest {
+        let (key, value) = opt
+            .split_once('=')
+            .ok_or_else(|| format!("bad option {opt:?} (want key=value)"))?;
+        let n: u64 = value
+            .parse()
+            .map_err(|_| format!("bad value in {opt:?}"))?;
+        match key {
+            "fault" => spec.fault_seed = n,
+            "deadline" => spec.deadline_quanta = Some(n),
+            "timeout" => spec.timeout_ms = Some(n),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(spec)
+}
+
+/// Runs one client session: reads requests from `input` line by line,
+/// writes one JSON response line per request to `output`. Returns `true`
+/// if the client requested a server-wide shutdown.
+///
+/// # Errors
+/// Propagates transport I/O errors; protocol errors are reported to the
+/// client as `{"ok":false,...}` lines instead.
+pub fn serve_session(
+    handle: &ServeHandle,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<bool> {
+    let mut pending: Vec<JobTicket> = Vec::new();
+    let mut shutdown = false;
+    for line in input.lines() {
+        let line = line?;
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let response = match words.as_slice() {
+            [] => continue,
+            ["submit", args @ ..] => match parse_submit(args) {
+                Ok(spec) => match handle.submit(spec) {
+                    Ok(ticket) => {
+                        let ack = ok_line(&[
+                            ("job_id", ticket.id()),
+                            ("submit_seq", ticket.seq()),
+                        ]);
+                        pending.push(ticket);
+                        ack
+                    }
+                    Err(e) => err_line(&e.to_string()),
+                },
+                Err(e) => err_line(&e),
+            },
+            ["wait"] => {
+                let drained = pending.len() as u64;
+                for ticket in pending.drain(..) {
+                    let outcome = ticket.wait();
+                    writeln!(output, "{}", outcome.to_json())?;
+                }
+                ok_line(&[("drained", drained)])
+            }
+            ["cancel", id] => match id.parse::<u64>() {
+                Ok(id) => match pending.iter().find(|t| t.id() == id) {
+                    Some(ticket) => {
+                        ticket.cancel();
+                        ok_line(&[("job_id", id)])
+                    }
+                    None => err_line(&format!("job {id} is not pending on this connection")),
+                },
+                Err(_) => err_line(&format!("bad job id {id:?}")),
+            },
+            ["stats"] => handle.stats().to_json(),
+            ["shutdown"] => {
+                shutdown = true;
+                let mut w = JsonWriter::new();
+                w.begin_object()
+                    .key("ok")
+                    .bool(true)
+                    .key("shutdown")
+                    .bool(true)
+                    .end_object();
+                w.finish()
+            }
+            ["quit"] => break,
+            [cmd, ..] => err_line(&format!("unknown command {cmd:?}")),
+        };
+        writeln!(output, "{response}")?;
+        output.flush()?;
+        if shutdown {
+            break;
+        }
+    }
+    // Connection over: any reports the client never asked for are dropped,
+    // but the jobs themselves drain normally inside the pool.
+    Ok(shutdown)
+}
+
+/// A TCP front-end over a [`ServePool`].
+pub struct Server {
+    listener: TcpListener,
+    pool: ServePool,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over a
+    /// freshly started pool.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, cfg: PoolConfig) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            pool: ServePool::start(cfg),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    ///
+    /// # Panics
+    /// Panics if the socket's local address cannot be read.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// A submission handle onto the underlying pool (for in-process
+    /// clients living next to the socket front-end).
+    pub fn handle(&self) -> ServeHandle {
+        self.pool.handle()
+    }
+
+    /// Accepts connections until a client sends `shutdown`, then drains
+    /// the pool gracefully. Each connection is served on its own thread.
+    ///
+    /// # Errors
+    /// Propagates accept-loop I/O errors.
+    ///
+    /// # Panics
+    /// Panics if a connection-handler thread panicked.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut sessions = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = stream?;
+            let handle = self.pool.handle();
+            let stop = self.stop.clone();
+            let addr = self.local_addr();
+            sessions.push(std::thread::spawn(move || {
+                let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                match serve_session(&handle, reader, stream) {
+                    Ok(true) => {
+                        stop.store(true, Ordering::Release);
+                        // Self-connect to unblock the accept loop.
+                        let _ = TcpStream::connect(addr);
+                    }
+                    Ok(false) => {}
+                    Err(_) => {} // client went away mid-session
+                }
+            }));
+        }
+        for s in sessions {
+            s.join().expect("session threads do not panic");
+        }
+        self.pool.shutdown();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_submit_lines() {
+        let spec = parse_submit(&["mutex", "9", "fault=3", "deadline=8"]).unwrap();
+        assert_eq!(spec.workload, "mutex");
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.fault_seed, 3);
+        assert_eq!(spec.deadline_quanta, Some(8));
+        assert_eq!(spec.timeout_ms, None);
+        assert!(parse_submit(&["mutex"]).is_err());
+        assert!(parse_submit(&["mutex", "x"]).is_err());
+        assert!(parse_submit(&["mutex", "1", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn batch_session_round_trips() {
+        let pool = ServePool::start(PoolConfig {
+            workers: 2,
+            quantum: 16,
+        });
+        let handle = pool.handle();
+        let script = "submit fetchadd 3\nsubmit mutex 5 fault=2\nwait\nstats\nquit\n";
+        let mut out = Vec::new();
+        let shutdown = serve_session(&handle, script.as_bytes(), &mut out).unwrap();
+        assert!(!shutdown);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // 2 acks + 2 reports + wait summary + stats.
+        assert_eq!(lines.len(), 6, "{text}");
+        assert!(lines[0].contains("\"ok\":true"));
+        assert!(lines[2].contains("\"status\":\"completed\""));
+        assert!(lines[3].contains("\"retired_hash\""));
+        assert!(lines[5].contains("\"submitted\":2"));
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,311 @@
+//! Job specifications and the serve workload registry.
+//!
+//! A [`JobSpec`] is everything a tenant submits: a workload name, a seed
+//! that deterministically shapes the program (thread count, rounds, input
+//! corpus), an optional seeded fault-injection plan, and optional
+//! deadlines. The same spec built solo ([`build_solo`]) or through the
+//! serving pool produces bit-identical retired hashes — the solo build is
+//! every served job's golden twin.
+
+use gprs_core::chaos::{ChaosEvent, ChaosPlan, VictimSelector};
+use gprs_core::exception::ExceptionKind;
+use gprs_core::history::Checkpoint;
+use gprs_core::ids::GroupId;
+use gprs_runtime::ctx::StepCtx;
+use gprs_runtime::handles::{AtomicHandle, MutexHandle};
+use gprs_runtime::program::{Step, ThreadProgram};
+use gprs_runtime::{Gprs, GprsBuilder};
+use gprs_workloads::kernels::compress::generate_corpus;
+use gprs_workloads::programs::{build_pbzip_pipeline, HistogramWorker};
+
+/// Workload names the registry accepts, smallest first.
+pub const WORKLOADS: &[&str] = &["fetchadd", "mutex", "histogram", "pbzip"];
+
+/// One job submission: a workload shaped by a seed, plus serving policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Registry workload name (see [`WORKLOADS`]).
+    pub workload: String,
+    /// Deterministically shapes the program: thread count, rounds, corpus.
+    pub seed: u64,
+    /// Seeded discretionary-exception plan injected into the run (0 = no
+    /// injection). The golden twin attaches the same plan, so injected
+    /// jobs still compare bit-identical solo vs. served.
+    pub fault_seed: u64,
+    /// Cancel the job after this many scheduling quanta (None = no
+    /// deadline). Quanta-denominated deadlines are deterministic — the
+    /// same spec cancels at the same precise-restart point on every run.
+    pub deadline_quanta: Option<u64>,
+    /// Cancel the job if it is still running this many milliseconds after
+    /// admission (checked at quantum boundaries; None = no timeout). Wall
+    /// time is inherently nondeterministic — prefer `deadline_quanta`
+    /// where reproducibility matters.
+    pub timeout_ms: Option<u64>,
+}
+
+impl JobSpec {
+    /// A spec with no fault injection and no deadline.
+    pub fn new(workload: impl Into<String>, seed: u64) -> Self {
+        JobSpec {
+            workload: workload.into(),
+            seed,
+            fault_seed: 0,
+            deadline_quanta: None,
+            timeout_ms: None,
+        }
+    }
+
+    /// Attaches a seeded fault-injection plan (0 disables).
+    pub fn faults(mut self, fault_seed: u64) -> Self {
+        self.fault_seed = fault_seed;
+        self
+    }
+
+    /// Sets the quanta-denominated deadline.
+    pub fn deadline(mut self, quanta: u64) -> Self {
+        self.deadline_quanta = Some(quanta);
+        self
+    }
+}
+
+/// splitmix64: the registry's tiny deterministic shaping PRNG.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives the deterministic fault plan for `fault_seed` (empty for 0):
+/// one-to-two grant-keyed global exceptions plus, for odd seeds, an
+/// exception raised mid-recovery (the overlapping DEX→REX path).
+pub fn fault_plan(fault_seed: u64) -> ChaosPlan {
+    let mut plan = ChaosPlan::new();
+    if fault_seed == 0 {
+        return plan;
+    }
+    const KINDS: &[ExceptionKind] = &[
+        ExceptionKind::SoftFault,
+        ExceptionKind::VoltageEmergency,
+        ExceptionKind::ThermalEmergency,
+        ExceptionKind::ApproximationError,
+    ];
+    let r0 = mix(fault_seed);
+    let r1 = mix(r0);
+    // First event: early (every registry program issues well over 8
+    // grants) and Oldest-targeted (the just-granted entry is always in the
+    // ROL), so a nonzero fault seed guarantees at least one delivered
+    // exception whatever the workload.
+    let first = mix(r1);
+    plan.push(
+        ChaosEvent::at_grant(2 + first % 6)
+            .kind(KINDS[(first >> 8) as usize % KINDS.len()])
+            .victim(VictimSelector::Oldest),
+    );
+    // All grant keys stay under 10 — below every registry program's
+    // minimum grant count — so each grant event is guaranteed to fire and
+    // the chaos oracle's lower exception bound holds.
+    for i in 0..r0 % 2 {
+        let r = mix(r1.wrapping_add(i + 1));
+        let at = 4 + r % 6;
+        let kind = KINDS[(r >> 8) as usize % KINDS.len()];
+        let victim = match (r >> 16) % 3 {
+            0 => VictimSelector::Oldest,
+            1 => VictimSelector::Newest,
+            _ => VictimSelector::Holder,
+        };
+        plan.push(ChaosEvent::at_grant(at).kind(kind).victim(victim));
+    }
+    if fault_seed % 2 == 1 {
+        plan.push(
+            ChaosEvent::mid_recovery(1)
+                .kind(ExceptionKind::SoftFault)
+                .victim(VictimSelector::Oldest),
+        );
+    }
+    plan
+}
+
+/// Disjoint fetch-add chain: pure grant/checkpoint/retire traffic, the
+/// smallest job the registry serves.
+struct FetchAdd {
+    atomic: AtomicHandle,
+    rounds: u32,
+    done: u32,
+}
+
+impl Checkpoint for FetchAdd {
+    type Snapshot = u32;
+    fn checkpoint(&self) -> u32 {
+        self.done
+    }
+    fn restore(&mut self, s: &u32) {
+        self.done = *s;
+    }
+}
+
+impl ThreadProgram for FetchAdd {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Step {
+        if self.done == self.rounds {
+            return Step::exit(u64::from(self.done));
+        }
+        self.done += 1;
+        self.atomic.fetch_add(1)
+    }
+}
+
+/// Mutex-counter worker: every round is a critical section on one shared
+/// lock (contention + lock hand-off traffic).
+struct MutexWorker {
+    mutex: MutexHandle<u64>,
+    rounds: u32,
+    done: u32,
+}
+
+impl Checkpoint for MutexWorker {
+    type Snapshot = u32;
+    fn checkpoint(&self) -> u32 {
+        self.done
+    }
+    fn restore(&mut self, s: &u32) {
+        self.done = *s;
+    }
+}
+
+impl ThreadProgram for MutexWorker {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Step {
+        if self.done > 0 {
+            ctx.with_lock(&self.mutex, |n| *n = n.wrapping_add(1));
+        }
+        if self.done == self.rounds {
+            return Step::exit(u64::from(self.done));
+        }
+        self.done += 1;
+        self.mutex.lock()
+    }
+}
+
+/// Registers the spec's program on a builder. The seed shapes the program
+/// deterministically; the shape is identical however the job is executed.
+fn register(spec: &JobSpec, b: &mut GprsBuilder) -> Result<(), String> {
+    let r = mix(spec.seed ^ 0x5E44E);
+    match spec.workload.as_str() {
+        "fetchadd" => {
+            let threads = 2 + (r % 3) as u32;
+            let rounds = 6 + ((r >> 8) % 8) as u32;
+            for _ in 0..threads {
+                let a = b.atomic(0);
+                b.thread(
+                    FetchAdd {
+                        atomic: a,
+                        rounds,
+                        done: 0,
+                    },
+                    GroupId::new(0),
+                    1,
+                );
+            }
+        }
+        "mutex" => {
+            let threads = 2 + (r % 3) as u32;
+            let rounds = 4 + ((r >> 8) % 6) as u32;
+            let m = b.mutex(0u64);
+            for _ in 0..threads {
+                b.thread(
+                    MutexWorker {
+                        mutex: m,
+                        rounds,
+                        done: 0,
+                    },
+                    GroupId::new(0),
+                    1,
+                );
+            }
+        }
+        "histogram" => {
+            let shards = 3 + (r % 3) as usize;
+            let len = 6_000 + (r >> 8) % 6_000;
+            let corpus = generate_corpus(len as usize, spec.seed);
+            let acc = b.mutex(vec![0u64; 256]);
+            let chunk = corpus.len().div_ceil(shards);
+            for piece in corpus.chunks(chunk) {
+                b.thread(HistogramWorker::new(piece.to_vec(), acc), GroupId::new(0), 1);
+            }
+        }
+        "pbzip" => {
+            let len = 8_000 + (r % 8_000);
+            let compressors = 2 + (r >> 8) % 2;
+            let _ = build_pbzip_pipeline(
+                b,
+                generate_corpus(len as usize, spec.seed),
+                2048,
+                compressors,
+            );
+        }
+        other => return Err(format!("unknown workload {other:?}")),
+    }
+    Ok(())
+}
+
+/// Cheap admission-time validation: is the workload name registered?
+/// (Seeds cannot be invalid — every `u64` shapes a valid program.)
+pub fn validate(spec: &JobSpec) -> Result<(), String> {
+    if WORKLOADS.contains(&spec.workload.as_str()) {
+        Ok(())
+    } else {
+        Err(format!("unknown workload {:?}", spec.workload))
+    }
+}
+
+/// Builds the spec into a runtime stamped with the given job identity.
+/// The serving pool converts the result into a cooperative session; tests
+/// and goldens call [`Gprs::run`] on it directly.
+pub fn build_job(spec: &JobSpec, job_id: u64, submit_seq: u64) -> Result<Gprs, String> {
+    let mut b = GprsBuilder::new().job(job_id, submit_seq);
+    let plan = fault_plan(spec.fault_seed);
+    if !plan.is_empty() {
+        b = b.chaos(&plan);
+    }
+    register(spec, &mut b)?;
+    Ok(b.build())
+}
+
+/// Builds and runs the spec solo — the golden twin every served job's
+/// retired hash is compared against.
+pub fn build_solo(spec: &JobSpec) -> Result<Gprs, String> {
+    build_job(spec, 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_shape_programs_deterministically() {
+        for name in WORKLOADS {
+            let a = build_solo(&JobSpec::new(*name, 42)).unwrap().run().unwrap();
+            let b = build_solo(&JobSpec::new(*name, 42)).unwrap().run().unwrap();
+            assert_eq!(
+                a.telemetry.retired_hash, b.telemetry.retired_hash,
+                "{name} must be reproducible"
+            );
+            assert!(a.stats.retired > 0, "{name} must do work");
+        }
+    }
+
+    #[test]
+    fn fault_plans_inject() {
+        let spec = JobSpec::new("mutex", 7).faults(3);
+        let report = build_solo(&spec).unwrap().run().unwrap();
+        assert!(report.stats.exceptions > 0, "odd fault seed injects");
+        assert_eq!(
+            report.telemetry.counter("wal_appends"),
+            report.telemetry.counter("wal_undos") + report.telemetry.counter("wal_prunes"),
+        );
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        assert!(build_solo(&JobSpec::new("nope", 1)).is_err());
+    }
+}

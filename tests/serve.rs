@@ -1,0 +1,333 @@
+//! Integration tests for `gprs-serve`: the multi-tenant serving layer.
+//!
+//! The load-bearing claim is the acceptance criterion from the paper's
+//! precision guarantee lifted to co-residency: a job executed one quantum
+//! at a time on a shared worker pool, interleaved with hundreds of other
+//! tenants and migrating between OS threads, retires **bit-identically**
+//! to the same spec run solo. Everything else here (drain, halt, cancel,
+//! deadlines, the socket driver) checks that the serving machinery stops
+//! jobs only through the recovery gates — a balanced WAL ledger is the
+//! observable proof.
+
+use gprs_serve::{build_solo, JobSpec, JobStatus, PoolConfig, ServePool, WORKLOADS};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+
+/// The deterministic mixed-tenant spec stream shared by the big tests:
+/// four workloads, a handful of seeds, every third job carrying an
+/// injected fault plan.
+fn mixed_spec(i: usize) -> JobSpec {
+    let workload = WORKLOADS[i % WORKLOADS.len()];
+    let mut spec = JobSpec::new(workload, (i as u64) % 5 + 1);
+    if i.is_multiple_of(3) {
+        spec = spec.faults((i as u64) % 6 + 1);
+    }
+    spec
+}
+
+/// Solo golden (schedule hash, retired hash, retired count) per unique
+/// spec, computed once and cached — the stream in [`mixed_spec`] repeats
+/// with period 60.
+fn solo_goldens(n: usize) -> BTreeMap<(String, u64, u64), (u64, u64, u64)> {
+    let mut goldens = BTreeMap::new();
+    for i in 0..n {
+        let spec = mixed_spec(i);
+        let key = (spec.workload.clone(), spec.seed, spec.fault_seed);
+        goldens.entry(key).or_insert_with(|| {
+            let report = build_solo(&spec)
+                .expect("registry workload")
+                .run()
+                .expect("solo golden completes");
+            (
+                report.telemetry.schedule_hash,
+                report.telemetry.retired_hash,
+                report.telemetry.retired_count,
+            )
+        });
+    }
+    goldens
+}
+
+/// THE acceptance test: a 2-worker pool over 1000 queued mixed jobs —
+/// some with injected exceptions recovering mid-pool — and every single
+/// report is bit-identical to its solo golden. Tenancy, quantum
+/// scheduling, worker migration, and co-resident recoveries are all
+/// invisible to precision.
+#[test]
+fn a_thousand_mixed_tenants_match_their_solo_goldens() {
+    const JOBS: usize = 1000;
+    let goldens = solo_goldens(JOBS);
+    let pool = ServePool::start(PoolConfig {
+        workers: 2,
+        quantum: 16,
+    });
+    let handle = pool.handle();
+    let tickets: Vec<_> = (0..JOBS)
+        .map(|i| handle.submit(mixed_spec(i)).expect("pool is admitting"))
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let spec = mixed_spec(i);
+        let outcome = ticket.wait();
+        assert_eq!(outcome.status, JobStatus::Completed, "job {i} ({spec:?})");
+        let report = outcome.report.expect("completed jobs carry a report");
+        let (schedule, retired_hash, retired) =
+            goldens[&(spec.workload.clone(), spec.seed, spec.fault_seed)];
+        assert_eq!(
+            report.telemetry.schedule_hash, schedule,
+            "job {i} ({spec:?}): schedule hash drifted under tenancy"
+        );
+        assert_eq!(
+            report.telemetry.retired_hash, retired_hash,
+            "job {i} ({spec:?}): retired hash drifted under tenancy"
+        );
+        assert_eq!(report.telemetry.retired_count, retired, "job {i}");
+    }
+    let stats = pool.shutdown();
+    assert_eq!(stats.submitted, JOBS as u64);
+    assert_eq!(stats.completed, JOBS as u64);
+    assert_eq!(stats.failed, 0);
+    assert!(
+        stats.yields > 0,
+        "the 16-grant quantum must force real yields"
+    );
+}
+
+/// Graceful shutdown begins while the queue is still full — including
+/// jobs whose fault plans put them mid-recovery — and every job drains to
+/// a complete, golden-identical report.
+#[test]
+fn graceful_shutdown_drains_in_flight_and_mid_recovery_jobs() {
+    const JOBS: usize = 60;
+    let goldens = solo_goldens(JOBS);
+    let pool = ServePool::start(PoolConfig {
+        workers: 2,
+        quantum: 8,
+    });
+    let handle = pool.handle();
+    let tickets: Vec<_> = (0..JOBS)
+        .map(|i| handle.submit(mixed_spec(i)).expect("pool is admitting"))
+        .collect();
+    // Shut down immediately: nothing has been waited on, most of the
+    // backlog is still queued, some jobs are mid-quantum or mid-recovery.
+    let stats = pool.shutdown();
+    assert_eq!(stats.completed, JOBS as u64, "drain completes every job");
+    assert!(
+        handle.submit(JobSpec::new("fetchadd", 1)).is_err(),
+        "admissions close once shutdown begins"
+    );
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let spec = mixed_spec(i);
+        let outcome = ticket.wait();
+        assert_eq!(outcome.status, JobStatus::Completed, "job {i}");
+        let report = outcome.report.expect("drained jobs carry a report");
+        let (_, retired_hash, _) = goldens[&(spec.workload.clone(), spec.seed, spec.fault_seed)];
+        assert_eq!(
+            report.telemetry.retired_hash, retired_hash,
+            "job {i}: a drain must not perturb the schedule"
+        );
+    }
+}
+
+/// A halting shutdown cancels the backlog instead of draining it, but
+/// still only through the recovery gates: no job poisons, and every
+/// cancelled job that ran leaves a balanced WAL ledger
+/// (`appends == undos + prunes` — nothing in flight survived the stop).
+#[test]
+fn halting_shutdown_cancels_cleanly() {
+    const JOBS: usize = 200;
+    let pool = ServePool::start(PoolConfig {
+        workers: 1,
+        quantum: 4,
+    });
+    let handle = pool.handle();
+    let tickets: Vec<_> = (0..JOBS)
+        .map(|i| handle.submit(mixed_spec(i)).expect("pool is admitting"))
+        .collect();
+    let stats = pool.shutdown_now();
+    assert_eq!(stats.failed, 0, "a halt is not a crash");
+    assert_eq!(stats.completed + stats.cancelled, JOBS as u64);
+    assert!(stats.cancelled > 0, "a 1-worker pool cannot outrun the halt");
+    for ticket in tickets {
+        let outcome = ticket.wait();
+        match outcome.status {
+            JobStatus::Completed => {
+                assert!(outcome.report.is_some());
+            }
+            JobStatus::Cancelled => {
+                // Jobs stopped before their first quantum have no report;
+                // jobs stopped mid-flight must show a balanced ledger.
+                if let Some(report) = &outcome.report {
+                    let t = &report.telemetry;
+                    assert_eq!(
+                        t.counter("wal_appends"),
+                        t.counter("wal_undos") + t.counter("wal_prunes"),
+                        "cancellation left WAL entries unaccounted for"
+                    );
+                }
+            }
+            other => panic!("halt produced {other:?}"),
+        }
+    }
+}
+
+/// A queued job cancelled before any worker claims it publishes a
+/// `Cancelled` outcome without ever building an engine.
+#[test]
+fn cancel_of_a_queued_job_skips_execution() {
+    let pool = ServePool::start(PoolConfig {
+        workers: 1,
+        quantum: 2,
+    });
+    let handle = pool.handle();
+    // A deep FIFO of real work ahead of the victim.
+    let ahead: Vec<_> = (0..8)
+        .map(|i| handle.submit(JobSpec::new("fetchadd", i + 1)).unwrap())
+        .collect();
+    let victim = handle.submit(JobSpec::new("pbzip", 3)).unwrap();
+    victim.cancel();
+    let outcome = victim.wait();
+    assert_eq!(outcome.status, JobStatus::Cancelled);
+    assert!(
+        outcome.report.is_none(),
+        "a never-claimed job must not fabricate a report"
+    );
+    assert_eq!(outcome.quanta, 0);
+    for t in ahead {
+        assert_eq!(t.wait().status, JobStatus::Completed);
+    }
+    pool.shutdown();
+}
+
+/// Quanta-denominated deadlines cancel at a deterministic precise-restart
+/// point: the partial report is reproducible run over run, its ledger is
+/// balanced, and its retired prefix is a strict prefix of the solo run.
+#[test]
+fn deadlines_cancel_at_a_deterministic_precise_point() {
+    let spec = JobSpec::new("fetchadd", 11).deadline(3);
+    let solo = build_solo(&JobSpec::new("fetchadd", 11))
+        .unwrap()
+        .run()
+        .unwrap();
+    let run = || {
+        let pool = ServePool::start(PoolConfig {
+            workers: 2,
+            quantum: 4,
+        });
+        let outcome = pool.handle().submit(spec.clone()).unwrap().wait();
+        pool.shutdown();
+        outcome
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.status, JobStatus::DeadlineExceeded);
+    assert_eq!(first.quanta, 3, "cancelled exactly at the deadline quantum");
+    let report = first.report.as_ref().expect("deadline leaves a report");
+    let twin = second.report.as_ref().expect("deadline leaves a report");
+    assert_eq!(
+        report.telemetry.retired_hash, twin.telemetry.retired_hash,
+        "deadline cancellation must be reproducible"
+    );
+    assert!(
+        report.telemetry.retired_count < solo.telemetry.retired_count,
+        "the deadline fired before the job could finish"
+    );
+    let t = &report.telemetry;
+    assert_eq!(
+        t.counter("wal_appends"),
+        t.counter("wal_undos") + t.counter("wal_prunes")
+    );
+}
+
+/// The scheduling fairness claim: on one worker, a long job ahead of the
+/// queue yields every quantum, so every small tenant behind it completes
+/// before the long job does — the long job can never hold the pool for
+/// more than one quantum at a time. Retried a few times because a
+/// pathological OS preemption during the submit burst could let the
+/// single worker sprint the long job to completion first.
+#[test]
+fn long_jobs_cannot_starve_small_tenants() {
+    const SMALLS: usize = 8;
+    let attempt = || -> bool {
+        let pool = ServePool::start(PoolConfig {
+            workers: 1,
+            quantum: 4,
+        });
+        let handle = pool.handle();
+        // fetchadd/11 runs 52 grants = 13 quanta; each histogram small is
+        // 10 grants = 3 quanta.
+        let long = handle.submit(JobSpec::new("fetchadd", 11)).unwrap();
+        let smalls: Vec<_> = (0..SMALLS)
+            .map(|_| handle.submit(JobSpec::new("histogram", 11)).unwrap())
+            .collect();
+        let long_outcome = long.wait();
+        assert_eq!(long_outcome.status, JobStatus::Completed);
+        assert!(long_outcome.quanta > 1, "the long job must actually yield");
+        let done = smalls
+            .iter()
+            .filter(|t| t.try_wait().is_some_and(|o| o.status == JobStatus::Completed))
+            .count();
+        pool.shutdown();
+        done == SMALLS
+    };
+    assert!(
+        (0..3).any(|_| attempt()),
+        "small tenants repeatedly waited out an entire long job"
+    );
+}
+
+/// The socket driver round-trips a mixed batch: every streamed report's
+/// retired hash equals the solo golden, in submission order.
+#[test]
+fn socket_driver_streams_golden_identical_reports() {
+    use gprs_serve::server::Server;
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        PoolConfig {
+            workers: 2,
+            quantum: 16,
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run().expect("server runs"));
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut script = String::new();
+    let batch: Vec<JobSpec> = (0..8).map(mixed_spec).collect();
+    for spec in &batch {
+        script.push_str(&format!("submit {} {}", spec.workload, spec.seed));
+        if spec.fault_seed != 0 {
+            script.push_str(&format!(" fault={}", spec.fault_seed));
+        }
+        script.push('\n');
+    }
+    script.push_str("wait\nshutdown\n");
+    stream.write_all(script.as_bytes()).expect("send script");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+
+    let reader = BufReader::new(stream);
+    let lines: Vec<String> = reader.lines().map(|l| l.expect("read line")).collect();
+    server_thread.join().expect("server thread");
+
+    // 8 acks, 8 reports, wait summary, shutdown ack.
+    assert_eq!(lines.len(), batch.len() * 2 + 2, "{lines:#?}");
+    let reports = &lines[batch.len()..batch.len() * 2];
+    for (spec, line) in batch.iter().zip(reports) {
+        let golden = build_solo(spec).unwrap().run().unwrap();
+        let expected = format!(
+            "\"retired_hash\":\"{:#018x}\"",
+            golden.telemetry.retired_hash
+        );
+        assert!(
+            line.contains("\"status\":\"completed\""),
+            "{spec:?}: {line}"
+        );
+        assert!(
+            line.contains(&expected),
+            "{spec:?}: wanted {expected} in {line}"
+        );
+    }
+}
