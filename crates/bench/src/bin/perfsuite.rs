@@ -439,6 +439,7 @@ fn perf(quick: bool) -> Vec<PerfRow> {
             let pool = ServePool::start(PoolConfig {
                 workers,
                 quantum: 16,
+                ..Default::default()
             });
             let handle = pool.handle();
             let t0 = Instant::now();
@@ -480,6 +481,43 @@ fn perf(quick: bool) -> Vec<PerfRow> {
                 ],
             });
             eprintln!("  perf serve_throughput/w{workers} done ({wall:?}, {jobs} jobs)");
+        }
+    }
+
+    // Durable WAL path: the same 8-chain grant/retire program with the
+    // file backend armed, swept across worker counts. The delta against
+    // the grant_retire/w* rows is the cost of durable mirroring
+    // (checksummed appends, segment sealing, group-commit fsyncs). Every
+    // durable hook is gated on `cfg.persist`, so the in-memory rows above
+    // must not move when this section's code changes.
+    {
+        use gprs_core::persist::{unique_temp_dir, FileBackend};
+        use std::sync::Arc;
+        let rounds = if quick { 128 } else { 1024 };
+        for workers in [1usize, 2, 4, 8] {
+            let dir = unique_temp_dir("gprs-perf-durable");
+            let backend =
+                Arc::new(FileBackend::open(&dir).expect("perf durable dir opens"));
+            let mut b = GprsBuilder::new()
+                .workers(workers)
+                .durable(backend)
+                .durable_spec(format!("perf durable_wal w{workers}"));
+            for _ in 0..8 {
+                let a = b.atomic(0);
+                b.thread(Chain { atomic: a, rounds, done: 0 }, GroupId::new(0), 1);
+            }
+            let t0 = Instant::now();
+            let report = b.build().run().unwrap();
+            let wall = t0.elapsed();
+            let mut row =
+                runtime_metrics(format!("durable_wal/w{workers}"), &report, wall);
+            let t = &report.telemetry;
+            row.metrics
+                .push(("wal_segments_sealed", t.counter("wal_segments_sealed") as f64));
+            row.metrics.push(("fsyncs", t.counter("fsyncs") as f64));
+            rows.push(row);
+            let _ = std::fs::remove_dir_all(&dir);
+            eprintln!("  perf durable_wal/w{workers} done ({wall:?})");
         }
     }
 
@@ -527,6 +565,8 @@ const GATED_METRICS: &[&str] = &[
     "subthreads",
     "jobs",
     "quanta",
+    "wal_segments_sealed",
+    "fsyncs",
 ];
 
 /// Rows whose counters depend on wall-clock injection timing; never gated.

@@ -97,20 +97,52 @@ fn leg_seed(program: &str, seed: u64) -> u64 {
     h ^ seed
 }
 
+/// Replays every `*.plan` fixture under `dir`. Every failure mode is loud
+/// and named: an unreadable directory, an unreadable or unparseable
+/// fixture file, a stale fixture (program/engine no longer registered),
+/// and an oracle regression each print the offending path to stderr and
+/// make the exit code nonzero. Nothing in here panics — CI must get a
+/// clean "which file, what's wrong" report, not a backtrace.
 fn replay_all(dir: &str) -> i32 {
-    let mut failures = 0;
-    let mut count = 0;
-    let mut entries: Vec<_> = std::fs::read_dir(dir)
-        .expect("fixtures directory")
-        .map(|e| e.expect("dir entry").path())
+    let mut failures = 0u64;
+    let mut count = 0u64;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("fixtures directory {dir:?}: unreadable: {e}");
+            return 1;
+        }
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| match e {
+            Ok(e) => Some(e.path()),
+            Err(err) => {
+                failures += 1;
+                eprintln!("fixtures directory {dir:?}: unreadable entry: {err}");
+                None
+            }
+        })
         .filter(|p| p.extension().is_some_and(|x| x == "plan"))
         .collect();
-    entries.sort();
-    for path in entries {
+    paths.sort();
+    for path in paths {
         count += 1;
-        let text = std::fs::read_to_string(&path).expect("readable fixture");
-        let fx = Fixture::parse(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                failures += 1;
+                eprintln!("fixture {}: unreadable: {e}", path.display());
+                continue;
+            }
+        };
+        let fx = match Fixture::parse(&text) {
+            Ok(fx) => fx,
+            Err(e) => {
+                failures += 1;
+                eprintln!("fixture {}: unparseable: {e}", path.display());
+                continue;
+            }
+        };
         match replay_fixture(&fx) {
             Ok(violations) if violations.is_empty() => {
                 println!("fixture {}: ok", path.display());
@@ -127,6 +159,6 @@ fn replay_all(dir: &str) -> i32 {
             }
         }
     }
-    println!("{count} fixture(s), {failures} regressed");
+    println!("{count} fixture(s), {failures} failed");
     i32::from(failures > 0)
 }

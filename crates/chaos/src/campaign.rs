@@ -148,6 +148,7 @@ fn serve_legs(cfg: &CampaignConfig, out: &mut CampaignOutcome) {
     let pool = ServePool::start(PoolConfig {
         workers: 2,
         quantum: 48,
+        ..Default::default()
     });
     let handle = pool.handle();
     let mut tickets = Vec::new();
@@ -194,6 +195,94 @@ fn serve_legs(cfg: &CampaignConfig, out: &mut CampaignOutcome) {
     pool.shutdown();
 }
 
+/// The ProcessCrash legs: every serve workload, durable file backend,
+/// "killed" mid-flight at a seeded quantum boundary (the session is
+/// dropped with its WAL ledger imbalanced and its epoch unfinished —
+/// exactly what SIGKILL leaves on disk, minus the torn tail, which the
+/// loader tests cover separately). The restart loads the image, replays
+/// under prefix verification, and must converge to the fault-free twin's
+/// retired hash — restart *is* recovery, and it must also satisfy every
+/// ordinary chaos-oracle invariant for the injected plan.
+fn durable_crash_legs(cfg: &CampaignConfig, out: &mut CampaignOutcome) {
+    use gprs_core::persist::{unique_temp_dir, FileBackend, PersistBackend};
+    use gprs_runtime::session::QuantumOutcome;
+    use gprs_serve::{build_job_durable, build_solo, fault_plan, JobSpec};
+    use std::sync::Arc;
+
+    // Crash/restart cycles are I/O-bound; a handful of seeds per workload
+    // keeps the full campaign tractable.
+    let seeds = cfg.seeds.min(if cfg.quick { 3 } else { 8 });
+    for program in gprs_serve::WORKLOADS {
+        let leg = format!("crash/{program}");
+        let clean = build_solo(&JobSpec::new(*program, SERVE_SPEC_SEED))
+            .expect("registry workload")
+            .run()
+            .expect("fault-free solo twin completes");
+        out.legs += 1;
+        for seed in 0..seeds {
+            out.runs += 1;
+            let fault = leg_seed(program, seed).max(1);
+            let spec = JobSpec::new(*program, SERVE_SPEC_SEED).faults(fault);
+            let plan = fault_plan(fault);
+            let dir = unique_temp_dir("gprs-chaos-crash");
+            let crashed = (|| -> Result<bool, String> {
+                let backend =
+                    Arc::new(FileBackend::open(&dir).map_err(|e| e.to_string())?);
+                let mut session = build_job_durable(&spec, 0, 0, backend, None)?
+                    .into_session();
+                // Seeded crash point: 1..=6 quanta of 16 grants.
+                let quanta = 1 + leg_seed(program, seed ^ 0xC4A5) % 6;
+                for _ in 0..quanta {
+                    if session.run_quantum(16) == QuantumOutcome::Finished {
+                        // Finished before the crash point: the restart
+                        // below still must load and verify the full log.
+                        let _ = session.finish().map_err(|e| e.to_string())?;
+                        return Ok(false);
+                    }
+                }
+                drop(session); // the "kill": no cancel, no finish, no seal
+                Ok(true)
+            })();
+            match crashed {
+                Ok(_) => {
+                    let restart = (|| -> Result<RunReport, String> {
+                        let backend =
+                            Arc::new(FileBackend::open(&dir).map_err(|e| e.to_string())?);
+                        let image = backend.load().map_err(|e| e.to_string())?;
+                        // Replay in the SAME drive mode as the crashed
+                        // run (cooperative session): the position-wise
+                        // retirement sequence that prefix verification
+                        // checks is deterministic per drive mode, not
+                        // across modes — exactly how the serve pool and
+                        // `--durable-resume` replay their own logs.
+                        let mut session =
+                            build_job_durable(&spec, 0, 0, backend, Some(&image))?
+                                .into_session();
+                        while session.run_quantum(16) == QuantumOutcome::Yielded {}
+                        session.finish().map_err(|e| e.to_string())
+                    })();
+                    match restart {
+                        Ok(report) => out.violations.extend(check_runtime(
+                            &leg, seed, &plan, &clean, &report,
+                        )),
+                        Err(e) => out.violations.push(Violation {
+                            leg: leg.clone(),
+                            seed,
+                            what: format!("restart failed: {e}"),
+                        }),
+                    }
+                }
+                Err(e) => out.violations.push(Violation {
+                    leg: leg.clone(),
+                    seed,
+                    what: format!("crash run failed: {e}"),
+                }),
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
 /// Runs the full campaign and collects every violation.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
     let mut out = CampaignOutcome::default();
@@ -219,6 +308,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
     }
 
     serve_legs(cfg, &mut out);
+    durable_crash_legs(cfg, &mut out);
 
     for program in CPR_PROGRAMS {
         let leg = format!("cpr/{program}");

@@ -5,7 +5,7 @@
 //! it to an engine and program:
 //!
 //! ```text
-//! # engine: gprs-rt        (gprs-rt | cpr | sim)
+//! # engine: gprs-rt        (gprs-rt | cpr | sim | gprs-rt-cancel)
 //! # program: nested
 //! # seed: 17               (sim only: the script seed)
 //! grant 24 kind=thermal scope=global victim=holder burst=3
@@ -15,11 +15,14 @@
 //! Because the binding lives in comments, every fixture file also parses
 //! as a bare [`ChaosPlan`]. Sim fixtures replay the *seed* (scripts are
 //! cycle-keyed and scale-dependent, so the seed is the reproducer).
+//! `gprs-rt-cancel` fixtures reuse the seed as the number of 8-grant
+//! quanta to run before cancelling (the HALT point).
 
 use crate::campaign::{
     cpr_clean, cpr_injected, gprs_clean, gprs_injected, sim_clean, sim_injected,
 };
 use crate::oracle::{check_cpr, check_runtime, check_sim, Violation};
+use crate::programs::{CPR_PROGRAMS, RUNTIME_PROGRAMS};
 use gprs_core::chaos::ChaosPlan;
 
 /// A parsed fixture: engine binding + plan (and seed, for sim fixtures).
@@ -87,11 +90,16 @@ impl Fixture {
 /// verdict (empty == the regression stays fixed).
 ///
 /// # Errors
-/// Returns a description for an unknown engine binding.
+/// Returns a description for an unknown engine binding, or for a *stale*
+/// fixture whose program no longer exists in that engine's registry —
+/// loudly, instead of panicking deep inside the program builders.
 pub fn replay_fixture(fx: &Fixture) -> Result<Vec<Violation>, String> {
     let leg = format!("fixture/{}/{}", fx.engine, fx.program);
     match fx.engine.as_str() {
         "gprs-rt" => {
+            if !RUNTIME_PROGRAMS.contains(&fx.program.as_str()) {
+                return Err(stale(&fx.engine, &fx.program));
+            }
             let clean = gprs_clean(&fx.program);
             Ok(match gprs_injected(&fx.program, &fx.plan) {
                 Ok(report) => check_runtime(&leg, fx.seed, &fx.plan, &clean, &report),
@@ -103,6 +111,9 @@ pub fn replay_fixture(fx: &Fixture) -> Result<Vec<Violation>, String> {
             })
         }
         "cpr" => {
+            if !CPR_PROGRAMS.contains(&fx.program.as_str()) {
+                return Err(stale(&fx.engine, &fx.program));
+            }
             let clean = cpr_clean(&fx.program);
             Ok(match cpr_injected(&fx.program, &fx.plan) {
                 Ok(report) => check_cpr(&leg, fx.seed, &fx.plan, &clean, &report),
@@ -114,12 +125,75 @@ pub fn replay_fixture(fx: &Fixture) -> Result<Vec<Violation>, String> {
             })
         }
         "sim" => {
+            if !gprs_workloads::traces::PROGRAMS
+                .iter()
+                .any(|p| p.name == fx.program)
+            {
+                return Err(stale(&fx.engine, &fx.program));
+            }
             let clean = sim_clean(&fx.program);
             let injected = sim_injected(&fx.program, fx.seed, clean.finish_cycles);
             Ok(check_sim(&leg, fx.seed, &clean, &injected))
         }
+        "gprs-rt-cancel" => {
+            if !RUNTIME_PROGRAMS.contains(&fx.program.as_str()) {
+                return Err(stale(&fx.engine, &fx.program));
+            }
+            Ok(replay_cancel(&leg, fx))
+        }
         other => Err(format!("unknown fixture engine {other:?}")),
     }
+}
+
+fn stale(engine: &str, program: &str) -> String {
+    format!("stale fixture: program {program:?} is not in the {engine} registry")
+}
+
+/// Replays a HALT-mid-recovery fixture: runs `seed` quanta of the program
+/// under the injected plan, then cancels — so any `mid-recovery` events
+/// the plan has not yet consumed fire *inside* the cancellation squash
+/// itself (the interleaving where a halt could strike entries that are
+/// mid-squash or already retired). The halted run must finish cleanly
+/// (no panic, no poison) and leave the WAL ledger balanced:
+/// `wal_appends == wal_undos + wal_prunes`.
+fn replay_cancel(leg: &str, fx: &Fixture) -> Vec<Violation> {
+    use gprs_runtime::session::QuantumOutcome;
+    let mut b = gprs_runtime::GprsBuilder::new().workers(4);
+    crate::programs::register_gprs(&fx.program, &mut b);
+    let mut session = b.chaos(&fx.plan).build().into_session();
+    let mut quanta = 0u64;
+    while quanta < fx.seed && session.run_quantum(8) == QuantumOutcome::Yielded {
+        quanta += 1;
+    }
+    session.cancel();
+    let report = match session.finish() {
+        Ok(report) => report,
+        Err(e) => {
+            return vec![Violation {
+                leg: leg.into(),
+                seed: fx.seed,
+                what: format!("halted run failed to finish: {e}"),
+            }]
+        }
+    };
+    let t = &report.telemetry;
+    let (appends, undos, prunes) = (
+        t.counter("wal_appends"),
+        t.counter("wal_undos"),
+        t.counter("wal_prunes"),
+    );
+    let mut v = Vec::new();
+    if appends != undos + prunes {
+        v.push(Violation {
+            leg: leg.into(),
+            seed: fx.seed,
+            what: format!(
+                "WAL imbalance after halt-mid-recovery: \
+                 {appends} appends != {undos} undos + {prunes} prunes"
+            ),
+        });
+    }
+    v
 }
 
 #[cfg(test)]
@@ -140,5 +214,26 @@ mod tests {
         assert_eq!(parsed.program, "nested");
         assert_eq!(parsed.plan, fx.plan);
         assert!(Fixture::parse("grant 3 burst=1\n").is_err());
+    }
+
+    /// A fixture naming a program that has since been deleted (or an
+    /// unknown engine) must surface an error, never panic mid-replay.
+    #[test]
+    fn stale_fixtures_error_instead_of_panicking() {
+        let mut fx = Fixture {
+            engine: "gprs-rt".into(),
+            program: "no-such-program".into(),
+            seed: 0,
+            plan: ChaosPlan::new().with(ChaosEvent::at_grant(24).burst(1)),
+        };
+        for engine in ["gprs-rt", "cpr", "sim", "gprs-rt-cancel"] {
+            fx.engine = engine.into();
+            let err = replay_fixture(&fx).unwrap_err();
+            assert!(err.contains("stale fixture"), "{engine}: {err}");
+            assert!(err.contains("no-such-program"), "{engine}: {err}");
+        }
+        fx.engine = "warp-core".into();
+        let err = replay_fixture(&fx).unwrap_err();
+        assert!(err.contains("unknown fixture engine"), "{err}");
     }
 }

@@ -77,6 +77,7 @@ pub mod history;
 pub mod ids;
 pub mod model;
 pub mod order;
+pub mod persist;
 pub mod racecheck;
 pub mod recovery;
 pub mod rol;
@@ -100,6 +101,10 @@ pub mod prelude {
     };
     pub use crate::model::{CostParams, Scheme};
     pub use crate::order::{BalanceAware, OrderEnforcer, OrderingPolicy, RoundRobin, ScheduleKind};
+    pub use crate::persist::{
+        DurableImage, DurableRecord, FileBackend, MemoryBackend, PersistBackend, PersistError,
+        PersistStats,
+    };
     pub use crate::racecheck::{AccessKind, OpenEdge, Race, RaceDetector, RetireInfo, VectorClock};
     pub use crate::recovery::{plan_recovery, Precision, RecoveryMode, RecoveryPlan};
     pub use crate::rol::{ReorderList, RolEntry, SubThreadStatus};

@@ -24,6 +24,7 @@ use gprs_core::ids::{
     ThreadId,
 };
 use gprs_core::order::{OrderEnforcer, OrderGate, ScheduleKind};
+use gprs_core::persist::{merkle_root, CheckpointMeta, DurableRecord, PersistBackend, CHUNK_SIZE};
 use gprs_core::racecheck::{resource_code, AccessKind, OpenEdge, RaceDetector, RetireInfo};
 use gprs_core::rol::{ReorderList, RolEntry};
 use gprs_core::subthread::{SubThread, SubThreadKind, SyncOp};
@@ -61,6 +62,13 @@ pub(crate) struct RunConfig {
     pub job_id: u64,
     /// Monotonic submission sequence number (serve layer; 0 solo).
     pub submit_seq: u64,
+    /// Durable persistence backend mirroring the WAL/checkpoint state
+    /// (`None` — the default — keeps today's volatile behaviour and hot
+    /// paths: every durable hook is gated on one `is_some` branch).
+    pub persist: Option<Arc<dyn PersistBackend>>,
+    /// Retirements between durable checkpoints (ignored without
+    /// [`RunConfig::persist`]).
+    pub durable_ckpt_every: u64,
 }
 
 /// Ring index for events recorded outside a known worker (retirement on the
@@ -375,6 +383,21 @@ pub(crate) struct Inner {
     /// Deterministic chaos-injection plan state (see
     /// [`gprs_core::chaos::ChaosPlan`]); `None` outside chaos runs.
     pub chaos: Option<ChaosState>,
+    /// Restart-as-recovery verifier: the durable retire prefix a resumed
+    /// run must reproduce step-by-step (see [`gprs_core::persist`]).
+    pub verify: Option<VerifyState>,
+    /// Retired count at the last durable checkpoint.
+    pub last_durable_ckpt: u64,
+}
+
+/// The durable retire prefix a resumed run re-verifies during replay:
+/// at retirement index `pos` the replay must retire a sub-thread of
+/// `expected[pos]`'s `(thread, kind tag, running digest)` or the run is
+/// poisoned — divergence from the durable log is never silent.
+#[derive(Debug, Default)]
+pub(crate) struct VerifyState {
+    pub expected: Vec<(u32, u8, u64)>,
+    pub pos: usize,
 }
 
 /// Cursor state for a [`ChaosPlan`] being executed against this engine.
@@ -615,6 +638,8 @@ impl Inner {
             race_arrivals: BTreeMap::new(),
             poisoned: None,
             chaos: None,
+            verify: None,
+            last_durable_ckpt: 0,
         }
     }
 
@@ -806,6 +831,13 @@ impl Inner {
                 self.stats.retired += 1;
                 self.retired_hash
                     .record(thread.raw(), entry.descriptor.kind.tag());
+                if self.cfg.persist.is_some() || self.verify.is_some() {
+                    self.durable_on_retire(
+                        id.raw(),
+                        thread.raw(),
+                        entry.descriptor.kind.tag(),
+                    );
+                }
                 if self.telemetry.enabled() {
                     self.telemetry.metrics.retired.inc_serialized();
                     self.telemetry.record(
@@ -845,6 +877,23 @@ impl Inner {
                     file.staged = staged;
                 }
             }
+            if self.cfg.persist.is_some() {
+                // Count the records each retiring sub-thread prunes (one
+                // extra pass over the retained log, durable mode only) so
+                // the durable ledger mirrors the in-memory one.
+                let mut counts: BTreeMap<SubThreadId, u64> = BTreeMap::new();
+                for r in self.wal.iter() {
+                    if batch.contains(&r.subthread) {
+                        *counts.entry(r.subthread).or_insert(0) += 1;
+                    }
+                }
+                for (stid, count) in counts {
+                    self.durable_record(&DurableRecord::Prune {
+                        subthread: stid.raw(),
+                        count,
+                    });
+                }
+            }
             let pruned = self.wal.prune_retired_batch(&batch);
             self.hist.prune_retired_batch(&batch);
             if self.telemetry.enabled() {
@@ -866,6 +915,11 @@ impl Inner {
         }
         entries.clear();
         self.retire_scratch = entries;
+        if self.cfg.persist.is_some()
+            && self.stats.retired - self.last_durable_ckpt >= self.cfg.durable_ckpt_every
+        {
+            self.durable_checkpoint();
+        }
         self.stats.rol_peak = self.stats.rol_peak.max(self.rol.peak_occupancy());
         if self.telemetry.enabled() {
             self.telemetry
@@ -985,6 +1039,15 @@ impl Inner {
             } => self.hist.lock_snaps.push((seq, stid, lock, snap)),
             HandOff::Seal { lsn, checksum } => {
                 let _ = self.wal.seal(lsn, checksum);
+                if self.cfg.persist.is_some() {
+                    // Mirrored even when the in-memory seal no-op'd (the
+                    // record already retired): the loader tolerates a
+                    // dangling durable seal the same way.
+                    self.durable_record(&DurableRecord::Seal {
+                        lsn: lsn.raw(),
+                        checksum,
+                    });
+                }
             }
         }
     }
@@ -1024,6 +1087,19 @@ impl Inner {
 
     /// Appends a WAL record and traces it.
     fn wal_append(&mut self, worker: usize, stid: SubThreadId, op: RtOp) {
+        if self.cfg.persist.is_some() {
+            // Mirror durably before the in-memory append consumes `op`:
+            // same write-ahead discipline, one storage layer further out.
+            let lsn = self.wal.next_lsn();
+            let checksum = WalRecord::checksum_of(lsn, stid, &op);
+            let text = format!("{op:?}");
+            self.durable_record(&DurableRecord::Append {
+                lsn: lsn.raw(),
+                subthread: stid.raw(),
+                checksum,
+                op: text,
+            });
+        }
         self.wal.append(stid, op);
         self.trace_wal_append(worker, stid);
     }
@@ -1034,8 +1110,106 @@ impl Inner {
     /// checksum outside the lock. Used only on the hot grant arms.
     fn wal_append_deferred(&mut self, worker: usize, stid: SubThreadId, op: RtOp) -> (Lsn, RtOp) {
         let lsn = self.wal.append_deferred(stid, op.clone());
+        if self.cfg.persist.is_some() {
+            // Deferred checksum durably too: checksum 0 now, the matching
+            // `Seal` record carries the late hash.
+            let text = format!("{op:?}");
+            self.durable_record(&DurableRecord::Append {
+                lsn: lsn.raw(),
+                subthread: stid.raw(),
+                checksum: 0,
+                op: text,
+            });
+        }
         self.trace_wal_append(worker, stid);
         (lsn, op)
+    }
+
+    /// Mirrors one record into the durable backend; a persistence failure
+    /// poisons the run (durability was requested — losing it silently
+    /// would fake precise restartability).
+    pub(crate) fn durable_record(&mut self, rec: &DurableRecord) {
+        let Some(p) = self.cfg.persist.clone() else {
+            return;
+        };
+        if let Err(e) = p.record(rec) {
+            self.poison(format!("durable persistence failed: {e}"));
+        }
+    }
+
+    /// One retirement's durable/verification work: checks the resumed
+    /// prefix (restart-as-recovery) and mirrors a `Retire` record. Called
+    /// only when persistence or verification is armed.
+    fn durable_on_retire(&mut self, subthread: u64, thread: u32, kind: u8) {
+        let digest = self.retired_hash.digest();
+        let mut verified = false;
+        let mut mismatch = None;
+        if let Some(v) = &mut self.verify {
+            if v.pos < v.expected.len() {
+                let exp = v.expected[v.pos];
+                v.pos += 1;
+                if exp == (thread, kind, digest) {
+                    verified = true;
+                } else {
+                    mismatch = Some((v.pos, exp));
+                }
+            }
+        }
+        if let Some((pos, (et, ek, ed))) = mismatch {
+            self.poison(format!(
+                "durable prefix divergence at retirement {pos}: replay retired \
+                 (thread {thread}, kind {kind}, digest {digest:016x}) but the durable \
+                 log recorded (thread {et}, kind {ek}, digest {ed:016x})"
+            ));
+            return;
+        }
+        if verified && self.telemetry.enabled() {
+            self.telemetry.metrics.recovered_prefix_len.inc_serialized();
+        }
+        if self.cfg.persist.is_some() {
+            self.durable_record(&DurableRecord::Retire {
+                subthread,
+                thread,
+                kind,
+                retired: self.stats.retired,
+                digest,
+            });
+        }
+    }
+
+    /// Writes a durable checkpoint: the retire-prefix metadata, chunked
+    /// into the content-addressed store under a merkle root, anchored by a
+    /// `Checkpoint` record, then group-committed with one fsync.
+    fn durable_checkpoint(&mut self) {
+        let Some(p) = self.cfg.persist.clone() else {
+            return;
+        };
+        self.last_durable_ckpt = self.stats.retired;
+        let meta = CheckpointMeta {
+            retired: self.stats.retired,
+            digest: self.retired_hash.digest(),
+            threads: self.retired_hash.splits(),
+        };
+        let blob = meta.encode();
+        let mut chunks = Vec::with_capacity(blob.len().div_ceil(CHUNK_SIZE));
+        for chunk in blob.chunks(CHUNK_SIZE) {
+            match p.put_chunk(chunk) {
+                Ok(h) => chunks.push(h),
+                Err(e) => {
+                    self.poison(format!("durable checkpoint failed: {e}"));
+                    return;
+                }
+            }
+        }
+        let rec = DurableRecord::Checkpoint {
+            root: merkle_root(&chunks),
+            retired: meta.retired,
+            digest: meta.digest,
+            chunks,
+        };
+        if let Err(e) = p.record(&rec).and_then(|()| p.sync()) {
+            self.poison(format!("durable checkpoint failed: {e}"));
+        }
     }
 
     fn trace_wal_append(&mut self, worker: usize, stid: SubThreadId) {

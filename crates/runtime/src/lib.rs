@@ -80,11 +80,16 @@ use crate::report::{RunError, RunReport};
 use gprs_core::exception::{Exception, ExceptionKind};
 use gprs_core::ids::{AtomicId, BarrierId, ChannelId, ContextId, GroupId, LockId, ThreadId};
 use gprs_core::order::ScheduleKind;
+use gprs_core::persist::{DurableImage, DurableRecord, PersistBackend};
 use gprs_telemetry::{Telemetry, TelemetryConfig};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
 pub use crate::engine::RecoveryPolicy;
+
+/// Default retirements between durable checkpoints (see
+/// [`GprsBuilder::durable_checkpoint_every`]).
+pub const DEFAULT_DURABLE_CKPT_EVERY: u64 = 64;
 
 /// Configures and assembles a GPRS runtime.
 #[derive(Debug)]
@@ -98,6 +103,10 @@ pub struct GprsBuilder {
     model: Option<gprs_core::workload::Workload>,
     job_id: u64,
     submit_seq: u64,
+    persist: Option<Arc<dyn PersistBackend>>,
+    durable_ckpt_every: u64,
+    durable_spec: Option<String>,
+    resume_prefix: Vec<(u32, u8, u64)>,
     inner: Inner,
     next_lock: u64,
     next_chan: u64,
@@ -124,6 +133,8 @@ impl GprsBuilder {
             racecheck: false,
             job_id: 0,
             submit_seq: 0,
+            persist: None,
+            durable_ckpt_every: DEFAULT_DURABLE_CKPT_EVERY,
         };
         GprsBuilder {
             schedule: cfg.schedule,
@@ -135,6 +146,10 @@ impl GprsBuilder {
             model: None,
             job_id: 0,
             submit_seq: 0,
+            persist: None,
+            durable_ckpt_every: DEFAULT_DURABLE_CKPT_EVERY,
+            durable_spec: None,
+            resume_prefix: Vec::new(),
             inner: Inner::new(cfg),
             next_lock: 0,
             next_chan: 0,
@@ -217,6 +232,51 @@ impl GprsBuilder {
     /// structure the registered thread programs perform.
     pub fn model(mut self, w: gprs_core::workload::Workload) -> Self {
         self.model = Some(w);
+        self
+    }
+
+    /// Attaches a durable persistence backend (see
+    /// [`gprs_core::persist`]): the runtime's WAL traffic, retirement
+    /// order and periodic checkpoints are mirrored through it so a run
+    /// killed mid-flight can restart in a fresh process and recover.
+    /// Without a backend (the default) nothing changes — every durable
+    /// hook is behind one branch, keeping the volatile hot paths intact.
+    pub fn durable(mut self, backend: Arc<dyn PersistBackend>) -> Self {
+        self.persist = Some(backend);
+        self
+    }
+
+    /// The opaque spec text recorded as the durable epoch marker — what
+    /// a restarted process needs to rebuild this job (e.g. the serve
+    /// submit line). Recorded at [`build`](Self::build) when a
+    /// [`durable`](Self::durable) backend is attached.
+    pub fn durable_spec(mut self, text: impl Into<String>) -> Self {
+        self.durable_spec = Some(text.into());
+        self
+    }
+
+    /// Retirements between durable checkpoints (default
+    /// [`DEFAULT_DURABLE_CKPT_EVERY`]). Each checkpoint group-commits the
+    /// outstanding log with one fsync, so smaller is more durable and
+    /// slower.
+    pub fn durable_checkpoint_every(mut self, n: u64) -> Self {
+        self.durable_ckpt_every = n.max(1);
+        self
+    }
+
+    /// Resumes (restart-as-recovery) against a loaded [`DurableImage`]:
+    /// the run re-executes deterministically from the beginning and every
+    /// retirement in the image's durable prefix is verified — `(thread,
+    /// kind, running digest)` at each index — poisoning the run on any
+    /// divergence instead of silently drifting from the pre-crash
+    /// execution. The verified length is reported as the
+    /// `recovered_prefix_len` counter.
+    pub fn resume(mut self, image: &DurableImage) -> Self {
+        self.resume_prefix = image
+            .retires
+            .iter()
+            .map(|r| (r.thread, r.kind, r.digest))
+            .collect();
         self
     }
 
@@ -331,7 +391,27 @@ impl GprsBuilder {
             racecheck: self.racecheck,
             job_id: self.job_id,
             submit_seq: self.submit_seq,
+            persist: self.persist.take(),
+            durable_ckpt_every: self.durable_ckpt_every,
         };
+        if !self.resume_prefix.is_empty() {
+            self.inner.verify = Some(engine::VerifyState {
+                expected: std::mem::take(&mut self.resume_prefix),
+                pos: 0,
+            });
+        }
+        // Open the durable epoch: the Spec record marks where this run's
+        // records start (a resumed run supersedes the prior epoch) and is
+        // synced immediately so even a run killed before its first
+        // retirement leaves a well-formed epoch on disk.
+        if let Some(p) = self.inner.cfg.persist.clone() {
+            let spec = DurableRecord::Spec {
+                text: self.durable_spec.take().unwrap_or_default(),
+            };
+            if let Err(e) = p.record(&spec).and_then(|()| p.sync()) {
+                self.inner.poison(format!("durable persistence failed: {e}"));
+            }
+        }
         // The telemetry facade was sized for the default config; rebuild it
         // for the final worker count and switches. Likewise the detector,
         // which `Inner::new` created from the default (off) config.
@@ -450,6 +530,18 @@ pub(crate) fn collect_report(
     analysis: Option<gprs_analyze::AnalysisReport>,
 ) -> Result<RunReport, RunError> {
     let mut inner = shared.inner.lock();
+    if let Some(p) = inner.cfg.persist.clone() {
+        // Group-commit the epoch's tail and mirror the backend's
+        // operational counters into the report.
+        if let Err(e) = p.sync() {
+            inner.poison(format!("durable persistence failed: {e}"));
+        }
+        if inner.telemetry.enabled() {
+            let s = p.stats();
+            inner.telemetry.metrics.wal_segments_sealed.add(s.segments_sealed);
+            inner.telemetry.metrics.fsyncs.add(s.fsyncs);
+        }
+    }
     if let Some(msg) = inner.poisoned.take() {
         return Err(RunError::Poisoned(msg));
     }

@@ -43,10 +43,15 @@ pub(crate) fn perform_recovery(inner: &mut Inner) {
                 continue;
             }
         };
-        inner
-            .rol
-            .mark_excepted(culprit, pe.exception)
-            .expect("culprit checked in ROL"); // idempotent re-mark
+        // Idempotent re-mark. The `contains` check above makes an Err
+        // unreachable today, but a stale strike — the culprit leaving the
+        // ROL between the queueing of the exception and this pass (the
+        // HALT-mid-squash shape) — must degrade to "ignored", never panic
+        // a recovery pass that holds the whole machine.
+        if inner.rol.mark_excepted(culprit, pe.exception).is_err() {
+            inner.stats.exceptions_ignored += 1;
+            continue;
+        }
         let started = std::time::Instant::now();
         if inner.telemetry.enabled() {
             inner.telemetry.metrics.recovery_sessions.inc();
@@ -107,10 +112,13 @@ pub(crate) fn cancel_inflight(inner: &mut Inner) {
         let Some(oldest) = oldest else { break };
         let exception =
             Exception::global(ExceptionKind::ResourceRevocation, ContextId::new(0), 0);
-        inner
-            .rol
-            .mark_excepted(oldest, exception.clone())
-            .expect("oldest entry is in the ROL");
+        if inner.rol.mark_excepted(oldest, exception.clone()).is_err() {
+            // Unreachable today (the machine is quiesced under the lock
+            // between the peek and the strike), but a HALT must never
+            // panic mid-squash: poison the run and let `finish` report it.
+            inner.poison("cancel: oldest ROL entry vanished mid-squash");
+            break;
+        }
         inner
             .pending_exceptions
             .push_back(crate::engine::PendingException {
@@ -125,7 +133,14 @@ pub(crate) fn cancel_inflight(inner: &mut Inner) {
 
 /// Executes one recovery plan; returns the number of squashed sub-threads.
 fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
-    let affected = affected_set(inner, culprit);
+    let mut affected = affected_set(inner, culprit);
+    // Defensive re-validation: every affected id was read out of the ROL
+    // in this same quiesced pass, so all of them are still present — but
+    // the `expect("affected in ROL")` family below turns any future
+    // violation of that invariant (a HALT squash overlapping a chaos
+    // overlay is the canonical near-miss) into a panic with the state
+    // lock held. Dropping a vanished id instead keeps recovery total.
+    affected.retain(|&id| inner.rol.contains(id));
     inner.stats.squashed += affected.len() as u64;
     if inner.telemetry.enabled() {
         inner.telemetry.metrics.squashed.add(affected.len() as u64);
@@ -197,6 +212,11 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
             inner
                 .telemetry
                 .record(EXTERNAL_RING, TraceEvent::WalUndo { subthread: rec.subthread.raw() });
+        }
+        if inner.cfg.persist.is_some() {
+            inner.durable_record(&gprs_core::persist::DurableRecord::Undo {
+                lsn: rec.lsn.raw(),
+            });
         }
         undo_op(inner, rec.subthread, rec.op, &mut reclaimed);
     }

@@ -12,21 +12,41 @@
 //!   submit a mixed batch of N jobs (some with injected faults) over a
 //!   real socket, and verify every streamed report's retired hash is
 //!   bit-identical to the same spec run solo. Exits nonzero on mismatch.
+//! * `--durable-run DIR <workload> <seed> [key=value...] [--crash-after N]`
+//!   — run one job logging into DIR's durable WAL/checkpoint store; with
+//!   `--crash-after N` the process kills itself (SIGKILL) after N quanta,
+//!   leaving DIR exactly as a crash would.
+//! * `--durable-resume DIR [--expect-golden]` — load DIR, resume the job
+//!   (restart *is* recovery), print the final report line; with
+//!   `--expect-golden` exit nonzero unless the retired hash is
+//!   bit-identical to the same spec run solo in-memory.
+//!
+//! `--listen` and `--batch` also accept `--durable DIR`: every admitted
+//! job gets its own durable directory under DIR and unfinished jobs are
+//! resumed (and re-reported) when the server restarts over the same DIR.
 
 use gprs_serve::pool::PoolConfig;
 use gprs_serve::server::{serve_session, Server};
-use gprs_serve::spec::{build_solo, JobSpec, WORKLOADS};
+use gprs_serve::spec::{build_job_durable, build_solo, JobSpec, WORKLOADS};
+use gprs_core::persist::{FileBackend, PersistBackend};
+use gprs_runtime::report::RunReport;
+use gprs_runtime::session::QuantumOutcome;
+use gprs_telemetry::JsonWriter;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gprs-serve --listen ADDR [--workers N] [--quantum G]\n\
-         \x20      gprs-serve --batch [FILE] [--workers N] [--quantum G]\n\
+        "usage: gprs-serve --listen ADDR [--workers N] [--quantum G] [--durable DIR]\n\
+         \x20      gprs-serve --batch [FILE] [--workers N] [--quantum G] [--durable DIR]\n\
          \x20      gprs-serve --client ADDR [FILE]\n\
-         \x20      gprs-serve --smoke N [--workers W] [--quantum G]"
+         \x20      gprs-serve --smoke N [--workers W] [--quantum G]\n\
+         \x20      gprs-serve --durable-run DIR <workload> <seed> [key=value...] [--crash-after N]\n\
+         \x20      gprs-serve --durable-resume DIR [--expect-golden]"
     );
     ExitCode::from(2)
 }
@@ -36,6 +56,9 @@ struct Args {
     positional: Vec<String>,
     workers: usize,
     quantum: u64,
+    durable: Option<PathBuf>,
+    crash_after: Option<u64>,
+    expect_golden: bool,
 }
 
 fn parse_args() -> Option<Args> {
@@ -46,11 +69,17 @@ fn parse_args() -> Option<Args> {
         positional: Vec::new(),
         workers: 2,
         quantum: 64,
+        durable: None,
+        crash_after: None,
+        expect_golden: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workers" => parsed.workers = args.next()?.parse().ok()?,
             "--quantum" => parsed.quantum = args.next()?.parse().ok()?,
+            "--durable" => parsed.durable = Some(PathBuf::from(args.next()?)),
+            "--crash-after" => parsed.crash_after = Some(args.next()?.parse().ok()?),
+            "--expect-golden" => parsed.expect_golden = true,
             _ => parsed.positional.push(a),
         }
     }
@@ -64,6 +93,7 @@ fn main() -> ExitCode {
     let cfg = PoolConfig {
         workers: args.workers,
         quantum: args.quantum,
+        durable_root: args.durable.clone(),
     };
     match args.mode.as_str() {
         "--listen" => {
@@ -85,7 +115,12 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "--batch" => {
-            let pool = gprs_serve::pool::ServePool::start(cfg);
+            let mut pool = gprs_serve::pool::ServePool::start(cfg);
+            // Jobs resurrected from the durable root report first, in
+            // directory order, before the scripted session begins.
+            for ticket in pool.take_resumed() {
+                println!("{}", ticket.wait().to_json());
+            }
             let handle = pool.handle();
             let result = match args.positional.first() {
                 Some(path) => {
@@ -157,8 +192,148 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "--durable-run" => {
+            let [dir, spec_args @ ..] = args.positional.as_slice() else {
+                return usage();
+            };
+            let words: Vec<&str> = spec_args.iter().map(String::as_str).collect();
+            let spec = match JobSpec::parse_args(&words) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("gprs-serve: {e}");
+                    return usage();
+                }
+            };
+            match durable_run(dir, &spec, args.quantum, args.crash_after) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("gprs-serve: durable-run: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "--durable-resume" => {
+            let Some(dir) = args.positional.first() else {
+                return usage();
+            };
+            match durable_resume(dir, args.quantum, args.expect_golden) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("gprs-serve: durable-resume: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => usage(),
     }
+}
+
+/// One final report line for the durable modes: the determinism hashes
+/// plus the durability counters the smoke job asserts on.
+fn durable_report_line(report: &RunReport) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .key("ok")
+        .bool(true)
+        .field_str("status", "completed")
+        .field_hex("retired_hash", report.telemetry.retired_hash)
+        .field_u64("retired", report.telemetry.retired_count)
+        .field_u64("wal_segments_sealed", report.telemetry.counter("wal_segments_sealed"))
+        .field_u64("fsyncs", report.telemetry.counter("fsyncs"))
+        .field_u64(
+            "recovered_prefix_len",
+            report.telemetry.counter("recovered_prefix_len"),
+        )
+        .end_object();
+    w.finish()
+}
+
+/// Kills this process the way a crash would: no destructors, no flushes,
+/// no atexit — the durable directory is left exactly as SIGKILL leaves it.
+fn die_midflight() -> ! {
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &std::process::id().to_string()])
+        .status();
+    // SIGKILL is not deliverable on this platform (or `kill` is missing):
+    // abort is the closest no-cleanup exit.
+    std::process::abort();
+}
+
+/// `--durable-run`: one job logged into `dir`, optionally self-killed
+/// after `crash_after` quanta.
+fn durable_run(
+    dir: &str,
+    spec: &JobSpec,
+    quantum: u64,
+    crash_after: Option<u64>,
+) -> Result<(), String> {
+    let backend = Arc::new(FileBackend::open(dir).map_err(|e| e.to_string())?);
+    let gprs = build_job_durable(spec, 0, 0, backend, None)?;
+    let mut session = gprs.into_session();
+    let mut quanta = 0u64;
+    loop {
+        match session.run_quantum(quantum.max(1)) {
+            QuantumOutcome::Finished => break,
+            QuantumOutcome::Yielded => {
+                quanta += 1;
+                if crash_after.is_some_and(|n| quanta >= n) {
+                    die_midflight();
+                }
+            }
+        }
+    }
+    if crash_after.is_some() {
+        return Err(format!(
+            "job finished in {quanta} quanta before the crash point — pick a smaller --crash-after"
+        ));
+    }
+    let report = session.finish().map_err(|e| e.to_string())?;
+    println!("{}", durable_report_line(&report));
+    Ok(())
+}
+
+/// `--durable-resume`: load `dir`, replay-verify against the durable
+/// prefix, run to completion; with `expect_golden`, fail unless the
+/// retired hash matches the same spec run solo in-memory.
+fn durable_resume(dir: &str, quantum: u64, expect_golden: bool) -> Result<(), String> {
+    let backend = Arc::new(FileBackend::open(dir).map_err(|e| e.to_string())?);
+    let image = backend.load().map_err(|e| e.to_string())?;
+    let text = image
+        .spec
+        .clone()
+        .ok_or_else(|| "no spec record in the durable log".to_string())?;
+    let spec = JobSpec::parse_canonical(&text)?;
+    eprintln!(
+        "gprs-serve: resuming {:?}: durable prefix {} retirements{}",
+        text,
+        image.retired_len(),
+        if image.truncated { " (torn tail truncated)" } else { "" },
+    );
+    let gprs = build_job_durable(&spec, 0, 0, backend, Some(&image))?;
+    let mut session = gprs.into_session();
+    while session.run_quantum(quantum.max(1)) == QuantumOutcome::Yielded {}
+    let report = session.finish().map_err(|e| e.to_string())?;
+    println!("{}", durable_report_line(&report));
+    if report.telemetry.counter("recovered_prefix_len") < image.retired_len() {
+        return Err(format!(
+            "replay verified only {} of the {} durable retirements",
+            report.telemetry.counter("recovered_prefix_len"),
+            image.retired_len()
+        ));
+    }
+    if expect_golden {
+        let golden = build_solo(&spec)?
+            .run()
+            .map_err(|e| format!("golden run: {e}"))?;
+        if golden.telemetry.retired_hash != report.telemetry.retired_hash {
+            return Err(format!(
+                "retired hash diverged from the fault-free twin: resumed {:#018x}, solo {:#018x}",
+                report.telemetry.retired_hash, golden.telemetry.retired_hash
+            ));
+        }
+        eprintln!("gprs-serve: resumed run matches its solo golden");
+    }
+    Ok(())
 }
 
 /// Sends `script` over `stream` and copies every response line to `out`.

@@ -32,7 +32,7 @@
 //! use gprs_serve::pool::{PoolConfig, ServePool};
 //! use gprs_serve::spec::JobSpec;
 //!
-//! let pool = ServePool::start(PoolConfig { workers: 2, quantum: 32 });
+//! let pool = ServePool::start(PoolConfig { workers: 2, quantum: 32, ..Default::default() });
 //! let handle = pool.handle();
 //! let ticket = handle.submit(JobSpec::new("fetchadd", 7)).unwrap();
 //! let outcome = ticket.wait();
@@ -54,4 +54,4 @@ pub mod server;
 pub mod spec;
 
 pub use pool::{JobOutcome, JobStatus, JobTicket, PoolConfig, PoolStats, ServeHandle, ServePool};
-pub use spec::{build_job, build_solo, fault_plan, JobSpec, WORKLOADS};
+pub use spec::{build_job, build_job_durable, build_solo, fault_plan, JobSpec, WORKLOADS};

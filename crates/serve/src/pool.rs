@@ -14,12 +14,14 @@
 //! starve the queue and a job may migrate between OS workers across
 //! quanta without perturbing its deterministic schedule.
 
-use crate::spec::{build_job, validate, JobSpec};
+use crate::spec::{build_job, build_job_durable, validate, JobSpec};
+use gprs_core::persist::{DurableImage, DurableRecord, FileBackend, PersistBackend};
 use gprs_runtime::report::RunReport;
 use gprs_runtime::session::{GprsSession, QuantumOutcome};
 use gprs_telemetry::{Counter, Histogram, HistogramSnapshot, JsonWriter};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -34,6 +36,12 @@ pub struct PoolConfig {
     pub workers: usize,
     /// Ordered grants per quantum before a job yields back to the FIFO.
     pub quantum: u64,
+    /// Root directory for durable job state. When set, every admitted job
+    /// gets its own directory (`job-<seq>/`) holding a checksummed WAL +
+    /// merkle checkpoint store, and [`ServePool::start`] rescans the root
+    /// for unfinished jobs and resubmits them — served jobs survive a pool
+    /// (or whole-process) crash. `None` keeps today's in-memory behaviour.
+    pub durable_root: Option<PathBuf>,
 }
 
 impl Default for PoolConfig {
@@ -41,6 +49,7 @@ impl Default for PoolConfig {
         PoolConfig {
             workers: 2,
             quantum: DEFAULT_QUANTUM,
+            durable_root: None,
         }
     }
 }
@@ -140,11 +149,24 @@ impl JobOutcome {
     }
 }
 
+/// A job's durable persistence attachment.
+struct JobDurable {
+    /// The job's own directory under the pool's durable root.
+    dir: PathBuf,
+    /// File backend every epoch of this job logs through.
+    backend: Arc<FileBackend>,
+    /// The image a resumed job replays against (taken by the first
+    /// claiming worker; `None` for fresh submissions).
+    resume: Mutex<Option<DurableImage>>,
+}
+
 /// One admitted job.
 struct Job {
     id: u64,
     seq: u64,
     spec: JobSpec,
+    /// Durable state, when the pool has a `durable_root`.
+    durable: Option<JobDurable>,
     state: AtomicU8,
     cancel: AtomicBool,
     admitted: Instant,
@@ -222,6 +244,8 @@ struct Shared {
     next_id: AtomicU64,
     next_seq: AtomicU64,
     quantum: u64,
+    /// See [`PoolConfig::durable_root`].
+    durable_root: Option<PathBuf>,
     metrics: PoolMetrics,
 }
 
@@ -254,6 +278,8 @@ pub enum SubmitError {
     ShuttingDown,
     /// The spec did not build (unknown workload).
     BadSpec(String),
+    /// The job's durable directory could not be created or written.
+    Durable(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -261,6 +287,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::ShuttingDown => write!(f, "pool is shutting down"),
             SubmitError::BadSpec(msg) => write!(f, "bad job spec: {msg}"),
+            SubmitError::Durable(msg) => write!(f, "durable store: {msg}"),
         }
     }
 }
@@ -329,10 +356,35 @@ impl ServeHandle {
         validate(&spec).map_err(SubmitError::BadSpec)?;
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let durable = match &self.shared.durable_root {
+            Some(root) => {
+                // Record the canonical spec line before the job ever runs:
+                // a job that crashes while still queued is resumable from
+                // its spec alone (the engine re-records the spec into a
+                // fresh epoch when it actually builds).
+                let dir = root.join(format!("job-{seq:08}"));
+                let attach = FileBackend::open(&dir)
+                    .and_then(|backend| {
+                        backend.record(&DurableRecord::Spec {
+                            text: spec.canonical_line(),
+                        })?;
+                        backend.sync()?;
+                        Ok(backend)
+                    })
+                    .map_err(|e| SubmitError::Durable(e.to_string()))?;
+                Some(JobDurable {
+                    dir,
+                    backend: Arc::new(attach),
+                    resume: Mutex::new(None),
+                })
+            }
+            None => None,
+        };
         let job = Arc::new(Job {
             id,
             seq,
             spec,
+            durable,
             state: AtomicU8::new(IDLE),
             cancel: AtomicBool::new(false),
             admitted: Instant::now(),
@@ -369,10 +421,16 @@ impl ServeHandle {
 pub struct ServePool {
     shared: Arc<Shared>,
     joins: Vec<std::thread::JoinHandle<()>>,
+    /// Tickets for jobs resurrected from the durable root at start.
+    resumed: Vec<JobTicket>,
 }
 
 impl ServePool {
-    /// Boots `cfg.workers` OS threads sharing one FIFO job queue.
+    /// Boots `cfg.workers` OS threads sharing one FIFO job queue. With a
+    /// [`durable_root`](PoolConfig::durable_root), unfinished job
+    /// directories from a previous pool incarnation are resubmitted before
+    /// any worker starts — collect their tickets with
+    /// [`take_resumed`](Self::take_resumed).
     pub fn start(cfg: PoolConfig) -> ServePool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -382,8 +440,13 @@ impl ServePool {
             next_id: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             quantum: cfg.quantum.max(1),
+            durable_root: cfg.durable_root.clone(),
             metrics: PoolMetrics::default(),
         });
+        let resumed = match &cfg.durable_root {
+            Some(root) => resume_jobs(&shared, root),
+            None => Vec::new(),
+        };
         let workers = cfg.workers.max(1);
         let mut joins = Vec::with_capacity(workers);
         for ix in 0..workers {
@@ -395,7 +458,17 @@ impl ServePool {
                     .expect("spawn pool worker"),
             );
         }
-        ServePool { shared, joins }
+        ServePool {
+            shared,
+            joins,
+            resumed,
+        }
+    }
+
+    /// Tickets for the jobs [`start`](Self::start) resurrected from the
+    /// durable root (empty without one, and on every later call).
+    pub fn take_resumed(&mut self) -> Vec<JobTicket> {
+        std::mem::take(&mut self.resumed)
     }
 
     /// A submission handle (clonable, usable from any thread).
@@ -441,6 +514,103 @@ impl Drop for ServePool {
             j.join().expect("pool workers do not panic");
         }
     }
+}
+
+/// Scans `root` for unfinished durable job directories (no `DONE`
+/// marker), loads each one's image, and resubmits it under its original
+/// identity with the image attached as the replay-verification prefix.
+/// Unreadable or specless directories are skipped loudly on stderr and
+/// left on disk for inspection.
+fn resume_jobs(shared: &Arc<Shared>, root: &Path) -> Vec<JobTicket> {
+    if let Err(e) = std::fs::create_dir_all(root) {
+        eprintln!("gprs-serve: durable root {}: {e}", root.display());
+        return Vec::new();
+    }
+    let mut dirs: Vec<(u64, PathBuf)> = Vec::new();
+    let entries = match std::fs::read_dir(root) {
+        Ok(it) => it,
+        Err(e) => {
+            eprintln!("gprs-serve: durable root {}: {e}", root.display());
+            return Vec::new();
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(seq) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("job-"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if path.join("DONE").exists() || !path.is_dir() {
+            continue;
+        }
+        dirs.push((seq, path));
+    }
+    dirs.sort_unstable();
+    let mut tickets = Vec::new();
+    let mut max_seq = 0u64;
+    for (seq, dir) in dirs {
+        let backend = match FileBackend::open(&dir) {
+            Ok(b) => Arc::new(b),
+            Err(e) => {
+                eprintln!("gprs-serve: cannot resume {}: {e}", dir.display());
+                continue;
+            }
+        };
+        let image = match backend.load() {
+            Ok(image) => image,
+            Err(e) => {
+                eprintln!("gprs-serve: cannot resume {}: {e}", dir.display());
+                continue;
+            }
+        };
+        let spec = match image
+            .spec
+            .as_deref()
+            .ok_or_else(|| "no spec record in the durable log".to_string())
+            .and_then(JobSpec::parse_canonical)
+        {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!(
+                    "gprs-serve: cannot resume {}: bad spec record {:?}: {e}",
+                    dir.display(),
+                    image.spec
+                );
+                continue;
+            }
+        };
+        max_seq = max_seq.max(seq);
+        let job = Arc::new(Job {
+            id: seq,
+            seq,
+            spec,
+            durable: Some(JobDurable {
+                dir,
+                backend,
+                resume: Mutex::new(Some(image)),
+            }),
+            state: AtomicU8::new(PENDING),
+            cancel: AtomicBool::new(false),
+            admitted: Instant::now(),
+            enqueued: Mutex::new(Instant::now()),
+            session: Mutex::new(None),
+            quanta: AtomicU64::new(0),
+            outcome: Mutex::new(None),
+            done_cv: Condvar::new(),
+        });
+        shared.unfinished.fetch_add(1, Ordering::AcqRel);
+        shared.metrics.submitted.inc();
+        shared.push(job.clone());
+        tickets.push(JobTicket { job });
+    }
+    // New submissions must never collide with a resurrected directory.
+    shared.next_id.fetch_max(max_seq, Ordering::Relaxed);
+    shared.next_seq.fetch_max(max_seq, Ordering::Relaxed);
+    tickets
 }
 
 /// One pool worker: claim the FIFO head, drive one quantum, publish or
@@ -499,7 +669,20 @@ fn drive(shared: &Shared, job: &Arc<Job>) {
         // worker. A job stopped before this point never builds an engine
         // at all (a halt over thousands of queued jobs must not pay
         // thousands of constructions just to cancel them).
-        match build_job(&job.spec, job.id, job.seq) {
+        let built = match &job.durable {
+            Some(d) => {
+                let image = d.resume.lock().take();
+                build_job_durable(
+                    &job.spec,
+                    job.id,
+                    job.seq,
+                    d.backend.clone(),
+                    image.as_ref(),
+                )
+            }
+            None => build_job(&job.spec, job.id, job.seq),
+        };
+        match built {
             Ok(gprs) => *guard = Some(gprs.into_session()),
             Err(e) => {
                 // Unreachable given admission validation; fail defensively.
@@ -592,6 +775,15 @@ fn publish(
         error,
         quanta: job.quanta.load(Ordering::Relaxed),
     };
+    if let Some(d) = &job.durable {
+        // Terminal outcome: mark the directory so a pool restart does not
+        // resurrect this job. A crash between the final sync and this
+        // marker re-runs the job — recovery is idempotent, so that is
+        // merely wasted work, never a wrong answer.
+        if let Err(e) = std::fs::write(d.dir.join("DONE"), status.as_str()) {
+            eprintln!("gprs-serve: DONE marker {}: {e}", d.dir.display());
+        }
+    }
     drop(guard);
     job.state.store(FINISHED, Ordering::Release);
     *job.outcome.lock() = Some(outcome);

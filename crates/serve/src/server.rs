@@ -50,44 +50,41 @@ fn err_line(msg: &str) -> String {
 
 /// Parses a `submit` argument list: `<workload> <seed> [key=value...]`.
 fn parse_submit(args: &[&str]) -> Result<JobSpec, String> {
-    let [workload, seed, rest @ ..] = args else {
-        return Err("usage: submit <workload> <seed> [fault=N] [deadline=N] [timeout=MS]".into());
-    };
-    let seed: u64 = seed.parse().map_err(|_| format!("bad seed {seed:?}"))?;
-    let mut spec = JobSpec::new(*workload, seed);
-    for opt in rest {
-        let (key, value) = opt
-            .split_once('=')
-            .ok_or_else(|| format!("bad option {opt:?} (want key=value)"))?;
-        let n: u64 = value
-            .parse()
-            .map_err(|_| format!("bad value in {opt:?}"))?;
-        match key {
-            "fault" => spec.fault_seed = n,
-            "deadline" => spec.deadline_quanta = Some(n),
-            "timeout" => spec.timeout_ms = Some(n),
-            other => return Err(format!("unknown option {other:?}")),
-        }
-    }
-    Ok(spec)
+    JobSpec::parse_args(args)
 }
 
 /// Runs one client session: reads requests from `input` line by line,
 /// writes one JSON response line per request to `output`. Returns `true`
 /// if the client requested a server-wide shutdown.
 ///
+/// Malformed input never kills the connection: a line that is not valid
+/// UTF-8 is decoded lossily and answered (like any other unparseable
+/// request) with an `{"ok":false,...}` protocol-error line, and `cancel`
+/// with a non-numeric, stale, or already-reported job id gets a specific
+/// error line instead of silently misbehaving.
+///
 /// # Errors
 /// Propagates transport I/O errors; protocol errors are reported to the
 /// client as `{"ok":false,...}` lines instead.
 pub fn serve_session(
     handle: &ServeHandle,
-    input: impl BufRead,
+    mut input: impl BufRead,
     mut output: impl Write,
 ) -> std::io::Result<bool> {
     let mut pending: Vec<JobTicket> = Vec::new();
+    // Job ids already reported (or cancelled-and-reported) on this
+    // connection — a later `cancel` of one is "stale", not "unknown".
+    let mut reaped: Vec<u64> = Vec::new();
     let mut shutdown = false;
-    for line in input.lines() {
-        let line = line?;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if input.read_until(b'\n', &mut buf)? == 0 {
+            break;
+        }
+        // Lossy decode: a malformed (non-UTF-8) request line degrades to a
+        // parse error answered in-protocol, never a dropped connection.
+        let line = String::from_utf8_lossy(&buf);
         let words: Vec<&str> = line.split_whitespace().collect();
         let response = match words.as_slice() {
             [] => continue,
@@ -108,6 +105,7 @@ pub fn serve_session(
             ["wait"] => {
                 let drained = pending.len() as u64;
                 for ticket in pending.drain(..) {
+                    reaped.push(ticket.id());
                     let outcome = ticket.wait();
                     writeln!(output, "{}", outcome.to_json())?;
                 }
@@ -119,10 +117,14 @@ pub fn serve_session(
                         ticket.cancel();
                         ok_line(&[("job_id", id)])
                     }
+                    None if reaped.contains(&id) => {
+                        err_line(&format!("job {id} was already reported on this connection"))
+                    }
                     None => err_line(&format!("job {id} is not pending on this connection")),
                 },
                 Err(_) => err_line(&format!("bad job id {id:?}")),
             },
+            ["cancel", ..] => err_line("usage: cancel <job_id>"),
             ["stats"] => handle.stats().to_json(),
             ["shutdown"] => {
                 shutdown = true;
@@ -245,13 +247,14 @@ mod tests {
         let pool = ServePool::start(PoolConfig {
             workers: 2,
             quantum: 16,
+            ..Default::default()
         });
         let handle = pool.handle();
         let script = "submit fetchadd 3\nsubmit mutex 5 fault=2\nwait\nstats\nquit\n";
         let mut out = Vec::new();
         let shutdown = serve_session(&handle, script.as_bytes(), &mut out).unwrap();
         assert!(!shutdown);
-        let text = String::from_utf8(out).unwrap();
+        let text = String::from_utf8_lossy(&out);
         let lines: Vec<&str> = text.lines().collect();
         // 2 acks + 2 reports + wait summary + stats.
         assert_eq!(lines.len(), 6, "{text}");
@@ -260,5 +263,105 @@ mod tests {
         assert!(lines[3].contains("\"retired_hash\""));
         assert!(lines[5].contains("\"submitted\":2"));
         pool.shutdown();
+    }
+
+    /// Satellite robustness sweep: malformed lines (including invalid
+    /// UTF-8) and bad/stale/reaped cancel ids each get a protocol-error
+    /// line, and the connection keeps serving afterwards.
+    #[test]
+    fn malformed_requests_get_error_lines_not_a_dropped_connection() {
+        let pool = ServePool::start(PoolConfig {
+            workers: 1,
+            quantum: 16,
+            ..Default::default()
+        });
+        let handle = pool.handle();
+        let mut script: Vec<u8> = Vec::new();
+        script.extend_from_slice(b"submit fetchadd 3\n"); // ack: job 1
+        script.extend_from_slice(b"bogus command\n");
+        script.extend_from_slice(&[0xff, 0xfe, 0x80, b'\n']); // invalid UTF-8
+        script.extend_from_slice(b"submit mutex notanumber\n");
+        script.extend_from_slice(b"submit mutex 5 tilt=3\n");
+        script.extend_from_slice(b"cancel beans\n"); // non-numeric id
+        script.extend_from_slice(b"cancel\n"); // missing id
+        script.extend_from_slice(b"cancel 99\n"); // never submitted here
+        script.extend_from_slice(b"wait\n"); // reaps job 1
+        script.extend_from_slice(b"cancel 1\n"); // reaped id
+        script.extend_from_slice(b"submit fetchadd 4\nwait\nquit\n"); // still serving
+        let mut out = Vec::new();
+        let shutdown = serve_session(&handle, script.as_slice(), &mut out).unwrap();
+        assert!(!shutdown);
+        let text = String::from_utf8_lossy(&out);
+        let lines: Vec<&str> = text.lines().collect();
+        // ack, 7 errors, report + wait summary, stale-cancel error,
+        // ack + report + wait summary.
+        assert_eq!(lines.len(), 14, "{text}");
+        assert!(lines[0].contains("\"ok\":true"), "{text}");
+        for (i, expect) in [
+            (1, "unknown command"),
+            (2, "unknown command"),
+            (3, "bad seed"),
+            (4, "unknown option"),
+            (5, "bad job id"),
+            (6, "usage: cancel"),
+            (7, "not pending on this connection"),
+        ] {
+            assert!(lines[i].contains("\"ok\":false"), "line {i}: {text}");
+            assert!(lines[i].contains(expect), "line {i} wanted {expect:?}: {text}");
+        }
+        assert!(lines[8].contains("\"status\":\"completed\""), "{text}");
+        assert!(lines[10].contains("already reported"), "{text}");
+        assert!(lines[12].contains("\"status\":\"completed\""), "{text}");
+        pool.shutdown();
+    }
+
+    /// A workload name full of control characters, quotes and non-ASCII
+    /// must round-trip the serve socket as well-formed one-line JSON: the
+    /// submit rejection echoes the name (quotes and backslashes escaped,
+    /// UTF-8 passed through raw), and a report carrying such a name
+    /// directly — [`JobOutcome::to_json`] is the same serializer the
+    /// socket streams — `\u`-escapes every raw control char.
+    #[test]
+    fn hostile_names_round_trip_escaped_through_the_report_stream() {
+        let pool = ServePool::start(PoolConfig {
+            workers: 1,
+            quantum: 16,
+            ..Default::default()
+        });
+        let handle = pool.handle();
+        let script = "submit na\u{1}ïve\"🚀 3\nwait\nquit\n";
+        let mut out = Vec::new();
+        let shutdown = serve_session(&handle, script.as_bytes(), &mut out).unwrap();
+        assert!(!shutdown);
+        let text = String::from_utf8_lossy(&out);
+        let lines: Vec<&str> = text.lines().collect();
+        // Rejection line (unknown workload, name echoed), wait summary.
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"ok\":false"), "{text}");
+        assert!(lines[0].contains("unknown workload"), "{text}");
+        assert!(lines[0].contains("\\\""), "quote stays escaped: {text}");
+        assert!(lines[0].contains("ïve") && lines[0].contains("🚀"), "{text}");
+        assert!(
+            text.lines().all(|l| l.chars().all(|c| (c as u32) >= 0x20)),
+            "no raw control byte in the stream: {text}"
+        );
+        pool.shutdown();
+
+        // The report serializer itself, fed raw control chars (a future
+        // registry could admit such names; the stream must not split).
+        let outcome = crate::pool::JobOutcome {
+            job_id: 1,
+            submit_seq: 1,
+            spec: JobSpec::new("na\u{1}ïve\n\"🚀", 3),
+            status: crate::pool::JobStatus::Failed,
+            report: None,
+            error: Some("tab\there\u{2}".into()),
+            quanta: 0,
+        };
+        let line = outcome.to_json();
+        assert!(!line.contains('\n') && !line.contains('\t'), "{line}");
+        assert!(line.contains("\\u0001") && line.contains("\\u0002"), "{line}");
+        assert!(line.contains("\\n") && line.contains("\\t"), "{line}");
+        assert!(line.contains("\\\"🚀"), "{line}");
     }
 }

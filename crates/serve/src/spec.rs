@@ -11,12 +11,14 @@ use gprs_core::chaos::{ChaosEvent, ChaosPlan, VictimSelector};
 use gprs_core::exception::ExceptionKind;
 use gprs_core::history::Checkpoint;
 use gprs_core::ids::GroupId;
+use gprs_core::persist::{DurableImage, PersistBackend};
 use gprs_runtime::ctx::StepCtx;
 use gprs_runtime::handles::{AtomicHandle, MutexHandle};
 use gprs_runtime::program::{Step, ThreadProgram};
 use gprs_runtime::{Gprs, GprsBuilder};
 use gprs_workloads::kernels::compress::generate_corpus;
 use gprs_workloads::programs::{build_pbzip_pipeline, HistogramWorker};
+use std::sync::Arc;
 
 /// Workload names the registry accepts, smallest first.
 pub const WORKLOADS: &[&str] = &["fetchadd", "mutex", "histogram", "pbzip"];
@@ -65,6 +67,65 @@ impl JobSpec {
     pub fn deadline(mut self, quanta: u64) -> Self {
         self.deadline_quanta = Some(quanta);
         self
+    }
+
+    /// The spec's canonical wire form — the same argument list `submit`
+    /// accepts, and the text a durable job directory records so a
+    /// restarted pool can rebuild the job from its log alone.
+    pub fn canonical_line(&self) -> String {
+        let mut line = format!("{} {}", self.workload, self.seed);
+        if self.fault_seed != 0 {
+            line.push_str(&format!(" fault={}", self.fault_seed));
+        }
+        if let Some(d) = self.deadline_quanta {
+            line.push_str(&format!(" deadline={d}"));
+        }
+        if let Some(ms) = self.timeout_ms {
+            line.push_str(&format!(" timeout={ms}"));
+        }
+        line
+    }
+
+    /// Parses a `submit`-style argument list: `<workload> <seed>
+    /// [fault=N] [deadline=N] [timeout=MS]`. The inverse of
+    /// [`canonical_line`](Self::canonical_line).
+    ///
+    /// # Errors
+    /// A usage message for a missing workload/seed, a bad number, or an
+    /// unknown `key=value` option.
+    pub fn parse_args(args: &[&str]) -> Result<JobSpec, String> {
+        let [workload, seed, rest @ ..] = args else {
+            return Err(
+                "usage: submit <workload> <seed> [fault=N] [deadline=N] [timeout=MS]".into(),
+            );
+        };
+        let seed: u64 = seed.parse().map_err(|_| format!("bad seed {seed:?}"))?;
+        let mut spec = JobSpec::new(*workload, seed);
+        for opt in rest {
+            let (key, value) = opt
+                .split_once('=')
+                .ok_or_else(|| format!("bad option {opt:?} (want key=value)"))?;
+            let n: u64 = value
+                .parse()
+                .map_err(|_| format!("bad value in {opt:?}"))?;
+            match key {
+                "fault" => spec.fault_seed = n,
+                "deadline" => spec.deadline_quanta = Some(n),
+                "timeout" => spec.timeout_ms = Some(n),
+                other => return Err(format!("unknown option {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Parses one canonical spec line (see
+    /// [`canonical_line`](Self::canonical_line)).
+    ///
+    /// # Errors
+    /// Same conditions as [`parse_args`](Self::parse_args).
+    pub fn parse_canonical(line: &str) -> Result<JobSpec, String> {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        Self::parse_args(&words)
     }
 }
 
@@ -276,6 +337,35 @@ pub fn build_solo(spec: &JobSpec) -> Result<Gprs, String> {
     build_job(spec, 0, 0)
 }
 
+/// Builds the spec onto a durable persistence backend, optionally
+/// resuming against a previously loaded [`DurableImage`]: the replay is
+/// verified retirement-by-retirement against the image's durable prefix,
+/// so a restart *is* a recovery.
+///
+/// # Errors
+/// Unknown workload (same as [`build_job`]).
+pub fn build_job_durable(
+    spec: &JobSpec,
+    job_id: u64,
+    submit_seq: u64,
+    backend: Arc<dyn PersistBackend>,
+    resume: Option<&DurableImage>,
+) -> Result<Gprs, String> {
+    let mut b = GprsBuilder::new()
+        .job(job_id, submit_seq)
+        .durable(backend)
+        .durable_spec(spec.canonical_line());
+    if let Some(image) = resume {
+        b = b.resume(image);
+    }
+    let plan = fault_plan(spec.fault_seed);
+    if !plan.is_empty() {
+        b = b.chaos(&plan);
+    }
+    register(spec, &mut b)?;
+    Ok(b.build())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,5 +397,42 @@ mod tests {
     #[test]
     fn unknown_workload_is_an_error() {
         assert!(build_solo(&JobSpec::new("nope", 1)).is_err());
+    }
+
+    #[test]
+    fn canonical_lines_round_trip() {
+        let specs = [
+            JobSpec::new("mutex", 9),
+            JobSpec::new("pbzip", 3).faults(11),
+            JobSpec::new("fetchadd", 1).faults(2).deadline(8),
+            JobSpec {
+                timeout_ms: Some(500),
+                ..JobSpec::new("histogram", 42)
+            },
+        ];
+        for spec in specs {
+            let line = spec.canonical_line();
+            assert_eq!(JobSpec::parse_canonical(&line).unwrap(), spec, "{line}");
+        }
+        assert!(JobSpec::parse_canonical("mutex").is_err());
+        assert!(JobSpec::parse_canonical("mutex x").is_err());
+        assert!(JobSpec::parse_canonical("mutex 1 bogus").is_err());
+    }
+
+    #[test]
+    fn durable_build_matches_plain_build() {
+        use gprs_core::persist::MemoryBackend;
+        let spec = JobSpec::new("mutex", 5).faults(3);
+        let plain = build_solo(&spec).unwrap().run().unwrap();
+        let backend = Arc::new(MemoryBackend::new());
+        let durable = build_job_durable(&spec, 0, 0, backend.clone(), None)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(plain.telemetry.retired_hash, durable.telemetry.retired_hash);
+        let image = backend.load().unwrap();
+        assert_eq!(image.spec.as_deref(), Some(spec.canonical_line().as_str()));
+        assert_eq!(image.retired_len(), plain.telemetry.retired_count);
+        assert!(image.ledger_balanced(), "appends == undos + prunes");
     }
 }

@@ -36,11 +36,13 @@ use crate::workload::{SimOp, Workload};
 use gprs_core::exception::{ExceptionInjector, InjectorConfig};
 use gprs_core::ids::{BarrierId, ChannelId, LockId, ResourceId, SubThreadId, ThreadId};
 use gprs_core::order::{OrderEnforcer, ScheduleKind};
+use gprs_core::persist::{DurableRecord, PersistBackend};
 use gprs_core::racecheck::{resource_code, OpenEdge, RaceDetector, RetireInfo};
-use gprs_core::rol::ReorderList;
+use gprs_core::rol::{ReorderList, RolEntry};
 use gprs_core::subthread::{SubThread, SubThreadKind, SyncOp};
 use gprs_telemetry::{RetiredOrderHash, ScheduleHash, Telemetry, TelemetryConfig, TraceEvent};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Ring index for events not attributable to a simulated context; routed to
 /// the external ring by [`Telemetry::record`].
@@ -82,6 +84,13 @@ pub struct GprsSimConfig {
     /// potential-race verdict arms it (pre-selecting the hybrid policy)
     /// regardless of `racecheck`. The report is embedded in the result.
     pub analysis: bool,
+    /// Mirror the retirement stream into a durable log (the same
+    /// [`PersistBackend`] family the runtime uses). Observability only:
+    /// the simulator records `Spec`/`Retire` records and a final sync but
+    /// never resumes from its log — simulated runs are cheap to re-run,
+    /// and the record stream lets durability tooling compare a sim's
+    /// retirement ledger against a real-runtime log.
+    pub persist: Option<Arc<dyn PersistBackend>>,
 }
 
 impl GprsSimConfig {
@@ -98,6 +107,7 @@ impl GprsSimConfig {
             telemetry: TelemetryConfig::default(),
             racecheck: false,
             analysis: false,
+            persist: None,
         }
     }
 
@@ -152,6 +162,13 @@ impl GprsSimConfig {
     /// [`GprsSimConfig::analysis`]).
     pub fn with_analysis(mut self, on: bool) -> Self {
         self.analysis = on;
+        self
+    }
+
+    /// Mirrors the retirement stream into `backend` (see
+    /// [`GprsSimConfig::persist`]).
+    pub fn with_persist(mut self, backend: Arc<dyn PersistBackend>) -> Self {
+        self.persist = Some(backend);
         self
     }
 }
@@ -355,6 +372,9 @@ struct Gprs<'a> {
     sched_hash: ScheduleHash,
     retired_hash: RetiredOrderHash,
     raw_trace: Vec<(u64, u32)>,
+    /// Durable mirror of the retirement stream (observability only; a
+    /// persistence error silently disarms it for the rest of the run).
+    persist: Option<Arc<dyn PersistBackend>>,
 }
 
 impl<'a> Gprs<'a> {
@@ -391,7 +411,7 @@ impl<'a> Gprs<'a> {
             Some(rep) if rep.advice == gprs_analyze::RecoveryAdvice::HybridCpr => true,
             _ => cfg.racecheck,
         };
-        let g = Gprs {
+        let mut g = Gprs {
             w,
             cfg,
             enforcer,
@@ -419,7 +439,16 @@ impl<'a> Gprs<'a> {
             sched_hash: ScheduleHash::new(),
             retired_hash: RetiredOrderHash::new(),
             raw_trace: Vec::new(),
+            persist: cfg.persist.clone(),
         };
+        if let Some(p) = &g.persist {
+            let spec = DurableRecord::Spec {
+                text: format!("sim {}", g.w.name),
+            };
+            if p.record(&spec).is_err() {
+                g.persist = None;
+            }
+        }
         if let Some(rep) = &g.analysis {
             let elided = rep.race_free() && g.race.is_none();
             if g.tel.enabled() {
@@ -447,9 +476,29 @@ impl<'a> Gprs<'a> {
         g
     }
 
+    /// Mirrors one retirement into the durable log, in the same record
+    /// shape the real runtime writes (so the two ledgers are comparable).
+    fn durable_retire(&mut self, retired: &RolEntry) {
+        let rec = DurableRecord::Retire {
+            subthread: retired.id().raw(),
+            thread: retired.thread().raw(),
+            kind: retired.descriptor.kind.tag(),
+            retired: self.rol.retired(),
+            digest: self.retired_hash.digest(),
+        };
+        if let Some(p) = &self.persist {
+            if p.record(&rec).is_err() {
+                self.persist = None;
+            }
+        }
+    }
+
     /// Seals the telemetry summary and race verdict into the result (every
     /// exit path).
     fn finish_result(mut self) -> SimResult {
+        if let Some(p) = self.persist.take() {
+            let _ = p.sync();
+        }
         if let Some(d) = &self.race {
             self.res.races = d.races();
             self.res.first_race = d.first_race().cloned();
@@ -582,6 +631,9 @@ impl<'a> Gprs<'a> {
         for retired in self.rol.retire_ready() {
             self.retired_hash
                 .record(retired.thread().raw(), retired.descriptor.kind.tag());
+            if self.persist.is_some() {
+                self.durable_retire(&retired);
+            }
             if self.race.is_some() {
                 self.race_retire(&retired);
             }
@@ -1555,6 +1607,38 @@ mod tests {
         // Barrier release waits for the slowest (3 Mcyc) + second phase.
         assert!(r.finish_cycles >= 4_000_000);
         assert_eq!(r.subthreads, 6); // 3 initial + 3 continuations
+    }
+
+    /// The durable mirror records one `Retire` per retirement (squashed
+    /// work never retires, so injection does not inflate the stream), the
+    /// epoch's `Spec` names the workload, and the final digest equals the
+    /// run's retired-order hash — the same ledger shape the real runtime
+    /// writes, so the two are comparable record-for-record.
+    #[test]
+    fn persist_mirrors_the_retirement_stream() {
+        use gprs_core::persist::{MemoryBackend, PersistBackend};
+        let w = data_parallel(4, secs_to_cycles(1.0));
+        let backend = std::sync::Arc::new(MemoryBackend::new());
+        let r = run_gprs(
+            &w,
+            &GprsSimConfig::balance_aware(4)
+                .with_exceptions(InjectorConfig::paper(2.0, 4, CYCLES_PER_SEC).with_seed(7))
+                .with_time_cap(secs_to_cycles(200.0))
+                .with_persist(backend.clone()),
+        );
+        assert!(r.completed, "{r}");
+        let image = backend.load().expect("memory backend loads");
+        assert_eq!(image.spec.as_deref(), Some(format!("sim {}", w.name).as_str()));
+        assert_eq!(image.retires.len() as u64, r.telemetry.retired_count);
+        assert_eq!(
+            image.retires.last().expect("non-empty run").digest,
+            r.telemetry.retired_hash,
+        );
+        assert_eq!(
+            image.retires.last().expect("non-empty run").retired,
+            r.telemetry.retired_count,
+        );
+        assert!(backend.stats().fsyncs >= 1, "finish issues the final sync");
     }
 
     #[test]

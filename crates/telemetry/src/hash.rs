@@ -141,6 +141,13 @@ impl RetiredOrderHash {
         self.threads.iter().map(|(_, n, _)| n).sum()
     }
 
+    /// Per-thread `(thread, retired count)` splits in first-retirement
+    /// order — the durable checkpoint metadata a restarted run verifies
+    /// its replay against.
+    pub fn splits(&self) -> Vec<(u32, u64)> {
+        self.threads.iter().map(|&(t, n, _)| (t, n)).collect()
+    }
+
     /// The combined digest: per-thread finalized digests (salted with the
     /// thread id and its count) summed with wrapping addition.
     pub fn digest(&self) -> u64 {

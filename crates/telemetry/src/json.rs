@@ -179,6 +179,43 @@ mod tests {
         assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\u0001\"");
     }
 
+    /// Every C0 control character must leave the writer escaped — the
+    /// short forms for the common three, `\u00XX` for the rest — so a
+    /// hostile workload/program name can never break a one-line JSON
+    /// stream (a raw newline would split the record in two).
+    #[test]
+    fn escapes_every_control_char() {
+        let all: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let mut w = JsonWriter::new();
+        w.string(&all);
+        let out = w.finish();
+        assert!(
+            out.chars().all(|c| (c as u32) >= 0x20),
+            "raw control byte survived: {out:?}"
+        );
+        assert!(out.contains("\\u0000") && out.contains("\\u001f"), "{out}");
+        assert!(
+            out.contains("\\n") && out.contains("\\r") && out.contains("\\t"),
+            "{out}"
+        );
+        assert!(!out.contains("\\u000a"), "newline uses the short form: {out}");
+    }
+
+    /// Non-ASCII passes through as raw UTF-8 — valid JSON, no `\u`
+    /// inflation — in both key and value position, mixed with characters
+    /// that do need escaping.
+    #[test]
+    fn non_ascii_passes_through_unescaped() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("naïve → 名前 🚀", "λ\u{7f}\"quoted\"\u{1}")
+            .end_object();
+        assert_eq!(
+            w.finish(),
+            "{\"naïve → 名前 🚀\":\"λ\u{7f}\\\"quoted\\\"\\u0001\"}"
+        );
+    }
+
     #[test]
     fn non_finite_floats_are_null() {
         let mut w = JsonWriter::new();

@@ -223,6 +223,15 @@ pub struct Metrics {
     /// Fresh heap allocations on pooled hot paths (access vectors, WAL
     /// buffers) — pool misses; steady state should hold this constant.
     pub hot_path_allocs: Counter,
+    /// Durable WAL segments sealed (fsync'd and closed) by the
+    /// persistence backend.
+    pub wal_segments_sealed: Counter,
+    /// fsync (or equivalent durability barrier) calls issued by the
+    /// persistence backend.
+    pub fsyncs: Counter,
+    /// Retired sub-threads re-verified against a durable retire prefix
+    /// during a resumed (restart-as-recovery) run.
+    pub recovered_prefix_len: Counter,
     /// Sub-threads squashed per recovery session.
     pub squashed_per_recovery: Histogram,
     /// Recovery-session wall time in nanoseconds (runtime) or cycles
@@ -267,6 +276,9 @@ impl Metrics {
             ("wakeups_issued", self.wakeups_issued.get()),
             ("wakeups_spurious", self.wakeups_spurious.get()),
             ("hot_path_allocs", self.hot_path_allocs.get()),
+            ("wal_segments_sealed", self.wal_segments_sealed.get()),
+            ("fsyncs", self.fsyncs.get()),
+            ("recovered_prefix_len", self.recovered_prefix_len.get()),
         ]
     }
 

@@ -19,6 +19,7 @@ fn main() {
     let pool = ServePool::start(PoolConfig {
         workers: 2,
         quantum: 16,
+        ..Default::default()
     });
     let handle = pool.handle();
 

@@ -200,6 +200,30 @@ fn committed_fixtures_replay_clean() {
     assert!(seen >= 3, "expected the committed fixture set, found {seen}");
 }
 
+/// HALT mid-recovery: cancel the job at every early quantum boundary of a
+/// plan whose `mid-recovery` overlays are still pending, so the fresh
+/// exceptions fire *inside* the cancellation squash. Whatever the cancel
+/// point, the halted run must finish without panicking and the WAL ledger
+/// must balance — `wal_appends == wal_undos + wal_prunes` — because the
+/// halt squash undoes or prunes every append it leaves behind.
+#[test]
+fn halt_mid_recovery_balances_the_ledger_at_every_cancel_point() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../chaos/fixtures/halt-mid-recovery.plan"
+    ))
+    .expect("committed halt fixture");
+    let mut fx = Fixture::parse(&text).expect("fixture parses");
+    for quanta in 0..6 {
+        fx.seed = quanta; // the HALT point, in 8-grant quanta
+        let violations = replay_fixture(&fx).expect("known engine");
+        assert!(
+            violations.is_empty(),
+            "halt after {quanta} quanta: {violations:?}"
+        );
+    }
+}
+
 /// A miniature campaign end-to-end (2 seeds, quick legs): the exact code
 /// path CI's chaos-smoke job drives.
 #[test]

@@ -60,6 +60,7 @@ fn a_thousand_mixed_tenants_match_their_solo_goldens() {
     let pool = ServePool::start(PoolConfig {
         workers: 2,
         quantum: 16,
+        ..Default::default()
     });
     let handle = pool.handle();
     let tickets: Vec<_> = (0..JOBS)
@@ -102,6 +103,7 @@ fn graceful_shutdown_drains_in_flight_and_mid_recovery_jobs() {
     let pool = ServePool::start(PoolConfig {
         workers: 2,
         quantum: 8,
+        ..Default::default()
     });
     let handle = pool.handle();
     let tickets: Vec<_> = (0..JOBS)
@@ -138,6 +140,7 @@ fn halting_shutdown_cancels_cleanly() {
     let pool = ServePool::start(PoolConfig {
         workers: 1,
         quantum: 4,
+        ..Default::default()
     });
     let handle = pool.handle();
     let tickets: Vec<_> = (0..JOBS)
@@ -177,6 +180,7 @@ fn cancel_of_a_queued_job_skips_execution() {
     let pool = ServePool::start(PoolConfig {
         workers: 1,
         quantum: 2,
+        ..Default::default()
     });
     let handle = pool.handle();
     // A deep FIFO of real work ahead of the victim.
@@ -212,6 +216,7 @@ fn deadlines_cancel_at_a_deterministic_precise_point() {
         let pool = ServePool::start(PoolConfig {
             workers: 2,
             quantum: 4,
+            ..Default::default()
         });
         let outcome = pool.handle().submit(spec.clone()).unwrap().wait();
         pool.shutdown();
@@ -251,6 +256,7 @@ fn long_jobs_cannot_starve_small_tenants() {
         let pool = ServePool::start(PoolConfig {
             workers: 1,
             quantum: 4,
+            ..Default::default()
         });
         let handle = pool.handle();
         // fetchadd/11 runs 52 grants = 13 quanta; each histogram small is
@@ -286,6 +292,7 @@ fn socket_driver_streams_golden_identical_reports() {
         PoolConfig {
             workers: 2,
             quantum: 16,
+            ..Default::default()
         },
     )
     .expect("bind ephemeral port");
