@@ -1,0 +1,283 @@
+//! Per-segment effect summaries — the shared substrate of the interference
+//! (shard) and restartability passes.
+//!
+//! A [`Segment`] in the trace IR already names everything its body can do to
+//! state outside its own stack frame: plain reads/writes of shared cells,
+//! critical sections (opening and nested), the closing synchronization op,
+//! and the `external` escape hatch for effects no WAL record can undo. An
+//! [`EffectSummary`] normalizes that into one flat record per segment so the
+//! downstream passes (interference partitioning, restartability
+//! classification, elision planning) never re-derive it from IR shape.
+
+use crate::report::Site;
+use gprs_core::ids::{AtomicId, BarrierId, ChannelId, LockId};
+use gprs_core::workload::{PlainKind, Segment, SimOp, Workload};
+use std::collections::BTreeSet;
+
+/// Direction of a channel operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChanDir {
+    /// The segment's closing op enqueues.
+    Push,
+    /// The segment's closing op dequeues.
+    Pop,
+}
+
+/// Everything one segment can do to state outside its own stack frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectSummary {
+    /// The segment this summarizes.
+    pub site: Site,
+    /// Cells the body plain-reads (an `Update` both reads and writes).
+    pub reads: Vec<AtomicId>,
+    /// Cells the body plain-writes.
+    pub writes: Vec<AtomicId>,
+    /// Locks the segment interacts with: the closing `Lock` op plus any
+    /// nested critical section.
+    pub locks: Vec<LockId>,
+    /// The atomic the closing op read-modify-writes, if any.
+    pub rmw: Option<AtomicId>,
+    /// The channel op closing the segment, if any.
+    pub channel: Option<(ChannelId, ChanDir)>,
+    /// The barrier the closing op waits on, if any.
+    pub barrier: Option<BarrierId>,
+    /// The body performs an effect that escapes the recovery envelope.
+    pub external: bool,
+    /// Body computation cycles.
+    pub work: u64,
+    /// Checkpointed mod-set bytes covering the body.
+    pub ckpt_bytes: u64,
+}
+
+impl EffectSummary {
+    /// Summarizes one segment.
+    pub fn of(site: Site, s: &Segment) -> Self {
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        match s.plain {
+            Some((cell, PlainKind::Read)) => reads.push(cell),
+            Some((cell, PlainKind::Write)) => writes.push(cell),
+            Some((cell, PlainKind::Update)) => {
+                reads.push(cell);
+                writes.push(cell);
+            }
+            None => {}
+        }
+        let mut locks = Vec::new();
+        let mut rmw = None;
+        let mut channel = None;
+        let mut barrier = None;
+        match s.op {
+            SimOp::Lock { lock, .. } => locks.push(lock),
+            SimOp::Atomic { atomic } => rmw = Some(atomic),
+            SimOp::Push { chan } => channel = Some((chan, ChanDir::Push)),
+            SimOp::Pop { chan } => channel = Some((chan, ChanDir::Pop)),
+            SimOp::Barrier { barrier: b } => barrier = Some(b),
+            SimOp::End => {}
+        }
+        if let Some(m) = s.nested {
+            if !locks.contains(&m) {
+                locks.push(m);
+            }
+        }
+        EffectSummary {
+            site,
+            reads,
+            writes,
+            locks,
+            rmw,
+            channel,
+            barrier,
+            external: s.external,
+            work: s.work,
+            ckpt_bytes: s.ckpt_bytes,
+        }
+    }
+}
+
+/// Flat effect summaries for every segment, in `(thread, segment)` order.
+pub fn summarize(w: &Workload) -> Vec<EffectSummary> {
+    let mut out = Vec::with_capacity(w.total_segments() as usize);
+    for t in &w.threads {
+        for (i, s) in t.segments.iter().enumerate() {
+            out.push(EffectSummary::of(Site::new(t.thread, i), s));
+        }
+    }
+    out
+}
+
+/// The restartability verdict for one segment, from the recovery system's
+/// point of view: what does squashing the sub-thread this segment bodies
+/// cost, and can it be done precisely at all?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SegmentClass {
+    /// The body provably modifies nothing: zero computation, no plain
+    /// write, no nested critical section, no external effect. Squashing it
+    /// restores no state, so its checkpoint records nothing of value.
+    ReadOnly,
+    /// Every effect is covered: plain writes have checkpointed mod-set
+    /// bytes, sync-op effects are undone by WAL control records, private
+    /// computation is covered by the sub-thread snapshot.
+    UndoCovered,
+    /// At least one effect escapes the recovery envelope — an explicit
+    /// `external` marker, or a plain write with no checkpoint coverage.
+    /// Selective restart cannot squash this segment precisely.
+    External,
+}
+
+impl SegmentClass {
+    /// Classifies one segment's body.
+    pub fn of(s: &Segment) -> Self {
+        let writes = matches!(s.plain, Some((_, PlainKind::Write | PlainKind::Update)));
+        if s.external || (writes && s.ckpt_bytes == 0) {
+            return SegmentClass::External;
+        }
+        if !writes && s.nested.is_none() && s.work == 0 {
+            return SegmentClass::ReadOnly;
+        }
+        SegmentClass::UndoCovered
+    }
+
+    /// A stable label for display and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SegmentClass::ReadOnly => "read-only",
+            SegmentClass::UndoCovered => "undo-covered",
+            SegmentClass::External => "external",
+        }
+    }
+}
+
+/// Is the checkpoint at the sub-thread boundary whose *body* is `body` and
+/// whose opening op is `opening` (the previous segment's closing op, `None`
+/// for a thread's initial sub-thread) provably elidable?
+///
+/// Two conditions, both static:
+/// * the body is [`SegmentClass::ReadOnly`] — it modifies no private or
+///   shared state, so rewinding to this boundary restores nothing; and
+/// * the opening op is not a `Lock` — under unlock subsumption the critical
+///   section's `cs_work` executes *inside* this sub-thread, and the CS body
+///   mutates the lock-protected data the checkpoint exists to cover.
+///
+/// Sync-op effects of the opening itself (the push/pop/fetch-add) are undone
+/// by WAL control records, never by the checkpoint, so they do not block
+/// elision.
+pub fn checkpoint_elidable(opening: Option<SimOp>, body: &Segment) -> bool {
+    SegmentClass::of(body) == SegmentClass::ReadOnly
+        && !matches!(opening, Some(SimOp::Lock { .. }))
+}
+
+/// Cells whose every access across the whole workload is a plain `Write`:
+/// the value is never observed — not by a plain read, not by an `Update`
+/// read-modify-write, not by a synchronizing `Atomic` op — so the WAL undo
+/// record protecting the old value can never matter. Squash leaves a stale
+/// value behind, re-execution deterministically overwrites it, and no read
+/// exists to see the window in between.
+pub fn dead_cells(w: &Workload) -> BTreeSet<AtomicId> {
+    let mut written = BTreeSet::new();
+    let mut observed = BTreeSet::new();
+    for t in &w.threads {
+        for s in &t.segments {
+            match s.plain {
+                Some((cell, PlainKind::Write)) => {
+                    written.insert(cell);
+                }
+                Some((cell, PlainKind::Read | PlainKind::Update)) => {
+                    observed.insert(cell);
+                }
+                None => {}
+            }
+            if let SimOp::Atomic { atomic } = s.op {
+                observed.insert(atomic);
+            }
+        }
+    }
+    written.retain(|c| !observed.contains(c));
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprs_core::ids::{GroupId, ThreadId};
+    use gprs_core::workload::ThreadSpec;
+
+    #[test]
+    fn summary_splits_update_into_read_and_write() {
+        let cell = AtomicId::new(3);
+        let s = Segment::new(5, SimOp::Lock {
+            lock: LockId::new(1),
+            cs_work: 2,
+        })
+        .with_plain(cell, PlainKind::Update)
+        .with_nested(LockId::new(2));
+        let e = EffectSummary::of(Site::new(ThreadId::new(0), 0), &s);
+        assert_eq!(e.reads, vec![cell]);
+        assert_eq!(e.writes, vec![cell]);
+        assert_eq!(e.locks, vec![LockId::new(1), LockId::new(2)]);
+        assert_eq!(e.rmw, None);
+        assert!(!e.external);
+    }
+
+    #[test]
+    fn classes_cover_the_lattice() {
+        let ro = Segment::new(0, SimOp::Pop {
+            chan: ChannelId::new(0),
+        });
+        assert_eq!(SegmentClass::of(&ro), SegmentClass::ReadOnly);
+        let covered = Segment::new(10, SimOp::End);
+        assert_eq!(SegmentClass::of(&covered), SegmentClass::UndoCovered);
+        let uncovered = Segment::new(0, SimOp::End)
+            .with_plain(AtomicId::new(0), PlainKind::Write)
+            .with_ckpt_bytes(0);
+        assert_eq!(SegmentClass::of(&uncovered), SegmentClass::External);
+        let escape = Segment::new(0, SimOp::End).with_external();
+        assert_eq!(SegmentClass::of(&escape), SegmentClass::External);
+        // A plain read does not block read-only.
+        let read = Segment::new(0, SimOp::End).with_plain(AtomicId::new(0), PlainKind::Read);
+        assert_eq!(SegmentClass::of(&read), SegmentClass::ReadOnly);
+    }
+
+    #[test]
+    fn lock_opening_blocks_checkpoint_elision() {
+        let body = Segment::new(0, SimOp::End);
+        assert!(checkpoint_elidable(None, &body));
+        assert!(checkpoint_elidable(
+            Some(SimOp::Push {
+                chan: ChannelId::new(0)
+            }),
+            &body
+        ));
+        assert!(!checkpoint_elidable(
+            Some(SimOp::Lock {
+                lock: LockId::new(0),
+                cs_work: 0
+            }),
+            &body
+        ));
+    }
+
+    #[test]
+    fn dead_cells_require_write_only_access() {
+        let beacon = AtomicId::new(0);
+        let live = AtomicId::new(1);
+        let rmw = AtomicId::new(2);
+        let t0 = ThreadSpec::new(ThreadId::new(0), GroupId::new(0), 1, vec![
+            Segment::new(1, SimOp::End).with_plain(beacon, PlainKind::Write),
+        ]);
+        let t1 = ThreadSpec::new(ThreadId::new(1), GroupId::new(0), 1, vec![
+            Segment::new(1, SimOp::Atomic { atomic: rmw }).with_plain(live, PlainKind::Write),
+            Segment::new(1, SimOp::End).with_plain(live, PlainKind::Read),
+        ]);
+        // `rmw` is also plain-written by a third thread: the Atomic op
+        // observes it, so it stays live.
+        let t2 = ThreadSpec::new(ThreadId::new(2), GroupId::new(0), 1, vec![
+            Segment::new(1, SimOp::End).with_plain(rmw, PlainKind::Write),
+        ]);
+        let w = Workload::new("t", vec![t0, t1, t2]);
+        let dead = dead_cells(&w);
+        assert!(dead.contains(&beacon));
+        assert!(!dead.contains(&live));
+        assert!(!dead.contains(&rmw));
+    }
+}

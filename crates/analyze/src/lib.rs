@@ -19,8 +19,16 @@
 //! * **Channel topology**: producer/consumer graph, statically starved
 //!   `Pop`s, unbalanced stages, and a synthesized balance-aware group /
 //!   weight assignment ([`SuggestedSchedule`]).
-//! * **Checkpoint-coverage lints**: plain-writing segments that record no
-//!   mod-set bytes.
+//! * **Interference partitioning** ([`ShardPlan`]): per-segment effect
+//!   summaries drive an interference relation over threads whose transitive
+//!   closure yields provably independent *order domains* (channels and
+//!   barriers stay explicit cross-domain edges) — the static contract a
+//!   sharded order enforcer consumes.
+//! * **Restartability verification** ([`RestartSummary`]): every segment is
+//!   classified read-only / undo-covered / externally-effectful, with
+//!   deny-lints (`uncovered-write`, `effect-escape`) for effects recovery
+//!   cannot contain, plus the two static elision proofs the engines consume
+//!   (redundant checkpoints, dead write-only cells).
 //!
 //! The report is deterministic — same workload, bit-identical
 //! [`AnalysisReport`] — and serializes through `gprs-telemetry`'s serde-free
@@ -48,16 +56,24 @@
 #![warn(missing_debug_implementations)]
 
 mod channels;
+mod effects;
 mod lockorder;
 mod lockset;
 pub mod report;
+mod restart;
+mod shard;
 mod validate;
 
 pub use channels::MAX_WEIGHT;
+pub use effects::{
+    checkpoint_elidable, dead_cells, summarize, ChanDir, EffectSummary, SegmentClass,
+};
 pub use report::{
     AnalysisReport, CellReport, CellVerdict, Diagnostic, RecoveryAdvice, Severity, Site,
     StageAdvice, SuggestedSchedule,
 };
+pub use restart::RestartSummary;
+pub use shard::{shard_plan, CrossEdge, EdgeKind, ShardDomain, ShardPlan};
 
 use gprs_core::workload::Workload;
 
@@ -67,10 +83,11 @@ use gprs_core::workload::Workload;
 pub fn analyze(w: &Workload) -> AnalysisReport {
     let mut r = AnalysisReport::new(&w.name, w.threads.len());
     validate::run(w, &mut r);
-    validate::ckpt_lints(w, &mut r);
     lockset::run(w, &mut r);
     lockorder::run(w, &mut r);
     channels::run(w, &mut r);
+    restart::run(w, &mut r);
+    shard::run(w, &mut r);
     // Severity-ranked: errors first; insertion order (stable sort) breaks
     // ties deterministically.
     r.diagnostics
@@ -188,6 +205,116 @@ mod tests {
         assert_eq!(analyze(&racy).cells[0].verdict, CellVerdict::PotentialRace);
     }
 
+    // Regression tests pinning the static/dynamic ordering boundary for
+    // channels: the dynamic detector carries push→pop provenance (its
+    // `ChanPop` open edge), and before the SPSC provenance rule the static
+    // pass missed it — a hand-off that the runtime proves ordered was
+    // reported as a potential race.
+    #[test]
+    fn spsc_handoff_orders_producer_before_consumer() {
+        let cell = AtomicId::new(7);
+        let c = ChannelId::new(0);
+        let w = two_threads([
+            vec![Segment::new(10, SimOp::Push { chan: c }).with_plain(cell, PlainKind::Write)],
+            vec![
+                Segment::new(1, SimOp::Pop { chan: c }),
+                Segment::new(10, SimOp::End).with_plain(cell, PlainKind::Update),
+            ],
+        ]);
+        let r = analyze(&w);
+        assert_eq!(r.cells[0].verdict, CellVerdict::Guarded, "{r}");
+        assert!(r.race_free());
+    }
+
+    #[test]
+    fn access_in_the_pop_segment_itself_is_not_ordered() {
+        // The consumer's access runs in the pop segment's *body*, i.e.
+        // before the pop grant — no provenance has arrived yet.
+        let cell = AtomicId::new(7);
+        let c = ChannelId::new(0);
+        let w = two_threads([
+            vec![Segment::new(10, SimOp::Push { chan: c }).with_plain(cell, PlainKind::Write)],
+            vec![Segment::new(1, SimOp::Pop { chan: c }).with_plain(cell, PlainKind::Update)],
+        ]);
+        assert_eq!(analyze(&w).cells[0].verdict, CellVerdict::PotentialRace);
+    }
+
+    #[test]
+    fn channel_carries_no_backpressure_edge() {
+        // Consumer writes before its pop; producer reads after its push —
+        // the FIFO orders nothing in that direction.
+        let cell = AtomicId::new(7);
+        let c = ChannelId::new(0);
+        let w = two_threads([
+            vec![
+                Segment::new(10, SimOp::Push { chan: c }),
+                Segment::new(10, SimOp::End).with_plain(cell, PlainKind::Update),
+            ],
+            vec![
+                Segment::new(10, SimOp::Pop { chan: c }).with_plain(cell, PlainKind::Write),
+            ],
+        ]);
+        assert_eq!(analyze(&w).cells[0].verdict, CellVerdict::PotentialRace);
+    }
+
+    #[test]
+    fn multi_producer_channel_gives_no_ordering() {
+        let cell = AtomicId::new(7);
+        let c = ChannelId::new(0);
+        let w = Workload::new(
+            "t",
+            vec![
+                ThreadSpec::new(tid(0), GroupId::new(0), 1, vec![
+                    Segment::new(1, SimOp::Push { chan: c }).with_plain(cell, PlainKind::Write),
+                ]),
+                ThreadSpec::new(tid(1), GroupId::new(0), 1, vec![
+                    Segment::new(1, SimOp::Push { chan: c }),
+                ]),
+                ThreadSpec::new(tid(2), GroupId::new(0), 1, vec![
+                    Segment::new(1, SimOp::Pop { chan: c }),
+                    Segment::new(1, SimOp::Pop { chan: c }),
+                    Segment::new(1, SimOp::End).with_plain(cell, PlainKind::Update),
+                ]),
+            ],
+        );
+        assert_eq!(analyze(&w).cells[0].verdict, CellVerdict::PotentialRace);
+    }
+
+    #[test]
+    fn later_handoffs_order_later_producer_accesses() {
+        // The second push/pop pair carries provenance for a producer access
+        // between the pushes; a consumer access between the pops is only
+        // covered by the first pair.
+        let cell = AtomicId::new(7);
+        let c = ChannelId::new(0);
+        let w = two_threads([
+            vec![
+                Segment::new(1, SimOp::Push { chan: c }),
+                Segment::new(1, SimOp::Push { chan: c }).with_plain(cell, PlainKind::Write),
+            ],
+            vec![
+                Segment::new(1, SimOp::Pop { chan: c }),
+                Segment::new(1, SimOp::Pop { chan: c }),
+                Segment::new(1, SimOp::End).with_plain(cell, PlainKind::Update),
+            ],
+        ]);
+        assert_eq!(analyze(&w).cells[0].verdict, CellVerdict::Guarded);
+        // Same producer access, but the consumer touches the cell after
+        // only the *first* pop: the write sits at push 2, provenance only
+        // reached push 1 — unordered.
+        let early = two_threads([
+            vec![
+                Segment::new(1, SimOp::Push { chan: c }),
+                Segment::new(1, SimOp::Push { chan: c }).with_plain(cell, PlainKind::Write),
+            ],
+            vec![
+                Segment::new(1, SimOp::Pop { chan: c }),
+                Segment::new(1, SimOp::Pop { chan: c }).with_plain(cell, PlainKind::Update),
+            ],
+        ]);
+        assert_eq!(analyze(&early).cells[0].verdict, CellVerdict::PotentialRace);
+    }
+
     #[test]
     fn lock_cycle_detected() {
         let (a, b) = (LockId::new(0), LockId::new(1));
@@ -274,14 +401,45 @@ mod tests {
     }
 
     #[test]
-    fn uncheckpointed_write_lint() {
+    fn uncovered_write_is_denied() {
         let seg = Segment::new(1, SimOp::End)
             .with_plain(AtomicId::new(0), PlainKind::Write)
             .with_ckpt_bytes(0)
             .with_nested(LockId::new(0));
         let r = analyze(&two_threads([vec![seg], vec![seg]]));
-        assert_eq!(r.warnings(), 2);
-        assert!(r.diagnostics.iter().all(|d| d.severity != Severity::Error));
+        // The shared nested lock keeps the cell race-free, but the missing
+        // checkpoint coverage is a restartability error in its own right.
+        assert_eq!(r.cells[0].verdict, CellVerdict::Guarded);
+        assert_eq!(r.errors(), 2);
+        assert!(r.diagnostics.iter().all(|d| d.code == "uncovered-write"
+            || d.severity != Severity::Error));
+        assert!(!r.race_free(), "uncovered writes veto the elision proofs");
+        assert_eq!(r.restart.external, 2);
+    }
+
+    #[test]
+    fn external_segment_is_denied() {
+        let seg = Segment::new(1, SimOp::End).with_external();
+        let r = analyze(&two_threads([vec![seg], vec![Segment::new(1, SimOp::End)]]));
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.diagnostics[0].code, "effect-escape");
+        assert!(!r.race_free());
+    }
+
+    #[test]
+    fn report_carries_shard_plan_and_restartability() {
+        let c = ChannelId::new(0);
+        let w = two_threads([
+            vec![Segment::new(1, SimOp::Push { chan: c }); 2],
+            vec![Segment::new(0, SimOp::Pop { chan: c }); 2],
+        ]);
+        let r = analyze(&w);
+        assert_eq!(r.shard_plan.domains.len(), 2, "{r}");
+        assert_eq!(r.shard_plan.edges.len(), 1);
+        // The pop bodies and the auto-appended End segments do no work.
+        assert!(r.restart.read_only >= 4, "{:?}", r.restart);
+        assert!(r.to_json().contains("\"shard_plan\""));
+        assert!(r.to_json().contains("\"restartability\""));
     }
 
     #[test]

@@ -7,13 +7,17 @@
 //! critical section flattened into segment `i` itself. Two accesses are
 //! statically ordered when they share a guard (lock or atomic — atomics
 //! serialize through acquire/release exactly as the vector-clock detector
-//! models them) or when barrier phases separate them. Anything else is a
-//! potential race; over-approximation is the sound direction, since the
-//! verdict decides whether selective restart may run without the dynamic
-//! detector.
+//! models them), when barrier phases separate them, or when a
+//! single-producer/single-consumer channel hand-off carries push→pop
+//! provenance between them (the dynamic detector's `ChanPop` edge: a pop
+//! joins the producer's clock as of the matching push, so producer work
+//! before the push happens-before consumer work after the pop). Anything
+//! else is a potential race; over-approximation is the sound direction,
+//! since the verdict decides whether selective restart may run without the
+//! dynamic detector.
 
 use crate::report::{AnalysisReport, CellReport, CellVerdict, RecoveryAdvice, Severity, Site};
-use gprs_core::ids::{AtomicId, BarrierId, ResourceId, ThreadId};
+use gprs_core::ids::{AtomicId, BarrierId, ChannelId, ResourceId, ThreadId};
 use gprs_core::workload::{PlainKind, SimOp, Workload};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -29,16 +33,54 @@ struct Access {
     phases: BTreeMap<BarrierId, u32>,
 }
 
+/// A channel with exactly one pushing and one popping thread (and the two
+/// distinct): its FIFO discipline gives static push→pop provenance.
+struct Spsc {
+    producer: ThreadId,
+    consumer: ThreadId,
+    /// Segment index of the producer's m-th push, ascending.
+    pushes: Vec<usize>,
+    /// Segment index of the consumer's m-th pop, ascending.
+    pops: Vec<usize>,
+}
+
 pub(crate) fn run(w: &Workload, r: &mut AnalysisReport) {
     // Total arrivals per (thread, barrier) — needed for the phase rule.
     let mut arrivals: BTreeMap<(ThreadId, BarrierId), u32> = BTreeMap::new();
+    // Per-channel push/pop sites, to recognize SPSC hand-offs.
+    let mut chan_sites: BTreeMap<ChannelId, (Vec<Site>, Vec<Site>)> = BTreeMap::new();
     for t in &w.threads {
-        for s in &t.segments {
-            if let SimOp::Barrier { barrier } = s.op {
-                *arrivals.entry((t.thread, barrier)).or_insert(0) += 1;
+        for (i, s) in t.segments.iter().enumerate() {
+            match s.op {
+                SimOp::Barrier { barrier } => {
+                    *arrivals.entry((t.thread, barrier)).or_insert(0) += 1;
+                }
+                SimOp::Push { chan } => {
+                    chan_sites.entry(chan).or_default().0.push(Site::new(t.thread, i));
+                }
+                SimOp::Pop { chan } => {
+                    chan_sites.entry(chan).or_default().1.push(Site::new(t.thread, i));
+                }
+                _ => {}
             }
         }
     }
+    let spsc: Vec<Spsc> = chan_sites
+        .into_values()
+        .filter_map(|(pushes, pops)| {
+            let producer = pushes.first()?.thread;
+            let consumer = pops.first()?.thread;
+            (producer != consumer
+                && pushes.iter().all(|s| s.thread == producer)
+                && pops.iter().all(|s| s.thread == consumer))
+            .then(|| Spsc {
+                producer,
+                consumer,
+                pushes: pushes.iter().map(|s| s.segment).collect(),
+                pops: pops.iter().map(|s| s.segment).collect(),
+            })
+        })
+        .collect();
 
     // Collect accesses per cell in deterministic (cell, thread, segment)
     // order.
@@ -77,7 +119,7 @@ pub(crate) fn run(w: &Workload, r: &mut AnalysisReport) {
     }
 
     for (cell, accesses) in cells {
-        let report = classify(cell, &accesses, &arrivals);
+        let report = classify(cell, &accesses, &arrivals, &spsc);
         if let (CellVerdict::PotentialRace, Some((a, b))) = (report.verdict, report.indicted) {
             r.advice = RecoveryAdvice::HybridCpr;
             r.push(
@@ -98,6 +140,7 @@ fn classify(
     cell: AtomicId,
     accesses: &[Access],
     arrivals: &BTreeMap<(ThreadId, BarrierId), u32>,
+    spsc: &[Spsc],
 ) -> CellReport {
     let sites: Vec<Site> = accesses.iter().map(|a| a.site).collect();
     let single_thread = accesses
@@ -120,7 +163,7 @@ fn classify(
             if a.kind == PlainKind::Read && b.kind == PlainKind::Read {
                 continue; // reads never conflict
             }
-            if !ordered(a, b, arrivals) {
+            if !ordered(a, b, arrivals, spsc) {
                 return CellReport {
                     cell,
                     verdict: CellVerdict::PotentialRace,
@@ -138,11 +181,20 @@ fn classify(
     }
 }
 
-/// Is the pair statically ordered — common guard, or separated by barrier
+/// Is the pair statically ordered — common guard, separated by barrier
 /// phases (the access in the lower phase happens-before the higher-phase
-/// one, provided the lower-phase thread keeps arriving up to that phase)?
-fn ordered(a: &Access, b: &Access, arrivals: &BTreeMap<(ThreadId, BarrierId), u32>) -> bool {
+/// one, provided the lower-phase thread keeps arriving up to that phase),
+/// or carried by SPSC channel provenance in either direction?
+fn ordered(
+    a: &Access,
+    b: &Access,
+    arrivals: &BTreeMap<(ThreadId, BarrierId), u32>,
+    spsc: &[Spsc],
+) -> bool {
     if !a.guards.is_disjoint(&b.guards) {
+        return true;
+    }
+    if chan_ordered(a, b, spsc) || chan_ordered(b, a, spsc) {
         return true;
     }
     for (&bar, &pa) in &a.phases {
@@ -177,4 +229,24 @@ fn separated(
             .copied()
             .unwrap_or(0)
             >= pl
+}
+
+/// SPSC provenance: producer access `a` happens-before consumer access `b`
+/// when some hand-off `m` has the `m`-th push at or after `a`'s segment
+/// (the push grant follows `a`'s body) and the `m`-th pop strictly before
+/// `b`'s segment (`b`'s body runs after the pop completes). With pushes and
+/// pops both ascending, the best candidate is the last pop that completes
+/// before `b` — mirroring the dynamic detector's `ChanPop` edge, which
+/// joins the producer's clock as of the matching push into the consumer.
+/// One direction only: a FIFO carries no backpressure edge from consumer to
+/// producer.
+fn chan_ordered(a: &Access, b: &Access, spsc: &[Spsc]) -> bool {
+    spsc.iter().any(|c| {
+        a.site.thread == c.producer
+            && b.site.thread == c.consumer
+            && match c.pops.iter().rposition(|&q| q < b.site.segment) {
+                Some(m) => m < c.pushes.len() && a.site.segment <= c.pushes[m],
+                None => false,
+            }
+    })
 }

@@ -4,6 +4,8 @@
 //! serializable through `gprs-telemetry`'s hand-rolled [`JsonWriter`] so the
 //! report can be archived next to the telemetry artifacts without serde.
 
+use crate::restart::RestartSummary;
+use crate::shard::ShardPlan;
 use gprs_core::ids::{AtomicId, GroupId, LockId, ThreadId};
 use gprs_core::workload::Workload;
 use gprs_telemetry::json::JsonWriter;
@@ -234,6 +236,11 @@ pub struct AnalysisReport {
     /// Synthesized balance-aware schedule, when the channel topology forms
     /// a (non-trivial, acyclic) pipeline.
     pub suggestion: Option<SuggestedSchedule>,
+    /// Interference partition: provably independent order domains plus the
+    /// residual cross-domain couplings.
+    pub shard_plan: ShardPlan,
+    /// Restartability verdicts and the static elision proofs.
+    pub restart: RestartSummary,
     /// All findings, sorted most severe first.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -249,6 +256,8 @@ impl AnalysisReport {
             lock_order_edges: Vec::new(),
             lock_cycles: Vec::new(),
             suggestion: None,
+            shard_plan: ShardPlan::default(),
+            restart: RestartSummary::default(),
             diagnostics: Vec::new(),
         }
     }
@@ -360,6 +369,10 @@ impl AnalysisReport {
                 w.end_array();
             }
         }
+        w.key("shard_plan");
+        self.shard_plan.write_json(w);
+        w.key("restartability");
+        self.restart.write_json(w);
         w.key("diagnostics").begin_array();
         for d in &self.diagnostics {
             w.begin_object()
@@ -409,6 +422,10 @@ impl fmt::Display for AnalysisReport {
             }
             writeln!(f, " {}", cyc[0])?;
         }
+        for line in self.shard_plan.to_string().lines() {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(f, "  {}", self.restart)?;
         if let Some(sugg) = &self.suggestion {
             writeln!(f, "  suggested balance-aware schedule:")?;
             for st in &sugg.stages {

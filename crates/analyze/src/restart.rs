@@ -1,0 +1,189 @@
+//! Restartability verification: can every segment be squashed precisely?
+//!
+//! The paper's precision guarantee holds only if every effect a squashed
+//! sub-thread performed is either undone (WAL control records, checkpointed
+//! mod sets) or harmlessly re-executed. This pass classifies every segment
+//! on the [`SegmentClass`] lattice and deny-lints the two ways a workload
+//! can break the guarantee:
+//!
+//! * `uncovered-write` — a plain write with `ckpt_bytes == 0`: the store's
+//!   old value is recorded nowhere, so a squash cannot restore it.
+//! * `effect-escape` — an `external` segment: its effect is visible outside
+//!   the process before retirement, so no recovery scope can contain it.
+//!
+//! Both are errors (not warnings): they falsify `race_free()` and therefore
+//! also veto every elision the proofs would otherwise license.
+//!
+//! The summary additionally carries the two static elision proofs the
+//! engines consume: boundaries whose checkpoint is provably redundant
+//! ([`checkpoint_elidable`]) and write-only *dead cells* whose WAL undo
+//! records can never matter ([`dead_cells`]).
+
+use crate::effects::{checkpoint_elidable, dead_cells, SegmentClass};
+use crate::report::{AnalysisReport, Severity, Site};
+use gprs_core::ids::AtomicId;
+use gprs_core::workload::{PlainKind, Workload};
+use gprs_telemetry::json::JsonWriter;
+use std::fmt;
+
+/// Rolled-up restartability verdicts for one workload.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RestartSummary {
+    /// Segments classified [`SegmentClass::ReadOnly`].
+    pub read_only: u64,
+    /// Segments classified [`SegmentClass::UndoCovered`].
+    pub undo_covered: u64,
+    /// Segments classified [`SegmentClass::External`].
+    pub external: u64,
+    /// Sub-thread boundaries whose checkpoint is provably redundant.
+    pub elidable_checkpoints: u64,
+    /// Write-only cells whose WAL undo records are provably dead.
+    pub dead_cells: Vec<AtomicId>,
+}
+
+impl RestartSummary {
+    /// True when every segment can be squashed precisely.
+    pub fn all_covered(&self) -> bool {
+        self.external == 0
+    }
+
+    /// Serializes the summary into `w` as one JSON object.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object()
+            .field_u64("read_only", self.read_only)
+            .field_u64("undo_covered", self.undo_covered)
+            .field_u64("external", self.external)
+            .field_u64("elidable_checkpoints", self.elidable_checkpoints);
+        w.key("dead_cells").begin_array();
+        for c in &self.dead_cells {
+            w.string(&c.to_string());
+        }
+        w.end_array().end_object();
+    }
+}
+
+impl fmt::Display for RestartSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "restartability: {} read-only, {} undo-covered, {} external; \
+             {} elidable checkpoint(s), {} dead cell(s)",
+            self.read_only,
+            self.undo_covered,
+            self.external,
+            self.elidable_checkpoints,
+            self.dead_cells.len()
+        )
+    }
+}
+
+pub(crate) fn run(w: &Workload, r: &mut AnalysisReport) {
+    let mut sum = RestartSummary::default();
+    for t in &w.threads {
+        for (i, s) in t.segments.iter().enumerate() {
+            match SegmentClass::of(s) {
+                SegmentClass::ReadOnly => sum.read_only += 1,
+                SegmentClass::UndoCovered => sum.undo_covered += 1,
+                SegmentClass::External => sum.external += 1,
+            }
+            let opening = (i > 0).then(|| t.segments[i - 1].op);
+            if checkpoint_elidable(opening, s) {
+                sum.elidable_checkpoints += 1;
+            }
+            if let Some((cell, kind)) = s.plain {
+                if matches!(kind, PlainKind::Write | PlainKind::Update) && s.ckpt_bytes == 0 {
+                    r.push(
+                        Severity::Error,
+                        "uncovered-write",
+                        format!(
+                            "{}/seg{i} plain-writes {cell} with ckpt_bytes == 0: \
+                             neither checkpoint nor WAL can restore it after a squash",
+                            t.thread
+                        ),
+                        vec![Site::new(t.thread, i)],
+                    );
+                }
+            }
+            if s.external {
+                r.push(
+                    Severity::Error,
+                    "effect-escape",
+                    format!(
+                        "{}/seg{i} performs an external effect that escapes retirement \
+                         ordering: selective restart cannot squash it precisely",
+                        t.thread
+                    ),
+                    vec![Site::new(t.thread, i)],
+                );
+            }
+        }
+    }
+    sum.dead_cells = dead_cells(w).into_iter().collect();
+    r.restart = sum;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use gprs_core::ids::{ChannelId, GroupId, ThreadId};
+    use gprs_core::workload::{Segment, SimOp, ThreadSpec};
+
+    fn one_thread(segs: Vec<Segment>) -> Workload {
+        Workload::new("t", vec![ThreadSpec::new(
+            ThreadId::new(0),
+            GroupId::new(0),
+            1,
+            segs,
+        )])
+    }
+
+    #[test]
+    fn classes_are_counted_and_totals_add_up() {
+        let w = one_thread(vec![
+            Segment::new(0, SimOp::Pop { chan: ChannelId::new(0) }),
+            Segment::new(10, SimOp::Push { chan: ChannelId::new(0) }),
+        ]);
+        // Channel balance is not this pass's business; only classes are.
+        let r = analyze(&w);
+        let s = &r.restart;
+        // Three segments including the auto-appended End (zero work: read-only).
+        assert_eq!(s.read_only + s.undo_covered + s.external, 3);
+        assert_eq!(s.read_only, 2);
+        assert_eq!(s.undo_covered, 1);
+        assert!(s.all_covered());
+    }
+
+    #[test]
+    fn uncovered_write_is_an_error() {
+        let w = one_thread(vec![Segment::new(1, SimOp::End)
+            .with_plain(gprs_core::ids::AtomicId::new(0), PlainKind::Write)
+            .with_ckpt_bytes(0)]);
+        let r = analyze(&w);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.diagnostics[0].code, "uncovered-write");
+        assert!(!r.race_free(), "an uncoverable write vetoes elision proofs");
+        assert_eq!(r.restart.external, 1);
+    }
+
+    #[test]
+    fn external_effect_is_an_error() {
+        let w = one_thread(vec![Segment::new(1, SimOp::End).with_external()]);
+        let r = analyze(&w);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.diagnostics[0].code, "effect-escape");
+        assert!(!r.restart.all_covered());
+    }
+
+    #[test]
+    fn summary_serializes() {
+        let w = one_thread(vec![Segment::new(0, SimOp::End)
+            .with_plain(gprs_core::ids::AtomicId::new(3), PlainKind::Write)]);
+        let r = analyze(&w);
+        assert_eq!(r.restart.dead_cells, vec![gprs_core::ids::AtomicId::new(3)]);
+        let mut jw = JsonWriter::new();
+        r.restart.write_json(&mut jw);
+        let json = jw.finish();
+        assert!(json.contains("\"dead_cells\""), "{json}");
+    }
+}

@@ -1,0 +1,401 @@
+//! Interference partitioning: provably independent order domains.
+//!
+//! Two threads *interfere* when they share mutable state whose access order
+//! the global retirement order must arbitrate: a common lock (opening or
+//! nested), a common synchronizing atomic, or a plain cell at least one of
+//! them writes. The transitive closure of that relation partitions the
+//! workload into **order domains** — thread sets that could retire through
+//! independent OrderGates without any cross-gate arbitration.
+//!
+//! Channels and barriers deliberately do *not* merge domains: a channel is a
+//! directed FIFO hand-off and a barrier is a rendezvous, both of which a
+//! sharded enforcer can implement as explicit cross-shard edges rather than
+//! by collapsing the shards into one. The [`ShardPlan`] therefore carries
+//! those residual couplings as [`CrossEdge`]s — the static contract the
+//! ROADMAP-3 sharded OrderGate consumes: retire freely within a domain,
+//! synchronize only along the listed edges.
+
+use crate::report::AnalysisReport;
+use gprs_core::ids::{AtomicId, BarrierId, ChannelId, LockId, ThreadId};
+use gprs_core::workload::{PlainKind, SimOp, Workload};
+use gprs_telemetry::json::JsonWriter;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One provably independent set of threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardDomain {
+    /// Dense domain index (ordered by smallest member thread id).
+    pub id: usize,
+    /// Member threads, in id order.
+    pub threads: Vec<ThreadId>,
+    /// Aggregate computation cycles across the domain — the shard's load
+    /// weight.
+    pub weight: u64,
+    /// Aggregate synchronization operations (token demand) in the domain.
+    pub sync_ops: u64,
+}
+
+/// What couples two (or more) domains that the partition kept apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// A directed FIFO hand-off.
+    Channel(ChannelId),
+    /// An undirected rendezvous.
+    Barrier(BarrierId),
+}
+
+/// A residual cross-domain coupling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossEdge {
+    /// The resource that couples the domains.
+    pub kind: EdgeKind,
+    /// For [`EdgeKind::Channel`]: `[from, to]` (producer domain to consumer
+    /// domain). For [`EdgeKind::Barrier`]: every participating domain, in
+    /// order.
+    pub domains: Vec<usize>,
+}
+
+/// The full partition: the static contract for a sharded order enforcer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardPlan {
+    /// The independent domains, ordered by smallest member thread id.
+    pub domains: Vec<ShardDomain>,
+    /// Residual couplings between domains, in deterministic resource order.
+    pub edges: Vec<CrossEdge>,
+}
+
+impl ShardPlan {
+    /// True when the partition actually splits the workload.
+    pub fn is_sharded(&self) -> bool {
+        self.domains.len() > 1
+    }
+
+    /// The domain a thread belongs to, if the plan covers it.
+    pub fn domain_of(&self, t: ThreadId) -> Option<usize> {
+        self.domains
+            .iter()
+            .find(|d| d.threads.contains(&t))
+            .map(|d| d.id)
+    }
+
+    /// Serializes the plan into `w` as one JSON object.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("domains").begin_array();
+        for d in &self.domains {
+            w.begin_object()
+                .field_u64("id", d.id as u64)
+                .field_u64("weight", d.weight)
+                .field_u64("sync_ops", d.sync_ops);
+            w.key("threads").begin_array();
+            for t in &d.threads {
+                w.string(&t.to_string());
+            }
+            w.end_array().end_object();
+        }
+        w.end_array();
+        w.key("edges").begin_array();
+        for e in &self.edges {
+            w.begin_object();
+            match e.kind {
+                EdgeKind::Channel(c) => {
+                    w.field_str("kind", "channel").field_str("resource", &c.to_string());
+                }
+                EdgeKind::Barrier(b) => {
+                    w.field_str("kind", "barrier").field_str("resource", &b.to_string());
+                }
+            }
+            w.key("domains").begin_array();
+            for d in &e.domains {
+                w.begin_object().field_u64("id", *d as u64).end_object();
+            }
+            w.end_array().end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// The plan as a standalone JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+impl fmt::Display for ShardPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "shard plan: {} domain(s), {} cross-domain edge(s)",
+            self.domains.len(),
+            self.edges.len()
+        )?;
+        for d in &self.domains {
+            write!(
+                f,
+                "  domain {} (weight {}, {} sync ops):",
+                d.id, d.weight, d.sync_ops
+            )?;
+            for t in &d.threads {
+                write!(f, " {t}")?;
+            }
+            writeln!(f)?;
+        }
+        for e in &self.edges {
+            match e.kind {
+                EdgeKind::Channel(c) => {
+                    writeln!(f, "  edge {c}: domain {} -> domain {}", e.domains[0], e.domains[1])?;
+                }
+                EdgeKind::Barrier(b) => {
+                    write!(f, "  edge {b}: domains")?;
+                    for d in &e.domains {
+                        write!(f, " {d}")?;
+                    }
+                    writeln!(f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Union-find over dense thread indices.
+struct Dsu(Vec<usize>);
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu((0..n).collect())
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.0[x] != x {
+            self.0[x] = self.0[self.0[x]];
+            x = self.0[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Smaller root wins so the representative is the least thread id.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.0[hi] = lo;
+        }
+    }
+}
+
+/// Builds the interference partition for `w`.
+pub fn shard_plan(w: &Workload) -> ShardPlan {
+    let n = w.threads.len();
+    let mut dsu = Dsu::new(n);
+
+    // Resource -> user threads, in deterministic id order.
+    let mut lock_users: BTreeMap<LockId, BTreeSet<usize>> = BTreeMap::new();
+    let mut rmw_users: BTreeMap<AtomicId, BTreeSet<usize>> = BTreeMap::new();
+    let mut cell_users: BTreeMap<AtomicId, (BTreeSet<usize>, bool)> = BTreeMap::new();
+    let mut chan_ends: BTreeMap<ChannelId, (BTreeSet<usize>, BTreeSet<usize>)> = BTreeMap::new();
+    let mut barrier_users: BTreeMap<BarrierId, BTreeSet<usize>> = BTreeMap::new();
+    for (ti, t) in w.threads.iter().enumerate() {
+        for s in &t.segments {
+            match s.op {
+                SimOp::Lock { lock, .. } => {
+                    lock_users.entry(lock).or_default().insert(ti);
+                }
+                SimOp::Atomic { atomic } => {
+                    rmw_users.entry(atomic).or_default().insert(ti);
+                }
+                SimOp::Push { chan } => {
+                    chan_ends.entry(chan).or_default().0.insert(ti);
+                }
+                SimOp::Pop { chan } => {
+                    chan_ends.entry(chan).or_default().1.insert(ti);
+                }
+                SimOp::Barrier { barrier } => {
+                    barrier_users.entry(barrier).or_default().insert(ti);
+                }
+                SimOp::End => {}
+            }
+            if let Some(m) = s.nested {
+                lock_users.entry(m).or_default().insert(ti);
+            }
+            if let Some((cell, kind)) = s.plain {
+                let e = cell_users.entry(cell).or_default();
+                e.0.insert(ti);
+                e.1 |= matches!(kind, PlainKind::Write | PlainKind::Update);
+            }
+        }
+    }
+
+    // Symmetric data sharing merges; read-only cells never conflict.
+    for users in lock_users.values().chain(rmw_users.values()) {
+        merge_all(&mut dsu, users);
+    }
+    for (users, written) in cell_users.values() {
+        if *written {
+            merge_all(&mut dsu, users);
+        }
+    }
+
+    // Domains in first-thread order; roots are the least member id.
+    let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for ti in 0..n {
+        by_root.entry(dsu.find(ti)).or_default().push(ti);
+    }
+    let mut domain_of = vec![0usize; n];
+    let mut domains = Vec::with_capacity(by_root.len());
+    for (id, (_, members)) in by_root.into_iter().enumerate() {
+        let mut weight = 0;
+        let mut sync_ops = 0;
+        for &ti in &members {
+            let t = &w.threads[ti];
+            weight += t.total_work();
+            sync_ops += t.segments.iter().filter(|s| s.op != SimOp::End).count() as u64;
+            domain_of[ti] = id;
+        }
+        domains.push(ShardDomain {
+            id,
+            threads: members.iter().map(|&ti| w.threads[ti].thread).collect(),
+            weight,
+            sync_ops,
+        });
+    }
+
+    // Residual couplings: channel edges (producer domain -> consumer
+    // domain) and barrier rendezvous spanning more than one domain.
+    let mut edges = Vec::new();
+    for (chan, (pushers, poppers)) in chan_ends {
+        let mut seen = BTreeSet::new();
+        for &p in &pushers {
+            for &q in &poppers {
+                let (dp, dq) = (domain_of[p], domain_of[q]);
+                if dp != dq && seen.insert((dp, dq)) {
+                    edges.push(CrossEdge {
+                        kind: EdgeKind::Channel(chan),
+                        domains: vec![dp, dq],
+                    });
+                }
+            }
+        }
+    }
+    for (bar, users) in barrier_users {
+        let ds: BTreeSet<usize> = users.iter().map(|&ti| domain_of[ti]).collect();
+        if ds.len() > 1 {
+            edges.push(CrossEdge {
+                kind: EdgeKind::Barrier(bar),
+                domains: ds.into_iter().collect(),
+            });
+        }
+    }
+
+    ShardPlan { domains, edges }
+}
+
+fn merge_all(dsu: &mut Dsu, users: &BTreeSet<usize>) {
+    let mut it = users.iter();
+    if let Some(&first) = it.next() {
+        for &u in it {
+            dsu.union(first, u);
+        }
+    }
+}
+
+pub(crate) fn run(w: &Workload, r: &mut AnalysisReport) {
+    r.shard_plan = shard_plan(w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprs_core::ids::GroupId;
+    use gprs_core::workload::{Segment, ThreadSpec};
+
+    fn tid(n: u32) -> ThreadId {
+        ThreadId::new(n)
+    }
+    fn spec(n: u32, segs: Vec<Segment>) -> ThreadSpec {
+        ThreadSpec::new(tid(n), GroupId::new(0), 1, segs)
+    }
+
+    #[test]
+    fn disjoint_threads_get_singleton_domains() {
+        let w = Workload::new("t", vec![
+            spec(0, vec![Segment::new(10, SimOp::End)]),
+            spec(1, vec![Segment::new(20, SimOp::End)]),
+        ]);
+        let p = shard_plan(&w);
+        assert_eq!(p.domains.len(), 2);
+        assert!(p.is_sharded());
+        assert!(p.edges.is_empty());
+        assert_eq!(p.domain_of(tid(1)), Some(1));
+        assert_eq!(p.domains[1].weight, 20);
+    }
+
+    #[test]
+    fn shared_lock_merges() {
+        let l = LockId::new(0);
+        let cs = Segment::new(1, SimOp::Lock { lock: l, cs_work: 5 });
+        let w = Workload::new("t", vec![
+            spec(0, vec![cs]),
+            spec(1, vec![Segment::new(1, SimOp::End).with_nested(l)]),
+            spec(2, vec![Segment::new(1, SimOp::End)]),
+        ]);
+        let p = shard_plan(&w);
+        assert_eq!(p.domains.len(), 2);
+        assert_eq!(p.domains[0].threads, vec![tid(0), tid(1)]);
+        assert_eq!(p.domains[1].threads, vec![tid(2)]);
+    }
+
+    #[test]
+    fn written_cell_merges_but_read_only_cell_does_not() {
+        let cell = AtomicId::new(0);
+        let reads = Workload::new("t", vec![
+            spec(0, vec![Segment::new(1, SimOp::End).with_plain(cell, PlainKind::Read)]),
+            spec(1, vec![Segment::new(1, SimOp::End).with_plain(cell, PlainKind::Read)]),
+        ]);
+        assert_eq!(shard_plan(&reads).domains.len(), 2);
+        let writes = Workload::new("t", vec![
+            spec(0, vec![Segment::new(1, SimOp::End).with_plain(cell, PlainKind::Write)]),
+            spec(1, vec![Segment::new(1, SimOp::End).with_plain(cell, PlainKind::Read)]),
+        ]);
+        assert_eq!(shard_plan(&writes).domains.len(), 1);
+    }
+
+    #[test]
+    fn channels_and_barriers_become_edges_not_merges() {
+        let c = ChannelId::new(0);
+        let b = BarrierId::new(0);
+        let w = Workload::new("t", vec![
+            spec(0, vec![Segment::new(1, SimOp::Push { chan: c })]),
+            spec(1, vec![Segment::new(1, SimOp::Pop { chan: c })]),
+            spec(2, vec![
+                Segment::new(1, SimOp::Barrier { barrier: b }),
+                Segment::new(1, SimOp::End),
+            ]),
+            spec(3, vec![
+                Segment::new(1, SimOp::Barrier { barrier: b }),
+                Segment::new(1, SimOp::End),
+            ]),
+        ]);
+        let p = shard_plan(&w);
+        assert_eq!(p.domains.len(), 4);
+        assert_eq!(p.edges.len(), 2);
+        assert_eq!(p.edges[0].kind, EdgeKind::Channel(c));
+        assert_eq!(p.edges[0].domains, vec![0, 1]);
+        assert_eq!(p.edges[1].kind, EdgeKind::Barrier(b));
+        assert_eq!(p.edges[1].domains, vec![2, 3]);
+    }
+
+    #[test]
+    fn plan_serializes_and_displays() {
+        let c = ChannelId::new(0);
+        let w = Workload::new("t", vec![
+            spec(0, vec![Segment::new(1, SimOp::Push { chan: c })]),
+            spec(1, vec![Segment::new(1, SimOp::Pop { chan: c })]),
+        ]);
+        let p = shard_plan(&w);
+        let json = p.to_json();
+        assert!(json.contains("\"kind\":\"channel\""), "{json}");
+        assert!(p.to_string().contains("2 domain(s)"));
+    }
+}

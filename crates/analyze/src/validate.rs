@@ -64,25 +64,123 @@ fn check_thread(t: &ThreadSpec, r: &mut AnalysisReport) {
     }
 }
 
-/// Checkpoint-coverage lint: a segment whose body performs a plain write
-/// but records no mod-set bytes cannot be undone by selective restart.
-pub(crate) fn ckpt_lints(w: &Workload, r: &mut AnalysisReport) {
-    use gprs_core::workload::PlainKind;
-    for t in &w.threads {
-        for (i, s) in t.segments.iter().enumerate() {
-            if let Some((cell, kind)) = s.plain {
-                if matches!(kind, PlainKind::Write | PlainKind::Update) && s.ckpt_bytes == 0 {
-                    r.push(
-                        Severity::Warning,
-                        "uncheckpointed-write",
-                        format!(
-                            "{}/seg{i} plain-writes {cell} with ckpt_bytes == 0: the store cannot be rolled back",
-                            t.thread
-                        ),
-                        vec![Site::new(t.thread, i)],
-                    );
-                }
-            }
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use gprs_core::ids::{GroupId, ThreadId};
+    use gprs_core::workload::Segment;
+
+    fn fresh(w: &Workload) -> AnalysisReport {
+        let mut r = AnalysisReport::new(&w.name, w.threads.len());
+        run(w, &mut r);
+        r
+    }
+
+    fn spec(segments: Vec<Segment>) -> ThreadSpec {
+        ThreadSpec {
+            thread: ThreadId::new(0),
+            group: GroupId::new(0),
+            weight: 1,
+            segments,
         }
     }
+
+    #[test]
+    fn empty_workload_warns_and_stops() {
+        let w = Workload::new("empty", vec![]);
+        let r = fresh(&w);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].code, "empty-workload");
+        assert_eq!(r.diagnostics[0].severity, Severity::Warning);
+        // The full pipeline also survives a threadless workload.
+        let full = analyze(&w);
+        assert_eq!(full.errors(), 0);
+        assert!(full.shard_plan.domains.is_empty());
+        assert_eq!(full.restart, crate::RestartSummary::default());
+    }
+
+    #[test]
+    fn single_thread_trace_is_clean() {
+        let w = Workload::new(
+            "solo",
+            vec![spec(vec![
+                Segment::new(10, SimOp::Atomic {
+                    atomic: gprs_core::ids::AtomicId::new(0),
+                }),
+                Segment::new(0, SimOp::End),
+            ])],
+        );
+        let r = fresh(&w);
+        assert!(r.diagnostics.is_empty(), "{r}");
+        let full = analyze(&w);
+        assert!(full.race_free());
+        assert_eq!(full.shard_plan.domains.len(), 1);
+    }
+
+    #[test]
+    fn zero_effect_segments_are_structurally_fine() {
+        // A thread of pure no-ops: zero work, zero plain accesses, default
+        // checkpoint bytes. Nothing to lint, everything read-only.
+        let w = Workload::new(
+            "noop",
+            vec![spec(vec![
+                Segment::new(0, SimOp::End).with_ckpt_bytes(0),
+            ])],
+        );
+        let r = fresh(&w);
+        assert!(r.diagnostics.is_empty(), "{r}");
+        let full = analyze(&w);
+        assert_eq!(full.restart.read_only, 1);
+        assert_eq!(full.restart.elidable_checkpoints, 1);
+    }
+
+    #[test]
+    fn thread_with_no_segments_is_an_error() {
+        let w = Workload::new("t", vec![spec(vec![])]);
+        let r = fresh(&w);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.diagnostics[0].code, "structure");
+        assert!(r.diagnostics[0].message.contains("no segments"));
+    }
+
+    #[test]
+    fn zero_weight_is_an_error() {
+        let mut t = spec(vec![Segment::new(0, SimOp::End)]);
+        t.weight = 0;
+        let r = fresh(&Workload::new("t", vec![t]));
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.diagnostics[0].code, "zero-weight");
+    }
+
+    #[test]
+    fn missing_terminal_end_is_an_error() {
+        let w = Workload::new(
+            "t",
+            vec![spec(vec![Segment::new(1, SimOp::Atomic {
+                atomic: gprs_core::ids::AtomicId::new(0),
+            })])],
+        );
+        let r = fresh(&w);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.diagnostics[0].sites, vec![Site::new(ThreadId::new(0), 0)]);
+    }
+
+    #[test]
+    fn mid_thread_end_reports_once() {
+        let w = Workload::new(
+            "t",
+            vec![spec(vec![
+                Segment::new(1, SimOp::End),
+                Segment::new(1, SimOp::End),
+                Segment::new(1, SimOp::End),
+            ])],
+        );
+        let r = fresh(&w);
+        // One structure report for the first premature End, not one per
+        // trailing segment.
+        assert_eq!(r.errors(), 1);
+        assert!(r.diagnostics[0].message.contains("2 segments follow"));
+    }
 }
+

@@ -2,7 +2,8 @@
 //! paper's programs and print severity-ranked diagnostics.
 //!
 //! ```text
-//! gprs-lint [--all | <program>...] [--scale <f>] [--deny warnings] [--no-artifact]
+//! gprs-lint [--all | <program>...] [--scale <f>] [--deny warnings]
+//!           [--format <text|json>] [--no-artifact]
 //! ```
 //!
 //! * `--all` lints the ten Table 2 programs ([`PROGRAMS`]).
@@ -10,18 +11,27 @@
 //!   including the lint fixtures `histogram-racy` and `deadlock-hazard`
 //!   (underscores are accepted as hyphens).
 //! * `--deny warnings` makes warnings fail the run like errors (CI mode).
+//! * `--format json` emits one machine-readable JSON document on stdout
+//!   (gprs-telemetry's JSON writer; same escaping as the artifacts)
+//!   instead of the human-readable reports.
 //! * Each linted program also writes `artifacts/analysis.<program>.json`
-//!   via gprs-telemetry's JSON writer unless `--no-artifact` is given.
+//!   and `artifacts/shardplan.<program>.json` unless `--no-artifact` is
+//!   given (in JSON mode the artifact paths go to stderr to keep stdout a
+//!   single document).
 //!
 //! Exit status: 0 when every report is clean (no errors; no warnings under
-//! `--deny warnings`), 1 otherwise, 2 on usage errors.
+//! `--deny warnings`), 1 otherwise, 2 on usage errors. The JSON document is
+//! still written in full on exit 1 — consumers should read `"failed"`.
 
-use gprs_bench::{analysis_report, parse_scale, write_analysis_artifact};
+use gprs_bench::{analysis_report, parse_scale, write_analysis_artifact, write_shardplan_artifact};
+use gprs_telemetry::json::JsonWriter;
 use gprs_workloads::traces::PROGRAMS;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gprs-lint [--all | <program>...] [--scale <f>] [--deny warnings] [--no-artifact]\n\
+        "usage: gprs-lint [--all | <program>...] [--scale <f>] [--deny warnings] \
+         [--format <text|json>] [--no-artifact]\n\
+         exit status: 0 clean, 1 findings, 2 usage error\n\
          programs: {}, histogram-racy, deadlock-hazard",
         PROGRAMS
             .iter()
@@ -37,6 +47,7 @@ fn main() {
     let scale = parse_scale(&args);
     let mut deny_warnings = false;
     let mut artifact = true;
+    let mut json = false;
     let mut programs: Vec<String> = Vec::new();
 
     let mut i = 1;
@@ -51,6 +62,14 @@ fn main() {
                 }
                 deny_warnings = true;
             }
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => json = false,
+                    Some("json") => json = true,
+                    _ => usage(),
+                }
+            }
             "--no-artifact" => artifact = false,
             "--help" | "-h" => usage(),
             flag if flag.starts_with('-') => usage(),
@@ -63,28 +82,53 @@ fn main() {
     }
 
     let mut failed = false;
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("tool", "gprs-lint")
+        .field_u64("deny_warnings", u64::from(deny_warnings));
+    w.key("programs").begin_array();
     for name in &programs {
         let report = analysis_report(name, scale);
-        println!("{report}");
-        if artifact {
-            write_analysis_artifact(name, &report);
+        if json {
+            report.write_json(&mut w);
+        } else {
+            println!("{report}");
         }
-        println!();
+        if artifact {
+            // In JSON mode stdout carries exactly one document; route the
+            // artifact-path chatter to stderr instead.
+            let mut out: Box<dyn std::io::Write> = if json {
+                Box::new(std::io::stderr())
+            } else {
+                Box::new(std::io::stdout())
+            };
+            write_analysis_artifact(name, &report, &mut out);
+            write_shardplan_artifact(name, &report, &mut out);
+        }
+        if !json {
+            println!();
+        }
         if report.errors() > 0 || (deny_warnings && report.warnings() > 0) {
             failed = true;
         }
     }
+    w.end_array().field_u64("failed", u64::from(failed));
+    w.end_object();
 
-    let verdict = if failed { "FAILED" } else { "ok" };
-    println!(
-        "gprs-lint: {} program(s) analyzed, result: {verdict}{}",
-        programs.len(),
-        if deny_warnings {
-            " (warnings denied)"
-        } else {
-            ""
-        }
-    );
+    if json {
+        println!("{}", w.finish());
+    } else {
+        let verdict = if failed { "FAILED" } else { "ok" };
+        println!(
+            "gprs-lint: {} program(s) analyzed, result: {verdict}{}",
+            programs.len(),
+            if deny_warnings {
+                " (warnings denied)"
+            } else {
+                ""
+            }
+        );
+    }
     if failed {
         std::process::exit(1);
     }

@@ -30,7 +30,10 @@ use gprs_runtime::prelude::*;
 use gprs_sim::gprs::{run_gprs, GprsSimConfig};
 use gprs_telemetry::JsonWriter;
 use gprs_workloads::kernels::compress::generate_corpus;
-use gprs_workloads::programs::{build_pbzip_pipeline, HistogramWorker};
+use gprs_workloads::programs::{
+    beacon_model, beacon_model_rounds, build_beacon, build_beacon_rounds, build_pbzip_pipeline,
+    HistogramWorker,
+};
 use gprs_workloads::traces::{build, TraceParams, PROGRAMS};
 use std::time::{Duration, Instant};
 
@@ -279,6 +282,17 @@ fn determinism(goldens: &mut Vec<Golden>) {
             schedule: clean.telemetry.schedule_hash,
             retired: clean.telemetry.retired_hash,
         });
+        // Static checkpoint elision must be hash-invisible: the golden
+        // recorded from the elision-off run is also the contract for the
+        // elision-on run (differential oracle, inline so the committed
+        // golden file needs no extra keys for it).
+        let elided = run_gprs(&w, &GprsSimConfig::balance_aware(8).with_elision(true));
+        assert_eq!(
+            (elided.telemetry.schedule_hash, elided.telemetry.retired_hash),
+            (clean.telemetry.schedule_hash, clean.telemetry.retired_hash),
+            "sim/{}: checkpoint elision moved the determinism hashes",
+            prog.name
+        );
         // The goldens run at a tiny scale to stay cheap; the per-second
         // Fig. 10 rates would land ~zero exceptions in so short a run.
         // Derive the rate from the (deterministic) fault-free finish time
@@ -355,6 +369,34 @@ fn determinism(goldens: &mut Vec<Golden>) {
                 }
                 let t = b.build().run().unwrap().telemetry;
                 (t.schedule_hash, t.retired_hash)
+            })
+            .collect(),
+    );
+
+    // Beacon with dead-store WAL elision ON: the golden is recorded from
+    // the eliding run, and each worker count first proves the elided run
+    // hash-identical to its elision-off twin (differential oracle).
+    push_rt(
+        "rt/beacon",
+        worker_counts
+            .iter()
+            .map(|&w| {
+                let run = |elide: bool| {
+                    let mut b = GprsBuilder::new().workers(w);
+                    let _ = build_beacon(&mut b, 4, 48);
+                    let t = b
+                        .model(beacon_model(4, 48))
+                        .elide(elide)
+                        .build()
+                        .run()
+                        .unwrap()
+                        .telemetry;
+                    assert_eq!(t.counter("wal_records_elided") > 0, elide, "w{w}");
+                    (t.schedule_hash, t.retired_hash)
+                };
+                let (off, on) = (run(false), run(true));
+                assert_eq!(on, off, "rt/beacon w{w}: WAL elision moved the hashes");
+                on
             })
             .collect(),
     );
@@ -521,6 +563,135 @@ fn perf(quick: bool) -> Vec<PerfRow> {
         }
     }
 
+    // Static elision consumers. Two runtime workloads run with their
+    // dead-store proofs consumed (`wal_records_elided` must stay positive
+    // — `wal_appends` is gated so broken elision shows up as an append
+    // regression), and two simulator workloads run with checkpoint
+    // elision at proven read-only boundaries. Each row first asserts the
+    // differential oracle inline: elision on and off retire bit-identical
+    // orders.
+    {
+        use gprs_core::ids::AtomicId;
+        use gprs_core::workload::{Segment, SimOp, ThreadSpec};
+        let rounds = if quick { 48u32 } else { 256 };
+
+        let mut elide_row = |key: &str, report: RunReport, wall: Duration, off: &RunReport| {
+            assert_eq!(
+                report.telemetry.retired_hash, off.telemetry.retired_hash,
+                "{key}: WAL elision changed the retired order"
+            );
+            assert!(
+                report.telemetry.counter("wal_records_elided") > 0,
+                "{key}: the elision row must actually elide"
+            );
+            let mut row = runtime_metrics(key.to_string(), &report, wall);
+            let t = &report.telemetry;
+            row.metrics
+                .push(("wal_appends", t.counter("wal_appends") as f64));
+            row.metrics.push((
+                "wal_records_elided",
+                t.counter("wal_records_elided") as f64,
+            ));
+            rows.push(row);
+            eprintln!("  perf {key} done ({wall:?})");
+        };
+
+        // Pure beacon: every plain store is a proven dead store.
+        {
+            let shape = vec![rounds; 4];
+            let run = |elide: bool| {
+                let mut b = GprsBuilder::new().workers(4);
+                let _ = build_beacon_rounds(&mut b, &shape);
+                let t0 = Instant::now();
+                let r = b
+                    .model(beacon_model_rounds(&shape))
+                    .elide(elide)
+                    .build()
+                    .run()
+                    .unwrap();
+                (r, t0.elapsed())
+            };
+            let (off, _) = run(false);
+            let (on, wall) = run(true);
+            elide_row("elide_wal/beacon", on, wall, &off);
+        }
+
+        // Mixed program: beacon workers share the machine with fetch-add
+        // chains — the proofs must stay per-cell, eliding only the beacon
+        // stores while the chain traffic logs normally.
+        {
+            let shape = vec![rounds; 2];
+            let chains = 2u32;
+            let mut model = beacon_model_rounds(&shape);
+            for i in 0..chains {
+                model.threads.push(ThreadSpec::new(
+                    ThreadId::new(shape.len() as u32 + i),
+                    GroupId::new(shape.len() as u32 + i),
+                    1,
+                    (0..rounds)
+                        .map(|_| {
+                            Segment::new(400, SimOp::Atomic {
+                                atomic: AtomicId::new(2 * shape.len() as u64 + u64::from(i)),
+                            })
+                        })
+                        .collect(),
+                ));
+            }
+            model.name = "beacon-mixed".into();
+            let run = |elide: bool| {
+                let mut b = GprsBuilder::new().workers(4);
+                let _ = build_beacon_rounds(&mut b, &shape);
+                for i in 0..chains {
+                    let a = b.atomic(0);
+                    b.thread(
+                        Chain { atomic: a, rounds, done: 0 },
+                        GroupId::new(shape.len() as u32 + i),
+                        1,
+                    );
+                }
+                let t0 = Instant::now();
+                let r = b.model(model.clone()).elide(elide).build().run().unwrap();
+                (r, t0.elapsed())
+            };
+            let (off, _) = run(false);
+            let (on, wall) = run(true);
+            elide_row("elide_wal/beacon_mixed", on, wall, &off);
+        }
+
+        // Simulator checkpoint elision: dedup and pbzip2 have the largest
+        // proven-read-only boundary share (~40% of checkpoints).
+        let sim_scale = if quick { 0.02 } else { 0.08 };
+        for name in ["dedup", "pbzip2"] {
+            let w = build(name, &TraceParams::paper().scaled(sim_scale));
+            let off = run_gprs(&w, &GprsSimConfig::balance_aware(8));
+            let t0 = Instant::now();
+            let on = run_gprs(&w, &GprsSimConfig::balance_aware(8).with_elision(true));
+            let wall = t0.elapsed();
+            assert_eq!(
+                on.telemetry.retired_hash, off.telemetry.retired_hash,
+                "elide_ckpt/{name}: checkpoint elision changed the retired order"
+            );
+            assert!(on.checkpoints_elided > 0, "elide_ckpt/{name}");
+            rows.push(PerfRow {
+                key: format!("elide_ckpt/{name}"),
+                metrics: vec![
+                    ("wall_ns", wall.as_nanos() as f64),
+                    ("checkpoints", on.checkpoints as f64),
+                    ("checkpoints_elided", on.checkpoints_elided as f64),
+                    (
+                        "ckpt_cycles_saved",
+                        off.ckpt_cycles.saturating_sub(on.ckpt_cycles) as f64,
+                    ),
+                ],
+            });
+            eprintln!(
+                "  perf elide_ckpt/{name} done ({wall:?}, {} of {} boundaries elided)",
+                on.checkpoints_elided,
+                on.checkpoints + on.checkpoints_elided
+            );
+        }
+    }
+
     // Simulator recovery hot loop (`affected_set`/`plan_recovery`): host
     // wall time of injected sim runs — the O(window) rescan shows up here.
     let scale = if quick { 0.05 } else { 0.15 };
@@ -567,6 +738,11 @@ const GATED_METRICS: &[&str] = &[
     "quanta",
     "wal_segments_sealed",
     "fsyncs",
+    // Elision rows: appends regressing means the proofs stopped biting;
+    // the elided counts themselves are deterministic too.
+    "wal_appends",
+    "wal_records_elided",
+    "checkpoints_elided",
 ];
 
 /// Rows whose counters depend on wall-clock injection timing; never gated.

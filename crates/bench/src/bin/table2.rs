@@ -19,7 +19,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut artifact = TelemetryArtifact::new("table2");
     for prog in &PROGRAMS {
-        write_analysis_artifact(prog.name, &analysis_report(prog.name, scale));
+        write_analysis_artifact(prog.name, &analysis_report(prog.name, scale), &mut std::io::stdout());
         let coarse = paper_workload(prog.name, scale, false);
         let base = pthreads_baseline(&coarse);
         let fine = paper_workload(prog.name, scale, true);

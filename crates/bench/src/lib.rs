@@ -215,16 +215,49 @@ pub fn analysis_report(name: &str, scale: f64) -> gprs_analyze::AnalysisReport {
     gprs_analyze::analyze(&build(name, &TraceParams::paper().scaled(scale)))
 }
 
-/// Writes `artifacts/analysis.<program>.json` (creating the directory if
-/// needed) and prints the path — the static-analysis companion to
-/// [`TelemetryArtifact::write`]. Errors are reported, not fatal.
-pub fn write_analysis_artifact(program: &str, report: &gprs_analyze::AnalysisReport) {
+/// Writes one `artifacts/<kind>.<program>.json` document, creating the
+/// directory if needed, and returns the path written.
+fn write_artifact(
+    kind: &str,
+    program: &str,
+    body: &str,
+) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("artifacts");
-    let path = dir.join(format!("analysis.{program}.json"));
-    let res = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, report.to_json()));
-    match res {
-        Ok(()) => println!("analysis: {}", path.display()),
-        Err(e) => eprintln!("analysis: failed to write {}: {e}", path.display()),
+    let path = dir.join(format!("{kind}.{program}.json"));
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Writes `artifacts/analysis.<program>.json` and reports the outcome on
+/// the given stream — the static-analysis companion to
+/// [`TelemetryArtifact::write`]. Errors are reported, not fatal.
+pub fn write_analysis_artifact(
+    program: &str,
+    report: &gprs_analyze::AnalysisReport,
+    out: &mut dyn std::io::Write,
+) {
+    match write_artifact("analysis", program, &report.to_json()) {
+        Ok(path) => {
+            let _ = writeln!(out, "analysis: {}", path.display());
+        }
+        Err(e) => eprintln!("analysis: failed to write analysis.{program}.json: {e}"),
+    }
+}
+
+/// Writes `artifacts/shardplan.<program>.json` — just the interference
+/// partition from the report, the static contract a sharded order gate
+/// would consume. Errors are reported, not fatal.
+pub fn write_shardplan_artifact(
+    program: &str,
+    report: &gprs_analyze::AnalysisReport,
+    out: &mut dyn std::io::Write,
+) {
+    match write_artifact("shardplan", program, &report.shard_plan.to_json()) {
+        Ok(path) => {
+            let _ = writeln!(out, "shardplan: {}", path.display());
+        }
+        Err(e) => eprintln!("shardplan: failed to write shardplan.{program}.json: {e}"),
     }
 }
 

@@ -115,6 +115,17 @@ pub fn sim_clean(program: &str) -> SimResult {
 /// (~450 ms, larger than some programs' entire clean run) plus a
 /// re-execution for every scripted arrival on top of the 16× clean slack.
 pub fn sim_injected(program: &str, seed: u64, clean_finish: u64) -> SimResult {
+    sim_injected_cfg(program, seed, clean_finish, false)
+}
+
+/// [`sim_injected`] with static checkpoint elision switched on — the
+/// `sim-elide` legs, checked against the *elision-off* clean twin so the
+/// proofs must be invisible to the oracle.
+pub fn sim_injected_elided(program: &str, seed: u64, clean_finish: u64) -> SimResult {
+    sim_injected_cfg(program, seed, clean_finish, true)
+}
+
+fn sim_injected_cfg(program: &str, seed: u64, clean_finish: u64, elide: bool) -> SimResult {
     let w = build(program, &TraceParams::paper().scaled(0.02));
     let script = seeded_script(seed, clean_finish, SIM_CONTEXTS);
     let arrivals: u64 = script.iter().map(|a| a.burst.max(1) as u64).sum();
@@ -127,9 +138,25 @@ pub fn sim_injected(program: &str, seed: u64, clean_finish: u64) -> SimResult {
         .with_kind_mix(InjectorConfig::all_kinds())
         .with_local_every(4);
     let cfg = GprsSimConfig::balance_aware(SIM_CONTEXTS)
+        .with_elision(elide)
         .with_exceptions(injector)
         .with_time_cap(clean_finish.saturating_mul(16).saturating_add(recovery_budget));
     run_gprs(&w, &cfg)
+}
+
+/// Injected GPRS-runtime run of the beacon program with WAL elision on:
+/// the builder consumes the model's dead-store proofs, so every beacon
+/// write (including re-executed ones) skips its undo record while the
+/// oracle holds the run to the elision-off twin's retired order.
+pub fn gprs_elide_injected(plan: &ChaosPlan) -> Result<RunReport, String> {
+    let mut b = GprsBuilder::new().workers(4);
+    register_gprs("beacon", &mut b);
+    b.model(crate::programs::beacon_leg_model())
+        .elide(true)
+        .chaos(plan)
+        .build()
+        .run()
+        .map_err(|e| e.to_string())
 }
 
 /// Spec seed for the serve legs: clean twins stay seed-independent (one
@@ -304,6 +331,56 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
                     what: format!("run failed: {e}"),
                 }),
             }
+        }
+    }
+
+    // Elision legs: the same programs with the static restartability
+    // proofs consumed, held to the *elision-off* clean twins — the proofs
+    // may remove recovery cost, never recovery outcome. Runtime leg:
+    // beacon with dead-store WAL elision. Sim legs: checkpoint elision at
+    // proven read-only boundaries.
+    {
+        let leg = "rt-elide/beacon";
+        let clean = gprs_clean("beacon");
+        out.legs += 1;
+        for seed in 0..cfg.seeds {
+            let plan = seeded_plan(leg_seed(leg, seed), clean.stats.grants);
+            out.runs += 1;
+            match gprs_elide_injected(&plan) {
+                Ok(report) => {
+                    out.violations
+                        .extend(check_runtime(leg, seed, &plan, &clean, &report));
+                    if report.telemetry.counter("wal_records_elided") == 0 {
+                        out.violations.push(Violation {
+                            leg: leg.to_string(),
+                            seed,
+                            what: "elision leg elided nothing: the proof pipeline is dead"
+                                .to_string(),
+                        });
+                    }
+                }
+                Err(e) => out.violations.push(Violation {
+                    leg: leg.to_string(),
+                    seed,
+                    what: format!("run failed: {e}"),
+                }),
+            }
+        }
+    }
+    let sim_elide_programs: &[&str] = if cfg.quick {
+        &["histogram"]
+    } else {
+        &["pbzip2", "barnes-hut", "histogram"]
+    };
+    for program in sim_elide_programs {
+        let leg = format!("sim-elide/{program}");
+        let clean = sim_clean(program);
+        out.legs += 1;
+        for seed in 0..cfg.seeds {
+            out.runs += 1;
+            let injected = sim_injected_elided(program, seed, clean.finish_cycles);
+            out.violations
+                .extend(check_sim(&leg, seed, &clean, &injected));
         }
     }
 

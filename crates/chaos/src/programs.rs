@@ -15,10 +15,19 @@ use gprs_runtime::handles::{AtomicHandle, MutexHandle};
 use gprs_runtime::program::{Step, ThreadProgram};
 use gprs_runtime::GprsBuilder;
 use gprs_workloads::kernels::compress::generate_corpus;
-use gprs_workloads::programs::{build_pbzip_pipeline, HistogramWorker};
+use gprs_workloads::programs::{beacon_model, build_beacon, build_pbzip_pipeline, HistogramWorker};
 
 /// Programs the GPRS-runtime campaign legs run.
-pub const RUNTIME_PROGRAMS: &[&str] = &["chain", "nested", "histogram", "pbzip"];
+pub const RUNTIME_PROGRAMS: &[&str] = &["chain", "nested", "histogram", "pbzip", "beacon"];
+
+/// Beacon shape shared by the plain `rt/beacon` leg and the elision legs
+/// (`rt-elide/beacon` must compare against the same clean twin).
+pub const BEACON_SHAPE: (usize, u32) = (4, 24);
+
+/// The trace-level model matching [`BEACON_SHAPE`], for the elision legs.
+pub fn beacon_leg_model() -> gprs_core::workload::Workload {
+    beacon_model(BEACON_SHAPE.0, BEACON_SHAPE.1)
+}
 
 /// Programs the CPR-baseline campaign legs run (`pbzip` wires channels
 /// through a GPRS-only builder helper, so the baseline skips it).
@@ -148,6 +157,9 @@ pub fn register_gprs(name: &str, b: &mut GprsBuilder) {
     match name {
         "pbzip" => {
             let _ = build_pbzip_pipeline(b, generate_corpus(20_000, 11), 2048, 2);
+        }
+        "beacon" => {
+            let _ = build_beacon(b, BEACON_SHAPE.0, BEACON_SHAPE.1);
         }
         other => panic!("unknown chaos program {other:?}"),
     }

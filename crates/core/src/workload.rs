@@ -105,6 +105,11 @@ pub struct Segment {
     /// [`SimOp::Lock`]), the thread holds the outer lock while waiting for
     /// this one: the hold-and-wait pattern the lock-order analysis inspects.
     pub nested: Option<LockId>,
+    /// The segment's body performs an effect that escapes the recovery
+    /// envelope (an un-undoable external action, e.g. a network send
+    /// committed before retirement). Selective restart cannot squash such a
+    /// segment precisely; the restartability verifier deny-lints it.
+    pub external: bool,
 }
 
 impl Segment {
@@ -117,6 +122,7 @@ impl Segment {
             ckpt_bytes: 256,
             plain: None,
             nested: None,
+            external: false,
         }
     }
 
@@ -137,6 +143,13 @@ impl Segment {
     /// nested critical section.
     pub fn with_nested(mut self, lock: LockId) -> Self {
         self.nested = Some(lock);
+        self
+    }
+
+    /// Marks this segment's body as performing an externally visible effect
+    /// that cannot be undone by the WAL or re-covered by a checkpoint.
+    pub fn with_external(mut self) -> Self {
+        self.external = true;
         self
     }
 

@@ -69,6 +69,14 @@ pub(crate) struct RunConfig {
     /// Retirements between durable checkpoints (ignored without
     /// [`RunConfig::persist`]).
     pub durable_ckpt_every: u64,
+    /// Cells whose `PlainStore` WAL undo records are statically proven
+    /// dead (write-only across the attached model: no plain load, no
+    /// `Update`, no synchronizing fetch-add ever observes the value).
+    /// Stores to these cells skip the WAL append entirely — a squash
+    /// leaves a stale value no one can read, and deterministic
+    /// re-execution overwrites it. Empty (the default) unless
+    /// [`crate::GprsBuilder::elide`] armed the proof.
+    pub elide_cells: Arc<std::collections::BTreeSet<AtomicId>>,
 }
 
 /// Ring index for events recorded outside a known worker (retirement on the
@@ -1079,7 +1087,17 @@ impl Inner {
             .atomics
             .insert(atomic, value)
             .expect("registered atomic");
-        self.wal_append(worker, stid, RtOp::PlainStore { atomic, old });
+        if self.cfg.elide_cells.contains(&atomic) {
+            // Statically dead store: the old value can never be observed,
+            // so the undo record would be pure WAL traffic. Control
+            // records (locks, channels, fetch-adds) are never elided —
+            // recovery's replay correctness depends on them.
+            if self.telemetry.enabled() {
+                self.telemetry.metrics.wal_records_elided.inc_serialized();
+            }
+        } else {
+            self.wal_append(worker, stid, RtOp::PlainStore { atomic, old });
+        }
         if self.racecheck.is_some() {
             self.record_plain_access(stid, ResourceId::Atomic(atomic), AccessKind::Write);
         }

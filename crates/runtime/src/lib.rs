@@ -100,6 +100,7 @@ pub struct GprsBuilder {
     telemetry: TelemetryConfig,
     racecheck: bool,
     analyze: bool,
+    elide: bool,
     model: Option<gprs_core::workload::Workload>,
     job_id: u64,
     submit_seq: u64,
@@ -135,6 +136,7 @@ impl GprsBuilder {
             submit_seq: 0,
             persist: None,
             durable_ckpt_every: DEFAULT_DURABLE_CKPT_EVERY,
+            elide_cells: Arc::new(std::collections::BTreeSet::new()),
         };
         GprsBuilder {
             schedule: cfg.schedule,
@@ -143,6 +145,7 @@ impl GprsBuilder {
             telemetry: cfg.telemetry,
             racecheck: cfg.racecheck,
             analyze: false,
+            elide: false,
             model: None,
             job_id: 0,
             submit_seq: 0,
@@ -223,6 +226,21 @@ impl GprsBuilder {
     /// description.
     pub fn analyze(mut self, on: bool) -> Self {
         self.analyze = on;
+        self
+    }
+
+    /// Uses the static restartability proofs over the attached
+    /// [`model`](Self::model) to elide WAL undo records for proven dead
+    /// stores: plain cells the model writes but never observes (no plain
+    /// read, no read-modify-write anywhere). A squash can leave such a cell
+    /// stale without any execution noticing, and deterministic re-execution
+    /// overwrites it, so `PlainStore` undo records for those cells are
+    /// skipped and counted in the `wal_records_elided` metric instead.
+    /// Implies [`analyze`](Self::analyze); the proofs are only trusted when
+    /// the analysis verdict is race-free, and without an attached model
+    /// this is a no-op.
+    pub fn elide(mut self, on: bool) -> Self {
+        self.elide = on;
         self
     }
 
@@ -371,18 +389,29 @@ impl GprsBuilder {
     pub fn build(mut self) -> Gprs {
         // Ahead-of-run static analysis: run before the detector is (re)built
         // so the verdict can arm or elide it.
-        let analysis = if self.analyze {
+        let analysis = if self.analyze || self.elide {
             self.model.as_ref().map(gprs_analyze::analyze)
         } else {
             None
         };
         if let Some(rep) = &analysis {
-            if rep.race_free() {
-                self.racecheck = false;
-            } else if rep.advice == gprs_analyze::RecoveryAdvice::HybridCpr {
-                self.racecheck = true;
+            if self.analyze {
+                if rep.race_free() {
+                    self.racecheck = false;
+                } else if rep.advice == gprs_analyze::RecoveryAdvice::HybridCpr {
+                    self.racecheck = true;
+                }
             }
         }
+        // WAL elision trusts the dead-store proof only under a race-free
+        // verdict: a racy model means the trace-level summaries may not
+        // describe the actual access pattern, so keep every undo record.
+        let elide_cells = match &analysis {
+            Some(rep) if self.elide && rep.race_free() => {
+                Arc::new(rep.restart.dead_cells.iter().copied().collect())
+            }
+            _ => Arc::new(std::collections::BTreeSet::new()),
+        };
         self.inner.cfg = RunConfig {
             schedule: self.schedule,
             workers: self.workers,
@@ -393,6 +422,7 @@ impl GprsBuilder {
             submit_seq: self.submit_seq,
             persist: self.persist.take(),
             durable_ckpt_every: self.durable_ckpt_every,
+            elide_cells,
         };
         if !self.resume_prefix.is_empty() {
             self.inner.verify = Some(engine::VerifyState {

@@ -84,6 +84,14 @@ pub struct GprsSimConfig {
     /// potential-race verdict arms it (pre-selecting the hybrid policy)
     /// regardless of `racecheck`. The report is embedded in the result.
     pub analysis: bool,
+    /// Elide checkpoints at sub-thread boundaries the static
+    /// restartability proof shows read-only
+    /// (`gprs_analyze::checkpoint_elidable`): the body modifies no private
+    /// or shared state, so rewinding to the boundary restores nothing and
+    /// the recording cost `t_s` is pure waste. Off by default; grant and
+    /// retirement order are unchanged by construction (the differential
+    /// suites assert bit-identical schedule/retired hashes on vs off).
+    pub elide: bool,
     /// Mirror the retirement stream into a durable log (the same
     /// [`PersistBackend`] family the runtime uses). Observability only:
     /// the simulator records `Spec`/`Retire` records and a final sync but
@@ -107,6 +115,7 @@ impl GprsSimConfig {
             telemetry: TelemetryConfig::default(),
             racecheck: false,
             analysis: false,
+            elide: false,
             persist: None,
         }
     }
@@ -162,6 +171,13 @@ impl GprsSimConfig {
     /// [`GprsSimConfig::analysis`]).
     pub fn with_analysis(mut self, on: bool) -> Self {
         self.analysis = on;
+        self
+    }
+
+    /// Enables checkpoint elision at statically proven read-only
+    /// boundaries (see [`GprsSimConfig::elide`]).
+    pub fn with_elision(mut self, on: bool) -> Self {
+        self.elide = on;
         self
     }
 
@@ -537,10 +553,24 @@ impl<'a> Gprs<'a> {
     ) {
         let spec = &self.w.threads[th];
         let seg = &spec.segments[body_seg_ix];
-        let ts = self.cfg.costs.ckpt_cost(seg.ckpt_bytes);
+        // Statically proven read-only boundary: the checkpoint records
+        // nothing a rewind could need, so elision skips `t_s` entirely.
+        // The grant itself (and its ordering cost) is untouched — elision
+        // must never perturb the total order.
+        let opening = body_seg_ix.checked_sub(1).map(|i| spec.segments[i].op);
+        let elide = self.cfg.elide && gprs_analyze::checkpoint_elidable(opening, seg);
+        let ts = if elide {
+            0
+        } else {
+            self.cfg.costs.ckpt_cost(seg.ckpt_bytes)
+        };
         let tg = self.cfg.costs.order_cost();
         self.res.ckpt_cycles += ts;
-        self.res.checkpoints += 1;
+        if elide {
+            self.res.checkpoints_elided += 1;
+        } else {
+            self.res.checkpoints += 1;
+        }
         self.res.subthreads += 1;
 
         let ctx = self.pick_ctx();
@@ -576,9 +606,13 @@ impl<'a> Gprs<'a> {
             let m = &self.tel.metrics;
             m.subthreads_created.inc();
             m.grants.inc();
-            m.checkpoints.inc();
-            m.checkpoint_bytes.add(bytes);
-            m.checkpoint_size.record(bytes);
+            if elide {
+                m.checkpoints_elided.inc();
+            } else {
+                m.checkpoints.inc();
+                m.checkpoint_bytes.add(bytes);
+                m.checkpoint_size.record(bytes);
+            }
             self.tel.record(
                 ctx,
                 TraceEvent::SubThreadCreate {
@@ -588,8 +622,10 @@ impl<'a> Gprs<'a> {
                 },
             );
             self.tel.record(ctx, TraceEvent::Grant { subthread: stid.raw(), thread: tid.raw() });
-            self.tel
-                .record(ctx, TraceEvent::CheckpointTaken { subthread: stid.raw(), bytes });
+            if !elide {
+                self.tel
+                    .record(ctx, TraceEvent::CheckpointTaken { subthread: stid.raw(), bytes });
+            }
         }
 
         let descriptor = SubThread::new(stid, spec.thread, spec.group, kind, opening_op);

@@ -23,6 +23,10 @@ pub struct SimResult {
     /// Checkpoints recorded (per sub-thread for GPRS, per barrier epoch ×
     /// threads for CPR).
     pub checkpoints: u64,
+    /// Checkpoints skipped because the static restartability proof showed
+    /// the boundary read-only (`GprsSimConfig::with_elision`; 0 when
+    /// elision is off).
+    pub checkpoints_elided: u64,
     /// Total cycles spent recording checkpoints (`t_s` summed).
     pub ckpt_cycles: u64,
     /// Total cycles threads spent waiting for their deterministic turn
@@ -69,6 +73,7 @@ impl SimResult {
             finish_cycles: 0,
             subthreads: 0,
             checkpoints: 0,
+            checkpoints_elided: 0,
             ckpt_cycles: 0,
             ordering_wait_cycles: 0,
             polls: 0,

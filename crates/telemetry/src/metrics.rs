@@ -183,6 +183,13 @@ pub struct Metrics {
     pub wal_undos: Counter,
     /// WAL records pruned at retirement.
     pub wal_prunes: Counter,
+    /// WAL undo records never appended because the static restartability
+    /// proof showed them dead (write-only cells whose value is never
+    /// observed).
+    pub wal_records_elided: Counter,
+    /// Checkpoints never taken because the static restartability proof
+    /// showed the boundary read-only (rewinding to it restores nothing).
+    pub checkpoints_elided: Counter,
     /// Most WAL records outstanding at once.
     pub wal_outstanding_hw: HighWater,
     /// Most in-flight ROL entries at once.
@@ -259,6 +266,8 @@ impl Metrics {
             ("wal_appends", self.wal_appends.get()),
             ("wal_undos", self.wal_undos.get()),
             ("wal_prunes", self.wal_prunes.get()),
+            ("wal_records_elided", self.wal_records_elided.get()),
+            ("checkpoints_elided", self.checkpoints_elided.get()),
             ("wal_outstanding_hw", self.wal_outstanding_hw.get()),
             ("rol_occupancy_hw", self.rol_occupancy_hw.get()),
             ("recovery_sessions", self.recovery_sessions.get()),

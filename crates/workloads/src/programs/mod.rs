@@ -4,11 +4,13 @@
 //! Pthreads benchmarks, used by the repository examples and integration
 //! tests.
 
+mod beacon;
 mod dedup_pipe;
 mod mapreduce;
 mod pbzip;
 mod science;
 
+pub use beacon::*;
 pub use dedup_pipe::*;
 pub use mapreduce::*;
 pub use pbzip::*;
