@@ -122,6 +122,441 @@ impl ShardPlan {
         self.write_json(&mut w);
         w.finish()
     }
+
+    /// Parses a plan from the JSON document [`Self::to_json`] emits (the
+    /// committed `artifacts/shardplan.<program>.json` contract).
+    ///
+    /// # Errors
+    /// A description of the first malformed construct. Parsing is strict:
+    /// unknown edge kinds, bad id prefixes and structural deviations are
+    /// all errors — a plan that cannot be read exactly must not be trusted
+    /// to drive a sharded enforcer.
+    pub fn from_json(text: &str) -> std::result::Result<ShardPlan, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_object("plan")?;
+        let mut plan = ShardPlan::default();
+        for d in json::get(obj, "domains")?.as_array("domains")? {
+            let d = d.as_object("domain")?;
+            let mut threads = Vec::new();
+            for t in json::get(d, "threads")?.as_array("threads")? {
+                threads.push(parse_id(t.as_str("thread")?, "TH").map(ThreadId::new)?);
+            }
+            plan.domains.push(ShardDomain {
+                id: json::get(d, "id")?.as_u64("id")? as usize,
+                threads,
+                weight: json::get(d, "weight")?.as_u64("weight")?,
+                sync_ops: json::get(d, "sync_ops")?.as_u64("sync_ops")?,
+            });
+        }
+        for e in json::get(obj, "edges")?.as_array("edges")? {
+            let e = e.as_object("edge")?;
+            let resource = json::get(e, "resource")?.as_str("resource")?;
+            let kind = match json::get(e, "kind")?.as_str("kind")? {
+                "channel" => EdgeKind::Channel(ChannelId::new(parse_id(resource, "CH")?)),
+                "barrier" => EdgeKind::Barrier(BarrierId::new(parse_id(resource, "B")?)),
+                other => return Err(format!("unknown edge kind {other:?}")),
+            };
+            let mut domains = Vec::new();
+            for d in json::get(e, "domains")?.as_array("edge domains")? {
+                domains
+                    .push(json::get(d.as_object("edge domain")?, "id")?.as_u64("id")? as usize);
+            }
+            plan.edges.push(CrossEdge { kind, domains });
+        }
+        Ok(plan)
+    }
+
+    /// Validates this plan against the live workload topology: the thread
+    /// partition, weights, and cross-domain edges must all match what
+    /// [`shard_plan`] derives from `w` today.
+    ///
+    /// # Errors
+    /// A named `stale shard plan` diagnostic describing the first
+    /// divergence (wrong thread set, wrong partition, missing or spurious
+    /// edge). A stale plan must fail loudly — silently falling back to an
+    /// unsharded run would hide exactly the drift this check exists to
+    /// catch.
+    pub fn validate_against(&self, w: &Workload) -> std::result::Result<(), String> {
+        let fresh = shard_plan(w);
+        let planned: BTreeSet<ThreadId> =
+            self.domains.iter().flat_map(|d| d.threads.iter().copied()).collect();
+        let live: BTreeSet<ThreadId> = w.threads.iter().map(|t| t.thread).collect();
+        if planned != live {
+            let missing: Vec<String> =
+                live.difference(&planned).map(|t| t.to_string()).collect();
+            let spurious: Vec<String> =
+                planned.difference(&live).map(|t| t.to_string()).collect();
+            return Err(format!(
+                "stale shard plan for {:?}: thread set mismatch (workload threads absent \
+                 from plan: [{}]; plan threads absent from workload: [{}])",
+                w.name,
+                missing.join(", "),
+                spurious.join(", "),
+            ));
+        }
+        if self.domains != fresh.domains {
+            return Err(format!(
+                "stale shard plan for {:?}: domain partition differs from the workload's \
+                 interference analysis (plan has {} domain(s), analysis derives {})",
+                w.name,
+                self.domains.len(),
+                fresh.domains.len(),
+            ));
+        }
+        for e in &fresh.edges {
+            if !self.edges.contains(e) {
+                return Err(format!(
+                    "stale shard plan for {:?}: missing cross-domain edge {} over domains \
+                     {:?}",
+                    w.name,
+                    match e.kind {
+                        EdgeKind::Channel(c) => c.to_string(),
+                        EdgeKind::Barrier(b) => b.to_string(),
+                    },
+                    e.domains,
+                ));
+            }
+        }
+        for e in &self.edges {
+            if !fresh.edges.contains(e) {
+                return Err(format!(
+                    "stale shard plan for {:?}: spurious cross-domain edge {} over domains \
+                     {:?}",
+                    w.name,
+                    match e.kind {
+                        EdgeKind::Channel(c) => c.to_string(),
+                        EdgeKind::Barrier(b) => b.to_string(),
+                    },
+                    e.domains,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Refines the proven partition into an *executable* one: domains that
+    /// co-produce or co-consume the same channel are merged, so every
+    /// residual channel edge has exactly one producer domain and one
+    /// consumer domain.
+    ///
+    /// The interference partition deliberately keeps channel ends apart
+    /// (they are provably independent for *retirement*), but a sharded
+    /// enforcer forwarding items across domains needs a deterministic
+    /// per-channel order on both ends: multiple producer (or consumer)
+    /// domains racing one queue would make the hand-off order
+    /// timing-dependent. Merging those ends trades a little parallelism
+    /// for strict determinism; domains never touching a shared channel end
+    /// are left untouched.
+    pub fn coalesce_for_execution(&self, w: &Workload) -> ShardPlan {
+        let n = self.domains.len();
+        let mut dom_of: BTreeMap<ThreadId, usize> = BTreeMap::new();
+        for d in &self.domains {
+            for &t in &d.threads {
+                dom_of.insert(t, d.id);
+            }
+        }
+        let mut dsu = Dsu::new(n);
+        let mut chan_ends: BTreeMap<ChannelId, (BTreeSet<usize>, BTreeSet<usize>)> =
+            BTreeMap::new();
+        let mut barrier_users: BTreeMap<BarrierId, BTreeSet<ThreadId>> = BTreeMap::new();
+        for t in &w.threads {
+            let Some(&dom) = dom_of.get(&t.thread) else { continue };
+            for s in &t.segments {
+                match s.op {
+                    SimOp::Push { chan } => {
+                        chan_ends.entry(chan).or_default().0.insert(dom);
+                    }
+                    SimOp::Pop { chan } => {
+                        chan_ends.entry(chan).or_default().1.insert(dom);
+                    }
+                    SimOp::Barrier { barrier } => {
+                        barrier_users.entry(barrier).or_default().insert(t.thread);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (pushers, poppers) in chan_ends.values() {
+            merge_all(&mut dsu, pushers);
+            merge_all(&mut dsu, poppers);
+        }
+
+        // Rebuild merged domains ordered by smallest member thread id, the
+        // same convention `shard_plan` uses.
+        let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for d in 0..n {
+            by_root.entry(dsu.find(d)).or_default().push(d);
+        }
+        let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
+        groups.sort_by_key(|members| {
+            members
+                .iter()
+                .filter_map(|&d| self.domains[d].threads.first())
+                .min()
+                .copied()
+        });
+        let mut exec_of = vec![0usize; n];
+        let mut domains = Vec::with_capacity(groups.len());
+        for (id, members) in groups.into_iter().enumerate() {
+            let mut threads = Vec::new();
+            let mut weight = 0;
+            let mut sync_ops = 0;
+            for &d in &members {
+                threads.extend(self.domains[d].threads.iter().copied());
+                weight += self.domains[d].weight;
+                sync_ops += self.domains[d].sync_ops;
+                exec_of[d] = id;
+            }
+            threads.sort_unstable();
+            domains.push(ShardDomain {
+                id,
+                threads,
+                weight,
+                sync_ops,
+            });
+        }
+
+        let mut edges = Vec::new();
+        for (chan, (pushers, poppers)) in chan_ends {
+            let from: BTreeSet<usize> = pushers.iter().map(|&d| exec_of[d]).collect();
+            let to: BTreeSet<usize> = poppers.iter().map(|&d| exec_of[d]).collect();
+            debug_assert!(from.len() <= 1 && to.len() <= 1, "ends merged above");
+            if let (Some(&f), Some(&t)) = (from.first(), to.first()) {
+                if f != t {
+                    edges.push(CrossEdge {
+                        kind: EdgeKind::Channel(chan),
+                        domains: vec![f, t],
+                    });
+                }
+            }
+        }
+        for (bar, users) in barrier_users {
+            let ds: BTreeSet<usize> = users
+                .iter()
+                .filter_map(|t| dom_of.get(t).map(|&d| exec_of[d]))
+                .collect();
+            if ds.len() > 1 {
+                edges.push(CrossEdge {
+                    kind: EdgeKind::Barrier(bar),
+                    domains: ds.into_iter().collect(),
+                });
+            }
+        }
+        ShardPlan { domains, edges }
+    }
+}
+
+/// Parses a prefixed id like `TH3` / `CH0` / `B1`.
+fn parse_id<T: std::str::FromStr>(s: &str, prefix: &str) -> std::result::Result<T, String> {
+    s.strip_prefix(prefix)
+        .and_then(|raw| raw.parse().ok())
+        .ok_or_else(|| format!("bad {prefix} id {s:?}"))
+}
+
+/// A minimal strict JSON reader for the shard-plan document. The repo
+/// deliberately has no serde dependency; the writer side is the hand-rolled
+/// [`JsonWriter`], and this is its matching reader — just enough JSON for
+/// the artifacts the toolchain itself emits.
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Object(BTreeMap<String, Value>),
+        Array(Vec<Value>),
+        String(String),
+        Number(u64),
+        Bool(bool),
+        Null,
+    }
+
+    impl Value {
+        pub fn as_object(
+            &self,
+            what: &str,
+        ) -> Result<&BTreeMap<String, Value>, String> {
+            match self {
+                Value::Object(m) => Ok(m),
+                other => Err(format!("{what}: expected object, got {other:?}")),
+            }
+        }
+        pub fn as_array(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Array(v) => Ok(v),
+                other => Err(format!("{what}: expected array, got {other:?}")),
+            }
+        }
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::String(s) => Ok(s),
+                other => Err(format!("{what}: expected string, got {other:?}")),
+            }
+        }
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::Number(n) => Ok(*n),
+                other => Err(format!("{what}: expected number, got {other:?}")),
+            }
+        }
+    }
+
+    pub fn get<'v>(
+        obj: &'v BTreeMap<String, Value>,
+        key: &str,
+    ) -> Result<&'v Value, String> {
+        obj.get(key).ok_or_else(|| format!("missing key {key:?}"))
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&mut self) -> Result<u8, String> {
+            self.ws();
+            self.b
+                .get(self.i)
+                .copied()
+                .ok_or_else(|| "unexpected end of document".to_string())
+        }
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            if self.peek()? == c {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {:?} at byte {}, got {:?}",
+                    c as char, self.i, self.b[self.i] as char
+                ))
+            }
+        }
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::String(self.string()?)),
+                b'0'..=b'9' => self.number(),
+                b't' => self.literal("true", Value::Bool(true)),
+                b'f' => self.literal("false", Value::Bool(false)),
+                b'n' => self.literal("null", Value::Null),
+                c => Err(format!("unexpected {:?} at byte {}", c as char, self.i)),
+            }
+        }
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut m = BTreeMap::new();
+            if self.peek()? == b'}' {
+                self.i += 1;
+                return Ok(Value::Object(m));
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                m.insert(key, self.value()?);
+                match self.peek()? {
+                    b',' => self.i += 1,
+                    b'}' => {
+                        self.i += 1;
+                        return Ok(Value::Object(m));
+                    }
+                    c => return Err(format!("expected , or }} got {:?}", c as char)),
+                }
+            }
+        }
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut v = Vec::new();
+            if self.peek()? == b']' {
+                self.i += 1;
+                return Ok(Value::Array(v));
+            }
+            loop {
+                v.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.i += 1,
+                    b']' => {
+                        self.i += 1;
+                        return Ok(Value::Array(v));
+                    }
+                    c => return Err(format!("expected , or ] got {:?}", c as char)),
+                }
+            }
+        }
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut s = String::new();
+            loop {
+                let c = *self
+                    .b
+                    .get(self.i)
+                    .ok_or_else(|| "unterminated string".to_string())?;
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(s),
+                    b'\\' => {
+                        let e = *self
+                            .b
+                            .get(self.i)
+                            .ok_or_else(|| "unterminated escape".to_string())?;
+                        self.i += 1;
+                        s.push(match e {
+                            b'"' => '"',
+                            b'\\' => '\\',
+                            b'/' => '/',
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'r' => '\r',
+                            other => {
+                                return Err(format!(
+                                    "unsupported escape \\{}",
+                                    other as char
+                                ))
+                            }
+                        });
+                    }
+                    other => s.push(other as char),
+                }
+            }
+        }
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.i;
+            while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+                self.i += 1;
+            }
+            std::str::from_utf8(&self.b[start..self.i])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Value::Number)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+            if self.b[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.i))
+            }
+        }
+    }
 }
 
 impl fmt::Display for ShardPlan {
@@ -397,5 +832,180 @@ mod tests {
         let json = p.to_json();
         assert!(json.contains("\"kind\":\"channel\""), "{json}");
         assert!(p.to_string().contains("2 domain(s)"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let c = ChannelId::new(0);
+        let b = BarrierId::new(1);
+        let w = Workload::new("t", vec![
+            spec(0, vec![
+                Segment::new(1, SimOp::Push { chan: c }),
+                Segment::new(1, SimOp::Barrier { barrier: b }),
+            ]),
+            spec(1, vec![
+                Segment::new(1, SimOp::Pop { chan: c }),
+                Segment::new(1, SimOp::Barrier { barrier: b }),
+            ]),
+            spec(2, vec![Segment::new(1, SimOp::End)]),
+        ]);
+        let p = shard_plan(&w);
+        let back = ShardPlan::from_json(&p.to_json()).expect("round trip");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(ShardPlan::from_json("").is_err());
+        assert!(ShardPlan::from_json("{\"domains\":[]}").is_err()); // no edges key
+        assert!(ShardPlan::from_json("{\"domains\":[],\"edges\":[]} trailing").is_err());
+        let bad_kind = "{\"domains\":[],\"edges\":[{\"kind\":\"mutex\",\
+                        \"resource\":\"L0\",\"domains\":[]}]}";
+        assert!(ShardPlan::from_json(bad_kind).unwrap_err().contains("mutex"));
+        let bad_id = "{\"domains\":[{\"id\":0,\"weight\":1,\"sync_ops\":0,\
+                      \"threads\":[\"CH0\"]}],\"edges\":[]}";
+        assert!(ShardPlan::from_json(bad_id).unwrap_err().contains("bad TH id"));
+    }
+
+    #[test]
+    fn validate_accepts_fresh_plan() {
+        let c = ChannelId::new(0);
+        let w = Workload::new("t", vec![
+            spec(0, vec![Segment::new(1, SimOp::Push { chan: c })]),
+            spec(1, vec![Segment::new(1, SimOp::Pop { chan: c })]),
+        ]);
+        let p = shard_plan(&w);
+        assert_eq!(p.validate_against(&w), Ok(()));
+        // And survives a serialization round trip.
+        let back = ShardPlan::from_json(&p.to_json()).unwrap();
+        assert_eq!(back.validate_against(&w), Ok(()));
+    }
+
+    #[test]
+    fn validate_names_thread_set_drift() {
+        let w = Workload::new("t", vec![
+            spec(0, vec![Segment::new(1, SimOp::End)]),
+            spec(1, vec![Segment::new(1, SimOp::End)]),
+        ]);
+        let mut stale = shard_plan(&w);
+        stale.domains[1].threads = vec![tid(7)];
+        let err = stale.validate_against(&w).unwrap_err();
+        assert!(err.contains("stale shard plan"), "{err}");
+        assert!(err.contains("TH1"), "{err}");
+        assert!(err.contains("TH7"), "{err}");
+    }
+
+    #[test]
+    fn validate_names_missing_edge() {
+        let c = ChannelId::new(0);
+        let w = Workload::new("t", vec![
+            spec(0, vec![Segment::new(1, SimOp::Push { chan: c })]),
+            spec(1, vec![Segment::new(1, SimOp::Pop { chan: c })]),
+        ]);
+        let mut stale = shard_plan(&w);
+        stale.edges.clear();
+        let err = stale.validate_against(&w).unwrap_err();
+        assert!(err.contains("missing cross-domain edge CH0"), "{err}");
+
+        let mut stale = shard_plan(&w);
+        stale.edges.push(CrossEdge {
+            kind: EdgeKind::Barrier(BarrierId::new(9)),
+            domains: vec![0, 1],
+        });
+        let err = stale.validate_against(&w).unwrap_err();
+        assert!(err.contains("spurious cross-domain edge B9"), "{err}");
+    }
+
+    #[test]
+    fn validate_names_partition_drift() {
+        let l = LockId::new(0);
+        let cs = Segment::new(1, SimOp::Lock { lock: l, cs_work: 5 });
+        let w = Workload::new("t", vec![
+            spec(0, vec![cs]),
+            spec(1, vec![Segment::new(1, SimOp::End).with_nested(l)]),
+        ]);
+        // A plan that splits what interference analysis merges.
+        let stale = ShardPlan {
+            domains: vec![
+                ShardDomain { id: 0, threads: vec![tid(0)], weight: 6, sync_ops: 1 },
+                ShardDomain { id: 1, threads: vec![tid(1)], weight: 1, sync_ops: 1 },
+            ],
+            edges: Vec::new(),
+        };
+        let err = stale.validate_against(&w).unwrap_err();
+        assert!(err.contains("domain partition differs"), "{err}");
+    }
+
+    #[test]
+    fn coalesce_merges_shared_channel_ends() {
+        // Two independent producers feed one channel; two independent
+        // consumers drain another. Execution needs SPSC edges, so the
+        // producer pair and the consumer pair each merge.
+        let (a, b) = (ChannelId::new(0), ChannelId::new(1));
+        let w = Workload::new("t", vec![
+            spec(0, vec![Segment::new(1, SimOp::Push { chan: a })]),
+            spec(1, vec![Segment::new(1, SimOp::Push { chan: a })]),
+            spec(2, vec![
+                Segment::new(1, SimOp::Pop { chan: a }),
+                Segment::new(1, SimOp::Push { chan: b }),
+            ]),
+            spec(3, vec![Segment::new(1, SimOp::Pop { chan: b })]),
+            spec(4, vec![Segment::new(1, SimOp::Pop { chan: b })]),
+        ]);
+        let p = shard_plan(&w);
+        assert_eq!(p.domains.len(), 5);
+        let exec = p.coalesce_for_execution(&w);
+        assert_eq!(exec.domains.len(), 3);
+        assert_eq!(exec.domains[0].threads, vec![tid(0), tid(1)]);
+        assert_eq!(exec.domains[1].threads, vec![tid(2)]);
+        assert_eq!(exec.domains[2].threads, vec![tid(3), tid(4)]);
+        // Both residual channel edges are single-producer/single-consumer.
+        assert_eq!(exec.edges.len(), 2);
+        assert_eq!(exec.edges[0], CrossEdge {
+            kind: EdgeKind::Channel(a),
+            domains: vec![0, 1],
+        });
+        assert_eq!(exec.edges[1], CrossEdge {
+            kind: EdgeKind::Channel(b),
+            domains: vec![1, 2],
+        });
+        // Weight and sync-op mass are conserved.
+        let mass = |p: &ShardPlan| p.domains.iter().map(|d| d.weight).sum::<u64>();
+        assert_eq!(mass(&p), mass(&exec));
+    }
+
+    #[test]
+    fn coalesce_keeps_disjoint_domains_apart() {
+        let w = Workload::new("t", vec![
+            spec(0, vec![Segment::new(10, SimOp::End)]),
+            spec(1, vec![Segment::new(20, SimOp::End)]),
+        ]);
+        let p = shard_plan(&w);
+        let exec = p.coalesce_for_execution(&w);
+        assert_eq!(exec, p);
+    }
+
+    #[test]
+    fn coalesce_collapses_intra_domain_channel_edges() {
+        // Producer and consumer of one channel plus a barrier tying the
+        // consumer to a third thread: once the barrier's domains merge via
+        // a shared channel elsewhere, edges within one exec domain vanish.
+        let c = ChannelId::new(0);
+        let d = ChannelId::new(1);
+        let w = Workload::new("t", vec![
+            spec(0, vec![
+                Segment::new(1, SimOp::Push { chan: c }),
+                Segment::new(1, SimOp::Push { chan: d }),
+            ]),
+            spec(1, vec![Segment::new(1, SimOp::Pop { chan: c })]),
+            spec(2, vec![Segment::new(1, SimOp::Pop { chan: d })]),
+        ]);
+        let p = shard_plan(&w);
+        assert_eq!(p.domains.len(), 3);
+        let exec = p.coalesce_for_execution(&w);
+        // Nothing shares channel ends, so the partition is unchanged and
+        // both channels stay cross-edges.
+        assert_eq!(exec.domains.len(), 3);
+        assert_eq!(exec.edges.len(), 2);
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! gprs-lint [--all | <program>...] [--scale <f>] [--deny warnings]
-//!           [--format <text|json>] [--no-artifact]
+//!           [--format <text|json>] [--no-artifact] [--check-artifacts]
 //! ```
 //!
 //! * `--all` lints the ten Table 2 programs ([`PROGRAMS`]).
@@ -18,6 +18,12 @@
 //!   and `artifacts/shardplan.<program>.json` unless `--no-artifact` is
 //!   given (in JSON mode the artifact paths go to stderr to keep stdout a
 //!   single document).
+//! * `--check-artifacts` verifies instead of lints: every committed
+//!   `artifacts/shardplan.<program>.json` (all ten programs unless names
+//!   are given) is parsed and compared against a fresh analysis of its
+//!   workload — a missing, unreadable, or drifted file is a **stale
+//!   shardplan artifact** failure (exit 1). The sharded runtime trusts
+//!   these artifacts as its domain contract, so CI pins them here.
 //!
 //! Exit status: 0 when every report is clean (no errors; no warnings under
 //! `--deny warnings`), 1 otherwise, 2 on usage errors. The JSON document is
@@ -27,10 +33,56 @@ use gprs_bench::{analysis_report, parse_scale, write_analysis_artifact, write_sh
 use gprs_telemetry::json::JsonWriter;
 use gprs_workloads::traces::PROGRAMS;
 
+/// Verifies each committed `artifacts/shardplan.<program>.json` against a
+/// fresh analysis of its workload, returning the number of stale files.
+fn check_artifacts(programs: &[String], scale: f64) -> usize {
+    let mut stale = 0;
+    for name in programs {
+        let path = std::path::Path::new("artifacts").join(format!("shardplan.{name}.json"));
+        let fresh = analysis_report(name, scale).shard_plan.to_json();
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "stale shardplan artifact: {} is missing ({e}) — \
+                     run `gprs-lint --all` to regenerate",
+                    path.display()
+                );
+                stale += 1;
+                continue;
+            }
+        };
+        // Round-trip through the parser so the comparison is canonical,
+        // not sensitive to committed whitespace.
+        let canonical = match gprs_analyze::ShardPlan::from_json(&committed) {
+            Ok(plan) => plan.to_json(),
+            Err(e) => {
+                eprintln!(
+                    "stale shardplan artifact: {} is unreadable: {e}",
+                    path.display()
+                );
+                stale += 1;
+                continue;
+            }
+        };
+        if canonical == fresh {
+            println!("shardplan artifact {} is fresh", path.display());
+        } else {
+            eprintln!(
+                "stale shardplan artifact: {} no longer matches a fresh analysis \
+                 of {name:?} — run `gprs-lint --all` to regenerate",
+                path.display()
+            );
+            stale += 1;
+        }
+    }
+    stale
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: gprs-lint [--all | <program>...] [--scale <f>] [--deny warnings] \
-         [--format <text|json>] [--no-artifact]\n\
+         [--format <text|json>] [--no-artifact] [--check-artifacts]\n\
          exit status: 0 clean, 1 findings, 2 usage error\n\
          programs: {}, histogram-racy, deadlock-hazard",
         PROGRAMS
@@ -48,6 +100,7 @@ fn main() {
     let mut deny_warnings = false;
     let mut artifact = true;
     let mut json = false;
+    let mut check = false;
     let mut programs: Vec<String> = Vec::new();
 
     let mut i = 1;
@@ -71,11 +124,27 @@ fn main() {
                 }
             }
             "--no-artifact" => artifact = false,
+            "--check-artifacts" => check = true,
             "--help" | "-h" => usage(),
             flag if flag.starts_with('-') => usage(),
             name => programs.push(name.replace('_', "-")),
         }
         i += 1;
+    }
+    if check {
+        if programs.is_empty() {
+            programs.extend(PROGRAMS.iter().map(|p| p.name.to_string()));
+        }
+        let stale = check_artifacts(&programs, scale);
+        if stale > 0 {
+            eprintln!("gprs-lint: {stale} stale shardplan artifact(s)");
+            std::process::exit(1);
+        }
+        println!(
+            "gprs-lint: all {} shardplan artifact(s) are fresh",
+            programs.len()
+        );
+        return;
     }
     if programs.is_empty() {
         usage();

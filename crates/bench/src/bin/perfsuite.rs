@@ -1,6 +1,7 @@
 //! The tracked performance suite: wall-time + counter baselines for the
-//! runtime's grant/checkpoint/retire/recovery paths at 1/2/4/8 workers and
-//! the simulator's recovery hot loop, plus golden determinism hashes.
+//! runtime's grant/checkpoint/retire/recovery paths at 1/2/4/8 workers,
+//! the sharded-order-domain scaling sweep at 8/16/32 workers, and the
+//! simulator's recovery hot loop, plus golden determinism hashes.
 //!
 //! Two artifacts live under `crates/bench/goldens/` and are committed:
 //!
@@ -21,8 +22,9 @@
 //! rewrites only the perf baseline; `--out <path>` overrides the JSON
 //! path; `--gate <pct>` fails (exit 2) when a deterministic count metric
 //! regresses more than `pct`% over the committed baseline, and
-//! `--gate-wall` opts wall time into the gate (off by default: wall clocks
-//! are not comparable across machines).
+//! `--gate-wall` opts wall time — plus the scaling sweep's per-worker
+//! grant throughput, gated in the decrease direction — into the gate (off
+//! by default: wall clocks are not comparable across machines).
 
 use gprs_bench::{injector, print_table};
 use gprs_runtime::cpr::CprBuilder;
@@ -376,27 +378,55 @@ fn determinism(goldens: &mut Vec<Golden>) {
     // Beacon with dead-store WAL elision ON: the golden is recorded from
     // the eliding run, and each worker count first proves the elided run
     // hash-identical to its elision-off twin (differential oracle).
+    let beacon_runs: Vec<(u64, u64)> = worker_counts
+        .iter()
+        .map(|&w| {
+            let run = |elide: bool| {
+                let mut b = GprsBuilder::new().workers(w);
+                let _ = build_beacon(&mut b, 4, 48);
+                let t = b
+                    .model(beacon_model(4, 48))
+                    .elide(elide)
+                    .build()
+                    .run()
+                    .unwrap()
+                    .telemetry;
+                assert_eq!(t.counter("wal_records_elided") > 0, elide, "w{w}");
+                (t.schedule_hash, t.retired_hash)
+            };
+            let (off, on) = (run(false), run(true));
+            assert_eq!(on, off, "rt/beacon w{w}: WAL elision moved the hashes");
+            on
+        })
+        .collect();
+    let beacon_retired = beacon_runs[0].1;
+    push_rt("rt/beacon", beacon_runs);
+
+    // Sharded twin of rt/beacon: the plan gives each beacon worker its own
+    // order domain, and the per-domain gates joined by the wrapping-sum
+    // merge must reproduce the unsharded retired order at every worker
+    // count. The merged schedule hash is a sharded-mode artifact (stable,
+    // but not comparable to the unsharded value), so it gets its own
+    // golden line.
     push_rt(
-        "rt/beacon",
+        "rt/beacon_sharded",
         worker_counts
             .iter()
             .map(|&w| {
-                let run = |elide: bool| {
-                    let mut b = GprsBuilder::new().workers(w);
-                    let _ = build_beacon(&mut b, 4, 48);
-                    let t = b
-                        .model(beacon_model(4, 48))
-                        .elide(elide)
-                        .build()
-                        .run()
-                        .unwrap()
-                        .telemetry;
-                    assert_eq!(t.counter("wal_records_elided") > 0, elide, "w{w}");
-                    (t.schedule_hash, t.retired_hash)
-                };
-                let (off, on) = (run(false), run(true));
-                assert_eq!(on, off, "rt/beacon w{w}: WAL elision moved the hashes");
-                on
+                let mut b = GprsBuilder::new().workers(w);
+                let _ = build_beacon(&mut b, 4, 48);
+                let t = b
+                    .model(beacon_model(4, 48))
+                    .build_sharded()
+                    .run()
+                    .unwrap()
+                    .telemetry;
+                assert_eq!(
+                    t.retired_hash, beacon_retired,
+                    "rt/beacon_sharded w{w}: sharded retirement diverged from the \
+                     unsharded golden"
+                );
+                (t.schedule_hash, t.retired_hash)
             })
             .collect(),
     );
@@ -418,6 +448,63 @@ fn perf(quick: bool) -> Vec<PerfRow> {
             wall,
         ));
         eprintln!("  perf grant_retire/w{workers} done ({wall:?})");
+    }
+
+    // Sharded scaling push: beacon gives the planner one provable order
+    // domain per worker, so the sharded build fans out into independent
+    // OrderGate/ROL/WAL stacks while the unsharded twin serializes every
+    // grant through a single gate. Swept past the single-gate design point
+    // (w8/w16/w32); the headline metric is `grants_per_sec_per_worker` no
+    // longer collapsing as the worker count doubles. Retired-order
+    // equivalence and the allocation-free hot path are asserted here — a
+    // scaling row that cheats on precision or mallocs per grant must fail
+    // the suite, not just drift a gauge.
+    {
+        let rounds = if quick { 24u32 } else { 160 };
+        for workers in [8usize, 16, 32] {
+            let run = |sharded: bool| {
+                let mut b = GprsBuilder::new().workers(workers);
+                let _ = build_beacon(&mut b, workers, rounds);
+                b = b.model(beacon_model(workers, rounds));
+                let t0 = Instant::now();
+                let r = if sharded {
+                    b.build_sharded().run().unwrap()
+                } else {
+                    b.build().run().unwrap()
+                };
+                (r, t0.elapsed())
+            };
+            let (plain, plain_wall) = run(false);
+            let (sharded, shard_wall) = run(true);
+            assert_eq!(
+                sharded.telemetry.retired_hash, plain.telemetry.retired_hash,
+                "scaling/w{workers}: sharded retirement diverged from the unsharded twin"
+            );
+            assert_eq!(
+                sharded.telemetry.counter("hot_path_allocs"),
+                0,
+                "scaling/w{workers}: the sharded grant path must stay allocation-free"
+            );
+            let mut push = |key: String, report: &RunReport, wall: Duration| {
+                let mut row = runtime_metrics(key, report, wall);
+                let gps = row
+                    .metrics
+                    .iter()
+                    .find(|(n, _)| *n == "grants_per_sec")
+                    .map_or(0.0, |(_, v)| *v);
+                row.metrics
+                    .push(("grants_per_sec_per_worker", gps / workers as f64));
+                row.metrics.push(("domains", report.shards.len() as f64));
+                rows.push(row);
+            };
+            push(format!("scaling_unsharded/w{workers}"), &plain, plain_wall);
+            push(format!("scaling_sharded/w{workers}"), &sharded, shard_wall);
+            eprintln!(
+                "  perf scaling/w{workers} done (sharded {shard_wall:?} over {} domains \
+                 vs unsharded {plain_wall:?})",
+                sharded.shards.len()
+            );
+        }
     }
 
     // Checkpoint capture path: large mod sets make `checkpoint()` the cost
@@ -743,7 +830,16 @@ const GATED_METRICS: &[&str] = &[
     "wal_appends",
     "wal_records_elided",
     "checkpoints_elided",
+    // Scaling rows: the domain fan-out is a pure function of the shard
+    // plan, so a shrinking partition is a planner regression.
+    "domains",
 ];
+
+/// Throughput metrics gate in the *decrease* direction — a sharded
+/// scaling row falling under its recorded per-worker grant rate is the
+/// regression the sweep exists to catch. Wall-clock-derived, so they join
+/// the gate only under `--gate-wall`.
+const GATED_THROUGHPUT: &[&str] = &["grants_per_sec_per_worker"];
 
 /// Rows whose counters depend on wall-clock injection timing; never gated.
 const UNGATED_ROWS: &[&str] = &["recovery/w4"];
@@ -760,7 +856,10 @@ fn gate_failures(
             continue;
         }
         for (name, v) in &row.metrics {
-            let gated = GATED_METRICS.contains(name) || (gate_wall && *name == "wall_ns");
+            let throughput = gate_wall && GATED_THROUGHPUT.contains(name);
+            let gated = throughput
+                || GATED_METRICS.contains(name)
+                || (gate_wall && *name == "wall_ns");
             if !gated {
                 continue;
             }
@@ -768,7 +867,16 @@ fn gate_failures(
             let Some((_, base)) = baseline.iter().find(|(k, _)| *k == bkey) else {
                 continue;
             };
-            if *base > 0.0 && *v > base * (1.0 + pct / 100.0) {
+            if *base <= 0.0 {
+                continue;
+            }
+            if throughput {
+                if *v < base * (1.0 - pct / 100.0) {
+                    failures.push(format!(
+                        "{bkey}: {v} fell more than {pct}% under baseline {base}"
+                    ));
+                }
+            } else if *v > base * (1.0 + pct / 100.0) {
                 failures.push(format!(
                     "{bkey}: {v} regressed more than {pct}% over baseline {base}"
                 ));

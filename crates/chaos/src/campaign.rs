@@ -6,8 +6,11 @@
 //! result to the [`crate::oracle`]. A campaign passes only when **zero**
 //! invariants are violated across every leg.
 
-use crate::oracle::{check_cpr, check_runtime, check_sim, Violation};
-use crate::programs::{register_cpr, register_gprs, CPR_PROGRAMS, RUNTIME_PROGRAMS};
+use crate::oracle::{check_cpr, check_runtime, check_sharded, check_sim, Violation};
+use crate::programs::{
+    register_cpr, register_gprs, register_gprs_sharded, CPR_PROGRAMS, RUNTIME_PROGRAMS,
+    SHARD_PROGRAMS,
+};
 use crate::{seeded_plan, seeded_script};
 use gprs_core::chaos::ChaosPlan;
 use gprs_core::exception::InjectorConfig;
@@ -157,6 +160,75 @@ pub fn gprs_elide_injected(plan: &ChaosPlan) -> Result<RunReport, String> {
         .build()
         .run()
         .map_err(|e| e.to_string())
+}
+
+/// Fault-free sharded run of a [`SHARD_PROGRAMS`] workload.
+pub fn gprs_sharded_clean(program: &str) -> RunReport {
+    let mut b = GprsBuilder::new().workers(4);
+    let model = register_gprs_sharded(program, &mut b);
+    b.model(model)
+        .build_sharded()
+        .run()
+        .expect("fault-free sharded campaign run completes")
+}
+
+/// Injected sharded run. Chaos triggers attach to execution domain 0 (the
+/// deterministic injection point: domain-local grant indices), so faults
+/// squash inside one shard while the cross-domain edges stay live.
+pub fn gprs_sharded_injected(program: &str, plan: &ChaosPlan) -> Result<RunReport, String> {
+    let mut b = GprsBuilder::new().workers(4);
+    let model = register_gprs_sharded(program, &mut b);
+    b.model(model)
+        .chaos(plan)
+        .build_sharded()
+        .run()
+        .map_err(|e| e.to_string())
+}
+
+/// The sharded differential legs (`shard/*`): faults land inside domain 0
+/// of a multi-domain run; the oracle holds the merged report to the
+/// *unsharded* clean twin's retired order, the *sharded* clean twin's file
+/// bytes, and per-domain WAL balance — global precision must survive
+/// per-domain ordering, retirement, logging and recovery.
+fn shard_legs(cfg: &CampaignConfig, out: &mut CampaignOutcome) {
+    for program in SHARD_PROGRAMS {
+        let leg = format!("shard/{program}");
+        let clean_unsharded = {
+            let mut b = GprsBuilder::new().workers(4);
+            let model = register_gprs_sharded(program, &mut b);
+            b.model(model)
+                .build()
+                .run()
+                .expect("fault-free unsharded twin completes")
+        };
+        let clean_sharded = gprs_sharded_clean(program);
+        out.legs += 1;
+        // Plans key on domain 0's local grant stream, so bound triggers by
+        // its clean grant count rather than the merged total.
+        let domain0_grants = clean_sharded
+            .shards
+            .first()
+            .map_or(clean_sharded.stats.grants, |s| s.grants);
+        for seed in 0..cfg.seeds {
+            let plan = seeded_plan(leg_seed(&leg, seed), domain0_grants);
+            out.runs += 1;
+            match gprs_sharded_injected(program, &plan) {
+                Ok(report) => out.violations.extend(check_sharded(
+                    &leg,
+                    seed,
+                    &plan,
+                    &clean_unsharded,
+                    &clean_sharded,
+                    &report,
+                )),
+                Err(e) => out.violations.push(Violation {
+                    leg: leg.clone(),
+                    seed,
+                    what: format!("run failed: {e}"),
+                }),
+            }
+        }
+    }
 }
 
 /// Spec seed for the serve legs: clean twins stay seed-independent (one
@@ -384,6 +456,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
         }
     }
 
+    shard_legs(cfg, &mut out);
     serve_legs(cfg, &mut out);
     durable_crash_legs(cfg, &mut out);
 

@@ -131,6 +131,121 @@ pub fn check_runtime(
     v
 }
 
+/// Checks an injected *sharded* GPRS run against both of its fault-free
+/// twins. The retired order must converge to the **unsharded** twin's —
+/// per-domain retirement is invisible to global precision — while committed
+/// file bytes are compared against the **sharded** clean twin (the merge
+/// concatenates per-domain commits, so byte layout is a sharded-mode
+/// property). On top of the global WAL balance, every domain's own ledger
+/// must balance and the per-domain digests must sum back to the global
+/// retired hash.
+pub fn check_sharded(
+    leg: &str,
+    seed: u64,
+    plan: &ChaosPlan,
+    clean_unsharded: &RunReport,
+    clean_sharded: &RunReport,
+    injected: &RunReport,
+) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let (t, c) = (&injected.telemetry, &clean_unsharded.telemetry);
+    if t.retired_hash != c.retired_hash {
+        violation(
+            &mut v,
+            leg,
+            seed,
+            format!(
+                "sharded retired-order hash diverged from the unsharded twin: \
+                 {:#018x} != {:#018x}",
+                t.retired_hash, c.retired_hash
+            ),
+        );
+    }
+    if t.retired_count != c.retired_count {
+        violation(
+            &mut v,
+            leg,
+            seed,
+            format!(
+                "sharded retired count diverged: {} != unsharded {}",
+                t.retired_count, c.retired_count
+            ),
+        );
+    }
+    if injected.files != clean_sharded.files {
+        violation(
+            &mut v,
+            leg,
+            seed,
+            "committed file contents differ from the sharded fault-free twin".to_string(),
+        );
+    }
+    if injected.shards.len() != clean_sharded.shards.len() {
+        violation(
+            &mut v,
+            leg,
+            seed,
+            format!(
+                "domain count changed under faults: {} != clean {}",
+                injected.shards.len(),
+                clean_sharded.shards.len()
+            ),
+        );
+    }
+    let mut digest_sum = 0u64;
+    for s in &injected.shards {
+        digest_sum = digest_sum.wrapping_add(s.retired_hash);
+        if s.wal_appends != s.wal_undos + s.wal_prunes {
+            violation(
+                &mut v,
+                leg,
+                seed,
+                format!(
+                    "domain {} WAL imbalance: {} appends != {} undos + {} prunes",
+                    s.domain, s.wal_appends, s.wal_undos, s.wal_prunes
+                ),
+            );
+        }
+    }
+    if digest_sum != t.retired_hash {
+        violation(
+            &mut v,
+            leg,
+            seed,
+            format!(
+                "shard digests do not sum to the merged retired hash: \
+                 {digest_sum:#018x} != {:#018x}",
+                t.retired_hash
+            ),
+        );
+    }
+    let stats = &injected.stats;
+    let (lo, hi) = (guaranteed_exceptions(plan), plan.total_exceptions());
+    if stats.exceptions < lo || stats.exceptions > hi {
+        violation(
+            &mut v,
+            leg,
+            seed,
+            format!(
+                "exception accounting: delivered {} outside plan bounds [{lo}, {hi}]",
+                stats.exceptions
+            ),
+        );
+    }
+    if stats.squashed + stats.exceptions_ignored < stats.exceptions {
+        violation(
+            &mut v,
+            leg,
+            seed,
+            format!(
+                "recovery accounting: {} squashed + {} ignored < {} exceptions",
+                stats.squashed, stats.exceptions_ignored, stats.exceptions
+            ),
+        );
+    }
+    v
+}
+
 /// Checks an injected CPR-baseline run.
 pub fn check_cpr(
     leg: &str,

@@ -15,10 +15,19 @@ use gprs_runtime::handles::{AtomicHandle, MutexHandle};
 use gprs_runtime::program::{Step, ThreadProgram};
 use gprs_runtime::GprsBuilder;
 use gprs_workloads::kernels::compress::generate_corpus;
-use gprs_workloads::programs::{beacon_model, build_beacon, build_pbzip_pipeline, HistogramWorker};
+use gprs_workloads::kernels::dedup::generate_dedup_corpus;
+use gprs_workloads::programs::{
+    beacon_model, build_beacon, build_dedup_pipeline, build_pbzip_pipeline, dedup_model,
+    pbzip_model, HistogramWorker,
+};
 
 /// Programs the GPRS-runtime campaign legs run.
 pub const RUNTIME_PROGRAMS: &[&str] = &["chain", "nested", "histogram", "pbzip", "beacon"];
+
+/// Programs the sharded-runtime differential legs run: every workload with
+/// a multi-domain shard plan (beacon partitions per worker; the pipelines
+/// partition per stage with cross-domain channel edges).
+pub const SHARD_PROGRAMS: &[&str] = &["beacon", "pbzip", "dedup"];
 
 /// Beacon shape shared by the plain `rt/beacon` leg and the elision legs
 /// (`rt-elide/beacon` must compare against the same clean twin).
@@ -162,6 +171,35 @@ pub fn register_gprs(name: &str, b: &mut GprsBuilder) {
             let _ = build_beacon(b, BEACON_SHAPE.0, BEACON_SHAPE.1);
         }
         other => panic!("unknown chaos program {other:?}"),
+    }
+}
+
+/// Registers a [`SHARD_PROGRAMS`] workload on a GPRS builder and returns
+/// the trace-level model whose interference proof drives the shard plan.
+/// The shapes are fixed per program so every seed of a leg shares the same
+/// clean twins.
+///
+/// # Panics
+/// Panics on a program without a sharded registration.
+pub fn register_gprs_sharded(name: &str, b: &mut GprsBuilder) -> gprs_core::workload::Workload {
+    match name {
+        "beacon" => {
+            let _ = build_beacon(b, BEACON_SHAPE.0, BEACON_SHAPE.1);
+            beacon_leg_model()
+        }
+        "pbzip" => {
+            let input = generate_corpus(20_000, 11);
+            let blocks = (input.len() as u64).div_ceil(2048);
+            let _ = build_pbzip_pipeline(b, input, 2048, 2);
+            pbzip_model(blocks, 2)
+        }
+        "dedup" => {
+            let input = generate_dedup_corpus(30_000, 30, 7);
+            let blocks = (input.len() as u64).div_ceil(8_192);
+            let (_, _, total, fresh) = build_dedup_pipeline(b, input, 8_192, 2, 2);
+            dedup_model(blocks, total, fresh, 2, 2)
+        }
+        other => panic!("unknown sharded chaos program {other:?}"),
     }
 }
 

@@ -100,7 +100,9 @@ pub mod prelude {
         ThreadId,
     };
     pub use crate::model::{CostParams, Scheme};
-    pub use crate::order::{BalanceAware, OrderEnforcer, OrderingPolicy, RoundRobin, ScheduleKind};
+    pub use crate::order::{
+        BalanceAware, EdgeQueue, OrderEnforcer, OrderingPolicy, RoundRobin, ScheduleKind,
+    };
     pub use crate::persist::{
         DurableImage, DurableRecord, FileBackend, MemoryBackend, PersistBackend, PersistError,
         PersistStats,

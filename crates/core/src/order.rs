@@ -569,6 +569,197 @@ impl OrderEnforcer {
     }
 }
 
+/// An unbounded lock-free SPSC queue of sequence-numbered edge tokens —
+/// the rendezvous point for one cross-shard channel edge.
+///
+/// When the ordering machinery is sharded, a channel whose producer and
+/// consumer live in different order domains can no longer hand items over
+/// through shared engine state; instead the producer domain forwards each
+/// item *at retirement* (so the hand-off is squash-proof) as a token
+/// through one of these queues, and the consumer domain drains it into its
+/// local channel replica. The token's sequence number is the producer-side
+/// push index; the consumer asserts it pops sequence `0, 1, 2, …` exactly,
+/// turning any ordering bug into a loud panic rather than silent
+/// nondeterminism.
+///
+/// # Safety contract
+///
+/// At most one thread pushes and at most one thread pops at any instant.
+/// The sharded runtime guarantees this structurally: each edge has exactly
+/// one producer domain and one consumer domain (the execution plan merges
+/// domains sharing a channel end), and each side serializes its accesses
+/// under its own engine lock. A violated contract on the consumer side is
+/// caught at runtime by the `draining` guard.
+pub struct EdgeQueue<T> {
+    /// Oldest node — the consumed stub; its `next` is the real front.
+    /// Consumer-owned.
+    head: std::sync::atomic::AtomicPtr<EdgeNode<T>>,
+    /// Newest node. Producer-owned.
+    tail: std::sync::atomic::AtomicPtr<EdgeNode<T>>,
+    /// Runtime guard enforcing the single-consumer half of the contract.
+    draining: std::sync::atomic::AtomicBool,
+    /// Tokens pushed; the next push's sequence number.
+    pushed: AtomicU64,
+    /// Tokens popped; the sequence number the next pop must observe.
+    popped: AtomicU64,
+    /// Producer finished: nothing more will ever arrive. A consumer
+    /// starving on an empty *closed* edge is deadlocked, not waiting.
+    closed: std::sync::atomic::AtomicBool,
+}
+
+struct EdgeNode<T> {
+    next: std::sync::atomic::AtomicPtr<EdgeNode<T>>,
+    /// `None` only for the stub and for already-consumed nodes.
+    token: Option<(u64, T)>,
+}
+
+// SAFETY: node access is disjoint between the single producer (appends
+// after `tail`) and the single consumer (detaches from `head`); the
+// release store of a node's predecessor `next` pointer paired with the
+// consumer's acquire load publishes the node contents.
+unsafe impl<T: Send> Send for EdgeQueue<T> {}
+unsafe impl<T: Send> Sync for EdgeQueue<T> {}
+
+impl<T> Default for EdgeQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for EdgeQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EdgeQueue")
+            .field("pushed", &self.pushed.load(Ordering::Relaxed))
+            .field("popped", &self.popped.load(Ordering::Relaxed))
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+impl<T> EdgeQueue<T> {
+    /// An empty, open edge.
+    pub fn new() -> Self {
+        let stub = Box::into_raw(Box::new(EdgeNode {
+            next: std::sync::atomic::AtomicPtr::new(std::ptr::null_mut()),
+            token: None,
+        }));
+        EdgeQueue {
+            head: std::sync::atomic::AtomicPtr::new(stub),
+            tail: std::sync::atomic::AtomicPtr::new(stub),
+            draining: std::sync::atomic::AtomicBool::new(false),
+            pushed: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+            closed: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Appends a token (producer side) and returns its sequence number.
+    pub fn push(&self, item: T) -> u64 {
+        assert!(!self.is_closed(), "EdgeQueue: push after close");
+        let seq = self.pushed.load(Ordering::Relaxed);
+        let node = Box::into_raw(Box::new(EdgeNode {
+            next: std::sync::atomic::AtomicPtr::new(std::ptr::null_mut()),
+            token: Some((seq, item)),
+        }));
+        let prev = self.tail.load(Ordering::Relaxed);
+        self.tail.store(node, Ordering::Relaxed);
+        // SAFETY: `prev` is a live node — the consumer never frees the node
+        // `tail` points at (it stops at a null `next`, and this store is
+        // what makes `prev` reachable-from-head *past* consumption only
+        // after `tail` has already moved on).
+        unsafe { (*prev).next.store(node, Ordering::Release) };
+        self.pushed.store(seq + 1, Ordering::Release);
+        seq
+    }
+
+    /// Removes the oldest token (consumer side), or `None` when empty.
+    ///
+    /// # Panics
+    /// If tokens surface out of sequence or a second consumer drains
+    /// concurrently — both indicate a violated shard-plan invariant and
+    /// must fail loudly rather than corrupt the deterministic order.
+    pub fn pop(&self) -> Option<(u64, T)> {
+        assert!(
+            !self.draining.swap(true, Ordering::Acquire),
+            "EdgeQueue: concurrent consumers on one edge"
+        );
+        // SAFETY: single consumer (checked above); `head` is only written
+        // here. The acquire load of `next` pairs with the producer's
+        // release store, publishing the node's token.
+        let token = unsafe {
+            let head = self.head.load(Ordering::Relaxed);
+            let next = (*head).next.load(Ordering::Acquire);
+            if next.is_null() {
+                None
+            } else {
+                let token = (*next).token.take().expect("edge token taken twice");
+                self.head.store(next, Ordering::Relaxed);
+                drop(Box::from_raw(head));
+                let expect = self.popped.load(Ordering::Relaxed);
+                assert_eq!(
+                    token.0, expect,
+                    "EdgeQueue: out-of-sequence edge token (got {}, want {expect})",
+                    token.0
+                );
+                self.popped.store(expect + 1, Ordering::Release);
+                Some(token)
+            }
+        };
+        self.draining.store(false, Ordering::Release);
+        token
+    }
+
+    /// Marks the producer side finished; no further pushes are legal.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Whether the producer has finished.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Whether a consumer waiting on this edge can never be satisfied:
+    /// empty *and* closed.
+    pub fn is_starved(&self) -> bool {
+        // Read `pushed` first: a racing close-after-push can only make
+        // this spuriously false (benign: the caller re-checks), never
+        // spuriously true.
+        let pushed = self.pushed.load(Ordering::Acquire);
+        self.is_closed() && self.popped.load(Ordering::Acquire) == pushed
+    }
+
+    /// Tokens currently in flight (pushed, not yet popped).
+    pub fn len(&self) -> u64 {
+        self.pushed.load(Ordering::Acquire) - self.popped.load(Ordering::Acquire)
+    }
+
+    /// Whether no tokens are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total tokens forwarded so far (the next push's sequence number).
+    pub fn forwarded(&self) -> u64 {
+        self.pushed.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for EdgeQueue<T> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` — no concurrent access; walk and free the
+        // whole chain including the stub.
+        unsafe {
+            let mut node = self.head.load(Ordering::Relaxed);
+            while !node.is_null() {
+                let next = (*node).next.load(Ordering::Relaxed);
+                drop(Box::from_raw(node));
+                node = next;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -865,5 +1056,79 @@ mod tests {
         );
         assert_eq!(ScheduleKind::BalanceWeighted.build().name(), "balance-aware");
         assert_eq!(ScheduleKind::RoundRobin.tag(), "R");
+    }
+
+    #[test]
+    fn edge_queue_fifo_with_sequence_numbers() {
+        let q = EdgeQueue::new();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        assert_eq!(q.push("a"), 0);
+        assert_eq!(q.push("b"), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((0, "a")));
+        assert_eq!(q.push("c"), 2);
+        assert_eq!(q.pop(), Some((1, "b")));
+        assert_eq!(q.pop(), Some((2, "c")));
+        assert!(q.pop().is_none());
+        assert_eq!(q.forwarded(), 3);
+    }
+
+    #[test]
+    fn edge_queue_starvation_needs_close_and_empty() {
+        let q = EdgeQueue::new();
+        q.push(1u32);
+        assert!(!q.is_starved());
+        q.close();
+        assert!(q.is_closed());
+        assert!(!q.is_starved()); // still a token in flight
+        assert_eq!(q.pop(), Some((0, 1)));
+        assert!(q.is_starved());
+    }
+
+    #[test]
+    #[should_panic(expected = "push after close")]
+    fn edge_queue_rejects_push_after_close() {
+        let q = EdgeQueue::new();
+        q.close();
+        q.push(1u32);
+    }
+
+    #[test]
+    fn edge_queue_drops_in_flight_tokens() {
+        let token = std::sync::Arc::new(());
+        let q = EdgeQueue::new();
+        q.push(std::sync::Arc::clone(&token));
+        q.push(std::sync::Arc::clone(&token));
+        q.pop();
+        drop(q);
+        assert_eq!(std::sync::Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn edge_queue_concurrent_producer_consumer() {
+        let q = std::sync::Arc::new(EdgeQueue::new());
+        let producer = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    assert_eq!(q.push(i * 3), i);
+                }
+                q.close();
+            })
+        };
+        let mut got = Vec::with_capacity(10_000);
+        loop {
+            match q.pop() {
+                Some((seq, v)) => {
+                    assert_eq!(v, seq * 3);
+                    got.push(seq);
+                }
+                None if q.is_starved() => break,
+                None => std::hint::spin_loop(),
+            }
+        }
+        producer.join().unwrap();
+        assert!(got.iter().copied().eq(0..10_000));
     }
 }

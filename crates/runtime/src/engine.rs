@@ -396,6 +396,10 @@ pub(crate) struct Inner {
     pub verify: Option<VerifyState>,
     /// Retired count at the last durable checkpoint.
     pub last_durable_ckpt: u64,
+    /// Sharded-execution context when this engine runs as one order domain
+    /// of a [`crate::shard::ShardedGprs`]; `None` for ordinary runs (every
+    /// sharded hook is gated on one `is_some` branch).
+    pub shard: Option<crate::shard::ShardCtx>,
 }
 
 /// The durable retire prefix a resumed run re-verifies during replay:
@@ -648,6 +652,7 @@ impl Inner {
             chaos: None,
             verify: None,
             last_durable_ckpt: 0,
+            shard: None,
         }
     }
 
@@ -821,6 +826,169 @@ impl Inner {
         }
     }
 
+    // ---- sharded-execution hooks (see `crate::shard`) ----------------
+
+    /// Drains cross-shard input at the top of every seek: in-edge tokens
+    /// into the local channel replicas and hub-released barrier
+    /// generations into local releases. Returns `true` when a peer domain
+    /// aborted the run.
+    pub(crate) fn shard_poll(&mut self) -> bool {
+        let Some(ctx) = self.shard.take() else {
+            return false;
+        };
+        if ctx.hub.aborted() {
+            self.shard = Some(ctx);
+            return true;
+        }
+        let mut progressed = false;
+        for (&chan, q) in &ctx.in_edges {
+            while let Some((_seq, item)) = q.pop() {
+                // Provenance is `None`: the producing sub-thread retired in
+                // its own domain, so the item can never be un-pushed here.
+                self.chans
+                    .entry(chan)
+                    .or_default()
+                    .items
+                    .push_back((item, None));
+                progressed = true;
+            }
+        }
+        for &b in &ctx.edge_barriers {
+            let released = ctx.hub.released(b);
+            while self.barriers.get(&b).is_some_and(|bar| bar.gen < released) {
+                self.release_barrier(b);
+                progressed = true;
+            }
+        }
+        self.shard = Some(ctx);
+        if progressed {
+            self.bump();
+        }
+        false
+    }
+
+    /// Gate for a sharded grant: the step must stay inside the domain the
+    /// plan assigned, and dynamic topology (spawn/join) plus serialized
+    /// sections are out of scope. Returns a poison diagnostic on violation.
+    pub(crate) fn shard_gate(&self, holder: ThreadId, step: &Step) -> Option<String> {
+        let ctx = self.shard.as_ref()?;
+        let res = match step {
+            Step::Lock(m) => ResourceId::Lock(m.id()),
+            Step::Push(c, _) | Step::Pop(c) => ResourceId::Channel(c.id()),
+            Step::FetchAdd(a, _) => ResourceId::Atomic(*a),
+            Step::Barrier(b) => ResourceId::Barrier(*b),
+            Step::Spawn(_) => {
+                return Some(format!(
+                    "sharded execution does not support dynamic spawn \
+                     ({holder}); run unsharded or restructure the workload"
+                ))
+            }
+            Step::Join(_) => {
+                return Some(format!(
+                    "sharded execution does not support join ({holder}); \
+                     run unsharded or restructure the workload"
+                ))
+            }
+            Step::Serialized => {
+                return Some(format!(
+                    "sharded execution does not support serialized \
+                     sections ({holder})"
+                ))
+            }
+            Step::Exit(_) => return None,
+        };
+        if ctx.allowed.contains(&res) {
+            None
+        } else {
+            Some(format!(
+                "sharded grant violation: {holder} touched {res} outside \
+                 order domain {} (stale shard plan?)",
+                ctx.domain
+            ))
+        }
+    }
+
+    /// Per-entry retirement hook: forwards a retiring cross-edge push onto
+    /// its edge queue (retirement is the commit point, so the forward is
+    /// squash-proof) and publishes deferred barrier arrivals. Must run
+    /// *before* the entry's opening record is dropped.
+    pub(crate) fn shard_on_retire(&mut self, id: SubThreadId) {
+        let Some(mut ctx) = self.shard.take() else {
+            return;
+        };
+        if let Some(OpeningRec {
+            want: OpeningWant::Push(chan, _),
+            ..
+        }) = self.opening.get(&id)
+        {
+            if let Some((queue, consumer)) = ctx.out_edges.get(chan) {
+                // Pushes retire in push (sub-thread) order and a producer
+                // domain has no local popper, so the front staged item is
+                // exactly this push's.
+                let (item, producer) = self
+                    .chans
+                    .get_mut(chan)
+                    .and_then(|c| c.items.pop_front())
+                    .expect("retiring edge push is staged locally");
+                debug_assert_eq!(producer, Some(id), "edges forward in retirement order");
+                queue.push(item);
+                ctx.hub.wake_domain(*consumer);
+            }
+        }
+        if let Some(bars) = ctx.edge_arrivals.remove(&id) {
+            for b in bars {
+                ctx.hub.arrive(b);
+            }
+        }
+        self.shard = Some(ctx);
+    }
+
+    /// Publishes a local poison to the hub so peer domains stop instead of
+    /// stalling on edges that will never produce again.
+    pub(crate) fn shard_publish_abort(&self) {
+        if let Some(ctx) = &self.shard {
+            ctx.hub.abort();
+        }
+    }
+
+    /// Publishes this domain's completion: closes its out-edges (consumers
+    /// observe starvation instead of waiting forever) and bumps the hub's
+    /// finished count. Idempotent.
+    pub(crate) fn shard_finish_domain(&mut self) {
+        let Some(ctx) = self.shard.as_mut() else {
+            return;
+        };
+        if ctx.finish_published {
+            return;
+        }
+        ctx.finish_published = true;
+        for (queue, _) in ctx.out_edges.values() {
+            queue.close();
+        }
+        ctx.hub.domain_finished();
+    }
+
+    /// Whether any live thread is parked on a cross-domain barrier: its
+    /// release comes from the hub, so a holderless engine must keep
+    /// waiting instead of declaring deadlock.
+    pub(crate) fn shard_parked_on_edge(&self) -> bool {
+        let Some(ctx) = self.shard.as_ref() else {
+            return false;
+        };
+        self.threads.values().any(|rec| match rec.state {
+            ThState::Parked(b) => ctx.edge_barriers.contains(&b),
+            _ => false,
+        })
+    }
+
+    /// Whether every peer domain's pool already finished (so no further
+    /// cross-domain arrival can ever be published).
+    pub(crate) fn shard_peers_done(&self) -> bool {
+        self.shard
+            .as_ref()
+            .is_some_and(|ctx| ctx.hub.peers_done(ctx.domain))
+    }
+
     /// Retires the maximal run of completed head sub-threads as one batch:
     /// per-entry dependence metadata and staged file output (the
     /// output-commit point) are handled entry by entry, but checkpoint and
@@ -858,6 +1026,9 @@ impl Inner {
                 }
                 if self.racecheck.is_some() {
                     self.race_retire(entry);
+                }
+                if self.shard.is_some() {
+                    self.shard_on_retire(id);
                 }
                 self.opening.remove(&id);
                 self.edges.remove(&id);
@@ -1328,10 +1499,26 @@ impl Inner {
                     .chans
                     .get(&c.id())
                     .is_none_or(|ch| ch.items.is_empty());
-                if empty {
-                    Some(false) // poll: pass the token
-                } else {
+                if !empty {
                     Some(true)
+                } else if let Some(q) = self
+                    .shard
+                    .as_ref()
+                    .and_then(|ctx| ctx.in_edges.get(&c.id()))
+                {
+                    // Cross-edge pop: tokens arrive in a fixed sequence, so
+                    // the token *waits* for the next one instead of passing
+                    // (a pass count varying with arrival timing would make
+                    // the local grant order timing-dependent). Once the
+                    // producer domain closed the drained edge, the pop can
+                    // never succeed: poll so the starvation poison fires.
+                    if q.is_starved() {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                } else {
+                    Some(false) // poll: pass the token
                 }
             }
             PendingWant::Op(Step::Join(t)) => {
@@ -1695,7 +1882,26 @@ impl Inner {
                         None => det.contribute_arrival(holder, b, forming_gen),
                     }
                 }
-                if full {
+                let cross = self
+                    .shard
+                    .as_ref()
+                    .is_some_and(|ctx| ctx.edge_barriers.contains(&b));
+                if cross {
+                    // Cross-domain arrival: published to the hub exactly
+                    // once, at retirement of the arrival-ending sub-thread
+                    // (squashing it removes the deferred entry before the
+                    // hub ever counts it; a retired `prev` can no longer
+                    // squash, so immediate publication is final). The
+                    // local `full` can never fire — participants count the
+                    // *global* membership.
+                    let pending = prev_st.filter(|&p| self.rol.contains(p));
+                    let mut ctx = self.shard.take().expect("sharded");
+                    match pending {
+                        Some(prev) => ctx.edge_arrivals.entry(prev).or_default().push(b),
+                        None => ctx.hub.arrive(b),
+                    }
+                    self.shard = Some(ctx);
+                } else if full {
                     self.release_barrier(b);
                 }
                 self.bump();
@@ -1962,6 +2168,12 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
     // Set when this worker returns from a wait; cleared on progress. Still
     // set at the next wait ⇒ the wakeup found nothing to do.
     let mut woke_idle = false;
+    // Edge-connected shard domains bound their scheduler waits: peers
+    // notify best-effort *without* taking this engine's lock (no
+    // cross-engine lock order exists), so an unbounded wait could miss a
+    // wake forever. Isolated domains — and unsharded runs — keep
+    // indefinite waits and pay nothing.
+    let edge_wait = g.shard.as_ref().is_some_and(|c| c.has_cross_edges());
     macro_rules! wait_here {
         ($g:ident) => {{
             if woke_idle && $g.telemetry.enabled() {
@@ -1970,13 +2182,30 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
             fast = false;
             woke_idle = true;
             shared.cv_sleepers.fetch_add(1, Ordering::Relaxed);
-            shared.cv.wait(&mut $g);
+            if edge_wait {
+                let _ = shared
+                    .cv
+                    .wait_for(&mut $g, std::time::Duration::from_micros(200));
+            } else {
+                shared.cv.wait(&mut $g);
+            }
             shared.cv_sleepers.fetch_sub(1, Ordering::Relaxed);
         }};
     }
     loop {
         let inner = &mut *g;
         if inner.poisoned.is_some() {
+            // Peer shard domains must stop too: without the abort they
+            // would stall on edges this domain will never feed again.
+            inner.shard_publish_abort();
+            shared.done.store(true, Ordering::Release);
+            shared.wake_all();
+            break Decision::Finished;
+        }
+        if inner.shard.is_some() && inner.shard_poll() {
+            // A peer domain aborted: finish this pool without poisoning
+            // (the culprit domain carries the diagnostic). Out-edges stay
+            // open — a sibling worker may still be depositing a step.
             shared.done.store(true, Ordering::Release);
             shared.wake_all();
             break Decision::Finished;
@@ -2019,6 +2248,9 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
         // resurrect exited threads), not dropped by an early finish with
         // its excepted entry's staged output uncommitted.
         if inner.live == 0 && inner.running.is_empty() {
+            // Nothing is in flight, so no sibling deposit can race the
+            // out-edge close below.
+            inner.shard_finish_domain();
             shared.done.store(true, Ordering::Release);
             shared.wake_all();
             break Decision::Finished;
@@ -2029,6 +2261,27 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
         }
         let Some(holder) = inner.enforcer.holder() else {
             if inner.running.is_empty() && inner.live > 0 {
+                if inner.shard_parked_on_edge() {
+                    // The release comes from the hub. Only when every peer
+                    // pool already finished can no further arrival ever be
+                    // published; one more drain then closes the race where
+                    // the final release landed after this iteration's poll
+                    // (finish counts are bumped *after* the publishing
+                    // retirement, with acquire/release ordering).
+                    if inner.shard_peers_done() {
+                        let _ = inner.shard_poll();
+                        if inner.enforcer.holder().is_some() {
+                            continue;
+                        }
+                        inner.poison(
+                            "deadlock: cross-shard barrier never released \
+                             (barrier participants mismatch across domains?)",
+                        );
+                        continue;
+                    }
+                    wait_here!(g);
+                    continue;
+                }
                 inner.poison(
                     "deadlock: live threads remain but none is runnable \
                      (barrier participants mismatch?)",
@@ -2040,6 +2293,24 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
             wait_here!(g);
             continue;
         };
+        if inner.shard.is_some() {
+            // Domain fence: a step touching a resource the plan mapped
+            // elsewhere (or out-of-scope dynamic topology) must fail loudly
+            // *before* polling — a foreign lock or channel has no local
+            // record, so the poll would silently wait or pass forever.
+            let gate_msg = inner
+                .threads
+                .get(&holder)
+                .and_then(|rec| rec.pending.as_ref())
+                .and_then(|want| match want {
+                    PendingWant::Op(step) => inner.shard_gate(holder, step),
+                    _ => None,
+                });
+            if let Some(msg) = gate_msg {
+                inner.poison(msg);
+                continue;
+            }
+        }
         let rec = inner.threads.get(&holder).expect("registered thread");
         if rec.state == ThState::Done {
             // Stale registration (should not happen; exits deregister).

@@ -70,6 +70,9 @@ pub mod program;
 pub mod report;
 pub(crate) mod rex;
 pub mod session;
+pub(crate) mod shard;
+
+pub use crate::shard::ShardedGprs;
 
 use crate::engine::{Inner, PendingException, RunConfig, Shared, SharedRef};
 use crate::handles::{
@@ -108,6 +111,7 @@ pub struct GprsBuilder {
     durable_ckpt_every: u64,
     durable_spec: Option<String>,
     resume_prefix: Vec<(u32, u8, u64)>,
+    shard_plan_json: Option<String>,
     inner: Inner,
     next_lock: u64,
     next_chan: u64,
@@ -153,6 +157,7 @@ impl GprsBuilder {
             durable_ckpt_every: DEFAULT_DURABLE_CKPT_EVERY,
             durable_spec: None,
             resume_prefix: Vec::new(),
+            shard_plan_json: None,
             inner: Inner::new(cfg),
             next_lock: 0,
             next_chan: 0,
@@ -250,6 +255,18 @@ impl GprsBuilder {
     /// structure the registered thread programs perform.
     pub fn model(mut self, w: gprs_core::workload::Workload) -> Self {
         self.model = Some(w);
+        self
+    }
+
+    /// Attaches a committed shard-plan artifact (the JSON text produced by
+    /// `gprs_analyze::ShardPlan::to_json`) for [`build_sharded`]
+    /// (Self::build_sharded). The artifact is re-validated against the
+    /// attached [`model`](Self::model) at build time; a stale or mismatched
+    /// plan fails the run loudly with a `stale shard plan` diagnostic
+    /// instead of silently re-deriving domains. Without an artifact the
+    /// plan is computed fresh from the model.
+    pub fn shard_plan_artifact(mut self, json: impl Into<String>) -> Self {
+        self.shard_plan_json = Some(json.into());
         self
     }
 
@@ -492,6 +509,107 @@ impl GprsBuilder {
             analysis,
         }
     }
+
+    /// Finalizes the configuration into a sharded runtime: one engine —
+    /// one `OrderGate`, reorder list, WAL and checkpoint store — per domain
+    /// of the shard plan, with cross-domain channel and barrier edges
+    /// rendezvousing through a lock-free hub. The plan comes from an
+    /// attached [`shard_plan_artifact`](Self::shard_plan_artifact) (re-
+    /// validated against the model) or is derived fresh from the
+    /// [`model`](Self::model)'s interference proof. A single-domain plan
+    /// degenerates to the unmodified engine, bit-identical to
+    /// [`build`](Self::build).
+    ///
+    /// Sharded execution composes with analysis-driven WAL elision and the
+    /// full telemetry stack, but not with features that assume one global
+    /// retirement stream: durable persistence/resume and the dynamic race
+    /// detector are rejected at build time (the error surfaces from
+    /// [`ShardedGprs::run`]).
+    pub fn build_sharded(mut self) -> ShardedGprs {
+        let Some(model) = self.model.clone() else {
+            return ShardedGprs::failed(
+                "sharded execution requires an attached model (GprsBuilder::model)".into(),
+            );
+        };
+        if self.persist.is_some() {
+            return ShardedGprs::failed(
+                "sharded execution does not support durable persistence".into(),
+            );
+        }
+        if !self.resume_prefix.is_empty() {
+            return ShardedGprs::failed(
+                "sharded execution does not support durable resume".into(),
+            );
+        }
+        // Resolve the shard plan: committed artifact (re-validated, loud
+        // failure on staleness) or fresh derivation from the model.
+        let plan = match self.shard_plan_json.take() {
+            Some(text) => {
+                let plan = match gprs_analyze::ShardPlan::from_json(&text) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        return ShardedGprs::failed(format!(
+                            "stale shard plan for {:?}: unreadable artifact: {e}",
+                            model.name
+                        ))
+                    }
+                };
+                if let Err(e) = plan.validate_against(&model) {
+                    return ShardedGprs::failed(e);
+                }
+                plan
+            }
+            None => gprs_analyze::shard_plan(&model),
+        };
+        let exec = plan.coalesce_for_execution(&model);
+        // Same ahead-of-run analysis as `build`, but a verdict that would
+        // arm the dynamic detector is a hard error: per-domain detectors
+        // cannot see cross-shard races, so a maybe-racy model must not run
+        // sharded.
+        let analysis = if self.analyze || self.elide {
+            Some(gprs_analyze::analyze(&model))
+        } else {
+            None
+        };
+        if let Some(rep) = &analysis {
+            if self.analyze && !rep.race_free()
+                && rep.advice == gprs_analyze::RecoveryAdvice::HybridCpr
+            {
+                self.racecheck = true;
+            }
+        }
+        if self.racecheck {
+            return ShardedGprs::failed(
+                "sharded execution does not support the dynamic race detector \
+                 (per-domain detectors cannot order cross-shard accesses)"
+                    .into(),
+            );
+        }
+        let elide_cells = match &analysis {
+            Some(rep) if self.elide && rep.race_free() => {
+                Arc::new(rep.restart.dead_cells.iter().copied().collect())
+            }
+            _ => Arc::new(std::collections::BTreeSet::new()),
+        };
+        self.inner.cfg = RunConfig {
+            schedule: self.schedule,
+            workers: self.workers,
+            recovery: self.recovery,
+            telemetry: self.telemetry,
+            racecheck: false,
+            job_id: self.job_id,
+            submit_seq: self.submit_seq,
+            persist: None,
+            durable_ckpt_every: self.durable_ckpt_every,
+            elide_cells,
+        };
+        // Mirror `build`'s facade rebuild: the telemetry was sized for the
+        // default config. `assemble` re-derives per-domain facades from
+        // this cfg; the single-domain shortcut uses this one as-is.
+        self.inner.telemetry = Arc::new(Telemetry::new(&self.telemetry, self.workers));
+        self.inner.racecheck = None;
+        shard::assemble(self.inner, &model, &exec, self.workers, analysis)
+    }
 }
 
 /// A fully configured runtime, ready to run.
@@ -599,6 +717,7 @@ pub(crate) fn collect_report(
         telemetry,
         first_race,
         analysis,
+        shards: Vec::new(),
     })
 }
 
@@ -680,7 +799,7 @@ pub mod prelude {
     pub use crate::program::{payload_to, OneShot, Step, ThreadProgram};
     pub use crate::report::{RunError, RunReport, RunStats};
     pub use crate::session::{GprsSession, QuantumOutcome};
-    pub use crate::{Controller, Gprs, GprsBuilder, RecoveryPolicy};
+    pub use crate::{Controller, Gprs, GprsBuilder, RecoveryPolicy, ShardedGprs};
     pub use gprs_core::chaos::{ChaosEvent, ChaosPlan, ChaosTrigger, VictimSelector};
     pub use gprs_core::exception::{ExceptionKind, ExceptionScope};
     pub use gprs_core::history::Checkpoint;

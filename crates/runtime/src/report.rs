@@ -76,6 +76,31 @@ pub struct RunReport {
     /// The ahead-of-run static analysis report, when
     /// [`crate::GprsBuilder::analyze`] was enabled and a model attached.
     pub analysis: Option<gprs_analyze::AnalysisReport>,
+    /// Per-domain ledgers of a sharded run (`crate::ShardedGprs`), in
+    /// domain order; empty for ordinary runs. The per-shard retired-hash
+    /// values wrapping-sum to [`TelemetrySummary::retired_hash`], and each
+    /// shard's WAL ledger must balance (`wal_appends == wal_undos +
+    /// wal_prunes`) — the invariants the chaos oracle audits per domain.
+    pub shards: Vec<ShardSummary>,
+}
+
+/// One execution domain's slice of a sharded run's ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Execution-domain index (matches the coalesced plan's order).
+    pub domain: usize,
+    /// Sub-threads retired by this domain's engine.
+    pub retired: u64,
+    /// The domain's commutative retired-order digest.
+    pub retired_hash: u64,
+    /// Grants issued by the domain's order enforcer.
+    pub grants: u64,
+    /// WAL records appended under this domain's engine lock.
+    pub wal_appends: u64,
+    /// WAL undo records consumed by this domain's recoveries.
+    pub wal_undos: u64,
+    /// WAL records pruned at this domain's retirements.
+    pub wal_prunes: u64,
 }
 
 impl RunReport {
@@ -160,6 +185,7 @@ mod tests {
             telemetry: TelemetrySummary::default(),
             first_race: None,
             analysis: None,
+            shards: Vec::new(),
         };
         assert_eq!(report.output::<u64>(ThreadId::new(0)), 41);
         assert!(report.file_contents(0).is_empty());

@@ -421,6 +421,18 @@ fn undo_op(
                 bar.waiting.retain(|&t| t != thread);
                 bar.arrival_sts.retain(|&s| s != op_subthread);
             }
+            // Sharded runs defer cross-domain arrival publication to the
+            // arrival-ending sub-thread's retirement; squashing it must
+            // drop the deferred entry so the hub never counts an arrival
+            // that un-happened (re-execution re-defers it).
+            if let Some(ctx) = inner.shard.as_mut() {
+                if let Some(bars) = ctx.edge_arrivals.get_mut(&op_subthread) {
+                    bars.retain(|&b| b != barrier);
+                    if bars.is_empty() {
+                        ctx.edge_arrivals.remove(&op_subthread);
+                    }
+                }
+            }
         }
         RtOp::SpawnChild { child } => {
             let mut crec = inner

@@ -54,4 +54,6 @@ pub mod server;
 pub mod spec;
 
 pub use pool::{JobOutcome, JobStatus, JobTicket, PoolConfig, PoolStats, ServeHandle, ServePool};
-pub use spec::{build_job, build_job_durable, build_solo, fault_plan, JobSpec, WORKLOADS};
+pub use spec::{
+    build_job, build_job_durable, build_job_sharded, build_solo, fault_plan, JobSpec, WORKLOADS,
+};

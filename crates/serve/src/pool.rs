@@ -13,8 +13,14 @@
 //! with its precise state parked inside the engine, so long jobs cannot
 //! starve the queue and a job may migrate between OS workers across
 //! quanta without perturbing its deterministic schedule.
+//!
+//! [`JobSpec::shard`] jobs are the one exception to quantum slicing:
+//! sessions are never sharded, so the claiming worker drives the whole
+//! sharded run to completion in a single blocking pass (the per-domain
+//! engines spawn and join their own worker threads inside it). They still
+//! honour claim-time cancellation and publish ordinary outcomes.
 
-use crate::spec::{build_job, build_job_durable, validate, JobSpec};
+use crate::spec::{build_job, build_job_durable, build_job_sharded, validate, JobSpec};
 use gprs_core::persist::{DurableImage, DurableRecord, FileBackend, PersistBackend};
 use gprs_runtime::report::RunReport;
 use gprs_runtime::session::{GprsSession, QuantumOutcome};
@@ -140,6 +146,9 @@ impl JobOutcome {
                 .field_u64("exceptions", report.stats.exceptions)
                 .field_u64("squashed", report.stats.squashed)
                 .field_u64("recoveries", report.stats.recoveries);
+            if !report.shards.is_empty() {
+                w.field_u64("domains", report.shards.len() as u64);
+            }
         }
         if let Some(error) = &self.error {
             w.field_str("error", error);
@@ -354,6 +363,14 @@ impl ServeHandle {
             return Err(SubmitError::ShuttingDown);
         }
         validate(&spec).map_err(SubmitError::BadSpec)?;
+        if spec.shard && self.shared.durable_root.is_some() {
+            // `build_sharded` rejects durable persistence (per-domain WALs
+            // have no durable merge rule yet); refuse at admission rather
+            // than fail the job on first claim.
+            return Err(SubmitError::BadSpec(
+                "sharded jobs do not support the durable store".into(),
+            ));
+        }
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let durable = match &self.shared.durable_root {
@@ -664,6 +681,27 @@ fn drive(shared: &Shared, job: &Arc<Job>) {
     let mut guard = job.session.lock();
     let halting = shared.phase.load(Ordering::Acquire) == HALT;
     let stopping = job.cancel.load(Ordering::Acquire) || halting;
+    if job.spec.shard {
+        // Sharded jobs have no cooperative session: the per-domain engines
+        // spawn and join their own workers inside `run`, so this claim
+        // drives the job to completion in one blocking pass. Cancellation
+        // is claim-time only; deadlines and timeouts are quantum-boundary
+        // checks and never fire inside the single pass.
+        if stopping {
+            publish(shared, job, guard, Some(JobStatus::Cancelled), None, None);
+            return;
+        }
+        shared.metrics.quanta.inc();
+        job.quanta.fetch_add(1, Ordering::Relaxed);
+        let outcome = build_job_sharded(&job.spec, job.id, job.seq)
+            .and_then(|sharded| sharded.run().map_err(|e| e.to_string()));
+        let (report, error) = match outcome {
+            Ok(report) => (Some(report), None),
+            Err(e) => (None, Some(e)),
+        };
+        publish(shared, job, guard, None, report, error);
+        return;
+    }
     if guard.is_none() && !stopping {
         // First claim: materialize the isolated engine here, on a pool
         // worker. A job stopped before this point never builds an engine

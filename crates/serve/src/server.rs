@@ -9,7 +9,7 @@
 //!
 //! | request | response |
 //! |---|---|
-//! | `submit <workload> <seed> [fault=N] [deadline=N] [timeout=MS]` | `{"ok":true,"job_id":N,"submit_seq":N}` |
+//! | `submit <workload> <seed> [fault=N] [deadline=N] [timeout=MS] [shard=1]` | `{"ok":true,"job_id":N,"submit_seq":N}` |
 //! | `wait` | one [`JobOutcome`] JSON line per unreported submission, in submission order, then `{"ok":true,"drained":K}` |
 //! | `cancel <job_id>` | `{"ok":true}` (flag set) or an error |
 //! | `stats` | pool counters as one JSON object |

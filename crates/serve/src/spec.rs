@@ -15,13 +15,17 @@ use gprs_core::persist::{DurableImage, PersistBackend};
 use gprs_runtime::ctx::StepCtx;
 use gprs_runtime::handles::{AtomicHandle, MutexHandle};
 use gprs_runtime::program::{Step, ThreadProgram};
-use gprs_runtime::{Gprs, GprsBuilder};
+use gprs_runtime::{Gprs, GprsBuilder, ShardedGprs};
 use gprs_workloads::kernels::compress::generate_corpus;
-use gprs_workloads::programs::{build_pbzip_pipeline, HistogramWorker};
+use gprs_workloads::programs::{
+    beacon_model, build_beacon, build_pbzip_pipeline, HistogramWorker,
+};
 use std::sync::Arc;
 
-/// Workload names the registry accepts, smallest first.
-pub const WORKLOADS: &[&str] = &["fetchadd", "mutex", "histogram", "pbzip"];
+/// Workload names the registry accepts, smallest first. `beacon` is the
+/// one whose trace-level model proves one order domain per worker, so it
+/// is the only workload a [`JobSpec::sharded`] job may name.
+pub const WORKLOADS: &[&str] = &["fetchadd", "mutex", "histogram", "pbzip", "beacon"];
 
 /// One job submission: a workload shaped by a seed, plus serving policy.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +47,13 @@ pub struct JobSpec {
     /// time is inherently nondeterministic — prefer `deadline_quanta`
     /// where reproducibility matters.
     pub timeout_ms: Option<u64>,
+    /// Run the job through per-domain order gates (`build_sharded`)
+    /// instead of a cooperative session. Only workloads with a proven
+    /// shard plan accept it (today: `beacon`), and the pool drives a
+    /// sharded job to completion on its claiming worker in one blocking
+    /// pass — sessions are never sharded. The retired hash still matches
+    /// the unsharded solo twin bit-for-bit (the differential contract).
+    pub shard: bool,
 }
 
 impl JobSpec {
@@ -54,7 +65,14 @@ impl JobSpec {
             fault_seed: 0,
             deadline_quanta: None,
             timeout_ms: None,
+            shard: false,
         }
+    }
+
+    /// Requests sharded execution (see [`shard`](Self::shard)).
+    pub fn sharded(mut self) -> Self {
+        self.shard = true;
+        self
     }
 
     /// Attaches a seeded fault-injection plan (0 disables).
@@ -83,11 +101,14 @@ impl JobSpec {
         if let Some(ms) = self.timeout_ms {
             line.push_str(&format!(" timeout={ms}"));
         }
+        if self.shard {
+            line.push_str(" shard=1");
+        }
         line
     }
 
     /// Parses a `submit`-style argument list: `<workload> <seed>
-    /// [fault=N] [deadline=N] [timeout=MS]`. The inverse of
+    /// [fault=N] [deadline=N] [timeout=MS] [shard=1]`. The inverse of
     /// [`canonical_line`](Self::canonical_line).
     ///
     /// # Errors
@@ -96,7 +117,8 @@ impl JobSpec {
     pub fn parse_args(args: &[&str]) -> Result<JobSpec, String> {
         let [workload, seed, rest @ ..] = args else {
             return Err(
-                "usage: submit <workload> <seed> [fault=N] [deadline=N] [timeout=MS]".into(),
+                "usage: submit <workload> <seed> [fault=N] [deadline=N] [timeout=MS] [shard=1]"
+                    .into(),
             );
         };
         let seed: u64 = seed.parse().map_err(|_| format!("bad seed {seed:?}"))?;
@@ -112,6 +134,7 @@ impl JobSpec {
                 "fault" => spec.fault_seed = n,
                 "deadline" => spec.deadline_quanta = Some(n),
                 "timeout" => spec.timeout_ms = Some(n),
+                "shard" => spec.shard = n != 0,
                 other => return Err(format!("unknown option {other:?}")),
             }
         }
@@ -303,19 +326,37 @@ fn register(spec: &JobSpec, b: &mut GprsBuilder) -> Result<(), String> {
                 compressors,
             );
         }
+        "beacon" => {
+            let (workers, rounds) = beacon_shape(spec.seed);
+            let _ = build_beacon(b, workers, rounds);
+        }
         other => return Err(format!("unknown workload {other:?}")),
     }
     Ok(())
 }
 
-/// Cheap admission-time validation: is the workload name registered?
-/// (Seeds cannot be invalid — every `u64` shapes a valid program.)
+/// The seed-shaped beacon geometry, shared by registration and the
+/// trace-level model a sharded build consumes: independent beacon workers
+/// (one provable order domain each) spinning `rounds` rounds.
+fn beacon_shape(seed: u64) -> (usize, u32) {
+    let r = mix(seed ^ 0x5E44E);
+    (2 + (r % 3) as usize, 8 + ((r >> 8) % 16) as u32)
+}
+
+/// Cheap admission-time validation: is the workload name registered, and
+/// does a sharded spec name a workload with a proven shard plan? (Seeds
+/// cannot be invalid — every `u64` shapes a valid program.)
 pub fn validate(spec: &JobSpec) -> Result<(), String> {
-    if WORKLOADS.contains(&spec.workload.as_str()) {
-        Ok(())
-    } else {
-        Err(format!("unknown workload {:?}", spec.workload))
+    if !WORKLOADS.contains(&spec.workload.as_str()) {
+        return Err(format!("unknown workload {:?}", spec.workload));
     }
+    if spec.shard && spec.workload != "beacon" {
+        return Err(format!(
+            "workload {:?} has no shard plan: only \"beacon\" jobs run sharded",
+            spec.workload
+        ));
+    }
+    Ok(())
 }
 
 /// Builds the spec into a runtime stamped with the given job identity.
@@ -332,9 +373,34 @@ pub fn build_job(spec: &JobSpec, job_id: u64, submit_seq: u64) -> Result<Gprs, S
 }
 
 /// Builds and runs the spec solo — the golden twin every served job's
-/// retired hash is compared against.
+/// retired hash is compared against. Deliberately *unsharded* even for
+/// sharded specs: per-domain retirement must be invisible in the retired
+/// hash, so the unsharded build is the stronger twin.
 pub fn build_solo(spec: &JobSpec) -> Result<Gprs, String> {
     build_job(spec, 0, 0)
+}
+
+/// Builds a sharded spec into per-domain engines stamped with the job
+/// identity. There is no cooperative session over sharded domains, so the
+/// pool drives the result to completion in one blocking pass on the
+/// claiming worker.
+///
+/// # Errors
+/// Any spec [`validate`] rejects, including a non-`beacon` workload.
+pub fn build_job_sharded(
+    spec: &JobSpec,
+    job_id: u64,
+    submit_seq: u64,
+) -> Result<ShardedGprs, String> {
+    validate(spec)?;
+    let mut b = GprsBuilder::new().job(job_id, submit_seq);
+    let plan = fault_plan(spec.fault_seed);
+    if !plan.is_empty() {
+        b = b.chaos(&plan);
+    }
+    let (workers, rounds) = beacon_shape(spec.seed);
+    let _ = build_beacon(&mut b, workers, rounds);
+    Ok(b.model(beacon_model(workers, rounds)).build_sharded())
 }
 
 /// Builds the spec onto a durable persistence backend, optionally
@@ -400,10 +466,32 @@ mod tests {
     }
 
     #[test]
+    fn sharded_build_matches_the_unsharded_solo_twin() {
+        for seed in [1u64, 9, 42] {
+            let spec = JobSpec::new("beacon", seed).sharded();
+            let solo = build_solo(&spec).unwrap().run().unwrap();
+            let sharded = build_job_sharded(&spec, 7, 7).unwrap().run().unwrap();
+            assert_eq!(
+                sharded.telemetry.retired_hash, solo.telemetry.retired_hash,
+                "seed {seed}: per-domain retirement must be invisible"
+            );
+            assert!(!sharded.shards.is_empty(), "sharded runs carry the domain ledger");
+        }
+    }
+
+    #[test]
+    fn shard_flag_requires_a_planned_workload() {
+        assert!(validate(&JobSpec::new("beacon", 1).sharded()).is_ok());
+        let err = validate(&JobSpec::new("mutex", 1).sharded()).unwrap_err();
+        assert!(err.contains("no shard plan"), "{err}");
+    }
+
+    #[test]
     fn canonical_lines_round_trip() {
         let specs = [
             JobSpec::new("mutex", 9),
             JobSpec::new("pbzip", 3).faults(11),
+            JobSpec::new("beacon", 6).sharded(),
             JobSpec::new("fetchadd", 1).faults(2).deadline(8),
             JobSpec {
                 timeout_ms: Some(500),

@@ -452,8 +452,10 @@ impl<'a> Gprs<'a> {
             finish: 0,
             res: SimResult::new(w.name.clone(), scheme),
             tel: Telemetry::new(&cfg.telemetry, cfg.contexts.max(1) as usize),
-            sched_hash: ScheduleHash::new(),
-            retired_hash: RetiredOrderHash::new(),
+            // Domain-separated by workload name: structurally identical
+            // programs (swaptions vs. histogram) must not collide.
+            sched_hash: ScheduleHash::seeded(gprs_telemetry::name_seed(&w.name)),
+            retired_hash: RetiredOrderHash::seeded(gprs_telemetry::name_seed(&w.name)),
             raw_trace: Vec::new(),
             persist: cfg.persist.clone(),
         };

@@ -22,6 +22,26 @@ pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a prime (64-bit).
 pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
+/// Derives a stable domain-separation seed from a workload name.
+///
+/// Two structurally identical schedules from *different* programs must not
+/// share digests (the `swaptions`/`histogram` collision: same thread count,
+/// same per-thread op structure, hence identical order hashes). Folding the
+/// name into the hash seed separates the domains without perturbing the
+/// order-sensitivity of the digests themselves. Returns 0 for an empty
+/// name, which both hash types treat as "unseeded".
+pub fn name_seed(name: &str) -> u64 {
+    if name.is_empty() {
+        return 0;
+    }
+    let mut h = FNV_OFFSET;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// A streaming FNV-1a hasher over `u64` words.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fnv1a(u64);
@@ -76,6 +96,16 @@ impl ScheduleHash {
         Self::default()
     }
 
+    /// A digest domain-separated by `seed` (see [`name_seed`]); seed 0 is
+    /// identical to [`ScheduleHash::new`].
+    pub fn seeded(seed: u64) -> Self {
+        let mut h = Self::default();
+        if seed != 0 {
+            h.hash.write_u64(seed);
+        }
+        h
+    }
+
     /// Folds one grant, in total order.
     pub fn record(&mut self, subthread: u64, thread: u32) {
         self.hash.write_u64(subthread);
@@ -113,6 +143,9 @@ pub struct RetiredOrderHash {
     /// thread id → (retire count, running hash); Vec keyed by insertion
     /// order, linear scan (thread counts are small).
     threads: Vec<(u32, u64, Fnv1a)>,
+    /// Domain-separation seed folded into every per-thread stream (0 =
+    /// unseeded, the historical digest).
+    seed: u64,
 }
 
 impl RetiredOrderHash {
@@ -121,13 +154,28 @@ impl RetiredOrderHash {
         Self::default()
     }
 
+    /// A digest domain-separated by `seed` (see [`name_seed`]); seed 0 is
+    /// identical to [`RetiredOrderHash::new`]. The seed prefixes every
+    /// per-thread stream, so the commutative wrapping-add combination of
+    /// per-thread digests is preserved.
+    pub fn seeded(seed: u64) -> Self {
+        RetiredOrderHash {
+            threads: Vec::new(),
+            seed,
+        }
+    }
+
     /// Folds one retirement for `thread` with the retired sub-thread's
     /// stable kind tag.
     pub fn record(&mut self, thread: u32, kind: u8) {
         let slot = match self.threads.iter_mut().find(|(t, _, _)| *t == thread) {
             Some(s) => s,
             None => {
-                self.threads.push((thread, 0, Fnv1a::new()));
+                let mut h = Fnv1a::new();
+                if self.seed != 0 {
+                    h.write_u64(self.seed);
+                }
+                self.threads.push((thread, 0, h));
                 self.threads.last_mut().expect("just pushed")
             }
         };
@@ -233,6 +281,63 @@ mod tests {
         let mut b = RetiredOrderHash::new();
         b.record(1, 1);
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn name_seed_separates_workloads() {
+        assert_eq!(name_seed(""), 0);
+        assert_ne!(name_seed("swaptions"), 0);
+        assert_ne!(name_seed("swaptions"), name_seed("histogram"));
+        assert_eq!(name_seed("swaptions"), name_seed("swaptions"));
+    }
+
+    #[test]
+    fn zero_seed_matches_unseeded() {
+        let mut a = ScheduleHash::new();
+        let mut b = ScheduleHash::seeded(0);
+        a.record(0, 0);
+        b.record(0, 0);
+        assert_eq!(a.digest(), b.digest());
+        let mut a = RetiredOrderHash::new();
+        let mut b = RetiredOrderHash::seeded(0);
+        a.record(0, 1);
+        b.record(0, 1);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn seeds_separate_identical_orders() {
+        // The swaptions/histogram collision shape: identical grant and
+        // retirement structure, different program names.
+        let (s1, s2) = (name_seed("swaptions"), name_seed("histogram"));
+        let mut a = ScheduleHash::seeded(s1);
+        let mut b = ScheduleHash::seeded(s2);
+        for i in 0..8 {
+            a.record(i, (i % 3) as u32);
+            b.record(i, (i % 3) as u32);
+        }
+        assert_ne!(a.digest(), b.digest());
+        let mut a = RetiredOrderHash::seeded(s1);
+        let mut b = RetiredOrderHash::seeded(s2);
+        for i in 0..8 {
+            a.record((i % 3) as u32, 7);
+            b.record((i % 3) as u32, 7);
+        }
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn seeded_retired_hash_still_ignores_interleaving() {
+        let s = name_seed("pbzip2");
+        let mut a = RetiredOrderHash::seeded(s);
+        a.record(0, 1);
+        a.record(1, 3);
+        a.record(0, 2);
+        let mut b = RetiredOrderHash::seeded(s);
+        b.record(1, 3);
+        b.record(0, 1);
+        b.record(0, 2);
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]

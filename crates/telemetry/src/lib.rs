@@ -30,7 +30,7 @@ pub mod ring;
 pub mod spsc;
 
 pub use event::{TimedEvent, TraceEvent};
-pub use hash::{Fnv1a, RetiredOrderHash, ScheduleHash};
+pub use hash::{name_seed, Fnv1a, RetiredOrderHash, ScheduleHash};
 pub use json::JsonWriter;
 pub use metrics::{Counter, HighWater, Histogram, HistogramSnapshot, Metrics};
 pub use ring::{EventRing, RingSet};

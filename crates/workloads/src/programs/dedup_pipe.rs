@@ -404,6 +404,99 @@ pub fn build_dedup_pipeline(
     (file, writer, total, fresh)
 }
 
+/// The trace-level model of [`build_dedup_pipeline`] with the builder's
+/// registration order (`CH0` blocks, `CH1` chunks, `CH2` fresh, `CH3` out;
+/// `L0` the fingerprint store) and the same static quotas (`blocks` input
+/// blocks, `total` chunks, `fresh` unique chunks). Segment counts are
+/// approximate — the interference analysis and the sharded runtime's
+/// resource fences consume the *resource sets*, which are exact: the store
+/// lock confines the classifiers to one domain, and the shared `CH3`
+/// producer end coalesces classifiers and compressors into a single
+/// execution domain, leaving a four-domain read → chunk → classify+compress
+/// → write pipeline.
+pub fn dedup_model(
+    blocks: u64,
+    total: u64,
+    fresh: u64,
+    classifiers: u64,
+    compressors: u64,
+) -> gprs_core::workload::Workload {
+    use gprs_core::ids::{ChannelId, LockId, ThreadId};
+    use gprs_core::workload::{Segment, SimOp, ThreadSpec, Workload};
+    let c_blocks = ChannelId::new(0);
+    let c_chunks = ChannelId::new(1);
+    let c_fresh = ChannelId::new(2);
+    let c_out = ChannelId::new(3);
+    let store = LockId::new(0);
+    let classifiers = classifiers.max(1);
+    let compressors = compressors.max(1);
+    let mut threads = Vec::new();
+    threads.push(ThreadSpec::new(
+        ThreadId::new(0),
+        GroupId::new(0),
+        2,
+        (0..blocks)
+            .map(|_| Segment::new(150, SimOp::Push { chan: c_blocks }))
+            .collect(),
+    ));
+    let mut chunker = Vec::with_capacity((blocks + total) as usize);
+    chunker.extend((0..blocks).map(|_| Segment::new(300, SimOp::Pop { chan: c_blocks })));
+    chunker.extend((0..total).map(|_| Segment::new(50, SimOp::Push { chan: c_chunks })));
+    threads.push(ThreadSpec::new(ThreadId::new(1), GroupId::new(1), 2, chunker));
+    let per = total / classifiers;
+    let extra = total % classifiers;
+    for c in 0..classifiers {
+        let quota = per + u64::from(c < extra);
+        let mut segs = Vec::with_capacity(3 * quota as usize);
+        for k in 0..quota {
+            segs.push(Segment::new(80, SimOp::Pop { chan: c_chunks }));
+            segs.push(Segment::new(
+                20,
+                SimOp::Lock {
+                    lock: store,
+                    cs_work: 120,
+                },
+            ));
+            // Unique chunks go to the compressors, duplicates straight to
+            // the writer; the exact split is content-dependent, so the
+            // model alternates to cover both producer ends.
+            let chan = if k % 2 == 0 { c_fresh } else { c_out };
+            segs.push(Segment::new(40, SimOp::Push { chan }));
+        }
+        threads.push(ThreadSpec::new(
+            ThreadId::new(2 + c as u32),
+            GroupId::new(2),
+            2,
+            segs,
+        ));
+    }
+    let perf = fresh / compressors;
+    let extraf = fresh % compressors;
+    for c in 0..compressors {
+        let quota = perf + u64::from(c < extraf);
+        let mut segs = Vec::with_capacity(2 * quota as usize);
+        for _ in 0..quota {
+            segs.push(Segment::new(60, SimOp::Pop { chan: c_fresh }));
+            segs.push(Segment::new(700, SimOp::Push { chan: c_out }));
+        }
+        threads.push(ThreadSpec::new(
+            ThreadId::new(2 + (classifiers + c) as u32),
+            GroupId::new(3),
+            2,
+            segs,
+        ));
+    }
+    threads.push(ThreadSpec::new(
+        ThreadId::new(2 + (classifiers + compressors) as u32),
+        GroupId::new(4),
+        1,
+        (0..total)
+            .map(|_| Segment::new(120, SimOp::Pop { chan: c_out }))
+            .collect(),
+    ));
+    Workload::new("dedup", threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

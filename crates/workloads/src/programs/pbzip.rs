@@ -4,6 +4,7 @@
 
 use crate::kernels::compress::{compress_block, decompress_block};
 use gprs_core::history::Checkpoint;
+use gprs_core::workload::{Segment, SimOp, ThreadSpec, Workload};
 use gprs_runtime::ctx::StepCtx;
 use gprs_runtime::handles::{ChannelHandle, FileHandle};
 use gprs_runtime::program::{Step, ThreadProgram};
@@ -224,6 +225,54 @@ pub fn build_pbzip_pipeline(
     }
     let writer = b.thread(PbzipWriter::new(packed, file, blocks), GroupId::new(2), 1);
     (file, writer)
+}
+
+/// The trace-level model of [`build_pbzip_pipeline`] with the same
+/// channel/thread registration order (raw = `CH0`, packed = `CH1`; thread 0
+/// the reader, then the compressors, then the writer) and the same
+/// per-compressor block quotas. The model's resource sets drive the
+/// interference analysis and the sharded runtime's order domains: the
+/// reader, the compressor pool and the writer partition into three
+/// execution domains joined by the two SPSC channel edges.
+pub fn pbzip_model(blocks: u64, compressors: u64) -> Workload {
+    use gprs_core::ids::{ChannelId, GroupId, ThreadId};
+    let raw = ChannelId::new(0);
+    let packed = ChannelId::new(1);
+    let compressors = compressors.max(1);
+    let mut threads = Vec::new();
+    threads.push(ThreadSpec::new(
+        ThreadId::new(0),
+        GroupId::new(0),
+        4,
+        (0..blocks)
+            .map(|_| Segment::new(150, SimOp::Push { chan: raw }))
+            .collect(),
+    ));
+    let per = blocks / compressors;
+    let extra = blocks % compressors;
+    for c in 0..compressors {
+        let quota = per + u64::from(c < extra);
+        let mut segs = Vec::with_capacity(2 * quota as usize);
+        for _ in 0..quota {
+            segs.push(Segment::new(100, SimOp::Pop { chan: raw }));
+            segs.push(Segment::new(900, SimOp::Push { chan: packed }));
+        }
+        threads.push(ThreadSpec::new(
+            ThreadId::new(1 + c as u32),
+            GroupId::new(1),
+            4,
+            segs,
+        ));
+    }
+    threads.push(ThreadSpec::new(
+        ThreadId::new(1 + compressors as u32),
+        GroupId::new(2),
+        1,
+        (0..blocks)
+            .map(|_| Segment::new(200, SimOp::Pop { chan: packed }))
+            .collect(),
+    ));
+    Workload::new("pbzip", threads)
 }
 
 #[cfg(test)]

@@ -67,6 +67,17 @@ impl<T> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of a timed [`Condvar::wait_for`]: whether the wait timed out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable paired with [`Mutex`].
 #[derive(Debug, Default)]
 pub struct Condvar {
@@ -86,6 +97,23 @@ impl Condvar {
         let g = guard.inner.take().expect("guard present");
         let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(g);
+    }
+
+    /// Atomically releases the guard's mutex and blocks until notified or
+    /// the timeout elapses. Returns a [`WaitTimeoutResult`] reporting
+    /// whether the wait timed out (parking_lot's signature).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present");
+        let (g, res) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
     }
 
     /// Wakes one blocked waiter.

@@ -73,10 +73,18 @@ fn a_thousand_mixed_tenants_match_their_solo_goldens() {
         let report = outcome.report.expect("completed jobs carry a report");
         let (schedule, retired_hash, retired) =
             goldens[&(spec.workload.clone(), spec.seed, spec.fault_seed)];
-        assert_eq!(
-            report.telemetry.schedule_hash, schedule,
-            "job {i} ({spec:?}): schedule hash drifted under tenancy"
-        );
+        // Schedule-hash equality is the clean-run contract. Under
+        // injection the grant *order* stays deterministic but the
+        // in-flight set at a trigger is not (chaos oracle doc), so a
+        // mid-recovery event's victim — and with it the post-recovery
+        // schedule — is timing-sensitive; only the retired hash and
+        // count are guaranteed for faulted jobs.
+        if spec.fault_seed == 0 {
+            assert_eq!(
+                report.telemetry.schedule_hash, schedule,
+                "job {i} ({spec:?}): schedule hash drifted under tenancy"
+            );
+        }
         assert_eq!(
             report.telemetry.retired_hash, retired_hash,
             "job {i} ({spec:?}): retired hash drifted under tenancy"
@@ -337,4 +345,67 @@ fn socket_driver_streams_golden_identical_reports() {
             "{spec:?}: wanted {expected} in {line}"
         );
     }
+}
+
+/// Sharded jobs take the blocking drive path — no session, no quantum
+/// slicing — yet every report still matches the *unsharded* solo twin
+/// bit-for-bit and carries the per-domain ledger. Sharding a workload
+/// without a shard plan, or on a durable pool, is rejected at admission.
+#[test]
+fn sharded_jobs_run_blocking_and_match_unsharded_twins() {
+    let pool = ServePool::start(PoolConfig {
+        workers: 2,
+        quantum: 16,
+        ..Default::default()
+    });
+    let handle = pool.handle();
+    // Mix sharded beacons with unsharded small jobs so the blocking pass
+    // shares the pool with quantum-sliced tenants.
+    let specs: Vec<JobSpec> = (0..12)
+        .map(|i| {
+            if i % 2 == 0 {
+                JobSpec::new("beacon", i as u64 + 1).sharded()
+            } else {
+                JobSpec::new("fetchadd", i as u64)
+            }
+        })
+        .collect();
+    let tickets: Vec<_> = specs
+        .iter()
+        .map(|s| handle.submit(s.clone()).expect("pool is admitting"))
+        .collect();
+    for (spec, ticket) in specs.iter().zip(tickets) {
+        let outcome = ticket.wait();
+        assert_eq!(outcome.status, JobStatus::Completed, "{spec:?}");
+        let report = outcome.report.as_ref().expect("completed jobs carry a report");
+        let golden = build_solo(spec).unwrap().run().unwrap();
+        assert_eq!(
+            report.telemetry.retired_hash, golden.telemetry.retired_hash,
+            "{spec:?}: sharded tenancy must be invisible to precision"
+        );
+        assert_eq!(report.shards.is_empty(), !spec.shard, "{spec:?}");
+        if spec.shard {
+            assert_eq!(outcome.quanta, 1, "one blocking pass, no slicing");
+            let json = outcome.to_json();
+            assert!(json.contains("\"domains\":"), "{json}");
+        }
+    }
+    let Err(err) = handle.submit(JobSpec::new("mutex", 1).sharded()) else {
+        panic!("shard flag on a planless workload must be rejected");
+    };
+    assert!(err.to_string().contains("no shard plan"), "{err}");
+    pool.shutdown();
+
+    let durable_root = gprs_core::persist::unique_temp_dir("gprs-serve-shard-reject");
+    let pool = ServePool::start(PoolConfig {
+        workers: 1,
+        quantum: 16,
+        durable_root: Some(durable_root.clone()),
+    });
+    let Err(err) = pool.handle().submit(JobSpec::new("beacon", 1).sharded()) else {
+        panic!("sharded jobs on a durable pool must be rejected");
+    };
+    assert!(err.to_string().contains("durable"), "{err}");
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(durable_root);
 }
