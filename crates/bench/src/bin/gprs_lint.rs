@@ -79,6 +79,84 @@ fn check_artifacts(programs: &[String], scale: f64) -> usize {
     stale
 }
 
+/// Verifies every committed recording fixture (`crates/chaos/fixtures/
+/// *.plan` files with a `# recording:` header) by re-recording its run
+/// and comparing the canonical recording text, returning the number of
+/// stale files. The replay smoke job trusts these recordings as pinned
+/// schedules, so CI pins their freshness here alongside the shardplans.
+fn check_recording_fixtures() -> usize {
+    let dir = std::path::Path::new("crates/chaos/fixtures");
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("recording fixtures: {} is unreadable: {e}", dir.display());
+            return 1;
+        }
+    };
+    let mut stale = 0;
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "plan"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // the fixture replay job owns plan readability
+        };
+        let Ok(fx) = gprs_chaos::Fixture::parse(&text) else {
+            continue;
+        };
+        let Some(name) = &fx.recording else {
+            continue;
+        };
+        let committed_path = path.with_file_name(name);
+        let committed = match gprs_core::recording::Recording::load(&committed_path) {
+            Ok(rec) => rec,
+            Err(e) => {
+                eprintln!(
+                    "stale recording fixture: {} — {e} — run `gprs-chaos \
+                     --record-fixture {}` to regenerate",
+                    committed_path.display(),
+                    path.display()
+                );
+                stale += 1;
+                continue;
+            }
+        };
+        let tmp = gprs_core::persist::unique_temp_dir("lint-recheck").join(name);
+        let fresh = match gprs_chaos::record_fixture(&fx, &tmp)
+            .map_err(|e| e.to_string())
+            .and_then(|_| {
+                gprs_core::recording::Recording::load(&tmp).map_err(|e| e.to_string())
+            }) {
+            Ok(rec) => rec,
+            Err(e) => {
+                eprintln!(
+                    "stale recording fixture: {} cannot be re-recorded: {e}",
+                    committed_path.display()
+                );
+                stale += 1;
+                continue;
+            }
+        };
+        let _ = std::fs::remove_file(&tmp);
+        // Canonical text comparison: same events, digests, header and
+        // outcome — byte-stable because recordings carry no timestamps.
+        if committed.to_text() == fresh.to_text() {
+            println!("recording fixture {} is fresh", committed_path.display());
+        } else {
+            eprintln!(
+                "stale recording fixture: {} no longer matches a fresh recording \
+                 of its fixture — run `gprs-chaos --record-fixture {}` to regenerate",
+                committed_path.display(),
+                path.display()
+            );
+            stale += 1;
+        }
+    }
+    stale
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: gprs-lint [--all | <program>...] [--scale <f>] [--deny warnings] \
@@ -135,13 +213,14 @@ fn main() {
         if programs.is_empty() {
             programs.extend(PROGRAMS.iter().map(|p| p.name.to_string()));
         }
-        let stale = check_artifacts(&programs, scale);
+        let stale = check_artifacts(&programs, scale) + check_recording_fixtures();
         if stale > 0 {
-            eprintln!("gprs-lint: {stale} stale shardplan artifact(s)");
+            eprintln!("gprs-lint: {stale} stale artifact(s)");
             std::process::exit(1);
         }
         println!(
-            "gprs-lint: all {} shardplan artifact(s) are fresh",
+            "gprs-lint: all {} shardplan artifact(s) and every committed \
+             recording fixture are fresh",
             programs.len()
         );
         return;

@@ -5,6 +5,9 @@
 //! gprs-chaos --seeds 64           # more seeds
 //! gprs-chaos --quick              # CI smoke: 6 seeds, sim subset
 //! gprs-chaos --fixtures <dir>     # replay every committed *.plan fixture
+//! gprs-chaos --record-fixture <plan>  # (re)generate a fixture's pinned
+//!                                 # schedule recording (the sibling file
+//!                                 # its `# recording:` header names)
 //! ```
 //!
 //! Exit codes: 0 = zero oracle violations, 1 = violations found (each one
@@ -13,12 +16,15 @@
 
 use gprs_chaos::campaign::{gprs_injected, gprs_clean, run_campaign};
 use gprs_chaos::oracle::check_runtime;
-use gprs_chaos::{minimize, replay_fixture, CampaignConfig, Fixture};
+use gprs_chaos::{
+    minimize, record_fixture, replay_fixture, replay_fixture_recording, CampaignConfig, Fixture,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = CampaignConfig::full();
     let mut fixtures_dir: Option<String> = None;
+    let mut record_plan: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -34,6 +40,10 @@ fn main() {
                 i += 1;
                 fixtures_dir = Some(args.get(i).expect("--fixtures <dir>").clone());
             }
+            "--record-fixture" => {
+                i += 1;
+                record_plan = Some(args.get(i).expect("--record-fixture <plan>").clone());
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -42,6 +52,9 @@ fn main() {
         i += 1;
     }
 
+    if let Some(plan) = record_plan {
+        std::process::exit(record_one(&plan));
+    }
     if let Some(dir) = fixtures_dir {
         std::process::exit(replay_all(&dir));
     }
@@ -81,6 +94,7 @@ fn main() {
             program,
             seed: v.seed,
             plan: min,
+            recording: None,
         };
         eprintln!("--- minimized fixture (commit under crates/chaos/fixtures/) ---");
         eprint!("{}", fx.to_text());
@@ -158,7 +172,75 @@ fn replay_all(dir: &str) -> i32 {
                 eprintln!("fixture {}: {e}", path.display());
             }
         }
+        // Pinned schedule, when the fixture carries one: a missing,
+        // corrupt, or divergent recording is every bit as loud as an
+        // oracle regression — name the file, fail the run.
+        if let Some(name) = &fx.recording {
+            let rec_path = path.with_file_name(name);
+            match gprs_core::recording::Recording::load(&rec_path) {
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("fixture recording {}: {e}", rec_path.display());
+                }
+                Ok(rec) => match replay_fixture_recording(&fx, &std::sync::Arc::new(rec)) {
+                    Ok(violations) if violations.is_empty() => {
+                        println!("fixture recording {}: ok", rec_path.display());
+                    }
+                    Ok(violations) => {
+                        failures += 1;
+                        for v in violations {
+                            eprintln!(
+                                "fixture recording {}: DIVERGED: {v}",
+                                rec_path.display()
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        eprintln!("fixture recording {}: {e}", rec_path.display());
+                    }
+                },
+            }
+        }
     }
     println!("{count} fixture(s), {failures} failed");
     i32::from(failures > 0)
+}
+
+/// `--record-fixture`: (re)generates the pinned schedule recording a
+/// fixture's `# recording:` header names, next to the fixture file.
+fn record_one(plan_path: &str) -> i32 {
+    let path = std::path::Path::new(plan_path);
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("fixture {plan_path}: unreadable: {e}");
+            return 1;
+        }
+    };
+    let fx = match Fixture::parse(&text) {
+        Ok(fx) => fx,
+        Err(e) => {
+            eprintln!("fixture {plan_path}: unparseable: {e}");
+            return 1;
+        }
+    };
+    let Some(name) = &fx.recording else {
+        eprintln!("fixture {plan_path}: has no `# recording:` header to generate");
+        return 1;
+    };
+    let out = path.with_file_name(name);
+    match record_fixture(&fx, &out) {
+        Ok((schedule, retired)) => {
+            println!(
+                "recorded {} (schedule {schedule:016x}, retired {retired:016x})",
+                out.display()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("fixture {plan_path}: {e}");
+            1
+        }
+    }
 }

@@ -24,6 +24,8 @@ use crate::campaign::{
 use crate::oracle::{check_cpr, check_runtime, check_sim, Violation};
 use crate::programs::{CPR_PROGRAMS, RUNTIME_PROGRAMS};
 use gprs_core::chaos::ChaosPlan;
+use gprs_core::recording::Recording;
+use std::sync::Arc;
 
 /// A parsed fixture: engine binding + plan (and seed, for sim fixtures).
 #[derive(Debug, Clone)]
@@ -36,6 +38,13 @@ pub struct Fixture {
     pub seed: u64,
     /// The injection plan (real-executor fixtures).
     pub plan: ChaosPlan,
+    /// Optional sibling recording file (`# recording:` header, resolved
+    /// relative to the fixture's own directory): the exact grant order the
+    /// minimized reproducer ran under. When present, replaying the fixture
+    /// also replays the pinned schedule — a divergence fails loudly with
+    /// the recording's name (`gprs-rt` fixtures only; the other engines
+    /// have no schedule recorder).
+    pub recording: Option<String>,
 }
 
 impl Fixture {
@@ -47,6 +56,7 @@ impl Fixture {
         let mut engine = None;
         let mut program = None;
         let mut seed = 0u64;
+        let mut recording = None;
         for line in text.lines() {
             let line = line.trim();
             let Some(rest) = line.strip_prefix('#') else {
@@ -62,6 +72,7 @@ impl Fixture {
                             .parse()
                             .map_err(|_| format!("bad fixture seed {:?}", val.trim()))?
                     }
+                    "recording" => recording = Some(val.trim().to_string()),
                     _ => {}
                 }
             }
@@ -71,13 +82,18 @@ impl Fixture {
             program: program.ok_or("fixture missing `# program:` header")?,
             seed,
             plan: ChaosPlan::parse(text)?,
+            recording,
         })
     }
 
     /// Serializes the fixture (headers + plan text).
     pub fn to_text(&self) -> String {
+        let rec = match &self.recording {
+            Some(name) => format!("# recording: {name}\n"),
+            None => String::new(),
+        };
         format!(
-            "# engine: {}\n# program: {}\n# seed: {}\n{}",
+            "# engine: {}\n# program: {}\n# seed: {}\n{rec}{}",
             self.engine,
             self.program,
             self.seed,
@@ -149,6 +165,69 @@ fn stale(engine: &str, program: &str) -> String {
     format!("stale fixture: program {program:?} is not in the {engine} registry")
 }
 
+/// Replays a fixture's **pinned schedule**: runs the bound program under
+/// the fixture's plan with the recorded grant order enforced. A divergence
+/// — the engine no longer produces the exact schedule the minimized
+/// reproducer was captured under — is a violation naming the recording.
+///
+/// # Errors
+/// Non-`gprs-rt` engines (nothing else records schedules) and stale
+/// programs, as a description rather than a panic.
+pub fn replay_fixture_recording(
+    fx: &Fixture,
+    rec: &Arc<Recording>,
+) -> Result<Vec<Violation>, String> {
+    if fx.engine != "gprs-rt" {
+        return Err(format!(
+            "fixture engine {:?} does not support schedule recordings (gprs-rt only)",
+            fx.engine
+        ));
+    }
+    if !RUNTIME_PROGRAMS.contains(&fx.program.as_str()) {
+        return Err(stale(&fx.engine, &fx.program));
+    }
+    let leg = format!("fixture/{}/{}+recording", fx.engine, fx.program);
+    let mut b = gprs_runtime::GprsBuilder::new().workers(4);
+    crate::programs::register_gprs(&fx.program, &mut b);
+    match b.chaos(&fx.plan).replay(rec.clone()).build().run() {
+        Ok(_) => Ok(Vec::new()),
+        Err(e) => Ok(vec![Violation {
+            leg,
+            seed: fx.seed,
+            what: format!("pinned schedule diverged: {e}"),
+        }]),
+    }
+}
+
+/// Records the fixture's injected run into `path` — the generator for the
+/// sibling file a `# recording:` header names. The chaos plan travels in
+/// the recording header too, so the artifact is independently replayable
+/// by `gprs-replay run`.
+///
+/// # Errors
+/// Non-`gprs-rt` engines, stale programs, or a recorded run that fails.
+pub fn record_fixture(fx: &Fixture, path: &std::path::Path) -> Result<(u64, u64), String> {
+    if fx.engine != "gprs-rt" {
+        return Err(format!(
+            "fixture engine {:?} does not support schedule recordings (gprs-rt only)",
+            fx.engine
+        ));
+    }
+    if !RUNTIME_PROGRAMS.contains(&fx.program.as_str()) {
+        return Err(stale(&fx.engine, &fx.program));
+    }
+    let mut b = gprs_runtime::GprsBuilder::new().workers(4);
+    crate::programs::register_gprs(&fx.program, &mut b);
+    let report = b
+        .chaos(&fx.plan)
+        .record(path)
+        .record_meta(&fx.program, fx.seed)
+        .build()
+        .run()
+        .map_err(|e| format!("recorded fixture run failed: {e}"))?;
+    Ok((report.telemetry.schedule_hash, report.telemetry.retired_hash))
+}
+
 /// Replays a HALT-mid-recovery fixture: runs `seed` quanta of the program
 /// under the injected plan, then cancels — so any `mid-recovery` events
 /// the plan has not yet consumed fire *inside* the cancellation squash
@@ -208,11 +287,13 @@ mod tests {
             program: "nested".into(),
             seed: 0,
             plan: ChaosPlan::new().with(ChaosEvent::at_grant(24).burst(3)),
+            recording: Some("nested.gprs".into()),
         };
         let parsed = Fixture::parse(&fx.to_text()).expect("roundtrip");
         assert_eq!(parsed.engine, "gprs-rt");
         assert_eq!(parsed.program, "nested");
         assert_eq!(parsed.plan, fx.plan);
+        assert_eq!(parsed.recording.as_deref(), Some("nested.gprs"));
         assert!(Fixture::parse("grant 3 burst=1\n").is_err());
     }
 
@@ -225,6 +306,7 @@ mod tests {
             program: "no-such-program".into(),
             seed: 0,
             plan: ChaosPlan::new().with(ChaosEvent::at_grant(24).burst(1)),
+            recording: None,
         };
         for engine in ["gprs-rt", "cpr", "sim", "gprs-rt-cancel"] {
             fx.engine = engine.into();

@@ -34,7 +34,7 @@ pub mod oracle;
 pub mod programs;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome};
-pub use fixture::{replay_fixture, Fixture};
+pub use fixture::{record_fixture, replay_fixture, replay_fixture_recording, Fixture};
 pub use minimize::minimize;
 pub use oracle::Violation;
 

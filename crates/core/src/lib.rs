@@ -79,6 +79,7 @@ pub mod model;
 pub mod order;
 pub mod persist;
 pub mod racecheck;
+pub mod recording;
 pub mod recovery;
 pub mod rol;
 pub mod subthread;
@@ -108,6 +109,10 @@ pub mod prelude {
         PersistStats,
     };
     pub use crate::racecheck::{AccessKind, OpenEdge, Race, RaceDetector, RetireInfo, VectorClock};
+    pub use crate::recording::{
+        first_divergence, DriveMode, RecordedEvent, RecordedOutcome, Recorder, Recording,
+        RecordingDiff, RecordingError, RecordingHeader, ReplaySchedule,
+    };
     pub use crate::recovery::{plan_recovery, Precision, RecoveryMode, RecoveryPlan};
     pub use crate::rol::{ReorderList, RolEntry, SubThreadStatus};
     pub use crate::subthread::{Boundary, SubThread, SubThreadGenerator, SubThreadKind, SyncOp};

@@ -48,6 +48,16 @@ pub trait OrderingPolicy: Send + fmt::Debug {
     /// Passes the token to the next thread in the schedule.
     fn advance(&mut self);
 
+    /// Consumes a *wasted* polling turn (an empty-FIFO poll, Figure 7's
+    /// empty-FIFO turns). Live schedules rotate exactly like
+    /// [`OrderingPolicy::advance`]; the replay schedule
+    /// ([`crate::recording::ReplaySchedule`]) overrides this to hold its
+    /// cursor, because wasted turns mutate no program state and are not
+    /// part of the recorded event stream.
+    fn pass(&mut self) {
+        self.advance();
+    }
+
     /// Number of registered threads.
     fn len(&self) -> usize;
 
@@ -537,8 +547,25 @@ impl OrderEnforcer {
 
     /// Consumes the current turn without assigning a sub-thread — used when
     /// the holder polls a condition (empty FIFO) and must "pass the token"
-    /// (Figure 7's empty-FIFO turns).
+    /// (Figure 7's empty-FIFO turns). Routed through
+    /// [`OrderingPolicy::pass`] so a replaying schedule can hold its cursor
+    /// on these state-free turns.
     pub fn pass_turn(&mut self, thread: ThreadId) -> bool {
+        if self.policy.holder() == Some(thread) {
+            self.policy.pass();
+            self.republish();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the current turn for a *structural* event that opens no
+    /// sub-thread but does mutate program state (a barrier arrival, a
+    /// thread exit). Unlike [`OrderEnforcer::pass_turn`] this always
+    /// advances the schedule — structural events are part of the recorded
+    /// total order, so a replaying schedule moves past them too.
+    pub fn consume_turn(&mut self, thread: ThreadId) -> bool {
         if self.policy.holder() == Some(thread) {
             self.policy.advance();
             self.republish();

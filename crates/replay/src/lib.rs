@@ -1,0 +1,393 @@
+//! Time-travel debugging over recorded GPRS schedules.
+//!
+//! A [`Recording`](gprs_core::recording::Recording) captures everything a
+//! deterministic re-execution needs: the workload identity, the full
+//! turn-consuming grant order, the chaos overlay, and the drive mode. This
+//! crate turns that artifact into the three debugging verbs the `gprs-replay`
+//! binary exposes:
+//!
+//! - **run** — rebuild the recorded program from the header (serve-spec
+//!   line, runtime campaign program, or simulator trace), re-arm the chaos
+//!   overlay, and replay the tape through the matching engine, verifying
+//!   every grant and the final digests.
+//! - **diff** — compare two recordings to their first divergent grant.
+//! - **state** — replay a *session-mode* recording to a chosen grant index
+//!   and dump the quiesced [`PreciseState`]: thread positions, lock
+//!   holders, the WAL ledger — "what did the world look like right here".
+//!
+//! Every failure is a named error; a divergence between the tape and the
+//! live run is reported as [`ReplayOutcome::Diverged`], never a panic.
+
+use gprs_chaos::programs::{register_gprs, RUNTIME_PROGRAMS};
+use gprs_core::chaos::ChaosPlan;
+use gprs_core::recording::{DriveMode, RecordedOutcome, Recording};
+use gprs_runtime::prelude::*;
+use gprs_serve::spec::{register as register_spec, JobSpec};
+use gprs_sim::gprs::{run_gprs, GprsSimConfig};
+use gprs_workloads::traces::{try_build, TraceParams};
+use std::sync::Arc;
+
+/// What replaying a recording established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// The replay completed and every verification gate passed: all
+    /// recorded events re-granted in order, final schedule and retired
+    /// digests bit-identical to the footer.
+    Verified {
+        /// Recorded events verified.
+        events: u64,
+        /// Final schedule-order digest.
+        schedule: u64,
+        /// Final retired-order digest.
+        retired: u64,
+    },
+    /// The recording captured a *failed* run and the replay faithfully
+    /// re-reached the recorded failure point — the success case for
+    /// debugging a poisoned job.
+    Reproduced {
+        /// Recorded events verified before the failure point.
+        events: u64,
+        /// The original run's poison message, from the footer.
+        original: String,
+    },
+    /// The live run and the tape disagreed; the message names the first
+    /// divergent event.
+    Diverged(String),
+}
+
+/// How to rebuild the recorded program. Knobs the recording itself cannot
+/// carry: worker override for pool replays (`None` = the recorded count)
+/// and the trace scale for simulator workloads (recordings do not embed
+/// [`TraceParams`]; a mismatched scale replays loudly as a divergence).
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayOptions {
+    /// Worker count for pool-mode replays (`None` keeps the header's).
+    pub workers: Option<u32>,
+    /// `TraceParams::paper().scaled(scale)` for sim-mode replays.
+    pub scale: f64,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions { workers: None, scale: 1.0 }
+    }
+}
+
+/// Rebuilds a pool/session recording's program onto a fresh builder:
+/// serve-spec line if the header carries one, otherwise a runtime campaign
+/// program by name — and re-arms the recorded chaos overlay.
+fn rebuild_runtime(rec: &Recording, opts: &ReplayOptions) -> Result<GprsBuilder, String> {
+    let header = &rec.header;
+    let mut b =
+        GprsBuilder::new().workers(opts.workers.unwrap_or(header.workers).max(1) as usize);
+    match &header.spec {
+        Some(line) => {
+            let spec = JobSpec::parse_canonical(line)
+                .map_err(|e| format!("recording carries an unparseable job spec: {e}"))?;
+            register_spec(&spec, &mut b)
+                .map_err(|e| format!("recording's job spec does not rebuild: {e}"))?;
+        }
+        None => {
+            if !RUNTIME_PROGRAMS.contains(&header.workload.as_str()) {
+                return Err(format!(
+                    "recording names unknown runtime program {:?} (known: {})",
+                    header.workload,
+                    RUNTIME_PROGRAMS.join(", ")
+                ));
+            }
+            register_gprs(&header.workload, &mut b);
+        }
+    }
+    if let Some(text) = &header.chaos {
+        let plan = ChaosPlan::parse(text)
+            .map_err(|e| format!("recording carries an unparseable chaos overlay: {e}"))?;
+        b = b.chaos(&plan);
+    }
+    Ok(b)
+}
+
+/// Classifies a replayed runtime failure: re-reaching a recorded failure
+/// is a reproduction, anything else is a divergence.
+fn classify_failure(rec: &Recording, msg: String) -> ReplayOutcome {
+    if let RecordedOutcome::Poisoned(original) = &rec.outcome {
+        if msg.contains("end of a failed recording") {
+            return ReplayOutcome::Reproduced {
+                events: rec.events.len() as u64,
+                original: original.clone(),
+            };
+        }
+    }
+    ReplayOutcome::Diverged(msg)
+}
+
+/// Replays a recording through the engine its header names, end to end.
+///
+/// # Errors
+/// Configuration problems that prevent the replay from even starting —
+/// unknown workload, unparseable spec or chaos overlay. Schedule-level
+/// disagreement is *not* an `Err`: it comes back as
+/// [`ReplayOutcome::Diverged`].
+pub fn replay_recording(
+    rec: &Arc<Recording>,
+    opts: &ReplayOptions,
+) -> Result<ReplayOutcome, String> {
+    match rec.header.mode {
+        DriveMode::Sim => {
+            let params = TraceParams::paper().scaled(opts.scale);
+            let w = try_build(&rec.header.workload, &params).ok_or_else(|| {
+                format!(
+                    "recording names unknown simulator program {:?}",
+                    rec.header.workload
+                )
+            })?;
+            let contexts = opts.workers.unwrap_or(rec.header.workers).max(1);
+            let res = run_gprs(
+                &w,
+                &GprsSimConfig::balance_aware(contexts).with_replay(rec.clone()),
+            );
+            Ok(match res.replay_divergence {
+                Some(msg) => classify_failure(rec, msg),
+                None => ReplayOutcome::Verified {
+                    events: rec.events.len() as u64,
+                    schedule: res.telemetry.schedule_hash,
+                    retired: res.telemetry.retired_hash,
+                },
+            })
+        }
+        DriveMode::Pool | DriveMode::Session => {
+            let b = rebuild_runtime(rec, opts)?.replay(rec.clone());
+            let report = if rec.header.mode == DriveMode::Session {
+                let mut session = b.build().into_session();
+                while session.run_quantum(256) == QuantumOutcome::Yielded {}
+                session.finish()
+            } else {
+                b.build().run()
+            };
+            Ok(match report {
+                Ok(r) => ReplayOutcome::Verified {
+                    events: rec.events.len() as u64,
+                    schedule: r.telemetry.schedule_hash,
+                    retired: r.telemetry.retired_hash,
+                },
+                Err(e) => classify_failure(rec, e.to_string()),
+            })
+        }
+    }
+}
+
+/// Records a runtime campaign program into `path` and returns the run's
+/// final `(schedule, retired)` digests — the golden values a later
+/// `replay --expect-golden` must reproduce. `session` drives the run
+/// cooperatively so the resulting recording supports `gprs-replay state`.
+///
+/// # Errors
+/// Unknown program name, or a run that poisons while recording.
+pub fn record_program(
+    program: &str,
+    path: &std::path::Path,
+    workers: Option<u32>,
+    session: bool,
+) -> Result<(u64, u64), String> {
+    if !RUNTIME_PROGRAMS.contains(&program) {
+        return Err(format!(
+            "unknown runtime program {:?} (known: {})",
+            program,
+            RUNTIME_PROGRAMS.join(", ")
+        ));
+    }
+    let mut b = GprsBuilder::new().workers(workers.unwrap_or(4).max(1) as usize);
+    register_gprs(program, &mut b);
+    let gprs = b.record(path).record_meta(program, 0).build();
+    let report = if session {
+        let mut s = gprs.into_session();
+        while s.run_quantum(256) == QuantumOutcome::Yielded {}
+        s.finish()
+    } else {
+        gprs.run()
+    }
+    .map_err(|e| format!("recorded run failed: {e}"))?;
+    Ok((report.telemetry.schedule_hash, report.telemetry.retired_hash))
+}
+
+/// Replays a **session-mode** recording up to (at least) recorded event
+/// index `at` and returns the quiesced [`PreciseState`] there — the
+/// machine parks at the first quantum boundary at or after `at`, which is
+/// exactly a recovery point. `None` replays the whole tape and returns the
+/// final state.
+///
+/// # Errors
+/// Pool and sim recordings are refused by name: free-running workers and
+/// the simulator have no quiesced mid-run state to dump. Re-record the run
+/// through a session to inspect it.
+pub fn state_at(
+    rec: &Arc<Recording>,
+    at: Option<u64>,
+    opts: &ReplayOptions,
+) -> Result<PreciseState, String> {
+    match rec.header.mode {
+        DriveMode::Session => {}
+        other => {
+            return Err(format!(
+                "precise state needs a session-mode recording; this one was \
+                 captured in {other} mode (re-record the run through \
+                 into_session / a serve job to inspect intermediate states)"
+            ));
+        }
+    }
+    let target = at.unwrap_or(rec.events.len() as u64);
+    let mut session = rebuild_runtime(rec, opts)?
+        .replay(rec.clone())
+        .build()
+        .into_session();
+    loop {
+        let replayed = session.precise_state().replayed.unwrap_or(0);
+        if replayed >= target {
+            break;
+        }
+        if session.run_quantum(1) == QuantumOutcome::Finished {
+            break;
+        }
+    }
+    Ok(session.precise_state())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprs_core::persist::unique_temp_dir;
+
+    fn record_session(program: &str, path: &std::path::Path) {
+        let mut b = GprsBuilder::new().workers(2);
+        register_gprs(program, &mut b);
+        let mut s = b
+            .record(path)
+            .record_meta(program, 0)
+            .build()
+            .into_session();
+        while s.run_quantum(16) == QuantumOutcome::Yielded {}
+        s.finish().expect("session completes");
+    }
+
+    #[test]
+    fn run_verifies_a_clean_pool_recording() {
+        let dir = unique_temp_dir("replay-cli-run");
+        let path = dir.join("chain.gprs");
+        let mut b = GprsBuilder::new().workers(2);
+        register_gprs("chain", &mut b);
+        let report = b
+            .record(&path)
+            .record_meta("chain", 0)
+            .build()
+            .run()
+            .expect("recorded run completes");
+        let rec = Arc::new(Recording::load(&path).expect("loads"));
+        match replay_recording(&rec, &ReplayOptions::default()).expect("configures") {
+            ReplayOutcome::Verified { schedule, retired, .. } => {
+                assert_eq!(schedule, report.telemetry.schedule_hash);
+                assert_eq!(retired, report.telemetry.retired_hash);
+            }
+            other => panic!("expected Verified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_walks_a_session_recording_to_an_index() {
+        let dir = unique_temp_dir("replay-cli-state");
+        let path = dir.join("nested.gprs");
+        record_session("nested", &path);
+        let rec = Arc::new(Recording::load(&path).expect("loads"));
+        assert!(rec.events.len() > 4, "need a tape worth walking");
+
+        let mid = state_at(&rec, Some(3), &ReplayOptions::default()).expect("mid state");
+        assert!(mid.replayed.expect("replay armed") >= 3);
+        assert!(mid.poisoned.is_none());
+
+        let end = state_at(&rec, None, &ReplayOptions::default()).expect("final state");
+        assert_eq!(end.replayed, Some(rec.events.len() as u64));
+        assert_eq!(end.schedule_digest, rec.sched_hash);
+        assert_eq!(end.retired_digest, rec.retired_hash);
+        assert_eq!(end.live_threads, 0);
+    }
+
+    #[test]
+    fn state_refuses_pool_recordings_by_name() {
+        let dir = unique_temp_dir("replay-cli-refuse");
+        let path = dir.join("chain.gprs");
+        let mut b = GprsBuilder::new().workers(2);
+        register_gprs("chain", &mut b);
+        b.record(&path).record_meta("chain", 0).build().run().expect("completes");
+        let rec = Arc::new(Recording::load(&path).expect("loads"));
+        let err = state_at(&rec, Some(1), &ReplayOptions::default())
+            .expect_err("pool recordings have no quiesced mid-run state");
+        assert!(err.contains("session-mode"), "unexpected: {err}");
+    }
+
+    /// The committed diff golden: a clean `chain` pool recording
+    /// (`goldens/chain-clean.gprs`) against the chaos fixture's pinned
+    /// recording of the same program under a grant-150 soft fault
+    /// (`crates/chaos/fixtures/trailing-grant.gprs`). The injected run
+    /// tracks the clean schedule event-for-event until the squash, so the
+    /// first divergence sits at a known index: event 154, where the clean
+    /// run's thread 5 exits but the faulted run re-executes squashed work.
+    #[test]
+    fn committed_diff_golden_pins_first_divergence() {
+        use gprs_core::recording::{first_divergence, RecordingDiff, EVT_EXIT};
+        let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        let clean_path = manifest.join("goldens/chain-clean.gprs");
+        let faulted_path = manifest.join("../chaos/fixtures/trailing-grant.gprs");
+        let clean = Recording::load(&clean_path).expect("committed clean golden loads");
+        let faulted = Recording::load(&faulted_path).expect("committed chaos recording loads");
+
+        match first_divergence(&clean, &faulted) {
+            RecordingDiff::Event { position: 154, a: Some(ea), b: Some(eb) } => {
+                assert_eq!(ea.thread, 5, "clean side of the divergence");
+                assert_eq!(ea.kind, EVT_EXIT, "clean run exits here");
+                assert_eq!(eb.thread, 5, "faulted side of the divergence");
+                assert_ne!(eb.kind, EVT_EXIT, "faulted run is still re-executing");
+            }
+            other => panic!("diff golden drifted: {other}"),
+        }
+
+        // Freshness: the committed clean golden must match a fresh
+        // recording of the same program byte for byte (recordings carry no
+        // timestamps, so regenerate-and-compare is exact). A drift here
+        // means `gprs-replay record chain crates/replay/goldens/chain-clean.gprs`
+        // needs a rerun. The faulted side's freshness is pinned by
+        // `gprs-lint --check-artifacts` via its fixture's header.
+        let dir = unique_temp_dir("replay-diff-golden");
+        let fresh_path = dir.join("chain-clean.gprs");
+        record_program("chain", &fresh_path, None, false).expect("fresh recording");
+        let fresh = Recording::load(&fresh_path).expect("fresh recording loads");
+        assert_eq!(
+            clean.to_text(),
+            fresh.to_text(),
+            "committed goldens/chain-clean.gprs is stale — regenerate with \
+             `gprs-replay record chain crates/replay/goldens/chain-clean.gprs`"
+        );
+
+        // And the committed golden still replays clean through the engine.
+        match replay_recording(&Arc::new(clean), &ReplayOptions::default())
+            .expect("configures")
+        {
+            ReplayOutcome::Verified { schedule, retired, .. } => {
+                assert_eq!(schedule, fresh.sched_hash);
+                assert_eq!(retired, fresh.retired_hash);
+            }
+            other => panic!("expected Verified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_a_config_error_not_a_divergence() {
+        let dir = unique_temp_dir("replay-cli-unknown");
+        let path = dir.join("chain.gprs");
+        let mut b = GprsBuilder::new().workers(2);
+        register_gprs("chain", &mut b);
+        b.record(&path).record_meta("chain", 0).build().run().expect("completes");
+        let mut rec = Recording::load(&path).expect("loads");
+        rec.header.workload = "no-such-program".to_string();
+        let err = replay_recording(&Arc::new(rec), &ReplayOptions::default())
+            .expect_err("unknown program cannot configure");
+        assert!(err.contains("unknown runtime program"), "unexpected: {err}");
+    }
+}

@@ -1,0 +1,208 @@
+//! `gprs-replay` — deterministic record/replay & time-travel debugging.
+//!
+//! ```text
+//! gprs-replay run   <recording> [--workers N] [--scale F] [--expect-golden]
+//! gprs-replay diff  <a> <b>
+//! gprs-replay state <recording> [--at N] [--workers N]
+//! ```
+//!
+//! Exit codes: `0` — verified (or faithfully reproduced a recorded
+//! failure; with `--expect-golden` only a clean verified replay counts),
+//! `2` — schedule divergence or diff mismatch, `1` — anything that stopped
+//! the replay from running at all (usage, unreadable or corrupt recording,
+//! unknown workload).
+
+use gprs_core::recording::{first_divergence, RecordedOutcome, Recording, RecordingDiff};
+use gprs_replay::{record_program, replay_recording, state_at, ReplayOptions, ReplayOutcome};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage:
+  gprs-replay record <program> <out> [--workers N] [--session]
+  gprs-replay run    <recording> [--workers N] [--scale F] [--expect-golden]
+  gprs-replay diff   <a> <b>
+  gprs-replay state  <recording> [--at N] [--workers N]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("gprs-replay: {msg}");
+    ExitCode::from(1)
+}
+
+fn load(path: &str) -> Result<Recording, String> {
+    Recording::load(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses `--workers N` / `--scale F` / `--at N` / `--expect-golden` out
+/// of the tail of an argument list.
+struct Flags {
+    opts: ReplayOptions,
+    at: Option<u64>,
+    expect_golden: bool,
+    session: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        opts: ReplayOptions::default(),
+        at: None,
+        expect_golden: false,
+        session: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                f.opts.workers =
+                    Some(v.parse().map_err(|_| format!("bad --workers value {v:?}"))?);
+            }
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                f.opts.scale = v.parse().map_err(|_| format!("bad --scale value {v:?}"))?;
+            }
+            "--at" => {
+                let v = it.next().ok_or("--at needs a value")?;
+                f.at = Some(v.parse().map_err(|_| format!("bad --at value {v:?}"))?);
+            }
+            "--expect-golden" => f.expect_golden = true,
+            "--session" => f.session = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(f)
+}
+
+fn cmd_run(path: &str, flags: &Flags) -> ExitCode {
+    let rec = match load(path) {
+        Ok(r) => Arc::new(r),
+        Err(e) => return fail(&e),
+    };
+    println!(
+        "replaying {:?} ({} mode, {} events, recorded outcome: {})",
+        rec.header.workload,
+        rec.header.mode,
+        rec.events.len(),
+        match &rec.outcome {
+            RecordedOutcome::Complete => "complete".to_string(),
+            RecordedOutcome::Poisoned(m) => format!("poisoned: {m}"),
+        }
+    );
+    match replay_recording(&rec, &flags.opts) {
+        Err(e) => fail(&e),
+        Ok(ReplayOutcome::Verified { events, schedule, retired }) => {
+            println!(
+                "verified: {events} events replayed, schedule {schedule:016x}, \
+                 retired {retired:016x}"
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(ReplayOutcome::Reproduced { events, original }) => {
+            println!(
+                "reproduced the recorded failure after {events} events: {original}"
+            );
+            if flags.expect_golden {
+                eprintln!("gprs-replay: --expect-golden requires a clean verified replay");
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Ok(ReplayOutcome::Diverged(msg)) => {
+            eprintln!("gprs-replay: divergence: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_diff(pa: &str, pb: &str) -> ExitCode {
+    let (a, b) = match (load(pa), load(pb)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    for (what, va, vb) in [
+        ("workload", &a.header.workload, &b.header.workload),
+        ("mode", &a.header.mode.to_string(), &b.header.mode.to_string()),
+        ("schedule", &a.header.schedule, &b.header.schedule),
+    ] {
+        if va != vb {
+            println!("header {what}: {va:?} vs {vb:?}");
+        }
+    }
+    let diff = first_divergence(&a, &b);
+    println!("{diff}");
+    match diff {
+        RecordingDiff::Identical => ExitCode::SUCCESS,
+        _ => ExitCode::from(2),
+    }
+}
+
+fn cmd_state(path: &str, flags: &Flags) -> ExitCode {
+    let rec = match load(path) {
+        Ok(r) => Arc::new(r),
+        Err(e) => return fail(&e),
+    };
+    match state_at(&rec, flags.at, &flags.opts) {
+        Err(e) => fail(&e),
+        Ok(state) => {
+            print!("{state}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return fail(USAGE);
+    };
+    match cmd.as_str() {
+        "record" => {
+            let (Some(program), Some(out)) = (args.get(1), args.get(2)) else {
+                return fail(USAGE);
+            };
+            let flags = match parse_flags(&args[3..]) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            match record_program(
+                program,
+                std::path::Path::new(out),
+                flags.opts.workers,
+                flags.session,
+            ) {
+                Ok((schedule, retired)) => {
+                    println!(
+                        "recorded {program:?} to {out}: schedule {schedule:016x}, \
+                         retired {retired:016x}"
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "run" | "state" => {
+            let Some(path) = args.get(1) else {
+                return fail(USAGE);
+            };
+            let flags = match parse_flags(&args[2..]) {
+                Ok(f) => f,
+                Err(e) => return fail(&e),
+            };
+            if cmd == "run" {
+                cmd_run(path, &flags)
+            } else {
+                cmd_state(path, &flags)
+            }
+        }
+        "diff" => {
+            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
+                return fail(USAGE);
+            };
+            if args.len() > 3 {
+                return fail(USAGE);
+            }
+            cmd_diff(a, b)
+        }
+        _ => fail(USAGE),
+    }
+}

@@ -388,6 +388,13 @@ pub(crate) struct Inner {
     /// assigned at release, possibly after the ender retired).
     pub race_arrivals: BTreeMap<SubThreadId, (BarrierId, u64)>,
     pub poisoned: Option<String>,
+    /// Set by [`crate::session::GprsSession::cancel`]: the run was halted
+    /// at a quantum boundary rather than completing. Does not fail the
+    /// report (cancelled jobs return their partial report), but a sealed
+    /// recording of a cancelled run must not claim `complete` — its tape
+    /// is a prefix, and an honest footer lets a replay classify reaching
+    /// the tape's end as a reproduction instead of a divergence.
+    pub cancelled_note: Option<String>,
     /// Deterministic chaos-injection plan state (see
     /// [`gprs_core::chaos::ChaosPlan`]); `None` outside chaos runs.
     pub chaos: Option<ChaosState>,
@@ -400,6 +407,27 @@ pub(crate) struct Inner {
     /// of a [`crate::shard::ShardedGprs`]; `None` for ordinary runs (every
     /// sharded hook is gated on one `is_some` branch).
     pub shard: Option<crate::shard::ShardCtx>,
+    /// Streaming schedule recorder (armed by `GprsBuilder::record`). Fed
+    /// one event per turn-consuming grant/arrival/exit; sealed and written
+    /// to `record_path` at `collect_report`.
+    pub recorder: Option<gprs_core::recording::Recorder>,
+    /// Destination of the sealed recording.
+    pub record_path: Option<std::path::PathBuf>,
+    /// Replay verifier state when this run re-executes a recording (armed
+    /// by `GprsBuilder::replay`); the enforcer's policy is a
+    /// [`gprs_core::recording::ReplaySchedule`] over the same event stream.
+    pub replay: Option<ReplayState>,
+}
+
+/// Replay verification: every turn-consuming event the live run performs is
+/// checked against the recorded stream at the same position; the first
+/// mismatch poisons the run with a named divergence (never silently, never
+/// by panicking).
+#[derive(Debug)]
+pub(crate) struct ReplayState {
+    pub rec: std::sync::Arc<gprs_core::recording::Recording>,
+    /// Events verified so far (the live run's event position).
+    pub verified: usize,
 }
 
 /// The durable retire prefix a resumed run re-verifies during replay:
@@ -649,10 +677,14 @@ impl Inner {
             race_pop_src: BTreeMap::new(),
             race_arrivals: BTreeMap::new(),
             poisoned: None,
+            cancelled_note: None,
             chaos: None,
             verify: None,
             last_durable_ckpt: 0,
             shard: None,
+            recorder: None,
+            record_path: None,
+            replay: None,
         }
     }
 
@@ -691,6 +723,143 @@ impl Inner {
         if self.poisoned.is_none() {
             self.poisoned = Some(msg.into());
         }
+    }
+
+    /// Feeds one turn-consuming event (a grant's sub-thread kind, or the
+    /// structural `EVT_ARRIVE`/`EVT_EXIT` tags) to the recorder and/or the
+    /// replay verifier. Under replay, the first event that does not match
+    /// the recorded stream poisons the run with a named divergence.
+    pub(crate) fn record_event(&mut self, thread: ThreadId, kind: u8) {
+        use gprs_core::recording::event_kind_name;
+        if let Some(r) = self.recorder.as_mut() {
+            r.record_event(thread.raw(), kind);
+        }
+        let Some(rs) = self.replay.as_mut() else {
+            return;
+        };
+        let pos = rs.verified;
+        match rs.rec.events.get(pos) {
+            Some(e) if e.thread == thread.raw() && e.kind == kind => rs.verified += 1,
+            Some(e) => {
+                let (et, ek) = (e.thread, e.kind);
+                self.poison(format!(
+                    "replay divergence at event {pos}: recording expects \
+                     (thread {et}, {}) but the live run performed \
+                     (thread {}, {})",
+                    event_kind_name(ek),
+                    thread.raw(),
+                    event_kind_name(kind),
+                ));
+            }
+            None => {
+                let total = rs.rec.events.len();
+                self.poison(format!(
+                    "replay divergence: live run performed event {pos} \
+                     (thread {}, {}) past the end of the {total}-event recording",
+                    thread.raw(),
+                    event_kind_name(kind),
+                ));
+            }
+        }
+    }
+
+    /// Replay sanity gate, checked before the token holder's want is
+    /// examined: under a faithful replay the recorded holder is always a
+    /// live, registered thread, so anything else is a divergence to poison
+    /// on (not an `expect` to die on).
+    pub(crate) fn replay_holder_gate(&self, holder: ThreadId) -> Option<String> {
+        let rs = self.replay.as_ref()?;
+        let pos = rs.verified;
+        match self.threads.get(&holder) {
+            None => Some(format!(
+                "replay divergence at event {pos}: recorded thread {} was \
+                 never created in the live run",
+                holder.raw()
+            )),
+            Some(r) if r.state != ThState::Active => Some(format!(
+                "replay divergence at event {pos}: recorded thread {} is \
+                 {:?} in the live run (recording expects it active)",
+                holder.raw(),
+                r.state
+            )),
+            Some(_) => None,
+        }
+    }
+
+    /// The loud terminal message when the replay tape runs out while live
+    /// threads remain: expected (and informative) for recordings of
+    /// poisoned runs, a divergence otherwise.
+    pub(crate) fn replay_exhausted_msg(&self) -> Option<String> {
+        use gprs_core::recording::RecordedOutcome;
+        let rs = self.replay.as_ref()?;
+        if rs.verified < rs.rec.events.len() {
+            return None;
+        }
+        Some(match &rs.rec.outcome {
+            RecordedOutcome::Poisoned(orig) => format!(
+                "replay reached the end of a failed recording after \
+                 {} events (original failure: {orig})",
+                rs.verified
+            ),
+            RecordedOutcome::Complete => format!(
+                "replay divergence: recording ended after {} events but the \
+                 live run still has {} live threads",
+                rs.verified, self.live
+            ),
+        })
+    }
+
+    /// Seals the recorder (if armed) into a finished [`Recording`] carrying
+    /// the run's final hash digests and outcome, with its destination path.
+    pub(crate) fn take_recording(
+        &mut self,
+    ) -> Option<(std::path::PathBuf, gprs_core::recording::Recording)> {
+        use gprs_core::recording::RecordedOutcome;
+        let recorder = self.recorder.take()?;
+        let path = self.record_path.take()?;
+        let outcome = match (&self.poisoned, &self.cancelled_note) {
+            (Some(msg), _) => RecordedOutcome::Poisoned(msg.clone()),
+            (None, Some(note)) => RecordedOutcome::Poisoned(note.clone()),
+            (None, None) => RecordedOutcome::Complete,
+        };
+        Some((
+            path,
+            recorder.finish(self.sched_hash.digest(), self.retired_hash.digest(), outcome),
+        ))
+    }
+
+    /// Post-run replay self-verification: a clean replay must have consumed
+    /// the whole tape and reproduced both footer digests bit-identically.
+    /// Returns the failure message, if any.
+    pub(crate) fn replay_verify_final(&self) -> Option<String> {
+        let rs = self.replay.as_ref()?;
+        if self.poisoned.is_some() {
+            return None; // already diagnosed
+        }
+        if rs.verified != rs.rec.events.len() {
+            return Some(format!(
+                "replay divergence: live run finished after {} events but \
+                 the recording has {}",
+                rs.verified,
+                rs.rec.events.len()
+            ));
+        }
+        let (sched, retired) = (self.sched_hash.digest(), self.retired_hash.digest());
+        if sched != rs.rec.sched_hash {
+            return Some(format!(
+                "replay self-verification failed: schedule hash {sched:016x} \
+                 != recorded {:016x}",
+                rs.rec.sched_hash
+            ));
+        }
+        if retired != rs.rec.retired_hash {
+            return Some(format!(
+                "replay self-verification failed: retired hash {retired:016x} \
+                 != recorded {:016x}",
+                rs.rec.retired_hash
+            ));
+        }
+        None
     }
 
     pub(crate) fn bump(&mut self) {
@@ -773,9 +942,18 @@ impl Inner {
             let exception = Exception::global(ev.kind, ContextId::new(context), 0);
             if let Some(v) = victim {
                 taken.push(v);
-                self.rol
-                    .mark_excepted(v, exception.clone())
-                    .expect("victim picked from the ROL");
+                if self.rol.mark_excepted(v, exception.clone()).is_err() {
+                    // The selector races retirement only when the schedule
+                    // state is already off the rails (e.g. a divergent
+                    // replay); degrade loudly instead of unwinding a worker.
+                    self.poison(format!(
+                        "chaos victim {} vanished from the ROL before the \
+                         exception landed (divergent replay or corrupted \
+                         schedule state)",
+                        v.raw()
+                    ));
+                    continue;
+                }
             }
             self.pending_exceptions.push_back(PendingException {
                 exception,
@@ -937,7 +1115,13 @@ impl Inner {
         }
         if let Some(bars) = ctx.edge_arrivals.remove(&id) {
             for b in bars {
-                ctx.hub.arrive(b);
+                if !ctx.hub.arrive(b) {
+                    self.poison(format!(
+                        "sharded retirement published an arrival on barrier \
+                         {b} the hub does not know (divergent replay or \
+                         corrupted shard plan)"
+                    ));
+                }
             }
         }
         self.shard = Some(ctx);
@@ -1441,6 +1625,7 @@ impl Inner {
         rec.current_st = Some(stid);
         self.running.insert(stid, worker);
         self.sched_hash.record(stid.raw(), thread.raw());
+        self.record_event(thread, kind.tag());
         if self.raw_trace.len() < self.cfg.telemetry.raw_trace_cap {
             self.raw_trace.push((stid, thread));
         }
@@ -1843,8 +2028,11 @@ impl Inner {
                 None
             }
             Step::Barrier(b) => {
-                // Arrival: consumes the turn but opens no sub-thread.
-                self.enforcer.pass_turn(holder);
+                // Arrival: consumes the turn but opens no sub-thread. Still
+                // a recorded event — it mutates schedule state, so replay
+                // must reproduce it in order.
+                self.enforcer.consume_turn(holder);
+                self.record_event(holder, gprs_core::recording::EVT_ARRIVE);
                 let rec = self.threads.get_mut(&holder).expect("holder");
                 rec.state = ThState::Parked(b);
                 rec.registered = false;
@@ -1898,7 +2086,15 @@ impl Inner {
                     let mut ctx = self.shard.take().expect("sharded");
                     match pending {
                         Some(prev) => ctx.edge_arrivals.entry(prev).or_default().push(b),
-                        None => ctx.hub.arrive(b),
+                        None => {
+                            if !ctx.hub.arrive(b) {
+                                self.poison(format!(
+                                    "cross-domain arrival on barrier {b} the \
+                                     hub does not know (divergent replay or \
+                                     corrupted shard plan)"
+                                ));
+                            }
+                        }
                     }
                     self.shard = Some(ctx);
                 } else if full {
@@ -1908,8 +2104,10 @@ impl Inner {
                 None
             }
             Step::Exit(value) => {
-                // Exit: consumes the turn but opens no sub-thread.
-                self.enforcer.pass_turn(holder);
+                // Exit: consumes the turn but opens no sub-thread (recorded
+                // like the barrier arrival above).
+                self.enforcer.consume_turn(holder);
+                self.record_event(holder, gprs_core::recording::EVT_EXIT);
                 let rec = self.threads.get_mut(&holder).expect("holder");
                 rec.state = ThState::Done;
                 rec.registered = false;
@@ -2282,10 +2480,12 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
                     wait_here!(g);
                     continue;
                 }
-                inner.poison(
+                let msg = inner.replay_exhausted_msg().unwrap_or_else(|| {
                     "deadlock: live threads remain but none is runnable \
-                     (barrier participants mismatch?)",
-                );
+                     (barrier participants mismatch?)"
+                        .into()
+                });
+                inner.poison(msg);
                 shared.done.store(true, Ordering::Release);
                 shared.wake_all();
                 break Decision::Finished;
@@ -2293,6 +2493,12 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
             wait_here!(g);
             continue;
         };
+        if inner.replay.is_some() {
+            if let Some(msg) = inner.replay_holder_gate(holder) {
+                inner.poison(msg);
+                continue;
+            }
+        }
         if inner.shard.is_some() {
             // Domain fence: a step touching a resource the plan mapped
             // elsewhere (or out-of-scope dynamic topology) must fail loudly
@@ -2311,13 +2517,26 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
                 continue;
             }
         }
-        let rec = inner.threads.get(&holder).expect("registered thread");
+        let Some(rec) = inner.threads.get(&holder) else {
+            // A token holder with no thread record can only come from a
+            // divergent replay tape (or corrupted schedule state): degrade
+            // to a named poison instead of dying on a missing-entry panic.
+            inner.poison(format!(
+                "token holder thread {} has no record (divergent replay or \
+                 corrupted schedule state)",
+                holder.raw()
+            ));
+            continue;
+        };
         if rec.state == ThState::Done {
             // Stale registration (should not happen; exits deregister).
-            inner
-                .enforcer
-                .deregister_thread(holder)
-                .expect("was registered");
+            if inner.enforcer.deregister_thread(holder).is_err() {
+                inner.poison(format!(
+                    "token holder thread {} is done but was never registered \
+                     (divergent replay or corrupted schedule state)",
+                    holder.raw()
+                ));
+            }
             continue;
         }
         let Some(want) = rec.pending.as_ref() else {
@@ -2335,10 +2554,20 @@ fn seek(shared: &SharedRef, worker_ix: usize, finished: Option<StepOutcome>) -> 
                 woke_idle = false;
                 if inner.pass_streak > inner.enforcer.live_threads() * 2 + 4 {
                     if inner.running.is_empty() {
-                        inner.poison(
+                        let msg = if let Some(rs) = inner.replay.as_ref() {
+                            format!(
+                                "replay divergence at event {}: recorded \
+                                 thread {} polls an operation the recording \
+                                 granted (channel starvation under replay)",
+                                rs.verified,
+                                holder.raw()
+                            )
+                        } else {
                             "deadlock: every runnable thread is polling \
-                             (channel starvation or join cycle)",
-                        );
+                             (channel starvation or join cycle)"
+                                .into()
+                        };
+                        inner.poison(msg);
                         shared.done.store(true, Ordering::Release);
                         shared.wake_all();
                         break Decision::Finished;
@@ -2489,19 +2718,37 @@ pub(crate) fn coop_decide(
         }
         debug_assert!(inner.exclusive.is_none(), "exclusive step deposited before deciding");
         let Some(holder) = inner.enforcer.holder() else {
-            inner.poison(
+            let msg = inner.replay_exhausted_msg().unwrap_or_else(|| {
                 "deadlock: live threads remain but none is runnable \
-                 (barrier participants mismatch?)",
-            );
+                 (barrier participants mismatch?)"
+                    .into()
+            });
+            inner.poison(msg);
             shared.done.store(true, Ordering::Release);
             break CoopDecision::Finished;
         };
-        let rec = inner.threads.get(&holder).expect("registered thread");
+        if inner.replay.is_some() {
+            if let Some(msg) = inner.replay_holder_gate(holder) {
+                inner.poison(msg);
+                continue;
+            }
+        }
+        let Some(rec) = inner.threads.get(&holder) else {
+            inner.poison(format!(
+                "token holder thread {} has no record (divergent replay or \
+                 corrupted schedule state)",
+                holder.raw()
+            ));
+            continue;
+        };
         if rec.state == ThState::Done {
-            inner
-                .enforcer
-                .deregister_thread(holder)
-                .expect("was registered");
+            if inner.enforcer.deregister_thread(holder).is_err() {
+                inner.poison(format!(
+                    "token holder thread {} is done but was never registered \
+                     (divergent replay or corrupted schedule state)",
+                    holder.raw()
+                ));
+            }
             continue;
         }
         let Some(want) = rec.pending.as_ref() else {
@@ -2517,10 +2764,20 @@ pub(crate) fn coop_decide(
                 inner.stats.polls += 1;
                 inner.pass_streak += 1;
                 if inner.pass_streak > inner.enforcer.live_threads() * 2 + 4 {
-                    inner.poison(
+                    let msg = if let Some(rp) = inner.replay.as_ref() {
+                        format!(
+                            "replay divergence at event {}: recorded thread {} \
+                             polls an operation the recording granted (channel \
+                             starvation under replay)",
+                            rp.verified,
+                            holder.raw()
+                        )
+                    } else {
                         "deadlock: every runnable thread is polling \
-                         (channel starvation or join cycle)",
-                    );
+                         (channel starvation or join cycle)"
+                            .into()
+                    };
+                    inner.poison(msg);
                     shared.done.store(true, Ordering::Release);
                     break CoopDecision::Finished;
                 }
@@ -2530,10 +2787,20 @@ pub(crate) fn coop_decide(
                 // With one context the blocking condition (a busy lock, a
                 // non-quiescent serialized gate) can only be our own state,
                 // and we just deposited — so it can never clear.
-                inner.poison(format!(
-                    "deadlock: token of {holder} waits on a condition no \
-                     single-context execution can satisfy"
-                ));
+                let msg = if let Some(rp) = inner.replay.as_ref() {
+                    format!(
+                        "replay divergence at event {}: recorded thread {} \
+                         blocks on an operation the recording granted",
+                        rp.verified,
+                        holder.raw()
+                    )
+                } else {
+                    format!(
+                        "deadlock: token of {holder} waits on a condition no \
+                         single-context execution can satisfy"
+                    )
+                };
+                inner.poison(msg);
                 shared.done.store(true, Ordering::Release);
                 break CoopDecision::Finished;
             }

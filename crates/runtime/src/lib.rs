@@ -112,6 +112,11 @@ pub struct GprsBuilder {
     durable_spec: Option<String>,
     resume_prefix: Vec<(u32, u8, u64)>,
     shard_plan_json: Option<String>,
+    record_path: Option<std::path::PathBuf>,
+    record_meta: Option<(String, u64)>,
+    record_spec: Option<String>,
+    chaos_text: Option<String>,
+    replay_rec: Option<Arc<gprs_core::recording::Recording>>,
     inner: Inner,
     next_lock: u64,
     next_chan: u64,
@@ -158,6 +163,11 @@ impl GprsBuilder {
             durable_spec: None,
             resume_prefix: Vec::new(),
             shard_plan_json: None,
+            record_path: None,
+            record_meta: None,
+            record_spec: None,
+            chaos_text: None,
+            replay_rec: None,
             inner: Inner::new(cfg),
             next_lock: 0,
             next_chan: 0,
@@ -322,6 +332,50 @@ impl GprsBuilder {
     /// exercising overlapping DEX→REX recovery. An empty plan is a no-op.
     pub fn chaos(mut self, plan: &gprs_core::chaos::ChaosPlan) -> Self {
         self.inner.chaos = (!plan.is_empty()).then(|| engine::ChaosState::new(plan));
+        // Keep the plan's canonical text so an armed recorder can stamp the
+        // injection overlay into its header (replay must re-arm the same
+        // faults to reproduce the schedule).
+        self.chaos_text = (!plan.is_empty()).then(|| plan.to_text());
+        self
+    }
+
+    /// Records the run's complete grant schedule — every turn-consuming
+    /// event in deterministic total order, with a running digest — into a
+    /// recording file written at report collection (even when the run
+    /// poisons). The recording replays through
+    /// [`replay`](Self::replay) or the `gprs-replay` CLI. Recording adds
+    /// one branch per grant; a recording is written for poisoned runs too
+    /// (that is the time-travel-debugging point).
+    pub fn record(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.record_path = Some(path.into());
+        self
+    }
+
+    /// Stamps the recording header with the registered workload's name and
+    /// the seed that parameterized it, so `gprs-replay` can rebuild the
+    /// program from the recording alone. Without this the header carries
+    /// `custom`/0 and the CLI refuses to rebuild.
+    pub fn record_meta(mut self, workload: impl Into<String>, seed: u64) -> Self {
+        self.record_meta = Some((workload.into(), seed));
+        self
+    }
+
+    /// Attaches an opaque spec line (e.g. the serve submit line) to the
+    /// recording header, mirroring [`durable_spec`](Self::durable_spec).
+    pub fn record_spec(mut self, text: impl Into<String>) -> Self {
+        self.record_spec = Some(text.into());
+        self
+    }
+
+    /// Drives this run under the recorded schedule instead of a live
+    /// ordering policy: the token follows the recording's grant order
+    /// exactly, every turn-consuming event is verified against the tape,
+    /// and the first divergence poisons the run with a named
+    /// `replay divergence` message. The caller must rebuild the same
+    /// program (workload, seed, chaos plan) the recording was captured
+    /// from — `gprs-replay` does this from the header.
+    pub fn replay(mut self, rec: Arc<gprs_core::recording::Recording>) -> Self {
+        self.replay_rec = Some(rec);
         self
     }
 
@@ -441,6 +495,45 @@ impl GprsBuilder {
             durable_ckpt_every: self.durable_ckpt_every,
             elide_cells,
         };
+        // Record/replay arming. One run cannot both follow and produce a
+        // tape, and a replayed run must not mutate a durable epoch or
+        // verify a resume prefix (both assume a live schedule): reject the
+        // combinations loudly instead of guessing a precedence.
+        if self.record_path.is_some() && self.replay_rec.is_some() {
+            self.inner
+                .poison("cannot record and replay in the same run");
+            self.record_path = None;
+            self.replay_rec = None;
+        }
+        if self.replay_rec.is_some()
+            && (self.inner.cfg.persist.is_some() || !self.resume_prefix.is_empty())
+        {
+            self.inner.poison(
+                "replay does not compose with durable persistence or resume \
+                 (a replayed run must not rewrite the durable epoch)",
+            );
+            self.replay_rec = None;
+        }
+        if let Some(path) = self.record_path.take() {
+            let (workload, seed) =
+                self.record_meta.take().unwrap_or_else(|| ("custom".into(), 0));
+            self.inner.recorder =
+                Some(gprs_core::recording::Recorder::new(gprs_core::recording::RecordingHeader {
+                    workload,
+                    seed,
+                    // Provisional: stamped for real when the drive mode is
+                    // known, at `Gprs::run` / `Gprs::into_session`.
+                    mode: gprs_core::recording::DriveMode::Pool,
+                    schedule: self.schedule.tag().to_string(),
+                    workers: self.workers as u32,
+                    spec: self.record_spec.take(),
+                    chaos: self.chaos_text.take(),
+                }));
+            self.inner.record_path = Some(path);
+        }
+        if let Some(rec) = self.replay_rec.take() {
+            self.inner.replay = Some(engine::ReplayState { rec, verified: 0 });
+        }
         if !self.resume_prefix.is_empty() {
             self.inner.verify = Some(engine::VerifyState {
                 expected: std::mem::take(&mut self.resume_prefix),
@@ -494,8 +587,15 @@ impl GprsBuilder {
             }
         }
         // The schedule may have changed after threads registered: re-seed
-        // the enforcer with the final schedule.
-        let mut enforcer = gprs_core::order::OrderEnforcer::with_schedule(self.schedule);
+        // the enforcer with the final schedule — or, under replay, with the
+        // tape itself as the ordering policy (the recorded grant order IS
+        // the schedule; wasted polls hold the cursor in place).
+        let mut enforcer = match self.inner.replay.as_ref() {
+            Some(rs) => gprs_core::order::OrderEnforcer::new(Box::new(
+                gprs_core::recording::ReplaySchedule::from_recording(&rs.rec),
+            )),
+            None => gprs_core::order::OrderEnforcer::with_schedule(self.schedule),
+        };
         for (tid, rec) in &self.inner.threads {
             enforcer
                 .register_thread(*tid, rec.group, rec.weight)
@@ -539,6 +639,13 @@ impl GprsBuilder {
         if !self.resume_prefix.is_empty() {
             return ShardedGprs::failed(
                 "sharded execution does not support durable resume".into(),
+            );
+        }
+        if self.record_path.is_some() || self.replay_rec.is_some() {
+            return ShardedGprs::failed(
+                "sharded execution does not support schedule record/replay \
+                 (per-domain gates have no single global grant order)"
+                    .into(),
             );
         }
         // Resolve the shard plan: committed artifact (re-validated, loud
@@ -621,6 +728,30 @@ pub struct Gprs {
 }
 
 impl Gprs {
+    /// Stamps the recorder with the actual drive mode, and rejects a
+    /// cross-mode replay loudly: a pool recording replayed through a
+    /// session (or vice versa) would verify event-for-event yet reproduce
+    /// none of the original run's context interleaving, so the mismatch
+    /// poisons before the first grant instead of silently "succeeding".
+    fn stamp_mode(&self, mode: gprs_core::recording::DriveMode) {
+        let mut inner = self.shared.inner.lock();
+        if let Some(r) = inner.recorder.as_mut() {
+            r.set_mode(mode);
+        }
+        let mismatch = inner.replay.as_ref().and_then(|rs| {
+            (rs.rec.header.mode != mode).then(|| {
+                format!(
+                    "replay mode mismatch: recording was captured in {} mode \
+                     but this run drives in {} mode",
+                    rs.rec.header.mode, mode
+                )
+            })
+        });
+        if let Some(msg) = mismatch {
+            inner.poison(msg);
+        }
+    }
+
     /// A controller for injecting exceptions while the program runs.
     pub fn controller(&self) -> Controller {
         Controller {
@@ -635,6 +766,7 @@ impl Gprs {
     /// Returns [`RunError::Poisoned`] if a step panicked or the program
     /// deadlocked (ill-formed barrier participation or channel starvation).
     pub fn run(self) -> Result<RunReport, RunError> {
+        self.stamp_mode(gprs_core::recording::DriveMode::Pool);
         let workers = self.shared.inner.lock().cfg.workers;
         let mut joins = Vec::with_capacity(workers);
         for ix in 0..workers {
@@ -660,6 +792,7 @@ impl Gprs {
     /// has exactly one driving context (determinism hashes are
     /// worker-count-independent, so reports still match pooled runs).
     pub fn into_session(self) -> session::GprsSession {
+        self.stamp_mode(gprs_core::recording::DriveMode::Session);
         session::GprsSession {
             shared: self.shared,
             analysis: self.analysis,
@@ -688,6 +821,24 @@ pub(crate) fn collect_report(
             let s = p.stats();
             inner.telemetry.metrics.wal_segments_sealed.add(s.segments_sealed);
             inner.telemetry.metrics.fsyncs.add(s.fsyncs);
+        }
+    }
+    // A replay that consumed the whole tape must also land on the recorded
+    // final digests — a hash mismatch with an event-for-event match means
+    // the recording was tampered with or the program diverged outside the
+    // schedule, and either deserves a loud failure.
+    if let Some(msg) = inner.replay_verify_final() {
+        inner.poison(msg);
+    }
+    // Seal and write the recording BEFORE the poison early-return: a
+    // recording of a failed run is the whole point of time-travel
+    // debugging, so the file must exist exactly when the report does not.
+    if let Some((path, rec)) = inner.take_recording() {
+        if let Err(e) = rec.save(&path) {
+            inner.poison(format!(
+                "failed to write recording to {}: {e}",
+                path.display()
+            ));
         }
     }
     if let Some(msg) = inner.poisoned.take() {
@@ -798,7 +949,7 @@ pub mod prelude {
     };
     pub use crate::program::{payload_to, OneShot, Step, ThreadProgram};
     pub use crate::report::{RunError, RunReport, RunStats};
-    pub use crate::session::{GprsSession, QuantumOutcome};
+    pub use crate::session::{GprsSession, PreciseState, QuantumOutcome};
     pub use crate::{Controller, Gprs, GprsBuilder, RecoveryPolicy, ShardedGprs};
     pub use gprs_core::chaos::{ChaosEvent, ChaosPlan, ChaosTrigger, VictimSelector};
     pub use gprs_core::exception::{ExceptionKind, ExceptionScope};

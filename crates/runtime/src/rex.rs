@@ -150,7 +150,12 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
             .squashed_per_recovery
             .record(affected.len() as u64);
         for &id in &affected {
-            let thread = inner.rol.get(id).expect("affected in ROL").thread();
+            // `retain` above guarantees presence; degrade (skip the trace
+            // event) rather than panic with the state lock held if a
+            // divergent replay ever breaks that.
+            let Some(thread) = inner.rol.get(id).map(|e| e.thread()) else {
+                continue;
+            };
             inner.telemetry.record(
                 EXTERNAL_RING,
                 TraceEvent::Squash {
@@ -165,7 +170,14 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
     // back to (recorded before entries leave the ROL).
     let mut oldest_per_thread: BTreeMap<ThreadId, SubThreadId> = BTreeMap::new();
     for &id in &affected {
-        let t = inner.rol.get(id).expect("affected in ROL").thread();
+        let Some(t) = inner.rol.get(id).map(|e| e.thread()) else {
+            inner.poison(format!(
+                "recovery: affected sub-thread {} vanished from the ROL \
+                 mid-pass (divergent replay or corrupted schedule state)",
+                id.raw()
+            ));
+            continue;
+        };
         oldest_per_thread.entry(t).or_insert(id);
     }
 
@@ -177,7 +189,13 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
         .collect();
 
     for &id in &affected {
-        inner.rol.mark_squashed(id).expect("affected in ROL");
+        if inner.rol.mark_squashed(id).is_err() {
+            inner.poison(format!(
+                "recovery: could not mark sub-thread {} squashed \
+                 (divergent replay or corrupted schedule state)",
+                id.raw()
+            ));
+        }
     }
 
     // Order-faithful redo: record, in original total order, every squashed
@@ -187,7 +205,7 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
     // execution. Entries of threads being re-squashed are superseded.
     let affected_threads: BTreeSet<ThreadId> = affected
         .iter()
-        .map(|&id| inner.rol.get(id).expect("affected in ROL").thread())
+        .filter_map(|&id| inner.rol.get(id).map(|e| e.thread()))
         .collect();
     inner.redo_locks.retain(|t| !affected_threads.contains(t));
     for &id in &affected {
@@ -196,8 +214,9 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
                 rec.want,
                 OpeningWant::Lock(_) | OpeningWant::FetchAdd(_, _)
             ) {
-                let t = inner.rol.get(id).expect("affected in ROL").thread();
-                inner.redo_locks.push_back(t);
+                if let Some(t) = inner.rol.get(id).map(|e| e.thread()) {
+                    inner.redo_locks.push_back(t);
+                }
             }
         }
     }
@@ -231,10 +250,13 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
 
     // --- 6. Remove ROL entries (youngest first) and metadata. ----------
     for &id in affected.iter().rev() {
-        inner
-            .rol
-            .remove_squashed(id)
-            .expect("marked squashed above");
+        if inner.rol.remove_squashed(id).is_err() {
+            inner.poison(format!(
+                "recovery: squashed sub-thread {} vanished from the ROL \
+                 before removal (divergent replay or corrupted schedule state)",
+                id.raw()
+            ));
+        }
         inner.arrival_gen.remove(&id);
         inner.edges.remove(&id);
         // Race-detector provenance of squashed work: the re-execution will
@@ -293,20 +315,31 @@ fn recover_one(inner: &mut Inner, culprit: SubThreadId) -> u64 {
 /// accesses may have leaked its state to sub-threads outside the dependence
 /// closure — so the restart widens to the basic younger-suffix squash.
 fn affected_set(inner: &mut Inner, culprit: SubThreadId) -> Vec<SubThreadId> {
+    // `perform_recovery` re-validated the culprit against the ROL, but a
+    // vanished culprit must squash nothing and poison — not panic a
+    // recovery pass that holds the whole quiesced machine.
+    let Some(culprit_thread) = inner.rol.get(culprit).map(|e| e.thread()) else {
+        inner.poison(format!(
+            "recovery: culprit sub-thread {} vanished from the ROL \
+             (divergent replay or corrupted schedule state)",
+            culprit.raw()
+        ));
+        return Vec::new();
+    };
     let escalate = inner.cfg.recovery == RecoveryPolicy::Selective
-        && inner.racecheck.as_ref().is_some_and(|det| {
-            det.is_racy_thread(inner.rol.get(culprit).expect("culprit in ROL").thread())
-        });
+        && inner
+            .racecheck
+            .as_ref()
+            .is_some_and(|det| det.is_racy_thread(culprit_thread));
     if escalate {
         inner.stats.hybrid_escalations += 1;
         if inner.telemetry.enabled() {
             inner.telemetry.metrics.hybrid_escalations.inc();
-            let thread = inner.rol.get(culprit).expect("culprit in ROL").thread();
             inner.telemetry.record(
                 EXTERNAL_RING,
                 TraceEvent::HybridEscalation {
                     culprit: culprit.raw(),
-                    thread: thread.raw(),
+                    thread: culprit_thread.raw(),
                 },
             );
         }
@@ -316,7 +349,9 @@ fn affected_set(inner: &mut Inner, culprit: SubThreadId) -> Vec<SubThreadId> {
         suffix.reverse(); // ascending
         return suffix;
     }
-    let culprit_entry = inner.rol.get(culprit).expect("culprit in ROL");
+    let Some(culprit_entry) = inner.rol.get(culprit) else {
+        return Vec::new(); // checked above; unreachable
+    };
     let mut affected: BTreeSet<SubThreadId> = BTreeSet::new();
     affected.insert(culprit);
     let mut tainted_threads: BTreeSet<ThreadId> = BTreeSet::new();
@@ -435,35 +470,55 @@ fn undo_op(
             }
         }
         RtOp::SpawnChild { child } => {
-            let mut crec = inner
-                .threads
-                .remove(&child)
-                .expect("spawned child still registered");
-            if crec.registered {
-                inner
-                    .enforcer
-                    .deregister_thread(child)
-                    .expect("was registered");
+            let Some(mut crec) = inner.threads.remove(&child) else {
+                inner.poison(format!(
+                    "recovery: un-spawning thread {} but it was never \
+                     created (divergent replay or corrupted WAL)",
+                    child.raw()
+                ));
+                return;
+            };
+            if crec.registered && inner.enforcer.deregister_thread(child).is_err() {
+                inner.poison(format!(
+                    "recovery: un-spawned thread {} was marked registered \
+                     but the enforcer disagrees (corrupted schedule state)",
+                    child.raw()
+                ));
             }
             if crec.state != ThState::Done {
                 inner.live -= 1;
             }
-            let program = crec
-                .program
-                .take()
-                .expect("child quiesced, program parked");
+            let Some(program) = crec.program.take() else {
+                inner.poison(format!(
+                    "recovery: un-spawned thread {} has no parked program \
+                     (divergent replay or corrupted WAL)",
+                    child.raw()
+                ));
+                return;
+            };
             reclaimed.insert(child, program);
         }
         RtOp::ThreadExit { thread } => {
-            let rec = inner.threads.get_mut(&thread).expect("thread exists");
+            let Some(rec) = inner.threads.get_mut(&thread) else {
+                inner.poison(format!(
+                    "recovery: un-exiting thread {} but it does not exist \
+                     (divergent replay or corrupted WAL)",
+                    thread.raw()
+                ));
+                return;
+            };
             rec.state = ThState::Active;
             rec.final_st = None;
             if !rec.registered {
                 rec.registered = true;
-                inner
-                    .enforcer
-                    .register_thread(thread, rec.group, rec.weight)
-                    .expect("was deregistered");
+                let (g, w) = (rec.group, rec.weight);
+                if inner.enforcer.register_thread(thread, g, w).is_err() {
+                    inner.poison(format!(
+                        "recovery: could not re-register un-exited thread {} \
+                         (corrupted schedule state)",
+                        thread.raw()
+                    ));
+                }
             }
             inner.outputs.remove(&thread);
             inner.live += 1;
@@ -523,10 +578,16 @@ fn apply_history_undo(
         match u {
             Undo::Thread(t, snap) => {
                 if let Some(rec) = inner.threads.get_mut(&t) {
-                    rec.program
-                        .as_mut()
-                        .expect("quiesced")
-                        .restore_from(snap.as_ref());
+                    match rec.program.as_mut() {
+                        Some(p) => p.restore_from(snap.as_ref()),
+                        // A checked-out program during recovery means the
+                        // quiescence invariant broke; poison, don't panic.
+                        None => inner.poison(format!(
+                            "recovery: thread {} program checked out during \
+                             history undo (machine not quiesced)",
+                            t.raw()
+                        )),
+                    }
                 } else if let Some(program) = reclaimed.get_mut(&t) {
                     program.restore_from(snap.as_ref());
                 }
@@ -581,10 +642,13 @@ fn reinstate(
     if !rec.registered {
         rec.registered = true;
         let (g, w) = (rec.group, rec.weight);
-        inner
-            .enforcer
-            .register_thread(thread, g, w)
-            .expect("was deregistered");
+        if inner.enforcer.register_thread(thread, g, w).is_err() {
+            inner.poison(format!(
+                "recovery: could not re-register reinstated thread {} \
+                 (corrupted schedule state)",
+                thread.raw()
+            ));
+        }
     }
 
     let pending = match opening.want {
@@ -599,17 +663,22 @@ fn reinstate(
             child,
             group,
             weight,
-        } => {
-            let program = reclaimed
-                .remove(&child)
-                .expect("un-spawned child program reclaimed");
-            Some(PendingWant::Respawn {
+        } => match reclaimed.remove(&child) {
+            Some(program) => Some(PendingWant::Respawn {
                 child,
                 group,
                 weight,
                 program,
-            })
-        }
+            }),
+            None => {
+                inner.poison(format!(
+                    "recovery: reclaimed program for un-spawned child \
+                     thread {} is missing (divergent replay or corrupted WAL)",
+                    child.raw()
+                ));
+                None
+            }
+        },
         OpeningWant::Resume(b, gen) => {
             if undone_gens.contains(&(b, gen)) {
                 // The release itself was undone: re-park and wait for the
@@ -617,12 +686,22 @@ fn reinstate(
                 let rec = inner.threads.get_mut(&thread).expect("present");
                 rec.state = ThState::Parked(b);
                 rec.registered = false;
-                inner
-                    .enforcer
-                    .deregister_thread(thread)
-                    .expect("registered above");
+                if inner.enforcer.deregister_thread(thread).is_err() {
+                    inner.poison(format!(
+                        "recovery: could not deregister re-parked thread {} \
+                         (corrupted schedule state)",
+                        thread.raw()
+                    ));
+                }
                 let arrival = inner.threads[&thread].current_st;
-                let bar = inner.barriers.get_mut(&b).expect("registered barrier");
+                let Some(bar) = inner.barriers.get_mut(&b) else {
+                    inner.poison(format!(
+                        "recovery: barrier {} of a re-parked continuation \
+                         does not exist (divergent replay or corrupted WAL)",
+                        b.raw()
+                    ));
+                    return;
+                };
                 bar.waiting.push(thread);
                 if let Some(a) = arrival {
                     bar.arrival_sts.push(a);

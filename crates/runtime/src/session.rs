@@ -25,6 +25,82 @@ use crate::engine::{coop_decide, execute_task, CoopDecision, SharedRef, StepOutc
 use crate::report::{RunError, RunReport};
 use crate::Controller;
 
+/// A point-in-time dump of a session's **precise state** — the quiesced
+/// machine a parked quantum leaves behind: where every thread stands, who
+/// holds which lock, how the WAL ledger balances, and how far the
+/// deterministic grant stream has advanced. This is what `gprs-replay
+/// state` prints after replaying a recording to a chosen grant index:
+/// time-travel debugging's "what did the world look like right here".
+#[derive(Debug, Clone)]
+pub struct PreciseState {
+    /// Ordered grants issued so far.
+    pub grants: u64,
+    /// Recorded events verified so far, when the session is replaying a
+    /// recording (`None` on live runs). Counts every turn-consuming event
+    /// — grants, barrier arrivals, thread exits — i.e. positions in the
+    /// recording's event stream, which `grants` alone undercounts.
+    pub replayed: Option<u64>,
+    /// Streaming schedule-hash digest at this point.
+    pub schedule_digest: u64,
+    /// Streaming retired-order digest at this point.
+    pub retired_digest: u64,
+    /// Threads that have not yet exited.
+    pub live_threads: u64,
+    /// Per-thread lines: `(thread, state, pending want, current sub-thread)`.
+    pub threads: Vec<(u32, String, Option<String>, Option<u64>)>,
+    /// Per-lock lines: `(lock, holding sub-thread)`.
+    pub locks: Vec<(u64, Option<u64>)>,
+    /// In-flight (un-retired) sub-threads in the reorder list.
+    pub rol_len: u64,
+    /// Live (un-pruned, un-undone) write-ahead-log records.
+    pub wal_len: u64,
+    /// Total WAL records ever appended.
+    pub wal_appended: u64,
+    /// WAL records pruned by retirement.
+    pub wal_pruned: u64,
+    /// The poison message, if the run has already failed.
+    pub poisoned: Option<String>,
+}
+
+impl std::fmt::Display for PreciseState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "grants {}  schedule {:016x}  retired {:016x}",
+            self.grants, self.schedule_digest, self.retired_digest
+        )?;
+        match self.replayed {
+            Some(n) => writeln!(f, "  replayed {n} events")?,
+            None => writeln!(f)?,
+        }
+        writeln!(
+            f,
+            "live {}  rol {}  wal {} live / {} appended / {} pruned",
+            self.live_threads, self.rol_len, self.wal_len, self.wal_appended, self.wal_pruned
+        )?;
+        for (tid, state, pending, st) in &self.threads {
+            write!(f, "thread {tid}: {state}")?;
+            if let Some(p) = pending {
+                write!(f, ", wants {p}")?;
+            }
+            if let Some(s) = st {
+                write!(f, ", in sub-thread {s}")?;
+            }
+            writeln!(f)?;
+        }
+        for (lock, holder) in &self.locks {
+            match holder {
+                Some(st) => writeln!(f, "lock {lock}: held by sub-thread {st}")?,
+                None => writeln!(f, "lock {lock}: free")?,
+            }
+        }
+        if let Some(msg) = &self.poisoned {
+            writeln!(f, "poisoned: {msg}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Why [`GprsSession::run_quantum`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QuantumOutcome {
@@ -105,6 +181,10 @@ impl GprsSession {
             "cancel is called between quanta, with the session quiesced"
         );
         crate::rex::cancel_inflight(&mut g);
+        g.cancelled_note = Some(format!(
+            "run cancelled at a quantum boundary after {} grants",
+            g.stats.grants
+        ));
         drop(g);
         self.shared
             .done
@@ -126,6 +206,43 @@ impl GprsSession {
     /// Ordered grants issued so far (scheduling diagnostics).
     pub fn grants(&self) -> u64 {
         self.shared.inner.lock().stats.grants
+    }
+
+    /// Captures the session's quiesced [`PreciseState`]. Valid whenever no
+    /// quantum is in flight — between `run_quantum` calls, or after the
+    /// session finished (including by poisoning), which is exactly when a
+    /// replay driver wants to inspect the reconstructed world.
+    pub fn precise_state(&self) -> PreciseState {
+        let g = self.shared.inner.lock();
+        PreciseState {
+            grants: g.stats.grants,
+            replayed: g.replay.as_ref().map(|rs| rs.verified as u64),
+            schedule_digest: g.sched_hash.digest(),
+            retired_digest: g.retired_hash.digest(),
+            live_threads: g.live as u64,
+            threads: g
+                .threads
+                .iter()
+                .map(|(tid, rec)| {
+                    (
+                        tid.raw(),
+                        format!("{:?}", rec.state),
+                        rec.pending.as_ref().map(|p| format!("{p:?}")),
+                        rec.current_st.map(|s| s.raw()),
+                    )
+                })
+                .collect(),
+            locks: g
+                .locks
+                .iter()
+                .map(|(id, rec)| (id.raw(), rec.holder.map(|s| s.raw())))
+                .collect(),
+            rol_len: g.rol.len() as u64,
+            wal_len: g.wal.len() as u64,
+            wal_appended: g.wal.appended(),
+            wal_pruned: g.wal.pruned(),
+            poisoned: g.poisoned.clone(),
+        }
     }
 
     /// A controller for injecting exceptions while the session runs.

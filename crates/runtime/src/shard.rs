@@ -154,9 +154,16 @@ impl EdgeHub {
 
     /// Publishes one retirement-committed barrier arrival. When the forming
     /// generation is complete the release counter bumps and every domain is
-    /// woken to apply it locally.
-    pub fn arrive(&self, b: BarrierId) {
-        let bar = self.barriers.get(&b).expect("cross-domain barrier");
+    /// woken to apply it locally. Returns `false` — after aborting the whole
+    /// sharded run — if the barrier is unknown to the hub: a domain whose
+    /// schedule state diverged must not silently drop an arrival its peers
+    /// are counting on (they would deadlock waiting for the release).
+    #[must_use]
+    pub fn arrive(&self, b: BarrierId) -> bool {
+        let Some(bar) = self.barriers.get(&b) else {
+            self.abort();
+            return false;
+        };
         let arrived = bar.arrived.fetch_add(1, Ordering::AcqRel) + 1;
         debug_assert!(arrived <= bar.participants, "over-arrival on {b}");
         if arrived == bar.participants {
@@ -164,6 +171,7 @@ impl EdgeHub {
             bar.released.fetch_add(1, Ordering::Release);
             self.wake_all();
         }
+        true
     }
 
     /// Completed generations of `b` (0 for non-hub barriers).

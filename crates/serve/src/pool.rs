@@ -20,7 +20,7 @@
 //! engines spawn and join their own worker threads inside it). They still
 //! honour claim-time cancellation and publish ordinary outcomes.
 
-use crate::spec::{build_job, build_job_durable, build_job_sharded, validate, JobSpec};
+use crate::spec::{build_job, build_job_durable_recorded, build_job_sharded, validate, JobSpec};
 use gprs_core::persist::{DurableImage, DurableRecord, FileBackend, PersistBackend};
 use gprs_runtime::report::RunReport;
 use gprs_runtime::session::{GprsSession, QuantumOutcome};
@@ -157,6 +157,10 @@ impl JobOutcome {
         w.finish()
     }
 }
+
+/// File name of the schedule recording a fresh durable job writes into
+/// its durable directory (`gprs-replay run/diff/state` input).
+pub const RECORDING_FILE: &str = "recording.gprs";
 
 /// A job's durable persistence attachment.
 struct JobDurable {
@@ -710,12 +714,16 @@ fn drive(shared: &Shared, job: &Arc<Job>) {
         let built = match &job.durable {
             Some(d) => {
                 let image = d.resume.lock().take();
-                build_job_durable(
+                // Fresh durable jobs also record their schedule next to
+                // the WAL image: a failed job's directory then carries the
+                // exact grant order for a `gprs-replay` post-mortem.
+                build_job_durable_recorded(
                     &job.spec,
                     job.id,
                     job.seq,
                     d.backend.clone(),
                     image.as_ref(),
+                    Some(&d.dir.join(RECORDING_FILE)),
                 )
             }
             None => build_job(&job.spec, job.id, job.seq),

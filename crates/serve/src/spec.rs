@@ -271,7 +271,9 @@ impl ThreadProgram for MutexWorker {
 
 /// Registers the spec's program on a builder. The seed shapes the program
 /// deterministically; the shape is identical however the job is executed.
-fn register(spec: &JobSpec, b: &mut GprsBuilder) -> Result<(), String> {
+/// Public so `gprs-replay` can rebuild a served job's program onto a
+/// replay-armed builder from the spec line stamped in a recording header.
+pub fn register(spec: &JobSpec, b: &mut GprsBuilder) -> Result<(), String> {
     let r = mix(spec.seed ^ 0x5E44E);
     match spec.workload.as_str() {
         "fetchadd" => {
@@ -417,12 +419,35 @@ pub fn build_job_durable(
     backend: Arc<dyn PersistBackend>,
     resume: Option<&DurableImage>,
 ) -> Result<Gprs, String> {
+    build_job_durable_recorded(spec, job_id, submit_seq, backend, resume, None)
+}
+
+/// [`build_job_durable`] plus an optional schedule recording written next
+/// to the job's durable state. The serving pool records every *fresh*
+/// durable job (a resumed job re-verifies an old schedule rather than
+/// producing a new one), so a failed job's directory holds both its WAL
+/// image and the exact grant order that produced the failure — the input
+/// `gprs-replay run`/`state` needs for a post-mortem.
+pub fn build_job_durable_recorded(
+    spec: &JobSpec,
+    job_id: u64,
+    submit_seq: u64,
+    backend: Arc<dyn PersistBackend>,
+    resume: Option<&DurableImage>,
+    record: Option<&std::path::Path>,
+) -> Result<Gprs, String> {
     let mut b = GprsBuilder::new()
         .job(job_id, submit_seq)
         .durable(backend)
         .durable_spec(spec.canonical_line());
     if let Some(image) = resume {
         b = b.resume(image);
+    }
+    if let Some(path) = record.filter(|_| resume.is_none()) {
+        b = b
+            .record(path)
+            .record_meta(&spec.workload, spec.seed)
+            .record_spec(spec.canonical_line());
     }
     let plan = fault_plan(spec.fault_seed);
     if !plan.is_empty() {

@@ -38,6 +38,10 @@ use gprs_core::ids::{BarrierId, ChannelId, LockId, ResourceId, SubThreadId, Thre
 use gprs_core::order::{OrderEnforcer, ScheduleKind};
 use gprs_core::persist::{DurableRecord, PersistBackend};
 use gprs_core::racecheck::{resource_code, OpenEdge, RaceDetector, RetireInfo};
+use gprs_core::recording::{
+    event_kind_name, DriveMode, RecordedOutcome, Recorder, Recording, RecordingHeader,
+    ReplaySchedule, EVT_ARRIVE, EVT_EXIT,
+};
 use gprs_core::rol::{ReorderList, RolEntry};
 use gprs_core::subthread::{SubThread, SubThreadKind, SyncOp};
 use gprs_telemetry::{RetiredOrderHash, ScheduleHash, Telemetry, TelemetryConfig, TraceEvent};
@@ -99,6 +103,13 @@ pub struct GprsSimConfig {
     /// and the record stream lets durability tooling compare a sim's
     /// retirement ledger against a real-runtime log.
     pub persist: Option<Arc<dyn PersistBackend>>,
+    /// Record the run's complete grant schedule into this file, stamped
+    /// with the given workload seed (see
+    /// [`with_record`](GprsSimConfig::with_record)).
+    pub record: Option<(std::path::PathBuf, u64)>,
+    /// Drive the run under a recorded schedule instead of a live ordering
+    /// policy (see [`with_replay`](GprsSimConfig::with_replay)).
+    pub replay: Option<Arc<Recording>>,
 }
 
 impl GprsSimConfig {
@@ -117,6 +128,8 @@ impl GprsSimConfig {
             analysis: false,
             elide: false,
             persist: None,
+            record: None,
+            replay: None,
         }
     }
 
@@ -185,6 +198,23 @@ impl GprsSimConfig {
     /// [`GprsSimConfig::persist`]).
     pub fn with_persist(mut self, backend: Arc<dyn PersistBackend>) -> Self {
         self.persist = Some(backend);
+        self
+    }
+
+    /// Records the run's grant schedule — every turn-consuming event with a
+    /// running digest — into `path`, written when the result is sealed.
+    /// `seed` is stamped into the header so `gprs-replay` can rebuild the
+    /// generated workload (the workload name travels automatically).
+    pub fn with_record(mut self, path: impl Into<std::path::PathBuf>, seed: u64) -> Self {
+        self.record = Some((path.into(), seed));
+        self
+    }
+
+    /// Replays a recorded schedule: the token follows the recording's
+    /// grant order exactly and the first divergence aborts the run with
+    /// [`SimResult::replay_divergence`] set (and `completed == false`).
+    pub fn with_replay(mut self, rec: Arc<Recording>) -> Self {
+        self.replay = Some(rec);
         self
     }
 }
@@ -391,12 +421,24 @@ struct Gprs<'a> {
     /// Durable mirror of the retirement stream (observability only; a
     /// persistence error silently disarms it for the rest of the run).
     persist: Option<Arc<dyn PersistBackend>>,
+    /// Streaming schedule recorder (`GprsSimConfig::with_record`), sealed
+    /// and written to `record_path` when the result is sealed.
+    recorder: Option<Recorder>,
+    record_path: Option<std::path::PathBuf>,
+    /// Replay verifier: `(recording, events verified so far)`.
+    replay: Option<(Arc<Recording>, usize)>,
 }
 
 impl<'a> Gprs<'a> {
     fn new(w: &'a Workload, cfg: &'a GprsSimConfig) -> Self {
         let scheme = format!("GPRS-{}", cfg.schedule.tag());
-        let mut enforcer = OrderEnforcer::with_schedule(cfg.schedule);
+        // Under replay the tape itself is the ordering policy: the token
+        // follows the recorded grant order, and wasted polls hold the
+        // cursor in place (`ReplaySchedule::pass` is a no-op).
+        let mut enforcer = match &cfg.replay {
+            Some(rec) => OrderEnforcer::new(Box::new(ReplaySchedule::from_recording(rec))),
+            None => OrderEnforcer::with_schedule(cfg.schedule),
+        };
         let mut threads = Vec::with_capacity(w.threads.len());
         for t in &w.threads {
             enforcer
@@ -458,6 +500,19 @@ impl<'a> Gprs<'a> {
             retired_hash: RetiredOrderHash::seeded(gprs_telemetry::name_seed(&w.name)),
             raw_trace: Vec::new(),
             persist: cfg.persist.clone(),
+            recorder: cfg.record.as_ref().map(|(_, seed)| {
+                Recorder::new(RecordingHeader {
+                    workload: w.name.clone(),
+                    seed: *seed,
+                    mode: DriveMode::Sim,
+                    schedule: cfg.schedule.tag().to_string(),
+                    workers: cfg.contexts,
+                    spec: None,
+                    chaos: None,
+                })
+            }),
+            record_path: cfg.record.as_ref().map(|(p, _)| p.clone()),
+            replay: cfg.replay.clone().map(|rec| (rec, 0)),
         };
         if let Some(p) = &g.persist {
             let spec = DurableRecord::Spec {
@@ -511,6 +566,51 @@ impl<'a> Gprs<'a> {
         }
     }
 
+    /// Feeds one turn-consuming event (a grant's sub-thread kind, or the
+    /// structural `EVT_ARRIVE`/`EVT_EXIT` tags) to the recorder and/or the
+    /// replay verifier — the simulator twin of the runtime engine's hook.
+    /// Under replay the first mismatching event sets
+    /// [`SimResult::replay_divergence`]; the token loop aborts to DNC on
+    /// its next iteration.
+    fn record_event(&mut self, thread: ThreadId, kind: u8) {
+        if let Some(r) = self.recorder.as_mut() {
+            r.record_event(thread.raw(), kind);
+        }
+        let Some((rec, verified)) = self.replay.as_mut() else {
+            return;
+        };
+        let pos = *verified;
+        match rec.events.get(pos) {
+            Some(e) if e.thread == thread.raw() && e.kind == kind => *verified += 1,
+            Some(e) => {
+                self.res.replay_divergence = Some(format!(
+                    "replay divergence at event {pos}: recording expects \
+                     (thread {}, {}) but the live run performed (thread {}, {})",
+                    e.thread,
+                    event_kind_name(e.kind),
+                    thread.raw(),
+                    event_kind_name(kind),
+                ));
+            }
+            None => {
+                self.res.replay_divergence = Some(format!(
+                    "replay divergence: live run performed event {pos} \
+                     (thread {}, {}) past the end of the {}-event recording",
+                    thread.raw(),
+                    event_kind_name(kind),
+                    rec.events.len(),
+                ));
+            }
+        }
+    }
+
+    /// Marks the run divergent and caps the clock (the DNC shape every
+    /// replay failure degrades to).
+    fn replay_abort(&mut self, msg: String) {
+        self.res.replay_divergence = Some(msg);
+        self.res.finish_cycles = self.cfg.time_cap_cycles;
+    }
+
     /// Seals the telemetry summary and race verdict into the result (every
     /// exit path).
     fn finish_result(mut self) -> SimResult {
@@ -520,6 +620,58 @@ impl<'a> Gprs<'a> {
         if let Some(d) = &self.race {
             self.res.races = d.races();
             self.res.first_race = d.first_race().cloned();
+        }
+        // Final replay verification: a run that "completed" without
+        // consuming the whole tape, or whose final digests disagree with
+        // the recorded footer, diverged even if every verified event
+        // matched — demote it to a named failure.
+        if let Some((rec, verified)) = self.replay.take() {
+            if self.res.replay_divergence.is_none() && self.res.completed {
+                if verified < rec.events.len() {
+                    self.res.replay_divergence = Some(format!(
+                        "replay divergence: live run finished after {verified} \
+                         events but the recording has {}",
+                        rec.events.len()
+                    ));
+                } else if rec.sched_hash != self.sched_hash.digest()
+                    || rec.retired_hash != self.retired_hash.digest()
+                {
+                    self.res.replay_divergence = Some(format!(
+                        "replay divergence: recorded final digests \
+                         ({:016x}, {:016x}) do not match the replayed run \
+                         ({:016x}, {:016x})",
+                        rec.sched_hash,
+                        rec.retired_hash,
+                        self.sched_hash.digest(),
+                        self.retired_hash.digest(),
+                    ));
+                }
+            }
+            if self.res.replay_divergence.is_some() {
+                self.res.completed = false;
+                self.res.finish_cycles = self.cfg.time_cap_cycles;
+            }
+        }
+        // Seal and write the recording — for DNC runs too: a recording of
+        // a failed run is what time-travel debugging exists for.
+        if let (Some(r), Some(path)) = (self.recorder.take(), self.record_path.take()) {
+            let outcome = if self.res.completed {
+                RecordedOutcome::Complete
+            } else {
+                RecordedOutcome::Poisoned(
+                    "did not complete within the time cap".to_string(),
+                )
+            };
+            let rec = r.finish(self.sched_hash.digest(), self.retired_hash.digest(), outcome);
+            if let Err(e) = rec.save(&path) {
+                // The run itself is fine; the missing artifact must still
+                // be loud. Demote to DNC with a named reason.
+                self.res.completed = false;
+                self.res.replay_divergence = Some(format!(
+                    "failed to write recording to {}: {e}",
+                    path.display()
+                ));
+            }
         }
         let raw = std::mem::take(&mut self.raw_trace);
         self.res.telemetry = self.tel.summarize(&self.sched_hash, &self.retired_hash, raw);
@@ -601,6 +753,7 @@ impl<'a> Gprs<'a> {
 
         let (tid, bytes) = (spec.thread, seg.ckpt_bytes);
         self.sched_hash.record(stid.raw(), tid.raw());
+        self.record_event(tid, kind.tag());
         if self.raw_trace.len() < self.cfg.telemetry.raw_trace_cap {
             self.raw_trace.push((stid.raw(), tid.raw()));
         }
@@ -1275,15 +1428,57 @@ impl<'a> Gprs<'a> {
     /// `res.finish_cycles` already set.
     fn token_loop(&mut self, poll_cost: u64) -> bool {
         while self.live > 0 {
+            if self.res.replay_divergence.is_some() {
+                // A verification hook flagged a divergence mid-grant; stop
+                // before the live run drifts further from the tape.
+                self.res.finish_cycles = self.cfg.time_cap_cycles;
+                return false;
+            }
             let Some(holder) = self.enforcer.holder() else {
+                if let Some((rec, verified)) = self.replay.as_ref() {
+                    if *verified >= rec.events.len() {
+                        let msg = match &rec.outcome {
+                            RecordedOutcome::Poisoned(orig) => format!(
+                                "replay reached the end of a failed recording \
+                                 after {verified} events (original failure: {orig})"
+                            ),
+                            RecordedOutcome::Complete => format!(
+                                "replay divergence: recording ended after \
+                                 {verified} events but the live run still has \
+                                 {} live threads",
+                                self.live
+                            ),
+                        };
+                        self.replay_abort(msg);
+                        return false;
+                    }
+                }
                 // Everyone deregistered (barrier deadlock in an ill-formed
                 // trace): DNC.
                 self.res.finish_cycles = self.cfg.time_cap_cycles;
                 return false;
             };
             let th = holder.raw() as usize;
+            if th >= self.threads.len() {
+                self.replay_abort(format!(
+                    "replay divergence: recorded thread {} does not exist in \
+                     workload {:?} ({} threads)",
+                    holder.raw(),
+                    self.w.name,
+                    self.threads.len()
+                ));
+                return false;
+            }
             if self.threads[th].done {
-                self.enforcer.deregister_thread(holder).expect("registered");
+                if self.enforcer.deregister_thread(holder).is_err() {
+                    self.replay_abort(format!(
+                        "replay divergence: token holder thread {} is done \
+                         and already deregistered (tampered tape or corrupted \
+                         schedule state)",
+                        holder.raw()
+                    ));
+                    return false;
+                }
                 continue;
             }
             let req = self.threads[th].request_at;
@@ -1333,6 +1528,22 @@ impl<'a> Gprs<'a> {
             let op = self.w.threads[th].segments[op_ix].op;
             match op {
                 SimOp::Pop { chan } if self.chans.entry(chan).or_default().is_empty() => {
+                    // Under replay this cannot happen on a faithful tape:
+                    // channel contents are a function of the granted-event
+                    // prefix, so the recorded Pop found an item. An empty
+                    // queue means the tape lies about this schedule — and
+                    // since `ReplaySchedule::pass` holds the cursor, passing
+                    // here would spin forever. Abort by name instead.
+                    if let Some((_, verified)) = self.replay.as_ref() {
+                        let pos = *verified;
+                        self.replay_abort(format!(
+                            "replay divergence at event {pos}: recorded \
+                             thread {} polls an empty channel the recording \
+                             granted",
+                            holder.raw()
+                        ));
+                        return false;
+                    }
                     // Empty FIFO: the holder wastes its turn and re-polls on
                     // its next turn (Figure 7).
                     self.enforcer.pass_turn(holder);
@@ -1414,6 +1625,10 @@ impl<'a> Gprs<'a> {
                     );
                 }
                 SimOp::Barrier { barrier } => {
+                    // Structural turn-consuming event: recorded/verified
+                    // like a grant, with the `EVT_ARRIVE` tag (no
+                    // sub-thread opens here in either engine).
+                    self.record_event(holder, EVT_ARRIVE);
                     self.threads[th].op_ix = op_ix + 1;
                     self.threads[th].in_barrier = true;
                     self.enforcer.deregister_thread(holder).expect("registered");
@@ -1438,6 +1653,7 @@ impl<'a> Gprs<'a> {
                     }
                 }
                 SimOp::End => {
+                    self.record_event(holder, EVT_EXIT);
                     self.threads[th].done = true;
                     self.live -= 1;
                     self.finish = self.finish.max(now);
@@ -1449,6 +1665,27 @@ impl<'a> Gprs<'a> {
     }
 
     fn run(mut self) -> SimResult {
+        // Record + replay in one run would write a recording whose footer
+        // digests can never differ from the tape that drove it — a useless
+        // artifact that looks authoritative. Refuse loudly instead.
+        if self.recorder.is_some() && self.replay.is_some() {
+            self.recorder = None;
+            self.record_path = None;
+            self.replay_abort("cannot record and replay in the same run".to_string());
+            return self.finish_result();
+        }
+        if let Some((rec, _)) = &self.replay {
+            if rec.header.mode != DriveMode::Sim {
+                let msg = format!(
+                    "replay mode mismatch: recording was captured in {} mode \
+                     but this run drives in {} mode",
+                    rec.header.mode,
+                    DriveMode::Sim
+                );
+                self.replay_abort(msg);
+                return self.finish_result();
+            }
+        }
         let poll_cost = self.cfg.costs.poll.max(1);
         loop {
             if !self.token_loop(poll_cost) {

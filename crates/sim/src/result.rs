@@ -61,6 +61,11 @@ pub struct SimResult {
     /// The ahead-of-run static analysis report
     /// (`GprsSimConfig::with_analysis`; `None` when analysis is off).
     pub analysis: Option<AnalysisReport>,
+    /// The named divergence that aborted a replayed run
+    /// (`GprsSimConfig::with_replay`): the live simulation performed a
+    /// turn-consuming event the recording did not grant (or vice versa).
+    /// Always accompanied by `completed == false`; `None` on clean runs.
+    pub replay_divergence: Option<String>,
 }
 
 impl SimResult {
@@ -87,6 +92,7 @@ impl SimResult {
             races: 0,
             first_race: None,
             analysis: None,
+            replay_divergence: None,
         }
     }
 

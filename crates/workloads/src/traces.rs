@@ -771,7 +771,18 @@ pub const PROGRAMS: [ProgramInfo; 10] = [
 /// Panics on an unknown name (the registry is fixed; callers use
 /// [`PROGRAMS`]).
 pub fn build(name: &str, p: &TraceParams) -> Workload {
-    match name {
+    match try_build(name, p) {
+        Some(w) => w,
+        None => panic!("unknown program {name}"),
+    }
+}
+
+/// Non-panicking [`build`]: `None` for an unknown name. Replay tooling
+/// rebuilding a workload from a recording header uses this to turn a
+/// corrupted or foreign workload name into a named error instead of a
+/// crash.
+pub fn try_build(name: &str, p: &TraceParams) -> Option<Workload> {
+    Some(match name {
         "barnes-hut" => barnes_hut(p),
         "blackscholes" => blackscholes(p),
         "canneal" => canneal(p),
@@ -784,8 +795,8 @@ pub fn build(name: &str, p: &TraceParams) -> Workload {
         "re" => re(p),
         "wordcount" => wordcount(p),
         "reverse-index" => reverse_index(p),
-        other => panic!("unknown program {other}"),
-    }
+        _ => return None,
+    })
 }
 
 /// Looks up a program's §4 parameters by name.

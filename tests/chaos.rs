@@ -196,6 +196,21 @@ fn committed_fixtures_replay_clean() {
             "{} regressed: {violations:?}",
             path.display()
         );
+        // A fixture with a pinned schedule recording must also replay that
+        // exact grant order — a divergence means the injected run no
+        // longer takes the schedule the fixture pinned.
+        if let Some(name) = &fx.recording {
+            let rec_path = path.with_file_name(name);
+            let rec = gprs_core::recording::Recording::load(&rec_path)
+                .unwrap_or_else(|e| panic!("{}: {e}", rec_path.display()));
+            let violations = gprs_chaos::replay_fixture_recording(&fx, &std::sync::Arc::new(rec))
+                .unwrap_or_else(|e| panic!("{}: {e}", rec_path.display()));
+            assert!(
+                violations.is_empty(),
+                "{} diverged: {violations:?}",
+                rec_path.display()
+            );
+        }
     }
     assert!(seen >= 3, "expected the committed fixture set, found {seen}");
 }
